@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at a
+reduced-but-shape-preserving scale, asserts the qualitative findings,
+and prints the regenerated rows (run with ``-s`` to see them inline;
+they are also written as JSON under ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import DatasetSpec, ExperimentScale
+
+#: Scale used by the figure benchmarks: large enough for stable shapes,
+#: small enough that the whole harness completes in a few minutes.
+BENCH_SCALE = ExperimentScale(
+    dataset=DatasetSpec(num_groups=60, group_size=5, answers_per_fact=8),
+    budgets=(30, 60, 90, 120, 150, 180, 210, 240, 270, 300),
+    seed=0,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

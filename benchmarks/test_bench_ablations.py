@@ -1,0 +1,50 @@
+"""Benchmarks for the DESIGN.md ablations (beyond the paper's figures).
+
+* selector ablation — full conditional-entropy greedy vs the marginal-
+  entropy shortcut vs random, isolating the value of modeling
+  correlations + expert accuracy in the objective;
+* cost-model ablation — section III-D's per-worker answer costs.
+"""
+
+from repro.experiments import (
+    format_experiment,
+    run_ablation_cost_model,
+    run_ablation_selectors,
+    save_json,
+)
+
+
+def test_bench_ablation_selectors(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        run_ablation_selectors, args=(bench_scale,), rounds=1, iterations=1
+    )
+
+    approx_k1 = result.by_label("Approx (k=1)").quality
+    marginal_k1 = result.by_label("MaxEntropy (k=1)").quality
+    random_k1 = result.by_label("Random (k=1)").quality
+    assert approx_k1[-1] >= random_k1[-1] - 1e-9
+    # The [41] special case: identical at k=1.
+    assert abs(approx_k1[-1] - marginal_k1[-1]) < 1e-9
+    # At k=3 the full objective is at least as good as the shortcut.
+    approx_k3 = result.by_label("Approx (k=3)").quality
+    marginal_k3 = result.by_label("MaxEntropy (k=3)").quality
+    assert approx_k3[-1] >= marginal_k3[-1] - 1.0
+
+    save_json(result, results_dir / "ablation_selectors.json")
+    print()
+    print(format_experiment(result))
+
+
+def test_bench_ablation_cost_model(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        run_ablation_cost_model, args=(bench_scale,), rounds=1, iterations=1
+    )
+
+    unit = result.by_label("unit cost").quality
+    costly = result.by_label("cost = 1.5*Pr_cr").quality
+    # Paying more per answer cannot help at equal nominal budget.
+    assert unit[-1] >= costly[-1] - 1.0
+
+    save_json(result, results_dir / "ablation_cost_model.json")
+    print()
+    print(format_experiment(result))

@@ -1,0 +1,28 @@
+"""Micro-benchmarks of the eight aggregation baselines.
+
+Times each truth-inference algorithm on the paper-scale answer matrix
+(1000 facts x 8 answers) and sanity-checks its accuracy, so a
+performance or quality regression in any baseline shows up here.
+"""
+
+import pytest
+
+from repro.aggregation import BASELINE_NAMES, make_aggregator
+from repro.experiments import PAPER_SCALE, build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(PAPER_SCALE.dataset)
+
+
+@pytest.mark.parametrize("name", BASELINE_NAMES)
+def test_bench_aggregator(benchmark, dataset, name):
+    aggregator_matrix = dataset.annotations
+    truth = dataset.truth_vector()
+
+    def run():
+        return make_aggregator(name).fit(aggregator_matrix)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.accuracy(truth) > 0.8, name

@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the core primitives.
+
+These time the inner loops every experiment is built from: conditional
+entropy evaluation, one greedy selection round, and one Bayesian belief
+update.  Useful for tracking performance regressions; no paper claims
+attached.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnswerFamily,
+    AnswerSet,
+    BeliefState,
+    Crowd,
+    FactSet,
+    FactoredBelief,
+    GreedySelector,
+    conditional_entropy,
+    update_with_family,
+)
+
+
+@pytest.fixture(scope="module")
+def belief_5_facts():
+    rng = np.random.default_rng(0)
+    facts = FactSet.from_ids(range(5))
+    return BeliefState(facts, rng.dirichlet(np.ones(32)))
+
+
+@pytest.fixture(scope="module")
+def experts():
+    return Crowd.from_accuracies([0.92, 0.95, 0.9], prefix="e")
+
+
+@pytest.fixture(scope="module")
+def factored_200_groups():
+    rng = np.random.default_rng(1)
+    groups = []
+    for index in range(200):
+        facts = FactSet.from_ids(range(index * 5, index * 5 + 5))
+        groups.append(BeliefState(facts, rng.dirichlet(np.ones(32))))
+    return FactoredBelief(groups)
+
+
+def test_bench_conditional_entropy(benchmark, belief_5_facts, experts):
+    value = benchmark(
+        conditional_entropy, belief_5_facts, [0, 1, 2], experts
+    )
+    assert 0.0 <= value <= 5.0
+
+
+def test_bench_greedy_cold_selection(benchmark, factored_200_groups, experts):
+    """Cold-cache greedy over 1000 candidate facts (first round cost)."""
+
+    def cold_select():
+        return GreedySelector().select(factored_200_groups, experts, 1)
+
+    selected = benchmark(cold_select)
+    assert len(selected) == 1
+
+
+def test_bench_greedy_warm_selection(benchmark, factored_200_groups, experts):
+    """Warm-cache greedy (steady-state per-round cost in the HC loop)."""
+    selector = GreedySelector()
+    selector.select(factored_200_groups, experts, 1)  # warm the cache
+
+    selected = benchmark(selector.select, factored_200_groups, experts, 1)
+    assert len(selected) == 1
+
+
+def test_bench_belief_update(benchmark, belief_5_facts, experts):
+    family = AnswerFamily(
+        answer_sets=tuple(
+            AnswerSet(worker=worker, answers={0: True, 1: False})
+            for worker in experts
+        )
+    )
+    posterior = benchmark(update_with_family, belief_5_facts, family)
+    assert posterior.probabilities.sum() == pytest.approx(1.0)

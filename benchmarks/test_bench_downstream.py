@@ -1,0 +1,52 @@
+"""Benchmark: downstream-training impact of label quality.
+
+The paper's introduction: noisy labels "damnify the downstream model
+training".  Trains the same classifier on HC's labels and on each
+baseline's labels (noisy preliminary crowd) and compares test accuracy;
+HC's cleaner labels must not train a worse model.
+"""
+
+from repro.experiments import (
+    format_downstream,
+    run_downstream_comparison,
+)
+
+
+def test_bench_downstream(benchmark, results_dir):
+    comparison = benchmark.pedantic(
+        run_downstream_comparison,
+        kwargs={
+            "num_groups": 40,
+            "budget": 200,
+            "methods": ("MV", "EBCC"),
+            "num_feature_seeds": 8,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    # HC produces the most accurate training labels...
+    hc_label_accuracy = comparison.train_label_accuracy["HC"]
+    for method in ("MV", "EBCC"):
+        assert hc_label_accuracy >= comparison.train_label_accuracy[method]
+    # ...and those labels train a model at least as good as the
+    # noisiest baseline's (averaged over feature worlds).
+    assert (
+        comparison.model_accuracy_mean["HC"]
+        >= comparison.model_accuracy_mean["MV"] - 0.02
+    )
+    # Nobody beats the clean-label ceiling by more than noise.
+    for method in comparison.labels:
+        assert (
+            comparison.model_accuracy_mean[method]
+            <= comparison.clean_ceiling_mean + 0.05
+        )
+
+    import json
+
+    (results_dir / "downstream.json").write_text(
+        json.dumps(comparison.to_dict(), indent=2)
+    )
+    print()
+    print(format_downstream(comparison))

@@ -1,0 +1,33 @@
+"""Benchmark: Figure 2 — HC vs the 8 aggregation baselines.
+
+Paper shape: HC's accuracy is consistently above every baseline at
+every budget, strong already at low budget.
+"""
+
+from repro.experiments import (
+    format_experiment,
+    run_figure2,
+    save_json,
+)
+
+
+def test_bench_figure2(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        run_figure2, args=(bench_scale,), rounds=1, iterations=1
+    )
+
+    hc = result.by_label("HC").accuracy
+    for label in result.labels:
+        if label == "HC":
+            continue
+        baseline = result.by_label(label).accuracy
+        assert all(
+            h >= b - 1e-9 for h, b in zip(hc, baseline)
+        ), f"HC fell below {label}"
+    # "HC can still achieve a high accuracy rate even at low budget."
+    assert hc[0] > 0.85
+    assert hc[-1] >= hc[0]
+
+    save_json(result, results_dir / "figure2.json")
+    print()
+    print(format_experiment(result))

@@ -1,0 +1,30 @@
+"""Benchmark: Figure 3 — varying the per-round query count k.
+
+Paper shape: smaller k gives better quality/accuracy at equal budget;
+the differences shrink as the budget grows.
+"""
+
+from repro.experiments import format_experiment, run_figure3, save_json
+
+
+def test_bench_figure3(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        run_figure3,
+        args=(bench_scale,),
+        kwargs={"k_values": (1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+
+    k1 = result.by_label("k=1")
+    k3 = result.by_label("k=3")
+    # Smaller k at least matches larger k in final quality (with slack
+    # for simulation noise).
+    assert k1.quality[-1] >= k3.quality[-1] - 2.0
+    # Every k must improve quality over its own starting point.
+    for series in result.series:
+        assert series.quality[-1] > series.quality[0]
+
+    save_json(result, results_dir / "figure3.json")
+    print()
+    print(format_experiment(result))

@@ -1,0 +1,29 @@
+"""Benchmark: Figure 4 — varying the expert threshold theta.
+
+Paper shape: larger theta (purer, smaller CE) achieves higher quality
+per answer early; all thetas improve with budget.
+"""
+
+from repro.experiments import format_experiment, run_figure4, save_json
+
+
+def test_bench_figure4(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        run_figure4,
+        args=(bench_scale,),
+        kwargs={"thetas": (0.8, 0.85, 0.9)},
+        rounds=1,
+        iterations=1,
+    )
+
+    for series in result.series:
+        assert series.quality[-1] > series.quality[0]
+    # theta=0.9 uses only the most accurate checkers: its early quality
+    # per unit budget should not trail the loosest threshold's.
+    tight = result.by_label("theta=0.9").quality
+    loose = result.by_label("theta=0.8").quality
+    assert tight[0] >= loose[0] - 2.0
+
+    save_json(result, results_dir / "figure4.json")
+    print()
+    print(format_experiment(result))

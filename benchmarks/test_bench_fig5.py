@@ -1,0 +1,31 @@
+"""Benchmark: Figure 5 — OPT vs Approx vs Random checking-task selection.
+
+Paper shape: OPT and Approx quality curves are nearly identical
+(margin < 0.1 in the paper's units) and both far above Random.
+"""
+
+from repro.experiments import format_experiment, run_figure5, save_json
+
+
+def test_bench_figure5(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        run_figure5,
+        args=(bench_scale,),
+        kwargs={"k_values": (2, 3), "opt_num_groups": 20},
+        rounds=1,
+        iterations=1,
+    )
+
+    for k in (2, 3):
+        opt = result.by_label(f"OPT (k={k})").quality
+        approx = result.by_label(f"Approx (k={k})").quality
+        random = result.by_label(f"Random (k={k})").quality
+        # Approx tracks OPT far more closely than Random does.
+        opt_gap = abs(opt[-1] - approx[-1])
+        random_gap = abs(opt[-1] - random[-1])
+        assert opt_gap <= random_gap + 1e-9
+        assert approx[-1] >= random[-1] - 1e-9
+
+    save_json(result, results_dir / "figure5.json")
+    print()
+    print(format_experiment(result))

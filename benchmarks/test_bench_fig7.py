@@ -1,0 +1,26 @@
+"""Benchmark: Figure 7 — HC vs NO-HC (flat checking, uniform prior).
+
+Paper shape: for the same budget, the hierarchical design improves the
+data quality much faster than brute-force checking by the whole crowd.
+"""
+
+from repro.experiments import format_experiment, run_figure7, save_json
+
+
+def test_bench_figure7(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        run_figure7, args=(bench_scale,), rounds=1, iterations=1
+    )
+
+    hc = result.by_label("HC").quality
+    flat = result.by_label("NO HC").quality
+    # HC leads at every sampled budget, by a wide margin at the end.
+    assert all(h > f for h, f in zip(hc, flat))
+    hc_gain = hc[-1] - hc[0]
+    flat_gain = flat[-1] - flat[0]
+    assert hc[-1] - flat[-1] > 10.0
+    assert hc_gain >= flat_gain - 1.0
+
+    save_json(result, results_dir / "figure7.json")
+    print()
+    print(format_experiment(result))

@@ -1,0 +1,38 @@
+"""Benchmark: robustness to worker-accuracy estimation error.
+
+DESIGN.md ablation: the theta-split and all belief updates use
+gold-task *estimates* of worker accuracy while the simulated humans
+answer at their true rates.  More gold tasks -> closer to the
+exact-accuracy reference curve.
+"""
+
+from repro.experiments import (
+    format_experiment,
+    run_ablation_miscalibration,
+    save_json,
+)
+
+
+def test_bench_miscalibration(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        run_ablation_miscalibration,
+        args=(bench_scale,),
+        kwargs={"gold_counts": (20, 50, 200)},
+        rounds=1,
+        iterations=1,
+    )
+
+    exact = result.by_label("exact accuracies").quality
+    # Every calibrated curve still improves with budget.
+    for series in result.series:
+        assert series.quality[-1] > series.quality[0]
+    # Exact accuracies are never substantially worse than estimates.
+    for label in result.labels:
+        if label == "exact accuracies":
+            continue
+        estimated = result.by_label(label).quality
+        assert exact[-1] >= estimated[-1] - 3.0, label
+
+    save_json(result, results_dir / "ablation_miscalibration.json")
+    print()
+    print(format_experiment(result))

@@ -1,0 +1,34 @@
+"""Benchmark: per-round expert panel size (DESIGN.md ablation E).
+
+Shape: at a fixed budget, smaller panels cover more queries and — with
+Bayesian fusion — reach better quality than the paper's send-to-all-CE
+design on this workload.
+"""
+
+from repro.experiments import (
+    format_experiment,
+    run_ablation_panel_size,
+    save_json,
+)
+
+
+def test_bench_panel_size(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        run_ablation_panel_size,
+        args=(bench_scale,),
+        kwargs={"panel_sizes": (1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+
+    for series in result.series:
+        assert series.quality[-1] > series.quality[0]
+    if {"panel=1", "panel=3"} <= set(result.labels):
+        small = result.by_label("panel=1").quality
+        full = result.by_label("panel=3").quality
+        # Coverage beats redundancy at equal budget (allow slack).
+        assert small[-1] >= full[-1] - 2.0
+
+    save_json(result, results_dir / "ablation_panel_size.json")
+    print()
+    print(format_experiment(result))

@@ -1,0 +1,47 @@
+"""Benchmark: Table III — selection time per round, OPT vs Approx.
+
+Paper shape: OPT's time grows exponentially in k (timeout past small
+k); Approx grows polynomially and remains feasible.  We use a 16-fact
+task (paper: >20) and a 15-second OPT timeout so the whole harness
+stays laptop-friendly; the growth shapes are unchanged.
+"""
+
+from repro.experiments import format_table3, run_table3
+
+
+def test_bench_table3(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_table3,
+        kwargs={
+            "k_values": (1, 2, 3, 4, 5, 6),
+            "num_facts": 16,
+            "opt_timeout_seconds": 15.0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = {row.k: row for row in result.rows}
+    timed = [row for row in result.rows if row.opt_seconds is not None]
+    assert rows[1].opt_seconds is not None, "OPT must finish at k=1"
+
+    # Exponential growth: each extra k multiplies OPT's cost; the last
+    # timed OPT is at least 5x the first.
+    if len(timed) >= 3:
+        assert timed[-1].opt_seconds > 5 * timed[0].opt_seconds
+    # OPT eventually loses to Approx decisively.
+    last_timed = timed[-1]
+    assert (
+        last_timed.opt_seconds > last_timed.approx_seconds
+        or any(row.opt_seconds is None for row in result.rows)
+    )
+    # Approx stays feasible through the largest k.
+    assert result.rows[-1].approx_seconds < 15.0
+
+    import json
+
+    (results_dir / "table3.json").write_text(
+        json.dumps(result.to_dict(), indent=2)
+    )
+    print()
+    print(format_table3(result))

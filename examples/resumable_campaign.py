@@ -1,0 +1,80 @@
+"""A resumable checking campaign with JSON checkpoints.
+
+Real expert panels answer over hours or days, so a checking campaign
+must survive process restarts.  This example runs a campaign in two
+"process lifetimes": the first selects queries, collects some answers
+and checkpoints to disk mid-flight; the second restores the session
+from the checkpoint and finishes the budget.
+
+Run:  python examples/resumable_campaign.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.aggregation import Ebcc
+from repro.datasets import initialize_belief, make_sentiment_dataset
+from repro.experiments.config import EXPERIMENT_POOL
+from repro.simulation import OnlineCheckingSession, SimulatedExpertPanel
+
+
+def first_lifetime(checkpoint_path: Path) -> None:
+    """Start the campaign, answer a few rounds, checkpoint, 'crash'."""
+    dataset = make_sentiment_dataset(
+        num_groups=30, pool=EXPERIMENT_POOL, seed=4
+    )
+    belief, _ = initialize_belief(dataset, Ebcc(), theta=0.9)
+    experts, _ = dataset.split_crowd(0.9)
+    session = OnlineCheckingSession(
+        belief, experts, budget=120, ground_truth=dataset.ground_truth
+    )
+    panel = SimulatedExpertPanel(dataset.ground_truth, rng=4)
+
+    for _round in range(10):
+        queries = session.next_queries()
+        if queries is None:
+            break
+        session.submit(panel.collect(queries, experts))
+
+    last = session.history[-1]
+    print(f"[lifetime 1] {len(session.history) - 1} rounds, "
+          f"spent {session.spent_budget:.0f}/120, "
+          f"accuracy {last.accuracy:.4f}, quality {last.quality:.2f}")
+    checkpoint_path.write_text(json.dumps(session.to_checkpoint()))
+    print(f"[lifetime 1] checkpointed to {checkpoint_path.name} "
+          f"({checkpoint_path.stat().st_size} bytes); exiting")
+
+
+def second_lifetime(checkpoint_path: Path) -> None:
+    """Restore from the checkpoint and finish the budget."""
+    # Rebuild the behavioral components (code, not state): the same
+    # dataset seed gives back the same crowd and ground truth.
+    dataset = make_sentiment_dataset(
+        num_groups=30, pool=EXPERIMENT_POOL, seed=4
+    )
+    experts, _ = dataset.split_crowd(0.9)
+    payload = json.loads(checkpoint_path.read_text())
+    session = OnlineCheckingSession.from_checkpoint(payload, experts)
+    print(f"[lifetime 2] restored at spent={session.spent_budget:.0f}, "
+          f"{len(session.history) - 1} rounds of history")
+
+    panel = SimulatedExpertPanel(dataset.ground_truth, rng=5)
+    while (queries := session.next_queries()) is not None:
+        session.submit(panel.collect(queries, experts))
+
+    last = session.history[-1]
+    print(f"[lifetime 2] finished: {len(session.history) - 1} rounds "
+          f"total, accuracy {last.accuracy:.4f}, "
+          f"quality {last.quality:.2f}")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint_path = Path(tmp) / "campaign.checkpoint.json"
+        first_lifetime(checkpoint_path)
+        second_lifetime(checkpoint_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim for environments without the `wheel` package (offline PEP 660
+editable installs fail there); `python setup.py develop` works instead."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro — reproduction of "Hierarchical Crowdsourcing for Data Labeling
+with Heterogeneous Crowd" (Zhang et al., ICDE 2023).
+
+Public API tour
+---------------
+* :mod:`repro.core` — the paper's data/crowdsourcing model: facts,
+  observations, belief states, answer families, the conditional-entropy
+  objective, the greedy/exact/random selectors, and the Algorithm 3
+  orchestration loop.
+* :mod:`repro.aggregation` — the eight truth-inference baselines
+  (MV, DS, ZC, GLAD, CRH, BWA, BCC, EBCC).
+* :mod:`repro.datasets` — synthetic sentiment corpus, task grouping,
+  belief initialization, benchmark-format I/O.
+* :mod:`repro.simulation` — simulated expert panels and the one-call
+  :func:`~repro.simulation.run_hc_session` pipeline.
+* :mod:`repro.experiments` — runners reproducing every figure and
+  table of the paper's evaluation.
+"""
+
+from . import (
+    aggregation,
+    analysis,
+    core,
+    datasets,
+    downstream,
+    experiments,
+    simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "aggregation",
+    "analysis",
+    "core",
+    "datasets",
+    "downstream",
+    "experiments",
+    "simulation",
+    "__version__",
+]

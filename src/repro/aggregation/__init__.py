@@ -1,0 +1,59 @@
+"""Label-aggregation (truth-inference) baselines.
+
+The eight algorithms the paper compares against (section IV-B) plus a
+weighted-majority variant, all consuming the shared
+:class:`~repro.aggregation.base.AnswerMatrix` interface and producing
+per-task label posteriors.
+"""
+
+from .base import (
+    AggregationResult,
+    Aggregator,
+    Annotation,
+    AnswerMatrix,
+)
+from .bcc import Bcc
+from .bwa import Bwa
+from .crh import Crh
+from .dawid_skene import DawidSkene
+from .ebcc import Ebcc
+from .gibbs import GibbsDawidSkene
+from .glad import Glad
+from .kos import Kos
+from .majority import MajorityVote, WeightedMajorityVote
+from .spectral import Spectral
+from .registry import (
+    BASELINE_NAMES,
+    available_aggregators,
+    make_aggregator,
+    register_aggregator,
+)
+from .variants import MvBeta, MvFreq, PairedExample, PairedVote
+from .zencrowd import ZenCrowd
+
+__all__ = [
+    "AggregationResult",
+    "Aggregator",
+    "Annotation",
+    "AnswerMatrix",
+    "BASELINE_NAMES",
+    "Bcc",
+    "Bwa",
+    "Crh",
+    "DawidSkene",
+    "Ebcc",
+    "GibbsDawidSkene",
+    "Glad",
+    "Kos",
+    "MajorityVote",
+    "MvBeta",
+    "MvFreq",
+    "PairedExample",
+    "PairedVote",
+    "Spectral",
+    "WeightedMajorityVote",
+    "ZenCrowd",
+    "available_aggregators",
+    "make_aggregator",
+    "register_aggregator",
+]

@@ -1,0 +1,238 @@
+"""Shared interface for label-aggregation (truth-inference) algorithms.
+
+All eight baselines of the paper's section IV-B (MV, DS, ZC, GLAD, CRH,
+BWA, BCC, EBCC) consume the same input — a sparse matrix of worker
+answers — and produce per-task posterior distributions over classes.
+In the HC pipeline those posteriors initialize the belief state of the
+preliminary tier (paper section III-A / IV-C4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One worker's label for one task."""
+
+    task: int
+    worker: int
+    label: int
+
+    def __post_init__(self) -> None:
+        if self.task < 0 or self.worker < 0 or self.label < 0:
+            raise ValueError("task, worker and label indices must be >= 0")
+
+
+class AnswerMatrix:
+    """A sparse task x worker answer matrix.
+
+    Parameters
+    ----------
+    annotations:
+        The crowd's answers.  A (task, worker) pair may appear at most
+        once.
+    num_tasks, num_workers, num_classes:
+        Optional explicit sizes; inferred from the annotations when
+        omitted.  Explicit sizes allow tasks or workers with no answers.
+    """
+
+    def __init__(
+        self,
+        annotations: Iterable[Annotation | tuple[int, int, int]],
+        num_tasks: int | None = None,
+        num_workers: int | None = None,
+        num_classes: int | None = None,
+    ):
+        normalized: list[Annotation] = []
+        for item in annotations:
+            if not isinstance(item, Annotation):
+                item = Annotation(*item)
+            normalized.append(item)
+        seen: set[tuple[int, int]] = set()
+        for annotation in normalized:
+            key = (annotation.task, annotation.worker)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate annotation for task {annotation.task}, "
+                    f"worker {annotation.worker}"
+                )
+            seen.add(key)
+        if not normalized and (
+            num_tasks is None or num_workers is None or num_classes is None
+        ):
+            raise ValueError(
+                "an empty AnswerMatrix needs explicit num_tasks, "
+                "num_workers and num_classes"
+            )
+        self._annotations: tuple[Annotation, ...] = tuple(normalized)
+        max_task = max((a.task for a in normalized), default=-1)
+        max_worker = max((a.worker for a in normalized), default=-1)
+        max_label = max((a.label for a in normalized), default=-1)
+        self._num_tasks = num_tasks if num_tasks is not None else max_task + 1
+        self._num_workers = (
+            num_workers if num_workers is not None else max_worker + 1
+        )
+        self._num_classes = (
+            num_classes if num_classes is not None else max(max_label + 1, 2)
+        )
+        if max_task >= self._num_tasks:
+            raise ValueError("annotation task index out of range")
+        if max_worker >= self._num_workers:
+            raise ValueError("annotation worker index out of range")
+        if max_label >= self._num_classes:
+            raise ValueError("annotation label out of range")
+        self._tasks = np.array([a.task for a in normalized], dtype=np.int64)
+        self._workers = np.array([a.worker for a in normalized], dtype=np.int64)
+        self._labels = np.array([a.label for a in normalized], dtype=np.int64)
+
+    # -- accessors -----------------------------------------------------
+
+    @property
+    def annotations(self) -> tuple[Annotation, ...]:
+        return self._annotations
+
+    @property
+    def num_tasks(self) -> int:
+        return self._num_tasks
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def num_classes(self) -> int:
+        return self._num_classes
+
+    @property
+    def num_annotations(self) -> int:
+        return len(self._annotations)
+
+    @property
+    def task_indices(self) -> np.ndarray:
+        """Task index of each annotation (parallel to ``label_values``)."""
+        return self._tasks
+
+    @property
+    def worker_indices(self) -> np.ndarray:
+        return self._workers
+
+    @property
+    def label_values(self) -> np.ndarray:
+        return self._labels
+
+    def dense(self, missing: int = -1) -> np.ndarray:
+        """``(num_tasks, num_workers)`` matrix with ``missing`` fill."""
+        matrix = np.full((self._num_tasks, self._num_workers), missing,
+                         dtype=np.int64)
+        matrix[self._tasks, self._workers] = self._labels
+        return matrix
+
+    def one_hot(self) -> np.ndarray:
+        """``(num_tasks, num_workers, num_classes)`` 0/1 indicator tensor.
+
+        Entry ``[i, j, l]`` is 1 iff worker ``j`` labeled task ``i`` as
+        ``l``.  Dense; fine at the scales of this reproduction.
+        """
+        tensor = np.zeros(
+            (self._num_tasks, self._num_workers, self._num_classes)
+        )
+        tensor[self._tasks, self._workers, self._labels] = 1.0
+        return tensor
+
+    def vote_counts(self) -> np.ndarray:
+        """``(num_tasks, num_classes)`` per-class vote counts."""
+        counts = np.zeros((self._num_tasks, self._num_classes))
+        np.add.at(counts, (self._tasks, self._labels), 1.0)
+        return counts
+
+    def answers_per_task(self) -> np.ndarray:
+        """Number of answers each task received."""
+        return np.bincount(self._tasks, minlength=self._num_tasks)
+
+    def restrict_workers(self, worker_indices: Sequence[int]) -> "AnswerMatrix":
+        """Sub-matrix keeping only the given workers (indices preserved)."""
+        keep = set(worker_indices)
+        return AnswerMatrix(
+            (a for a in self._annotations if a.worker in keep),
+            num_tasks=self._num_tasks,
+            num_workers=self._num_workers,
+            num_classes=self._num_classes,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AnswerMatrix(tasks={self._num_tasks}, "
+            f"workers={self._num_workers}, classes={self._num_classes}, "
+            f"annotations={self.num_annotations})"
+        )
+
+
+@dataclass
+class AggregationResult:
+    """Output of a truth-inference run.
+
+    Attributes
+    ----------
+    posteriors:
+        ``(num_tasks, num_classes)`` rows summing to 1: the inferred
+        distribution over each task's true label.
+    worker_reliability:
+        Optional per-worker scalar reliability estimate (accuracy-like,
+        in [0, 1]) when the model produces one.
+    iterations:
+        Number of optimization iterations actually run.
+    converged:
+        Whether the stopping tolerance was reached before ``max_iter``.
+    """
+
+    posteriors: np.ndarray
+    worker_reliability: np.ndarray | None = None
+    iterations: int = 0
+    converged: bool = True
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.posteriors = np.asarray(self.posteriors, dtype=np.float64)
+        if self.posteriors.ndim != 2:
+            raise ValueError("posteriors must be (num_tasks, num_classes)")
+        row_sums = self.posteriors.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-6):
+            raise ValueError("posterior rows must sum to 1")
+
+    @property
+    def predictions(self) -> np.ndarray:
+        """MAP label per task (ties broken toward the lower class)."""
+        return np.argmax(self.posteriors, axis=1)
+
+    def accuracy(self, ground_truth: Sequence[int]) -> float:
+        """Fraction of tasks whose MAP label matches the ground truth."""
+        ground_truth = np.asarray(ground_truth)
+        if ground_truth.shape[0] != self.posteriors.shape[0]:
+            raise ValueError("need one ground-truth label per task")
+        return float(np.mean(self.predictions == ground_truth))
+
+
+class Aggregator(ABC):
+    """Truth-inference strategy interface."""
+
+    #: Registry / report name, e.g. ``"DS"``.
+    name: str = "base"
+
+    @abstractmethod
+    def fit(self, matrix: AnswerMatrix) -> AggregationResult:
+        """Infer per-task label posteriors from the answer matrix."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def check_not_empty(matrix: AnswerMatrix) -> None:
+    """Common guard: aggregators need at least one annotation."""
+    if matrix.num_annotations == 0:
+        raise ValueError("cannot aggregate an empty answer matrix")

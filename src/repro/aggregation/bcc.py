@@ -1,0 +1,119 @@
+"""BCC (Kim & Ghahramani, AISTATS 2012) — Bayesian classifier combination.
+
+The Bayesian treatment of the Dawid-Skene model: Dirichlet priors on
+the class prior and on every row of every worker's confusion matrix,
+inferred with mean-field variational Bayes.  The coordinate updates
+are:
+
+* ``q(t_i)``   — categorical, from expected log prior and expected log
+  confusion entries of the task's annotations;
+* ``q(rho)``   — Dirichlet with expected class counts;
+* ``q(pi_j[t])`` — Dirichlet with expected (truth, answer) counts.
+
+Expected log parameters use the digamma function; this is the standard
+VB-EM for discrete mixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import digamma
+
+from .base import AggregationResult, Aggregator, AnswerMatrix, check_not_empty
+from .majority import MajorityVote
+
+
+class Bcc(Aggregator):
+    """Mean-field variational BCC.
+
+    Parameters
+    ----------
+    prior_strength:
+        Symmetric Dirichlet concentration on the class prior.
+    diagonal_prior, off_diagonal_prior:
+        Dirichlet pseudo-counts on each confusion row — diagonally
+        dominant by default, encoding "workers are better than chance".
+    max_iter, tol:
+        VB iteration cap and posterior-change convergence threshold.
+    """
+
+    name = "BCC"
+
+    def __init__(
+        self,
+        prior_strength: float = 1.0,
+        diagonal_prior: float = 2.0,
+        off_diagonal_prior: float = 1.0,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+    ):
+        if prior_strength <= 0 or diagonal_prior <= 0 or off_diagonal_prior <= 0:
+            raise ValueError("Dirichlet pseudo-counts must be positive")
+        self.prior_strength = prior_strength
+        self.diagonal_prior = diagonal_prior
+        self.off_diagonal_prior = off_diagonal_prior
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def _confusion_prior(self, num_classes: int) -> np.ndarray:
+        prior = np.full(
+            (num_classes, num_classes), self.off_diagonal_prior
+        )
+        np.fill_diagonal(prior, self.diagonal_prior)
+        return prior
+
+    def fit(self, matrix: AnswerMatrix) -> AggregationResult:
+        check_not_empty(matrix)
+        num_classes = matrix.num_classes
+        tasks = matrix.task_indices
+        workers = matrix.worker_indices
+        labels = matrix.label_values
+        confusion_prior = self._confusion_prior(num_classes)
+
+        posteriors = MajorityVote(smoothing=1.0).fit(matrix).posteriors
+        converged = False
+        iteration = 0
+        confusion_counts = np.zeros(
+            (matrix.num_workers, num_classes, num_classes)
+        )
+        for iteration in range(1, self.max_iter + 1):
+            # q(rho): Dirichlet(prior_strength + expected class counts)
+            rho_counts = self.prior_strength + posteriors.sum(axis=0)
+            expected_log_rho = digamma(rho_counts) - digamma(rho_counts.sum())
+
+            # q(pi_j[t]): Dirichlet(confusion prior + expected counts)
+            confusion_counts[:] = confusion_prior
+            np.add.at(
+                confusion_counts,
+                (workers, slice(None), labels),
+                posteriors[tasks],
+            )
+            expected_log_confusion = digamma(confusion_counts) - digamma(
+                confusion_counts.sum(axis=2, keepdims=True)
+            )
+
+            # q(t_i): categorical from expected log joint.
+            log_post = np.tile(expected_log_rho, (matrix.num_tasks, 1))
+            contributions = expected_log_confusion[workers, :, labels]
+            np.add.at(log_post, tasks, contributions)
+            log_post -= log_post.max(axis=1, keepdims=True)
+            new_posteriors = np.exp(log_post)
+            new_posteriors /= new_posteriors.sum(axis=1, keepdims=True)
+
+            change = np.abs(new_posteriors - posteriors).max()
+            posteriors = new_posteriors
+            if change < self.tol:
+                converged = True
+                break
+
+        mean_confusion = confusion_counts / confusion_counts.sum(
+            axis=2, keepdims=True
+        )
+        reliability = np.einsum("jkk->j", mean_confusion) / num_classes
+        return AggregationResult(
+            posteriors=posteriors,
+            worker_reliability=reliability,
+            iterations=iteration,
+            converged=converged,
+            extras={"confusion": mean_confusion},
+        )

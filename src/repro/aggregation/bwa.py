@@ -1,0 +1,106 @@
+"""BWA (Li, Rubinstein & Cohn, WWW 2019) — Bayesian weighted aggregation.
+
+A conjugate Bayesian model for adjudicating redundant crowd labels:
+worker ``j`` has an unknown accuracy with a Beta prior; truths and
+accuracies are inferred with iterative expectation maximization, where
+each step is available in closed form thanks to conjugacy:
+
+* truth step — per-task posterior from log-odds-weighted votes, using
+  the posterior-mean worker accuracies;
+* accuracy step — Beta posterior update with the *expected* numbers of
+  correct/incorrect answers under the current truth posteriors.
+
+The paper behind "BWA" treats multi-class via a one-vs-rest symmetric
+noise model, which we adopt: a wrong worker picks uniformly among the
+other ``K - 1`` classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AggregationResult, Aggregator, AnswerMatrix, check_not_empty
+from .majority import MajorityVote
+
+_LOG_FLOOR = 1e-12
+
+
+class Bwa(Aggregator):
+    """Conjugate Bayesian weighted aggregation (BWA).
+
+    Parameters
+    ----------
+    prior_correct, prior_incorrect:
+        Beta prior pseudo-counts on each worker's accuracy.  The default
+        ``Beta(4, 1)`` encodes the paper's optimism that crowd workers
+        are mostly reliable.
+    max_iter, tol:
+        Iteration cap and posterior-change convergence threshold.
+    """
+
+    name = "BWA"
+
+    def __init__(
+        self,
+        prior_correct: float = 4.0,
+        prior_incorrect: float = 1.0,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+    ):
+        if prior_correct <= 0 or prior_incorrect <= 0:
+            raise ValueError("Beta prior pseudo-counts must be positive")
+        self.prior_correct = prior_correct
+        self.prior_incorrect = prior_incorrect
+        self.max_iter = max_iter
+        self.tol = tol
+
+    def fit(self, matrix: AnswerMatrix) -> AggregationResult:
+        check_not_empty(matrix)
+        num_classes = matrix.num_classes
+        tasks = matrix.task_indices
+        workers = matrix.worker_indices
+        labels = matrix.label_values
+        answer_counts = np.bincount(workers, minlength=matrix.num_workers)
+
+        posteriors = MajorityVote(smoothing=1.0).fit(matrix).posteriors
+        converged = False
+        iteration = 0
+        accuracy = np.full(
+            matrix.num_workers,
+            self.prior_correct / (self.prior_correct + self.prior_incorrect),
+        )
+        for iteration in range(1, self.max_iter + 1):
+            # Accuracy step: Beta posterior mean with expected counts.
+            expected_correct = np.zeros(matrix.num_workers)
+            np.add.at(expected_correct, workers, posteriors[tasks, labels])
+            accuracy = (expected_correct + self.prior_correct) / (
+                answer_counts + self.prior_correct + self.prior_incorrect
+            )
+
+            # Truth step: log-odds weighted votes.
+            correct = np.log(np.maximum(accuracy, _LOG_FLOOR))
+            wrong = np.log(
+                np.maximum(
+                    (1.0 - accuracy) / max(num_classes - 1, 1), _LOG_FLOOR
+                )
+            )
+            log_post = np.zeros((matrix.num_tasks, num_classes))
+            contrib = np.tile(wrong[workers][:, None], (1, num_classes))
+            contrib[np.arange(labels.size), labels] = correct[workers]
+            np.add.at(log_post, tasks, contrib)
+            log_post -= log_post.max(axis=1, keepdims=True)
+            new_posteriors = np.exp(log_post)
+            new_posteriors /= new_posteriors.sum(axis=1, keepdims=True)
+
+            change = np.abs(new_posteriors - posteriors).max()
+            posteriors = new_posteriors
+            if change < self.tol:
+                converged = True
+                break
+
+        return AggregationResult(
+            posteriors=posteriors,
+            worker_reliability=accuracy,
+            iterations=iteration,
+            converged=converged,
+        )

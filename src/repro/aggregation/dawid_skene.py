@@ -1,0 +1,106 @@
+"""Dawid & Skene (1979) EM truth inference ("DS" in the paper).
+
+Models each worker with a full ``K x K`` confusion matrix
+``pi_j[t, l] = P(worker j answers l | true label t)`` plus a class
+prior ``rho``.  EM alternates:
+
+* E-step: posterior over each task's true label given current
+  parameters;
+* M-step: re-estimate confusion matrices and the prior from the
+  expected counts (with Laplace smoothing so sparse workers do not
+  produce zero rows).
+
+Initialization follows the original paper: start the E-step posteriors
+at the majority-vote fractions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AggregationResult, Aggregator, AnswerMatrix, check_not_empty
+from .majority import MajorityVote
+
+_LOG_FLOOR = 1e-12
+
+
+class DawidSkene(Aggregator):
+    """Confusion-matrix EM (DS).
+
+    Parameters
+    ----------
+    max_iter:
+        EM iteration cap.
+    tol:
+        Convergence threshold on the max absolute posterior change.
+    smoothing:
+        Laplace pseudo-count for confusion-matrix and prior estimates.
+    """
+
+    name = "DS"
+
+    def __init__(
+        self, max_iter: int = 100, tol: float = 1e-6, smoothing: float = 0.01
+    ):
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+
+    def fit(self, matrix: AnswerMatrix) -> AggregationResult:
+        check_not_empty(matrix)
+        num_classes = matrix.num_classes
+        tasks = matrix.task_indices
+        workers = matrix.worker_indices
+        labels = matrix.label_values
+
+        posteriors = MajorityVote(smoothing=1.0).fit(matrix).posteriors
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            prior, confusion = self._m_step(matrix, posteriors)
+            # E-step in log space: log P(t_i = t) + sum_j log pi_j[t, l_ij]
+            log_post = np.tile(
+                np.log(np.maximum(prior, _LOG_FLOOR)), (matrix.num_tasks, 1)
+            )
+            log_confusion = np.log(np.maximum(confusion, _LOG_FLOOR))
+            contributions = log_confusion[workers, :, labels]  # (A, K)
+            np.add.at(log_post, tasks, contributions)
+            log_post -= log_post.max(axis=1, keepdims=True)
+            new_posteriors = np.exp(log_post)
+            new_posteriors /= new_posteriors.sum(axis=1, keepdims=True)
+            change = np.abs(new_posteriors - posteriors).max()
+            posteriors = new_posteriors
+            if change < self.tol:
+                converged = True
+                break
+
+        _prior, confusion = self._m_step(matrix, posteriors)
+        reliability = np.einsum("jkk->j", confusion) / num_classes
+        return AggregationResult(
+            posteriors=posteriors,
+            worker_reliability=reliability,
+            iterations=iteration,
+            converged=converged,
+            extras={"confusion": confusion},
+        )
+
+    def _m_step(
+        self, matrix: AnswerMatrix, posteriors: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Estimate class prior and per-worker confusion matrices."""
+        num_classes = matrix.num_classes
+        prior = posteriors.sum(axis=0) + self.smoothing
+        prior /= prior.sum()
+        counts = np.zeros((matrix.num_workers, num_classes, num_classes))
+        np.add.at(
+            counts,
+            (matrix.worker_indices, slice(None), matrix.label_values),
+            posteriors[matrix.task_indices],
+        )
+        counts += self.smoothing
+        confusion = counts / counts.sum(axis=2, keepdims=True)
+        return prior, confusion

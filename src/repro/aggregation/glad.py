@@ -1,0 +1,157 @@
+"""GLAD (Whitehill et al., NeurIPS 2009) — "GLAD" in the paper.
+
+Extends the single-reliability model with per-task difficulty: worker
+``j`` answers task ``i`` correctly with probability
+``sigma(alpha_j * beta_i)``, where ``alpha_j`` is worker ability
+(can be negative: adversarial) and ``beta_i = exp(b_i) > 0`` is the
+inverse difficulty.  Wrong answers are uniform over the other classes.
+
+EM alternates the label posterior (E-step) with gradient ascent on
+``alpha`` and ``b = log beta`` of the expected complete-data
+log-likelihood (M-step).  The original binary formulation generalizes
+to ``K`` classes the same way ZenCrowd does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AggregationResult, Aggregator, AnswerMatrix, check_not_empty
+from .majority import MajorityVote
+
+_LOG_FLOOR = 1e-12
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + np.tanh(0.5 * x))
+
+
+class Glad(Aggregator):
+    """Ability x difficulty EM with gradient M-step.
+
+    Parameters
+    ----------
+    max_iter:
+        Outer EM iteration cap.
+    gradient_steps, learning_rate:
+        Inner gradient-ascent schedule for the M-step.
+    tol:
+        Posterior-change convergence threshold.
+    prior_alpha, prior_beta_log:
+        Gaussian prior means for worker ability and log inverse
+        difficulty (light L2 regularization toward these values).
+    regularization:
+        Strength of the Gaussian priors.
+    """
+
+    name = "GLAD"
+
+    def __init__(
+        self,
+        max_iter: int = 50,
+        gradient_steps: int = 20,
+        learning_rate: float = 0.1,
+        tol: float = 1e-5,
+        prior_alpha: float = 1.0,
+        prior_beta_log: float = 1.0,
+        regularization: float = 0.01,
+    ):
+        self.max_iter = max_iter
+        self.gradient_steps = gradient_steps
+        self.learning_rate = learning_rate
+        self.tol = tol
+        self.prior_alpha = prior_alpha
+        self.prior_beta_log = prior_beta_log
+        self.regularization = regularization
+
+    def fit(self, matrix: AnswerMatrix) -> AggregationResult:
+        check_not_empty(matrix)
+        num_classes = matrix.num_classes
+        tasks = matrix.task_indices
+        workers = matrix.worker_indices
+        labels = matrix.label_values
+
+        posteriors = MajorityVote(smoothing=1.0).fit(matrix).posteriors
+        alpha = np.full(matrix.num_workers, self.prior_alpha)
+        beta_log = np.full(matrix.num_tasks, self.prior_beta_log)
+
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            # E-step with current correctness probabilities.
+            prob_correct = np.clip(
+                _sigmoid(alpha[workers] * np.exp(beta_log[tasks])),
+                _LOG_FLOOR,
+                1.0 - _LOG_FLOOR,
+            )
+            log_correct = np.log(prob_correct)
+            log_wrong = np.log(
+                (1.0 - prob_correct) / max(num_classes - 1, 1)
+            )
+            log_post = np.zeros((matrix.num_tasks, num_classes))
+            contrib = np.tile(log_wrong[:, None], (1, num_classes))
+            contrib[np.arange(labels.size), labels] = log_correct
+            np.add.at(log_post, tasks, contrib)
+            log_post -= log_post.max(axis=1, keepdims=True)
+            new_posteriors = np.exp(log_post)
+            new_posteriors /= new_posteriors.sum(axis=1, keepdims=True)
+
+            # M-step: gradient ascent on alpha and beta_log.
+            # expected correctness indicator per annotation:
+            weight_correct = new_posteriors[tasks, labels]
+            alpha, beta_log = self._m_step(
+                matrix, weight_correct, alpha, beta_log
+            )
+
+            change = np.abs(new_posteriors - posteriors).max()
+            posteriors = new_posteriors
+            if change < self.tol:
+                converged = True
+                break
+
+        reliability = _sigmoid(alpha * np.exp(self.prior_beta_log))
+        return AggregationResult(
+            posteriors=posteriors,
+            worker_reliability=np.clip(reliability, 0.0, 1.0),
+            iterations=iteration,
+            converged=converged,
+            extras={"alpha": alpha, "beta": np.exp(beta_log)},
+        )
+
+    def _m_step(
+        self,
+        matrix: AnswerMatrix,
+        weight_correct: np.ndarray,
+        alpha: np.ndarray,
+        beta_log: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gradient ascent on the expected log-likelihood.
+
+        For each annotation with correctness weight ``w`` the objective
+        term is ``w log sigma(a b) + (1 - w) log(1 - sigma(a b))`` with
+        ``b = exp(beta_log)``; its derivative w.r.t. ``a b`` is
+        ``w - sigma(a b)``.
+        """
+        tasks = matrix.task_indices
+        workers = matrix.worker_indices
+        alpha = alpha.copy()
+        beta_log = beta_log.copy()
+        for _step in range(self.gradient_steps):
+            beta = np.exp(beta_log)
+            margin = alpha[workers] * beta[tasks]
+            residual = weight_correct - _sigmoid(margin)
+            grad_alpha = np.zeros_like(alpha)
+            np.add.at(grad_alpha, workers, residual * beta[tasks])
+            grad_beta_log = np.zeros_like(beta_log)
+            np.add.at(
+                grad_beta_log, tasks, residual * alpha[workers] * beta[tasks]
+            )
+            grad_alpha -= self.regularization * (alpha - self.prior_alpha)
+            grad_beta_log -= self.regularization * (
+                beta_log - self.prior_beta_log
+            )
+            alpha += self.learning_rate * grad_alpha
+            beta_log += self.learning_rate * grad_beta_log
+            # Keep beta_log in a sane range to avoid overflow in exp.
+            np.clip(beta_log, -6.0, 6.0, out=beta_log)
+        return alpha, beta_log

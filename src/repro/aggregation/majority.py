@@ -1,0 +1,87 @@
+"""Majority voting and its weighted variant (paper Eq. 5).
+
+The simplest aggregation strategy: each task's label is the class most
+workers chose.  ``MajorityVote`` returns *smoothed* vote fractions as
+posteriors (so the HC belief initialization retains the vote
+uncertainty, per paper Eq. 15/16), with MAP predictions identical to
+plain majority rule.  ``WeightedMajorityVote`` weights each worker's
+vote by ``log(p / (1 - p))`` of a supplied accuracy estimate, the
+Nitzan-Paroush optimal decision rule [11].
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import AggregationResult, Aggregator, AnswerMatrix, check_not_empty
+
+
+class MajorityVote(Aggregator):
+    """Plain majority voting.
+
+    Parameters
+    ----------
+    smoothing:
+        Laplace pseudo-count added per class so unanimously-voted tasks
+        keep a sliver of uncertainty (0 reproduces raw fractions).
+    """
+
+    name = "MV"
+
+    def __init__(self, smoothing: float = 0.0):
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self.smoothing = smoothing
+
+    def fit(self, matrix: AnswerMatrix) -> AggregationResult:
+        check_not_empty(matrix)
+        counts = matrix.vote_counts() + self.smoothing
+        totals = counts.sum(axis=1, keepdims=True)
+        # Tasks with no votes fall back to uniform.
+        no_votes = totals[:, 0] == 0
+        counts[no_votes] = 1.0
+        totals = counts.sum(axis=1, keepdims=True)
+        return AggregationResult(posteriors=counts / totals)
+
+
+class WeightedMajorityVote(Aggregator):
+    """Accuracy-weighted voting with log-odds weights.
+
+    Each worker ``j`` with accuracy ``p_j`` contributes weight
+    ``log(p_j / (1 - p_j))`` to the class they vote for; the posterior
+    is the softmax-normalized exponent, which for binary classes equals
+    the exact Bayesian posterior under independent symmetric noise.
+    """
+
+    name = "WMV"
+
+    def __init__(self, accuracies: Sequence[float], clip: float = 1e-3):
+        accuracies = np.asarray(accuracies, dtype=np.float64)
+        if np.any(accuracies < 0) or np.any(accuracies > 1):
+            raise ValueError("accuracies must lie in [0, 1]")
+        if not 0 < clip < 0.5:
+            raise ValueError("clip must lie in (0, 0.5)")
+        self.accuracies = np.clip(accuracies, clip, 1.0 - clip)
+
+    def fit(self, matrix: AnswerMatrix) -> AggregationResult:
+        check_not_empty(matrix)
+        if self.accuracies.shape[0] < matrix.num_workers:
+            raise ValueError(
+                f"need an accuracy for each of {matrix.num_workers} workers"
+            )
+        weights = np.log(self.accuracies / (1.0 - self.accuracies))
+        scores = np.zeros((matrix.num_tasks, matrix.num_classes))
+        np.add.at(
+            scores,
+            (matrix.task_indices, matrix.label_values),
+            weights[matrix.worker_indices],
+        )
+        # Log-odds scores -> posterior via softmax (stable).
+        scores -= scores.max(axis=1, keepdims=True)
+        exponent = np.exp(scores)
+        posteriors = exponent / exponent.sum(axis=1, keepdims=True)
+        return AggregationResult(
+            posteriors=posteriors, worker_reliability=self.accuracies.copy()
+        )

@@ -1,0 +1,76 @@
+"""Name-based registry of the aggregation baselines.
+
+The experiment harness refers to aggregators by the names the paper
+uses (MV, DS, ZC, GLAD, CRH, BWA, BCC, EBCC); this module maps those
+names to configured instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Aggregator
+from .bcc import Bcc
+from .bwa import Bwa
+from .crh import Crh
+from .dawid_skene import DawidSkene
+from .ebcc import Ebcc
+from .glad import Glad
+from .gibbs import GibbsDawidSkene
+from .kos import Kos
+from .majority import MajorityVote
+from .spectral import Spectral
+from .variants import MvBeta, MvFreq, PairedVote
+from .zencrowd import ZenCrowd
+
+_FACTORIES: dict[str, Callable[[], Aggregator]] = {
+    "MV": lambda: MajorityVote(smoothing=1.0),
+    "DS": DawidSkene,
+    "ZC": ZenCrowd,
+    "GLAD": Glad,
+    "CRH": Crh,
+    "BWA": Bwa,
+    "BCC": Bcc,
+    "EBCC": Ebcc,
+    # Related-work MV variants ([12], [15]); not part of the paper's
+    # eight-baseline comparison but available everywhere by name.
+    "MV-FREQ": MvFreq,
+    "MV-BETA": MvBeta,
+    "PAIRED-MV": PairedVote,
+    # Classic binary truth-inference methods beyond the paper's set.
+    "KOS": Kos,
+    "SPECTRAL": Spectral,
+    "GIBBS-DS": GibbsDawidSkene,
+}
+
+#: The eight baselines of the paper's section IV-B, in figure order.
+BASELINE_NAMES: tuple[str, ...] = (
+    "MV", "DS", "ZC", "GLAD", "CRH", "BWA", "BCC", "EBCC"
+)
+
+
+def available_aggregators() -> tuple[str, ...]:
+    """Names accepted by :func:`make_aggregator`."""
+    return tuple(_FACTORIES)
+
+
+def make_aggregator(name: str) -> Aggregator:
+    """Instantiate an aggregator by its paper name (case-insensitive)."""
+    try:
+        factory = _FACTORIES[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregator {name!r}; "
+            f"available: {', '.join(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def register_aggregator(
+    name: str, factory: Callable[[], Aggregator], overwrite: bool = False
+) -> None:
+    """Register a custom aggregator factory under ``name``."""
+    key = name.upper()
+    if key in _FACTORIES and not overwrite:
+        raise ValueError(f"aggregator {name!r} is already registered")
+    _FACTORIES[key] = factory

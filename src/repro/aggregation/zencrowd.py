@@ -1,0 +1,103 @@
+"""ZenCrowd (Demartini et al., WWW 2012) — "ZC" in the paper.
+
+A probabilistic EM model with a single reliability parameter per
+worker: worker ``j`` answers correctly with probability ``p_j`` and,
+when wrong, picks uniformly among the other ``K - 1`` classes.  EM
+alternates the per-task label posterior (E-step) with the per-worker
+reliability estimate (M-step, the expected fraction of correct
+answers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AggregationResult, Aggregator, AnswerMatrix, check_not_empty
+from .majority import MajorityVote
+
+_LOG_FLOOR = 1e-12
+
+
+class ZenCrowd(Aggregator):
+    """Single-reliability EM (ZC).
+
+    Parameters
+    ----------
+    max_iter, tol:
+        EM iteration cap and posterior-change convergence threshold.
+    smoothing:
+        Pseudo-counts on the reliability estimate (keeps ``p_j`` off the
+        0/1 boundary for workers with few answers).
+    initial_reliability:
+        Starting value of every ``p_j``.
+    """
+
+    name = "ZC"
+
+    def __init__(
+        self,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        smoothing: float = 1.0,
+        initial_reliability: float = 0.7,
+    ):
+        if not 0.0 < initial_reliability < 1.0:
+            raise ValueError("initial_reliability must lie in (0, 1)")
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+        self.initial_reliability = initial_reliability
+
+    def fit(self, matrix: AnswerMatrix) -> AggregationResult:
+        check_not_empty(matrix)
+        num_classes = matrix.num_classes
+        tasks = matrix.task_indices
+        workers = matrix.worker_indices
+        labels = matrix.label_values
+
+        posteriors = MajorityVote(smoothing=1.0).fit(matrix).posteriors
+        reliability = np.full(matrix.num_workers, self.initial_reliability)
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            # E-step: log P(t) uniform prior + per-annotation likelihoods.
+            correct = np.log(np.maximum(reliability, _LOG_FLOOR))
+            wrong = np.log(
+                np.maximum((1.0 - reliability) / max(num_classes - 1, 1),
+                           _LOG_FLOOR)
+            )
+            log_post = np.zeros((matrix.num_tasks, num_classes))
+            # contribution[a, t] = correct if t == label else wrong
+            contrib = np.tile(wrong[workers][:, None], (1, num_classes))
+            contrib[np.arange(labels.size), labels] = correct[workers]
+            np.add.at(log_post, tasks, contrib)
+            log_post -= log_post.max(axis=1, keepdims=True)
+            new_posteriors = np.exp(log_post)
+            new_posteriors /= new_posteriors.sum(axis=1, keepdims=True)
+
+            # M-step: expected fraction of correct answers per worker.
+            expected_correct = np.zeros(matrix.num_workers)
+            np.add.at(
+                expected_correct,
+                workers,
+                new_posteriors[tasks, labels],
+            )
+            answer_counts = np.bincount(workers, minlength=matrix.num_workers)
+            reliability = (expected_correct + self.smoothing) / (
+                answer_counts + 2.0 * self.smoothing
+            )
+
+            change = np.abs(new_posteriors - posteriors).max()
+            posteriors = new_posteriors
+            if change < self.tol:
+                converged = True
+                break
+
+        return AggregationResult(
+            posteriors=posteriors,
+            worker_reliability=reliability,
+            iterations=iteration,
+            converged=converged,
+        )

@@ -1,0 +1,37 @@
+"""Curve analysis and multi-seed replication utilities."""
+
+from .curves import (
+    area_under_curve,
+    budget_to_reach,
+    crossover_budget,
+    dominance_fraction,
+    improvement_rate,
+)
+from .replication import (
+    PairedComparison,
+    ReplicatedSeries,
+    compare_selectors,
+    replicate_session,
+)
+from .theory import (
+    answers_to_reach_confidence,
+    greedy_gain_guarantee,
+    majority_vote_error,
+    posterior_error_after_checks,
+)
+
+__all__ = [
+    "PairedComparison",
+    "ReplicatedSeries",
+    "answers_to_reach_confidence",
+    "area_under_curve",
+    "budget_to_reach",
+    "compare_selectors",
+    "crossover_budget",
+    "dominance_fraction",
+    "greedy_gain_guarantee",
+    "improvement_rate",
+    "majority_vote_error",
+    "posterior_error_after_checks",
+    "replicate_session",
+]

@@ -1,0 +1,116 @@
+"""Analysis of budget-vs-metric curves.
+
+Tools for the questions a practitioner asks of the experiment output:
+where does one method overtake another (crossover), how much budget
+does a target accuracy cost, and which curve dominates overall
+(area under the curve).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _validate(budgets: Sequence[float], values: Sequence[float]) -> None:
+    if len(budgets) != len(values):
+        raise ValueError("budgets and values must be the same length")
+    if len(budgets) < 2:
+        raise ValueError("need at least two curve points")
+    if list(budgets) != sorted(budgets):
+        raise ValueError("budgets must be sorted ascending")
+
+
+def crossover_budget(
+    budgets: Sequence[float],
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+) -> float | None:
+    """First budget at which curve A overtakes curve B.
+
+    Returns the linearly interpolated budget where ``A - B`` changes
+    from negative to non-negative, or ``None`` if A never overtakes B
+    (including the case where A leads from the start).
+    """
+    _validate(budgets, series_a)
+    _validate(budgets, series_b)
+    difference = np.asarray(series_a, dtype=float) - np.asarray(
+        series_b, dtype=float
+    )
+    if difference[0] >= 0:
+        return None  # A never trails, so there is no overtaking point
+    for index in range(1, len(difference)):
+        if difference[index] >= 0:
+            previous, current = difference[index - 1], difference[index]
+            if current == previous:
+                return float(budgets[index])
+            fraction = -previous / (current - previous)
+            return float(
+                budgets[index - 1]
+                + fraction * (budgets[index] - budgets[index - 1])
+            )
+    return None
+
+
+def budget_to_reach(
+    budgets: Sequence[float],
+    values: Sequence[float],
+    target: float,
+) -> float | None:
+    """Smallest (interpolated) budget at which the curve reaches
+    ``target``; ``None`` if it never does."""
+    _validate(budgets, values)
+    values = np.asarray(values, dtype=float)
+    if values[0] >= target:
+        return float(budgets[0])
+    for index in range(1, len(values)):
+        if values[index] >= target:
+            previous, current = values[index - 1], values[index]
+            if current == previous:
+                return float(budgets[index])
+            fraction = (target - previous) / (current - previous)
+            return float(
+                budgets[index - 1]
+                + fraction * (budgets[index] - budgets[index - 1])
+            )
+    return None
+
+
+def area_under_curve(
+    budgets: Sequence[float], values: Sequence[float]
+) -> float:
+    """Trapezoidal area under the curve, normalized by the budget span.
+
+    Equals the budget-averaged metric value, so two curves over the same
+    span are directly comparable.
+    """
+    _validate(budgets, values)
+    budgets = np.asarray(budgets, dtype=float)
+    values = np.asarray(values, dtype=float)
+    span = budgets[-1] - budgets[0]
+    if span <= 0:
+        raise ValueError("budget span must be positive")
+    return float(np.trapezoid(values, budgets) / span)
+
+
+def improvement_rate(
+    budgets: Sequence[float], values: Sequence[float]
+) -> float:
+    """Average metric improvement per unit budget over the whole curve."""
+    _validate(budgets, values)
+    span = budgets[-1] - budgets[0]
+    if span <= 0:
+        raise ValueError("budget span must be positive")
+    return float((values[-1] - values[0]) / span)
+
+
+def dominance_fraction(
+    series_a: Sequence[float], series_b: Sequence[float]
+) -> float:
+    """Fraction of sampled budgets at which A is at least B."""
+    if len(series_a) != len(series_b) or not series_a:
+        raise ValueError("series must be non-empty and equally long")
+    a = np.asarray(series_a, dtype=float)
+    b = np.asarray(series_b, dtype=float)
+    return float(np.mean(a >= b))

@@ -1,0 +1,142 @@
+"""Multi-seed replication of HC runs with aggregate statistics.
+
+A single simulated run's curve carries seed noise; reviewers (and the
+paper's own error-bar-free plots) deserve better.  This module re-runs
+a session across seeds and reports mean and standard deviation per
+budget point, plus a simple paired comparison between two
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.hc import RunResult
+from ..core.selection import Selector
+from ..datasets.schema import CrowdLabelingDataset
+from ..experiments.runner import sample_at_budgets
+from ..simulation.session import SessionConfig, run_hc_session
+
+
+@dataclass
+class ReplicatedSeries:
+    """Mean/std curves over replicated runs."""
+
+    label: str
+    budgets: list[float]
+    accuracy_mean: list[float]
+    accuracy_std: list[float]
+    quality_mean: list[float]
+    quality_std: list[float]
+    num_runs: int
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "budgets": self.budgets,
+            "accuracy_mean": self.accuracy_mean,
+            "accuracy_std": self.accuracy_std,
+            "quality_mean": self.quality_mean,
+            "quality_std": self.quality_std,
+            "num_runs": self.num_runs,
+        }
+
+
+def replicate_session(
+    dataset: CrowdLabelingDataset,
+    config: SessionConfig,
+    budgets: Sequence[float],
+    seeds: Sequence[int],
+    label: str = "HC",
+    selector_factory: Callable[[], Selector] | None = None,
+) -> ReplicatedSeries:
+    """Run the session once per seed and aggregate the sampled curves.
+
+    Only the expert-panel randomness varies across runs (the dataset
+    and initialization are fixed), isolating checking-loop noise.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    accuracy_rows = []
+    quality_rows = []
+    for seed in seeds:
+        run_config = SessionConfig(
+            theta=config.theta,
+            k=config.k,
+            budget=config.budget,
+            initializer=config.initializer,
+            seed=seed,
+            smoothing=config.smoothing,
+        )
+        selector = selector_factory() if selector_factory else None
+        result = run_hc_session(dataset, run_config, selector=selector)
+        accuracy, quality = sample_at_budgets(result, budgets)
+        accuracy_rows.append(accuracy)
+        quality_rows.append(quality)
+    accuracy_matrix = np.asarray(accuracy_rows, dtype=float)
+    quality_matrix = np.asarray(quality_rows, dtype=float)
+    return ReplicatedSeries(
+        label=label,
+        budgets=list(budgets),
+        accuracy_mean=accuracy_matrix.mean(axis=0).tolist(),
+        accuracy_std=accuracy_matrix.std(axis=0).tolist(),
+        quality_mean=quality_matrix.mean(axis=0).tolist(),
+        quality_std=quality_matrix.std(axis=0).tolist(),
+        num_runs=len(seeds),
+    )
+
+
+@dataclass
+class PairedComparison:
+    """Outcome of a paired multi-seed comparison of two configurations."""
+
+    label_a: str
+    label_b: str
+    final_quality_diffs: list[float] = field(default_factory=list)
+
+    @property
+    def mean_difference(self) -> float:
+        return float(np.mean(self.final_quality_diffs))
+
+    @property
+    def wins_a(self) -> int:
+        return int(sum(diff > 0 for diff in self.final_quality_diffs))
+
+    @property
+    def wins_b(self) -> int:
+        return int(sum(diff < 0 for diff in self.final_quality_diffs))
+
+
+def compare_selectors(
+    dataset: CrowdLabelingDataset,
+    config: SessionConfig,
+    selector_a: Callable[[], Selector],
+    selector_b: Callable[[], Selector],
+    seeds: Sequence[int],
+    label_a: str = "A",
+    label_b: str = "B",
+) -> PairedComparison:
+    """Paired comparison: same seeds, two selectors, final quality."""
+    comparison = PairedComparison(label_a=label_a, label_b=label_b)
+    for seed in seeds:
+        run_config = SessionConfig(
+            theta=config.theta,
+            k=config.k,
+            budget=config.budget,
+            initializer=config.initializer,
+            seed=seed,
+            smoothing=config.smoothing,
+        )
+        result_a = run_hc_session(
+            dataset, run_config, selector=selector_a()
+        )
+        result_b = run_hc_session(
+            dataset, run_config, selector=selector_b()
+        )
+        comparison.final_quality_diffs.append(
+            result_a.history[-1].quality - result_b.history[-1].quality
+        )
+    return comparison

@@ -1,0 +1,131 @@
+"""Closed-form quantities from the paper's analysis.
+
+* :func:`majority_vote_error` — the introduction's motivating formula:
+  the error rate of a majority vote over ``n`` independent workers with
+  per-answer error ``e`` (for ``n = 3``: ``3 e^2 (1-e) + e^3 < e`` when
+  ``e < 1/2``).
+* :func:`posterior_error_after_checks` — probability the MAP label of a
+  single fact is still wrong after ``n`` expert re-checks.
+* :func:`greedy_gain_guarantee` — the ``(1 - 1/e)`` bound of §III-C.
+* :func:`answers_to_reach_confidence` — how many expert answers a
+  single fact needs before its posterior passes a confidence target.
+
+Everything here is validated against simulation in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.stats import binom
+
+
+def majority_vote_error(error_rate: float, num_workers: int) -> float:
+    """Error probability of a majority vote of ``num_workers`` answers.
+
+    Workers are independent with the same per-answer error rate.  Ties
+    (even ``num_workers``) count as half an error — the vote is decided
+    by a fair coin.
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError("error_rate must lie in [0, 1]")
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    # Subnormal rates overflow scipy's binomial internals; clamp to the
+    # closed-form endpoints they are indistinguishable from.
+    if error_rate < 1e-300:
+        return 0.0
+    if error_rate > 1.0 - 1e-12:
+        return 1.0
+    half = num_workers / 2.0
+    # P(#errors > n/2) + 0.5 * P(#errors == n/2)
+    errors_above = 1.0 - binom.cdf(math.floor(half), num_workers, error_rate)
+    if num_workers % 2 == 0:
+        tie = binom.pmf(num_workers // 2, num_workers, error_rate)
+        return float(errors_above + 0.5 * tie)
+    return float(errors_above)
+
+
+def posterior_error_after_checks(
+    prior_correct: float, expert_accuracy: float, num_checks: int
+) -> float:
+    """P(MAP label wrong) for one binary fact after ``num_checks``
+    independent expert answers.
+
+    The fact starts with prior probability ``prior_correct`` on the
+    true label.  After ``c`` correct and ``w = n - c`` wrong expert
+    answers the posterior odds of the truth are
+    ``prior_odds * (p / (1-p))^(c - w)``; the MAP is wrong when those
+    odds fall below 1 (ties again split by a coin).
+    """
+    if not 0.0 < prior_correct < 1.0:
+        raise ValueError("prior_correct must lie in (0, 1)")
+    if not 0.0 <= expert_accuracy <= 1.0:
+        raise ValueError("expert_accuracy must lie in [0, 1]")
+    if num_checks < 0:
+        raise ValueError("num_checks must be >= 0")
+    if num_checks == 0:
+        # No expert randomness: the MAP picks the prior's mode.
+        if prior_correct > 0.5:
+            return 0.0
+        if prior_correct == 0.5:
+            return 0.5
+        return 1.0
+    if expert_accuracy in (0.0, 1.0):
+        # Deterministic experts resolve the fact after one check.
+        return 0.0 if expert_accuracy == 1.0 else 1.0
+
+    prior_log_odds = math.log(prior_correct / (1.0 - prior_correct))
+    answer_log_odds = math.log(
+        expert_accuracy / (1.0 - expert_accuracy)
+    )
+    error = 0.0
+    for correct in range(num_checks + 1):
+        weight = binom.pmf(correct, num_checks, expert_accuracy)
+        log_odds = prior_log_odds + (
+            2 * correct - num_checks
+        ) * answer_log_odds
+        if log_odds < 0.0:
+            error += weight
+        elif log_odds == 0.0:
+            error += 0.5 * weight
+    return float(error)
+
+
+def answers_to_reach_confidence(
+    prior_correct: float,
+    expert_accuracy: float,
+    target_confidence: float,
+    max_answers: int = 1000,
+) -> int | None:
+    """Minimum unanimous expert answers for the posterior on the true
+    label to reach ``target_confidence``.
+
+    A best-case bound (every answer agrees with the truth) useful for
+    budget planning; ``None`` if unattainable within ``max_answers``
+    (e.g. coin-flip experts).
+    """
+    if not 0.0 < prior_correct < 1.0:
+        raise ValueError("prior_correct must lie in (0, 1)")
+    if not 0.5 <= target_confidence < 1.0:
+        raise ValueError("target_confidence must lie in [0.5, 1)")
+    if not 0.0 <= expert_accuracy <= 1.0:
+        raise ValueError("expert_accuracy must lie in [0, 1]")
+    if expert_accuracy <= 0.5:
+        return 0 if prior_correct >= target_confidence else None
+    posterior = prior_correct
+    for count in range(max_answers + 1):
+        if posterior >= target_confidence:
+            return count
+        numerator = posterior * expert_accuracy
+        denominator = numerator + (1.0 - posterior) * (1.0 - expert_accuracy)
+        posterior = numerator / denominator
+    return None
+
+
+def greedy_gain_guarantee(optimal_gain: float) -> float:
+    """The §III-C (1 - 1/e) lower bound on the greedy's expected
+    quality gain given the optimum's."""
+    if optimal_gain < 0:
+        raise ValueError("optimal_gain must be non-negative")
+    return (1.0 - 1.0 / math.e) * optimal_gain

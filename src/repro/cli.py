@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate
+    Write a synthetic sentiment dataset as ``answer.csv``/``truth.csv``.
+describe
+    Print summary statistics of a dataset directory.
+aggregate
+    Run a truth-inference method on an answer file and report accuracy.
+session
+    Run the full HC pipeline on a dataset directory and print the
+    budget/accuracy/quality trajectory.
+reproduce
+    Regenerate the paper's figures and Table III (delegates to
+    :mod:`repro.experiments.reproduce`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .aggregation import available_aggregators, make_aggregator
+from .datasets import load_dataset, make_sentiment_dataset, save_dataset
+from .datasets.synthetic import WorkerPoolSpec
+from .simulation import SessionConfig, run_hc_session
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    pool = WorkerPoolSpec(
+        num_preliminary=args.preliminary_workers,
+        num_expert=args.expert_workers,
+    )
+    dataset = make_sentiment_dataset(
+        num_groups=args.groups,
+        group_size=args.group_size,
+        answers_per_fact=args.answers,
+        pool=pool,
+        seed=args.seed,
+    )
+    answer_path, truth_path = save_dataset(dataset, args.out)
+    print(f"wrote {answer_path} ({dataset.annotations.num_annotations} "
+          f"annotations) and {truth_path} ({dataset.num_facts} facts)")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from .datasets import describe_dataset, format_summary
+
+    dataset = load_dataset(
+        Path(args.data) / "answer.csv",
+        Path(args.data) / "truth.csv",
+        group_size=args.group_size,
+    )
+    print(format_summary(describe_dataset(dataset, theta=args.theta)))
+    return 0
+
+
+def _cmd_aggregate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(
+        Path(args.data) / "answer.csv",
+        Path(args.data) / "truth.csv",
+        group_size=args.group_size,
+    )
+    aggregator = make_aggregator(args.method)
+    result = aggregator.fit(dataset.annotations)
+    accuracy = result.accuracy(dataset.truth_vector())
+    print(f"{aggregator.name}: accuracy {accuracy:.4f} "
+          f"({result.iterations} iterations, "
+          f"converged={result.converged})")
+    return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    dataset = load_dataset(
+        Path(args.data) / "answer.csv",
+        Path(args.data) / "truth.csv",
+        group_size=args.group_size,
+    )
+    config = SessionConfig(
+        theta=args.theta,
+        k=args.k,
+        budget=args.budget,
+        initializer=args.initializer,
+        seed=args.seed,
+    )
+    result = run_hc_session(dataset, config)
+    print(f"{'budget':>8}  {'accuracy':>8}  {'quality':>10}")
+    step = max(1, len(result.history) // args.rows)
+    records = result.history[::step]
+    if records[-1] is not result.history[-1]:
+        records.append(result.history[-1])
+    for record in records:
+        print(f"{record.budget_spent:8.0f}  {record.accuracy:8.4f}  "
+              f"{record.quality:10.2f}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments.reproduce import run_all
+
+    run_all(
+        scale_name=args.scale,
+        out_dir=args.out,
+        only=args.only,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic dataset to disk"
+    )
+    generate.add_argument("--out", default="data")
+    generate.add_argument("--groups", type=int, default=200)
+    generate.add_argument("--group-size", type=int, default=5)
+    generate.add_argument("--answers", type=int, default=8)
+    generate.add_argument("--preliminary-workers", type=int, default=40)
+    generate.add_argument("--expert-workers", type=int, default=3)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    describe = commands.add_parser(
+        "describe", help="print summary statistics of a dataset"
+    )
+    describe.add_argument("--data", default="data")
+    describe.add_argument("--group-size", type=int, default=5)
+    describe.add_argument("--theta", type=float, default=0.9)
+    describe.set_defaults(handler=_cmd_describe)
+
+    aggregate = commands.add_parser(
+        "aggregate", help="run a truth-inference method on a dataset"
+    )
+    aggregate.add_argument("--data", default="data",
+                           help="directory with answer.csv / truth.csv")
+    aggregate.add_argument(
+        "--method", default="EBCC",
+        help=f"one of: {', '.join(available_aggregators())}",
+    )
+    aggregate.add_argument("--group-size", type=int, default=5)
+    aggregate.set_defaults(handler=_cmd_aggregate)
+
+    session = commands.add_parser(
+        "session", help="run the full HC pipeline on a dataset"
+    )
+    session.add_argument("--data", default="data")
+    session.add_argument("--theta", type=float, default=0.9)
+    session.add_argument("--k", type=int, default=1)
+    session.add_argument("--budget", type=float, default=1000)
+    session.add_argument("--initializer", default="EBCC")
+    session.add_argument("--seed", type=int, default=0)
+    session.add_argument("--group-size", type=int, default=5)
+    session.add_argument("--rows", type=int, default=12,
+                         help="approximate number of trajectory rows")
+    session.set_defaults(handler=_cmd_session)
+
+    reproduce = commands.add_parser(
+        "reproduce", help="regenerate the paper's figures and tables"
+    )
+    reproduce.add_argument("--scale", default="small",
+                           choices=("paper", "small"))
+    reproduce.add_argument("--out", default="results")
+    reproduce.add_argument("--only", nargs="*", default=None)
+    reproduce.set_defaults(handler=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,306 @@
+"""Crowdsourced answers and their probabilities (paper section II-B).
+
+This module implements Lemmas 1 and 2:
+
+* the likelihood ``P(A_cr^T | o)`` of a single worker's answer set given an
+  observation, via the consistent/inconsistent sets ``T+`` and ``T-``;
+* the marginal probability ``P(A_cr^T)`` of an answer set;
+* the likelihood and probability of a whole *answer family* (one answer
+  set per worker, workers independent given the observation);
+* exact enumeration of the answer-family space ``AS_C^T`` needed by the
+  conditional-entropy objective.
+
+The enumeration exploits two structural facts.  First, ``P(a | o)``
+depends on ``o`` only through the truth values of the queried facts, so
+observations collapse into ``2**|T|`` *patterns*.  Second, given a
+pattern, a worker's answer-set likelihood depends only on the Hamming
+distance between answers and pattern, giving a ``2**|T| x 2**|T|``
+response matrix per worker; the family distribution is the pattern
+marginal contracted against the per-worker response matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .observations import BeliefState, truth_table
+from .workers import Crowd, Worker
+
+#: Default cap on the answer-family space: ``|T| * |CE|`` answer bits.
+#: ``2**22`` float64 entries is ~32 MiB, a sane laptop ceiling.
+MAX_FAMILY_BITS = 22
+
+
+class FamilySpaceTooLarge(ValueError):
+    """Raised when enumerating ``AS_C^T`` would exceed the memory guard."""
+
+
+@dataclass(frozen=True)
+class AnswerSet:
+    """A single worker's answers to a query set (paper Definition 3).
+
+    ``answers`` maps fact id -> boolean answer ("Yes" == ``True``).  An
+    answer set is *not* a complete assignment over the fact set: facts
+    outside the query set carry no information.
+    """
+
+    worker: Worker
+    answers: Mapping[int, bool]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "answers", dict(self.answers))
+
+    @property
+    def query_fact_ids(self) -> tuple[int, ...]:
+        return tuple(self.answers.keys())
+
+    def answer_for(self, fact_id: int) -> bool:
+        """The worker's answer ``A_cr^T(f)`` for a queried fact."""
+        return self.answers[fact_id]
+
+    def bits(self, query_fact_ids: Sequence[int]) -> np.ndarray:
+        """Answers as a boolean vector in the given query order."""
+        return np.array(
+            [self.answers[fact_id] for fact_id in query_fact_ids], dtype=bool
+        )
+
+
+@dataclass(frozen=True)
+class AnswerFamily:
+    """Answer sets from every worker in a crowd for one query set."""
+
+    answer_sets: tuple[AnswerSet, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "answer_sets", tuple(self.answer_sets))
+        queries = {
+            frozenset(answer_set.query_fact_ids)
+            for answer_set in self.answer_sets
+        }
+        if len(queries) > 1:
+            raise ValueError("all answer sets must cover the same query set")
+
+    def __iter__(self):
+        return iter(self.answer_sets)
+
+    def __len__(self) -> int:
+        return len(self.answer_sets)
+
+    @property
+    def query_fact_ids(self) -> tuple[int, ...]:
+        if not self.answer_sets:
+            return ()
+        return self.answer_sets[0].query_fact_ids
+
+    def votes_for(self, fact_id: int) -> list[bool]:
+        """All workers' answers ``A_C^T(f)`` for one queried fact."""
+        return [answer_set.answer_for(fact_id) for answer_set in self.answer_sets]
+
+
+# ----------------------------------------------------------------------
+# consistent / inconsistent sets (paper Eq. 7) and single-set likelihoods
+# ----------------------------------------------------------------------
+
+
+def consistent_sets(
+    belief: BeliefState,
+    observation_index: int,
+    answer_set: AnswerSet,
+) -> tuple[set[int], set[int]]:
+    """The consistent set ``T+`` and inconsistent set ``T-`` (paper Eq. 7)
+    of an observation and an answer set, as sets of fact ids."""
+    table = truth_table(belief.num_facts)
+    consistent: set[int] = set()
+    inconsistent: set[int] = set()
+    for fact_id, answer in answer_set.answers.items():
+        position = belief.facts.position_of(fact_id)
+        if bool(table[observation_index, position]) == answer:
+            consistent.add(fact_id)
+        else:
+            inconsistent.add(fact_id)
+    return consistent, inconsistent
+
+
+def answer_set_likelihood(
+    belief: BeliefState,
+    answer_set: AnswerSet,
+) -> np.ndarray:
+    """Vector of ``P(A_cr^T | o)`` over all observations (paper Eq. 6).
+
+    Entry ``s`` is ``Pr_cr ** |T+| * (1 - Pr_cr) ** |T-|`` for
+    observation ``s``.
+    """
+    accuracy = answer_set.worker.accuracy
+    query_fact_ids = answer_set.query_fact_ids
+    if not query_fact_ids:
+        return np.ones(belief.num_observations)
+    positions = [belief.facts.position_of(fact_id) for fact_id in query_fact_ids]
+    observation_bits = truth_table(belief.num_facts)[:, positions]
+    answer_bits = answer_set.bits(query_fact_ids)
+    matches = observation_bits == answer_bits
+    return np.where(matches, accuracy, 1.0 - accuracy).prod(axis=1)
+
+
+def answer_set_probability(belief: BeliefState, answer_set: AnswerSet) -> float:
+    """Marginal ``P(A_cr^T) = sum_o P(o) P(A_cr^T | o)`` (paper Eq. 8)."""
+    return float(belief.probabilities @ answer_set_likelihood(belief, answer_set))
+
+
+def family_likelihood(
+    belief: BeliefState, family: AnswerFamily
+) -> np.ndarray:
+    """Vector of ``P(A_C^T | o)`` over observations.
+
+    Workers answer independently given the observation, so the family
+    likelihood is the product of the per-worker likelihoods (Lemma 2).
+    """
+    likelihood = np.ones(belief.num_observations)
+    for answer_set in family:
+        likelihood *= answer_set_likelihood(belief, answer_set)
+    return likelihood
+
+
+def family_probability(belief: BeliefState, family: AnswerFamily) -> float:
+    """Marginal ``P(A_C^T)`` (paper Eq. 11)."""
+    return float(belief.probabilities @ family_likelihood(belief, family))
+
+
+# ----------------------------------------------------------------------
+# answer-family space enumeration
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=32)
+def _hamming_matrix(num_queries: int) -> np.ndarray:
+    """``(2**q, 2**q)`` matrix of Hamming distances between bit patterns."""
+    size = 1 << num_queries
+    xor = np.arange(size)[:, None] ^ np.arange(size)[None, :]
+    distances = np.zeros((size, size), dtype=np.int64)
+    value = xor.copy()
+    while value.any():
+        distances += value & 1
+        value >>= 1
+    distances.setflags(write=False)
+    return distances
+
+
+def worker_response_matrix(num_queries: int, accuracy: float) -> np.ndarray:
+    """``W[v, a] = P(answer pattern a | true pattern v)`` for one worker.
+
+    ``W[v, a] = p**(q - d) * (1-p)**d`` with ``d`` the Hamming distance
+    between ``a`` and ``v``; every row sums to 1.
+    """
+    if not 0.0 <= accuracy <= 1.0:
+        raise ValueError(f"accuracy must lie in [0, 1], got {accuracy}")
+    distances = _hamming_matrix(num_queries)
+    # 0**0 == 1 handles the deterministic endpoints p in {0, 1}.
+    with np.errstate(divide="ignore"):
+        matrix = accuracy ** (num_queries - distances) * (1.0 - accuracy) ** distances
+    return matrix
+
+
+def pattern_marginal(
+    belief: BeliefState, query_fact_ids: Sequence[int]
+) -> np.ndarray:
+    """Marginal ``q(v)`` of the queried facts' joint truth pattern.
+
+    Collapses the observation distribution onto the ``2**|T|`` possible
+    truth patterns of the query set; this is the only aspect of the
+    belief the answer distribution depends on.
+    """
+    positions = [belief.facts.position_of(fact_id) for fact_id in query_fact_ids]
+    if not positions:
+        return np.ones(1)
+    table = truth_table(belief.num_facts)[:, positions]
+    weights = 1 << np.arange(len(positions), dtype=np.int64)
+    pattern_index = table @ weights
+    return np.bincount(
+        pattern_index, weights=belief.probabilities, minlength=1 << len(positions)
+    )
+
+
+def family_distribution(
+    belief: BeliefState,
+    query_fact_ids: Sequence[int],
+    experts: Crowd,
+    max_family_bits: int = MAX_FAMILY_BITS,
+) -> np.ndarray:
+    """The full distribution over the answer-family space ``AS_CE^T``.
+
+    Returns a flat array of ``2**(|T| * |CE|)`` probabilities.  Family
+    index layout: worker 0's answer pattern occupies the lowest ``|T|``
+    bits via the *first* (fastest-varying) axis, i.e. the returned array
+    is the flattened ``(A_0, A_1, ..)`` tensor in C order with worker 0
+    as the last axis after contraction; callers should treat the layout
+    as opaque and only rely on the multiset of probabilities.
+
+    Raises
+    ------
+    FamilySpaceTooLarge
+        If ``|T| * |CE| > max_family_bits``.
+    """
+    num_queries = len(query_fact_ids)
+    if len(experts) == 0 or num_queries == 0:
+        return np.ones(1)  # single empty family, probability 1
+    total_bits = num_queries * len(experts)
+    if total_bits > max_family_bits:
+        raise FamilySpaceTooLarge(
+            f"answer family space needs {total_bits} bits "
+            f"(> limit {max_family_bits})"
+        )
+    marginal = pattern_marginal(belief, query_fact_ids)
+    responses = [
+        worker_response_matrix(num_queries, worker.accuracy)
+        for worker in experts
+    ]
+    # P(a_1..a_J) = sum_v q(v) prod_j W_j[v, a_j]: one einsum with a
+    # pattern axis 'A' plus one output axis per worker.  einsum's
+    # optimizer turns the two-worker case into a plain matmul, avoiding
+    # the (patterns x families) intermediate a naive loop would build.
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    if len(experts) > len(letters):
+        raise FamilySpaceTooLarge(
+            f"more than {len(letters)} expert workers are not supported "
+            "by exact family enumeration"
+        )
+    axes = letters[: len(experts)]
+    subscripts = (
+        "A," + ",".join(f"A{axis}" for axis in axes) + "->" + axes
+    )
+    tensor = np.einsum(subscripts, marginal, *responses, optimize=True)
+    return tensor.reshape(-1)
+
+
+def enumerate_answer_families(
+    query_fact_ids: Sequence[int], experts: Crowd
+) -> Iterable[AnswerFamily]:
+    """Yield every concrete :class:`AnswerFamily` in ``AS_CE^T``.
+
+    Exponential in ``|T| * |CE|``; intended for tests and the naive
+    cross-check implementations, not the optimized selectors.
+    """
+    num_queries = len(query_fact_ids)
+    num_patterns = 1 << num_queries
+    workers = list(experts)
+
+    def pattern_to_answers(pattern: int) -> dict[int, bool]:
+        return {
+            fact_id: bool((pattern >> position) & 1)
+            for position, fact_id in enumerate(query_fact_ids)
+        }
+
+    total = num_patterns ** len(workers)
+    for family_index in range(total):
+        remaining = family_index
+        answer_sets = []
+        for worker in workers:
+            pattern = remaining % num_patterns
+            remaining //= num_patterns
+            answer_sets.append(
+                AnswerSet(worker=worker, answers=pattern_to_answers(pattern))
+            )
+        yield AnswerFamily(answer_sets=tuple(answer_sets))

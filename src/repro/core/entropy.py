@@ -1,0 +1,258 @@
+"""Entropy, data quality, and the conditional-entropy objective.
+
+Implements, in bits (log base 2):
+
+* Shannon entropy ``H(O)`` and the paper's quality function
+  ``Q(F) = -H(O)`` (Definition 2);
+* the answer-family entropy ``H(AS_CE^T)`` (Definition 4);
+* the conditional entropy ``H(O | AS_CE^T)`` that Theorem 1 proves is
+  the quantity to minimize when selecting checking tasks (Eq. 34);
+* the expected quality ``Q(F|T) = -H(O | AS_CE^T)`` (Definition 5) and
+  the expected quality improvement ``dQ = H(O) - H(O|AS)`` (Theorem 1),
+  which equals the mutual information ``I(O; AS)``.
+
+Two implementations of the conditional entropy are provided: a fast one
+using the chain-rule identity ``H(O|AS) = H(O) + H(AS|O) - H(AS)`` with
+the closed form ``H(AS|O) = |T| * sum_cr h(Pr_cr)`` (each answer bit is
+conditionally an independent Bernoulli whose entropy does not depend on
+the observation), and a naive double sum over the family space used to
+cross-validate the fast one in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .answers import (
+    MAX_FAMILY_BITS,
+    enumerate_answer_families,
+    family_distribution,
+    family_likelihood,
+)
+from .observations import BeliefState
+from .workers import Crowd
+
+
+def shannon_entropy(probabilities: np.ndarray) -> float:
+    """Shannon entropy in bits, with the ``0 log 0 = 0`` convention.
+
+    Accepts unnormalized non-negative weights and normalizes first.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if np.any(probabilities < -1e-12):
+        raise ValueError("probabilities must be non-negative")
+    total = probabilities.sum()
+    if total <= 0.0:
+        raise ValueError("cannot take the entropy of an all-zero vector")
+    probabilities = probabilities / total
+    positive = probabilities[probabilities > 0.0]
+    return float(-(positive * np.log2(positive)).sum())
+
+
+def binary_entropy(probability: float) -> float:
+    """Entropy in bits of a Bernoulli(``probability``) variable.
+
+    Values a hair outside [0, 1] (float summation slop in marginals)
+    are clamped; anything beyond ``1e-9`` slack is a real error.
+    """
+    if not -1e-9 <= probability <= 1.0 + 1e-9:
+        raise ValueError(f"probability must lie in [0, 1], got {probability}")
+    probability = min(max(probability, 0.0), 1.0)
+    if probability in (0.0, 1.0):
+        return 0.0
+    complement = 1.0 - probability
+    return float(
+        -probability * np.log2(probability) - complement * np.log2(complement)
+    )
+
+
+def observation_entropy(belief: BeliefState) -> float:
+    """``H(O)`` of a belief state."""
+    return shannon_entropy(belief.probabilities)
+
+
+def quality(belief: BeliefState) -> float:
+    """Paper Definition 2: ``Q(F) = -H(O)``.  Higher is better; 0 is
+    perfect certainty."""
+    return -observation_entropy(belief)
+
+
+def answer_family_entropy(
+    belief: BeliefState,
+    query_fact_ids: Sequence[int],
+    experts: Crowd,
+    max_family_bits: int = MAX_FAMILY_BITS,
+) -> float:
+    """``H(AS_CE^T)`` (paper Definition 4) by exact enumeration."""
+    if not query_fact_ids:
+        return 0.0
+    distribution = family_distribution(
+        belief, query_fact_ids, experts, max_family_bits=max_family_bits
+    )
+    return shannon_entropy(distribution)
+
+
+def conditional_entropy(
+    belief: BeliefState,
+    query_fact_ids: Sequence[int],
+    experts: Crowd,
+    max_family_bits: int = MAX_FAMILY_BITS,
+    prior_entropy: float | None = None,
+) -> float:
+    """``H(O | AS_CE^T)`` — the selection objective (paper Eq. 34).
+
+    Uses the chain-rule identity
+    ``H(O|AS) = H(O) + H(AS|O) - H(AS)`` with
+    ``H(AS|O) = |T| * sum_cr h(Pr_cr)``.
+
+    An empty query set yields ``H(O)`` (no information gained).
+    ``prior_entropy`` lets callers that evaluate many query sets against
+    the same belief pass a precomputed ``H(O)``.
+    """
+    if prior_entropy is None:
+        prior_entropy = observation_entropy(belief)
+    if not query_fact_ids:
+        return prior_entropy
+    entropy_given_observation = len(query_fact_ids) * sum(
+        binary_entropy(worker.accuracy) for worker in experts
+    )
+    family_entropy = answer_family_entropy(
+        belief, query_fact_ids, experts, max_family_bits=max_family_bits
+    )
+    value = prior_entropy + entropy_given_observation - family_entropy
+    # Mutual information is non-negative, so H(O|AS) <= H(O); tiny
+    # negative slack can appear from float cancellation.
+    return float(min(max(value, 0.0), prior_entropy))
+
+
+def conditional_entropy_naive(
+    belief: BeliefState,
+    query_fact_ids: Sequence[int],
+    experts: Crowd,
+) -> float:
+    """``H(O | AS_CE^T)`` by the direct double sum of Eq. 34.
+
+    Enumerates every concrete answer family, computes the posterior over
+    observations for each, and averages the posterior entropies weighted
+    by the family probabilities.  Exponential; test/reference use only.
+    """
+    if not query_fact_ids:
+        return observation_entropy(belief)
+    prior = belief.probabilities
+    total = 0.0
+    for family in enumerate_answer_families(query_fact_ids, experts):
+        likelihood = family_likelihood(belief, family)
+        joint = prior * likelihood
+        family_probability = joint.sum()
+        if family_probability <= 0.0:
+            continue
+        posterior = joint / family_probability
+        total += family_probability * shannon_entropy(posterior)
+    return float(total)
+
+
+def conditional_entropy_sampled(
+    belief: BeliefState,
+    query_fact_ids: Sequence[int],
+    experts: Crowd,
+    num_samples: int = 2000,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Monte Carlo estimate of ``H(O | AS_CE^T)``.
+
+    For large expert crowds the family space ``2^(|T| |CE|)`` cannot be
+    enumerated; this estimator samples answer families from the model
+    (sample a pattern ``v ~ q``, then flip each answer bit with the
+    worker's error rate) and averages the exact posterior entropies:
+
+        H(O|AS) ~= mean over sampled families A of H(O | A).
+
+    The estimate is consistent and, unlike a naive plug-in entropy of
+    the *family* distribution, needs no bias correction because each
+    posterior entropy is computed exactly.
+
+    Parameters
+    ----------
+    num_samples:
+        Sampled answer families; the standard error shrinks as
+        ``1/sqrt(num_samples)``.
+    """
+    from .answers import pattern_marginal, worker_response_matrix  # local: cycle-free
+
+    if not query_fact_ids:
+        return observation_entropy(belief)
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    rng = np.random.default_rng(rng)
+    num_queries = len(query_fact_ids)
+    accuracies = np.array([worker.accuracy for worker in experts])
+    num_workers = accuracies.size
+    if num_workers == 0:
+        return observation_entropy(belief)
+
+    marginal = pattern_marginal(belief, query_fact_ids)
+    patterns = rng.choice(marginal.size, size=num_samples, p=marginal)
+    pattern_bits = (
+        (patterns[:, None] >> np.arange(num_queries)) & 1
+    ).astype(bool)
+    # answers[s, j, t]: worker j's sampled answer to query t in sample s.
+    correct = (
+        rng.random((num_samples, num_workers, num_queries))
+        < accuracies[None, :, None]
+    )
+    answers = np.where(correct, pattern_bits[:, None, :],
+                       ~pattern_bits[:, None, :])
+
+    # Posterior entropy for each sampled family, computed exactly.
+    from .observations import truth_table
+
+    positions = [
+        belief.facts.position_of(fact_id) for fact_id in query_fact_ids
+    ]
+    truth_table_view = truth_table(belief.num_facts)[:, positions]
+    prior = belief.probabilities
+    total = 0.0
+    for sample in range(num_samples):
+        likelihood = np.ones(prior.size)
+        for worker_index in range(num_workers):
+            matches = truth_table_view == answers[sample, worker_index]
+            accuracy = accuracies[worker_index]
+            likelihood *= np.where(matches, accuracy, 1.0 - accuracy).prod(
+                axis=1
+            )
+        joint = prior * likelihood
+        mass = joint.sum()
+        if mass <= 0.0:
+            continue
+        total += shannon_entropy(joint)
+    return total / num_samples
+
+
+def expected_quality(
+    belief: BeliefState,
+    query_fact_ids: Sequence[int],
+    experts: Crowd,
+    max_family_bits: int = MAX_FAMILY_BITS,
+) -> float:
+    """Paper Definition 5: expected post-checking quality
+    ``Q(F|T) = -H(O | AS_CE^T)``."""
+    return -conditional_entropy(
+        belief, query_fact_ids, experts, max_family_bits=max_family_bits
+    )
+
+
+def expected_quality_improvement(
+    belief: BeliefState,
+    query_fact_ids: Sequence[int],
+    experts: Crowd,
+    max_family_bits: int = MAX_FAMILY_BITS,
+) -> float:
+    """Theorem 1: ``dQ(F|T) = H(O) - H(O | AS_CE^T) = I(O; AS_CE^T)``.
+
+    Always non-negative — information (in expectation) never hurts.
+    """
+    return observation_entropy(belief) - conditional_entropy(
+        belief, query_fact_ids, experts, max_family_bits=max_family_bits
+    )

@@ -1,0 +1,122 @@
+"""Facts and fact sets (paper section II-A).
+
+A *fact* is a binary proposition of the form "data instance ``e`` should be
+labeled ``l``".  Both labeling tasks (asked of preliminary workers) and
+checking tasks (asked of expert workers) are Yes-or-No queries about facts,
+so the fact is the single unit of work in the whole framework.
+
+A :class:`FactSet` is an ordered, immutable collection of facts.  Order
+matters because observations (joint truth assignments, see
+:mod:`repro.core.observations`) encode the truth value of the ``i``-th fact
+in the ``i``-th bit of the observation index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Fact:
+    """A binary proposition "instance ``instance_id`` has label ``label``".
+
+    Parameters
+    ----------
+    fact_id:
+        Globally unique identifier.  All bookkeeping (selection, answers,
+        belief updates) is keyed on this id.
+    instance_id:
+        Identifier of the underlying data instance, e.g. a tweet id.
+    label:
+        The candidate label whose correctness the fact asserts.
+    text:
+        Optional human-readable task description (shown to workers).
+    """
+
+    fact_id: int
+    instance_id: str = ""
+    label: str = "positive"
+    text: str = field(default="", compare=False)
+
+    def query_text(self) -> str:
+        """Render the Yes-or-No query given to crowd workers."""
+        subject = self.text or f"instance {self.instance_id or self.fact_id}"
+        return f"Should {subject!r} be labeled as {self.label!r}?"
+
+
+class FactSet:
+    """An ordered set of distinct facts.
+
+    Supports iteration, membership tests by :class:`Fact` or by fact id,
+    and positional lookup, which the observation encoding relies on.
+    """
+
+    def __init__(self, facts: Iterable[Fact]):
+        facts = list(facts)
+        seen: set[int] = set()
+        for fact in facts:
+            if fact.fact_id in seen:
+                raise ValueError(f"duplicate fact_id {fact.fact_id} in FactSet")
+            seen.add(fact.fact_id)
+        self._facts: tuple[Fact, ...] = tuple(facts)
+        self._index: dict[int, int] = {
+            fact.fact_id: position for position, fact in enumerate(self._facts)
+        }
+
+    @classmethod
+    def from_ids(cls, fact_ids: Iterable[int]) -> "FactSet":
+        """Build a bare fact set from integer ids (tests and examples)."""
+        return cls(Fact(fact_id=fact_id) for fact_id in fact_ids)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __getitem__(self, position: int) -> Fact:
+        return self._facts[position]
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Fact):
+            return item.fact_id in self._index
+        if isinstance(item, int):
+            return item in self._index
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FactSet):
+            return NotImplemented
+        return self._facts == other._facts
+
+    def __hash__(self) -> int:
+        return hash(self._facts)
+
+    def __repr__(self) -> str:
+        ids = [fact.fact_id for fact in self._facts]
+        return f"FactSet({ids})"
+
+    @property
+    def fact_ids(self) -> tuple[int, ...]:
+        """Fact ids in positional order."""
+        return tuple(fact.fact_id for fact in self._facts)
+
+    def position_of(self, fact_id: int) -> int:
+        """Positional index of ``fact_id`` (the bit position in observations).
+
+        Raises
+        ------
+        KeyError
+            If the fact id is not in this set.
+        """
+        return self._index[fact_id]
+
+    def by_id(self, fact_id: int) -> Fact:
+        """Look up a fact by id."""
+        return self._facts[self._index[fact_id]]
+
+    def subset(self, fact_ids: Iterable[int]) -> "FactSet":
+        """A new :class:`FactSet` restricted to ``fact_ids`` (kept in the
+        order given by the caller, as query sets are ordered)."""
+        return FactSet(self.by_id(fact_id) for fact_id in fact_ids)

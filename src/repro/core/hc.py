@@ -1,0 +1,327 @@
+"""The hierarchical crowdsourcing orchestrator (paper Algorithms 1 & 3).
+
+:class:`HierarchicalCrowdsourcing` drives the initialization-checking-
+update loop: given an initialized factored belief, an expert crowd, a
+selector, and an *answer source* (anything that produces an
+:class:`~repro.core.answers.AnswerFamily` for a query set — in the
+experiments a simulator replaying/ sampling worker answers), it
+repeatedly selects checking tasks, collects expert answers, applies the
+Bayesian update, and charges the budget until the budget cannot fund
+another round.
+
+:func:`run_flat_checking` is the NO-HC baseline of section IV-C5:
+uniform initial belief, the whole crowd serves as checking workers.
+:func:`run_tiered_checking` is the section III-D extension to more than
+two tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Protocol, Sequence
+
+from .answers import AnswerFamily
+from .budget import CheckingBudget, CostModel
+from .observations import BeliefState, FactoredBelief
+from .selection import GreedySelector, Selector
+from .update import update_with_family
+from .workers import Crowd
+from . import entropy as entropy_module
+
+
+class AnswerSource(Protocol):
+    """Produces expert answer families for query sets.
+
+    Implementations include the simulation oracle (samples answers from
+    ground truth under each worker's error model) and offline replay of
+    recorded crowd answers.
+    """
+
+    def collect(
+        self, query_fact_ids: Sequence[int], experts: Crowd
+    ) -> AnswerFamily: ...
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One checking round's bookkeeping."""
+
+    round_index: int
+    query_fact_ids: tuple[int, ...]
+    cost: float
+    budget_spent: float
+    quality: float
+    accuracy: float | None
+
+
+@dataclass
+class RunResult:
+    """Outcome of a full checking run.
+
+    ``history`` holds one record per round, *plus* an initial record
+    (round ``-1``) capturing the post-initialization state, so budget-vs-
+    quality curves start at budget 0.
+    """
+
+    belief: FactoredBelief
+    history: list[RoundRecord] = field(default_factory=list)
+
+    @property
+    def final_labels(self) -> dict[int, bool]:
+        """Labels finalized from the MAP observation of each group
+        (paper Eq. 20)."""
+        return self.belief.map_labels()
+
+    @property
+    def budgets(self) -> list[float]:
+        return [record.budget_spent for record in self.history]
+
+    @property
+    def qualities(self) -> list[float]:
+        return [record.quality for record in self.history]
+
+    @property
+    def accuracies(self) -> list[float | None]:
+        return [record.accuracy for record in self.history]
+
+
+def total_quality(belief: FactoredBelief) -> float:
+    """Data-set quality ``Q = sum_g -H(O_g)`` (Definition 2 summed over
+    independent task groups)."""
+    return sum(entropy_module.quality(group) for group in belief)
+
+
+def labeling_accuracy(
+    belief: FactoredBelief, ground_truth: Mapping[int, bool]
+) -> float:
+    """Fraction of facts whose MAP label matches the ground truth."""
+    labels = belief.map_labels()
+    relevant = [
+        fact_id for fact_id in labels if fact_id in ground_truth
+    ]
+    if not relevant:
+        raise ValueError("ground truth covers none of the belief's facts")
+    correct = sum(
+        1 for fact_id in relevant if labels[fact_id] == ground_truth[fact_id]
+    )
+    return correct / len(relevant)
+
+
+class HierarchicalCrowdsourcing:
+    """Algorithm 3: the approximate hierarchical crowdsourcing loop.
+
+    Parameters
+    ----------
+    experts:
+        The checking tier ``CE`` (from ``Crowd.split(theta)``).
+    selector:
+        Checking-task selection strategy; defaults to the paper's greedy
+        Algorithm 2.
+    k:
+        Queries selected per round (``|T| = min(k, affordable)``).
+    cost_model:
+        Optional per-answer costs (section III-D extension); the default
+        charges 1 per answer as in the paper.
+    panel_size:
+        Experts answering each round.  The paper sends every query to
+        all of CE (the default, ``None``); a smaller panel stretches the
+        budget over more queries at lower per-query confidence.  The
+        ``panel_size`` most-accurate experts are used, and selection
+        evaluates the conditional entropy against that panel.
+    """
+
+    def __init__(
+        self,
+        experts: Crowd,
+        selector: Selector | None = None,
+        k: int = 1,
+        cost_model: CostModel | None = None,
+        panel_size: int | None = None,
+    ):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if len(experts) == 0:
+            raise ValueError("the expert crowd CE must not be empty")
+        if panel_size is not None:
+            if not 1 <= panel_size <= len(experts):
+                raise ValueError(
+                    f"panel_size must lie in [1, {len(experts)}]"
+                )
+            ranked = sorted(
+                experts, key=lambda worker: -worker.accuracy
+            )
+            experts = Crowd(ranked[:panel_size])
+        self.experts = experts
+        self.selector = selector or GreedySelector()
+        self.k = k
+        self.cost_model = cost_model
+
+    def run(
+        self,
+        belief: FactoredBelief,
+        answer_source: AnswerSource,
+        budget: float,
+        ground_truth: Mapping[int, bool] | None = None,
+        on_round: Callable[[RoundRecord], None] | None = None,
+        max_rounds: int | None = None,
+    ) -> RunResult:
+        """Run the checking loop until the budget is exhausted.
+
+        Parameters
+        ----------
+        belief:
+            The initialized factored belief (modified via copy; the
+            caller's object is left untouched).
+        answer_source:
+            Supplier of expert answer families.
+        budget:
+            Total expert-answer budget ``B``.
+        ground_truth:
+            Optional ``fact_id -> truth`` map; enables accuracy tracking.
+        on_round:
+            Optional callback invoked after every round.
+        max_rounds:
+            Optional hard cap on rounds (guards pathological configs).
+        """
+        belief = belief.copy()
+        tracker = CheckingBudget(budget, cost_model=self.cost_model)
+        result = RunResult(belief=belief)
+        result.history.append(
+            self._record(-1, (), 0.0, tracker, belief, ground_truth)
+        )
+        round_index = 0
+        while max_rounds is None or round_index < max_rounds:
+            affordable = tracker.affordable_queries(self.experts, self.k)
+            if affordable == 0:
+                break
+            query_fact_ids = self.selector.select(
+                belief, self.experts, affordable
+            )
+            if not query_fact_ids:
+                break  # no positive-gain checking task remains
+            family = answer_source.collect(query_fact_ids, self.experts)
+            self._apply_family(belief, family)
+            cost = tracker.charge_round(len(query_fact_ids), self.experts)
+            record = self._record(
+                round_index,
+                tuple(query_fact_ids),
+                cost,
+                tracker,
+                belief,
+                ground_truth,
+            )
+            result.history.append(record)
+            if on_round is not None:
+                on_round(record)
+            round_index += 1
+        return result
+
+    def _apply_family(
+        self, belief: FactoredBelief, family: AnswerFamily
+    ) -> None:
+        """Split a (possibly multi-group) answer family by group and apply
+        the Bayesian update to each touched group."""
+        query_fact_ids = family.query_fact_ids
+        groups: dict[int, list[int]] = {}
+        for fact_id in query_fact_ids:
+            groups.setdefault(belief.group_index_of(fact_id), []).append(fact_id)
+        for group_index, fact_ids in groups.items():
+            sub_family = AnswerFamily(
+                answer_sets=tuple(
+                    type(answer_set)(
+                        worker=answer_set.worker,
+                        answers={
+                            fact_id: answer_set.answer_for(fact_id)
+                            for fact_id in fact_ids
+                        },
+                    )
+                    for answer_set in family
+                )
+            )
+            updated = update_with_family(belief[group_index], sub_family)
+            belief.replace_group(group_index, updated)
+
+    @staticmethod
+    def _record(
+        round_index: int,
+        query_fact_ids: tuple[int, ...],
+        cost: float,
+        tracker: CheckingBudget,
+        belief: FactoredBelief,
+        ground_truth: Mapping[int, bool] | None,
+    ) -> RoundRecord:
+        return RoundRecord(
+            round_index=round_index,
+            query_fact_ids=query_fact_ids,
+            cost=cost,
+            budget_spent=tracker.spent,
+            quality=total_quality(belief),
+            accuracy=(
+                labeling_accuracy(belief, ground_truth)
+                if ground_truth is not None
+                else None
+            ),
+        )
+
+
+def run_flat_checking(
+    facts_groups: Sequence[Sequence],
+    crowd: Crowd,
+    answer_source: AnswerSource,
+    budget: float,
+    k: int = 1,
+    selector: Selector | None = None,
+    ground_truth: Mapping[int, bool] | None = None,
+) -> RunResult:
+    """The NO-HC baseline (section IV-C5).
+
+    Every worker serves as a checking worker and the belief starts
+    uniform (no preliminary tier, no aggregation-based initialization).
+
+    ``facts_groups`` is a sequence of :class:`~repro.core.facts.FactSet`
+    objects, one per independent task group.
+    """
+    from .facts import FactSet
+
+    groups = []
+    for group in facts_groups:
+        fact_set = group if isinstance(group, FactSet) else FactSet(group)
+        groups.append(BeliefState.uniform(fact_set))
+    belief = FactoredBelief(groups)
+    runner = HierarchicalCrowdsourcing(
+        experts=crowd, selector=selector, k=k
+    )
+    return runner.run(
+        belief, answer_source, budget, ground_truth=ground_truth
+    )
+
+
+def run_tiered_checking(
+    belief: FactoredBelief,
+    tiers: Sequence[Crowd],
+    answer_source: AnswerSource,
+    budget_per_tier: Sequence[float],
+    k: int = 1,
+    selector: Selector | None = None,
+    ground_truth: Mapping[int, bool] | None = None,
+) -> list[RunResult]:
+    """Section III-D extension: several expert tiers check sequentially.
+
+    Each tier runs a full checking loop on the belief left by the
+    previous tier, with its own budget.  Returns one :class:`RunResult`
+    per tier (each result's belief feeds the next tier).
+    """
+    if len(tiers) != len(budget_per_tier):
+        raise ValueError("need one budget per tier")
+    results: list[RunResult] = []
+    current = belief
+    for tier, tier_budget in zip(tiers, budget_per_tier):
+        runner = HierarchicalCrowdsourcing(
+            experts=tier, selector=selector, k=k
+        )
+        result = runner.run(
+            current, answer_source, tier_budget, ground_truth=ground_truth
+        )
+        results.append(result)
+        current = result.belief
+    return results

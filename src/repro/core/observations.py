@@ -1,0 +1,297 @@
+"""Observations and belief states (paper section II-A, Table I).
+
+For ``n`` binary facts there are ``2**n`` *observations* — mutually
+exclusive joint truth assignments, exactly one of which is the ground
+truth.  A *belief state* is a probability distribution over the
+observation space; the whole HC framework is about sharpening this
+distribution with crowdsourced answers.
+
+Encoding
+--------
+Observation ``s`` (an integer in ``[0, 2**n)``) assigns ``True`` to the
+fact at position ``i`` iff bit ``i`` of ``s`` is set (little-endian).
+``truth_table(n)[s, i]`` materializes that bit matrix.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .facts import FactSet
+
+#: Probabilities below this are treated as zero when normalizing and in
+#: entropy sums (0 * log 0 == 0).
+_EPSILON = 1e-300
+
+#: Refuse to materialize observation spaces larger than this many facts;
+#: 2**24 float64 already costs ~128 MiB.
+MAX_FACTS_PER_SPACE = 24
+
+
+@lru_cache(maxsize=64)
+def truth_table(num_facts: int) -> np.ndarray:
+    """The ``(2**n, n)`` boolean matrix of all joint truth assignments.
+
+    Row ``s`` is observation ``s``; column ``i`` is the truth value that
+    observation assigns to the fact at position ``i``.
+    """
+    if num_facts < 0:
+        raise ValueError("num_facts must be non-negative")
+    if num_facts > MAX_FACTS_PER_SPACE:
+        raise ValueError(
+            f"observation space for {num_facts} facts is too large "
+            f"(limit {MAX_FACTS_PER_SPACE})"
+        )
+    states = np.arange(1 << num_facts, dtype=np.int64)
+    bits = (states[:, None] >> np.arange(num_facts, dtype=np.int64)) & 1
+    table = bits.astype(bool)
+    table.setflags(write=False)
+    return table
+
+
+def observation_index(values: Sequence[bool]) -> int:
+    """Encode a truth assignment (position order) into an observation index."""
+    index = 0
+    for position, value in enumerate(values):
+        if value:
+            index |= 1 << position
+    return index
+
+
+class BeliefState:
+    """A probability distribution over the observations of a fact set.
+
+    Parameters
+    ----------
+    facts:
+        The facts this belief is about.  ``len(facts)`` determines the
+        size ``2**n`` of the observation space.
+    probabilities:
+        Array of ``2**n`` non-negative weights.  Normalized on
+        construction; a zero-sum vector is rejected.
+
+    Notes
+    -----
+    Instances are cheap value objects: update operations return new
+    belief states instead of mutating in place, so selection algorithms
+    can branch on hypothetical answers safely.
+    """
+
+    def __init__(self, facts: FactSet, probabilities: np.ndarray):
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        expected = 1 << len(facts)
+        if probabilities.shape != (expected,):
+            raise ValueError(
+                f"expected {expected} probabilities for {len(facts)} facts, "
+                f"got shape {probabilities.shape}"
+            )
+        if np.any(probabilities < -1e-12):
+            raise ValueError("probabilities must be non-negative")
+        probabilities = np.clip(probabilities, 0.0, None)
+        total = probabilities.sum()
+        if total <= _EPSILON:
+            raise ValueError("probabilities sum to zero; belief is undefined")
+        self._facts = facts
+        self._probs = probabilities / total
+        self._probs.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, facts: FactSet) -> "BeliefState":
+        """The maximum-entropy belief (used by the NO-HC baseline)."""
+        size = 1 << len(facts)
+        return cls(facts, np.full(size, 1.0 / size))
+
+    @classmethod
+    def from_marginals(
+        cls, facts: FactSet, marginals: Sequence[float]
+    ) -> "BeliefState":
+        """Product belief from per-fact marginals ``P(f_i)`` (paper Eq. 15).
+
+        This is how preliminary-crowd answers initialize the belief: the
+        joint is the independent product of the per-fact vote fractions.
+        """
+        marginals = np.asarray(marginals, dtype=np.float64)
+        if marginals.shape != (len(facts),):
+            raise ValueError("need one marginal per fact")
+        if np.any(marginals < 0) or np.any(marginals > 1):
+            raise ValueError("marginals must lie in [0, 1]")
+        table = truth_table(len(facts))
+        joint = np.where(table, marginals, 1.0 - marginals).prod(axis=1)
+        # A degenerate initialization (some marginal exactly 0 and 1 in a
+        # contradictory pattern) can zero out everything; smooth minimally.
+        if joint.sum() <= _EPSILON:
+            joint = joint + 1.0 / joint.size
+        return cls(facts, joint)
+
+    @classmethod
+    def from_mapping(
+        cls, facts: FactSet, table: Mapping[Sequence[bool], float]
+    ) -> "BeliefState":
+        """Belief from an explicit ``{assignment: probability}`` mapping.
+
+        Assignments are tuples of truth values in positional order.
+        Unlisted observations get probability zero.  Mirrors the paper's
+        Table I presentation.
+        """
+        probs = np.zeros(1 << len(facts))
+        for assignment, probability in table.items():
+            if len(assignment) != len(facts):
+                raise ValueError("assignment length must equal fact count")
+            probs[observation_index(assignment)] = probability
+        return cls(facts, probs)
+
+    @classmethod
+    def point_mass(cls, facts: FactSet, assignment: Sequence[bool]) -> "BeliefState":
+        """A certain belief concentrated on one observation."""
+        probs = np.zeros(1 << len(facts))
+        probs[observation_index(assignment)] = 1.0
+        return cls(facts, probs)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def facts(self) -> FactSet:
+        return self._facts
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The normalized observation distribution (read-only view)."""
+        return self._probs
+
+    @property
+    def num_facts(self) -> int:
+        return len(self._facts)
+
+    @property
+    def num_observations(self) -> int:
+        return self._probs.size
+
+    def probability_of(self, assignment: Sequence[bool]) -> float:
+        """``P(o)`` for an explicit truth assignment."""
+        return float(self._probs[observation_index(assignment)])
+
+    def marginal(self, fact_id: int) -> float:
+        """``P(f) = sum over positive models of f`` (paper Eq. 2)."""
+        position = self._facts.position_of(fact_id)
+        column = truth_table(self.num_facts)[:, position]
+        return float(self._probs[column].sum())
+
+    def marginals(self) -> np.ndarray:
+        """All per-fact marginals ``P(f_i)`` in positional order."""
+        return self._probs @ truth_table(self.num_facts)
+
+    def map_observation(self) -> int:
+        """Index of the most probable observation ``o*`` (paper Eq. 20)."""
+        return int(np.argmax(self._probs))
+
+    def map_assignment(self) -> np.ndarray:
+        """Truth values of the MAP observation, positional order."""
+        return truth_table(self.num_facts)[self.map_observation()].copy()
+
+    def map_labels(self) -> dict[int, bool]:
+        """Finalized labels ``{fact_id: truth}`` from the MAP observation."""
+        assignment = self.map_assignment()
+        return {
+            fact.fact_id: bool(assignment[position])
+            for position, fact in enumerate(self._facts)
+        }
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def with_probabilities(self, probabilities: np.ndarray) -> "BeliefState":
+        """A new belief over the same facts with different weights."""
+        return BeliefState(self._facts, probabilities)
+
+    def reweighted(self, likelihood: np.ndarray) -> "BeliefState":
+        """Bayes update: posterior ∝ prior × likelihood over observations."""
+        likelihood = np.asarray(likelihood, dtype=np.float64)
+        if likelihood.shape != self._probs.shape:
+            raise ValueError("likelihood must have one entry per observation")
+        return BeliefState(self._facts, self._probs * likelihood)
+
+    def __repr__(self) -> str:
+        return (
+            f"BeliefState(num_facts={self.num_facts}, "
+            f"map={self.map_observation()})"
+        )
+
+
+class FactoredBelief:
+    """A belief over many facts that factors into independent groups.
+
+    The paper's evaluation forms 5-fact tasks out of single-fact tweets;
+    different tasks are independent while facts inside a task are
+    correlated.  This class keeps one :class:`BeliefState` per group and
+    maps global fact ids to their owning group, so the conditional
+    entropy of the whole data set decomposes into per-group terms.
+    """
+
+    def __init__(self, groups: Iterable[BeliefState]):
+        self._groups: list[BeliefState] = list(groups)
+        if not self._groups:
+            raise ValueError("FactoredBelief needs at least one group")
+        self._group_of: dict[int, int] = {}
+        for group_index, belief in enumerate(self._groups):
+            for fact in belief.facts:
+                if fact.fact_id in self._group_of:
+                    raise ValueError(
+                        f"fact {fact.fact_id} appears in multiple groups"
+                    )
+                self._group_of[fact.fact_id] = group_index
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self) -> Iterator["BeliefState"]:
+        return iter(self._groups)
+
+    def __getitem__(self, group_index: int) -> BeliefState:
+        return self._groups[group_index]
+
+    @property
+    def num_facts(self) -> int:
+        return len(self._group_of)
+
+    @property
+    def fact_ids(self) -> list[int]:
+        """All fact ids, group by group, positional order inside a group."""
+        return [fact.fact_id for belief in self._groups for fact in belief.facts]
+
+    def group_index_of(self, fact_id: int) -> int:
+        """Index of the group that owns ``fact_id``."""
+        return self._group_of[fact_id]
+
+    def group_of(self, fact_id: int) -> BeliefState:
+        """The group belief that owns ``fact_id``."""
+        return self._groups[self._group_of[fact_id]]
+
+    def replace_group(self, group_index: int, belief: BeliefState) -> None:
+        """Swap in an updated group belief (same facts required)."""
+        if belief.facts != self._groups[group_index].facts:
+            raise ValueError("replacement belief must cover the same facts")
+        self._groups[group_index] = belief
+
+    def marginal(self, fact_id: int) -> float:
+        return self.group_of(fact_id).marginal(fact_id)
+
+    def map_labels(self) -> dict[int, bool]:
+        """Finalized labels for every fact across all groups."""
+        labels: dict[int, bool] = {}
+        for belief in self._groups:
+            labels.update(belief.map_labels())
+        return labels
+
+    def copy(self) -> "FactoredBelief":
+        """Shallow copy (belief states themselves are immutable)."""
+        return FactoredBelief(self._groups)

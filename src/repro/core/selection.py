@@ -1,0 +1,488 @@
+"""Checking-task selection (paper section III-B/C).
+
+Selecting the size-``k`` query set that maximizes expected quality
+improvement is equivalent to minimizing the conditional entropy
+``H(O | AS_CE^T)`` (Theorem 2) and is NP-hard (Theorem 3).  This module
+provides:
+
+* :class:`ExactSelector` — brute-force **OPT** over all size-``k``
+  subsets (with an optional wall-clock deadline, used to reproduce the
+  "timeout" rows of Table III);
+* :class:`GreedySelector` — the paper's Algorithm 2 **Approx**,
+  a (1 - 1/e)-approximation that adds the fact with the largest
+  marginal entropy-reduction gain until ``k`` facts are chosen or no
+  fact has a positive gain;
+* :class:`RandomSelector` — the **Random** baseline of section IV-C3;
+* :class:`MaxMarginalEntropySelector` — the trivial rule from related
+  work ([41]): pick the facts whose marginal ``P(f)`` is most
+  uncertain, ignoring correlations and the expert answer model;
+* :class:`FactoredExactSelector` — an extension beyond the paper: an
+  exact selector that exploits the group decomposition with dynamic
+  programming over per-group allocations, exponential only within
+  groups instead of across the whole fact set.
+
+All selectors work on a :class:`~repro.core.observations.FactoredBelief`.
+Because groups are independent, the global conditional entropy
+decomposes as ``H(O|AS^T) = sum_g H(O_g | AS^{T ∩ F_g})``, so every
+selector only ever evaluates per-group entropies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from abc import ABC, abstractmethod
+from math import comb
+from typing import Sequence
+
+import numpy as np
+
+from .answers import FamilySpaceTooLarge
+from .entropy import binary_entropy, conditional_entropy, observation_entropy
+from .observations import BeliefState, FactoredBelief
+from .workers import Crowd
+
+
+class SelectionTimeout(RuntimeError):
+    """Raised when a selector exceeds its wall-clock deadline."""
+
+
+class Selector(ABC):
+    """Strategy interface: pick up to ``k`` checking tasks."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "base"
+
+    @abstractmethod
+    def select(
+        self, belief: FactoredBelief, experts: Crowd, k: int
+    ) -> list[int]:
+        """Return up to ``k`` fact ids to send to the expert crowd.
+
+        May return fewer than ``k`` ids (or none) when no candidate
+        offers positive expected quality gain.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class _GroupEntropyCache:
+    """Caches per-group conditional entropies for one selection pass.
+
+    Keyed on the group's immutable :class:`BeliefState` identity, so a
+    stateful selector can carry the cache across rounds and only pay
+    for groups whose belief actually changed.
+    """
+
+    def __init__(self) -> None:
+        self._prior: dict[int, tuple[BeliefState, float]] = {}
+        self._conditional: dict[
+            tuple[int, frozenset[int]], tuple[BeliefState, float]
+        ] = {}
+
+    def prior(self, group_index: int, state: BeliefState) -> float:
+        cached = self._prior.get(group_index)
+        if cached is not None and cached[0] is state:
+            return cached[1]
+        value = observation_entropy(state)
+        self._prior[group_index] = (state, value)
+        return value
+
+    def conditional(
+        self,
+        group_index: int,
+        state: BeliefState,
+        query_fact_ids: frozenset[int],
+        experts: Crowd,
+    ) -> float:
+        if not query_fact_ids:
+            return self.prior(group_index, state)
+        key = (group_index, query_fact_ids)
+        cached = self._conditional.get(key)
+        if cached is not None and cached[0] is state:
+            return cached[1]
+        value = conditional_entropy(
+            state,
+            sorted(query_fact_ids),
+            experts,
+            prior_entropy=self.prior(group_index, state),
+        )
+        self._conditional[key] = (state, value)
+        return value
+
+
+class GreedySelector(Selector):
+    """Paper Algorithm 2: iterative greedy with early stop on zero gain.
+
+    The gain of adding fact ``f`` to the current query set ``T`` is
+    ``gain^T(f) = H(O|AS^T) - H(O|AS^{T ∪ {f}})`` (Eq. 35), which by
+    the group decomposition only involves ``f``'s own group.  Time
+    complexity is ``O(N k)`` entropy evaluations for ``N`` candidates.
+
+    The selector keeps a cache of single-fact gains keyed on each
+    group's (immutable) belief object: across checking rounds only the
+    groups actually updated by the previous round are re-evaluated,
+    which turns the per-round cost from ``O(N)`` into ``O(changed)``
+    without changing any selected set.
+    """
+
+    name = "Approx"
+
+    def __init__(self, gain_tolerance: float = 1e-12):
+        #: Gains at or below this are treated as zero (greedy stops).
+        self.gain_tolerance = gain_tolerance
+        self._cache = _GroupEntropyCache()
+        # fact_id -> (belief state it was computed against, gain)
+        self._first_step_gain: dict[int, tuple[BeliefState, float]] = {}
+
+    def _single_fact_gain(
+        self, belief: FactoredBelief, experts: Crowd, fact_id: int
+    ) -> float:
+        """Gain of ``{f}`` over the empty set, cached per belief state."""
+        group_index = belief.group_index_of(fact_id)
+        state = belief[group_index]
+        cached = self._first_step_gain.get(fact_id)
+        if cached is not None and cached[0] is state:
+            return cached[1]
+        prior = self._cache.prior(group_index, state)
+        conditional = self._cache.conditional(
+            group_index, state, frozenset((fact_id,)), experts
+        )
+        gain = prior - conditional
+        self._first_step_gain[fact_id] = (state, gain)
+        return gain
+
+    def select(
+        self, belief: FactoredBelief, experts: Crowd, k: int
+    ) -> list[int]:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        selected: list[int] = []
+        group_queries: dict[int, list[int]] = {}
+        candidates = set(belief.fact_ids)
+
+        while len(selected) < k and candidates:
+            best_fact: int | None = None
+            best_gain = self.gain_tolerance
+            for fact_id in candidates:
+                group_index = belief.group_index_of(fact_id)
+                queries = group_queries.get(group_index)
+                if not queries:
+                    gain = self._single_fact_gain(belief, experts, fact_id)
+                else:
+                    state = belief[group_index]
+                    try:
+                        current = self._cache.conditional(
+                            group_index, state, frozenset(queries), experts
+                        )
+                        with_fact = self._cache.conditional(
+                            group_index,
+                            state,
+                            frozenset(queries) | {fact_id},
+                            experts,
+                        )
+                    except FamilySpaceTooLarge:
+                        # Stacking another query on this group would make
+                        # the answer-family space unenumerable (huge CE);
+                        # treat the candidate as infeasible this round —
+                        # the greedy then spreads across groups instead.
+                        continue
+                    gain = current - with_fact
+                if gain > best_gain:
+                    best_fact = fact_id
+                    best_gain = gain
+            if best_fact is None:
+                break  # no fact offers positive gain (Algorithm 2 line 4)
+            selected.append(best_fact)
+            candidates.remove(best_fact)
+            group_index = belief.group_index_of(best_fact)
+            group_queries.setdefault(group_index, []).append(best_fact)
+        return selected
+
+
+class SampledGreedySelector(Selector):
+    """Greedy selection with Monte Carlo conditional entropies.
+
+    For very large checking crowds the answer-family space cannot be
+    enumerated, so the exact greedy must skip within-group stacking
+    (see :class:`GreedySelector`).  This variant estimates
+    ``H(O | AS^T)`` by sampling answer families instead
+    (:func:`repro.core.entropy.conditional_entropy_sampled`), making the
+    full objective available at any crowd size — at the price of
+    estimator noise and per-candidate sampling cost.
+
+    Parameters
+    ----------
+    num_samples:
+        Sampled families per entropy evaluation.
+    rng:
+        Seed for the sampler.
+    gain_tolerance:
+        Gains at or below this are treated as zero; should exceed the
+        estimator's noise floor to avoid chasing phantom gains.
+    """
+
+    name = "Approx-MC"
+
+    def __init__(
+        self,
+        num_samples: int = 500,
+        rng: np.random.Generator | int | None = None,
+        gain_tolerance: float = 1e-3,
+    ):
+        if num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        self.num_samples = num_samples
+        self.gain_tolerance = gain_tolerance
+        self._rng = np.random.default_rng(rng)
+
+    def select(
+        self, belief: FactoredBelief, experts: Crowd, k: int
+    ) -> list[int]:
+        from .entropy import conditional_entropy_sampled
+
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        selected: list[int] = []
+        group_queries: dict[int, list[int]] = {}
+        candidates = set(belief.fact_ids)
+        prior_cache: dict[int, float] = {}
+
+        def entropy_of(group_index: int, queries: list[int]) -> float:
+            state = belief[group_index]
+            if not queries:
+                if group_index not in prior_cache:
+                    prior_cache[group_index] = observation_entropy(state)
+                return prior_cache[group_index]
+            return conditional_entropy_sampled(
+                state, queries, experts,
+                num_samples=self.num_samples, rng=self._rng,
+            )
+
+        while len(selected) < k and candidates:
+            best_fact: int | None = None
+            best_gain = self.gain_tolerance
+            for fact_id in candidates:
+                group_index = belief.group_index_of(fact_id)
+                queries = group_queries.get(group_index, [])
+                current = entropy_of(group_index, queries)
+                with_fact = entropy_of(group_index, queries + [fact_id])
+                gain = current - with_fact
+                if gain > best_gain:
+                    best_fact = fact_id
+                    best_gain = gain
+            if best_fact is None:
+                break
+            selected.append(best_fact)
+            candidates.remove(best_fact)
+            group_index = belief.group_index_of(best_fact)
+            group_queries.setdefault(group_index, []).append(best_fact)
+        return selected
+
+
+class ExactSelector(Selector):
+    """Brute-force **OPT**: evaluate every size-``k`` subset.
+
+    Caches per-group subset entropies, but the subset enumeration is
+    ``O(C(N, k))`` and grows exponentially in ``k`` — exactly the
+    behaviour Table III of the paper demonstrates.
+
+    Parameters
+    ----------
+    max_subsets:
+        Safety valve: raise :class:`RuntimeError` if the enumeration
+        would exceed this many subsets.
+    deadline_seconds:
+        Optional wall-clock limit; :class:`SelectionTimeout` is raised
+        when exceeded (used by the Table III harness).
+    """
+
+    name = "OPT"
+
+    def __init__(
+        self,
+        max_subsets: int | None = 20_000_000,
+        deadline_seconds: float | None = None,
+    ):
+        self.max_subsets = max_subsets
+        self.deadline_seconds = deadline_seconds
+        self._cache = _GroupEntropyCache()
+
+    def select(
+        self, belief: FactoredBelief, experts: Crowd, k: int
+    ) -> list[int]:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        fact_ids = belief.fact_ids
+        k = min(k, len(fact_ids))
+        if k == 0:
+            return []
+        if self.max_subsets is not None and comb(len(fact_ids), k) > self.max_subsets:
+            raise RuntimeError(
+                f"OPT would enumerate C({len(fact_ids)}, {k}) subsets "
+                f"(> limit {self.max_subsets})"
+            )
+        deadline = (
+            time.monotonic() + self.deadline_seconds
+            if self.deadline_seconds is not None
+            else None
+        )
+
+        best_subset: tuple[int, ...] | None = None
+        best_objective = float("inf")
+        for count, subset in enumerate(itertools.combinations(fact_ids, k)):
+            if deadline is not None and count % 64 == 0:
+                if time.monotonic() > deadline:
+                    raise SelectionTimeout(
+                        f"OPT exceeded {self.deadline_seconds}s at "
+                        f"subset {count} of C({len(fact_ids)}, {k})"
+                    )
+            per_group: dict[int, set[int]] = {}
+            for fact_id in subset:
+                per_group.setdefault(
+                    belief.group_index_of(fact_id), set()
+                ).add(fact_id)
+            # Objective differs from the prior total only on the touched
+            # groups; compare by the (negative) total gain.
+            objective = 0.0
+            try:
+                for group_index, queries in per_group.items():
+                    state = belief[group_index]
+                    objective -= self._cache.prior(group_index, state)
+                    objective += self._cache.conditional(
+                        group_index, state, frozenset(queries), experts
+                    )
+            except FamilySpaceTooLarge:
+                continue  # unenumerable subset: skip as infeasible
+            if objective < best_objective - 1e-15:
+                best_objective = objective
+                best_subset = subset
+        assert best_subset is not None
+        return list(best_subset)
+
+
+class FactoredExactSelector(Selector):
+    """Exact selection via dynamic programming over groups (extension).
+
+    Not in the paper: because the conditional entropy decomposes over
+    independent groups, the optimal size-``k`` set is an optimal
+    *allocation* of per-group subset sizes.  For each group we compute
+    the best subset of every size ``0..k`` (exponential only within the
+    group), then a knapsack-style DP picks the allocation maximizing
+    total gain.  Returns the same objective value as
+    :class:`ExactSelector` while scaling to large fact sets.
+    """
+
+    name = "OPT-DP"
+
+    def __init__(self) -> None:
+        self._cache = _GroupEntropyCache()
+
+    def select(
+        self, belief: FactoredBelief, experts: Crowd, k: int
+    ) -> list[int]:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if k == 0:
+            return []
+        num_groups = len(belief)
+        # best_gain[g][j], best_subset[g][j]: best gain and subset of
+        # exactly j queries inside group g.
+        best_gain: list[list[float]] = []
+        best_subset: list[list[tuple[int, ...]]] = []
+        for group_index in range(num_groups):
+            state = belief[group_index]
+            group_fact_ids = [fact.fact_id for fact in state.facts]
+            prior = self._cache.prior(group_index, state)
+            max_size = min(k, len(group_fact_ids))
+            gains = [0.0] * (max_size + 1)
+            subsets: list[tuple[int, ...]] = [()] * (max_size + 1)
+            for size in range(1, max_size + 1):
+                for subset in itertools.combinations(group_fact_ids, size):
+                    gain = prior - self._cache.conditional(
+                        group_index, state, frozenset(subset), experts
+                    )
+                    if gain > gains[size]:
+                        gains[size] = gain
+                        subsets[size] = subset
+            best_gain.append(gains)
+            best_subset.append(subsets)
+
+        # DP over groups: dp[j] = best total gain using exactly j queries.
+        NEG = float("-inf")
+        dp = [0.0] + [NEG] * k
+        choice: list[list[int]] = [[0] * num_groups for _ in range(k + 1)]
+        for group_index in range(num_groups):
+            gains = best_gain[group_index]
+            new_dp = dp[:]
+            new_choice = [row[:] for row in choice]
+            for used in range(k + 1):
+                if dp[used] == NEG:
+                    continue
+                for size in range(1, min(len(gains) - 1, k - used) + 1):
+                    total = dp[used] + gains[size]
+                    if total > new_dp[used + size]:
+                        new_dp[used + size] = total
+                        row = choice[used][:]
+                        row[group_index] = size
+                        new_choice[used + size] = row
+            dp = new_dp
+            choice = new_choice
+
+        # The best allocation over at most k queries (gains are
+        # monotone, but guard against all-zero-gain edge cases).
+        best_total, best_k = max(
+            ((value, j) for j, value in enumerate(dp) if value != NEG),
+            key=lambda pair: (pair[0], -pair[1]),
+        )
+        if best_total <= 0.0:
+            return []
+        selected: list[int] = []
+        for group_index, size in enumerate(choice[best_k]):
+            if size:
+                selected.extend(best_subset[group_index][size])
+        return selected
+
+
+class RandomSelector(Selector):
+    """Uniform random size-``k`` selection (section IV-C3 baseline)."""
+
+    name = "Random"
+
+    def __init__(self, rng: np.random.Generator | int | None = None):
+        self._rng = np.random.default_rng(rng)
+
+    def select(
+        self, belief: FactoredBelief, experts: Crowd, k: int
+    ) -> list[int]:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        fact_ids = belief.fact_ids
+        k = min(k, len(fact_ids))
+        chosen = self._rng.choice(len(fact_ids), size=k, replace=False)
+        return [fact_ids[index] for index in chosen]
+
+
+class MaxMarginalEntropySelector(Selector):
+    """Pick the ``k`` facts whose marginal truth value is most uncertain.
+
+    This is the trivial solution of the single-task/single-worker
+    special case discussed in related work [41]; it ignores fact
+    correlations and expert accuracies, which is exactly what the full
+    conditional-entropy objective adds.  Kept as an ablation.
+    """
+
+    name = "MaxEntropy"
+
+    def select(
+        self, belief: FactoredBelief, experts: Crowd, k: int
+    ) -> list[int]:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        scored = [
+            (binary_entropy(belief.marginal(fact_id)), fact_id)
+            for fact_id in belief.fact_ids
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [fact_id for _score, fact_id in scored[: min(k, len(scored))]]

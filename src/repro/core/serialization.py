@@ -1,0 +1,209 @@
+"""JSON serialization of beliefs, crowds and run histories.
+
+Real checking campaigns run for days (humans answer slowly), so the
+belief state and budget accounting must survive process restarts.
+Everything here round-trips through plain JSON-compatible dictionaries:
+
+* belief states and factored beliefs (facts + probabilities);
+* crowds (worker ids + accuracies);
+* round records / run histories.
+
+:class:`~repro.simulation.online.OnlineCheckingSession` builds its
+checkpoint support on these primitives.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .facts import Fact, FactSet
+from .hc import RoundRecord, RunResult
+from .observations import BeliefState, FactoredBelief
+from .workers import Crowd, Worker
+
+#: Format tag written into every serialized payload.
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised on malformed or version-incompatible payloads."""
+
+
+def _require(payload: dict, key: str) -> Any:
+    try:
+        return payload[key]
+    except (KeyError, TypeError):
+        raise SerializationError(f"missing field {key!r}") from None
+
+
+# ----------------------------------------------------------------------
+# facts
+# ----------------------------------------------------------------------
+
+
+def fact_set_to_dict(facts: FactSet) -> dict:
+    return {
+        "facts": [
+            {
+                "fact_id": fact.fact_id,
+                "instance_id": fact.instance_id,
+                "label": fact.label,
+                "text": fact.text,
+            }
+            for fact in facts
+        ]
+    }
+
+
+def fact_set_from_dict(payload: dict) -> FactSet:
+    entries = _require(payload, "facts")
+    return FactSet(
+        Fact(
+            fact_id=int(_require(entry, "fact_id")),
+            instance_id=entry.get("instance_id", ""),
+            label=entry.get("label", "positive"),
+            text=entry.get("text", ""),
+        )
+        for entry in entries
+    )
+
+
+# ----------------------------------------------------------------------
+# beliefs
+# ----------------------------------------------------------------------
+
+
+def belief_state_to_dict(belief: BeliefState) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "fact_set": fact_set_to_dict(belief.facts),
+        "probabilities": belief.probabilities.tolist(),
+    }
+
+
+def belief_state_from_dict(payload: dict) -> BeliefState:
+    facts = fact_set_from_dict(_require(payload, "fact_set"))
+    probabilities = np.asarray(
+        _require(payload, "probabilities"), dtype=np.float64
+    )
+    return BeliefState(facts, probabilities)
+
+
+def factored_belief_to_dict(belief: FactoredBelief) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "groups": [belief_state_to_dict(group) for group in belief],
+    }
+
+
+def factored_belief_from_dict(payload: dict) -> FactoredBelief:
+    groups = _require(payload, "groups")
+    if not isinstance(groups, list) or not groups:
+        raise SerializationError("groups must be a non-empty list")
+    return FactoredBelief(
+        belief_state_from_dict(group) for group in groups
+    )
+
+
+def save_belief(belief: FactoredBelief, path: str | Path) -> Path:
+    """Write a factored belief as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(factored_belief_to_dict(belief), handle)
+    return path
+
+
+def load_belief(path: str | Path) -> FactoredBelief:
+    """Read a factored belief written by :func:`save_belief`."""
+    with Path(path).open() as handle:
+        return factored_belief_from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# crowds
+# ----------------------------------------------------------------------
+
+
+def crowd_to_dict(crowd: Crowd) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "workers": [
+            {"worker_id": worker.worker_id, "accuracy": worker.accuracy}
+            for worker in crowd
+        ],
+    }
+
+
+def crowd_from_dict(payload: dict) -> Crowd:
+    workers = _require(payload, "workers")
+    return Crowd(
+        Worker(
+            worker_id=_require(entry, "worker_id"),
+            accuracy=float(_require(entry, "accuracy")),
+        )
+        for entry in workers
+    )
+
+
+# ----------------------------------------------------------------------
+# run histories
+# ----------------------------------------------------------------------
+
+
+def round_record_to_dict(record: RoundRecord) -> dict:
+    return {
+        "round_index": record.round_index,
+        "query_fact_ids": list(record.query_fact_ids),
+        "cost": record.cost,
+        "budget_spent": record.budget_spent,
+        "quality": record.quality,
+        "accuracy": record.accuracy,
+    }
+
+
+def round_record_from_dict(payload: dict) -> RoundRecord:
+    return RoundRecord(
+        round_index=int(_require(payload, "round_index")),
+        query_fact_ids=tuple(_require(payload, "query_fact_ids")),
+        cost=float(_require(payload, "cost")),
+        budget_spent=float(_require(payload, "budget_spent")),
+        quality=float(_require(payload, "quality")),
+        accuracy=payload.get("accuracy"),
+    )
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "belief": factored_belief_to_dict(result.belief),
+        "history": [
+            round_record_to_dict(record) for record in result.history
+        ],
+    }
+
+
+def run_result_from_dict(payload: dict) -> RunResult:
+    belief = factored_belief_from_dict(_require(payload, "belief"))
+    history = [
+        round_record_from_dict(record)
+        for record in _require(payload, "history")
+    ]
+    return RunResult(belief=belief, history=history)
+
+
+def save_run_result(result: RunResult, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(run_result_to_dict(result), handle)
+    return path
+
+
+def load_run_result(path: str | Path) -> RunResult:
+    with Path(path).open() as handle:
+        return run_result_from_dict(json.load(handle))

@@ -1,0 +1,84 @@
+"""Belief initialization and Bayesian update (paper section III-A).
+
+* :func:`initialize_from_votes` builds the initial belief from preliminary
+  workers' votes, either as the independent-product form of Eq. 15/16 or
+  from externally supplied per-fact posteriors (e.g. an EBCC run).
+* :func:`update_with_answer_set` / :func:`update_with_family` apply
+  Lemma 3: the posterior over observations after seeing expert answers,
+  ``P(o | A) = P(o) P(A | o) / P(A)``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .answers import AnswerFamily, AnswerSet, answer_set_likelihood, family_likelihood
+from .facts import FactSet
+from .observations import BeliefState
+
+
+class InconsistentEvidenceError(ValueError):
+    """Raised when the observed answers have zero probability under the
+    current belief (cannot condition on a null event)."""
+
+
+def initialize_from_votes(
+    facts: FactSet,
+    yes_fractions: Mapping[int, float] | Sequence[float],
+    smoothing: float = 0.01,
+) -> BeliefState:
+    """Initial belief from preliminary-crowd vote fractions (Eq. 15/16).
+
+    Parameters
+    ----------
+    facts:
+        The facts of one task group.
+    yes_fractions:
+        For each fact, the fraction of preliminary workers answering
+        "Yes" (or any aggregator's posterior ``P(f)``).  Either a mapping
+        ``fact_id -> fraction`` or a sequence in positional order.
+    smoothing:
+        Fractions are squeezed into ``[smoothing, 1 - smoothing]`` so a
+        unanimous preliminary crowd does not produce an irrecoverable
+        point mass (experts could then never overturn a wrong label).
+    """
+    if isinstance(yes_fractions, Mapping):
+        ordered = [yes_fractions[fact.fact_id] for fact in facts]
+    else:
+        ordered = list(yes_fractions)
+        if len(ordered) != len(facts):
+            raise ValueError("need one vote fraction per fact")
+    if not 0.0 <= smoothing < 0.5:
+        raise ValueError("smoothing must lie in [0, 0.5)")
+    marginals = np.clip(np.asarray(ordered, dtype=np.float64),
+                        smoothing, 1.0 - smoothing)
+    return BeliefState.from_marginals(facts, marginals)
+
+
+def update_with_answer_set(
+    belief: BeliefState, answer_set: AnswerSet
+) -> BeliefState:
+    """Posterior after one worker's answer set (Lemma 3, Eq. 19)."""
+    likelihood = answer_set_likelihood(belief, answer_set)
+    return _posterior(belief, likelihood)
+
+
+def update_with_family(belief: BeliefState, family: AnswerFamily) -> BeliefState:
+    """Posterior after a whole answer family (Eq. 23).
+
+    Workers are conditionally independent given the observation, so the
+    family likelihood is the product of per-worker likelihoods.
+    """
+    likelihood = family_likelihood(belief, family)
+    return _posterior(belief, likelihood)
+
+
+def _posterior(belief: BeliefState, likelihood: np.ndarray) -> BeliefState:
+    evidence = float(belief.probabilities @ likelihood)
+    if evidence <= 0.0:
+        raise InconsistentEvidenceError(
+            "observed answers have zero probability under the current belief"
+        )
+    return belief.reweighted(likelihood)

@@ -1,0 +1,149 @@
+"""Crowd workers and the expert/preliminary split (paper Definition 1).
+
+Every worker has an accuracy rate ``Pr_cr`` — the probability that any
+single answer they give matches the ground truth.  The paper's error model
+requires ``Pr_cr >= 1/2`` (answers from worse workers carry no usable
+signal); a threshold ``theta`` then splits the crowd into *expert* workers
+(``Pr_cr >= theta``, the checking tier CE) and *preliminary* workers
+(the labeling tier CP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+#: Error model lower bound on usable worker accuracy (paper section II-A).
+MIN_ACCURACY = 0.5
+
+
+@dataclass(frozen=True, order=True)
+class Worker:
+    """A crowdsourcing worker with a known accuracy rate.
+
+    The paper estimates ``Pr_cr`` from sample tasks with ground truth; in
+    this reproduction accuracies either come from the dataset generator or
+    from :func:`estimate_accuracy` against gold tasks.
+    """
+
+    worker_id: str
+    accuracy: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError(
+                f"accuracy must lie in [0, 1], got {self.accuracy} "
+                f"for worker {self.worker_id!r}"
+            )
+
+    @property
+    def is_usable(self) -> bool:
+        """Whether the worker meets the error-model bound ``Pr_cr >= 1/2``."""
+        return self.accuracy >= MIN_ACCURACY
+
+
+class Crowd:
+    """An ordered collection of distinct workers."""
+
+    def __init__(self, workers: Iterable[Worker]):
+        workers = list(workers)
+        seen: set[str] = set()
+        for worker in workers:
+            if worker.worker_id in seen:
+                raise ValueError(f"duplicate worker_id {worker.worker_id!r}")
+            seen.add(worker.worker_id)
+        self._workers: tuple[Worker, ...] = tuple(workers)
+        self._index = {
+            worker.worker_id: position
+            for position, worker in enumerate(self._workers)
+        }
+
+    @classmethod
+    def from_accuracies(
+        cls, accuracies: Sequence[float], prefix: str = "w"
+    ) -> "Crowd":
+        """Convenience constructor: workers named ``w0, w1, ...``."""
+        return cls(
+            Worker(worker_id=f"{prefix}{index}", accuracy=accuracy)
+            for index, accuracy in enumerate(accuracies)
+        )
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __iter__(self) -> Iterator[Worker]:
+        return iter(self._workers)
+
+    def __getitem__(self, position: int) -> Worker:
+        return self._workers[position]
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Worker):
+            return item.worker_id in self._index
+        if isinstance(item, str):
+            return item in self._index
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Crowd):
+            return NotImplemented
+        return self._workers == other._workers
+
+    def __repr__(self) -> str:
+        return f"Crowd(size={len(self)})"
+
+    def by_id(self, worker_id: str) -> Worker:
+        return self._workers[self._index[worker_id]]
+
+    @property
+    def worker_ids(self) -> tuple[str, ...]:
+        return tuple(worker.worker_id for worker in self._workers)
+
+    @property
+    def accuracies(self) -> np.ndarray:
+        """Accuracy rates in positional order."""
+        return np.array([worker.accuracy for worker in self._workers])
+
+    def usable(self) -> "Crowd":
+        """The sub-crowd meeting the ``Pr_cr >= 1/2`` error-model bound."""
+        return Crowd(worker for worker in self._workers if worker.is_usable)
+
+    def split(self, theta: float) -> tuple["Crowd", "Crowd"]:
+        """Split into ``(experts CE, preliminary CP)`` by threshold ``theta``.
+
+        Paper Equation 1: ``CE = {cr | Pr_cr >= theta}``, ``CP = C - CE``.
+        """
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError(f"theta must lie in [0, 1], got {theta}")
+        experts = [worker for worker in self._workers if worker.accuracy >= theta]
+        preliminary = [
+            worker for worker in self._workers if worker.accuracy < theta
+        ]
+        return Crowd(experts), Crowd(preliminary)
+
+
+def estimate_accuracy(
+    answers: Sequence[bool], gold: Sequence[bool], smoothing: float = 1.0
+) -> float:
+    """Estimate a worker's accuracy from gold-task answers.
+
+    Uses Laplace smoothing so a worker who aced (or failed) a handful of
+    gold tasks is not declared perfect (or useless) outright.
+
+    Parameters
+    ----------
+    answers, gold:
+        Parallel sequences of the worker's answers and the ground truth.
+    smoothing:
+        Pseudo-count added to both correct and incorrect tallies.
+    """
+    if len(answers) != len(gold):
+        raise ValueError("answers and gold must be the same length")
+    if not answers:
+        return MIN_ACCURACY
+    correct = sum(
+        1 for answer, truth in zip(answers, gold) if answer == truth
+    )
+    return (correct + smoothing) / (len(answers) + 2.0 * smoothing)

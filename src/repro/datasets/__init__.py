@@ -1,0 +1,62 @@
+"""Dataset substrate: synthetic corpora, grouping, and benchmark I/O."""
+
+from .grouping import (
+    build_factored_belief,
+    group_tasks,
+    initialize_belief,
+    initialize_belief_from_matrix,
+)
+from .io import (
+    estimate_worker_accuracies,
+    load_dataset,
+    read_answer_file,
+    read_truth_file,
+    save_dataset,
+    write_answer_file,
+    write_truth_file,
+)
+from .multilabel import (
+    build_one_hot_belief,
+    class_accuracy,
+    decode_class_labels,
+    make_multiclass_dataset,
+    one_hot_belief,
+)
+from .schema import CrowdLabelingDataset, accuracy_of_labels
+from .sentiment import make_sentiment_dataset
+from .statistics import DatasetSummary, describe_dataset, format_summary
+from .synthetic import (
+    WorkerPoolSpec,
+    make_synthetic_dataset,
+    make_worker_pool,
+    sample_correlated_group_truth,
+)
+
+__all__ = [
+    "CrowdLabelingDataset",
+    "DatasetSummary",
+    "WorkerPoolSpec",
+    "describe_dataset",
+    "format_summary",
+    "accuracy_of_labels",
+    "build_factored_belief",
+    "build_one_hot_belief",
+    "class_accuracy",
+    "decode_class_labels",
+    "make_multiclass_dataset",
+    "one_hot_belief",
+    "estimate_worker_accuracies",
+    "group_tasks",
+    "initialize_belief",
+    "initialize_belief_from_matrix",
+    "load_dataset",
+    "make_sentiment_dataset",
+    "make_synthetic_dataset",
+    "make_worker_pool",
+    "read_answer_file",
+    "read_truth_file",
+    "sample_correlated_group_truth",
+    "save_dataset",
+    "write_answer_file",
+    "write_truth_file",
+]

@@ -1,0 +1,114 @@
+"""Belief initialization from aggregated preliminary answers.
+
+Bridges the aggregation layer and the core belief model: an
+aggregator's per-fact posteriors become the marginals of a factored
+belief (paper Eq. 15 uses raw vote fractions; section IV-A initializes
+with EBCC — both are "a fraction in [0,1] per fact" and flow through
+:func:`build_factored_belief`).
+
+Also provides :func:`group_tasks`, the paper's "aggregate 5 tasks of
+the same dataset to form a new task" preprocessing for flat task lists.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..aggregation.base import AggregationResult, Aggregator, AnswerMatrix
+from ..core.facts import Fact, FactSet
+from ..core.observations import BeliefState, FactoredBelief
+from ..core.update import initialize_from_votes
+from .schema import CrowdLabelingDataset
+
+
+def group_tasks(
+    fact_ids: Sequence[int], group_size: int
+) -> list[FactSet]:
+    """Partition a flat task list into consecutive groups of
+    ``group_size`` facts (the last group may be smaller)."""
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    groups = []
+    for start in range(0, len(fact_ids), group_size):
+        chunk = fact_ids[start : start + group_size]
+        groups.append(FactSet(Fact(fact_id=fact_id) for fact_id in chunk))
+    return groups
+
+
+def build_factored_belief(
+    groups: Sequence[FactSet],
+    yes_probabilities: np.ndarray,
+    smoothing: float = 0.01,
+) -> FactoredBelief:
+    """Factored belief with per-group independent-product joints.
+
+    Parameters
+    ----------
+    groups:
+        The task groups; fact ids index into ``yes_probabilities``.
+    yes_probabilities:
+        ``P(f is true)`` per fact, indexed by fact id (e.g. column 1 of
+        an aggregator's posteriors).
+    smoothing:
+        Marginals are squeezed into ``[smoothing, 1 - smoothing]`` so
+        experts can overturn a unanimous-but-wrong initialization.
+    """
+    yes_probabilities = np.asarray(yes_probabilities, dtype=np.float64)
+    beliefs: list[BeliefState] = []
+    for group in groups:
+        fractions = {
+            fact.fact_id: float(yes_probabilities[fact.fact_id])
+            for fact in group
+        }
+        beliefs.append(
+            initialize_from_votes(group, fractions, smoothing=smoothing)
+        )
+    return FactoredBelief(beliefs)
+
+
+def initialize_belief(
+    dataset: CrowdLabelingDataset,
+    aggregator: Aggregator,
+    theta: float,
+    smoothing: float = 0.01,
+) -> tuple[FactoredBelief, AggregationResult]:
+    """Run the full initialization pipeline of Algorithm 3, lines 1-2.
+
+    Splits the crowd at ``theta``, aggregates the *preliminary* (CP)
+    workers' recorded answers with ``aggregator``, and builds the
+    factored belief from the resulting per-fact posteriors.
+
+    Returns the belief together with the aggregation result (so
+    experiments can also report the initializer's own accuracy).
+    """
+    preliminary_matrix = dataset.preliminary_annotations(theta)
+    if preliminary_matrix.num_annotations == 0:
+        raise ValueError(
+            f"no preliminary annotations at theta={theta}; "
+            "is every worker an expert?"
+        )
+    result = aggregator.fit(preliminary_matrix)
+    belief = build_factored_belief(
+        dataset.groups, result.posteriors[:, 1], smoothing=smoothing
+    )
+    return belief, result
+
+
+def initialize_belief_from_matrix(
+    groups: Sequence[FactSet],
+    matrix: AnswerMatrix,
+    aggregator: Aggregator,
+    smoothing: float = 0.01,
+) -> tuple[FactoredBelief, AggregationResult]:
+    """Initialization from an explicit answer matrix (no crowd split).
+
+    Used when the caller has already chosen which annotations the
+    preliminary tier contributes (e.g. budget-limited subsamples).
+    """
+    result = aggregator.fit(matrix)
+    belief = build_factored_belief(
+        groups, result.posteriors[:, 1], smoothing=smoothing
+    )
+    return belief, result

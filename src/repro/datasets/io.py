@@ -1,0 +1,184 @@
+"""Reading and writing crowd datasets in the standard benchmark format.
+
+The truth-inference benchmark of Zheng et al. (VLDB'17) — the source of
+the paper's dataset — distributes each dataset as two text files:
+
+* ``answer.csv``: header ``question,worker,answer`` rows, one per
+  annotation;
+* ``truth.csv``: header ``question,truth`` rows, one per task.
+
+This module reads and writes that format, so the paper's real dataset
+drops into this reproduction unchanged, and our synthetic datasets can
+be exported for use with other tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..aggregation.base import Annotation, AnswerMatrix
+from ..core.facts import Fact, FactSet
+from ..core.workers import Crowd, Worker
+from .grouping import group_tasks
+from .schema import CrowdLabelingDataset
+
+
+def write_answer_file(dataset: CrowdLabelingDataset, path: str | Path) -> None:
+    """Write ``question,worker,answer`` rows for every annotation."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["question", "worker", "answer"])
+        worker_ids = dataset.crowd.worker_ids
+        for annotation in dataset.annotations.annotations:
+            writer.writerow(
+                [annotation.task, worker_ids[annotation.worker],
+                 annotation.label]
+            )
+
+
+def write_truth_file(dataset: CrowdLabelingDataset, path: str | Path) -> None:
+    """Write ``question,truth`` rows for every fact."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["question", "truth"])
+        for fact_id in sorted(dataset.ground_truth):
+            writer.writerow([fact_id, int(dataset.ground_truth[fact_id])])
+
+
+def read_answer_file(path: str | Path) -> tuple[list[Annotation], list[str]]:
+    """Read an ``answer.csv``; returns annotations plus the worker-id
+    order used for column assignment."""
+    path = Path(path)
+    worker_columns: dict[str, int] = {}
+    annotations: list[Annotation] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"question", "worker", "answer"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise ValueError(
+                f"{path} must have columns question, worker, answer"
+            )
+        for row in reader:
+            worker_id = row["worker"]
+            column = worker_columns.setdefault(worker_id, len(worker_columns))
+            annotations.append(
+                Annotation(
+                    task=int(row["question"]),
+                    worker=column,
+                    label=int(row["answer"]),
+                )
+            )
+    return annotations, list(worker_columns)
+
+
+def read_truth_file(path: str | Path) -> dict[int, bool]:
+    """Read a ``truth.csv`` into a ``fact_id -> bool`` map."""
+    path = Path(path)
+    truth: dict[int, bool] = {}
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"question", "truth"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise ValueError(f"{path} must have columns question, truth")
+        for row in reader:
+            truth[int(row["question"])] = bool(int(row["truth"]))
+    return truth
+
+
+def load_dataset(
+    answer_path: str | Path,
+    truth_path: str | Path,
+    group_size: int = 5,
+    worker_accuracies: dict[str, float] | None = None,
+    name: str = "loaded",
+) -> CrowdLabelingDataset:
+    """Assemble a :class:`CrowdLabelingDataset` from benchmark files.
+
+    Parameters
+    ----------
+    answer_path, truth_path:
+        The ``answer.csv`` / ``truth.csv`` pair.
+    group_size:
+        Consecutive facts are grouped into tasks of this size (the
+        paper's 5-fact grouping).
+    worker_accuracies:
+        Optional known accuracies per worker id.  When omitted, each
+        worker's accuracy is estimated against the ground truth of the
+        tasks they answered (the paper estimates accuracies "with a set
+        of sample tasks with ground truth").
+    """
+    annotations, worker_ids = read_answer_file(answer_path)
+    truth = read_truth_file(truth_path)
+    num_tasks = max(truth) + 1
+    matrix = AnswerMatrix(
+        annotations,
+        num_tasks=num_tasks,
+        num_workers=len(worker_ids),
+        num_classes=2,
+    )
+
+    if worker_accuracies is None:
+        worker_accuracies = estimate_worker_accuracies(
+            matrix, truth, worker_ids
+        )
+    crowd = Crowd(
+        Worker(worker_id=worker_id,
+               accuracy=worker_accuracies.get(worker_id, 0.5))
+        for worker_id in worker_ids
+    )
+
+    groups = group_tasks(sorted(truth), group_size)
+    return CrowdLabelingDataset(
+        groups=groups,
+        crowd=crowd,
+        annotations=matrix,
+        ground_truth=truth,
+        name=name,
+    )
+
+
+def estimate_worker_accuracies(
+    matrix: AnswerMatrix,
+    truth: dict[int, bool],
+    worker_ids: list[str],
+    smoothing: float = 1.0,
+) -> dict[str, float]:
+    """Laplace-smoothed accuracy of each worker against the truth."""
+    correct = np.zeros(matrix.num_workers)
+    total = np.zeros(matrix.num_workers)
+    for annotation in matrix.annotations:
+        if annotation.task not in truth:
+            continue
+        total[annotation.worker] += 1
+        correct[annotation.worker] += int(
+            bool(annotation.label) == truth[annotation.task]
+        )
+    denominator = total + 2.0 * smoothing
+    # Workers with no gold-covered answers default to the 0.5 bound.
+    accuracies = np.full(matrix.num_workers, 0.5)
+    answered = denominator > 0
+    accuracies[answered] = (
+        correct[answered] + smoothing
+    ) / denominator[answered]
+    return {
+        worker_id: float(accuracies[column])
+        for column, worker_id in enumerate(worker_ids)
+    }
+
+
+def save_dataset(
+    dataset: CrowdLabelingDataset, directory: str | Path
+) -> tuple[Path, Path]:
+    """Write ``answer.csv`` and ``truth.csv`` into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    answer_path = directory / "answer.csv"
+    truth_path = directory / "truth.csv"
+    write_answer_file(dataset, answer_path)
+    write_truth_file(dataset, truth_path)
+    return answer_path, truth_path

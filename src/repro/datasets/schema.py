@@ -1,0 +1,165 @@
+"""Dataset container shared by the experiments and examples.
+
+A :class:`CrowdLabelingDataset` bundles everything one evaluation run
+needs: the facts (binary labeling tasks), their grouping into
+correlated multi-fact tasks (the paper groups 5 sentiment tweets into
+one 5-fact task), the worker crowd with accuracy rates, the recorded
+preliminary annotations, and the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..aggregation.base import AnswerMatrix
+from ..core.facts import FactSet
+from ..core.workers import Crowd
+
+
+@dataclass
+class CrowdLabelingDataset:
+    """A crowdsourced binary labeling dataset.
+
+    Attributes
+    ----------
+    groups:
+        One :class:`FactSet` per independent task group; fact ids are
+        globally unique across groups and — by convention — equal the
+        task (row) indices of ``annotations``.
+    crowd:
+        All workers, with their accuracy rates.  Column ``j`` of
+        ``annotations`` belongs to ``crowd[j]``.
+    annotations:
+        Recorded answers (binary labels; 1 == "Yes").
+    ground_truth:
+        ``fact_id -> bool`` map of the true labels.
+    name:
+        Human-readable dataset name.
+    """
+
+    groups: list[FactSet]
+    crowd: Crowd
+    annotations: AnswerMatrix
+    ground_truth: dict[int, bool]
+    name: str = "dataset"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        fact_ids = [fact.fact_id for group in self.groups for fact in group]
+        if len(set(fact_ids)) != len(fact_ids):
+            raise ValueError("fact ids must be unique across groups")
+        missing = [fid for fid in fact_ids if fid not in self.ground_truth]
+        if missing:
+            raise ValueError(
+                f"ground truth missing for {len(missing)} facts "
+                f"(e.g. {missing[:3]})"
+            )
+        if self.annotations.num_tasks != len(fact_ids):
+            raise ValueError(
+                "annotation matrix must have one task row per fact "
+                f"({self.annotations.num_tasks} rows, {len(fact_ids)} facts)"
+            )
+        if self.annotations.num_workers != len(self.crowd):
+            raise ValueError(
+                "annotation matrix must have one column per crowd worker"
+            )
+        if self.annotations.num_classes != 2:
+            raise ValueError("HC operates on binary (Yes/No) facts")
+
+    # -- views -----------------------------------------------------------
+
+    @property
+    def num_facts(self) -> int:
+        return sum(len(group) for group in self.groups)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def fact_ids(self) -> list[int]:
+        return [fact.fact_id for group in self.groups for fact in group]
+
+    def truth_vector(self) -> np.ndarray:
+        """Ground truth as an int array indexed by fact id (0/1)."""
+        truths = np.zeros(self.num_facts, dtype=np.int64)
+        for fact_id, value in self.ground_truth.items():
+            truths[fact_id] = int(value)
+        return truths
+
+    def worker_column(self, worker_id: str) -> int:
+        """Annotation-matrix column of a worker."""
+        for column, worker in enumerate(self.crowd):
+            if worker.worker_id == worker_id:
+                return column
+        raise KeyError(f"unknown worker {worker_id!r}")
+
+    def split_crowd(self, theta: float) -> tuple[Crowd, Crowd]:
+        """``(CE, CP)`` split of the crowd at accuracy threshold theta."""
+        return self.crowd.split(theta)
+
+    def preliminary_annotations(self, theta: float) -> AnswerMatrix:
+        """The answer matrix restricted to preliminary (CP) workers.
+
+        Used for belief initialization: the paper's labeling tier.
+        """
+        _experts, preliminary = self.split_crowd(theta)
+        columns = [
+            self.worker_column(worker.worker_id) for worker in preliminary
+        ]
+        return self.annotations.restrict_workers(columns)
+
+    def subsample_annotations(
+        self, num_annotations: int, rng: np.random.Generator | int | None = None
+    ) -> AnswerMatrix:
+        """A uniform random subsample of the recorded annotations.
+
+        Used to give aggregation baselines a budget-limited answer pool
+        (section IV-B: baselines' accuracy depends on redundancy).
+        """
+        rng = np.random.default_rng(rng)
+        total = self.annotations.num_annotations
+        num_annotations = min(num_annotations, total)
+        chosen = rng.choice(total, size=num_annotations, replace=False)
+        selected = [self.annotations.annotations[index] for index in chosen]
+        return AnswerMatrix(
+            selected,
+            num_tasks=self.annotations.num_tasks,
+            num_workers=self.annotations.num_workers,
+            num_classes=2,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CrowdLabelingDataset(name={self.name!r}, "
+            f"facts={self.num_facts}, groups={self.num_groups}, "
+            f"workers={len(self.crowd)}, "
+            f"annotations={self.annotations.num_annotations})"
+        )
+
+
+def accuracy_of_labels(
+    labels: Mapping[int, bool] | Sequence[int], ground_truth: Mapping[int, bool]
+) -> float:
+    """Accuracy of a hard labeling against the ground truth.
+
+    ``labels`` is either a ``fact_id -> bool`` mapping or a sequence
+    indexed by fact id.
+    """
+    if isinstance(labels, Mapping):
+        items = labels.items()
+    else:
+        items = enumerate(bool(value) for value in labels)
+    total = 0
+    correct = 0
+    for fact_id, value in items:
+        if fact_id not in ground_truth:
+            continue
+        total += 1
+        correct += int(bool(value) == ground_truth[fact_id])
+    if total == 0:
+        raise ValueError("no labeled fact overlaps the ground truth")
+    return correct / total

@@ -1,0 +1,86 @@
+"""The "company sentiment" stand-in corpus (paper section IV-A).
+
+The paper evaluates on a real AMT dataset of company-related tweets:
+workers answer "does this tweet carry positive sentiment toward the
+mentioned company?".  That dataset is not reachable offline, so this
+module generates a statistically matched substitute with templated
+tweet texts, so examples and experiments read like the original
+setting.  See DESIGN.md ("Substitutions") for the rationale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.facts import Fact, FactSet
+from .schema import CrowdLabelingDataset
+from .synthetic import WorkerPoolSpec, make_synthetic_dataset
+
+_COMPANIES = (
+    "Acme", "Globex", "Initech", "Umbrella", "Hooli", "Stark Industries",
+    "Wayne Enterprises", "Wonka", "Tyrell", "Cyberdyne", "Soylent",
+    "Massive Dynamic", "Aperture", "Black Mesa", "Oscorp", "Vehement",
+)
+
+_POSITIVE_TEMPLATES = (
+    "The recent products from {company} are amazing!",
+    "Customer support at {company} resolved my issue in minutes.",
+    "{company}'s new release exceeded all my expectations.",
+    "Huge respect for how {company} treats its users.",
+    "I keep recommending {company} to everyone I know.",
+)
+
+_NEGATIVE_TEMPLATES = (
+    "The service of {company} is too rude.",
+    "{company} shipped me a broken product again.",
+    "Avoid {company}; their billing is a nightmare.",
+    "{company}'s latest update made everything slower.",
+    "I regret ever signing up with {company}.",
+)
+
+
+def make_sentiment_dataset(
+    num_groups: int = 200,
+    group_size: int = 5,
+    answers_per_fact: int = 8,
+    pool: WorkerPoolSpec | None = None,
+    seed: int = 0,
+) -> CrowdLabelingDataset:
+    """Generate the sentiment stand-in dataset.
+
+    Identical statistics to :func:`make_synthetic_dataset` (the paper's
+    1000 tweets -> 200 tasks x 5 facts, 8 answers each), with tweet
+    texts attached to every fact: all facts of a group mention the same
+    company, which is what makes them correlated.
+    """
+    dataset = make_synthetic_dataset(
+        num_groups=num_groups,
+        group_size=group_size,
+        answers_per_fact=answers_per_fact,
+        pool=pool,
+        seed=seed,
+        name="sentiment",
+    )
+    rng = np.random.default_rng(seed + 1)
+    textual_groups: list[FactSet] = []
+    for group_index, group in enumerate(dataset.groups):
+        company = _COMPANIES[group_index % len(_COMPANIES)]
+        facts = []
+        for fact in group:
+            positive = dataset.ground_truth[fact.fact_id]
+            templates = _POSITIVE_TEMPLATES if positive else _NEGATIVE_TEMPLATES
+            text = templates[rng.integers(len(templates))].format(
+                company=company
+            )
+            facts.append(
+                Fact(
+                    fact_id=fact.fact_id,
+                    instance_id=fact.instance_id,
+                    label="positive",
+                    text=text,
+                )
+            )
+        textual_groups.append(FactSet(facts))
+    dataset.groups = textual_groups
+    dataset.metadata["companies"] = _COMPANIES
+    return dataset

@@ -1,0 +1,135 @@
+"""Dataset diagnostics: what a practitioner checks before running HC.
+
+:func:`describe_dataset` summarizes a :class:`CrowdLabelingDataset` —
+redundancy, worker accuracy distribution, tier sizes at a threshold,
+within-group truth correlation and empirical label-noise rate — and
+:func:`format_summary` renders it as a text report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .schema import CrowdLabelingDataset
+
+
+@dataclass
+class DatasetSummary:
+    """Aggregate statistics of a crowd-labeling dataset."""
+
+    name: str
+    num_facts: int
+    num_groups: int
+    group_sizes: dict[int, int]
+    num_workers: int
+    num_annotations: int
+    answers_per_fact_mean: float
+    answers_per_fact_min: int
+    answers_per_fact_max: int
+    accuracy_min: float
+    accuracy_mean: float
+    accuracy_max: float
+    experts_at_theta: int
+    preliminary_at_theta: int
+    theta: float
+    empirical_annotation_accuracy: float
+    within_group_agreement: float
+    positive_rate: float
+    metadata: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if key != "metadata"
+        }
+
+
+def describe_dataset(
+    dataset: CrowdLabelingDataset, theta: float = 0.9
+) -> DatasetSummary:
+    """Compute the summary statistics of a dataset.
+
+    ``within_group_agreement`` is the probability two random facts of
+    the same group share a truth value — 0.5 means independent fair
+    coins, higher means positive correlation (the structure the joint
+    belief exploits).
+    """
+    counts = dataset.annotations.answers_per_task()
+    accuracies = dataset.crowd.accuracies
+    experts, preliminary = dataset.split_crowd(theta)
+    truth = dataset.truth_vector()
+
+    labels = dataset.annotations.label_values
+    tasks = dataset.annotations.task_indices
+    empirical = float(np.mean(labels == truth[tasks]))
+
+    agreements = []
+    for group in dataset.groups:
+        values = [dataset.ground_truth[fact.fact_id] for fact in group]
+        size = len(values)
+        if size < 2:
+            continue
+        pairs = same = 0
+        for i in range(size):
+            for j in range(i + 1, size):
+                pairs += 1
+                same += values[i] == values[j]
+        agreements.append(same / pairs)
+    within_group = float(np.mean(agreements)) if agreements else float("nan")
+
+    group_sizes: dict[int, int] = {}
+    for group in dataset.groups:
+        group_sizes[len(group)] = group_sizes.get(len(group), 0) + 1
+
+    return DatasetSummary(
+        name=dataset.name,
+        num_facts=dataset.num_facts,
+        num_groups=dataset.num_groups,
+        group_sizes=group_sizes,
+        num_workers=len(dataset.crowd),
+        num_annotations=dataset.annotations.num_annotations,
+        answers_per_fact_mean=float(counts.mean()),
+        answers_per_fact_min=int(counts.min()),
+        answers_per_fact_max=int(counts.max()),
+        accuracy_min=float(accuracies.min()),
+        accuracy_mean=float(accuracies.mean()),
+        accuracy_max=float(accuracies.max()),
+        experts_at_theta=len(experts),
+        preliminary_at_theta=len(preliminary),
+        theta=theta,
+        empirical_annotation_accuracy=empirical,
+        within_group_agreement=within_group,
+        positive_rate=float(truth.mean()),
+        metadata=dict(dataset.metadata),
+    )
+
+
+def format_summary(summary: DatasetSummary) -> str:
+    """Human-readable report of a dataset summary."""
+    sizes = ", ".join(
+        f"{count}x{size}" for size, count in sorted(summary.group_sizes.items())
+    )
+    lines = [
+        f"dataset {summary.name!r}",
+        f"  facts:        {summary.num_facts} in {summary.num_groups} "
+        f"groups ({sizes})",
+        f"  positives:    {summary.positive_rate:.1%}",
+        f"  workers:      {summary.num_workers} "
+        f"(accuracy {summary.accuracy_min:.2f}..{summary.accuracy_max:.2f}, "
+        f"mean {summary.accuracy_mean:.2f})",
+        f"  tiering:      theta={summary.theta:g} -> "
+        f"{summary.experts_at_theta} experts / "
+        f"{summary.preliminary_at_theta} preliminary",
+        f"  annotations:  {summary.num_annotations} "
+        f"({summary.answers_per_fact_mean:.1f}/fact, "
+        f"range {summary.answers_per_fact_min}-"
+        f"{summary.answers_per_fact_max})",
+        f"  label noise:  {1 - summary.empirical_annotation_accuracy:.1%} "
+        f"of annotations disagree with the truth",
+        f"  correlation:  within-group truth agreement "
+        f"{summary.within_group_agreement:.2f} (0.50 = independent)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Synthetic crowd-labeling data generator.
+
+Stands in for the real AMT dataset of the paper's section IV-A (the
+Zheng et al. VLDB'17 sentiment benchmark), which is not available
+offline.  The generator preserves the properties the evaluation
+exercises:
+
+* binary decision-making tasks grouped into correlated multi-fact
+  tasks (the paper aggregates 5 tweets about the same matter into one
+  5-fact task);
+* a heterogeneous worker pool whose accuracy distribution straddles
+  the expert threshold ``theta`` (a few experts, many preliminary
+  workers);
+* a fixed number of recorded answers per task, sampled from the
+  symmetric per-worker error model of section II-A.
+
+Correlation model: each group draws a latent "positivity" level from a
+Beta distribution; every fact in the group is true independently with
+that probability.  Integrating out the latent level yields positively
+correlated facts, mimicking tweets about the same company event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..aggregation.base import Annotation, AnswerMatrix
+from ..core.facts import Fact, FactSet
+from ..core.workers import Crowd, Worker
+from .schema import CrowdLabelingDataset
+
+
+@dataclass(frozen=True)
+class WorkerPoolSpec:
+    """Shape of the synthetic worker pool.
+
+    Parameters
+    ----------
+    num_preliminary, num_expert:
+        Pool sizes of the two tiers.
+    preliminary_accuracy:
+        ``(low, high)`` uniform range of preliminary accuracies; keep
+        the high end *below* the experiment's theta.
+    expert_accuracy:
+        ``(low, high)`` uniform range of expert accuracies; keep the
+        low end at or above theta.
+    """
+
+    num_preliminary: int = 40
+    num_expert: int = 8
+    preliminary_accuracy: tuple[float, float] = (0.6, 0.85)
+    expert_accuracy: tuple[float, float] = (0.9, 0.97)
+
+    def __post_init__(self) -> None:
+        for low, high in (self.preliminary_accuracy, self.expert_accuracy):
+            if not 0.0 <= low <= high <= 1.0:
+                raise ValueError("accuracy ranges must satisfy 0<=low<=high<=1")
+        if self.num_preliminary < 1 or self.num_expert < 0:
+            raise ValueError("pool sizes must be positive")
+
+
+def make_worker_pool(
+    spec: WorkerPoolSpec, rng: np.random.Generator
+) -> Crowd:
+    """Sample a heterogeneous crowd from a pool spec."""
+    accuracies = np.concatenate(
+        [
+            rng.uniform(*spec.preliminary_accuracy, size=spec.num_preliminary),
+            rng.uniform(*spec.expert_accuracy, size=spec.num_expert),
+        ]
+    )
+    rng.shuffle(accuracies)
+    return Crowd(
+        Worker(worker_id=f"w{index:03d}", accuracy=float(accuracy))
+        for index, accuracy in enumerate(accuracies)
+    )
+
+
+def sample_correlated_group_truth(
+    group_size: int,
+    rng: np.random.Generator,
+    concentration: float = 0.8,
+) -> np.ndarray:
+    """Sample correlated boolean truths for one group.
+
+    Draws a latent positivity ``theta_g ~ Beta(c, c)`` then each fact
+    is true with probability ``theta_g``.  Small ``concentration``
+    pushes groups toward all-true/all-false (strong correlation);
+    ``concentration -> inf`` recovers independent fair coins.
+    """
+    if concentration <= 0:
+        raise ValueError("concentration must be positive")
+    positivity = rng.beta(concentration, concentration)
+    return rng.random(group_size) < positivity
+
+
+def make_synthetic_dataset(
+    num_groups: int = 200,
+    group_size: int = 5,
+    answers_per_fact: int = 8,
+    pool: WorkerPoolSpec | None = None,
+    correlation_concentration: float = 0.8,
+    seed: int | np.random.Generator | None = 0,
+    name: str = "synthetic",
+) -> CrowdLabelingDataset:
+    """Generate a full synthetic crowd-labeling dataset.
+
+    Parameters
+    ----------
+    num_groups, group_size:
+        Task structure: ``num_groups`` independent tasks of
+        ``group_size`` correlated facts (paper: 200 x 5 from 1000
+        tweets).
+    answers_per_fact:
+        Recorded preliminary answers per fact (paper: 8 workers/task).
+    pool:
+        Worker pool spec; defaults to :class:`WorkerPoolSpec`'s
+        defaults.
+    correlation_concentration:
+        Beta concentration of the within-group truth correlation.
+    seed:
+        Seed or generator for full reproducibility.
+    """
+    if num_groups < 1 or group_size < 1:
+        raise ValueError("num_groups and group_size must be >= 1")
+    if answers_per_fact < 1:
+        raise ValueError("answers_per_fact must be >= 1")
+    rng = np.random.default_rng(seed)
+    pool = pool or WorkerPoolSpec()
+    crowd = make_worker_pool(pool, rng)
+    if answers_per_fact > len(crowd):
+        raise ValueError(
+            "answers_per_fact cannot exceed the worker pool size"
+        )
+
+    groups: list[FactSet] = []
+    ground_truth: dict[int, bool] = {}
+    fact_id = 0
+    for group_index in range(num_groups):
+        truths = sample_correlated_group_truth(
+            group_size, rng, concentration=correlation_concentration
+        )
+        facts = []
+        for offset in range(group_size):
+            facts.append(
+                Fact(
+                    fact_id=fact_id,
+                    instance_id=f"g{group_index:04d}_t{offset}",
+                    label="positive",
+                )
+            )
+            ground_truth[fact_id] = bool(truths[offset])
+            fact_id += 1
+        groups.append(FactSet(facts))
+
+    accuracies = crowd.accuracies
+    annotations: list[Annotation] = []
+    num_facts = fact_id
+    for task_index in range(num_facts):
+        worker_columns = rng.choice(
+            len(crowd), size=answers_per_fact, replace=False
+        )
+        truth = ground_truth[task_index]
+        for column in worker_columns:
+            correct = rng.random() < accuracies[column]
+            answer = truth if correct else not truth
+            annotations.append(
+                Annotation(
+                    task=task_index, worker=int(column), label=int(answer)
+                )
+            )
+
+    matrix = AnswerMatrix(
+        annotations,
+        num_tasks=num_facts,
+        num_workers=len(crowd),
+        num_classes=2,
+    )
+    return CrowdLabelingDataset(
+        groups=groups,
+        crowd=crowd,
+        annotations=matrix,
+        ground_truth=ground_truth,
+        name=name,
+        metadata={
+            "answers_per_fact": answers_per_fact,
+            "correlation_concentration": correlation_concentration,
+            "pool": pool,
+        },
+    )

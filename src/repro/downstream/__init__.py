@@ -1,0 +1,26 @@
+"""Downstream-training substrate: how label errors damage models.
+
+Implements the motivation of the paper's introduction — labels feed
+supervised training, so label errors translate into model-accuracy
+loss — with from-scratch numpy classifiers and a controlled feature
+world.
+"""
+
+from .evaluation import (
+    DownstreamResult,
+    compare_labelings,
+    train_and_score,
+)
+from .features import FeatureSet, FeatureSpec, generate_features
+from .models import GaussianNaiveBayes, LogisticRegression
+
+__all__ = [
+    "DownstreamResult",
+    "FeatureSet",
+    "FeatureSpec",
+    "GaussianNaiveBayes",
+    "LogisticRegression",
+    "compare_labelings",
+    "generate_features",
+    "train_and_score",
+]

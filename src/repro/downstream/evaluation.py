@@ -1,0 +1,141 @@
+"""Label quality -> downstream model quality.
+
+The experiment the paper's introduction implies but does not run:
+train the same classifier on the *same* features with labels produced
+by different labeling pipelines, and compare test accuracy against the
+clean-label ceiling.  The gap between "trained on method X's labels"
+and "trained on true labels" is the damage X's label errors cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from .features import FeatureSet, FeatureSpec, generate_features
+from .models import LogisticRegression
+
+#: Factory type for the downstream model.
+ModelFactory = Callable[[], object]
+
+
+@dataclass(frozen=True)
+class DownstreamResult:
+    """Test accuracies of one downstream-training comparison."""
+
+    label: str
+    model_accuracy: float
+    clean_label_accuracy: float
+    train_label_accuracy: float
+
+    @property
+    def damage(self) -> float:
+        """Accuracy lost versus training on clean labels."""
+        return self.clean_label_accuracy - self.model_accuracy
+
+
+def train_and_score(
+    feature_set: FeatureSet,
+    train_labels: Mapping[int, bool],
+    label: str = "method",
+    train_fraction: float = 0.7,
+    model_factory: ModelFactory | None = None,
+    soft_weights: Mapping[int, float] | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> DownstreamResult:
+    """Train on crowd labels, test on true labels.
+
+    Parameters
+    ----------
+    feature_set:
+        Features plus *true* labels (the test-time yardstick).
+    train_labels:
+        The labeling pipeline's output, ``fact_id -> bool``.
+    train_fraction:
+        Instance fraction used for training; the rest is the test set
+        (always scored against the true labels).
+    model_factory:
+        Downstream model constructor; default logistic regression.
+    soft_weights:
+        Optional per-fact confidence in ``train_labels`` (e.g. the
+        belief's MAP mass), used as example weights.
+    rng:
+        Split seed.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must lie in (0, 1)")
+    rng = np.random.default_rng(rng)
+    model_factory = model_factory or LogisticRegression
+    train_set, test_set = feature_set.split(train_fraction, rng)
+
+    missing = [
+        fact_id for fact_id in train_set.fact_ids
+        if fact_id not in train_labels
+    ]
+    if missing:
+        raise ValueError(
+            f"train_labels missing {len(missing)} facts (e.g. {missing[:3]})"
+        )
+    crowd_labels = np.array(
+        [int(train_labels[fact_id]) for fact_id in train_set.fact_ids]
+    )
+    weights = None
+    if soft_weights is not None:
+        weights = np.array(
+            [float(soft_weights.get(fact_id, 1.0))
+             for fact_id in train_set.fact_ids]
+        )
+
+    # Model trained on the pipeline's labels.
+    model = model_factory()
+    model.fit(train_set.features, crowd_labels, sample_weight=weights)
+    model_accuracy = model.accuracy(test_set.features, test_set.labels)
+
+    # Ceiling: the same model trained on clean labels.
+    ceiling = model_factory()
+    ceiling.fit(train_set.features, train_set.labels)
+    clean_accuracy = ceiling.accuracy(test_set.features, test_set.labels)
+
+    train_label_accuracy = float(
+        np.mean(crowd_labels == train_set.labels)
+    )
+    return DownstreamResult(
+        label=label,
+        model_accuracy=model_accuracy,
+        clean_label_accuracy=clean_accuracy,
+        train_label_accuracy=train_label_accuracy,
+    )
+
+
+def compare_labelings(
+    ground_truth: Mapping[int, bool],
+    labelings: Mapping[str, Mapping[int, bool]],
+    spec: FeatureSpec | None = None,
+    train_fraction: float = 0.7,
+    model_factory: ModelFactory | None = None,
+    seed: int = 0,
+) -> list[DownstreamResult]:
+    """Score several labeling pipelines on a shared feature world.
+
+    All pipelines share the same features and the same train/test split,
+    so differences in ``model_accuracy`` are attributable to their
+    label errors alone.
+    """
+    feature_set = generate_features(
+        ground_truth, spec=spec, rng=np.random.default_rng(seed)
+    )
+    results = []
+    for label, train_labels in labelings.items():
+        results.append(
+            train_and_score(
+                feature_set,
+                train_labels,
+                label=label,
+                train_fraction=train_fraction,
+                model_factory=model_factory,
+                rng=np.random.default_rng(seed + 1),
+            )
+        )
+    return results

@@ -1,0 +1,119 @@
+"""Synthetic feature model for downstream-training experiments.
+
+The paper's introduction motivates label quality by its effect on
+supervised training: noisy labels "damnify the downstream model
+training".  To measure that effect we need features whose relationship
+to the *true* labels is fixed, so that only the training labels vary
+between labeling methods.
+
+Each fact (data instance) gets a Gaussian feature vector whose mean
+depends on its true class: class-``True`` instances are drawn from
+``N(+mu, sigma^2 I)`` and class-``False`` from ``N(-mu, sigma^2 I)``
+along a random unit direction, a linearly separable-with-noise setup
+whose Bayes error is controlled by ``mu / sigma``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Shape of the synthetic feature distribution.
+
+    Attributes
+    ----------
+    num_features:
+        Feature dimensionality.
+    separation:
+        Distance between the class means along the discriminative
+        direction (``2 * mu``).
+    noise_scale:
+        Isotropic feature standard deviation ``sigma``.
+    """
+
+    num_features: int = 8
+    separation: float = 2.0
+    noise_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_features < 1:
+            raise ValueError("num_features must be >= 1")
+        if self.separation < 0 or self.noise_scale <= 0:
+            raise ValueError(
+                "separation must be >= 0 and noise_scale > 0"
+            )
+
+
+@dataclass(frozen=True)
+class FeatureSet:
+    """Features plus the true labels they encode.
+
+    ``features[i]`` belongs to fact id ``fact_ids[i]``; ``labels[i]``
+    is the *true* binary label (what the features actually reflect).
+    """
+
+    fact_ids: tuple[int, ...]
+    features: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.features.shape[0] != len(self.fact_ids):
+            raise ValueError("one feature row per fact id required")
+        if self.labels.shape != (len(self.fact_ids),):
+            raise ValueError("one label per fact id required")
+
+    def index_of(self, fact_id: int) -> int:
+        return self.fact_ids.index(fact_id)
+
+    def split(
+        self, train_fraction: float, rng: np.random.Generator
+    ) -> tuple["FeatureSet", "FeatureSet"]:
+        """Random train/test split by instance."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must lie in (0, 1)")
+        count = len(self.fact_ids)
+        order = rng.permutation(count)
+        cut = max(1, int(round(train_fraction * count)))
+        cut = min(cut, count - 1)
+        train_index, test_index = order[:cut], order[cut:]
+
+        def subset(indices: np.ndarray) -> FeatureSet:
+            return FeatureSet(
+                fact_ids=tuple(self.fact_ids[i] for i in indices),
+                features=self.features[indices],
+                labels=self.labels[indices],
+            )
+
+        return subset(train_index), subset(test_index)
+
+
+def generate_features(
+    ground_truth: Mapping[int, bool],
+    spec: FeatureSpec | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> FeatureSet:
+    """Sample class-conditional Gaussian features for every fact."""
+    spec = spec or FeatureSpec()
+    rng = np.random.default_rng(rng)
+    fact_ids = tuple(sorted(ground_truth))
+    labels = np.array(
+        [int(ground_truth[fact_id]) for fact_id in fact_ids]
+    )
+    direction = rng.normal(size=spec.num_features)
+    direction /= np.linalg.norm(direction)
+    offsets = (labels * 2 - 1)[:, None] * (
+        spec.separation / 2.0
+    ) * direction[None, :]
+    noise = rng.normal(
+        scale=spec.noise_scale, size=(len(fact_ids), spec.num_features)
+    )
+    return FeatureSet(
+        fact_ids=fact_ids,
+        features=offsets + noise,
+        labels=labels,
+    )

@@ -1,0 +1,180 @@
+"""From-scratch classifiers for the downstream-training experiments.
+
+No sklearn in this environment, so the two standard baselines are
+implemented directly in numpy:
+
+* :class:`LogisticRegression` — batch gradient descent with L2
+  regularization and per-example weights (weights let the training set
+  carry *soft* crowd labels, e.g. posterior masses or Paired-MV pairs);
+* :class:`GaussianNaiveBayes` — class-conditional diagonal Gaussians,
+  also weight-aware.
+
+Both expose the same tiny interface: ``fit(X, y, sample_weight=None)``,
+``predict(X)``, ``predict_proba(X)``, ``accuracy(X, y)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def _validate_xy(
+    features: np.ndarray, labels: np.ndarray, sample_weight
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels)
+    if features.ndim != 2:
+        raise ValueError("features must be a 2-D array")
+    if labels.shape != (features.shape[0],):
+        raise ValueError("need one label per feature row")
+    if not np.isin(labels, (0, 1)).all():
+        raise ValueError("labels must be binary (0/1)")
+    if sample_weight is None:
+        weights = np.ones(features.shape[0])
+    else:
+        weights = np.asarray(sample_weight, dtype=np.float64)
+        if weights.shape != (features.shape[0],):
+            raise ValueError("need one weight per example")
+        if np.any(weights < 0):
+            raise ValueError("sample weights must be non-negative")
+        if weights.sum() <= 0:
+            raise ValueError("sample weights must not all be zero")
+    return features, labels.astype(np.int64), weights
+
+
+class LogisticRegression:
+    """Weighted binary logistic regression via gradient descent.
+
+    Parameters
+    ----------
+    learning_rate, num_iterations:
+        Gradient-descent schedule.
+    l2:
+        L2 penalty on the weights (not the intercept).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        num_iterations: int = 300,
+        l2: float = 1e-3,
+    ):
+        if learning_rate <= 0 or num_iterations < 1 or l2 < 0:
+            raise ValueError("invalid hyperparameters")
+        self.learning_rate = learning_rate
+        self.num_iterations = num_iterations
+        self.l2 = l2
+        self.coefficients_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "LogisticRegression":
+        features, labels, weights = _validate_xy(
+            features, labels, sample_weight
+        )
+        weights = weights / weights.sum()
+        num_features = features.shape[1]
+        coefficients = np.zeros(num_features)
+        intercept = 0.0
+        for _iteration in range(self.num_iterations):
+            logits = features @ coefficients + intercept
+            predictions = 0.5 * (1.0 + np.tanh(0.5 * logits))
+            residual = weights * (predictions - labels)
+            gradient = features.T @ residual + self.l2 * coefficients
+            intercept_gradient = residual.sum()
+            coefficients -= self.learning_rate * gradient
+            intercept -= self.learning_rate * intercept_gradient
+        self.coefficients_ = coefficients
+        self.intercept_ = float(intercept)
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.coefficients_ is None:
+            raise RuntimeError("fit() must be called before predict")
+        features = np.asarray(features, dtype=np.float64)
+        logits = features @ self.coefficients_ + self.intercept_
+        positive = 0.5 * (1.0 + np.tanh(0.5 * logits))
+        return np.stack([1.0 - positive, positive], axis=1)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(features)[:, 1] >= 0.5).astype(np.int64)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        labels = np.asarray(labels)
+        return float(np.mean(self.predict(features) == labels))
+
+
+class GaussianNaiveBayes:
+    """Diagonal-covariance Gaussian naive Bayes with example weights."""
+
+    def __init__(self, var_smoothing: float = 1e-6):
+        if var_smoothing <= 0:
+            raise ValueError("var_smoothing must be positive")
+        self.var_smoothing = var_smoothing
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+        self.log_priors_: np.ndarray | None = None
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "GaussianNaiveBayes":
+        features, labels, weights = _validate_xy(
+            features, labels, sample_weight
+        )
+        num_features = features.shape[1]
+        means = np.zeros((2, num_features))
+        variances = np.ones((2, num_features))
+        priors = np.zeros(2)
+        for klass in (0, 1):
+            mask = labels == klass
+            class_weight = weights[mask].sum()
+            if class_weight <= 0:
+                # Degenerate training set: keep an uninformative class.
+                priors[klass] = _EPS
+                continue
+            priors[klass] = class_weight
+            class_features = features[mask]
+            class_weights = weights[mask][:, None]
+            means[klass] = (
+                (class_weights * class_features).sum(axis=0) / class_weight
+            )
+            centered = class_features - means[klass]
+            variances[klass] = (
+                (class_weights * centered**2).sum(axis=0) / class_weight
+            )
+        self.means_ = means
+        self.variances_ = variances + self.var_smoothing
+        self.log_priors_ = np.log(priors / priors.sum())
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.means_ is None:
+            raise RuntimeError("fit() must be called before predict")
+        features = np.asarray(features, dtype=np.float64)
+        log_likelihood = np.zeros((features.shape[0], 2))
+        for klass in (0, 1):
+            centered = features - self.means_[klass]
+            log_likelihood[:, klass] = (
+                -0.5 * (centered**2 / self.variances_[klass]).sum(axis=1)
+                - 0.5 * np.log(2 * np.pi * self.variances_[klass]).sum()
+                + self.log_priors_[klass]
+            )
+        log_likelihood -= log_likelihood.max(axis=1, keepdims=True)
+        likelihood = np.exp(log_likelihood)
+        return likelihood / likelihood.sum(axis=1, keepdims=True)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        labels = np.asarray(labels)
+        return float(np.mean(self.predict(features) == labels))

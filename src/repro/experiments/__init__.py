@@ -1,0 +1,97 @@
+"""Experiment harness reproducing the paper's evaluation (section IV)."""
+
+from .config import (
+    EXPERIMENT_POOL,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    DatasetSpec,
+    ExperimentScale,
+    get_scale,
+)
+from .figures import (
+    run_ablation_cost_model,
+    run_ablation_miscalibration,
+    run_ablation_panel_size,
+    run_ablation_selectors,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+)
+from .downstream_experiment import (
+    DownstreamComparison,
+    format_downstream,
+    run_downstream_comparison,
+)
+from .plots import ascii_chart, chart_experiment
+from .reporting import (
+    format_experiment,
+    format_replicated,
+    format_series_table,
+    format_table,
+    format_table3,
+    save_json,
+)
+from .sweeps import (
+    SweepGrid,
+    format_sweep,
+    run_figure2_replicated,
+    run_theta_k_sweep,
+)
+from .runner import (
+    ExperimentResult,
+    Series,
+    baseline_series,
+    build_dataset,
+    hc_series,
+    sample_at_budgets,
+    sample_expert_annotations,
+)
+from .table3 import Table3Result, TimingRow, make_timing_belief, run_table3
+
+__all__ = [
+    "DatasetSpec",
+    "DownstreamComparison",
+    "EXPERIMENT_POOL",
+    "ExperimentResult",
+    "ExperimentScale",
+    "PAPER_SCALE",
+    "SMALL_SCALE",
+    "Series",
+    "SweepGrid",
+    "Table3Result",
+    "TimingRow",
+    "ascii_chart",
+    "baseline_series",
+    "chart_experiment",
+    "build_dataset",
+    "format_downstream",
+    "format_experiment",
+    "format_replicated",
+    "format_series_table",
+    "format_sweep",
+    "format_table",
+    "format_table3",
+    "get_scale",
+    "hc_series",
+    "make_timing_belief",
+    "run_ablation_cost_model",
+    "run_ablation_miscalibration",
+    "run_ablation_panel_size",
+    "run_ablation_selectors",
+    "run_downstream_comparison",
+    "run_figure2",
+    "run_figure2_replicated",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_table3",
+    "run_theta_k_sweep",
+    "sample_at_budgets",
+    "sample_expert_annotations",
+    "save_json",
+]

@@ -1,0 +1,82 @@
+"""Experiment configuration presets.
+
+Two scales are provided for every experiment: ``paper`` (matching the
+section IV-A setup: 200 tasks x 5 facts, 8 answers per fact, theta=0.9,
+budgets up to 1000) and ``small`` (a fast-but-same-shape preset used by
+the test suite and the benchmark harness so a full reproduction run
+stays laptop-friendly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets.synthetic import WorkerPoolSpec
+
+#: Worker pool used by the experiments: many preliminary workers whose
+#: accuracies span the Figure 4 theta range (0.8-0.9), plus a small
+#: expert tier above 0.9 (the paper's theta=0.9 split leaves few experts).
+EXPERIMENT_POOL = WorkerPoolSpec(
+    num_preliminary=40,
+    num_expert=3,
+    preliminary_accuracy=(0.6, 0.89),
+    expert_accuracy=(0.9, 0.97),
+)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Parameters of the evaluation dataset."""
+
+    num_groups: int = 200
+    group_size: int = 5
+    answers_per_fact: int = 8
+    pool: WorkerPoolSpec = EXPERIMENT_POOL
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size knobs shared by the figure runners.
+
+    Attributes
+    ----------
+    dataset:
+        The evaluation dataset spec.
+    budgets:
+        Budget grid at which curves are sampled.
+    max_budget:
+        Total expert-answer budget of each run (>= max(budgets)).
+    seed:
+        Seed for expert-panel sampling and baseline subsampling.
+    """
+
+    dataset: DatasetSpec = DatasetSpec()
+    budgets: tuple[int, ...] = (100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
+    seed: int = 0
+
+    @property
+    def max_budget(self) -> int:
+        return max(self.budgets)
+
+
+#: Paper-faithful scale (section IV-A).
+PAPER_SCALE = ExperimentScale()
+
+#: Fast preset for tests and pytest-benchmark runs: same shapes, ~20x
+#: less work.
+SMALL_SCALE = ExperimentScale(
+    dataset=DatasetSpec(num_groups=30, group_size=5, answers_per_fact=8),
+    budgets=(20, 40, 60, 80, 100, 120, 140),
+)
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up a scale preset by name ("paper" or "small")."""
+    presets = {"paper": PAPER_SCALE, "small": SMALL_SCALE}
+    try:
+        return presets[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; available: {', '.join(presets)}"
+        ) from None

@@ -1,0 +1,151 @@
+"""Downstream-training experiment: label quality -> model quality.
+
+Makes the paper's introductory motivation measurable: labels produced
+by HC and by each aggregation baseline train the same classifier on the
+same features, and the resulting test accuracies are compared to the
+clean-label ceiling.  A deliberately noisy preliminary crowd is used so
+label errors are large enough to move the model (with the main
+experiments' 8-answer redundancy the noise floor is too low to matter,
+which is itself worth knowing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..aggregation.registry import make_aggregator
+from ..datasets.sentiment import make_sentiment_dataset
+from ..datasets.synthetic import WorkerPoolSpec
+from ..downstream import FeatureSpec, compare_labelings
+from ..simulation.session import SessionConfig, run_hc_session
+
+#: Noisy preliminary tier: errors frequent enough to damage training.
+NOISY_POOL = WorkerPoolSpec(
+    num_preliminary=30,
+    num_expert=3,
+    preliminary_accuracy=(0.52, 0.7),
+    expert_accuracy=(0.9, 0.97),
+)
+
+
+@dataclass
+class DownstreamComparison:
+    """Aggregated downstream scores of several labeling methods."""
+
+    labels: list[str]
+    model_accuracy_mean: dict[str, float]
+    model_accuracy_std: dict[str, float]
+    train_label_accuracy: dict[str, float]
+    clean_ceiling_mean: float
+    metadata: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "labels": self.labels,
+            "model_accuracy_mean": self.model_accuracy_mean,
+            "model_accuracy_std": self.model_accuracy_std,
+            "train_label_accuracy": self.train_label_accuracy,
+            "clean_ceiling_mean": self.clean_ceiling_mean,
+            "metadata": self.metadata,
+        }
+
+
+def run_downstream_comparison(
+    num_groups: int = 40,
+    budget: float = 200.0,
+    methods: tuple[str, ...] = ("MV", "EBCC"),
+    num_feature_seeds: int = 5,
+    feature_spec: FeatureSpec | None = None,
+    seed: int = 0,
+) -> DownstreamComparison:
+    """Compare HC's labels against aggregation baselines downstream.
+
+    Runs one HC session and each baseline once on a noisy-crowd
+    dataset, then trains/test-scores a logistic model over
+    ``num_feature_seeds`` independent feature worlds and averages.
+    """
+    if num_feature_seeds < 1:
+        raise ValueError("num_feature_seeds must be >= 1")
+    feature_spec = feature_spec or FeatureSpec(
+        num_features=6, separation=2.5, noise_scale=1.0
+    )
+    dataset = make_sentiment_dataset(
+        num_groups=num_groups,
+        answers_per_fact=6,
+        pool=NOISY_POOL,
+        seed=seed,
+    )
+    hc_run = run_hc_session(
+        dataset,
+        SessionConfig(theta=0.9, k=1, budget=budget, seed=seed),
+    )
+    labelings: dict[str, dict[int, bool]] = {"HC": hc_run.final_labels}
+    for name in methods:
+        result = make_aggregator(name).fit(
+            dataset.preliminary_annotations(0.9)
+        )
+        labelings[name] = {
+            fact_id: bool(result.predictions[fact_id])
+            for fact_id in dataset.fact_ids
+        }
+
+    labels = list(labelings)
+    scores: dict[str, list[float]] = {label: [] for label in labels}
+    ceilings: list[float] = []
+    train_accuracy: dict[str, float] = {}
+    for feature_seed in range(num_feature_seeds):
+        results = compare_labelings(
+            dataset.ground_truth,
+            labelings,
+            spec=feature_spec,
+            seed=seed + 100 + feature_seed,
+        )
+        for result in results:
+            scores[result.label].append(result.model_accuracy)
+            train_accuracy[result.label] = result.train_label_accuracy
+            ceilings.append(result.clean_label_accuracy)
+
+    return DownstreamComparison(
+        labels=labels,
+        model_accuracy_mean={
+            label: float(np.mean(values))
+            for label, values in scores.items()
+        },
+        model_accuracy_std={
+            label: float(np.std(values))
+            for label, values in scores.items()
+        },
+        train_label_accuracy=train_accuracy,
+        clean_ceiling_mean=float(np.mean(ceilings)),
+        metadata={
+            "num_groups": num_groups,
+            "budget": budget,
+            "num_feature_seeds": num_feature_seeds,
+            "seed": seed,
+        },
+    )
+
+
+def format_downstream(comparison: DownstreamComparison) -> str:
+    """Text table of a downstream comparison."""
+    from .reporting import format_table
+
+    header = ["method", "label acc", "model acc", "±std", "gap to clean"]
+    rows = []
+    for label in comparison.labels:
+        rows.append(
+            [
+                label,
+                f"{comparison.train_label_accuracy[label]:.4f}",
+                f"{comparison.model_accuracy_mean[label]:.4f}",
+                f"{comparison.model_accuracy_std[label]:.4f}",
+                f"{comparison.clean_ceiling_mean - comparison.model_accuracy_mean[label]:+.4f}",
+            ]
+        )
+    title = (
+        "Downstream training (clean-label ceiling "
+        f"{comparison.clean_ceiling_mean:.4f})"
+    )
+    return f"{title}\n{format_table(header, rows)}"

@@ -1,0 +1,115 @@
+"""Dependency-free ASCII line charts for experiment curves.
+
+The reproduction environment has no plotting stack, so the figure
+runners' series are rendered as fixed-width character charts — good
+enough to eyeball every trend the paper plots, and embeddable in text
+reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .runner import ExperimentResult, Series
+
+#: Glyphs assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Sequence[Series],
+    metric: str = "accuracy",
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Render budget-vs-metric curves as an ASCII chart with a legend.
+
+    Parameters
+    ----------
+    series:
+        The curves to draw (at most ``len(_MARKERS)``); all must share
+        a budget grid.
+    metric:
+        ``"accuracy"`` or ``"quality"``.
+    width, height:
+        Plot-area size in characters (excluding axes).
+    """
+    if metric not in ("accuracy", "quality"):
+        raise ValueError("metric must be 'accuracy' or 'quality'")
+    populated = [s for s in series if getattr(s, metric)]
+    if not populated:
+        raise ValueError(f"no series carries {metric}")
+    if len(populated) > len(_MARKERS):
+        raise ValueError(
+            f"at most {len(_MARKERS)} series can be drawn"
+        )
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4")
+
+    budgets = populated[0].budgets
+    for s in populated:
+        if s.budgets != budgets:
+            raise ValueError("all series must share the same budget grid")
+
+    all_values = [
+        value
+        for s in populated
+        for value in getattr(s, metric)
+        if not math.isnan(value)
+    ]
+    low, high = min(all_values), max(all_values)
+    if high == low:
+        high = low + 1.0
+    budget_low, budget_high = min(budgets), max(budgets)
+    budget_span = (budget_high - budget_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(populated):
+        marker = _MARKERS[index]
+        for budget, value in zip(s.budgets, getattr(s, metric)):
+            if math.isnan(value):
+                continue
+            column = round(
+                (budget - budget_low) / budget_span * (width - 1)
+            )
+            row = round((high - value) / (high - low) * (height - 1))
+            grid[row][column] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{high:>10.3f} |"
+        elif row_index == height - 1:
+            label = f"{low:>10.3f} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    axis = (
+        " " * 12
+        + f"{budget_low:<{max(1, width // 2)}g}"
+        + f"{budget_high:>{width - max(1, width // 2)}g}"
+    )
+    lines.append(axis)
+    legend = "  ".join(
+        f"{_MARKERS[index]} {s.label}" for index, s in enumerate(populated)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def chart_experiment(
+    result: ExperimentResult, width: int = 64, height: int = 18
+) -> str:
+    """ASCII charts (accuracy, then quality where present) for a whole
+    experiment result."""
+    parts = []
+    for metric in ("accuracy", "quality"):
+        populated = [s for s in result.series if getattr(s, metric)]
+        if populated:
+            parts.append(f"{result.name} — {metric}")
+            parts.append(
+                ascii_chart(populated, metric, width=width, height=height)
+            )
+    return "\n".join(parts)

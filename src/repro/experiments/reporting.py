@@ -1,0 +1,130 @@
+"""Plain-text reporting of experiment results.
+
+Renders the figure runners' series and the Table III rows as aligned
+ASCII tables — the reproduction's equivalent of the paper's plots —
+plus JSON export for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .runner import ExperimentResult, Series
+from .table3 import Table3Result
+
+
+def format_table(
+    header: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Align a header and rows into a fixed-width text table."""
+    columns = [list(column) for column in zip(header, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    for row_index, row in enumerate([list(header)] + [list(r) for r in rows]):
+        line = "  ".join(
+            cell.rjust(width) for cell, width in zip(row, widths)
+        )
+        lines.append(line)
+        if row_index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    result: ExperimentResult, metric: str = "accuracy"
+) -> str:
+    """One row per budget, one column per series, for a chosen metric.
+
+    ``metric`` is ``"accuracy"`` or ``"quality"``.
+    """
+    if metric not in ("accuracy", "quality"):
+        raise ValueError("metric must be 'accuracy' or 'quality'")
+    populated = [
+        series for series in result.series if getattr(series, metric)
+    ]
+    if not populated:
+        raise ValueError(f"no series of {result.name} carries {metric}")
+    budgets = populated[0].budgets
+    header = ["budget"] + [series.label for series in populated]
+    rows = []
+    for index, budget in enumerate(budgets):
+        row = [f"{budget:g}"]
+        for series in populated:
+            values = getattr(series, metric)
+            value = values[index] if index < len(values) else float("nan")
+            row.append(f"{value:.4f}" if metric == "accuracy" else f"{value:.2f}")
+        rows.append(row)
+    title = f"{result.name} — {metric}"
+    return f"{title}\n{format_table(header, rows)}"
+
+
+def format_experiment(result: ExperimentResult) -> str:
+    """Full text report: accuracy table plus quality table if present."""
+    parts = []
+    if any(series.accuracy for series in result.series):
+        parts.append(format_series_table(result, "accuracy"))
+    if any(series.quality for series in result.series):
+        parts.append(format_series_table(result, "quality"))
+    return "\n\n".join(parts)
+
+
+def format_table3(result: Table3Result) -> str:
+    """Render Table III (average selection seconds per round)."""
+    header = ["k", "OPT", "Approx"]
+    rows = [
+        [str(row.k), row.opt_display, f"{row.approx_seconds:.4f}"]
+        for row in result.rows
+    ]
+    meta = result.metadata
+    title = (
+        "Table III — avg selection time per round (s); "
+        f"{meta.get('num_facts', '?')} facts, "
+        f"{meta.get('num_experts', '?')} experts"
+    )
+    return f"{title}\n{format_table(header, rows)}"
+
+
+def format_replicated(series_list) -> str:
+    """Table of multi-seed replicated curves (mean ± std per budget).
+
+    Accepts :class:`repro.analysis.ReplicatedSeries` objects sharing a
+    budget grid.
+    """
+    if not series_list:
+        raise ValueError("need at least one replicated series")
+    budgets = series_list[0].budgets
+    for series in series_list:
+        if series.budgets != budgets:
+            raise ValueError("all series must share the budget grid")
+    header = ["budget"]
+    for series in series_list:
+        header.append(f"{series.label} acc")
+        header.append(f"{series.label} qual")
+    rows = []
+    for index, budget in enumerate(budgets):
+        row = [f"{budget:g}"]
+        for series in series_list:
+            row.append(
+                f"{series.accuracy_mean[index]:.4f}"
+                f"±{series.accuracy_std[index]:.4f}"
+            )
+            row.append(
+                f"{series.quality_mean[index]:.2f}"
+                f"±{series.quality_std[index]:.2f}"
+            )
+        rows.append(row)
+    runs = series_list[0].num_runs
+    return f"replicated over {runs} seeds\n{format_table(header, rows)}"
+
+
+def save_json(
+    result: ExperimentResult | Table3Result, path: str | Path
+) -> Path:
+    """Write a result's dictionary form as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(result.to_dict(), handle, indent=2)
+    return path

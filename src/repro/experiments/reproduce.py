@@ -1,0 +1,148 @@
+"""One-command reproduction driver: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.experiments.reproduce --scale paper --out results/
+    python -m repro.experiments.reproduce --scale small        # quick run
+    python -m repro.experiments.reproduce --only figure2 table3
+
+Writes one JSON and one ``.txt`` report per experiment into the output
+directory and prints the text reports as it goes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Callable
+
+from .config import get_scale
+from .figures import (
+    run_ablation_cost_model,
+    run_ablation_miscalibration,
+    run_ablation_panel_size,
+    run_ablation_selectors,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+)
+from .reporting import format_experiment, format_table3, save_json
+from .table3 import run_table3
+
+#: Experiment registry: name -> (runner taking a scale, is_table3 flag).
+FIGURE_RUNNERS: dict[str, Callable] = {
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "figure4": run_figure4,
+    "figure5": run_figure5,
+    "figure6": run_figure6,
+    "figure7": run_figure7,
+    "ablation_selectors": run_ablation_selectors,
+    "ablation_cost_model": run_ablation_cost_model,
+    "ablation_miscalibration": run_ablation_miscalibration,
+    "ablation_panel_size": run_ablation_panel_size,
+}
+
+
+def run_all(
+    scale_name: str = "paper",
+    out_dir: str | Path = "results",
+    only: list[str] | None = None,
+    table3_facts: int = 20,
+    table3_max_k: int = 10,
+    table3_timeout: float = 60.0,
+) -> dict[str, float]:
+    """Run the selected experiments; returns wall-clock seconds each took."""
+    scale = get_scale(scale_name)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    selected = only or [
+        *FIGURE_RUNNERS, "table3", "sweep_theta_k", "figure2_replicated",
+    ]
+    timings: dict[str, float] = {}
+
+    for name in selected:
+        start = time.perf_counter()
+        if name == "table3":
+            result = run_table3(
+                k_values=tuple(range(1, table3_max_k + 1)),
+                num_facts=table3_facts,
+                opt_timeout_seconds=table3_timeout,
+            )
+            report = format_table3(result)
+            (out_dir / "table3.json").write_text(
+                json.dumps(result.to_dict(), indent=2)
+            )
+        elif name == "sweep_theta_k":
+            from .sweeps import format_sweep, run_theta_k_sweep
+
+            grid = run_theta_k_sweep(scale)
+            report = (
+                format_sweep(grid, "accuracy")
+                + "\n\n"
+                + format_sweep(grid, "quality")
+            )
+            (out_dir / "sweep_theta_k.json").write_text(
+                json.dumps(grid.to_dict(), indent=2)
+            )
+        elif name == "figure2_replicated":
+            from .reporting import format_replicated
+            from .sweeps import run_figure2_replicated
+
+            series = run_figure2_replicated(scale)
+            report = format_replicated([series])
+            (out_dir / "figure2_replicated.json").write_text(
+                json.dumps(series.to_dict(), indent=2)
+            )
+        elif name in FIGURE_RUNNERS:
+            result = FIGURE_RUNNERS[name](scale)
+            report = format_experiment(result)
+            save_json(result, out_dir / f"{name}.json")
+        else:
+            available = [
+                *FIGURE_RUNNERS, "table3", "sweep_theta_k",
+                "figure2_replicated",
+            ]
+            raise ValueError(
+                f"unknown experiment {name!r}; "
+                f"available: {', '.join(available)}"
+            )
+        elapsed = time.perf_counter() - start
+        timings[name] = elapsed
+        (out_dir / f"{name}.txt").write_text(report + "\n")
+        print(f"=== {name} ({elapsed:.1f}s) ===")
+        print(report)
+        print()
+
+    (out_dir / "timings.json").write_text(json.dumps(timings, indent=2))
+    return timings
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="paper",
+                        choices=("paper", "small"))
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of experiments to run")
+    parser.add_argument("--table3-facts", type=int, default=20)
+    parser.add_argument("--table3-max-k", type=int, default=10)
+    parser.add_argument("--table3-timeout", type=float, default=60.0)
+    args = parser.parse_args(argv)
+    run_all(
+        scale_name=args.scale,
+        out_dir=args.out,
+        only=args.only,
+        table3_facts=args.table3_facts,
+        table3_max_k=args.table3_max_k,
+        table3_timeout=args.table3_timeout,
+    )
+
+
+if __name__ == "__main__":
+    main()

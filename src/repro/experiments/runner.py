@@ -1,0 +1,205 @@
+"""Shared machinery of the figure runners.
+
+Budget protocol (documented here once, referenced by EXPERIMENTS.md):
+the paper argues HC needs "at least the same human labor cost, or even
+lower" than plain aggregation.  We make that comparison explicit:
+
+* every method receives the *same* preliminary labels — the recorded
+  CP annotations of the dataset (the sunk labeling pass);
+* a budget of ``B`` buys ``B`` additional expert answers.  HC spends
+  them on selected checking tasks and fuses them with Bayes; an
+  aggregation baseline spends them on uniformly random (fact, expert)
+  labels and re-aggregates everything.
+
+So at every budget point both sides have consumed exactly the same
+number of answers from the same worker pools; what differs is targeting
+and probabilistic fusion — the paper's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..aggregation.base import Annotation, AnswerMatrix
+from ..aggregation.registry import make_aggregator
+from ..core.hc import RunResult
+from ..core.workers import Crowd
+from ..datasets.schema import CrowdLabelingDataset
+from ..datasets.sentiment import make_sentiment_dataset
+from .config import DatasetSpec
+
+
+@dataclass
+class Series:
+    """One labeled curve of an experiment."""
+
+    label: str
+    budgets: list[float]
+    accuracy: list[float]
+    quality: list[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "budgets": list(self.budgets),
+            "accuracy": list(self.accuracy),
+            "quality": list(self.quality),
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """A named collection of series plus free-form metadata."""
+
+    name: str
+    series: list[Series]
+    metadata: dict = field(default_factory=dict)
+
+    def by_label(self, label: str) -> Series:
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(f"no series labeled {label!r} in {self.name}")
+
+    @property
+    def labels(self) -> list[str]:
+        return [series.label for series in self.series]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "series": [series.to_dict() for series in self.series],
+            "metadata": {
+                key: value
+                for key, value in self.metadata.items()
+                if isinstance(value, (str, int, float, bool, list, dict))
+            },
+        }
+
+
+def build_dataset(spec: DatasetSpec) -> CrowdLabelingDataset:
+    """The sentiment stand-in dataset for an experiment spec."""
+    return make_sentiment_dataset(
+        num_groups=spec.num_groups,
+        group_size=spec.group_size,
+        answers_per_fact=spec.answers_per_fact,
+        pool=spec.pool,
+        seed=spec.seed,
+    )
+
+
+def sample_at_budgets(
+    result: RunResult, budgets: Sequence[float]
+) -> tuple[list[float], list[float]]:
+    """Step-sample a run's (accuracy, quality) history at budget points.
+
+    For each requested budget the last round whose cumulative spend does
+    not exceed it is used (curves are right-continuous step functions).
+    """
+    spent = result.budgets
+    accuracies = result.accuracies
+    qualities = result.qualities
+    sampled_accuracy: list[float] = []
+    sampled_quality: list[float] = []
+    for budget in budgets:
+        index = int(np.searchsorted(spent, budget, side="right")) - 1
+        index = max(index, 0)
+        accuracy = accuracies[index]
+        sampled_accuracy.append(float(accuracy) if accuracy is not None else float("nan"))
+        sampled_quality.append(float(qualities[index]))
+    return sampled_accuracy, sampled_quality
+
+
+def hc_series(
+    label: str, result: RunResult, budgets: Sequence[float]
+) -> Series:
+    """Wrap an HC run into a budget-sampled :class:`Series`."""
+    accuracy, quality = sample_at_budgets(result, budgets)
+    return Series(
+        label=label,
+        budgets=list(budgets),
+        accuracy=accuracy,
+        quality=quality,
+    )
+
+
+def sample_expert_annotations(
+    dataset: CrowdLabelingDataset,
+    experts: Crowd,
+    num_annotations: int,
+    rng: np.random.Generator,
+) -> list[Annotation]:
+    """``num_annotations`` fresh expert labels on uniformly random facts.
+
+    Each (fact, expert) pair is used at most once; answers are sampled
+    from the expert's error model against the ground truth — the same
+    process the simulated checking panel uses, so baselines and HC draw
+    from identical answer distributions.
+    """
+    expert_columns = [
+        dataset.worker_column(worker.worker_id) for worker in experts
+    ]
+    accuracies = [worker.accuracy for worker in experts]
+    num_facts = dataset.num_facts
+    total_pairs = num_facts * len(experts)
+    num_annotations = min(num_annotations, total_pairs)
+    chosen = rng.choice(total_pairs, size=num_annotations, replace=False)
+    annotations: list[Annotation] = []
+    for pair_index in chosen:
+        fact_id = int(pair_index) % num_facts
+        expert_index = int(pair_index) // num_facts
+        truth = dataset.ground_truth[fact_id]
+        correct = rng.random() < accuracies[expert_index]
+        answer = truth if correct else not truth
+        annotations.append(
+            Annotation(
+                task=fact_id,
+                worker=expert_columns[expert_index],
+                label=int(answer),
+            )
+        )
+    return annotations
+
+
+def baseline_series(
+    dataset: CrowdLabelingDataset,
+    aggregator_name: str,
+    budgets: Sequence[float],
+    theta: float,
+    seed: int = 0,
+) -> Series:
+    """Budget curve of one aggregation baseline under the shared protocol.
+
+    At budget ``B`` the baseline aggregates the recorded CP annotations
+    plus ``B`` random fresh expert annotations.  The extra annotations
+    are nested across budgets (the budget-200 pool contains the
+    budget-100 pool), so curves are monotone in information.
+    """
+    experts, _preliminary = dataset.split_crowd(theta)
+    cp_matrix = dataset.preliminary_annotations(theta)
+    truth = dataset.truth_vector()
+
+    rng = np.random.default_rng(seed)
+    max_budget = int(max(budgets))
+    extra_pool = sample_expert_annotations(dataset, experts, max_budget, rng)
+
+    accuracies: list[float] = []
+    for budget in budgets:
+        combined = list(cp_matrix.annotations) + extra_pool[: int(budget)]
+        matrix = AnswerMatrix(
+            combined,
+            num_tasks=dataset.annotations.num_tasks,
+            num_workers=dataset.annotations.num_workers,
+            num_classes=2,
+        )
+        aggregator = make_aggregator(aggregator_name)
+        result = aggregator.fit(matrix)
+        accuracies.append(result.accuracy(truth))
+    return Series(
+        label=aggregator_name,
+        budgets=list(budgets),
+        accuracy=accuracies,
+    )

@@ -1,0 +1,148 @@
+"""Parameter sweeps beyond the paper's one-dimensional figures.
+
+Figures 3 and 4 vary ``k`` and ``theta`` separately; this module maps
+the full ``theta x k`` grid (final accuracy and quality at a fixed
+budget), plus a replicated variant of Figure 2's HC curve with error
+bars over expert-panel seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simulation.session import SessionConfig, run_hc_session
+from .config import ExperimentScale, PAPER_SCALE
+from .runner import build_dataset
+
+
+@dataclass
+class SweepGrid:
+    """Final-metric grid of a two-parameter sweep."""
+
+    thetas: list[float]
+    k_values: list[int]
+    #: ``accuracy[i][j]`` for ``thetas[i]``, ``k_values[j]`` (NaN where
+    #: the configuration was infeasible, e.g. empty CE).
+    accuracy: np.ndarray = field(default_factory=lambda: np.empty(0))
+    quality: np.ndarray = field(default_factory=lambda: np.empty(0))
+    metadata: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "thetas": self.thetas,
+            "k_values": self.k_values,
+            "accuracy": self.accuracy.tolist(),
+            "quality": self.quality.tolist(),
+            "metadata": dict(self.metadata),
+        }
+
+    def best_configuration(self) -> tuple[float, int]:
+        """``(theta, k)`` with the highest final accuracy (quality as
+        tie-breaker)."""
+        flat_best = None
+        best_key = (-np.inf, -np.inf)
+        for i, theta in enumerate(self.thetas):
+            for j, k in enumerate(self.k_values):
+                if np.isnan(self.accuracy[i, j]):
+                    continue
+                key = (self.accuracy[i, j], self.quality[i, j])
+                if key > best_key:
+                    best_key = key
+                    flat_best = (theta, k)
+        if flat_best is None:
+            raise ValueError("no feasible configuration in the grid")
+        return flat_best
+
+
+def run_theta_k_sweep(
+    scale: ExperimentScale = PAPER_SCALE,
+    thetas: tuple[float, ...] = (0.8, 0.85, 0.9),
+    k_values: tuple[int, ...] = (1, 2, 3),
+    initializer: str = "EBCC",
+) -> SweepGrid:
+    """Final accuracy/quality over the full ``theta x k`` grid.
+
+    Each cell runs the complete HC session at ``scale.max_budget``.
+    Infeasible cells (no worker reaches theta) are NaN.
+    """
+    dataset = build_dataset(scale.dataset)
+    accuracy = np.full((len(thetas), len(k_values)), np.nan)
+    quality = np.full((len(thetas), len(k_values)), np.nan)
+    for i, theta in enumerate(thetas):
+        experts, _preliminary = dataset.split_crowd(theta)
+        if len(experts) == 0 or len(experts) == len(dataset.crowd):
+            continue
+        for j, k in enumerate(k_values):
+            config = SessionConfig(
+                theta=theta,
+                k=k,
+                budget=scale.max_budget,
+                initializer=initializer,
+                seed=scale.seed,
+            )
+            result = run_hc_session(dataset, config)
+            final = result.history[-1]
+            accuracy[i, j] = final.accuracy
+            quality[i, j] = final.quality
+    return SweepGrid(
+        thetas=list(thetas),
+        k_values=list(k_values),
+        accuracy=accuracy,
+        quality=quality,
+        metadata={
+            "budget": scale.max_budget,
+            "initializer": initializer,
+            "seed": scale.seed,
+        },
+    )
+
+
+def format_sweep(grid: SweepGrid, metric: str = "accuracy") -> str:
+    """Text heat-table of a sweep grid (rows theta, columns k)."""
+    from .reporting import format_table
+
+    if metric not in ("accuracy", "quality"):
+        raise ValueError("metric must be 'accuracy' or 'quality'")
+    values = getattr(grid, metric)
+    header = ["theta \\ k"] + [str(k) for k in grid.k_values]
+    rows = []
+    for i, theta in enumerate(grid.thetas):
+        row = [f"{theta:g}"]
+        for j in range(len(grid.k_values)):
+            value = values[i, j]
+            if np.isnan(value):
+                row.append("-")
+            elif metric == "accuracy":
+                row.append(f"{value:.4f}")
+            else:
+                row.append(f"{value:.2f}")
+        rows.append(row)
+    title = f"theta x k sweep — final {metric} at budget " \
+            f"{grid.metadata.get('budget', '?')}"
+    return f"{title}\n{format_table(header, rows)}"
+
+
+def run_figure2_replicated(
+    scale: ExperimentScale = PAPER_SCALE,
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
+):
+    """Figure 2's HC curve with error bars over expert-panel seeds.
+
+    The paper plots single runs; this quantifies the simulation noise
+    band around the HC curve (the dataset and initialization are fixed,
+    only expert answers vary).  Returns a
+    :class:`repro.analysis.ReplicatedSeries`.
+    """
+    # Imported lazily: repro.analysis.replication itself imports from
+    # repro.experiments.runner, so a module-level import would cycle.
+    from ..analysis.replication import replicate_session
+
+    dataset = build_dataset(scale.dataset)
+    config = SessionConfig(
+        theta=0.9, k=1, budget=scale.max_budget, initializer="EBCC"
+    )
+    return replicate_session(
+        dataset, config, scale.budgets, seeds=seeds, label="HC"
+    )

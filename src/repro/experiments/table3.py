@@ -1,0 +1,151 @@
+"""Table III: average checking-task selection time per round, OPT vs Approx.
+
+The paper times both selectors on "tasks that contain more than 20
+facts" and reports an exponential blow-up for OPT (timeout past k=3 on
+their hardware) against polynomial growth for the greedy.  This runner
+reproduces the shape: a single large task group, two expert workers,
+per-round wall-clock times for each k, with a configurable timeout that
+yields the paper's "timeout" cells.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.facts import FactSet
+from ..core.observations import BeliefState, FactoredBelief
+from ..core.selection import (
+    ExactSelector,
+    GreedySelector,
+    SelectionTimeout,
+)
+from ..core.workers import Crowd
+
+
+@dataclass
+class TimingRow:
+    """One row of Table III."""
+
+    k: int
+    opt_seconds: float | None  # None == timeout
+    approx_seconds: float
+
+    @property
+    def opt_display(self) -> str:
+        if self.opt_seconds is None:
+            return "timeout"
+        return f"{self.opt_seconds:.4f}"
+
+
+@dataclass
+class Table3Result:
+    rows: list[TimingRow] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "rows": [
+                {
+                    "k": row.k,
+                    "opt_seconds": row.opt_seconds,
+                    "approx_seconds": row.approx_seconds,
+                }
+                for row in self.rows
+            ],
+            "metadata": dict(self.metadata),
+        }
+
+
+def make_timing_belief(
+    num_facts: int, seed: int = 0
+) -> FactoredBelief:
+    """A single ``num_facts``-fact group with a random non-degenerate
+    joint, the worst case for selection cost."""
+    rng = np.random.default_rng(seed)
+    facts = FactSet.from_ids(range(num_facts))
+    weights = rng.dirichlet(np.ones(1 << num_facts))
+    return FactoredBelief([BeliefState(facts, weights)])
+
+
+def run_table3(
+    k_values: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    num_facts: int = 22,
+    expert_accuracies: tuple[float, ...] = (0.92, 0.95),
+    opt_timeout_seconds: float = 120.0,
+    repeats: int = 1,
+    seed: int = 0,
+) -> Table3Result:
+    """Time OPT and Approx selection per round for each ``k``.
+
+    Parameters
+    ----------
+    k_values:
+        Query-set sizes to time (paper: 1..10).
+    num_facts:
+        Size of the single task group (paper: > 20).
+    expert_accuracies:
+        The checking crowd CE.
+    opt_timeout_seconds:
+        Wall-clock budget per OPT selection; exceeded -> "timeout" row,
+        and OPT is not attempted for larger ``k`` (its cost only grows).
+    repeats:
+        Timing repetitions to average over.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    experts = Crowd.from_accuracies(list(expert_accuracies), prefix="e")
+    result = Table3Result(
+        metadata={
+            "num_facts": num_facts,
+            "num_experts": len(expert_accuracies),
+            "opt_timeout_seconds": opt_timeout_seconds,
+            "repeats": repeats,
+        }
+    )
+    opt_timed_out = False
+    for k in k_values:
+        belief = make_timing_belief(num_facts, seed=seed)
+
+        opt_seconds: float | None = None
+        if not opt_timed_out:
+            try:
+                opt_seconds = _time_selection(
+                    lambda: ExactSelector(
+                        max_subsets=None,
+                        deadline_seconds=opt_timeout_seconds,
+                    ),
+                    belief, experts, k, repeats,
+                )
+            except SelectionTimeout:
+                opt_seconds = None
+            if opt_seconds is None or opt_seconds > opt_timeout_seconds:
+                opt_seconds = None
+                opt_timed_out = True
+
+        approx_seconds = _time_selection(
+            GreedySelector, belief, experts, k, repeats
+        )
+        result.rows.append(
+            TimingRow(k=k, opt_seconds=opt_seconds,
+                      approx_seconds=approx_seconds)
+        )
+    return result
+
+
+def _time_selection(selector_factory, belief, experts, k,
+                    repeats: int) -> float:
+    """Average wall-clock seconds of one selection over ``repeats``.
+
+    Selector caches would make repeated calls unrealistically fast, so
+    every repetition gets a brand-new selector from the factory.
+    """
+    total = 0.0
+    for _repeat in range(repeats):
+        selector = selector_factory()
+        start = time.perf_counter()
+        selector.select(belief, experts, k)
+        total += time.perf_counter() - start
+    return total / repeats

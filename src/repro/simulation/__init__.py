@@ -1,0 +1,24 @@
+"""Simulated online crowdsourcing (paper section IV-A)."""
+
+from .adaptive import StoppingRule, collect_adaptive_annotations
+from .online import OnlineCheckingSession, SessionStateError
+from .oracle import (
+    CachedExpertPanel,
+    MismatchedExpertPanel,
+    ScriptedAnswerSource,
+    SimulatedExpertPanel,
+)
+from .session import SessionConfig, run_hc_session
+
+__all__ = [
+    "CachedExpertPanel",
+    "MismatchedExpertPanel",
+    "OnlineCheckingSession",
+    "ScriptedAnswerSource",
+    "SessionConfig",
+    "SessionStateError",
+    "SimulatedExpertPanel",
+    "StoppingRule",
+    "collect_adaptive_annotations",
+    "run_hc_session",
+]

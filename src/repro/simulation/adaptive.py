@@ -1,0 +1,117 @@
+"""Adaptive label collection with a sequential stopping rule.
+
+Implements the related-work strategy of Abraham et al. [38] that the
+paper contrasts with its own fixed-redundancy setting: labels for a
+task are collected one at a time, stopping as soon as the vote gap is
+decisive,
+
+    |V_Yes(t) - V_No(t)| > C * sqrt(t) - eps * t        (paper Eq. 36)
+
+where ``t`` is the number of answers so far.  The rule spends more
+answers on contested tasks and fewer on easy ones, which makes it a
+useful preliminary-tier companion (and ablation target) for HC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..aggregation.base import Annotation, AnswerMatrix
+from ..core.workers import Crowd
+
+
+@dataclass(frozen=True)
+class StoppingRule:
+    """The sequential rule of Eq. 36.
+
+    Parameters
+    ----------
+    threshold_scale:
+        The constant ``C``; larger values demand a wider vote gap.
+    drift:
+        The ``eps`` term that relaxes the requirement as ``t`` grows
+        (guaranteeing termination even on maximally contested tasks).
+    min_answers, max_answers:
+        Hard bounds on per-task answers (the rule is only consulted in
+        between).
+    """
+
+    threshold_scale: float = 2.0
+    drift: float = 0.3
+    min_answers: int = 1
+    max_answers: int = 15
+
+    def __post_init__(self) -> None:
+        if self.threshold_scale < 0 or self.drift < 0:
+            raise ValueError("threshold_scale and drift must be >= 0")
+        if not 1 <= self.min_answers <= self.max_answers:
+            raise ValueError(
+                "need 1 <= min_answers <= max_answers"
+            )
+
+    def should_stop(self, votes_yes: int, votes_no: int) -> bool:
+        """Whether collection may stop after these votes."""
+        total = votes_yes + votes_no
+        if total < self.min_answers:
+            return False
+        if total >= self.max_answers:
+            return True
+        gap = abs(votes_yes - votes_no)
+        return gap > self.threshold_scale * math.sqrt(total) - self.drift * total
+
+
+def collect_adaptive_annotations(
+    ground_truth: Mapping[int, bool],
+    crowd: Crowd,
+    rule: StoppingRule | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> AnswerMatrix:
+    """Simulate adaptive label collection over all facts.
+
+    For each fact, workers are drawn without replacement from the crowd
+    (re-drawing from the full pool once exhausted is never needed since
+    ``max_answers <= |crowd|`` is enforced) and answers are sampled from
+    the symmetric error model until the stopping rule fires.
+
+    Returns an :class:`AnswerMatrix` whose per-task answer counts vary
+    with task difficulty.
+    """
+    rule = rule or StoppingRule()
+    if rule.max_answers > len(crowd):
+        raise ValueError(
+            "max_answers cannot exceed the crowd size "
+            f"({rule.max_answers} > {len(crowd)})"
+        )
+    rng = np.random.default_rng(rng)
+    accuracies = crowd.accuracies
+    annotations: list[Annotation] = []
+    fact_ids = sorted(ground_truth)
+    for fact_id in fact_ids:
+        truth = ground_truth[fact_id]
+        order = rng.permutation(len(crowd))
+        votes_yes = 0
+        votes_no = 0
+        for column in order:
+            correct = rng.random() < accuracies[column]
+            answer = truth if correct else not truth
+            if answer:
+                votes_yes += 1
+            else:
+                votes_no += 1
+            annotations.append(
+                Annotation(
+                    task=fact_id, worker=int(column), label=int(answer)
+                )
+            )
+            if rule.should_stop(votes_yes, votes_no):
+                break
+    return AnswerMatrix(
+        annotations,
+        num_tasks=max(fact_ids) + 1,
+        num_workers=len(crowd),
+        num_classes=2,
+    )

@@ -1,0 +1,290 @@
+"""Sans-IO online checking session for real crowdsourcing platforms.
+
+:class:`HierarchicalCrowdsourcing` drives the whole loop itself, which
+suits simulation.  A real deployment instead needs to *pause* between
+selecting queries and receiving human answers (minutes to days later).
+:class:`OnlineCheckingSession` inverts control:
+
+    session = OnlineCheckingSession(belief, experts, budget=1000)
+    while (queries := session.next_queries()) is not None:
+        family = my_platform.ask(queries, experts)   # human latency here
+        session.submit(family)
+    labels = session.final_labels()
+
+The session enforces the same budget accounting as Algorithm 3 and
+produces the same :class:`~repro.core.hc.RoundRecord` history, so
+simulated and live runs are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.answers import AnswerFamily
+from ..core.budget import CheckingBudget, CostModel
+from ..core.hc import HierarchicalCrowdsourcing, RoundRecord
+from ..core.observations import FactoredBelief
+from ..core.selection import GreedySelector, Selector
+from ..core.workers import Crowd
+
+
+class SessionStateError(RuntimeError):
+    """Raised on out-of-order use (submit without pending queries,
+    next_queries while answers are pending, or use after completion)."""
+
+
+class OnlineCheckingSession:
+    """Step-wise checking loop with externalized answer collection.
+
+    Parameters
+    ----------
+    belief:
+        The initialized factored belief (copied; caller's object stays
+        untouched).
+    experts:
+        The checking tier CE.
+    budget:
+        Expert-answer budget ``B``.
+    selector, k, cost_model:
+        As in :class:`~repro.core.hc.HierarchicalCrowdsourcing`.
+    ground_truth:
+        Optional truth map enabling accuracy tracking in the history.
+    """
+
+    def __init__(
+        self,
+        belief: FactoredBelief,
+        experts: Crowd,
+        budget: float,
+        selector: Selector | None = None,
+        k: int = 1,
+        cost_model: CostModel | None = None,
+        ground_truth: Mapping[int, bool] | None = None,
+    ):
+        if len(experts) == 0:
+            raise ValueError("the expert crowd CE must not be empty")
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self._belief = belief.copy()
+        self._experts = experts
+        self._selector = selector or GreedySelector()
+        self._k = k
+        self._budget = CheckingBudget(budget, cost_model=cost_model)
+        self._ground_truth = (
+            dict(ground_truth) if ground_truth is not None else None
+        )
+        self._pending: tuple[int, ...] | None = None
+        self._round_index = 0
+        self._finished = False
+        # The loop-application logic is shared with the batch runner.
+        self._applier = HierarchicalCrowdsourcing(
+            experts=experts, selector=self._selector, k=k,
+            cost_model=cost_model,
+        )
+        self.history: list[RoundRecord] = [
+            self._record(-1, (), 0.0)
+        ]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def belief(self) -> FactoredBelief:
+        return self._belief
+
+    @property
+    def remaining_budget(self) -> float:
+        return self._budget.remaining
+
+    @property
+    def spent_budget(self) -> float:
+        return self._budget.spent
+
+    @property
+    def is_finished(self) -> bool:
+        return self._finished
+
+    @property
+    def pending_queries(self) -> tuple[int, ...] | None:
+        return self._pending
+
+    # ------------------------------------------------------------------
+
+    def next_queries(self) -> list[int] | None:
+        """Select the next checking-task set, or ``None`` when done.
+
+        ``None`` means either the budget cannot fund another round or no
+        fact offers positive expected gain; the session is finished.
+        """
+        if self._finished:
+            return None
+        if self._pending is not None:
+            raise SessionStateError(
+                "answers for the previous query set are still pending"
+            )
+        affordable = self._budget.affordable_queries(self._experts, self._k)
+        if affordable == 0:
+            self._finished = True
+            return None
+        queries = self._selector.select(
+            self._belief, self._experts, affordable
+        )
+        if not queries:
+            self._finished = True
+            return None
+        self._pending = tuple(queries)
+        return list(queries)
+
+    def submit(self, family: AnswerFamily) -> RoundRecord:
+        """Apply collected expert answers for the pending query set."""
+        if self._finished:
+            raise SessionStateError("session is finished")
+        if self._pending is None:
+            raise SessionStateError(
+                "no pending queries; call next_queries() first"
+            )
+        if set(family.query_fact_ids) != set(self._pending):
+            raise ValueError(
+                f"answer family covers {sorted(family.query_fact_ids)}, "
+                f"expected {sorted(self._pending)}"
+            )
+        missing = [
+            worker.worker_id
+            for worker in self._experts
+            if all(
+                answer_set.worker.worker_id != worker.worker_id
+                for answer_set in family
+            )
+        ]
+        if missing:
+            raise ValueError(
+                f"answer family is missing experts: {missing}"
+            )
+        self._applier._apply_family(self._belief, family)
+        cost = self._budget.charge_round(len(self._pending), self._experts)
+        record = self._record(self._round_index, self._pending, cost)
+        self.history.append(record)
+        self._round_index += 1
+        self._pending = None
+        return record
+
+    def abandon_pending(self) -> None:
+        """Drop the pending query set without charging the budget
+        (e.g. the platform failed to collect answers in time)."""
+        if self._pending is None:
+            raise SessionStateError("no pending queries to abandon")
+        self._pending = None
+
+    def final_labels(self) -> dict[int, bool]:
+        """MAP labels of the current belief (paper Eq. 20)."""
+        return self._belief.map_labels()
+
+    # ------------------------------------------------------------------
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def to_checkpoint(self) -> dict:
+        """JSON-compatible snapshot of the session's durable state.
+
+        Captures the belief, budget accounting, pending queries and
+        history.  Behavioral components (the expert crowd, selector and
+        cost model) are supplied again at restore time — they are code,
+        not state.
+        """
+        from ..core.serialization import (
+            FORMAT_VERSION,
+            factored_belief_to_dict,
+            round_record_to_dict,
+        )
+
+        return {
+            "version": FORMAT_VERSION,
+            "belief": factored_belief_to_dict(self._belief),
+            "budget_total": self._budget.total,
+            "budget_spent": self._budget.spent,
+            "k": self._k,
+            "round_index": self._round_index,
+            "pending": list(self._pending) if self._pending else None,
+            "finished": self._finished,
+            "ground_truth": (
+                {str(key): value for key, value in self._ground_truth.items()}
+                if self._ground_truth is not None
+                else None
+            ),
+            "history": [
+                round_record_to_dict(record) for record in self.history
+            ],
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        payload: dict,
+        experts: Crowd,
+        selector: Selector | None = None,
+        cost_model: CostModel | None = None,
+    ) -> "OnlineCheckingSession":
+        """Rebuild a session from :meth:`to_checkpoint` output.
+
+        The caller provides the expert crowd (and optionally the
+        selector / cost model) that were in use; pending queries and
+        spent budget are restored exactly.
+        """
+        from ..core.serialization import (
+            SerializationError,
+            factored_belief_from_dict,
+            round_record_from_dict,
+        )
+
+        try:
+            belief = factored_belief_from_dict(payload["belief"])
+            ground_truth = payload.get("ground_truth")
+            if ground_truth is not None:
+                ground_truth = {
+                    int(key): bool(value)
+                    for key, value in ground_truth.items()
+                }
+            session = cls(
+                belief,
+                experts,
+                budget=float(payload["budget_total"]),
+                selector=selector,
+                k=int(payload["k"]),
+                cost_model=cost_model,
+                ground_truth=ground_truth,
+            )
+            session._budget.restore_spent(float(payload["budget_spent"]))
+            session._round_index = int(payload["round_index"])
+            pending = payload.get("pending")
+            session._pending = tuple(pending) if pending else None
+            session._finished = bool(payload.get("finished", False))
+            session.history = [
+                round_record_from_dict(record)
+                for record in payload["history"]
+            ]
+        except (KeyError, TypeError, ValueError) as error:
+            if isinstance(error, SerializationError):
+                raise
+            raise SerializationError(
+                f"malformed session checkpoint: {error}"
+            ) from error
+        return session
+
+    def _record(
+        self, round_index: int, queries: tuple[int, ...], cost: float
+    ) -> RoundRecord:
+        from ..core.hc import labeling_accuracy, total_quality
+
+        return RoundRecord(
+            round_index=round_index,
+            query_fact_ids=queries,
+            cost=cost,
+            budget_spent=self._budget.spent,
+            quality=total_quality(self._belief),
+            accuracy=(
+                labeling_accuracy(self._belief, self._ground_truth)
+                if self._ground_truth is not None
+                else None
+            ),
+        )

@@ -1,0 +1,137 @@
+"""Simulated answer sources for the checking loop.
+
+The paper's experiments replay recorded crowd data: "for those datasets
+with complete labels from all workers, the label checking is done
+offline and does not involve human interaction.  The repeated task
+selection and answer collection can be regarded as a simulated online
+crowdsourcing framework."  These classes implement that simulation.
+
+* :class:`SimulatedExpertPanel` samples each requested answer from the
+  worker's symmetric error model against the ground truth — every ask
+  is an independent draw (the paper's setting where a query can be
+  re-checked and receive a fresh answer).
+* :class:`CachedExpertPanel` draws each (worker, fact) answer once and
+  repeats it on re-asks — modeling workers who will not change their
+  mind.  Useful for ablations of the "repeated wrong answers" effect
+  the paper observes at high budgets.
+* :class:`ScriptedAnswerSource` replays explicitly supplied answers,
+  used by deterministic tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.answers import AnswerFamily, AnswerSet
+from ..core.workers import Crowd, Worker
+
+
+class SimulatedExpertPanel:
+    """Fresh Bernoulli answers against the ground truth on every ask.
+
+    Parameters
+    ----------
+    ground_truth:
+        ``fact_id -> bool`` true labels.
+    rng:
+        Seed or generator for reproducible runs.
+    """
+
+    def __init__(
+        self,
+        ground_truth: Mapping[int, bool],
+        rng: np.random.Generator | int | None = None,
+    ):
+        self._truth = dict(ground_truth)
+        self._rng = np.random.default_rng(rng)
+        #: Total answers served (lets tests assert budget accounting).
+        self.answers_served = 0
+
+    def _answer(self, worker: Worker, fact_id: int) -> bool:
+        truth = self._truth[fact_id]
+        correct = self._rng.random() < worker.accuracy
+        return truth if correct else not truth
+
+    def collect(
+        self, query_fact_ids: Sequence[int], experts: Crowd
+    ) -> AnswerFamily:
+        """Sample one answer per (expert, queried fact)."""
+        answer_sets = []
+        for worker in experts:
+            answers = {
+                fact_id: self._answer(worker, fact_id)
+                for fact_id in query_fact_ids
+            }
+            answer_sets.append(AnswerSet(worker=worker, answers=answers))
+            self.answers_served += len(answers)
+        return AnswerFamily(answer_sets=tuple(answer_sets))
+
+
+class MismatchedExpertPanel(SimulatedExpertPanel):
+    """Answers with *true* accuracies while the caller believes the
+    (possibly mis-estimated) accuracies on the Worker objects.
+
+    Models the calibration gap: the operator selects tasks and updates
+    beliefs with estimated ``Pr_cr``, but the humans behind the ids err
+    at their true rates.  Used by the miscalibration ablation.
+    """
+
+    def __init__(
+        self,
+        ground_truth: Mapping[int, bool],
+        true_accuracies: Mapping[str, float],
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__(ground_truth, rng)
+        self._true_accuracies = dict(true_accuracies)
+
+    def _answer(self, worker: Worker, fact_id: int) -> bool:
+        truth = self._truth[fact_id]
+        accuracy = self._true_accuracies[worker.worker_id]
+        correct = self._rng.random() < accuracy
+        return truth if correct else not truth
+
+
+class CachedExpertPanel(SimulatedExpertPanel):
+    """Like :class:`SimulatedExpertPanel`, but a worker asked the same
+    fact twice repeats their first answer."""
+
+    def __init__(
+        self,
+        ground_truth: Mapping[int, bool],
+        rng: np.random.Generator | int | None = None,
+    ):
+        super().__init__(ground_truth, rng)
+        self._cache: dict[tuple[str, int], bool] = {}
+
+    def _answer(self, worker: Worker, fact_id: int) -> bool:
+        key = (worker.worker_id, fact_id)
+        if key not in self._cache:
+            self._cache[key] = super()._answer(worker, fact_id)
+        return self._cache[key]
+
+
+class ScriptedAnswerSource:
+    """Replays a fixed ``(worker_id, fact_id) -> answer`` script.
+
+    Raises ``KeyError`` if the loop requests an unscripted answer, so
+    tests fail loudly when selection deviates from expectations.
+    """
+
+    def __init__(self, script: Mapping[tuple[str, int], bool]):
+        self._script = dict(script)
+        self.requests: list[tuple[str, int]] = []
+
+    def collect(
+        self, query_fact_ids: Sequence[int], experts: Crowd
+    ) -> AnswerFamily:
+        answer_sets = []
+        for worker in experts:
+            answers = {}
+            for fact_id in query_fact_ids:
+                self.requests.append((worker.worker_id, fact_id))
+                answers[fact_id] = self._script[(worker.worker_id, fact_id)]
+            answer_sets.append(AnswerSet(worker=worker, answers=answers))
+        return AnswerFamily(answer_sets=tuple(answer_sets))

@@ -1,0 +1,104 @@
+"""End-to-end checking sessions: the one-call HC pipeline.
+
+:func:`run_hc_session` wires together the full Algorithm 3 flow on a
+dataset — split the crowd, aggregate the preliminary answers, build the
+belief, run the checking loop against a simulated expert panel — and
+returns the :class:`~repro.core.hc.RunResult`.  The experiment harness
+and the examples are thin wrappers over this function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..aggregation.base import Aggregator
+from ..aggregation.registry import make_aggregator
+from ..core.hc import HierarchicalCrowdsourcing, RunResult
+from ..core.selection import GreedySelector, Selector
+from ..datasets.grouping import initialize_belief
+from ..datasets.schema import CrowdLabelingDataset
+from .oracle import SimulatedExpertPanel
+
+
+@dataclass
+class SessionConfig:
+    """Configuration of one HC session (the paper's knobs).
+
+    Attributes
+    ----------
+    theta:
+        Accuracy threshold splitting the crowd (paper: 0.9).
+    k:
+        Checking queries selected per round (paper: 1-3 in figures,
+        up to 10 in Table III).
+    budget:
+        Expert-answer budget ``B`` (paper: up to 1000).
+    initializer:
+        Aggregator name for belief initialization (paper: EBCC).
+    seed:
+        Seed for the simulated expert panel.
+    smoothing:
+        Marginal smoothing used at initialization.
+    """
+
+    theta: float = 0.9
+    k: int = 1
+    budget: float = 1000.0
+    initializer: str = "EBCC"
+    seed: int = 0
+    smoothing: float = 0.01
+
+
+def run_hc_session(
+    dataset: CrowdLabelingDataset,
+    config: SessionConfig | None = None,
+    selector: Selector | None = None,
+    aggregator: Aggregator | None = None,
+    answer_source=None,
+) -> RunResult:
+    """Run the full hierarchical crowdsourcing pipeline on a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The crowd-labeling dataset (recorded preliminary answers plus
+        ground truth for the simulated experts and metrics).
+    config:
+        Session knobs; defaults to the paper's main setting.
+    selector:
+        Checking-task selector; defaults to the greedy Approx.
+    aggregator:
+        Initialization aggregator instance; overrides
+        ``config.initializer`` when given.
+    answer_source:
+        Expert answer source; defaults to a fresh-sampling
+        :class:`SimulatedExpertPanel` seeded from ``config.seed``.
+    """
+    config = config or SessionConfig()
+    experts, _preliminary = dataset.split_crowd(config.theta)
+    if len(experts) == 0:
+        raise ValueError(
+            f"no worker reaches theta={config.theta}; cannot form CE"
+        )
+    if aggregator is None:
+        aggregator = make_aggregator(config.initializer)
+    belief, _init_result = initialize_belief(
+        dataset, aggregator, config.theta, smoothing=config.smoothing
+    )
+    if answer_source is None:
+        answer_source = SimulatedExpertPanel(
+            dataset.ground_truth, rng=np.random.default_rng(config.seed)
+        )
+    runner = HierarchicalCrowdsourcing(
+        experts=experts,
+        selector=selector or GreedySelector(),
+        k=config.k,
+    )
+    return runner.run(
+        belief,
+        answer_source,
+        config.budget,
+        ground_truth=dataset.ground_truth,
+    )

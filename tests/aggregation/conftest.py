@@ -1,0 +1,68 @@
+"""Fixtures shared by the aggregation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AnswerMatrix
+
+
+def make_crowd_answers(
+    num_tasks: int = 150,
+    accuracies: tuple[float, ...] = (0.9, 0.85, 0.7, 0.65, 0.6, 0.55),
+    answers_per_task: int = 5,
+    num_classes: int = 2,
+    seed: int = 0,
+) -> tuple[AnswerMatrix, np.ndarray]:
+    """Synthetic symmetric-noise crowd answers with known truth."""
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, num_classes, num_tasks)
+    annotations = []
+    for task in range(num_tasks):
+        workers = rng.choice(
+            len(accuracies), size=answers_per_task, replace=False
+        )
+        for worker in workers:
+            if rng.random() < accuracies[worker]:
+                label = truth[task]
+            else:
+                others = [c for c in range(num_classes) if c != truth[task]]
+                label = others[rng.integers(len(others))]
+            annotations.append((task, int(worker), int(label)))
+    matrix = AnswerMatrix(annotations, num_classes=num_classes)
+    return matrix, truth
+
+
+@pytest.fixture
+def make_answers():
+    """Factory fixture so tests can generate bespoke crowd answers."""
+    return make_crowd_answers
+
+
+@pytest.fixture
+def crowd_answers():
+    """Default binary crowd-answer matrix plus ground truth."""
+    return make_crowd_answers()
+
+
+@pytest.fixture
+def hard_crowd_answers():
+    """Noisier crowd: models that estimate reliability should shine."""
+    return make_crowd_answers(
+        num_tasks=200,
+        accuracies=(0.95, 0.9, 0.55, 0.55, 0.55, 0.55, 0.55, 0.55),
+        answers_per_task=6,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def multiclass_answers():
+    return make_crowd_answers(
+        num_tasks=120,
+        accuracies=(0.9, 0.8, 0.7, 0.65, 0.6),
+        answers_per_task=4,
+        num_classes=3,
+        seed=3,
+    )

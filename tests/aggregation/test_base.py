@@ -1,0 +1,132 @@
+"""Unit tests for repro.aggregation.base."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import (
+    AggregationResult,
+    Annotation,
+    AnswerMatrix,
+)
+
+
+class TestAnnotation:
+    def test_fields(self):
+        annotation = Annotation(task=1, worker=2, label=0)
+        assert (annotation.task, annotation.worker, annotation.label) == (
+            1, 2, 0,
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Annotation(task=-1, worker=0, label=0)
+        with pytest.raises(ValueError):
+            Annotation(task=0, worker=-1, label=0)
+        with pytest.raises(ValueError):
+            Annotation(task=0, worker=0, label=-1)
+
+
+class TestAnswerMatrix:
+    def test_sizes_inferred(self):
+        matrix = AnswerMatrix([(0, 0, 1), (2, 3, 0)])
+        assert matrix.num_tasks == 3
+        assert matrix.num_workers == 4
+        assert matrix.num_classes == 2
+
+    def test_explicit_sizes(self):
+        matrix = AnswerMatrix(
+            [(0, 0, 1)], num_tasks=5, num_workers=2, num_classes=3
+        )
+        assert matrix.num_tasks == 5
+        assert matrix.num_classes == 3
+
+    def test_annotation_out_of_range(self):
+        with pytest.raises(ValueError, match="task index"):
+            AnswerMatrix([(5, 0, 0)], num_tasks=2)
+        with pytest.raises(ValueError, match="worker index"):
+            AnswerMatrix([(0, 5, 0)], num_workers=2)
+        with pytest.raises(ValueError, match="label"):
+            AnswerMatrix([(0, 0, 5)], num_classes=2)
+
+    def test_duplicate_pair_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AnswerMatrix([(0, 0, 1), (0, 0, 0)])
+
+    def test_empty_needs_sizes(self):
+        with pytest.raises(ValueError, match="explicit"):
+            AnswerMatrix([])
+        matrix = AnswerMatrix(
+            [], num_tasks=2, num_workers=2, num_classes=2
+        )
+        assert matrix.num_annotations == 0
+
+    def test_accepts_annotation_objects(self):
+        matrix = AnswerMatrix([Annotation(0, 1, 1)])
+        assert matrix.num_annotations == 1
+
+    def test_dense(self):
+        matrix = AnswerMatrix([(0, 0, 1), (1, 1, 0)])
+        dense = matrix.dense()
+        assert dense[0, 0] == 1
+        assert dense[1, 1] == 0
+        assert dense[0, 1] == -1
+
+    def test_one_hot(self):
+        matrix = AnswerMatrix([(0, 0, 1)], num_classes=2)
+        tensor = matrix.one_hot()
+        assert tensor.shape == (1, 1, 2)
+        assert tensor[0, 0, 1] == 1.0
+        assert tensor[0, 0, 0] == 0.0
+
+    def test_vote_counts(self):
+        matrix = AnswerMatrix([(0, 0, 1), (0, 1, 1), (0, 2, 0)])
+        counts = matrix.vote_counts()
+        assert counts[0, 1] == 2
+        assert counts[0, 0] == 1
+
+    def test_answers_per_task(self):
+        matrix = AnswerMatrix(
+            [(0, 0, 1), (0, 1, 0), (2, 0, 1)], num_tasks=3
+        )
+        assert list(matrix.answers_per_task()) == [2, 0, 1]
+
+    def test_restrict_workers(self):
+        matrix = AnswerMatrix([(0, 0, 1), (0, 1, 0), (1, 2, 1)])
+        restricted = matrix.restrict_workers([0, 2])
+        assert restricted.num_annotations == 2
+        assert restricted.num_workers == matrix.num_workers
+        assert all(a.worker in (0, 2) for a in restricted.annotations)
+
+    def test_parallel_index_arrays(self):
+        matrix = AnswerMatrix([(0, 1, 1), (2, 0, 0)])
+        assert list(matrix.task_indices) == [0, 2]
+        assert list(matrix.worker_indices) == [1, 0]
+        assert list(matrix.label_values) == [1, 0]
+
+
+class TestAggregationResult:
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            AggregationResult(posteriors=np.array([[0.9, 0.3]]))
+
+    def test_must_be_2d(self):
+        with pytest.raises(ValueError, match="num_tasks"):
+            AggregationResult(posteriors=np.array([0.5, 0.5]))
+
+    def test_predictions_argmax(self):
+        result = AggregationResult(
+            posteriors=np.array([[0.8, 0.2], [0.4, 0.6]])
+        )
+        assert list(result.predictions) == [0, 1]
+
+    def test_accuracy(self):
+        result = AggregationResult(
+            posteriors=np.array([[0.8, 0.2], [0.4, 0.6]])
+        )
+        assert result.accuracy([0, 0]) == 0.5
+        assert result.accuracy([0, 1]) == 1.0
+
+    def test_accuracy_length_mismatch(self):
+        result = AggregationResult(posteriors=np.array([[1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            result.accuracy([0, 1])

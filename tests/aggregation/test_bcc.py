@@ -1,0 +1,62 @@
+"""Unit tests for the variational BCC aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AnswerMatrix, Bcc, MajorityVote
+
+
+class TestBcc:
+    def test_accuracy_on_easy_crowd(self, crowd_answers):
+        matrix, truth = crowd_answers
+        assert Bcc().fit(matrix).accuracy(truth) > 0.85
+
+    def test_beats_or_matches_majority_on_noisy_crowd(
+        self, hard_crowd_answers
+    ):
+        matrix, truth = hard_crowd_answers
+        bcc = Bcc().fit(matrix).accuracy(truth)
+        mv = MajorityVote().fit(matrix).accuracy(truth)
+        assert bcc >= mv
+
+    def test_confusion_rows_stochastic(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        confusion = Bcc().fit(matrix).extras["confusion"]
+        assert np.allclose(confusion.sum(axis=2), 1.0)
+
+    def test_exploits_adversarial_worker(self):
+        rng = np.random.default_rng(4)
+        truth = rng.integers(0, 2, 300)
+        annotations = []
+        for task in range(300):
+            for worker, accuracy in enumerate((0.7, 0.7)):
+                label = (
+                    truth[task]
+                    if rng.random() < accuracy
+                    else 1 - truth[task]
+                )
+                annotations.append((task, worker, int(label)))
+            annotations.append((task, 2, int(1 - truth[task])))
+        matrix = AnswerMatrix(annotations)
+        assert Bcc().fit(matrix).accuracy(truth) > 0.85
+
+    def test_posteriors_normalized(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = Bcc().fit(matrix)
+        assert np.allclose(result.posteriors.sum(axis=1), 1.0)
+
+    def test_invalid_priors_rejected(self):
+        with pytest.raises(ValueError):
+            Bcc(prior_strength=0.0)
+        with pytest.raises(ValueError):
+            Bcc(diagonal_prior=-1.0)
+
+    def test_multiclass(self, multiclass_answers):
+        matrix, truth = multiclass_answers
+        assert Bcc().fit(matrix).accuracy(truth) > 0.7
+
+    def test_deterministic(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        assert np.array_equal(
+            Bcc().fit(matrix).posteriors, Bcc().fit(matrix).posteriors
+        )

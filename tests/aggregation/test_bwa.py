@@ -1,0 +1,61 @@
+"""Unit tests for the BWA aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import Bwa, MajorityVote
+
+
+class TestBwa:
+    def test_accuracy_on_easy_crowd(self, crowd_answers):
+        matrix, truth = crowd_answers
+        assert Bwa().fit(matrix).accuracy(truth) > 0.85
+
+    def test_beats_or_matches_majority_on_noisy_crowd(
+        self, hard_crowd_answers
+    ):
+        matrix, truth = hard_crowd_answers
+        bwa = Bwa().fit(matrix).accuracy(truth)
+        mv = MajorityVote().fit(matrix).accuracy(truth)
+        assert bwa >= mv
+
+    def test_prior_pulls_sparse_workers_toward_prior_mean(self, make_answers):
+        """A worker with a single answer should sit near the Beta prior
+        mean, not at 0 or 1."""
+        matrix, _truth = make_answers(
+            num_tasks=4, accuracies=(0.9, 0.9, 0.9), answers_per_task=3,
+            seed=2,
+        )
+        result = Bwa(prior_correct=4.0, prior_incorrect=1.0).fit(matrix)
+        prior_mean = 4.0 / 5.0
+        assert np.all(np.abs(result.worker_reliability - prior_mean) < 0.25)
+
+    def test_reliability_ordering(self, hard_crowd_answers):
+        matrix, _truth = hard_crowd_answers
+        reliability = Bwa().fit(matrix).worker_reliability
+        assert reliability[0] > reliability[5]
+
+    def test_converges(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        assert Bwa(max_iter=300).fit(matrix).converged
+
+    def test_posteriors_normalized(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = Bwa().fit(matrix)
+        assert np.allclose(result.posteriors.sum(axis=1), 1.0)
+
+    def test_invalid_prior_rejected(self):
+        with pytest.raises(ValueError):
+            Bwa(prior_correct=0.0)
+        with pytest.raises(ValueError):
+            Bwa(prior_incorrect=-1.0)
+
+    def test_multiclass(self, multiclass_answers):
+        matrix, truth = multiclass_answers
+        assert Bwa().fit(matrix).accuracy(truth) > 0.7
+
+    def test_deterministic(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        assert np.array_equal(
+            Bwa().fit(matrix).posteriors, Bwa().fit(matrix).posteriors
+        )

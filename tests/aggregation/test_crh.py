@@ -1,0 +1,56 @@
+"""Unit tests for the CRH aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import Crh, MajorityVote
+
+
+class TestCrh:
+    def test_accuracy_on_easy_crowd(self, crowd_answers):
+        matrix, truth = crowd_answers
+        assert Crh().fit(matrix).accuracy(truth) > 0.8
+
+    def test_beats_or_matches_majority_on_noisy_crowd(
+        self, hard_crowd_answers
+    ):
+        matrix, truth = hard_crowd_answers
+        crh = Crh().fit(matrix).accuracy(truth)
+        mv = MajorityVote().fit(matrix).accuracy(truth)
+        assert crh >= mv
+
+    def test_converges(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = Crh(max_iter=100).fit(matrix)
+        assert result.converged
+
+    def test_weights_reward_agreement(self, hard_crowd_answers):
+        matrix, _truth = hard_crowd_answers
+        weights = Crh().fit(matrix).extras["weights"]
+        assert weights[0] > weights[5]
+
+    def test_weights_positive(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        weights = Crh().fit(matrix).extras["weights"]
+        assert np.all(weights > 0)
+
+    def test_posteriors_normalized(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = Crh().fit(matrix)
+        assert np.allclose(result.posteriors.sum(axis=1), 1.0)
+
+    def test_reliability_scaled_to_unit_interval(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        reliability = Crh().fit(matrix).worker_reliability
+        assert np.all((reliability >= 0.0) & (reliability <= 1.0))
+        assert reliability.max() == pytest.approx(1.0)
+
+    def test_multiclass(self, multiclass_answers):
+        matrix, truth = multiclass_answers
+        assert Crh().fit(matrix).accuracy(truth) > 0.7
+
+    def test_deterministic(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        assert np.array_equal(
+            Crh().fit(matrix).posteriors, Crh().fit(matrix).posteriors
+        )

@@ -1,0 +1,79 @@
+"""Unit tests for the Dawid-Skene EM aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AnswerMatrix, DawidSkene, MajorityVote
+
+
+class TestDawidSkene:
+    def test_beats_or_matches_majority_on_noisy_crowd(
+        self, hard_crowd_answers
+    ):
+        matrix, truth = hard_crowd_answers
+        ds = DawidSkene().fit(matrix).accuracy(truth)
+        mv = MajorityVote().fit(matrix).accuracy(truth)
+        assert ds >= mv
+
+    def test_high_accuracy_on_easy_crowd(self, crowd_answers):
+        matrix, truth = crowd_answers
+        assert DawidSkene().fit(matrix).accuracy(truth) > 0.85
+
+    def test_converges(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = DawidSkene(max_iter=200).fit(matrix)
+        assert result.converged
+        assert result.iterations < 200
+
+    def test_posteriors_normalized(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = DawidSkene().fit(matrix)
+        assert np.allclose(result.posteriors.sum(axis=1), 1.0)
+
+    def test_recovers_worker_reliability_ordering(self, hard_crowd_answers):
+        matrix, _truth = hard_crowd_answers
+        result = DawidSkene().fit(matrix)
+        reliability = result.worker_reliability
+        # Workers 0-1 are the accurate ones (0.95, 0.9).
+        assert reliability[0] > reliability[3]
+        assert reliability[1] > reliability[4]
+
+    def test_confusion_matrices_are_stochastic(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = DawidSkene().fit(matrix)
+        confusion = result.extras["confusion"]
+        assert np.allclose(confusion.sum(axis=2), 1.0)
+
+    def test_multiclass(self, multiclass_answers):
+        matrix, truth = multiclass_answers
+        result = DawidSkene().fit(matrix)
+        assert result.posteriors.shape == (matrix.num_tasks, 3)
+        assert result.accuracy(truth) > 0.7
+
+    def test_adversarial_worker_inverted(self):
+        """DS's confusion matrices can exploit an always-wrong worker,
+        which symmetric models cannot."""
+        rng = np.random.default_rng(1)
+        truth = rng.integers(0, 2, 300)
+        annotations = []
+        for task in range(300):
+            # Two honest 0.7 workers and one perfectly adversarial one.
+            for worker, accuracy in enumerate((0.7, 0.7)):
+                label = truth[task] if rng.random() < accuracy else 1 - truth[task]
+                annotations.append((task, worker, int(label)))
+            annotations.append((task, 2, int(1 - truth[task])))
+        matrix = AnswerMatrix(annotations)
+        result = DawidSkene().fit(matrix)
+        assert result.accuracy(truth) > 0.9
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DawidSkene(max_iter=0)
+        with pytest.raises(ValueError):
+            DawidSkene(smoothing=-1.0)
+
+    def test_deterministic(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        a = DawidSkene().fit(matrix).posteriors
+        b = DawidSkene().fit(matrix).posteriors
+        assert np.array_equal(a, b)

@@ -1,0 +1,90 @@
+"""Unit tests for the EBCC aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import Bcc, Ebcc, MajorityVote
+
+
+class TestEbcc:
+    def test_accuracy_on_easy_crowd(self, crowd_answers):
+        matrix, truth = crowd_answers
+        assert Ebcc().fit(matrix).accuracy(truth) > 0.85
+
+    def test_beats_or_matches_majority_on_noisy_crowd(
+        self, hard_crowd_answers
+    ):
+        matrix, truth = hard_crowd_answers
+        ebcc = Ebcc().fit(matrix).accuracy(truth)
+        mv = MajorityVote().fit(matrix).accuracy(truth)
+        assert ebcc >= mv
+
+    def test_single_subtype_close_to_bcc(self, crowd_answers):
+        """With M=1 the model collapses to BCC (up to VB tie-breaking)."""
+        matrix, truth = crowd_answers
+        ebcc = Ebcc(num_subtypes=1).fit(matrix)
+        bcc = Bcc().fit(matrix)
+        agreement = np.mean(ebcc.predictions == bcc.predictions)
+        assert agreement > 0.97
+
+    def test_posterior_shape_collapses_subtypes(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = Ebcc(num_subtypes=3).fit(matrix)
+        assert result.posteriors.shape == (matrix.num_tasks, 2)
+        assert np.allclose(result.posteriors.sum(axis=1), 1.0)
+
+    def test_responsibilities_normalized(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        responsibilities = Ebcc().fit(matrix).extras["responsibilities"]
+        assert np.allclose(responsibilities.sum(axis=(1, 2)), 1.0)
+
+    def test_seed_controls_symmetry_breaking(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        a = Ebcc(seed=1).fit(matrix).posteriors
+        b = Ebcc(seed=1).fit(matrix).posteriors
+        assert np.array_equal(a, b)
+
+    def test_invalid_subtypes_rejected(self):
+        with pytest.raises(ValueError):
+            Ebcc(num_subtypes=0)
+
+    def test_invalid_priors_rejected(self):
+        with pytest.raises(ValueError):
+            Ebcc(subtype_prior=0.0)
+
+    def test_multiclass(self, multiclass_answers):
+        matrix, truth = multiclass_answers
+        assert Ebcc().fit(matrix).accuracy(truth) > 0.7
+
+    def test_correlated_workers_scenario(self):
+        """Two cliques of workers that err together: EBCC's subtypes are
+        built for this; it must stay competitive with MV."""
+        rng = np.random.default_rng(9)
+        num_tasks = 300
+        truth = rng.integers(0, 2, num_tasks)
+        # 40% of tasks belong to a "hard subtype" on which clique B errs
+        # together (accuracy 0.25); elsewhere both cliques are reliable.
+        hard = rng.random(num_tasks) < 0.4
+        annotations = []
+        for task in range(num_tasks):
+            for worker in range(4):  # clique A: honest 0.9
+                label = (
+                    truth[task]
+                    if rng.random() < 0.9
+                    else 1 - truth[task]
+                )
+                annotations.append((task, worker, int(label)))
+            for worker in range(4, 7):  # clique B: correlated errors
+                accuracy = 0.25 if hard[task] else 0.85
+                label = (
+                    truth[task]
+                    if rng.random() < accuracy
+                    else 1 - truth[task]
+                )
+                annotations.append((task, worker, int(label)))
+        from repro.aggregation import AnswerMatrix
+
+        matrix = AnswerMatrix(annotations)
+        ebcc = Ebcc(num_subtypes=2).fit(matrix).accuracy(truth)
+        mv = MajorityVote().fit(matrix).accuracy(truth)
+        assert ebcc > mv

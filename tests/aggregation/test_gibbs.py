@@ -1,0 +1,75 @@
+"""Unit tests for the Gibbs-sampling Dawid-Skene aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import (
+    AnswerMatrix,
+    DawidSkene,
+    GibbsDawidSkene,
+    MajorityVote,
+    make_aggregator,
+)
+
+
+class TestGibbsDawidSkene:
+    def test_accuracy_on_easy_crowd(self, crowd_answers):
+        matrix, truth = crowd_answers
+        result = GibbsDawidSkene(num_samples=80, burn_in=20).fit(matrix)
+        assert result.accuracy(truth) > 0.85
+
+    def test_competitive_with_em_ds(self, hard_crowd_answers):
+        matrix, truth = hard_crowd_answers
+        gibbs = GibbsDawidSkene(num_samples=100, burn_in=30).fit(matrix)
+        em = DawidSkene().fit(matrix)
+        assert gibbs.accuracy(truth) >= em.accuracy(truth) - 0.05
+
+    def test_beats_or_matches_majority(self, hard_crowd_answers):
+        matrix, truth = hard_crowd_answers
+        gibbs = GibbsDawidSkene(num_samples=100, burn_in=30).fit(matrix)
+        mv = MajorityVote().fit(matrix)
+        assert gibbs.accuracy(truth) >= mv.accuracy(truth) - 0.02
+
+    def test_posteriors_are_sample_frequencies(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = GibbsDawidSkene(num_samples=40, burn_in=5).fit(matrix)
+        assert np.allclose(result.posteriors.sum(axis=1), 1.0)
+        # Frequencies over 40 samples are multiples of 1/40.
+        scaled = result.posteriors * 40
+        assert np.allclose(scaled, np.round(scaled))
+
+    def test_posterior_uncertainty_on_contested_task(self):
+        """A 2-2 vote from equal workers should produce a genuinely
+        uncertain posterior, not a hard label."""
+        annotations = [(0, w, w % 2) for w in range(4)]
+        # Anchor tasks so the sampler can estimate worker quality.
+        for task in range(1, 30):
+            for worker in range(4):
+                annotations.append((task, worker, task % 2))
+        matrix = AnswerMatrix(annotations)
+        result = GibbsDawidSkene(num_samples=200, burn_in=50).fit(matrix)
+        assert 0.15 < result.posteriors[0, 1] < 0.85
+
+    def test_seed_deterministic(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        a = GibbsDawidSkene(num_samples=30, seed=3).fit(matrix).posteriors
+        b = GibbsDawidSkene(num_samples=30, seed=3).fit(matrix).posteriors
+        assert np.array_equal(a, b)
+
+    def test_multiclass(self, multiclass_answers):
+        matrix, truth = multiclass_answers
+        result = GibbsDawidSkene(num_samples=80, burn_in=20).fit(matrix)
+        assert result.accuracy(truth) > 0.65
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GibbsDawidSkene(num_samples=0)
+        with pytest.raises(ValueError):
+            GibbsDawidSkene(burn_in=-1)
+        with pytest.raises(ValueError):
+            GibbsDawidSkene(diagonal_prior=0.0)
+
+    def test_registry(self, crowd_answers):
+        matrix, truth = crowd_answers
+        result = make_aggregator("GIBBS-DS").fit(matrix)
+        assert result.accuracy(truth) > 0.8

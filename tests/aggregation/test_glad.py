@@ -1,0 +1,66 @@
+"""Unit tests for the GLAD aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AnswerMatrix, Glad, MajorityVote
+
+
+class TestGlad:
+    def test_accuracy_on_easy_crowd(self, crowd_answers):
+        matrix, truth = crowd_answers
+        assert Glad().fit(matrix).accuracy(truth) > 0.8
+
+    def test_competitive_with_majority_on_noisy_crowd(
+        self, hard_crowd_answers
+    ):
+        matrix, truth = hard_crowd_answers
+        glad = Glad().fit(matrix).accuracy(truth)
+        mv = MajorityVote().fit(matrix).accuracy(truth)
+        assert glad >= mv - 0.02
+
+    def test_posteriors_normalized(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = Glad().fit(matrix)
+        assert np.allclose(result.posteriors.sum(axis=1), 1.0)
+
+    def test_ability_ordering(self, hard_crowd_answers):
+        matrix, _truth = hard_crowd_answers
+        alpha = Glad().fit(matrix).extras["alpha"]
+        assert alpha[0] > alpha[4]
+
+    def test_difficulty_estimated_per_task(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        beta = Glad().fit(matrix).extras["beta"]
+        assert beta.shape == (matrix.num_tasks,)
+        assert np.all(beta > 0)
+
+    def test_contested_task_harder_than_unanimous(self):
+        """A task with split votes should get a lower inverse-difficulty
+        beta than a unanimously-labeled one."""
+        annotations = []
+        # Tasks 0..9 unanimous, tasks 10..19 split 2-2.
+        for task in range(10):
+            for worker in range(4):
+                annotations.append((task, worker, 1))
+        for task in range(10, 20):
+            for worker in range(4):
+                annotations.append((task, worker, worker % 2))
+        matrix = AnswerMatrix(annotations)
+        beta = Glad(max_iter=30).fit(matrix).extras["beta"]
+        assert beta[:10].mean() > beta[10:].mean()
+
+    def test_multiclass(self, multiclass_answers):
+        matrix, truth = multiclass_answers
+        assert Glad().fit(matrix).accuracy(truth) > 0.65
+
+    def test_reliability_in_unit_interval(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        reliability = Glad().fit(matrix).worker_reliability
+        assert np.all((reliability >= 0.0) & (reliability <= 1.0))
+
+    def test_deterministic(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        assert np.array_equal(
+            Glad().fit(matrix).posteriors, Glad().fit(matrix).posteriors
+        )

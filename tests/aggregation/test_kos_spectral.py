@@ -1,0 +1,127 @@
+"""Unit tests for the KOS and spectral truth-inference methods."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import (
+    AnswerMatrix,
+    Kos,
+    MajorityVote,
+    Spectral,
+    make_aggregator,
+)
+
+
+class TestKos:
+    def test_accuracy_on_easy_crowd(self, crowd_answers):
+        matrix, truth = crowd_answers
+        assert Kos().fit(matrix).accuracy(truth) > 0.85
+
+    def test_beats_or_matches_majority_on_noisy_crowd(
+        self, hard_crowd_answers
+    ):
+        matrix, truth = hard_crowd_answers
+        kos = Kos().fit(matrix).accuracy(truth)
+        mv = MajorityVote().fit(matrix).accuracy(truth)
+        assert kos >= mv - 0.02
+
+    def test_posteriors_normalized(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = Kos().fit(matrix)
+        assert np.allclose(result.posteriors.sum(axis=1), 1.0)
+
+    def test_unanswered_task_uniform(self):
+        matrix = AnswerMatrix(
+            [(0, 0, 1), (0, 1, 1)], num_tasks=2, num_classes=2
+        )
+        result = Kos().fit(matrix)
+        assert np.allclose(result.posteriors[1], [0.5, 0.5])
+
+    def test_rejects_multiclass(self, multiclass_answers):
+        matrix, _truth = multiclass_answers
+        with pytest.raises(ValueError, match="binary"):
+            Kos().fit(matrix)
+
+    def test_seed_deterministic(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        a = Kos(rng=5).fit(matrix).posteriors
+        b = Kos(rng=5).fit(matrix).posteriors
+        assert np.array_equal(a, b)
+
+    def test_reliability_orders_workers(self, hard_crowd_answers):
+        matrix, _truth = hard_crowd_answers
+        reliability = Kos().fit(matrix).worker_reliability
+        assert reliability[0] > reliability[5]
+
+    def test_invalid_max_iter(self):
+        with pytest.raises(ValueError):
+            Kos(max_iter=0)
+
+    def test_registry(self, crowd_answers):
+        matrix, truth = crowd_answers
+        assert make_aggregator("KOS").fit(matrix).accuracy(truth) > 0.85
+
+
+class TestSpectral:
+    def test_accuracy_on_easy_crowd(self, crowd_answers):
+        matrix, truth = crowd_answers
+        assert Spectral().fit(matrix).accuracy(truth) > 0.85
+
+    def test_beats_or_matches_majority_on_noisy_crowd(
+        self, hard_crowd_answers
+    ):
+        matrix, truth = hard_crowd_answers
+        spectral = Spectral().fit(matrix).accuracy(truth)
+        mv = MajorityVote().fit(matrix).accuracy(truth)
+        assert spectral >= mv - 0.02
+
+    def test_sign_resolution_matches_majority_direction(
+        self, crowd_answers
+    ):
+        """Global sign ambiguity resolved: predictions must agree with
+        majority voting on the overwhelming majority of tasks."""
+        matrix, _truth = crowd_answers
+        spectral = Spectral().fit(matrix).predictions
+        mv = MajorityVote().fit(matrix).predictions
+        assert np.mean(spectral == mv) > 0.8
+
+    def test_reliability_recovers_accuracies(self, make_answers):
+        """With enough redundancy the alignment-based reliability tracks
+        the true accuracies closely (rank-1 recovery needs more than two
+        columns to disambiguate)."""
+        matrix, _truth = make_answers(
+            num_tasks=600,
+            accuracies=(0.95, 0.55, 0.75, 0.85),
+            answers_per_task=4,
+            seed=9,
+        )
+        reliability = Spectral().fit(matrix).worker_reliability
+        for estimated, true in zip(reliability, (0.95, 0.55, 0.75, 0.85)):
+            assert estimated == pytest.approx(true, abs=0.08)
+
+    def test_posteriors_normalized(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = Spectral().fit(matrix)
+        assert np.allclose(result.posteriors.sum(axis=1), 1.0)
+
+    def test_unanswered_task_uniform(self):
+        matrix = AnswerMatrix(
+            [(0, 0, 1), (0, 1, 1)], num_tasks=3, num_classes=2
+        )
+        result = Spectral().fit(matrix)
+        assert np.allclose(result.posteriors[2], [0.5, 0.5])
+
+    def test_rejects_multiclass(self, multiclass_answers):
+        matrix, _truth = multiclass_answers
+        with pytest.raises(ValueError, match="binary"):
+            Spectral().fit(matrix)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            Spectral(temperature=0.0)
+
+    def test_registry(self, crowd_answers):
+        matrix, truth = crowd_answers
+        assert (
+            make_aggregator("SPECTRAL").fit(matrix).accuracy(truth) > 0.85
+        )

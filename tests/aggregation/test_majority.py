@@ -1,0 +1,83 @@
+"""Unit tests for majority voting (paper Eq. 5) and its weighted variant."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AnswerMatrix, MajorityVote, WeightedMajorityVote
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        matrix = AnswerMatrix([(0, 0, 1), (0, 1, 1), (0, 2, 0)])
+        result = MajorityVote().fit(matrix)
+        assert result.predictions[0] == 1
+        assert result.posteriors[0, 1] == pytest.approx(2 / 3)
+
+    def test_smoothing_keeps_uncertainty(self):
+        matrix = AnswerMatrix([(0, 0, 1), (0, 1, 1)])
+        result = MajorityVote(smoothing=1.0).fit(matrix)
+        assert 0.5 < result.posteriors[0, 1] < 1.0
+
+    def test_unanimous_without_smoothing_is_certain(self):
+        matrix = AnswerMatrix([(0, 0, 1), (0, 1, 1)])
+        result = MajorityVote(smoothing=0.0).fit(matrix)
+        assert result.posteriors[0, 1] == 1.0
+
+    def test_unvoted_task_uniform(self):
+        matrix = AnswerMatrix([(0, 0, 1)], num_tasks=2, num_classes=2)
+        result = MajorityVote(smoothing=0.0).fit(matrix)
+        assert np.allclose(result.posteriors[1], [0.5, 0.5])
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            MajorityVote(smoothing=-1.0)
+
+    def test_empty_matrix_rejected(self):
+        matrix = AnswerMatrix([], num_tasks=1, num_workers=1, num_classes=2)
+        with pytest.raises(ValueError, match="empty"):
+            MajorityVote().fit(matrix)
+
+    def test_multiclass(self):
+        matrix = AnswerMatrix(
+            [(0, 0, 2), (0, 1, 2), (0, 2, 1)], num_classes=3
+        )
+        result = MajorityVote().fit(matrix)
+        assert result.predictions[0] == 2
+
+
+class TestWeightedMajorityVote:
+    def test_high_accuracy_worker_outvotes_two_weak(self):
+        # Worker 0: accuracy 0.95; workers 1-2: accuracy 0.55.
+        matrix = AnswerMatrix([(0, 0, 1), (0, 1, 0), (0, 2, 0)])
+        aggregator = WeightedMajorityVote([0.95, 0.55, 0.55])
+        result = aggregator.fit(matrix)
+        assert result.predictions[0] == 1
+
+    def test_binary_posterior_is_exact_bayes(self):
+        """For binary labels the softmax of log-odds votes equals the
+        exact posterior under independent symmetric noise."""
+        accuracies = [0.9, 0.7]
+        matrix = AnswerMatrix([(0, 0, 1), (0, 1, 0)])
+        result = WeightedMajorityVote(accuracies).fit(matrix)
+        # P(t=1) propto 0.9 * 0.3 ; P(t=0) propto 0.1 * 0.7
+        expected = (0.9 * 0.3) / (0.9 * 0.3 + 0.1 * 0.7)
+        assert result.posteriors[0, 1] == pytest.approx(expected)
+
+    def test_missing_accuracy_rejected(self):
+        matrix = AnswerMatrix([(0, 0, 1), (0, 1, 0)])
+        with pytest.raises(ValueError, match="each of"):
+            WeightedMajorityVote([0.9]).fit(matrix)
+
+    def test_accuracy_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedMajorityVote([1.2])
+
+    def test_extreme_accuracies_clipped(self):
+        aggregator = WeightedMajorityVote([1.0, 0.0])
+        assert aggregator.accuracies[0] < 1.0
+        assert aggregator.accuracies[1] > 0.0
+
+    def test_reliability_reported(self):
+        matrix = AnswerMatrix([(0, 0, 1)])
+        result = WeightedMajorityVote([0.8]).fit(matrix)
+        assert result.worker_reliability[0] == pytest.approx(0.8)

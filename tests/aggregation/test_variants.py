@@ -1,0 +1,118 @@
+"""Unit tests for the majority-voting variants (MV-Freq, MV-Beta,
+Paired-MV)."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import (
+    AnswerMatrix,
+    MvBeta,
+    MvFreq,
+    PairedVote,
+    make_aggregator,
+)
+
+
+def _votes(yes: int, no: int) -> AnswerMatrix:
+    annotations = []
+    worker = 0
+    for _ in range(yes):
+        annotations.append((0, worker, 1))
+        worker += 1
+    for _ in range(no):
+        annotations.append((0, worker, 0))
+        worker += 1
+    return AnswerMatrix(annotations, num_classes=2)
+
+
+class TestMvFreq:
+    def test_posterior_is_frequency(self):
+        result = MvFreq().fit(_votes(3, 1))
+        assert result.posteriors[0, 1] == pytest.approx(0.75)
+
+    def test_rejects_multiclass(self):
+        matrix = AnswerMatrix([(0, 0, 2)], num_classes=3)
+        with pytest.raises(ValueError, match="binary"):
+            MvFreq().fit(matrix)
+
+    def test_unvoted_task_uniform(self):
+        matrix = AnswerMatrix([(0, 0, 1)], num_tasks=2, num_classes=2)
+        result = MvFreq().fit(matrix)
+        assert np.allclose(result.posteriors[1], [0.5, 0.5])
+
+
+class TestMvBeta:
+    def test_same_ratio_less_confident_with_fewer_votes(self):
+        """Beta certainty grows with evidence at a fixed vote ratio —
+        the whole point over MV-Freq."""
+        few = MvBeta().fit(_votes(3, 1)).posteriors[0, 1]
+        many = MvBeta().fit(_votes(9, 3)).posteriors[0, 1]
+        assert many > few
+
+    def test_split_vote_is_half(self):
+        result = MvBeta().fit(_votes(2, 2))
+        assert result.posteriors[0, 1] == pytest.approx(0.5)
+
+    def test_agrees_with_majority_direction(self):
+        assert MvBeta().fit(_votes(4, 1)).predictions[0] == 1
+        assert MvBeta().fit(_votes(1, 4)).predictions[0] == 0
+
+    def test_invalid_prior(self):
+        with pytest.raises(ValueError):
+            MvBeta(prior_alpha=0.0)
+
+    def test_accuracy_matches_majority_direction_overall(
+        self, crowd_answers
+    ):
+        """Certainty re-weighting never flips the majority direction,
+        so MV-Beta's hard accuracy equals MV-Freq's."""
+        matrix, truth = crowd_answers
+        beta_accuracy = MvBeta().fit(matrix).accuracy(truth)
+        freq_accuracy = MvFreq().fit(matrix).accuracy(truth)
+        assert beta_accuracy == pytest.approx(freq_accuracy)
+
+
+class TestPairedVote:
+    def test_certain_task_single_example(self):
+        aggregator = PairedVote(certainty_threshold=0.8)
+        aggregator.fit(_votes(6, 0))
+        examples = aggregator.paired_examples()
+        assert len(examples) == 1
+        assert examples[0].label == 1
+        assert examples[0].weight == 1.0
+
+    def test_uncertain_task_paired_examples(self):
+        aggregator = PairedVote(certainty_threshold=0.9)
+        aggregator.fit(_votes(2, 1))
+        examples = aggregator.paired_examples()
+        assert len(examples) == 2
+        weights = {example.label: example.weight for example in examples}
+        assert weights[1] == pytest.approx(2 / 3)
+        assert weights[0] == pytest.approx(1 / 3)
+
+    def test_weights_sum_to_one_per_uncertain_task(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        aggregator = PairedVote(certainty_threshold=0.99)
+        aggregator.fit(matrix)
+        by_task: dict[int, float] = {}
+        for example in aggregator.paired_examples():
+            by_task[example.task] = by_task.get(example.task, 0.0) + example.weight
+        assert all(
+            total == pytest.approx(1.0) for total in by_task.values()
+        )
+
+    def test_paired_examples_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PairedVote().paired_examples()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            PairedVote(certainty_threshold=0.3)
+
+
+class TestRegistryIntegration:
+    @pytest.mark.parametrize("name", ["MV-FREQ", "MV-BETA", "PAIRED-MV"])
+    def test_available_by_name(self, name, crowd_answers):
+        matrix, truth = crowd_answers
+        result = make_aggregator(name).fit(matrix)
+        assert result.accuracy(truth) > 0.8

@@ -1,0 +1,71 @@
+"""Unit tests for the ZenCrowd EM aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import MajorityVote, ZenCrowd
+
+
+class TestZenCrowd:
+    def test_accuracy_on_easy_crowd(self, crowd_answers):
+        matrix, truth = crowd_answers
+        assert ZenCrowd().fit(matrix).accuracy(truth) > 0.85
+
+    def test_beats_or_matches_majority_on_noisy_crowd(
+        self, hard_crowd_answers
+    ):
+        matrix, truth = hard_crowd_answers
+        zc = ZenCrowd().fit(matrix).accuracy(truth)
+        mv = MajorityVote().fit(matrix).accuracy(truth)
+        assert zc >= mv
+
+    def test_reliability_estimates_ordered(self, hard_crowd_answers):
+        matrix, _truth = hard_crowd_answers
+        reliability = ZenCrowd().fit(matrix).worker_reliability
+        assert reliability[0] > reliability[5]
+
+    def test_reliability_in_unit_interval(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        reliability = ZenCrowd().fit(matrix).worker_reliability
+        assert np.all(reliability >= 0.0)
+        assert np.all(reliability <= 1.0)
+
+    def test_reliability_estimates_close_to_truth(self, make_answers):
+        matrix, _truth = make_answers(
+            num_tasks=600,
+            accuracies=(0.9, 0.6, 0.8, 0.7, 0.75),
+            answers_per_task=5,
+            seed=11,
+        )
+        reliability = ZenCrowd().fit(matrix).worker_reliability
+        assert reliability[0] == pytest.approx(0.9, abs=0.1)
+        assert reliability[1] == pytest.approx(0.6, abs=0.1)
+        assert reliability[3] == pytest.approx(0.7, abs=0.1)
+
+    def test_converges(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = ZenCrowd(max_iter=300).fit(matrix)
+        assert result.converged
+
+    def test_posteriors_normalized(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        result = ZenCrowd().fit(matrix)
+        assert np.allclose(result.posteriors.sum(axis=1), 1.0)
+
+    def test_multiclass(self, multiclass_answers):
+        matrix, truth = multiclass_answers
+        result = ZenCrowd().fit(matrix)
+        assert result.accuracy(truth) > 0.7
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ZenCrowd(initial_reliability=1.0)
+        with pytest.raises(ValueError):
+            ZenCrowd(smoothing=-0.1)
+
+    def test_deterministic(self, crowd_answers):
+        matrix, _truth = crowd_answers
+        assert np.array_equal(
+            ZenCrowd().fit(matrix).posteriors,
+            ZenCrowd().fit(matrix).posteriors,
+        )

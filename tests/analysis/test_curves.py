@@ -1,0 +1,110 @@
+"""Unit tests for repro.analysis.curves."""
+
+import pytest
+
+from repro.analysis import (
+    area_under_curve,
+    budget_to_reach,
+    crossover_budget,
+    dominance_fraction,
+    improvement_rate,
+)
+
+
+class TestCrossoverBudget:
+    def test_simple_crossover_interpolated(self):
+        budgets = [0, 10, 20]
+        a = [0.0, 0.5, 1.0]
+        b = [0.4, 0.4, 0.4]
+        # A - B: -0.4, +0.1, +0.6 -> crosses between 0 and 10 at 0.8 of
+        # the way: 8.0.
+        assert crossover_budget(budgets, a, b) == pytest.approx(8.0)
+
+    def test_leading_from_start_returns_none(self):
+        budgets = [0, 10]
+        assert crossover_budget(budgets, [0.9, 0.9], [0.1, 0.2]) is None
+
+    def test_never_crossing_returns_none(self):
+        budgets = [0, 10]
+        assert crossover_budget(budgets, [0.1, 0.2], [0.9, 0.9]) is None
+
+    def test_exact_touch_counts(self):
+        budgets = [0, 10]
+        assert crossover_budget(
+            budgets, [0.1, 0.5], [0.5, 0.5]
+        ) == pytest.approx(10.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crossover_budget([0, 1], [0.1], [0.2, 0.3])
+
+    def test_unsorted_budgets_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            crossover_budget([1, 0], [0.1, 0.2], [0.3, 0.4])
+
+
+class TestBudgetToReach:
+    def test_interpolated(self):
+        budgets = [0, 100]
+        values = [0.5, 1.0]
+        assert budget_to_reach(budgets, values, 0.75) == pytest.approx(50.0)
+
+    def test_already_reached(self):
+        assert budget_to_reach([0, 10], [0.9, 0.95], 0.8) == 0.0
+
+    def test_never_reached(self):
+        assert budget_to_reach([0, 10], [0.1, 0.2], 0.9) is None
+
+    def test_flat_segment(self):
+        assert budget_to_reach(
+            [0, 10, 20], [0.1, 0.5, 0.5], 0.5
+        ) == pytest.approx(10.0)
+
+
+class TestAreaUnderCurve:
+    def test_constant_curve(self):
+        assert area_under_curve([0, 10], [0.7, 0.7]) == pytest.approx(0.7)
+
+    def test_linear_curve_average(self):
+        assert area_under_curve([0, 10], [0.0, 1.0]) == pytest.approx(0.5)
+
+    def test_zero_span_rejected(self):
+        with pytest.raises(ValueError):
+            area_under_curve([5, 5], [0.1, 0.2])
+
+    def test_comparability(self):
+        """A curve that rises sooner has a larger normalized AUC."""
+        budgets = [0, 10, 20]
+        early = [0.9, 0.95, 0.95]
+        late = [0.5, 0.6, 0.95]
+        assert area_under_curve(budgets, early) > area_under_curve(
+            budgets, late
+        )
+
+
+class TestImprovementRate:
+    def test_rate(self):
+        assert improvement_rate([0, 100], [-50.0, -10.0]) == pytest.approx(
+            0.4
+        )
+
+    def test_negative_rate(self):
+        assert improvement_rate([0, 10], [0.9, 0.8]) == pytest.approx(-0.01)
+
+
+class TestDominanceFraction:
+    def test_full_dominance(self):
+        assert dominance_fraction([1, 2, 3], [0, 1, 2]) == 1.0
+
+    def test_partial(self):
+        assert dominance_fraction([1, 0, 3], [0, 1, 2]) == pytest.approx(
+            2 / 3
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dominance_fraction([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominance_fraction([1], [1, 2])

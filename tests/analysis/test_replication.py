@@ -1,0 +1,100 @@
+"""Unit tests for multi-seed replication."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PairedComparison,
+    compare_selectors,
+    replicate_session,
+)
+from repro.core import GreedySelector, RandomSelector
+from repro.simulation import SessionConfig
+
+
+BUDGETS = (10, 20, 30)
+
+
+class TestReplicateSession:
+    def test_shapes(self, small_dataset):
+        config = SessionConfig(budget=30, theta=0.9)
+        series = replicate_session(
+            small_dataset, config, BUDGETS, seeds=(0, 1, 2)
+        )
+        assert series.num_runs == 3
+        assert len(series.accuracy_mean) == len(BUDGETS)
+        assert len(series.quality_std) == len(BUDGETS)
+
+    def test_no_seeds_rejected(self, small_dataset):
+        config = SessionConfig(budget=10)
+        with pytest.raises(ValueError):
+            replicate_session(small_dataset, config, BUDGETS, seeds=())
+
+    def test_std_zero_for_single_seed(self, small_dataset):
+        config = SessionConfig(budget=20)
+        series = replicate_session(
+            small_dataset, config, BUDGETS, seeds=(5,)
+        )
+        assert all(value == 0.0 for value in series.accuracy_std)
+
+    def test_identical_seeds_zero_std(self, small_dataset):
+        config = SessionConfig(budget=20)
+        series = replicate_session(
+            small_dataset, config, BUDGETS, seeds=(7, 7)
+        )
+        assert all(value == 0.0 for value in series.quality_std)
+
+    def test_mean_quality_improves_with_budget(self, small_dataset):
+        config = SessionConfig(budget=60)
+        series = replicate_session(
+            small_dataset, config, (10, 60), seeds=(0, 1, 2)
+        )
+        assert series.quality_mean[-1] > series.quality_mean[0]
+
+    def test_to_dict(self, small_dataset):
+        config = SessionConfig(budget=10)
+        series = replicate_session(
+            small_dataset, config, BUDGETS, seeds=(0,), label="X"
+        )
+        data = series.to_dict()
+        assert data["label"] == "X"
+        assert data["num_runs"] == 1
+
+
+class TestCompareSelectors:
+    def test_paired_comparison_fields(self, small_dataset):
+        config = SessionConfig(budget=30)
+        comparison = compare_selectors(
+            small_dataset,
+            config,
+            selector_a=GreedySelector,
+            selector_b=lambda: RandomSelector(rng=0),
+            seeds=(0, 1, 2),
+            label_a="Approx",
+            label_b="Random",
+        )
+        assert len(comparison.final_quality_diffs) == 3
+        assert comparison.wins_a + comparison.wins_b <= 3
+
+    def test_greedy_usually_beats_random(self, small_dataset):
+        config = SessionConfig(budget=40)
+        comparison = compare_selectors(
+            small_dataset,
+            config,
+            selector_a=GreedySelector,
+            selector_b=lambda: RandomSelector(rng=1),
+            seeds=(0, 1, 2, 3),
+        )
+        assert comparison.mean_difference > -0.5
+        assert comparison.wins_a >= comparison.wins_b
+
+
+class TestPairedComparisonStats:
+    def test_mean_and_wins(self):
+        comparison = PairedComparison(
+            label_a="a", label_b="b",
+            final_quality_diffs=[1.0, -0.5, 2.0],
+        )
+        assert comparison.mean_difference == pytest.approx(2.5 / 3)
+        assert comparison.wins_a == 2
+        assert comparison.wins_b == 1

@@ -1,0 +1,156 @@
+"""Unit tests for the closed-form theory helpers, validated against
+simulation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    answers_to_reach_confidence,
+    greedy_gain_guarantee,
+    majority_vote_error,
+    posterior_error_after_checks,
+)
+
+
+class TestMajorityVoteError:
+    def test_paper_intro_formula_n3(self):
+        """Intro: three workers with error e -> 3e^2(1-e) + e^3."""
+        for error in (0.1, 0.3, 0.45):
+            expected = 3 * error**2 * (1 - error) + error**3
+            assert majority_vote_error(error, 3) == pytest.approx(expected)
+
+    def test_crowd_beats_individual_below_half(self):
+        """The intro's claim: aggregated error < individual error for
+        e < 0.5."""
+        for error in (0.1, 0.2, 0.4):
+            assert majority_vote_error(error, 3) < error
+
+    def test_crowd_hurts_above_half(self):
+        assert majority_vote_error(0.7, 3) > 0.7
+
+    def test_single_worker_identity(self):
+        assert majority_vote_error(0.3, 1) == pytest.approx(0.3)
+
+    def test_coin_flip_stays_half(self):
+        for workers in (1, 2, 3, 7):
+            assert majority_vote_error(0.5, workers) == pytest.approx(0.5)
+
+    def test_even_crowd_tie_handling(self):
+        # Two workers, error e: wrong iff both err (e^2) or tie (half of
+        # 2e(1-e)) -> e^2 + e(1-e) = e.
+        assert majority_vote_error(0.3, 2) == pytest.approx(0.3)
+
+    def test_large_crowd_goes_to_zero(self):
+        assert majority_vote_error(0.3, 101) < 1e-4
+
+    def test_matches_simulation(self, rng):
+        error, workers = 0.35, 5
+        trials = 20000
+        wrong = (rng.random((trials, workers)) < error).sum(axis=1)
+        empirical = np.mean(wrong > workers // 2)
+        assert majority_vote_error(error, workers) == pytest.approx(
+            empirical, abs=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            majority_vote_error(1.5, 3)
+        with pytest.raises(ValueError):
+            majority_vote_error(0.3, 0)
+
+
+class TestPosteriorErrorAfterChecks:
+    def test_zero_checks_prior_mode(self):
+        assert posterior_error_after_checks(0.7, 0.9, 0) == 0.0
+        assert posterior_error_after_checks(0.3, 0.9, 0) == 1.0
+        assert posterior_error_after_checks(0.5, 0.9, 0) == 0.5
+
+    def test_oracle_expert_resolves(self):
+        assert posterior_error_after_checks(0.3, 1.0, 1) == 0.0
+
+    def test_error_decreases_with_checks(self):
+        errors = [
+            posterior_error_after_checks(0.6, 0.85, checks)
+            for checks in (1, 3, 5, 9)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_matches_simulation(self, rng):
+        prior, accuracy, checks = 0.6, 0.85, 3
+        trials = 20000
+        correct_answers = (
+            rng.random((trials, checks)) < accuracy
+        ).sum(axis=1)
+        log_odds = np.log(prior / (1 - prior)) + (
+            2 * correct_answers - checks
+        ) * np.log(accuracy / (1 - accuracy))
+        empirical = np.mean(log_odds < 0) + 0.5 * np.mean(log_odds == 0)
+        assert posterior_error_after_checks(
+            prior, accuracy, checks
+        ) == pytest.approx(empirical, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            posterior_error_after_checks(0.0, 0.9, 1)
+        with pytest.raises(ValueError):
+            posterior_error_after_checks(0.7, 0.9, -1)
+
+
+class TestAnswersToReachConfidence:
+    def test_already_confident(self):
+        assert answers_to_reach_confidence(0.96, 0.9, 0.95) == 0
+
+    def test_single_strong_answer(self):
+        # 0.5 prior, 0.9 expert: posterior 0.9 >= 0.85 after one answer.
+        assert answers_to_reach_confidence(0.5, 0.9, 0.85) == 1
+
+    def test_weak_expert_needs_more(self):
+        strong = answers_to_reach_confidence(0.5, 0.95, 0.99)
+        weak = answers_to_reach_confidence(0.5, 0.7, 0.99)
+        assert weak > strong
+
+    def test_coin_flip_unreachable(self):
+        assert answers_to_reach_confidence(0.6, 0.5, 0.9) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            answers_to_reach_confidence(0.5, 0.9, 0.4)
+
+
+class TestGreedyGainGuarantee:
+    def test_fraction(self):
+        assert greedy_gain_guarantee(1.0) == pytest.approx(1 - 1 / np.e)
+
+    def test_zero(self):
+        assert greedy_gain_guarantee(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_gain_guarantee(-1.0)
+
+    def test_guarantee_holds_on_real_instance(self, two_experts):
+        """The measured greedy gain must respect its own bound on a
+        random instance (ties the formula to the selectors)."""
+        from repro.core import (
+            BeliefState,
+            ExactSelector,
+            FactSet,
+            FactoredBelief,
+            GreedySelector,
+            conditional_entropy,
+            observation_entropy,
+        )
+
+        rng = np.random.default_rng(6)
+        facts = FactSet.from_ids(range(4))
+        belief = FactoredBelief(
+            [BeliefState(facts, rng.dirichlet(np.ones(16)))]
+        )
+        prior = observation_entropy(belief[0])
+        opt = ExactSelector().select(belief, two_experts, 2)
+        greedy = GreedySelector().select(belief, two_experts, 2)
+        opt_gain = prior - conditional_entropy(belief[0], opt, two_experts)
+        greedy_gain = prior - conditional_entropy(
+            belief[0], greedy, two_experts
+        )
+        assert greedy_gain >= greedy_gain_guarantee(opt_gain) - 1e-9

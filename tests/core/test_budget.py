@@ -1,0 +1,106 @@
+"""Unit tests for repro.core.budget (Algorithm 3 accounting)."""
+
+import pytest
+
+from repro.core import CheckingBudget, CostModel, Crowd, Worker
+
+
+@pytest.fixture
+def experts():
+    return Crowd.from_accuracies([0.9, 0.95], prefix="e")
+
+
+class TestCostModel:
+    def test_default_unit_cost(self, experts):
+        model = CostModel()
+        assert model.round_cost(3, experts) == 6.0  # |T| * |CE|
+
+    def test_answer_cost_default_and_override(self, experts):
+        model = CostModel(per_worker={"e0": 2.5})
+        assert model.answer_cost(experts.by_id("e0")) == 2.5
+        assert model.answer_cost(experts.by_id("e1")) == 1.0
+
+    def test_accuracy_proportional(self, experts):
+        model = CostModel.accuracy_proportional(experts, rate=2.0)
+        assert model.answer_cost(experts.by_id("e0")) == pytest.approx(1.8)
+        assert model.answer_cost(experts.by_id("e1")) == pytest.approx(1.9)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(default_cost=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(per_worker={"w": -0.5})
+
+    def test_round_cost_scales_with_queries(self, experts):
+        model = CostModel.accuracy_proportional(experts)
+        assert model.round_cost(2, experts) == pytest.approx(
+            2 * (0.9 + 0.95)
+        )
+
+
+class TestCheckingBudget:
+    def test_initial_state(self):
+        budget = CheckingBudget(10)
+        assert budget.total == 10
+        assert budget.spent == 0
+        assert budget.remaining == 10
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            CheckingBudget(-1)
+
+    def test_charge_round_paper_line7(self, experts):
+        """Algorithm 3 line 7: B <- B - |T| * |CE|."""
+        budget = CheckingBudget(10)
+        charged = budget.charge_round(2, experts)
+        assert charged == 4.0
+        assert budget.remaining == 6.0
+
+    def test_charge_beyond_remaining_rejected(self, experts):
+        budget = CheckingBudget(3)
+        with pytest.raises(ValueError, match="exceeds"):
+            budget.charge_round(2, experts)
+
+    def test_affordable_queries_clamps_to_k(self, experts):
+        budget = CheckingBudget(100)
+        assert budget.affordable_queries(experts, 3) == 3
+
+    def test_affordable_queries_clamps_to_budget(self, experts):
+        budget = CheckingBudget(5)  # one query costs 2
+        assert budget.affordable_queries(experts, 10) == 2
+
+    def test_affordable_queries_zero_when_exhausted(self, experts):
+        budget = CheckingBudget(1)  # cheaper than one query (cost 2)
+        assert budget.affordable_queries(experts, 5) == 0
+
+    def test_affordable_queries_empty_crowd(self):
+        budget = CheckingBudget(10)
+        assert budget.affordable_queries(Crowd([]), 5) == 0
+
+    def test_affordable_queries_k_zero(self, experts):
+        assert CheckingBudget(10).affordable_queries(experts, 0) == 0
+
+    def test_stopping_rule_matches_paper_line8(self, experts):
+        """Loop in Algorithm 3 stops when B < |T| * |CE|."""
+        budget = CheckingBudget(7)
+        rounds = 0
+        while budget.affordable_queries(experts, 1) >= 1:
+            budget.charge_round(1, experts)
+            rounds += 1
+        assert rounds == 3  # 7 // 2
+        assert budget.remaining == 1.0
+
+    def test_cost_model_integration(self, experts):
+        model = CostModel(per_worker={"e0": 3.0, "e1": 2.0})
+        budget = CheckingBudget(11, cost_model=model)
+        assert budget.affordable_queries(experts, 5) == 2  # 5 per query
+        budget.charge_round(2, experts)
+        assert budget.remaining == 1.0
+
+    def test_free_workers_afford_everything(self):
+        free = Crowd([Worker("v", 0.9)])
+        model = CostModel(default_cost=0.0)
+        budget = CheckingBudget(0, cost_model=model)
+        assert budget.affordable_queries(free, 4) == 4
+        budget.charge_round(4, free)
+        assert budget.spent == 0.0

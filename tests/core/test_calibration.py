@@ -1,0 +1,117 @@
+"""Unit tests for gold-task calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Crowd,
+    calibrate_crowd,
+    simulate_calibration,
+    split_with_calibration,
+)
+
+
+class TestCalibrateCrowd:
+    def test_exact_estimation_without_smoothing(self):
+        gold_truth = [True, False, True, True]
+        answers = {"w0": [True, False, True, False]}  # 3/4 correct
+        crowd = calibrate_crowd(answers, gold_truth, smoothing=0.0)
+        assert crowd.by_id("w0").accuracy == pytest.approx(0.75)
+
+    def test_smoothing_pulls_toward_half(self):
+        gold_truth = [True, True]
+        answers = {"w0": [True, True]}
+        crowd = calibrate_crowd(answers, gold_truth, smoothing=1.0)
+        assert 0.5 < crowd.by_id("w0").accuracy < 1.0
+
+    def test_partial_answer_prefix(self):
+        gold_truth = [True, False, True]
+        answers = {"w0": [True]}  # answered only the first gold fact
+        crowd = calibrate_crowd(answers, gold_truth, smoothing=0.0)
+        assert crowd.by_id("w0").accuracy == pytest.approx(1.0)
+
+    def test_too_many_answers_rejected(self):
+        with pytest.raises(ValueError, match="more gold facts"):
+            calibrate_crowd({"w0": [True, True]}, [True])
+
+    def test_no_answers_gets_default(self):
+        crowd = calibrate_crowd(
+            {"w0": []}, [True], default_accuracy=0.5
+        )
+        assert crowd.by_id("w0").accuracy == 0.5
+
+
+class TestSimulateCalibration:
+    def test_preserves_ids_and_order(self):
+        true_crowd = Crowd.from_accuracies([0.6, 0.9], prefix="p")
+        estimated = simulate_calibration(true_crowd, 20, rng=0)
+        assert estimated.worker_ids == true_crowd.worker_ids
+
+    def test_estimates_converge_with_gold_count(self):
+        true_crowd = Crowd.from_accuracies([0.6, 0.75, 0.9, 0.95])
+        rng = np.random.default_rng(1)
+        estimated = simulate_calibration(true_crowd, 2000, rng=rng)
+        for true_worker, estimated_worker in zip(true_crowd, estimated):
+            assert estimated_worker.accuracy == pytest.approx(
+                true_worker.accuracy, abs=0.05
+            )
+
+    def test_few_gold_tasks_are_noisy(self):
+        """With 5 gold facts, at least some of many workers should be
+        misestimated by more than 0.1 — calibration is not free."""
+        true_crowd = Crowd.from_accuracies([0.75] * 40)
+        estimated = simulate_calibration(true_crowd, 5, rng=2)
+        deviations = [
+            abs(worker.accuracy - 0.75) for worker in estimated
+        ]
+        assert max(deviations) > 0.1
+
+    def test_invalid_gold_count(self):
+        with pytest.raises(ValueError):
+            simulate_calibration(Crowd.from_accuracies([0.8]), 0)
+
+    def test_deterministic_with_seed(self):
+        crowd = Crowd.from_accuracies([0.7, 0.9])
+        a = simulate_calibration(crowd, 10, rng=3)
+        b = simulate_calibration(crowd, 10, rng=3)
+        assert a == b
+
+
+class TestSplitWithCalibration:
+    def test_report_fields(self):
+        crowd = Crowd.from_accuracies([0.6, 0.95])
+        report = split_with_calibration(crowd, 0.9, num_gold=50, rng=0)
+        total = len(report.estimated_experts) + len(
+            report.estimated_preliminary
+        )
+        assert total == len(crowd)
+
+    def test_perfect_calibration_no_errors(self):
+        """With a huge gold set, tiering matches the truth."""
+        crowd = Crowd.from_accuracies([0.55, 0.7, 0.93, 0.97])
+        report = split_with_calibration(
+            crowd, 0.9, num_gold=5000, rng=1, smoothing=0.0
+        )
+        assert report.num_tiering_errors == 0
+        assert len(report.estimated_experts) == 2
+
+    def test_borderline_workers_get_mistiered(self):
+        """Workers right at theta are the ones calibration misplaces."""
+        crowd = Crowd.from_accuracies([0.89, 0.9, 0.91] * 10, prefix="b")
+        errors = []
+        for seed in range(5):
+            report = split_with_calibration(
+                crowd, 0.9, num_gold=10, rng=seed
+            )
+            errors.append(report.num_tiering_errors)
+        assert max(errors) > 0
+
+    def test_error_ids_disjoint(self):
+        crowd = Crowd.from_accuracies(
+            np.linspace(0.6, 0.97, 15).tolist()
+        )
+        report = split_with_calibration(crowd, 0.9, num_gold=8, rng=4)
+        assert not (
+            set(report.demoted_expert_ids)
+            & set(report.promoted_preliminary_ids)
+        )

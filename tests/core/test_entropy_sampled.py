@@ -1,0 +1,106 @@
+"""Tests for the Monte Carlo conditional-entropy estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BeliefState,
+    Crowd,
+    FactSet,
+    conditional_entropy,
+    conditional_entropy_sampled,
+    observation_entropy,
+)
+
+
+@pytest.fixture
+def belief():
+    rng = np.random.default_rng(0)
+    facts = FactSet.from_ids([0, 1, 2])
+    return BeliefState(facts, rng.dirichlet(np.ones(8)))
+
+
+class TestConditionalEntropySampled:
+    def test_matches_exact_small_instance(self, belief, two_experts):
+        exact = conditional_entropy(belief, [0, 2], two_experts)
+        sampled = conditional_entropy_sampled(
+            belief, [0, 2], two_experts, num_samples=6000, rng=1
+        )
+        assert sampled == pytest.approx(exact, abs=0.03)
+
+    def test_matches_exact_single_query(self, belief, two_experts):
+        exact = conditional_entropy(belief, [1], two_experts)
+        sampled = conditional_entropy_sampled(
+            belief, [1], two_experts, num_samples=6000, rng=2
+        )
+        assert sampled == pytest.approx(exact, abs=0.03)
+
+    def test_empty_query_is_prior(self, belief, two_experts):
+        assert conditional_entropy_sampled(
+            belief, [], two_experts, rng=0
+        ) == pytest.approx(observation_entropy(belief))
+
+    def test_empty_crowd_is_prior(self, belief):
+        assert conditional_entropy_sampled(
+            belief, [0], Crowd([]), rng=0
+        ) == pytest.approx(observation_entropy(belief))
+
+    def test_works_beyond_enumeration_cap(self, belief):
+        """30 experts x 2 queries = 60 family bits — far beyond exact
+        enumeration; the estimator must return a sane value."""
+        big_crowd = Crowd.from_accuracies([0.9] * 30)
+        value = conditional_entropy_sampled(
+            belief, [0, 1], big_crowd, num_samples=500, rng=3
+        )
+        assert 0.0 <= value <= observation_entropy(belief) + 1e-9
+        # 30 strong experts nearly resolve the queried facts.
+        assert value < 1.5
+
+    def test_information_never_hurts_in_estimate(self, belief):
+        experts = Crowd.from_accuracies([0.85, 0.9, 0.95])
+        prior = observation_entropy(belief)
+        value = conditional_entropy_sampled(
+            belief, [0, 1, 2], experts, num_samples=3000, rng=4
+        )
+        # MC noise allowance on top of the information inequality.
+        assert value <= prior + 0.05
+
+    def test_seeded_reproducibility(self, belief, two_experts):
+        a = conditional_entropy_sampled(
+            belief, [0], two_experts, num_samples=200, rng=7
+        )
+        b = conditional_entropy_sampled(
+            belief, [0], two_experts, num_samples=200, rng=7
+        )
+        assert a == b
+
+    def test_invalid_samples(self, belief, two_experts):
+        with pytest.raises(ValueError):
+            conditional_entropy_sampled(
+                belief, [0], two_experts, num_samples=0
+            )
+
+    def test_precision_improves_with_samples(self, belief, two_experts):
+        exact = conditional_entropy(belief, [0, 1], two_experts)
+        coarse_errors = []
+        fine_errors = []
+        for seed in range(5):
+            coarse_errors.append(
+                abs(
+                    conditional_entropy_sampled(
+                        belief, [0, 1], two_experts,
+                        num_samples=100, rng=seed,
+                    )
+                    - exact
+                )
+            )
+            fine_errors.append(
+                abs(
+                    conditional_entropy_sampled(
+                        belief, [0, 1], two_experts,
+                        num_samples=5000, rng=seed,
+                    )
+                    - exact
+                )
+            )
+        assert np.mean(fine_errors) < np.mean(coarse_errors)

@@ -1,0 +1,105 @@
+"""Unit tests for repro.core.facts."""
+
+import pytest
+
+from repro.core import Fact, FactSet
+
+
+class TestFact:
+    def test_fields(self):
+        fact = Fact(fact_id=7, instance_id="tweet42", label="positive")
+        assert fact.fact_id == 7
+        assert fact.instance_id == "tweet42"
+        assert fact.label == "positive"
+
+    def test_frozen(self):
+        fact = Fact(fact_id=1)
+        with pytest.raises(AttributeError):
+            fact.fact_id = 2
+
+    def test_ordering_by_id(self):
+        assert Fact(fact_id=1) < Fact(fact_id=2)
+
+    def test_equality_ignores_text(self):
+        assert Fact(fact_id=1, text="a") == Fact(fact_id=1, text="b")
+
+    def test_query_text_mentions_label(self):
+        fact = Fact(fact_id=1, instance_id="x", label="positive")
+        assert "positive" in fact.query_text()
+
+    def test_query_text_prefers_text(self):
+        fact = Fact(fact_id=1, instance_id="x", text="Great product!")
+        assert "Great product!" in fact.query_text()
+
+    def test_query_text_falls_back_to_fact_id(self):
+        fact = Fact(fact_id=9)
+        assert "9" in fact.query_text()
+
+
+class TestFactSet:
+    def test_from_ids(self):
+        facts = FactSet.from_ids([3, 1, 2])
+        assert facts.fact_ids == (3, 1, 2)
+
+    def test_len_and_iter(self):
+        facts = FactSet.from_ids([1, 2, 3])
+        assert len(facts) == 3
+        assert [fact.fact_id for fact in facts] == [1, 2, 3]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FactSet.from_ids([1, 1])
+
+    def test_positional_access(self):
+        facts = FactSet.from_ids([10, 20])
+        assert facts[0].fact_id == 10
+        assert facts[1].fact_id == 20
+
+    def test_position_of(self):
+        facts = FactSet.from_ids([10, 20, 30])
+        assert facts.position_of(20) == 1
+
+    def test_position_of_unknown_raises(self):
+        facts = FactSet.from_ids([1])
+        with pytest.raises(KeyError):
+            facts.position_of(99)
+
+    def test_by_id(self):
+        facts = FactSet.from_ids([5, 6])
+        assert facts.by_id(6).fact_id == 6
+
+    def test_contains_fact_and_id(self):
+        facts = FactSet.from_ids([1, 2])
+        assert 1 in facts
+        assert Fact(fact_id=2) in facts
+        assert 3 not in facts
+        assert "1" not in facts
+
+    def test_equality_and_hash(self):
+        a = FactSet.from_ids([1, 2])
+        b = FactSet.from_ids([1, 2])
+        c = FactSet.from_ids([2, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_equality_with_other_type(self):
+        assert FactSet.from_ids([1]) != "not a fact set"
+
+    def test_subset_preserves_order_given(self):
+        facts = FactSet.from_ids([1, 2, 3, 4])
+        sub = facts.subset([3, 1])
+        assert sub.fact_ids == (3, 1)
+
+    def test_subset_unknown_id_raises(self):
+        facts = FactSet.from_ids([1])
+        with pytest.raises(KeyError):
+            facts.subset([2])
+
+    def test_empty_fact_set(self):
+        facts = FactSet([])
+        assert len(facts) == 0
+        assert list(facts) == []
+
+    def test_repr_lists_ids(self):
+        assert "1" in repr(FactSet.from_ids([1]))

@@ -1,0 +1,296 @@
+"""Unit tests for repro.core.hc (Algorithms 1 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BeliefState,
+    CostModel,
+    Crowd,
+    FactSet,
+    FactoredBelief,
+    GreedySelector,
+    HierarchicalCrowdsourcing,
+    MaxMarginalEntropySelector,
+    RandomSelector,
+    Worker,
+    labeling_accuracy,
+    run_flat_checking,
+    run_tiered_checking,
+    total_quality,
+)
+from repro.simulation import ScriptedAnswerSource, SimulatedExpertPanel
+
+
+def _belief_two_groups() -> FactoredBelief:
+    return FactoredBelief(
+        [
+            BeliefState.from_marginals(
+                FactSet.from_ids([0, 1]), [0.7, 0.4]
+            ),
+            BeliefState.from_marginals(
+                FactSet.from_ids([2, 3]), [0.55, 0.8]
+            ),
+        ]
+    )
+
+
+GROUND_TRUTH = {0: True, 1: False, 2: True, 3: True}
+
+
+@pytest.fixture
+def experts():
+    return Crowd.from_accuracies([0.92, 0.96], prefix="e")
+
+
+@pytest.fixture
+def panel():
+    return SimulatedExpertPanel(GROUND_TRUTH, rng=0)
+
+
+class TestHelpers:
+    def test_total_quality_sums_groups(self):
+        belief = _belief_two_groups()
+        from repro.core import quality
+
+        assert total_quality(belief) == pytest.approx(
+            quality(belief[0]) + quality(belief[1])
+        )
+
+    def test_labeling_accuracy(self):
+        belief = FactoredBelief(
+            [
+                BeliefState.point_mass(
+                    FactSet.from_ids([0, 1]), (True, False)
+                )
+            ]
+        )
+        assert labeling_accuracy(belief, {0: True, 1: True}) == 0.5
+
+    def test_labeling_accuracy_partial_truth(self):
+        belief = FactoredBelief(
+            [BeliefState.point_mass(FactSet.from_ids([0, 1]), (True, True))]
+        )
+        assert labeling_accuracy(belief, {0: True}) == 1.0
+
+    def test_labeling_accuracy_no_overlap_raises(self):
+        belief = FactoredBelief(
+            [BeliefState.point_mass(FactSet.from_ids([0]), (True,))]
+        )
+        with pytest.raises(ValueError):
+            labeling_accuracy(belief, {9: True})
+
+
+class TestHierarchicalCrowdsourcing:
+    def test_constructor_validation(self, experts):
+        with pytest.raises(ValueError, match="k must be"):
+            HierarchicalCrowdsourcing(experts, k=0)
+        with pytest.raises(ValueError, match="must not be empty"):
+            HierarchicalCrowdsourcing(Crowd([]))
+
+    def test_budget_never_exceeded(self, experts, panel):
+        runner = HierarchicalCrowdsourcing(experts, k=1)
+        result = runner.run(_belief_two_groups(), panel, budget=7)
+        assert result.history[-1].budget_spent <= 7
+
+    def test_round_cost_is_queries_times_experts(self, experts, panel):
+        runner = HierarchicalCrowdsourcing(experts, k=2)
+        result = runner.run(_belief_two_groups(), panel, budget=8)
+        for record in result.history[1:]:
+            assert record.cost == len(record.query_fact_ids) * len(experts)
+
+    def test_history_starts_at_zero_budget(self, experts, panel):
+        runner = HierarchicalCrowdsourcing(experts, k=1)
+        result = runner.run(_belief_two_groups(), panel, budget=4)
+        assert result.history[0].round_index == -1
+        assert result.history[0].budget_spent == 0.0
+        assert result.history[0].query_fact_ids == ()
+
+    def test_budget_monotone_in_history(self, experts, panel):
+        runner = HierarchicalCrowdsourcing(experts, k=1)
+        result = runner.run(_belief_two_groups(), panel, budget=10)
+        spends = result.budgets
+        assert spends == sorted(spends)
+
+    def test_zero_budget_runs_no_rounds(self, experts, panel):
+        runner = HierarchicalCrowdsourcing(experts, k=1)
+        result = runner.run(_belief_two_groups(), panel, budget=0)
+        assert len(result.history) == 1
+
+    def test_input_belief_untouched(self, experts, panel):
+        belief = _belief_two_groups()
+        before = [group.probabilities.copy() for group in belief]
+        runner = HierarchicalCrowdsourcing(experts, k=1)
+        runner.run(belief, panel, budget=10)
+        for group, original in zip(belief, before):
+            assert np.allclose(group.probabilities, original)
+
+    def test_ground_truth_enables_accuracy(self, experts, panel):
+        runner = HierarchicalCrowdsourcing(experts, k=1)
+        result = runner.run(
+            _belief_two_groups(), panel, budget=6, ground_truth=GROUND_TRUTH
+        )
+        assert all(record.accuracy is not None for record in result.history)
+
+    def test_no_ground_truth_accuracy_none(self, experts, panel):
+        runner = HierarchicalCrowdsourcing(experts, k=1)
+        result = runner.run(_belief_two_groups(), panel, budget=6)
+        assert all(record.accuracy is None for record in result.history)
+
+    def test_on_round_callback(self, experts, panel):
+        seen = []
+        runner = HierarchicalCrowdsourcing(experts, k=1)
+        runner.run(
+            _belief_two_groups(), panel, budget=6, on_round=seen.append
+        )
+        assert len(seen) == 3
+        assert [record.round_index for record in seen] == [0, 1, 2]
+
+    def test_max_rounds_caps_loop(self, experts, panel):
+        runner = HierarchicalCrowdsourcing(experts, k=1)
+        result = runner.run(
+            _belief_two_groups(), panel, budget=100, max_rounds=2
+        )
+        assert len(result.history) == 3
+
+    def test_quality_improves_with_reliable_experts(self, experts, panel):
+        runner = HierarchicalCrowdsourcing(experts, k=1)
+        result = runner.run(_belief_two_groups(), panel, budget=20)
+        assert result.history[-1].quality > result.history[0].quality
+
+    def test_scripted_answers_update_expected_fact(self, experts):
+        """With a scripted 'Yes' consensus on the selected fact, the
+        posterior marginal of that fact must rise."""
+        belief = _belief_two_groups()
+        selector = GreedySelector()
+        chosen = selector.select(belief, experts, 1)[0]
+        script = {
+            (worker.worker_id, chosen): True for worker in experts
+        }
+        source = ScriptedAnswerSource(script)
+        runner = HierarchicalCrowdsourcing(
+            experts, selector=GreedySelector(), k=1
+        )
+        result = runner.run(belief, source, budget=2)
+        assert result.history[1].query_fact_ids == (chosen,)
+        assert result.belief.marginal(chosen) > belief.marginal(chosen)
+
+    def test_final_labels_match_map(self, experts, panel):
+        runner = HierarchicalCrowdsourcing(experts, k=1)
+        result = runner.run(_belief_two_groups(), panel, budget=10)
+        assert result.final_labels == result.belief.map_labels()
+
+    def test_stops_when_no_positive_gain(self, experts):
+        certain = FactoredBelief(
+            [
+                BeliefState.point_mass(
+                    FactSet.from_ids([0, 1]), (True, False)
+                )
+            ]
+        )
+        panel = SimulatedExpertPanel({0: True, 1: False}, rng=0)
+        runner = HierarchicalCrowdsourcing(experts, k=1)
+        result = runner.run(certain, panel, budget=100)
+        assert len(result.history) == 1  # selector returns nothing
+
+    def test_cost_model_shortens_run(self, experts):
+        belief = _belief_two_groups()
+        expensive = CostModel(default_cost=2.0)
+        panel_a = SimulatedExpertPanel(GROUND_TRUTH, rng=1)
+        panel_b = SimulatedExpertPanel(GROUND_TRUTH, rng=1)
+        cheap_run = HierarchicalCrowdsourcing(experts, k=1).run(
+            belief, panel_a, budget=12
+        )
+        costly_run = HierarchicalCrowdsourcing(
+            experts, k=1, cost_model=expensive
+        ).run(belief, panel_b, budget=12)
+        assert len(costly_run.history) < len(cheap_run.history)
+
+    def test_k_clamped_by_remaining_budget(self, experts, panel):
+        """With k=3 but only budget for 1 query per round, |T| = 1."""
+        runner = HierarchicalCrowdsourcing(experts, k=3)
+        result = runner.run(_belief_two_groups(), panel, budget=2)
+        assert len(result.history) == 2
+        assert len(result.history[1].query_fact_ids) == 1
+
+    def test_multi_group_query_updates_both_groups(self, experts):
+        belief = _belief_two_groups()
+        script = {}
+        for worker in experts:
+            script[(worker.worker_id, 1)] = False
+            script[(worker.worker_id, 2)] = True
+        source = ScriptedAnswerSource(
+            {**script, **{(w.worker_id, f): True
+                          for w in experts for f in (0, 3)}}
+        )
+        runner = HierarchicalCrowdsourcing(
+            experts, selector=MaxMarginalEntropySelector(), k=2
+        )
+        result = runner.run(belief, source, budget=4)
+        queried = result.history[1].query_fact_ids
+        groups_touched = {result.belief.group_index_of(f) for f in queried}
+        assert len(groups_touched) == 2  # 2 (0.55) and 1 (0.4) are widest
+
+
+class TestRunFlatChecking:
+    def test_uniform_start_and_whole_crowd(self):
+        crowd = Crowd.from_accuracies([0.6, 0.7, 0.95])
+        panel = SimulatedExpertPanel(GROUND_TRUTH, rng=0)
+        result = run_flat_checking(
+            [FactSet.from_ids([0, 1]), FactSet.from_ids([2, 3])],
+            crowd,
+            panel,
+            budget=9,
+            selector=MaxMarginalEntropySelector(),
+            ground_truth=GROUND_TRUTH,
+        )
+        # Round cost = |C| = 3 -> exactly 3 rounds on budget 9.
+        assert len(result.history) == 4
+        assert result.history[0].quality == pytest.approx(-4.0)  # 2x uniform
+
+    def test_accepts_plain_fact_iterables(self):
+        from repro.core import Fact
+
+        crowd = Crowd.from_accuracies([0.9])
+        panel = SimulatedExpertPanel({0: True}, rng=0)
+        result = run_flat_checking(
+            [[Fact(fact_id=0)]], crowd, panel, budget=2,
+            selector=MaxMarginalEntropySelector(),
+        )
+        assert result.history[-1].budget_spent == 2
+
+
+class TestRunTieredChecking:
+    def test_budget_length_mismatch(self, experts, panel):
+        with pytest.raises(ValueError, match="one budget per tier"):
+            run_tiered_checking(
+                _belief_two_groups(), [experts], panel, [10, 20]
+            )
+
+    def test_tiers_chain_beliefs(self, experts):
+        belief = _belief_two_groups()
+        tier2 = Crowd([Worker("senior", 0.99)])
+        panel = SimulatedExpertPanel(GROUND_TRUTH, rng=3)
+        results = run_tiered_checking(
+            belief,
+            [experts, tier2],
+            panel,
+            budget_per_tier=[8, 4],
+            ground_truth=GROUND_TRUTH,
+        )
+        assert len(results) == 2
+        # Tier 2 starts from tier 1's final quality.
+        assert results[1].history[0].quality == pytest.approx(
+            results[0].history[-1].quality
+        )
+
+    def test_quality_weakly_improves_over_tiers(self, experts):
+        belief = _belief_two_groups()
+        panel = SimulatedExpertPanel(GROUND_TRUTH, rng=4)
+        results = run_tiered_checking(
+            belief, [experts, experts], panel, budget_per_tier=[10, 10]
+        )
+        assert (
+            results[1].history[-1].quality
+            >= results[0].history[0].quality
+        )

@@ -1,0 +1,217 @@
+"""Unit tests for repro.core.observations."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BeliefState,
+    FactSet,
+    FactoredBelief,
+    observation_index,
+    truth_table,
+)
+
+
+class TestTruthTable:
+    def test_shape(self):
+        assert truth_table(3).shape == (8, 3)
+
+    def test_zero_facts(self):
+        table = truth_table(0)
+        assert table.shape == (1, 0)
+
+    def test_little_endian_bits(self):
+        table = truth_table(3)
+        # observation 5 = 0b101 -> facts 0 and 2 true, fact 1 false
+        assert list(table[5]) == [True, False, True]
+
+    def test_all_rows_distinct(self):
+        table = truth_table(4)
+        as_ints = table @ (1 << np.arange(4))
+        assert len(set(as_ints.tolist())) == 16
+
+    def test_read_only(self):
+        table = truth_table(2)
+        with pytest.raises(ValueError):
+            table[0, 0] = True
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            truth_table(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError, match="too large"):
+            truth_table(25)
+
+
+class TestObservationIndex:
+    def test_empty(self):
+        assert observation_index([]) == 0
+
+    def test_round_trip_with_table(self):
+        table = truth_table(3)
+        for state in range(8):
+            assert observation_index(list(table[state])) == state
+
+
+class TestBeliefState:
+    def test_normalizes(self, three_facts):
+        belief = BeliefState(three_facts, np.ones(8) * 3.0)
+        assert belief.probabilities.sum() == pytest.approx(1.0)
+
+    def test_wrong_shape_rejected(self, three_facts):
+        with pytest.raises(ValueError, match="expected 8"):
+            BeliefState(three_facts, np.ones(4))
+
+    def test_negative_rejected(self, three_facts):
+        probs = np.ones(8)
+        probs[0] = -0.5
+        with pytest.raises(ValueError, match="non-negative"):
+            BeliefState(three_facts, probs)
+
+    def test_zero_sum_rejected(self, three_facts):
+        with pytest.raises(ValueError, match="sum to zero"):
+            BeliefState(three_facts, np.zeros(8))
+
+    def test_probabilities_read_only(self, table1_belief):
+        with pytest.raises(ValueError):
+            table1_belief.probabilities[0] = 0.5
+
+    def test_uniform(self, three_facts):
+        belief = BeliefState.uniform(three_facts)
+        assert np.allclose(belief.probabilities, 1 / 8)
+
+    def test_table1_marginals(self, table1_belief):
+        """Paper Eq. 4: P(f1)=0.58, P(f2)=0.63, P(f3)=0.50."""
+        assert table1_belief.marginal(1) == pytest.approx(0.58)
+        assert table1_belief.marginal(2) == pytest.approx(0.63)
+        assert table1_belief.marginal(3) == pytest.approx(0.50)
+
+    def test_marginals_vector_matches_scalar(self, table1_belief):
+        vector = table1_belief.marginals()
+        for position, fact_id in enumerate((1, 2, 3)):
+            assert vector[position] == pytest.approx(
+                table1_belief.marginal(fact_id)
+            )
+
+    def test_table1_joint_not_product_of_marginals(self, table1_belief):
+        """Paper's point after Eq. 4: the facts are correlated."""
+        product = (
+            (1 - table1_belief.marginal(1))
+            * (1 - table1_belief.marginal(2))
+            * (1 - table1_belief.marginal(3))
+        )
+        joint = table1_belief.probability_of((False, False, False))
+        assert abs(product - joint) > 0.01
+
+    def test_probability_of(self, table1_belief):
+        assert table1_belief.probability_of(
+            (True, True, False)
+        ) == pytest.approx(0.20)
+
+    def test_from_marginals_product(self, three_facts):
+        belief = BeliefState.from_marginals(three_facts, [0.5, 0.5, 0.5])
+        assert np.allclose(belief.probabilities, 1 / 8)
+
+    def test_from_marginals_bad_length(self, three_facts):
+        with pytest.raises(ValueError, match="one marginal"):
+            BeliefState.from_marginals(three_facts, [0.5])
+
+    def test_from_marginals_out_of_range(self, three_facts):
+        with pytest.raises(ValueError, match="lie in"):
+            BeliefState.from_marginals(three_facts, [0.5, 1.5, 0.5])
+
+    def test_from_marginals_extreme_ok(self, three_facts):
+        belief = BeliefState.from_marginals(three_facts, [1.0, 0.0, 1.0])
+        assert belief.probability_of((True, False, True)) == pytest.approx(1.0)
+
+    def test_from_mapping_rejects_wrong_length(self, three_facts):
+        with pytest.raises(ValueError, match="length"):
+            BeliefState.from_mapping(three_facts, {(True,): 1.0})
+
+    def test_point_mass(self, three_facts):
+        belief = BeliefState.point_mass(three_facts, (True, False, True))
+        assert belief.probability_of((True, False, True)) == 1.0
+        assert belief.map_labels() == {1: True, 2: False, 3: True}
+
+    def test_map_observation(self, table1_belief):
+        # Largest mass in Table I is o4 = (True, True, False) at 0.20.
+        assert table1_belief.map_observation() == observation_index(
+            (True, True, False)
+        )
+
+    def test_map_labels(self, table1_belief):
+        assert table1_belief.map_labels() == {1: True, 2: True, 3: False}
+
+    def test_reweighted_is_bayes(self, table1_belief):
+        likelihood = np.linspace(1.0, 2.0, 8)
+        posterior = table1_belief.reweighted(likelihood)
+        expected = table1_belief.probabilities * likelihood
+        expected /= expected.sum()
+        assert np.allclose(posterior.probabilities, expected)
+
+    def test_reweighted_wrong_shape(self, table1_belief):
+        with pytest.raises(ValueError):
+            table1_belief.reweighted(np.ones(4))
+
+    def test_with_probabilities(self, table1_belief):
+        updated = table1_belief.with_probabilities(np.ones(8))
+        assert np.allclose(updated.probabilities, 1 / 8)
+        assert updated.facts == table1_belief.facts
+
+
+class TestFactoredBelief:
+    def _two_groups(self):
+        group_a = BeliefState.uniform(FactSet.from_ids([0, 1]))
+        group_b = BeliefState.uniform(FactSet.from_ids([2, 3, 4]))
+        return FactoredBelief([group_a, group_b])
+
+    def test_len_and_num_facts(self):
+        belief = self._two_groups()
+        assert len(belief) == 2
+        assert belief.num_facts == 5
+
+    def test_fact_ids_order(self):
+        assert self._two_groups().fact_ids == [0, 1, 2, 3, 4]
+
+    def test_group_lookup(self):
+        belief = self._two_groups()
+        assert belief.group_index_of(3) == 1
+        assert belief.group_of(0) is belief[0]
+
+    def test_duplicate_fact_across_groups_rejected(self):
+        group = BeliefState.uniform(FactSet.from_ids([0]))
+        with pytest.raises(ValueError, match="multiple groups"):
+            FactoredBelief([group, group])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FactoredBelief([])
+
+    def test_replace_group(self):
+        belief = self._two_groups()
+        new_state = BeliefState.point_mass(
+            FactSet.from_ids([0, 1]), (True, True)
+        )
+        belief.replace_group(0, new_state)
+        assert belief.marginal(0) == pytest.approx(1.0)
+
+    def test_replace_group_wrong_facts_rejected(self):
+        belief = self._two_groups()
+        wrong = BeliefState.uniform(FactSet.from_ids([9, 10]))
+        with pytest.raises(ValueError, match="same facts"):
+            belief.replace_group(0, wrong)
+
+    def test_map_labels_covers_all_facts(self):
+        labels = self._two_groups().map_labels()
+        assert set(labels) == {0, 1, 2, 3, 4}
+
+    def test_copy_is_independent(self):
+        belief = self._two_groups()
+        clone = belief.copy()
+        new_state = BeliefState.point_mass(
+            FactSet.from_ids([0, 1]), (True, True)
+        )
+        clone.replace_group(0, new_state)
+        assert belief.marginal(0) == pytest.approx(0.5)
+        assert clone.marginal(0) == pytest.approx(1.0)

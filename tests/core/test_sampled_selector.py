@@ -1,0 +1,94 @@
+"""Tests for the Monte Carlo greedy selector."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BeliefState,
+    Crowd,
+    FactSet,
+    FactoredBelief,
+    GreedySelector,
+    SampledGreedySelector,
+)
+
+
+def _belief() -> FactoredBelief:
+    rng = np.random.default_rng(3)
+    groups = []
+    for start in (0, 3):
+        facts = FactSet.from_ids(range(start, start + 3))
+        groups.append(BeliefState(facts, rng.dirichlet(np.ones(8))))
+    return FactoredBelief(groups)
+
+
+class TestSampledGreedySelector:
+    def test_agrees_with_exact_greedy_when_gains_are_clear(
+        self, two_experts
+    ):
+        """With enough samples, the MC greedy's first pick matches the
+        exact greedy's on instances with a clear best fact."""
+        belief = _belief()
+        exact_pick = GreedySelector().select(belief, two_experts, 1)
+        mc_pick = SampledGreedySelector(
+            num_samples=4000, rng=0
+        ).select(belief, two_experts, 1)
+        assert mc_pick == exact_pick
+
+    def test_handles_huge_crowds(self):
+        """40 checkers x multi-query sets: far beyond enumeration; the
+        MC greedy must still stack queries where beneficial."""
+        belief = _belief()
+        big_crowd = Crowd.from_accuracies([0.85] * 40)
+        selected = SampledGreedySelector(
+            num_samples=300, rng=1
+        ).select(belief, big_crowd, 3)
+        assert len(selected) == 3
+        assert len(set(selected)) == 3
+
+    def test_certain_belief_selects_nothing(self, two_experts):
+        certain = FactoredBelief(
+            [
+                BeliefState.point_mass(
+                    FactSet.from_ids([0, 1]), (True, False)
+                )
+            ]
+        )
+        selected = SampledGreedySelector(
+            num_samples=500, rng=2
+        ).select(certain, two_experts, 2)
+        assert selected == []
+
+    def test_k_zero_and_validation(self, two_experts):
+        belief = _belief()
+        selector = SampledGreedySelector(num_samples=100, rng=0)
+        assert selector.select(belief, two_experts, 0) == []
+        with pytest.raises(ValueError):
+            selector.select(belief, two_experts, -1)
+        with pytest.raises(ValueError):
+            SampledGreedySelector(num_samples=0)
+
+    def test_usable_in_full_loop(self):
+        """End-to-end: NO-HC-style whole-crowd checking driven by the MC
+        greedy improves quality."""
+        from repro.core import HierarchicalCrowdsourcing
+        from repro.simulation import SimulatedExpertPanel
+
+        truth = {fact_id: bool(fact_id % 2) for fact_id in range(6)}
+        crowd = Crowd.from_accuracies(
+            np.linspace(0.6, 0.95, 12).tolist()
+        )
+        belief = FactoredBelief(
+            [
+                BeliefState.uniform(FactSet.from_ids([0, 1, 2])),
+                BeliefState.uniform(FactSet.from_ids([3, 4, 5])),
+            ]
+        )
+        panel = SimulatedExpertPanel(truth, rng=4)
+        runner = HierarchicalCrowdsourcing(
+            crowd,
+            selector=SampledGreedySelector(num_samples=200, rng=4),
+            k=1,
+        )
+        result = runner.run(belief, panel, budget=48, ground_truth=truth)
+        assert result.history[-1].quality > result.history[0].quality

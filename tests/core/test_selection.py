@@ -1,0 +1,316 @@
+"""Unit tests for repro.core.selection (Algorithm 2 and baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BeliefState,
+    Crowd,
+    ExactSelector,
+    FactSet,
+    FactoredBelief,
+    FactoredExactSelector,
+    GreedySelector,
+    MaxMarginalEntropySelector,
+    RandomSelector,
+    SelectionTimeout,
+    conditional_entropy,
+)
+
+
+def _objective(belief: FactoredBelief, experts: Crowd, subset) -> float:
+    """Total H(O|AS^T) over all groups for a global query subset."""
+    per_group: dict[int, list[int]] = {}
+    for fact_id in subset:
+        per_group.setdefault(belief.group_index_of(fact_id), []).append(
+            fact_id
+        )
+    total = 0.0
+    for group_index, state in enumerate(belief):
+        queries = per_group.get(group_index, [])
+        total += conditional_entropy(state, queries, experts)
+    return total
+
+
+def _two_group_belief() -> FactoredBelief:
+    rng = np.random.default_rng(5)
+    groups = []
+    for start in (0, 3):
+        facts = FactSet.from_ids(range(start, start + 3))
+        weights = rng.dirichlet(np.ones(8))
+        groups.append(BeliefState(facts, weights))
+    return FactoredBelief(groups)
+
+
+class TestGreedySelector:
+    def test_selects_k(self, factored_table1, two_experts):
+        selected = GreedySelector().select(factored_table1, two_experts, 2)
+        assert len(selected) == 2
+        assert len(set(selected)) == 2
+
+    def test_k_zero(self, factored_table1, two_experts):
+        assert GreedySelector().select(factored_table1, two_experts, 0) == []
+
+    def test_negative_k_rejected(self, factored_table1, two_experts):
+        with pytest.raises(ValueError):
+            GreedySelector().select(factored_table1, two_experts, -1)
+
+    def test_k_exceeding_facts_capped(self, factored_table1, two_experts):
+        selected = GreedySelector().select(factored_table1, two_experts, 99)
+        assert len(selected) <= 3
+
+    def test_first_pick_is_best_single(self, factored_table1, two_experts):
+        """Greedy's first pick must be the argmax single-fact gain."""
+        selected = GreedySelector().select(factored_table1, two_experts, 1)
+        best = min(
+            (1, 2, 3),
+            key=lambda f: conditional_entropy(
+                factored_table1[0], [f], two_experts
+            ),
+        )
+        assert selected == [best]
+
+    def test_stops_on_zero_gain(self, three_facts):
+        """Algorithm 2 line 4: certain beliefs offer no positive gain."""
+        certain = BeliefState.point_mass(three_facts, (True, False, True))
+        belief = FactoredBelief([certain])
+        experts = Crowd.from_accuracies([0.9])
+        assert GreedySelector().select(belief, experts, 3) == []
+
+    def test_skips_certain_group(self, two_experts):
+        certain = BeliefState.point_mass(
+            FactSet.from_ids([0, 1]), (True, False)
+        )
+        uncertain = BeliefState.uniform(FactSet.from_ids([2, 3]))
+        belief = FactoredBelief([certain, uncertain])
+        selected = GreedySelector().select(belief, two_experts, 2)
+        assert set(selected) <= {2, 3}
+
+    def test_cache_does_not_change_result(self, two_experts):
+        """A reused selector (warm cache) must pick the same facts as a
+        fresh one."""
+        belief = _two_group_belief()
+        warm = GreedySelector()
+        first = warm.select(belief, two_experts, 2)
+        again = warm.select(belief, two_experts, 2)
+        fresh = GreedySelector().select(belief, two_experts, 2)
+        assert first == again == fresh
+
+    def test_cache_invalidated_on_group_update(self, two_experts):
+        belief = _two_group_belief()
+        selector = GreedySelector()
+        selector.select(belief, two_experts, 1)
+        # Resolve group 0 completely; the selector must now avoid it.
+        certain = BeliefState.point_mass(
+            belief[0].facts, (True, True, True)
+        )
+        belief.replace_group(0, certain)
+        selected = selector.select(belief, two_experts, 2)
+        assert all(belief.group_index_of(f) == 1 for f in selected)
+
+    def test_spreads_across_correlated_groups(self, two_experts):
+        """With identical groups of strongly *correlated* facts, the
+        first check already resolves most of a group, so the submodular
+        gains push the greedy to spread queries across groups."""
+
+        def coupled_group(fact_ids):
+            # Both facts equal with probability 0.95, marginal 0.5.
+            facts = FactSet.from_ids(fact_ids)
+            return BeliefState.from_mapping(
+                facts,
+                {
+                    (True, True): 0.475,
+                    (False, False): 0.475,
+                    (True, False): 0.025,
+                    (False, True): 0.025,
+                },
+            )
+
+        belief = FactoredBelief([coupled_group([0, 1]), coupled_group([2, 3])])
+        selected = GreedySelector().select(belief, two_experts, 2)
+        touched = {belief.group_index_of(f) for f in selected}
+        assert len(touched) == 2
+
+
+class TestFamilySpaceGuard:
+    def test_greedy_spreads_when_stacking_is_unenumerable(self):
+        """With a huge expert crowd, two queries in one group exceed the
+        family-space cap; the greedy must skip those candidates and
+        spread across groups instead of crashing."""
+        big_crowd = Crowd.from_accuracies([0.9] * 16)
+        belief = _two_group_belief()
+        selected = GreedySelector().select(belief, big_crowd, 2)
+        assert len(selected) == 2
+        touched = {belief.group_index_of(f) for f in selected}
+        assert len(touched) == 2
+
+    def test_exact_skips_unenumerable_subsets(self):
+        big_crowd = Crowd.from_accuracies([0.9] * 16)
+        belief = _two_group_belief()
+        selected = ExactSelector().select(belief, big_crowd, 2)
+        touched = {belief.group_index_of(f) for f in selected}
+        assert len(touched) == 2
+
+
+class TestExactSelector:
+    def test_optimal_on_table1(self, factored_table1, two_experts):
+        """OPT's choice must reach the minimum objective over all pairs."""
+        import itertools
+
+        selected = ExactSelector().select(factored_table1, two_experts, 2)
+        best = min(
+            _objective(factored_table1, two_experts, subset)
+            for subset in itertools.combinations((1, 2, 3), 2)
+        )
+        assert _objective(
+            factored_table1, two_experts, selected
+        ) == pytest.approx(best)
+
+    def test_greedy_never_beats_opt(self, two_experts):
+        belief = _two_group_belief()
+        for k in (1, 2, 3):
+            opt = ExactSelector().select(belief, two_experts, k)
+            greedy = GreedySelector().select(belief, two_experts, k)
+            assert _objective(belief, two_experts, opt) <= _objective(
+                belief, two_experts, greedy
+            ) + 1e-9
+
+    def test_greedy_within_submodular_bound(self, two_experts):
+        """The (1 - 1/e) guarantee on the gain (section III-C)."""
+        belief = _two_group_belief()
+        prior = _objective(belief, two_experts, [])
+        for k in (1, 2, 3):
+            opt_gain = prior - _objective(
+                belief, two_experts,
+                ExactSelector().select(belief, two_experts, k),
+            )
+            greedy_gain = prior - _objective(
+                belief, two_experts,
+                GreedySelector().select(belief, two_experts, k),
+            )
+            assert greedy_gain >= (1 - 1 / np.e) * opt_gain - 1e-9
+
+    def test_max_subsets_guard(self, two_experts):
+        belief = _two_group_belief()
+        with pytest.raises(RuntimeError, match="enumerate"):
+            ExactSelector(max_subsets=2).select(belief, two_experts, 3)
+
+    def test_timeout_raises(self, two_experts):
+        belief = _two_group_belief()
+        with pytest.raises(SelectionTimeout):
+            ExactSelector(deadline_seconds=0.0).select(
+                belief, two_experts, 3
+            )
+
+    def test_k_zero(self, factored_table1, two_experts):
+        assert ExactSelector().select(factored_table1, two_experts, 0) == []
+
+
+class TestFactoredExactSelector:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_matches_brute_force_objective(self, two_experts, k):
+        belief = _two_group_belief()
+        brute = ExactSelector().select(belief, two_experts, k)
+        dp = FactoredExactSelector().select(belief, two_experts, k)
+        assert _objective(belief, two_experts, dp) == pytest.approx(
+            _objective(belief, two_experts, brute), abs=1e-9
+        )
+
+    def test_certain_belief_selects_nothing(self, two_experts):
+        certain = BeliefState.point_mass(
+            FactSet.from_ids([0, 1]), (True, True)
+        )
+        belief = FactoredBelief([certain])
+        assert FactoredExactSelector().select(belief, two_experts, 2) == []
+
+    def test_k_zero(self, factored_table1, two_experts):
+        assert (
+            FactoredExactSelector().select(factored_table1, two_experts, 0)
+            == []
+        )
+
+
+class TestRandomSelector:
+    def test_size_and_uniqueness(self, two_experts):
+        belief = _two_group_belief()
+        selected = RandomSelector(rng=1).select(belief, two_experts, 4)
+        assert len(selected) == 4
+        assert len(set(selected)) == 4
+        assert set(selected) <= set(belief.fact_ids)
+
+    def test_seeded_reproducibility(self, two_experts):
+        belief = _two_group_belief()
+        a = RandomSelector(rng=7).select(belief, two_experts, 3)
+        b = RandomSelector(rng=7).select(belief, two_experts, 3)
+        assert a == b
+
+    def test_k_capped_at_num_facts(self, factored_table1, two_experts):
+        selected = RandomSelector(rng=0).select(
+            factored_table1, two_experts, 10
+        )
+        assert sorted(selected) == [1, 2, 3]
+
+
+class TestMaxMarginalEntropySelector:
+    def test_prefers_most_uncertain_marginal(self, two_experts):
+        belief = FactoredBelief(
+            [
+                BeliefState.from_marginals(
+                    FactSet.from_ids([0, 1, 2]), [0.95, 0.5, 0.8]
+                )
+            ]
+        )
+        selected = MaxMarginalEntropySelector().select(
+            belief, two_experts, 1
+        )
+        assert selected == [1]
+
+    def test_order_is_entropy_descending(self, two_experts):
+        belief = FactoredBelief(
+            [
+                BeliefState.from_marginals(
+                    FactSet.from_ids([0, 1, 2]), [0.9, 0.55, 0.7]
+                )
+            ]
+        )
+        selected = MaxMarginalEntropySelector().select(
+            belief, two_experts, 3
+        )
+        assert selected == [1, 2, 0]
+
+    def test_single_query_special_case_matches_greedy(self, single_expert):
+        """For k=1 and one worker the trivial max-marginal-entropy rule
+        is optimal (the [41] special case the paper discusses): both
+        selectors must agree."""
+        belief = FactoredBelief(
+            [
+                BeliefState.from_marginals(
+                    FactSet.from_ids([0, 1, 2]), [0.9, 0.52, 0.7]
+                )
+            ]
+        )
+        marginal_pick = MaxMarginalEntropySelector().select(
+            belief, single_expert, 1
+        )
+        greedy_pick = GreedySelector().select(belief, single_expert, 1)
+        assert marginal_pick == greedy_pick == [1]
+
+    def test_ignores_correlations_unlike_greedy(self, single_expert):
+        """At k=2 the marginal rule wastes its second query on a fact
+        coupled to the first, while the greedy accounts for the reduced
+        conditional gain and diversifies."""
+        facts = FactSet.from_ids([0, 1, 2])
+        # f1 == f2 always (marginal 0.5 each); f0 independent, P=0.45.
+        table = {
+            (True, True, True): 0.45 * 0.5,
+            (True, False, False): 0.45 * 0.5,
+            (False, True, True): 0.55 * 0.5,
+            (False, False, False): 0.55 * 0.5,
+        }
+        belief = FactoredBelief([BeliefState.from_mapping(facts, table)])
+        marginal_pick = set(
+            MaxMarginalEntropySelector().select(belief, single_expert, 2)
+        )
+        greedy_pick = set(GreedySelector().select(belief, single_expert, 2))
+        assert marginal_pick == {1, 2}
+        assert 0 in greedy_pick

@@ -1,0 +1,182 @@
+"""Unit tests for JSON serialization and session checkpointing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BeliefState,
+    Crowd,
+    Fact,
+    FactSet,
+    FactoredBelief,
+    SerializationError,
+    belief_state_from_dict,
+    belief_state_to_dict,
+    crowd_from_dict,
+    crowd_to_dict,
+    factored_belief_from_dict,
+    factored_belief_to_dict,
+    load_belief,
+    load_run_result,
+    run_result_from_dict,
+    run_result_to_dict,
+    save_belief,
+    save_run_result,
+)
+
+
+@pytest.fixture
+def belief():
+    facts = FactSet(
+        [
+            Fact(fact_id=1, instance_id="t1", label="positive",
+                 text="Great!"),
+            Fact(fact_id=2, instance_id="t2", label="positive"),
+        ]
+    )
+    return BeliefState.from_marginals(facts, [0.7, 0.3])
+
+
+@pytest.fixture
+def factored(belief):
+    other = BeliefState.uniform(FactSet.from_ids([3, 4]))
+    return FactoredBelief([belief, other])
+
+
+class TestBeliefRoundTrip:
+    def test_belief_state(self, belief):
+        payload = belief_state_to_dict(belief)
+        json.dumps(payload)  # must be JSON-compatible
+        restored = belief_state_from_dict(payload)
+        assert restored.facts == belief.facts
+        assert np.allclose(restored.probabilities, belief.probabilities)
+
+    def test_fact_metadata_preserved(self, belief):
+        restored = belief_state_from_dict(belief_state_to_dict(belief))
+        fact = restored.facts.by_id(1)
+        assert fact.instance_id == "t1"
+        assert fact.text == "Great!"
+
+    def test_factored_belief(self, factored):
+        restored = factored_belief_from_dict(
+            factored_belief_to_dict(factored)
+        )
+        assert restored.fact_ids == factored.fact_ids
+        for original, loaded in zip(factored, restored):
+            assert np.allclose(
+                original.probabilities, loaded.probabilities
+            )
+
+    def test_file_round_trip(self, factored, tmp_path):
+        path = save_belief(factored, tmp_path / "nested" / "belief.json")
+        restored = load_belief(path)
+        assert restored.fact_ids == factored.fact_ids
+
+    def test_malformed_payload(self):
+        with pytest.raises(SerializationError):
+            factored_belief_from_dict({"groups": []})
+        with pytest.raises(SerializationError):
+            belief_state_from_dict({"probabilities": [1.0]})
+
+
+class TestCrowdRoundTrip:
+    def test_round_trip(self):
+        crowd = Crowd.from_accuracies([0.6, 0.95], prefix="x")
+        restored = crowd_from_dict(crowd_to_dict(crowd))
+        assert restored == crowd
+
+    def test_malformed(self):
+        with pytest.raises(SerializationError):
+            crowd_from_dict({})
+
+
+class TestRunResultRoundTrip:
+    def _run(self, factored):
+        from repro.core import HierarchicalCrowdsourcing
+        from repro.simulation import SimulatedExpertPanel
+
+        experts = Crowd.from_accuracies([0.9, 0.95])
+        panel = SimulatedExpertPanel(
+            {1: True, 2: False, 3: True, 4: False}, rng=0
+        )
+        return HierarchicalCrowdsourcing(experts, k=1).run(
+            factored, panel, budget=8,
+            ground_truth={1: True, 2: False, 3: True, 4: False},
+        )
+
+    def test_round_trip(self, factored, tmp_path):
+        result = self._run(factored)
+        path = save_run_result(result, tmp_path / "run.json")
+        restored = load_run_result(path)
+        assert len(restored.history) == len(result.history)
+        assert restored.history[-1].quality == pytest.approx(
+            result.history[-1].quality
+        )
+        assert restored.final_labels == result.final_labels
+
+    def test_history_fields_preserved(self, factored):
+        result = self._run(factored)
+        restored = run_result_from_dict(run_result_to_dict(result))
+        for original, loaded in zip(result.history, restored.history):
+            assert loaded.round_index == original.round_index
+            assert loaded.query_fact_ids == original.query_fact_ids
+            assert loaded.budget_spent == original.budget_spent
+            assert loaded.accuracy == original.accuracy
+
+
+class TestSessionCheckpoint:
+    def _session(self, factored, experts, **kwargs):
+        from repro.simulation import OnlineCheckingSession
+
+        return OnlineCheckingSession(
+            factored, experts, budget=10,
+            ground_truth={1: True, 2: False, 3: True, 4: False},
+            **kwargs,
+        )
+
+    def test_mid_session_round_trip(self, factored):
+        from repro.simulation import (
+            OnlineCheckingSession,
+            SimulatedExpertPanel,
+        )
+
+        experts = Crowd.from_accuracies([0.9, 0.95])
+        truth = {1: True, 2: False, 3: True, 4: False}
+        session = self._session(factored, experts)
+        panel = SimulatedExpertPanel(truth, rng=1)
+        queries = session.next_queries()
+        session.submit(panel.collect(queries, experts))
+
+        payload = session.to_checkpoint()
+        json.dumps(payload)
+        restored = OnlineCheckingSession.from_checkpoint(
+            payload, experts
+        )
+        assert restored.spent_budget == session.spent_budget
+        assert restored.pending_queries is None
+        assert len(restored.history) == len(session.history)
+
+        # The restored session keeps working.
+        queries = restored.next_queries()
+        restored.submit(panel.collect(queries, experts))
+        assert restored.spent_budget > session.spent_budget
+
+    def test_pending_queries_survive(self, factored):
+        from repro.simulation import OnlineCheckingSession
+
+        experts = Crowd.from_accuracies([0.9])
+        session = self._session(factored, experts)
+        pending = tuple(session.next_queries())
+        restored = OnlineCheckingSession.from_checkpoint(
+            session.to_checkpoint(), experts
+        )
+        assert restored.pending_queries == pending
+
+    def test_malformed_checkpoint(self, factored):
+        from repro.simulation import OnlineCheckingSession
+
+        experts = Crowd.from_accuracies([0.9])
+        with pytest.raises(SerializationError):
+            OnlineCheckingSession.from_checkpoint({"nope": 1}, experts)

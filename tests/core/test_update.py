@@ -1,0 +1,188 @@
+"""Unit tests for repro.core.update (Lemma 3, Eq. 15-19)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnswerFamily,
+    AnswerSet,
+    BeliefState,
+    Crowd,
+    FactSet,
+    InconsistentEvidenceError,
+    Worker,
+    answer_set_likelihood,
+    initialize_from_votes,
+    observation_entropy,
+    update_with_answer_set,
+    update_with_family,
+)
+
+
+@pytest.fixture
+def worker():
+    return Worker("w", 0.9)
+
+
+class TestInitializeFromVotes:
+    def test_eq15_product_form(self, three_facts):
+        """P(o) = prod ob(o, f) with vote fractions (paper Eq. 15/16)."""
+        belief = initialize_from_votes(
+            three_facts, {1: 0.8, 2: 0.6, 3: 0.4}, smoothing=0.0
+        )
+        expected = 0.8 * 0.6 * (1 - 0.4)
+        assert belief.probability_of((True, True, False)) == pytest.approx(
+            expected
+        )
+
+    def test_sequence_input(self, three_facts):
+        belief = initialize_from_votes(three_facts, [0.7, 0.7, 0.7])
+        assert belief.marginal(1) == pytest.approx(0.7)
+
+    def test_sequence_wrong_length(self, three_facts):
+        with pytest.raises(ValueError, match="one vote fraction"):
+            initialize_from_votes(three_facts, [0.5])
+
+    def test_smoothing_avoids_point_mass(self, three_facts):
+        belief = initialize_from_votes(
+            three_facts, [1.0, 1.0, 1.0], smoothing=0.01
+        )
+        # A unanimous crowd must not create irrecoverable certainty.
+        assert belief.probability_of((True, True, True)) < 1.0
+        assert observation_entropy(belief) > 0.0
+
+    def test_invalid_smoothing(self, three_facts):
+        with pytest.raises(ValueError, match="smoothing"):
+            initialize_from_votes(three_facts, [0.5] * 3, smoothing=0.6)
+
+    def test_marginals_clipped(self, three_facts):
+        belief = initialize_from_votes(
+            three_facts, [0.0, 1.0, 0.5], smoothing=0.05
+        )
+        assert belief.marginal(1) == pytest.approx(0.05)
+        assert belief.marginal(2) == pytest.approx(0.95)
+
+
+class TestUpdateWithAnswerSet:
+    def test_lemma3_bayes_rule(self, table1_belief, worker):
+        """Posterior must equal P(o) P(A|o) / P(A) exactly (Eq. 19)."""
+        answer_set = AnswerSet(worker=worker, answers={1: True, 3: False})
+        posterior = update_with_answer_set(table1_belief, answer_set)
+        likelihood = answer_set_likelihood(table1_belief, answer_set)
+        expected = table1_belief.probabilities * likelihood
+        expected /= expected.sum()
+        assert np.allclose(posterior.probabilities, expected)
+
+    def test_posterior_normalized(self, table1_belief, worker):
+        answer_set = AnswerSet(worker=worker, answers={2: True})
+        posterior = update_with_answer_set(table1_belief, answer_set)
+        assert posterior.probabilities.sum() == pytest.approx(1.0)
+
+    def test_yes_answer_raises_marginal(self, table1_belief, worker):
+        answer_set = AnswerSet(worker=worker, answers={3: True})
+        posterior = update_with_answer_set(table1_belief, answer_set)
+        assert posterior.marginal(3) > table1_belief.marginal(3)
+
+    def test_no_answer_lowers_marginal(self, table1_belief, worker):
+        answer_set = AnswerSet(worker=worker, answers={3: False})
+        posterior = update_with_answer_set(table1_belief, answer_set)
+        assert posterior.marginal(3) < table1_belief.marginal(3)
+
+    def test_coin_flip_worker_changes_nothing(self, table1_belief):
+        flipper = Worker("c", 0.5)
+        answer_set = AnswerSet(worker=flipper, answers={1: True, 2: False})
+        posterior = update_with_answer_set(table1_belief, answer_set)
+        assert np.allclose(
+            posterior.probabilities, table1_belief.probabilities
+        )
+
+    def test_unqueried_fact_marginal_moves_via_correlation(
+        self, table1_belief, worker
+    ):
+        """Correlated facts: updating f1 should shift P(f2) too, which is
+        exactly what independent-per-fact methods miss."""
+        answer_set = AnswerSet(worker=worker, answers={1: True})
+        posterior = update_with_answer_set(table1_belief, answer_set)
+        assert posterior.marginal(2) != pytest.approx(
+            table1_belief.marginal(2)
+        )
+
+    def test_inconsistent_evidence_raises(self, three_facts):
+        certain = BeliefState.point_mass(three_facts, (True, True, True))
+        oracle = Worker("o", 1.0)
+        contradiction = AnswerSet(worker=oracle, answers={1: False})
+        with pytest.raises(InconsistentEvidenceError):
+            update_with_answer_set(certain, contradiction)
+
+
+class TestUpdateWithFamily:
+    def test_family_equals_sequential_updates(self, table1_belief):
+        """Workers are independent given o, so one family update equals
+        updating with each answer set in turn (Eq. 23)."""
+        a = AnswerSet(worker=Worker("a", 0.9), answers={1: True, 2: False})
+        b = AnswerSet(worker=Worker("b", 0.8), answers={1: False, 2: False})
+        family = AnswerFamily(answer_sets=(a, b))
+        at_once = update_with_family(table1_belief, family)
+        stepwise = update_with_answer_set(
+            update_with_answer_set(table1_belief, a), b
+        )
+        assert np.allclose(at_once.probabilities, stepwise.probabilities)
+
+    def test_order_invariance(self, table1_belief):
+        a = AnswerSet(worker=Worker("a", 0.9), answers={1: True})
+        b = AnswerSet(worker=Worker("b", 0.7), answers={1: False})
+        forward = update_with_family(
+            table1_belief, AnswerFamily(answer_sets=(a, b))
+        )
+        backward = update_with_family(
+            table1_belief, AnswerFamily(answer_sets=(b, a))
+        )
+        assert np.allclose(forward.probabilities, backward.probabilities)
+
+    def test_agreeing_experts_sharpen_more_than_one(self, table1_belief):
+        one = update_with_family(
+            table1_belief,
+            AnswerFamily(
+                answer_sets=(
+                    AnswerSet(worker=Worker("a", 0.9), answers={3: True}),
+                )
+            ),
+        )
+        two = update_with_family(
+            table1_belief,
+            AnswerFamily(
+                answer_sets=(
+                    AnswerSet(worker=Worker("a", 0.9), answers={3: True}),
+                    AnswerSet(worker=Worker("b", 0.9), answers={3: True}),
+                )
+            ),
+        )
+        assert two.marginal(3) > one.marginal(3)
+
+    def test_disagreeing_equal_experts_cancel(self, table1_belief):
+        family = AnswerFamily(
+            answer_sets=(
+                AnswerSet(worker=Worker("a", 0.9), answers={3: True}),
+                AnswerSet(worker=Worker("b", 0.9), answers={3: False}),
+            )
+        )
+        posterior = update_with_family(table1_belief, family)
+        assert posterior.marginal(3) == pytest.approx(
+            table1_belief.marginal(3)
+        )
+
+    def test_expected_posterior_entropy_drops(self, table1_belief):
+        """Averaged over the family distribution, posterior entropy must
+        fall (information never hurts) — spot-check by sampling."""
+        from repro.core import enumerate_answer_families, family_probability
+
+        experts = Crowd.from_accuracies([0.85, 0.9])
+        prior_entropy = observation_entropy(table1_belief)
+        expected = 0.0
+        for family in enumerate_answer_families([1, 2], experts):
+            weight = family_probability(table1_belief, family)
+            if weight == 0.0:
+                continue
+            posterior = update_with_family(table1_belief, family)
+            expected += weight * observation_entropy(posterior)
+        assert expected < prior_entropy

@@ -1,0 +1,135 @@
+"""Unit tests for repro.core.workers."""
+
+import numpy as np
+import pytest
+
+from repro.core import Crowd, Worker, estimate_accuracy
+
+
+class TestWorker:
+    def test_fields(self):
+        worker = Worker(worker_id="w1", accuracy=0.8)
+        assert worker.worker_id == "w1"
+        assert worker.accuracy == 0.8
+
+    def test_accuracy_out_of_range(self):
+        with pytest.raises(ValueError, match="accuracy"):
+            Worker(worker_id="w", accuracy=1.5)
+        with pytest.raises(ValueError, match="accuracy"):
+            Worker(worker_id="w", accuracy=-0.1)
+
+    def test_is_usable_threshold(self):
+        assert Worker("a", 0.5).is_usable
+        assert Worker("b", 0.9).is_usable
+        assert not Worker("c", 0.49).is_usable
+
+    def test_frozen(self):
+        worker = Worker("w", 0.7)
+        with pytest.raises(AttributeError):
+            worker.accuracy = 0.9
+
+
+class TestCrowd:
+    def test_from_accuracies_names(self):
+        crowd = Crowd.from_accuracies([0.6, 0.7])
+        assert crowd.worker_ids == ("w0", "w1")
+
+    def test_from_accuracies_prefix(self):
+        crowd = Crowd.from_accuracies([0.6], prefix="expert")
+        assert crowd.worker_ids == ("expert0",)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Crowd([Worker("a", 0.6), Worker("a", 0.7)])
+
+    def test_len_iter_getitem(self):
+        crowd = Crowd.from_accuracies([0.6, 0.7, 0.8])
+        assert len(crowd) == 3
+        assert crowd[1].accuracy == 0.7
+        assert [w.accuracy for w in crowd] == [0.6, 0.7, 0.8]
+
+    def test_contains(self):
+        crowd = Crowd.from_accuracies([0.6])
+        assert "w0" in crowd
+        assert Worker("w0", 0.6) in crowd
+        assert "w9" not in crowd
+        assert 42 not in crowd
+
+    def test_by_id(self):
+        crowd = Crowd.from_accuracies([0.6, 0.9])
+        assert crowd.by_id("w1").accuracy == 0.9
+
+    def test_accuracies_array(self):
+        crowd = Crowd.from_accuracies([0.6, 0.9])
+        assert np.allclose(crowd.accuracies, [0.6, 0.9])
+
+    def test_usable_filters_below_half(self):
+        crowd = Crowd.from_accuracies([0.4, 0.5, 0.9])
+        usable = crowd.usable()
+        assert [w.accuracy for w in usable] == [0.5, 0.9]
+
+    def test_split_paper_equation1(self):
+        """Paper Eq. 1: CE = workers with Pr >= theta, CP = rest."""
+        crowd = Crowd.from_accuracies([0.6, 0.85, 0.9, 0.95])
+        experts, preliminary = crowd.split(0.9)
+        assert [w.accuracy for w in experts] == [0.9, 0.95]
+        assert [w.accuracy for w in preliminary] == [0.6, 0.85]
+
+    def test_split_boundary_inclusive(self):
+        crowd = Crowd.from_accuracies([0.9])
+        experts, preliminary = crowd.split(0.9)
+        assert len(experts) == 1
+        assert len(preliminary) == 0
+
+    def test_split_theta_out_of_range(self):
+        with pytest.raises(ValueError, match="theta"):
+            Crowd.from_accuracies([0.6]).split(1.2)
+
+    def test_split_partitions(self):
+        crowd = Crowd.from_accuracies(
+            np.linspace(0.5, 0.99, 20).tolist()
+        )
+        experts, preliminary = crowd.split(0.8)
+        assert len(experts) + len(preliminary) == len(crowd)
+        assert all(w.accuracy >= 0.8 for w in experts)
+        assert all(w.accuracy < 0.8 for w in preliminary)
+
+    def test_equality(self):
+        assert Crowd.from_accuracies([0.6]) == Crowd.from_accuracies([0.6])
+        assert Crowd.from_accuracies([0.6]) != Crowd.from_accuracies([0.7])
+
+
+class TestEstimateAccuracy:
+    def test_perfect_answers_smoothed(self):
+        estimate = estimate_accuracy(
+            [True, True, True], [True, True, True]
+        )
+        assert 0.5 < estimate < 1.0
+
+    def test_all_wrong_smoothed(self):
+        estimate = estimate_accuracy(
+            [True] * 4, [False] * 4
+        )
+        assert 0.0 < estimate < 0.5
+
+    def test_empty_returns_half(self):
+        assert estimate_accuracy([], []) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            estimate_accuracy([True], [True, False])
+
+    def test_no_smoothing_exact_fraction(self):
+        estimate = estimate_accuracy(
+            [True, False, True, True],
+            [True, True, True, True],
+            smoothing=0.0,
+        )
+        assert estimate == pytest.approx(0.75)
+
+    def test_converges_to_true_accuracy(self, rng):
+        truth = rng.random(5000) < 0.5
+        correct = rng.random(5000) < 0.8
+        answers = np.where(correct, truth, ~truth)
+        estimate = estimate_accuracy(answers.tolist(), truth.tolist())
+        assert estimate == pytest.approx(0.8, abs=0.03)

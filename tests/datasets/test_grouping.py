@@ -1,0 +1,94 @@
+"""Unit tests for repro.datasets.grouping."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import MajorityVote, make_aggregator
+from repro.core import FactSet
+from repro.datasets import (
+    build_factored_belief,
+    group_tasks,
+    initialize_belief,
+    initialize_belief_from_matrix,
+)
+
+
+class TestGroupTasks:
+    def test_even_split(self):
+        groups = group_tasks(list(range(10)), 5)
+        assert len(groups) == 2
+        assert groups[0].fact_ids == (0, 1, 2, 3, 4)
+
+    def test_ragged_tail(self):
+        groups = group_tasks(list(range(7)), 3)
+        assert [len(group) for group in groups] == [3, 3, 1]
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            group_tasks([1, 2], 0)
+
+
+class TestBuildFactoredBelief:
+    def test_marginals_respected(self):
+        groups = group_tasks([0, 1, 2, 3], 2)
+        probabilities = np.array([0.9, 0.2, 0.5, 0.7])
+        belief = build_factored_belief(groups, probabilities, smoothing=0.0)
+        for fact_id, expected in enumerate(probabilities):
+            assert belief.marginal(fact_id) == pytest.approx(expected)
+
+    def test_smoothing_applied(self):
+        groups = group_tasks([0, 1], 2)
+        belief = build_factored_belief(
+            groups, np.array([1.0, 0.0]), smoothing=0.02
+        )
+        assert belief.marginal(0) == pytest.approx(0.98)
+        assert belief.marginal(1) == pytest.approx(0.02)
+
+    def test_group_structure_preserved(self):
+        groups = group_tasks(list(range(6)), 3)
+        belief = build_factored_belief(groups, np.full(6, 0.5))
+        assert len(belief) == 2
+        assert belief.group_index_of(4) == 1
+
+
+class TestInitializeBelief:
+    def test_pipeline_on_dataset(self, small_dataset):
+        belief, result = initialize_belief(
+            small_dataset, MajorityVote(smoothing=1.0), theta=0.9
+        )
+        assert belief.num_facts == small_dataset.num_facts
+        assert result.posteriors.shape[0] == small_dataset.num_facts
+
+    def test_initialization_is_reasonably_accurate(self, small_dataset):
+        _belief, result = initialize_belief(
+            small_dataset, make_aggregator("EBCC"), theta=0.9
+        )
+        accuracy = result.accuracy(small_dataset.truth_vector())
+        assert accuracy > 0.75
+
+    def test_belief_map_matches_aggregator_predictions(self, small_dataset):
+        belief, result = initialize_belief(
+            small_dataset, MajorityVote(smoothing=1.0), theta=0.9
+        )
+        labels = belief.map_labels()
+        predictions = result.predictions
+        agreement = np.mean(
+            [labels[f] == bool(predictions[f]) for f in sorted(labels)]
+        )
+        # The product-form belief preserves per-fact MAP decisions except
+        # at exact 0.5 ties.
+        assert agreement > 0.95
+
+    def test_all_experts_theta_rejected(self, small_dataset):
+        with pytest.raises(ValueError, match="no preliminary"):
+            initialize_belief(small_dataset, MajorityVote(), theta=0.0)
+
+
+class TestInitializeBeliefFromMatrix:
+    def test_explicit_matrix(self, small_dataset):
+        matrix = small_dataset.preliminary_annotations(0.9)
+        belief, result = initialize_belief_from_matrix(
+            small_dataset.groups, matrix, MajorityVote(smoothing=1.0)
+        )
+        assert belief.num_facts == small_dataset.num_facts
+        assert result.posteriors.shape == (small_dataset.num_facts, 2)

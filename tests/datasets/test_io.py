@@ -1,0 +1,115 @@
+"""Unit tests for the benchmark-format dataset I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    estimate_worker_accuracies,
+    load_dataset,
+    make_synthetic_dataset,
+    read_answer_file,
+    read_truth_file,
+    save_dataset,
+)
+
+
+@pytest.fixture
+def dataset():
+    return make_synthetic_dataset(
+        num_groups=6, group_size=5, answers_per_fact=4, seed=8
+    )
+
+
+class TestRoundTrip:
+    def test_save_creates_both_files(self, dataset, tmp_path):
+        answer_path, truth_path = save_dataset(dataset, tmp_path)
+        assert answer_path.exists()
+        assert truth_path.exists()
+
+    def test_answers_round_trip(self, dataset, tmp_path):
+        answer_path, _ = save_dataset(dataset, tmp_path)
+        annotations, worker_ids = read_answer_file(answer_path)
+        assert len(annotations) == dataset.annotations.num_annotations
+        assert set(worker_ids) <= set(dataset.crowd.worker_ids)
+
+    def test_truth_round_trip(self, dataset, tmp_path):
+        _, truth_path = save_dataset(dataset, tmp_path)
+        truth = read_truth_file(truth_path)
+        assert truth == dataset.ground_truth
+
+    def test_load_dataset_reconstructs(self, dataset, tmp_path):
+        answer_path, truth_path = save_dataset(dataset, tmp_path)
+        loaded = load_dataset(
+            answer_path, truth_path, group_size=5, name="reloaded"
+        )
+        assert loaded.num_facts == dataset.num_facts
+        assert loaded.ground_truth == dataset.ground_truth
+        assert (
+            loaded.annotations.num_annotations
+            == dataset.annotations.num_annotations
+        )
+
+    def test_load_with_known_accuracies(self, dataset, tmp_path):
+        answer_path, truth_path = save_dataset(dataset, tmp_path)
+        known = {worker.worker_id: worker.accuracy
+                 for worker in dataset.crowd}
+        loaded = load_dataset(
+            answer_path, truth_path, worker_accuracies=known
+        )
+        for worker in loaded.crowd:
+            assert worker.accuracy == pytest.approx(known[worker.worker_id])
+
+    def test_load_estimates_accuracies_sanely(self, dataset, tmp_path):
+        answer_path, truth_path = save_dataset(dataset, tmp_path)
+        loaded = load_dataset(answer_path, truth_path)
+        true_by_id = {w.worker_id: w.accuracy for w in dataset.crowd}
+        for worker in loaded.crowd:
+            assert 0.0 <= worker.accuracy <= 1.0
+        # Workers with many answers should be estimated within ~0.25.
+        answers_by_worker = {}
+        for annotation in dataset.annotations.annotations:
+            worker_id = dataset.crowd.worker_ids[annotation.worker]
+            answers_by_worker[worker_id] = (
+                answers_by_worker.get(worker_id, 0) + 1
+            )
+        for worker in loaded.crowd:
+            if answers_by_worker.get(worker.worker_id, 0) >= 10:
+                assert abs(
+                    worker.accuracy - true_by_id[worker.worker_id]
+                ) < 0.25
+
+
+class TestMalformedFiles:
+    def test_answer_file_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="question, worker, answer"):
+            read_answer_file(path)
+
+    def test_truth_file_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("question,label\n0,1\n")
+        with pytest.raises(ValueError, match="question, truth"):
+            read_truth_file(path)
+
+
+class TestEstimateWorkerAccuracies:
+    def test_matches_empirical_rate(self, dataset):
+        estimates = estimate_worker_accuracies(
+            dataset.annotations,
+            dataset.ground_truth,
+            list(dataset.crowd.worker_ids),
+            smoothing=0.0,
+        )
+        truth = dataset.truth_vector()
+        for column, worker_id in enumerate(dataset.crowd.worker_ids):
+            answers = [
+                a for a in dataset.annotations.annotations
+                if a.worker == column
+            ]
+            if not answers:
+                continue
+            empirical = np.mean(
+                [a.label == truth[a.task] for a in answers]
+            )
+            assert estimates[worker_id] == pytest.approx(empirical)

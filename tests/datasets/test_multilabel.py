@@ -1,0 +1,162 @@
+"""Unit tests for the multi-class binary-fact decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core import FactSet, FactoredBelief
+from repro.datasets import (
+    build_one_hot_belief,
+    class_accuracy,
+    decode_class_labels,
+    make_multiclass_dataset,
+    one_hot_belief,
+)
+
+
+class TestMakeMulticlassDataset:
+    def test_structure(self):
+        dataset = make_multiclass_dataset(
+            num_tasks=10, num_classes=4, seed=0
+        )
+        assert dataset.num_groups == 10
+        assert all(len(group) == 4 for group in dataset.groups)
+        assert dataset.metadata["num_classes"] == 4
+        assert len(dataset.metadata["class_truth"]) == 10
+
+    def test_exactly_one_true_fact_per_group(self):
+        dataset = make_multiclass_dataset(
+            num_tasks=25, num_classes=5, seed=1
+        )
+        for group in dataset.groups:
+            trues = sum(
+                dataset.ground_truth[fact.fact_id] for fact in group
+            )
+            assert trues == 1
+
+    def test_true_fact_matches_class_truth(self):
+        dataset = make_multiclass_dataset(
+            num_tasks=15, num_classes=3, seed=2
+        )
+        for group_index, group in enumerate(dataset.groups):
+            truth_class = dataset.metadata["class_truth"][group_index]
+            for class_index, fact in enumerate(group):
+                assert dataset.ground_truth[fact.fact_id] == (
+                    class_index == truth_class
+                )
+
+    def test_class_names_on_facts(self):
+        dataset = make_multiclass_dataset(
+            num_tasks=3, num_classes=3,
+            class_names=("cat", "dog", "bird"), seed=0,
+        )
+        labels = [fact.label for fact in dataset.groups[0]]
+        assert labels == ["cat", "dog", "bird"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_multiclass_dataset(num_tasks=0)
+        with pytest.raises(ValueError):
+            make_multiclass_dataset(num_classes=1)
+        with pytest.raises(ValueError, match="one class name"):
+            make_multiclass_dataset(num_classes=3, class_names=("a",))
+
+
+class TestOneHotBelief:
+    def test_support_is_one_hot_only(self):
+        group = FactSet.from_ids([0, 1, 2])
+        belief = one_hot_belief(group, [0.5, 0.3, 0.2])
+        for state in range(8):
+            mass = belief.probabilities[state]
+            if state in (1, 2, 4):
+                assert mass > 0
+            else:
+                assert mass == 0.0
+
+    def test_scores_become_class_prior(self):
+        group = FactSet.from_ids([0, 1])
+        belief = one_hot_belief(group, [3.0, 1.0], smoothing=0.0)
+        assert belief.probabilities[1] == pytest.approx(0.75)
+        assert belief.probabilities[2] == pytest.approx(0.25)
+
+    def test_marginals_sum_to_one(self):
+        group = FactSet.from_ids([0, 1, 2, 3])
+        belief = one_hot_belief(group, [1, 2, 3, 4])
+        assert belief.marginals().sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        group = FactSet.from_ids([0, 1])
+        with pytest.raises(ValueError, match="one score"):
+            one_hot_belief(group, [0.5])
+        with pytest.raises(ValueError, match="non-negative"):
+            one_hot_belief(group, [-1.0, 0.5])
+
+
+class TestDecodeAndAccuracy:
+    def test_decode_picks_max_marginal(self):
+        group = FactSet.from_ids([0, 1, 2])
+        belief = FactoredBelief([one_hot_belief(group, [0.2, 0.7, 0.1])])
+        assert decode_class_labels(belief) == [1]
+
+    def test_class_accuracy(self):
+        groups = [FactSet.from_ids([0, 1]), FactSet.from_ids([2, 3])]
+        belief = FactoredBelief(
+            [
+                one_hot_belief(groups[0], [0.9, 0.1]),
+                one_hot_belief(groups[1], [0.2, 0.8]),
+            ]
+        )
+        assert class_accuracy(belief, [0, 1]) == 1.0
+        assert class_accuracy(belief, [1, 1]) == 0.5
+
+    def test_class_accuracy_length_mismatch(self):
+        group = FactSet.from_ids([0, 1])
+        belief = FactoredBelief([one_hot_belief(group, [1, 1])])
+        with pytest.raises(ValueError):
+            class_accuracy(belief, [0, 1])
+
+
+class TestEndToEnd:
+    def test_one_hot_constraint_propagates_negative_answers(self):
+        """Hearing 'No' on one class must raise the other classes'
+        posteriors — the correlation the decomposition exists for."""
+        from repro.core import AnswerFamily, AnswerSet, Worker, \
+            update_with_family
+
+        group = FactSet.from_ids([0, 1, 2])
+        belief = one_hot_belief(group, [1.0, 1.0, 1.0])
+        expert = Worker("e", 0.95)
+        family = AnswerFamily(
+            answer_sets=(
+                AnswerSet(worker=expert, answers={0: False}),
+            )
+        )
+        posterior = update_with_family(belief, family)
+        assert posterior.marginal(0) < belief.marginal(0)
+        assert posterior.marginal(1) > belief.marginal(1)
+        assert posterior.marginal(2) > belief.marginal(2)
+
+    def test_checking_improves_class_accuracy(self):
+        from repro.aggregation import make_aggregator
+        from repro.core import GreedySelector, HierarchicalCrowdsourcing
+        from repro.datasets import make_multiclass_dataset
+        from repro.simulation import SimulatedExpertPanel
+
+        dataset = make_multiclass_dataset(
+            num_tasks=15, num_classes=3, seed=5
+        )
+        result = make_aggregator("DS").fit(
+            dataset.preliminary_annotations(0.9)
+        )
+        belief = build_one_hot_belief(dataset, result.posteriors[:, 1])
+        initial = class_accuracy(belief, dataset.metadata["class_truth"])
+
+        experts, _ = dataset.split_crowd(0.9)
+        runner = HierarchicalCrowdsourcing(
+            experts, selector=GreedySelector(), k=1
+        )
+        panel = SimulatedExpertPanel(dataset.ground_truth, rng=5)
+        run = runner.run(belief, panel, budget=90)
+        final = class_accuracy(
+            run.belief, dataset.metadata["class_truth"]
+        )
+        assert final >= initial

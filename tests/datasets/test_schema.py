@@ -1,0 +1,134 @@
+"""Unit tests for repro.datasets.schema."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import AnswerMatrix
+from repro.core import Crowd, FactSet
+from repro.datasets import CrowdLabelingDataset, accuracy_of_labels
+
+
+def _tiny_dataset() -> CrowdLabelingDataset:
+    groups = [FactSet.from_ids([0, 1]), FactSet.from_ids([2, 3])]
+    crowd = Crowd.from_accuracies([0.7, 0.8, 0.95])
+    annotations = AnswerMatrix(
+        [(0, 0, 1), (0, 1, 1), (1, 0, 0), (2, 2, 1), (3, 1, 0)],
+        num_tasks=4,
+        num_workers=3,
+        num_classes=2,
+    )
+    truth = {0: True, 1: False, 2: True, 3: False}
+    return CrowdLabelingDataset(
+        groups=groups, crowd=crowd, annotations=annotations,
+        ground_truth=truth, name="tiny",
+    )
+
+
+class TestCrowdLabelingDataset:
+    def test_basic_views(self):
+        dataset = _tiny_dataset()
+        assert dataset.num_facts == 4
+        assert dataset.num_groups == 2
+        assert dataset.fact_ids == [0, 1, 2, 3]
+
+    def test_truth_vector(self):
+        dataset = _tiny_dataset()
+        assert list(dataset.truth_vector()) == [1, 0, 1, 0]
+
+    def test_worker_column(self):
+        dataset = _tiny_dataset()
+        assert dataset.worker_column("w1") == 1
+        with pytest.raises(KeyError):
+            dataset.worker_column("nope")
+
+    def test_split_crowd(self):
+        dataset = _tiny_dataset()
+        experts, preliminary = dataset.split_crowd(0.9)
+        assert len(experts) == 1
+        assert len(preliminary) == 2
+
+    def test_preliminary_annotations_excludes_experts(self):
+        dataset = _tiny_dataset()
+        cp_matrix = dataset.preliminary_annotations(0.9)
+        expert_column = dataset.worker_column("w2")
+        assert all(
+            a.worker != expert_column for a in cp_matrix.annotations
+        )
+        assert cp_matrix.num_annotations == 4
+
+    def test_subsample_annotations(self):
+        dataset = _tiny_dataset()
+        sub = dataset.subsample_annotations(3, rng=0)
+        assert sub.num_annotations == 3
+        assert sub.num_tasks == dataset.annotations.num_tasks
+
+    def test_subsample_capped_at_total(self):
+        dataset = _tiny_dataset()
+        sub = dataset.subsample_annotations(100, rng=0)
+        assert sub.num_annotations == dataset.annotations.num_annotations
+
+    def test_missing_ground_truth_rejected(self):
+        groups = [FactSet.from_ids([0, 1])]
+        crowd = Crowd.from_accuracies([0.7])
+        annotations = AnswerMatrix(
+            [(0, 0, 1)], num_tasks=2, num_workers=1, num_classes=2
+        )
+        with pytest.raises(ValueError, match="ground truth missing"):
+            CrowdLabelingDataset(
+                groups=groups, crowd=crowd, annotations=annotations,
+                ground_truth={0: True},
+            )
+
+    def test_row_count_mismatch_rejected(self):
+        groups = [FactSet.from_ids([0])]
+        crowd = Crowd.from_accuracies([0.7])
+        annotations = AnswerMatrix(
+            [(0, 0, 1)], num_tasks=3, num_workers=1, num_classes=2
+        )
+        with pytest.raises(ValueError, match="one task row per fact"):
+            CrowdLabelingDataset(
+                groups=groups, crowd=crowd, annotations=annotations,
+                ground_truth={0: True},
+            )
+
+    def test_worker_count_mismatch_rejected(self):
+        groups = [FactSet.from_ids([0])]
+        crowd = Crowd.from_accuracies([0.7, 0.8])
+        annotations = AnswerMatrix(
+            [(0, 0, 1)], num_tasks=1, num_workers=1, num_classes=2
+        )
+        with pytest.raises(ValueError, match="one column per crowd"):
+            CrowdLabelingDataset(
+                groups=groups, crowd=crowd, annotations=annotations,
+                ground_truth={0: True},
+            )
+
+    def test_duplicate_fact_ids_rejected(self):
+        groups = [FactSet.from_ids([0]), FactSet.from_ids([0])]
+        crowd = Crowd.from_accuracies([0.7])
+        annotations = AnswerMatrix(
+            [(0, 0, 1)], num_tasks=2, num_workers=1, num_classes=2
+        )
+        with pytest.raises(ValueError, match="unique"):
+            CrowdLabelingDataset(
+                groups=groups, crowd=crowd, annotations=annotations,
+                ground_truth={0: True},
+            )
+
+
+class TestAccuracyOfLabels:
+    def test_mapping_input(self):
+        truth = {0: True, 1: False}
+        assert accuracy_of_labels({0: True, 1: True}, truth) == 0.5
+
+    def test_sequence_input(self):
+        truth = {0: True, 1: False}
+        assert accuracy_of_labels([1, 0], truth) == 1.0
+
+    def test_ignores_unknown_facts(self):
+        truth = {0: True}
+        assert accuracy_of_labels({0: True, 9: False}, truth) == 1.0
+
+    def test_no_overlap_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_of_labels({5: True}, {0: True})

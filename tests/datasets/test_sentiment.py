@@ -1,0 +1,62 @@
+"""Unit tests for the sentiment stand-in corpus."""
+
+import pytest
+
+from repro.datasets import make_sentiment_dataset
+
+
+class TestMakeSentimentDataset:
+    def test_paper_shape_defaults(self):
+        dataset = make_sentiment_dataset(num_groups=10, seed=0)
+        assert dataset.num_groups == 10
+        assert all(len(group) == 5 for group in dataset.groups)
+        assert dataset.name == "sentiment"
+
+    def test_every_fact_has_text(self):
+        dataset = make_sentiment_dataset(num_groups=5, seed=0)
+        for group in dataset.groups:
+            for fact in group:
+                assert fact.text
+
+    def test_group_shares_company(self):
+        dataset = make_sentiment_dataset(num_groups=4, seed=0)
+        companies = dataset.metadata["companies"]
+        for group in dataset.groups:
+            mentioned = {
+                company
+                for company in companies
+                for fact in group
+                if company in fact.text
+            }
+            assert len(mentioned) == 1
+
+    def test_text_sentiment_matches_truth(self):
+        """Positive-truth tweets use positive templates and vice versa —
+        the texts are a rendering of the ground truth."""
+        dataset = make_sentiment_dataset(num_groups=20, seed=1)
+        positive_markers = ("amazing", "resolved", "exceeded", "respect",
+                            "recommending")
+        negative_markers = ("rude", "broken", "Avoid", "slower", "regret")
+        for group in dataset.groups:
+            for fact in group:
+                truth = dataset.ground_truth[fact.fact_id]
+                markers = positive_markers if truth else negative_markers
+                assert any(marker in fact.text for marker in markers)
+
+    def test_statistics_match_synthetic_generator(self):
+        """Texts are attached on top of the same generation process; the
+        answers and truths must be identical to the base generator's."""
+        from repro.datasets import make_synthetic_dataset
+
+        sentiment = make_sentiment_dataset(num_groups=6, seed=9)
+        base = make_synthetic_dataset(
+            num_groups=6, group_size=5, answers_per_fact=8, seed=9
+        )
+        assert sentiment.ground_truth == base.ground_truth
+        assert sentiment.annotations.annotations == base.annotations.annotations
+
+    def test_query_text_readable(self):
+        dataset = make_sentiment_dataset(num_groups=2, seed=0)
+        query = dataset.groups[0][0].query_text()
+        assert "positive" in query
+        assert "?" in query

@@ -1,0 +1,84 @@
+"""Unit tests for the dataset diagnostics."""
+
+import pytest
+
+from repro.datasets import (
+    describe_dataset,
+    format_summary,
+    make_sentiment_dataset,
+    make_synthetic_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def summary():
+    dataset = make_sentiment_dataset(num_groups=20, seed=0)
+    return describe_dataset(dataset, theta=0.9)
+
+
+class TestDescribeDataset:
+    def test_counts(self, summary):
+        assert summary.num_facts == 100
+        assert summary.num_groups == 20
+        assert summary.group_sizes == {5: 20}
+        assert summary.num_annotations == 800
+
+    def test_redundancy(self, summary):
+        assert summary.answers_per_fact_mean == pytest.approx(8.0)
+        assert summary.answers_per_fact_min == 8
+        assert summary.answers_per_fact_max == 8
+
+    def test_accuracy_range(self, summary):
+        assert 0.5 < summary.accuracy_min < summary.accuracy_mean
+        assert summary.accuracy_mean < summary.accuracy_max <= 1.0
+
+    def test_tiering_partition(self, summary):
+        assert (
+            summary.experts_at_theta + summary.preliminary_at_theta
+            == summary.num_workers
+        )
+
+    def test_empirical_noise_tracks_mean_accuracy(self, summary):
+        """Annotation accuracy should sit near the pool's mean accuracy
+        (weighted by who answered)."""
+        assert summary.empirical_annotation_accuracy == pytest.approx(
+            summary.accuracy_mean, abs=0.08
+        )
+
+    def test_within_group_agreement_shows_correlation(self, summary):
+        assert summary.within_group_agreement > 0.55
+
+    def test_independent_truths_agree_at_half(self):
+        dataset = make_synthetic_dataset(
+            num_groups=150,
+            group_size=4,
+            answers_per_fact=3,
+            correlation_concentration=1000.0,  # ~independent coins
+            seed=1,
+        )
+        summary = describe_dataset(dataset)
+        assert summary.within_group_agreement == pytest.approx(0.5, abs=0.06)
+
+    def test_single_fact_groups_agreement_nan(self):
+        import math
+
+        dataset = make_synthetic_dataset(
+            num_groups=10, group_size=1, answers_per_fact=3, seed=2
+        )
+        summary = describe_dataset(dataset)
+        assert math.isnan(summary.within_group_agreement)
+
+    def test_to_dict_drops_metadata(self, summary):
+        data = summary.to_dict()
+        assert "metadata" not in data
+        assert data["num_facts"] == 100
+
+
+class TestFormatSummary:
+    def test_report_lines(self, summary):
+        text = format_summary(summary)
+        assert "facts:" in text
+        assert "tiering:" in text
+        assert "label noise:" in text
+        assert "20x5" in text
+        assert "0.50 = independent" in text

@@ -1,0 +1,137 @@
+"""Unit tests for the synthetic dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    WorkerPoolSpec,
+    make_synthetic_dataset,
+    make_worker_pool,
+    sample_correlated_group_truth,
+)
+
+
+class TestWorkerPoolSpec:
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(preliminary_accuracy=(0.9, 0.6))
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(expert_accuracy=(0.9, 1.2))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPoolSpec(num_preliminary=0)
+
+
+class TestMakeWorkerPool:
+    def test_pool_size_and_ranges(self, rng):
+        spec = WorkerPoolSpec(
+            num_preliminary=10,
+            num_expert=4,
+            preliminary_accuracy=(0.6, 0.8),
+            expert_accuracy=(0.9, 0.95),
+        )
+        crowd = make_worker_pool(spec, rng)
+        assert len(crowd) == 14
+        accuracies = crowd.accuracies
+        experts = accuracies[accuracies >= 0.9]
+        preliminary = accuracies[accuracies < 0.9]
+        assert len(experts) == 4
+        assert len(preliminary) == 10
+        assert np.all(preliminary >= 0.6) and np.all(preliminary <= 0.8)
+
+
+class TestSampleCorrelatedGroupTruth:
+    def test_shape_and_type(self, rng):
+        truths = sample_correlated_group_truth(5, rng)
+        assert truths.shape == (5,)
+        assert truths.dtype == bool
+
+    def test_low_concentration_correlates(self):
+        """Small Beta concentration -> groups lean all-true/all-false."""
+        rng = np.random.default_rng(0)
+        agreement = 0
+        trials = 400
+        for _trial in range(trials):
+            truths = sample_correlated_group_truth(
+                2, rng, concentration=0.2
+            )
+            agreement += truths[0] == truths[1]
+        # Independent coins would agree ~50%; correlated far more.
+        assert agreement / trials > 0.65
+
+    def test_invalid_concentration(self, rng):
+        with pytest.raises(ValueError):
+            sample_correlated_group_truth(3, rng, concentration=0.0)
+
+
+class TestMakeSyntheticDataset:
+    def test_structure(self):
+        dataset = make_synthetic_dataset(
+            num_groups=7, group_size=3, answers_per_fact=5, seed=1
+        )
+        assert dataset.num_groups == 7
+        assert dataset.num_facts == 21
+        assert dataset.annotations.num_annotations == 21 * 5
+        assert all(len(group) == 3 for group in dataset.groups)
+
+    def test_fact_ids_consecutive(self):
+        dataset = make_synthetic_dataset(num_groups=3, group_size=2, seed=0)
+        assert dataset.fact_ids == list(range(6))
+
+    def test_answers_per_fact_respected(self):
+        dataset = make_synthetic_dataset(
+            num_groups=4, group_size=2, answers_per_fact=6, seed=2
+        )
+        assert np.all(dataset.annotations.answers_per_task() == 6)
+
+    def test_no_duplicate_worker_per_fact(self):
+        dataset = make_synthetic_dataset(num_groups=4, group_size=2, seed=3)
+        seen = set()
+        for annotation in dataset.annotations.annotations:
+            key = (annotation.task, annotation.worker)
+            assert key not in seen
+            seen.add(key)
+
+    def test_seed_reproducibility(self):
+        a = make_synthetic_dataset(num_groups=3, group_size=2, seed=42)
+        b = make_synthetic_dataset(num_groups=3, group_size=2, seed=42)
+        assert a.ground_truth == b.ground_truth
+        assert a.annotations.annotations == b.annotations.annotations
+        assert a.crowd == b.crowd
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_dataset(num_groups=5, group_size=3, seed=1)
+        b = make_synthetic_dataset(num_groups=5, group_size=3, seed=2)
+        assert a.ground_truth != b.ground_truth
+
+    def test_answer_noise_matches_worker_accuracy(self):
+        """Across a large dataset, each worker's empirical accuracy must
+        match their nominal accuracy (the section II-A error model)."""
+        dataset = make_synthetic_dataset(
+            num_groups=400, group_size=5, answers_per_fact=8, seed=5
+        )
+        truth = dataset.truth_vector()
+        correct = np.zeros(len(dataset.crowd))
+        total = np.zeros(len(dataset.crowd))
+        for annotation in dataset.annotations.annotations:
+            total[annotation.worker] += 1
+            correct[annotation.worker] += int(
+                annotation.label == truth[annotation.task]
+            )
+        with np.errstate(invalid="ignore"):
+            empirical = correct / total
+        nominal = dataset.crowd.accuracies
+        mask = total > 100
+        assert np.all(np.abs(empirical[mask] - nominal[mask]) < 0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_synthetic_dataset(num_groups=0)
+        with pytest.raises(ValueError):
+            make_synthetic_dataset(answers_per_fact=0)
+        with pytest.raises(ValueError, match="pool size"):
+            make_synthetic_dataset(
+                answers_per_fact=100,
+                pool=WorkerPoolSpec(num_preliminary=5, num_expert=1),
+            )

@@ -1,0 +1,143 @@
+"""Unit tests for the downstream evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.downstream import (
+    FeatureSpec,
+    GaussianNaiveBayes,
+    compare_labelings,
+    generate_features,
+    train_and_score,
+)
+
+
+@pytest.fixture
+def truth():
+    rng = np.random.default_rng(1)
+    return {fact_id: bool(rng.random() < 0.5) for fact_id in range(300)}
+
+
+@pytest.fixture
+def feature_set(truth):
+    return generate_features(
+        truth, FeatureSpec(num_features=4, separation=3.0), rng=0
+    )
+
+
+class TestTrainAndScore:
+    def test_clean_labels_zero_damage(self, truth, feature_set):
+        result = train_and_score(feature_set, truth, label="clean", rng=0)
+        assert result.damage == pytest.approx(0.0)
+        assert result.train_label_accuracy == 1.0
+
+    def test_noisy_labels_hurt(self, truth, feature_set):
+        rng = np.random.default_rng(2)
+        noisy = {
+            fact_id: (not value if rng.random() < 0.4 else value)
+            for fact_id, value in truth.items()
+        }
+        result = train_and_score(feature_set, noisy, label="noisy", rng=0)
+        assert result.train_label_accuracy < 0.75
+        assert result.model_accuracy <= result.clean_label_accuracy
+
+    def test_missing_labels_rejected(self, truth, feature_set):
+        partial = dict(list(truth.items())[:10])
+        with pytest.raises(ValueError, match="missing"):
+            train_and_score(feature_set, partial, rng=0)
+
+    def test_soft_weights_accepted(self, truth, feature_set):
+        weights = {fact_id: 0.9 for fact_id in truth}
+        result = train_and_score(
+            feature_set, truth, soft_weights=weights, rng=0
+        )
+        assert 0.0 <= result.model_accuracy <= 1.0
+
+    def test_custom_model_factory(self, truth, feature_set):
+        result = train_and_score(
+            feature_set, truth, model_factory=GaussianNaiveBayes, rng=0
+        )
+        assert result.model_accuracy > 0.8
+
+    def test_invalid_fraction(self, truth, feature_set):
+        with pytest.raises(ValueError):
+            train_and_score(feature_set, truth, train_fraction=0.0)
+
+
+class TestCompareLabelings:
+    def test_shared_world_same_ceiling(self, truth):
+        results = compare_labelings(
+            truth,
+            {"a": truth, "b": truth},
+            seed=3,
+        )
+        assert results[0].clean_label_accuracy == pytest.approx(
+            results[1].clean_label_accuracy
+        )
+        assert results[0].model_accuracy == pytest.approx(
+            results[1].model_accuracy
+        )
+
+    def test_better_labels_no_worse_model(self, truth):
+        rng = np.random.default_rng(4)
+        slightly_noisy = {
+            fact_id: (not value if rng.random() < 0.05 else value)
+            for fact_id, value in truth.items()
+        }
+        very_noisy = {
+            fact_id: (not value if rng.random() < 0.45 else value)
+            for fact_id, value in truth.items()
+        }
+        results = {
+            result.label: result
+            for result in compare_labelings(
+                truth,
+                {"good": slightly_noisy, "bad": very_noisy},
+                spec=FeatureSpec(num_features=4, separation=3.0),
+                seed=5,
+            )
+        }
+        assert (
+            results["good"].model_accuracy
+            >= results["bad"].model_accuracy
+        )
+
+
+class TestDownstreamComparisonRunner:
+    def test_end_to_end_small(self):
+        from repro.experiments import (
+            format_downstream,
+            run_downstream_comparison,
+        )
+
+        comparison = run_downstream_comparison(
+            num_groups=12,
+            budget=60,
+            methods=("MV",),
+            num_feature_seeds=2,
+            seed=1,
+        )
+        assert set(comparison.labels) == {"HC", "MV"}
+        assert (
+            comparison.train_label_accuracy["HC"]
+            >= comparison.train_label_accuracy["MV"]
+        )
+        text = format_downstream(comparison)
+        assert "HC" in text and "MV" in text and "ceiling" in text
+
+    def test_to_dict_serializable(self):
+        import json
+
+        from repro.experiments import run_downstream_comparison
+
+        comparison = run_downstream_comparison(
+            num_groups=8, budget=30, methods=("MV",),
+            num_feature_seeds=1, seed=2,
+        )
+        json.dumps(comparison.to_dict())
+
+    def test_invalid_seeds(self):
+        from repro.experiments import run_downstream_comparison
+
+        with pytest.raises(ValueError):
+            run_downstream_comparison(num_feature_seeds=0)

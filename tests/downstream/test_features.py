@@ -1,0 +1,88 @@
+"""Unit tests for the downstream feature generator."""
+
+import numpy as np
+import pytest
+
+from repro.downstream import FeatureSet, FeatureSpec, generate_features
+
+
+class TestFeatureSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureSpec(num_features=0)
+        with pytest.raises(ValueError):
+            FeatureSpec(noise_scale=0.0)
+        with pytest.raises(ValueError):
+            FeatureSpec(separation=-1.0)
+
+
+class TestGenerateFeatures:
+    @pytest.fixture
+    def truth(self):
+        rng = np.random.default_rng(0)
+        return {fact_id: bool(rng.random() < 0.5) for fact_id in range(400)}
+
+    def test_shapes(self, truth):
+        feature_set = generate_features(
+            truth, FeatureSpec(num_features=5), rng=0
+        )
+        assert feature_set.features.shape == (400, 5)
+        assert feature_set.labels.shape == (400,)
+        assert len(feature_set.fact_ids) == 400
+
+    def test_labels_match_truth(self, truth):
+        feature_set = generate_features(truth, rng=0)
+        for position, fact_id in enumerate(feature_set.fact_ids):
+            assert feature_set.labels[position] == int(truth[fact_id])
+
+    def test_classes_are_separated(self, truth):
+        spec = FeatureSpec(num_features=4, separation=4.0, noise_scale=1.0)
+        feature_set = generate_features(truth, spec, rng=1)
+        positive = feature_set.features[feature_set.labels == 1]
+        negative = feature_set.features[feature_set.labels == 0]
+        gap = np.linalg.norm(positive.mean(axis=0) - negative.mean(axis=0))
+        assert gap == pytest.approx(4.0, abs=0.5)
+
+    def test_zero_separation_inseparable(self, truth):
+        spec = FeatureSpec(num_features=4, separation=0.0)
+        feature_set = generate_features(truth, spec, rng=2)
+        positive = feature_set.features[feature_set.labels == 1]
+        negative = feature_set.features[feature_set.labels == 0]
+        gap = np.linalg.norm(positive.mean(axis=0) - negative.mean(axis=0))
+        assert gap < 0.5
+
+    def test_deterministic(self, truth):
+        a = generate_features(truth, rng=3)
+        b = generate_features(truth, rng=3)
+        assert np.array_equal(a.features, b.features)
+
+
+class TestFeatureSetSplit:
+    def test_partition(self):
+        truth = {fact_id: True for fact_id in range(100)}
+        feature_set = generate_features(truth, rng=0)
+        train, test = feature_set.split(0.7, np.random.default_rng(1))
+        assert len(train.fact_ids) == 70
+        assert len(test.fact_ids) == 30
+        assert not (set(train.fact_ids) & set(test.fact_ids))
+
+    def test_extreme_fraction_keeps_both_sides(self):
+        truth = {fact_id: True for fact_id in range(10)}
+        feature_set = generate_features(truth, rng=0)
+        train, test = feature_set.split(0.99, np.random.default_rng(0))
+        assert len(train.fact_ids) >= 1
+        assert len(test.fact_ids) >= 1
+
+    def test_invalid_fraction(self):
+        truth = {0: True, 1: False}
+        feature_set = generate_features(truth, rng=0)
+        with pytest.raises(ValueError):
+            feature_set.split(1.0, np.random.default_rng(0))
+
+    def test_mismatched_construction_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSet(
+                fact_ids=(0, 1),
+                features=np.zeros((3, 2)),
+                labels=np.zeros(2),
+            )

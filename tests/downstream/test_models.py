@@ -1,0 +1,129 @@
+"""Unit tests for the from-scratch downstream classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.downstream import GaussianNaiveBayes, LogisticRegression
+
+
+def _separable_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, n)
+    features = rng.normal(size=(n, 3)) + (labels * 2 - 1)[:, None] * 1.5
+    return features, labels
+
+
+@pytest.mark.parametrize(
+    "model_factory", [LogisticRegression, GaussianNaiveBayes]
+)
+class TestBothModels:
+    def test_learns_separable_data(self, model_factory):
+        features, labels = _separable_data()
+        model = model_factory().fit(features, labels)
+        assert model.accuracy(features, labels) > 0.9
+
+    def test_predict_proba_rows_sum_to_one(self, model_factory):
+        features, labels = _separable_data()
+        model = model_factory().fit(features, labels)
+        probabilities = model.predict_proba(features)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities >= 0)
+
+    def test_predict_before_fit_raises(self, model_factory):
+        with pytest.raises(RuntimeError):
+            model_factory().predict(np.zeros((2, 3)))
+
+    def test_input_validation(self, model_factory):
+        model = model_factory()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(5), np.zeros(5))  # 1-D features
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((5, 2)), np.zeros(4))  # length mismatch
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 2)), np.array([0, 1, 2]))  # non-binary
+
+    def test_sample_weight_validation(self, model_factory):
+        features, labels = _separable_data(50)
+        model = model_factory()
+        with pytest.raises(ValueError):
+            model.fit(features, labels, sample_weight=np.ones(3))
+        with pytest.raises(ValueError):
+            model.fit(features, labels, sample_weight=-np.ones(50))
+        with pytest.raises(ValueError):
+            model.fit(features, labels, sample_weight=np.zeros(50))
+
+    def test_zero_weight_examples_ignored(self, model_factory):
+        """Examples with weight 0 must not influence the model: flip
+        their labels and verify predictions are unchanged."""
+        features, labels = _separable_data(200, seed=1)
+        weights = np.ones(200)
+        weights[:50] = 0.0
+        corrupted = labels.copy()
+        corrupted[:50] = 1 - corrupted[:50]
+        clean_model = model_factory().fit(
+            features[50:], labels[50:]
+        )
+        weighted_model = model_factory().fit(
+            features, corrupted, sample_weight=weights
+        )
+        assert np.array_equal(
+            clean_model.predict(features), weighted_model.predict(features)
+        )
+
+    def test_asymmetric_label_noise_hurts(self, model_factory):
+        """Flipping half of one class's training labels (asymmetric
+        noise, which biases the decision boundary) must cost test
+        accuracy — the premise of the downstream experiments.
+        Symmetric noise is largely absorbed by consistent estimators,
+        which the experiment module documents."""
+        features, labels = _separable_data(600, seed=2)
+        train_x, test_x = features[:400], features[400:]
+        train_y, test_y = labels[:400], labels[400:]
+        rng = np.random.default_rng(3)
+        noisy = train_y.copy()
+        flip = (train_y == 1) & (rng.random(400) < 0.5)
+        noisy[flip] = 0
+        clean_accuracy = (
+            model_factory().fit(train_x, train_y).accuracy(test_x, test_y)
+        )
+        noisy_accuracy = (
+            model_factory().fit(train_x, noisy).accuracy(test_x, test_y)
+        )
+        assert clean_accuracy > noisy_accuracy
+
+
+class TestLogisticRegressionSpecifics:
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(num_iterations=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_coefficients_align_with_separating_direction(self):
+        rng = np.random.default_rng(4)
+        labels = rng.integers(0, 2, 500)
+        # Only feature 0 is informative.
+        features = rng.normal(size=(500, 4))
+        features[:, 0] += (labels * 2 - 1) * 2.0
+        model = LogisticRegression().fit(features, labels)
+        coefficients = np.abs(model.coefficients_)
+        assert coefficients[0] > coefficients[1:].max()
+
+
+class TestGaussianNaiveBayesSpecifics:
+    def test_var_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(var_smoothing=0.0)
+
+    def test_single_class_training_survives(self):
+        features = np.random.default_rng(0).normal(size=(20, 2))
+        labels = np.ones(20, dtype=int)
+        model = GaussianNaiveBayes().fit(features, labels)
+        assert np.all(model.predict(features) == 1)
+
+    def test_recovers_class_means(self):
+        features, labels = _separable_data(2000, seed=5)
+        model = GaussianNaiveBayes().fit(features, labels)
+        assert model.means_[1].mean() > model.means_[0].mean()

@@ -1,0 +1,62 @@
+"""Tests for the miscalibration-robustness ablation."""
+
+import pytest
+
+from repro.experiments import (
+    DatasetSpec,
+    ExperimentScale,
+    run_ablation_miscalibration,
+)
+
+TINY = ExperimentScale(
+    dataset=DatasetSpec(num_groups=10, group_size=4, answers_per_fact=6),
+    budgets=(10, 20, 40),
+    seed=0,
+)
+
+
+class TestMiscalibrationAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_miscalibration(TINY, gold_counts=(5, 50))
+
+    def test_exact_curve_present(self, result):
+        assert "exact accuracies" in result.labels
+
+    def test_undersized_gold_set_skipped_and_recorded(self, result):
+        """5 gold answers with Laplace smoothing cap the estimate at
+        6/7 < 0.9, so no worker can be certified expert."""
+        assert "5 gold tasks" not in result.labels
+        assert "5 gold tasks" in result.metadata["skipped"]
+
+    def test_calibrated_curve_runs(self, result):
+        series = result.by_label("50 gold tasks")
+        assert len(series.accuracy) == len(TINY.budgets)
+        assert series.quality[-1] > series.quality[0]
+
+    def test_exact_accuracies_no_worse_than_estimates(self, result):
+        exact = result.by_label("exact accuracies").quality
+        estimated = result.by_label("50 gold tasks").quality
+        assert exact[-1] >= estimated[-1] - 2.0
+
+    def test_metadata(self, result):
+        assert result.metadata["gold_counts"] == [5, 50]
+
+
+class TestMismatchedExpertPanel:
+    def test_uses_true_accuracy_not_nominal(self):
+        from repro.core import Crowd, Worker
+        from repro.simulation import MismatchedExpertPanel
+
+        # The operator believes the worker is near-perfect; in truth
+        # they are a coin flipper.
+        believed = Crowd([Worker("w", 0.99)])
+        panel = MismatchedExpertPanel(
+            {0: True}, true_accuracies={"w": 0.5}, rng=0
+        )
+        answers = [
+            panel.collect([0], believed).answer_sets[0].answer_for(0)
+            for _ in range(400)
+        ]
+        fraction_correct = sum(answers) / len(answers)
+        assert 0.4 < fraction_correct < 0.6

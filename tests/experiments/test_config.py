@@ -1,0 +1,52 @@
+"""Unit tests for the experiment configuration presets."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_POOL,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    DatasetSpec,
+    ExperimentScale,
+    get_scale,
+)
+
+
+class TestPresets:
+    def test_paper_scale_matches_section_iv_a(self):
+        spec = PAPER_SCALE.dataset
+        assert spec.num_groups == 200
+        assert spec.group_size == 5
+        assert spec.answers_per_fact == 8
+        assert PAPER_SCALE.max_budget == 1000
+
+    def test_small_scale_is_smaller(self):
+        assert (
+            SMALL_SCALE.dataset.num_groups < PAPER_SCALE.dataset.num_groups
+        )
+        assert SMALL_SCALE.max_budget < PAPER_SCALE.max_budget
+
+    def test_pool_straddles_theta_range(self):
+        """Figure 4 needs preliminary accuracies spanning 0.8-0.9 and an
+        expert tier at or above 0.9."""
+        low, high = EXPERIMENT_POOL.preliminary_accuracy
+        assert low < 0.8 < high < 0.9
+        assert EXPERIMENT_POOL.expert_accuracy[0] >= 0.9
+
+    def test_get_scale(self):
+        assert get_scale("paper") is PAPER_SCALE
+        assert get_scale("small") is SMALL_SCALE
+
+    def test_get_scale_unknown(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_scale("huge")
+
+    def test_max_budget_property(self):
+        scale = ExperimentScale(
+            dataset=DatasetSpec(num_groups=2), budgets=(5, 10, 3)
+        )
+        assert scale.max_budget == 10
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_SCALE.seed = 1

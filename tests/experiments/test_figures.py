@@ -1,0 +1,131 @@
+"""Smoke + shape tests for the figure runners (tiny scale).
+
+Each test asserts the qualitative *shape* the paper reports, on a tiny
+dataset so the whole module runs in seconds.  Full-scale shapes are
+verified by the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DatasetSpec,
+    ExperimentScale,
+    run_ablation_cost_model,
+    run_ablation_selectors,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+)
+
+TINY = ExperimentScale(
+    dataset=DatasetSpec(num_groups=12, group_size=4, answers_per_fact=6),
+    budgets=(10, 30, 60),
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return run_figure2(TINY, baselines=("MV", "DS", "EBCC"))
+
+
+class TestFigure2:
+    def test_series_present(self, fig2):
+        assert "HC" in fig2.labels
+        assert "MV" in fig2.labels
+
+    def test_hc_dominates_baselines(self, fig2):
+        """Paper: 'the accuracy of HC is consistently higher'."""
+        hc = fig2.by_label("HC").accuracy
+        for label in ("MV", "DS", "EBCC"):
+            baseline = fig2.by_label(label).accuracy
+            assert all(
+                h >= b - 1e-9 for h, b in zip(hc, baseline)
+            ), f"HC fell below {label}"
+
+    def test_hc_accuracy_non_trivial(self, fig2):
+        assert fig2.by_label("HC").accuracy[-1] > 0.8
+
+
+class TestFigure3:
+    def test_smaller_k_no_worse_at_end(self):
+        result = run_figure3(TINY, k_values=(1, 3))
+        k1 = result.by_label("k=1")
+        k3 = result.by_label("k=3")
+        assert k1.quality[-1] >= k3.quality[-1] - 1.0
+
+    def test_all_k_improve_quality(self):
+        result = run_figure3(TINY, k_values=(1, 2))
+        for series in result.series:
+            assert series.quality[-1] > series.quality[0]
+
+
+class TestFigure4:
+    def test_runs_for_each_theta(self):
+        result = run_figure4(TINY, thetas=(0.85, 0.9))
+        assert len(result.series) == 2
+        for series in result.series:
+            assert len(series.accuracy) == len(TINY.budgets)
+
+
+class TestFigure5:
+    def test_approx_close_to_opt_and_beats_random(self):
+        """Paper: OPT ~= Approx >> Random (quality)."""
+        result = run_figure5(TINY, k_values=(2,), opt_num_groups=8)
+        opt = result.by_label("OPT (k=2)").quality
+        approx = result.by_label("Approx (k=2)").quality
+        random = result.by_label("Random (k=2)").quality
+        assert approx[-1] >= random[-1]
+        assert abs(opt[-1] - approx[-1]) < abs(opt[-1] - random[-1]) + 1e-9
+
+    def test_budget_rescaled_for_smaller_dataset(self):
+        result = run_figure5(TINY, k_values=(2,), opt_num_groups=6)
+        series = result.series[0]
+        assert max(series.budgets) <= TINY.max_budget
+
+
+class TestFigure6:
+    def test_all_initializers_run_and_converge_upward(self):
+        result = run_figure6(TINY, initializers=("MV", "EBCC"))
+        for series in result.series:
+            assert series.quality[-1] >= series.quality[0]
+
+    def test_accuracy_present_for_all(self):
+        result = run_figure6(TINY, initializers=("MV", "DS"))
+        for series in result.series:
+            assert not np.isnan(series.accuracy).any()
+
+
+class TestFigure7:
+    def test_hc_improves_quality_faster_than_flat(self):
+        """Paper: 'the hierarchical design improves the data quality
+        much faster'."""
+        result = run_figure7(TINY)
+        hc = result.by_label("HC").quality
+        flat = result.by_label("NO HC").quality
+        assert hc[-1] > flat[-1]
+
+
+class TestAblations:
+    def test_cost_model_trails_unit_cost(self):
+        result = run_ablation_cost_model(TINY)
+        unit = result.by_label("unit cost").quality
+        costly = result.by_label("cost = 1.5*Pr_cr").quality
+        assert unit[-1] >= costly[-1] - 1e-9
+
+    def test_selector_ablation_ranks(self):
+        result = run_ablation_selectors(TINY, k_values=(1,))
+        approx = result.by_label("Approx (k=1)").quality
+        random = result.by_label("Random (k=1)").quality
+        assert approx[-1] >= random[-1] - 0.5
+
+    def test_marginal_rule_equals_greedy_at_k1(self):
+        """The [41] special case: at k=1 MaxEntropy == Approx exactly."""
+        result = run_ablation_selectors(TINY, k_values=(1,))
+        approx = result.by_label("Approx (k=1)").quality
+        marginal = result.by_label("MaxEntropy (k=1)").quality
+        assert approx == pytest.approx(marginal)

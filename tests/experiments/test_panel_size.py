@@ -1,0 +1,84 @@
+"""Tests for the panel-size extension and its ablation."""
+
+import pytest
+
+from repro.core import (
+    BeliefState,
+    Crowd,
+    FactSet,
+    FactoredBelief,
+    HierarchicalCrowdsourcing,
+)
+from repro.experiments import (
+    DatasetSpec,
+    ExperimentScale,
+    run_ablation_panel_size,
+)
+from repro.simulation import SimulatedExpertPanel
+
+TRUTH = {0: True, 1: False}
+TINY = ExperimentScale(
+    dataset=DatasetSpec(num_groups=8, group_size=3, answers_per_fact=6),
+    budgets=(9, 18, 36),
+    seed=0,
+)
+
+
+def _belief():
+    return FactoredBelief(
+        [BeliefState.from_marginals(FactSet.from_ids([0, 1]), [0.7, 0.4])]
+    )
+
+
+class TestPanelSize:
+    def test_panel_picks_most_accurate(self):
+        experts = Crowd.from_accuracies([0.91, 0.97, 0.93], prefix="e")
+        runner = HierarchicalCrowdsourcing(experts, panel_size=2)
+        accuracies = sorted(w.accuracy for w in runner.experts)
+        assert accuracies == [0.93, 0.97]
+
+    def test_full_panel_is_default(self):
+        experts = Crowd.from_accuracies([0.91, 0.97])
+        runner = HierarchicalCrowdsourcing(experts)
+        assert len(runner.experts) == 2
+
+    def test_invalid_panel_size(self):
+        experts = Crowd.from_accuracies([0.91, 0.97])
+        with pytest.raises(ValueError, match="panel_size"):
+            HierarchicalCrowdsourcing(experts, panel_size=0)
+        with pytest.raises(ValueError, match="panel_size"):
+            HierarchicalCrowdsourcing(experts, panel_size=3)
+
+    def test_smaller_panel_cheaper_rounds(self):
+        experts = Crowd.from_accuracies([0.91, 0.97, 0.93])
+        panel = SimulatedExpertPanel(TRUTH, rng=0)
+        small = HierarchicalCrowdsourcing(
+            experts, panel_size=1, k=1
+        ).run(_belief(), panel, budget=6)
+        assert small.history[1].cost == 1
+        full = HierarchicalCrowdsourcing(experts, k=1).run(
+            _belief(), SimulatedExpertPanel(TRUTH, rng=0), budget=6
+        )
+        assert full.history[1].cost == 3
+        # Same budget, small panel runs more rounds.
+        assert len(small.history) > len(full.history)
+
+
+class TestPanelSizeAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_panel_size(TINY, panel_sizes=(1, 3))
+
+    def test_series_per_panel_size(self, result):
+        assert result.labels == ["panel=1", "panel=3"]
+
+    def test_all_panels_improve_quality(self, result):
+        for series in result.series:
+            assert series.quality[-1] > series.quality[0]
+
+    def test_oversized_panel_skipped(self):
+        result = run_ablation_panel_size(TINY, panel_sizes=(1, 99))
+        assert result.labels == ["panel=1"]
+
+    def test_metadata_records_ce_size(self, result):
+        assert result.metadata["ce_size"] >= 1

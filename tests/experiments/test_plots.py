@@ -1,0 +1,97 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    Series,
+    ascii_chart,
+    chart_experiment,
+)
+
+
+@pytest.fixture
+def series():
+    return [
+        Series("HC", [0, 50, 100], [0.90, 0.95, 0.99], [-50, -30, -10]),
+        Series("MV", [0, 50, 100], [0.85, 0.86, 0.87], []),
+    ]
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self, series):
+        chart = ascii_chart(series, "accuracy")
+        assert "o HC" in chart
+        assert "x MV" in chart
+        assert "o" in chart.splitlines()[0] or any(
+            "o" in line for line in chart.splitlines()
+        )
+
+    def test_axis_labels_show_range(self, series):
+        chart = ascii_chart(series, "accuracy")
+        assert "0.990" in chart
+        assert "0.850" in chart
+        assert "100" in chart
+
+    def test_quality_metric_skips_empty_series(self, series):
+        chart = ascii_chart(series, "quality")
+        assert "HC" in chart
+        assert "MV" not in chart
+
+    def test_extremes_are_plotted_on_border_rows(self, series):
+        chart = ascii_chart([series[0]], "accuracy", height=10)
+        lines = chart.splitlines()
+        assert "o" in lines[0]      # max value on top row
+        assert "o" in lines[9]      # min value on bottom row
+
+    def test_flat_series_does_not_crash(self):
+        flat = [Series("f", [0, 10], [0.5, 0.5], [])]
+        chart = ascii_chart(flat, "accuracy")
+        assert "f" in chart
+
+    def test_validation(self, series):
+        with pytest.raises(ValueError, match="metric"):
+            ascii_chart(series, "speed")
+        with pytest.raises(ValueError, match="at least 8x4"):
+            ascii_chart(series, "accuracy", width=4, height=2)
+        mismatched = [
+            Series("a", [0, 1], [0.1, 0.2], []),
+            Series("b", [0, 2], [0.1, 0.2], []),
+        ]
+        with pytest.raises(ValueError, match="same budget grid"):
+            ascii_chart(mismatched, "accuracy")
+
+    def test_too_many_series_rejected(self):
+        many = [
+            Series(f"s{i}", [0, 1], [0.1, 0.2], []) for i in range(9)
+        ]
+        with pytest.raises(ValueError, match="at most"):
+            ascii_chart(many, "accuracy")
+
+    def test_no_data_rejected(self):
+        with pytest.raises(ValueError, match="no series"):
+            ascii_chart([Series("e", [0, 1], [], [])], "accuracy")
+
+
+class TestChartExperiment:
+    def test_both_metrics_when_present(self, series):
+        result = ExperimentResult(name="demo", series=series)
+        text = chart_experiment(result)
+        assert "demo — accuracy" in text
+        assert "demo — quality" in text
+
+    def test_renders_real_experiment(self):
+        from repro.experiments import (
+            DatasetSpec,
+            ExperimentScale,
+            run_figure7,
+        )
+
+        tiny = ExperimentScale(
+            dataset=DatasetSpec(num_groups=6, group_size=3,
+                                answers_per_fact=5),
+            budgets=(6, 12, 18),
+        )
+        result = run_figure7(tiny)
+        text = chart_experiment(result, width=32, height=8)
+        assert "HC" in text and "NO HC" in text

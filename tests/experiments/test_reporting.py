@@ -1,0 +1,121 @@
+"""Unit tests for the text reporting helpers."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    Series,
+    format_experiment,
+    format_series_table,
+    format_table,
+    format_table3,
+    run_table3,
+    save_json,
+)
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        name="demo",
+        series=[
+            Series("HC", [10, 20], [0.9, 0.95], [-5.0, -3.0]),
+            Series("MV", [10, 20], [0.8, 0.82], []),
+        ],
+    )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equally wide
+
+
+class TestFormatSeriesTable:
+    def test_accuracy_table(self, result):
+        text = format_series_table(result, "accuracy")
+        assert "HC" in text and "MV" in text
+        assert "0.9000" in text
+
+    def test_quality_table_skips_seriesless(self, result):
+        text = format_series_table(result, "quality")
+        assert "HC" in text
+        assert "MV" not in text  # MV carries no quality series
+
+    def test_invalid_metric(self, result):
+        with pytest.raises(ValueError):
+            format_series_table(result, "speed")
+
+    def test_no_data_raises(self):
+        empty = ExperimentResult(name="x", series=[Series("a", [], [], [])])
+        with pytest.raises(ValueError):
+            format_series_table(empty, "accuracy")
+
+
+class TestFormatExperiment:
+    def test_contains_both_metrics(self, result):
+        text = format_experiment(result)
+        assert "accuracy" in text
+        assert "quality" in text
+
+
+class TestFormatTable3:
+    def test_render(self):
+        table = run_table3(
+            k_values=(1,), num_facts=5, opt_timeout_seconds=10
+        )
+        text = format_table3(table)
+        assert "OPT" in text and "Approx" in text
+        assert "5 facts" in text
+
+
+class TestFormatReplicated:
+    def test_renders_mean_and_std(self, small_dataset):
+        from repro.analysis import replicate_session
+        from repro.experiments import format_replicated
+        from repro.simulation import SessionConfig
+
+        series = replicate_session(
+            small_dataset,
+            SessionConfig(budget=20),
+            budgets=(10, 20),
+            seeds=(0, 1),
+            label="HC",
+        )
+        text = format_replicated([series])
+        assert "replicated over 2 seeds" in text
+        assert "±" in text
+        assert "HC acc" in text
+
+    def test_empty_rejected(self):
+        from repro.experiments import format_replicated
+
+        with pytest.raises(ValueError):
+            format_replicated([])
+
+    def test_mismatched_budgets_rejected(self, small_dataset):
+        from repro.analysis import replicate_session
+        from repro.experiments import format_replicated
+        from repro.simulation import SessionConfig
+
+        a = replicate_session(
+            small_dataset, SessionConfig(budget=20), (10,), seeds=(0,)
+        )
+        b = replicate_session(
+            small_dataset, SessionConfig(budget=20), (20,), seeds=(0,)
+        )
+        with pytest.raises(ValueError, match="budget grid"):
+            format_replicated([a, b])
+
+
+class TestSaveJson:
+    def test_round_trip(self, result, tmp_path):
+        path = save_json(result, tmp_path / "out" / "demo.json")
+        data = json.loads(path.read_text())
+        assert data["name"] == "demo"
+        assert data["series"][0]["label"] == "HC"

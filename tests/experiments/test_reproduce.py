@@ -1,0 +1,72 @@
+"""Tests for the one-command reproduction driver."""
+
+import json
+
+import pytest
+
+from repro.experiments.reproduce import FIGURE_RUNNERS, run_all
+
+
+class TestRunAll:
+    def test_single_experiment_writes_artifacts(self, tmp_path):
+        timings = run_all(
+            scale_name="small",
+            out_dir=tmp_path,
+            only=["figure7"],
+        )
+        assert "figure7" in timings
+        assert (tmp_path / "figure7.json").exists()
+        assert (tmp_path / "figure7.txt").exists()
+        assert (tmp_path / "timings.json").exists()
+
+    def test_table3_scaled_down(self, tmp_path):
+        run_all(
+            scale_name="small",
+            out_dir=tmp_path,
+            only=["table3"],
+            table3_facts=6,
+            table3_max_k=2,
+            table3_timeout=10.0,
+        )
+        payload = json.loads((tmp_path / "table3.json").read_text())
+        assert [row["k"] for row in payload["rows"]] == [1, 2]
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_all(scale_name="small", out_dir=tmp_path, only=["nope"])
+
+    def test_unknown_scale_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown scale"):
+            run_all(scale_name="huge", out_dir=tmp_path, only=["figure7"])
+
+    def test_registry_covers_all_figures(self):
+        for figure in ("figure2", "figure3", "figure4", "figure5",
+                       "figure6", "figure7"):
+            assert figure in FIGURE_RUNNERS
+
+    def test_sweep_entry(self, tmp_path):
+        run_all(
+            scale_name="small", out_dir=tmp_path, only=["sweep_theta_k"]
+        )
+        payload = json.loads(
+            (tmp_path / "sweep_theta_k.json").read_text()
+        )
+        assert payload["thetas"] == [0.8, 0.85, 0.9]
+        assert "sweep" in (tmp_path / "sweep_theta_k.txt").read_text()
+
+    def test_replicated_entry(self, tmp_path):
+        run_all(
+            scale_name="small", out_dir=tmp_path,
+            only=["figure2_replicated"],
+        )
+        payload = json.loads(
+            (tmp_path / "figure2_replicated.json").read_text()
+        )
+        assert payload["num_runs"] == 5
+
+    def test_json_matches_text_series(self, tmp_path):
+        run_all(scale_name="small", out_dir=tmp_path, only=["figure7"])
+        payload = json.loads((tmp_path / "figure7.json").read_text())
+        text = (tmp_path / "figure7.txt").read_text()
+        for series in payload["series"]:
+            assert series["label"] in text

@@ -1,0 +1,147 @@
+"""Unit tests for the shared experiment machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import Crowd, FactSet, FactoredBelief, BeliefState
+from repro.core.hc import RoundRecord, RunResult
+from repro.experiments import (
+    ExperimentResult,
+    Series,
+    baseline_series,
+    hc_series,
+    sample_at_budgets,
+    sample_expert_annotations,
+)
+
+
+def _fake_run() -> RunResult:
+    belief = FactoredBelief(
+        [BeliefState.uniform(FactSet.from_ids([0, 1]))]
+    )
+    history = [
+        RoundRecord(-1, (), 0.0, 0.0, -10.0, 0.5),
+        RoundRecord(0, (0,), 2.0, 2.0, -8.0, 0.6),
+        RoundRecord(1, (1,), 2.0, 4.0, -6.0, 0.7),
+        RoundRecord(2, (0,), 2.0, 6.0, -5.0, 0.8),
+    ]
+    return RunResult(belief=belief, history=history)
+
+
+class TestSampleAtBudgets:
+    def test_step_function_semantics(self):
+        accuracy, quality = sample_at_budgets(_fake_run(), [0, 3, 4, 100])
+        assert accuracy == [0.5, 0.6, 0.7, 0.8]
+        assert quality == [-10.0, -8.0, -6.0, -5.0]
+
+    def test_budget_before_first_round(self):
+        accuracy, _quality = sample_at_budgets(_fake_run(), [1])
+        assert accuracy == [0.5]
+
+    def test_none_accuracy_becomes_nan(self):
+        run = _fake_run()
+        run.history[0] = RoundRecord(-1, (), 0.0, 0.0, -10.0, None)
+        accuracy, _ = sample_at_budgets(run, [0])
+        assert np.isnan(accuracy[0])
+
+
+class TestHcSeries:
+    def test_labels_and_lengths(self):
+        series = hc_series("HC", _fake_run(), [0, 2, 4])
+        assert series.label == "HC"
+        assert len(series.budgets) == 3
+        assert len(series.accuracy) == 3
+        assert len(series.quality) == 3
+
+
+class TestSeriesAndResult:
+    def test_to_dict_round_trip(self):
+        series = Series("x", [1, 2], [0.5, 0.6], [-3.0, -2.0])
+        data = series.to_dict()
+        assert data["label"] == "x"
+        assert data["budgets"] == [1, 2]
+
+    def test_by_label(self):
+        result = ExperimentResult(
+            name="test", series=[Series("a", [1], [0.5])]
+        )
+        assert result.by_label("a").accuracy == [0.5]
+        with pytest.raises(KeyError):
+            result.by_label("missing")
+
+    def test_result_to_dict_filters_nonserializable(self):
+        result = ExperimentResult(
+            name="test",
+            series=[],
+            metadata={"ok": 1, "bad": object()},
+        )
+        data = result.to_dict()
+        assert "ok" in data["metadata"]
+        assert "bad" not in data["metadata"]
+
+
+class TestSampleExpertAnnotations:
+    def test_count_and_uniqueness(self, small_dataset, rng):
+        experts, _ = small_dataset.split_crowd(0.9)
+        annotations = sample_expert_annotations(
+            small_dataset, experts, 30, rng
+        )
+        assert len(annotations) == 30
+        pairs = {(a.task, a.worker) for a in annotations}
+        assert len(pairs) == 30
+
+    def test_only_expert_columns_used(self, small_dataset, rng):
+        experts, _ = small_dataset.split_crowd(0.9)
+        expert_columns = {
+            small_dataset.worker_column(w.worker_id) for w in experts
+        }
+        annotations = sample_expert_annotations(
+            small_dataset, experts, 25, rng
+        )
+        assert all(a.worker in expert_columns for a in annotations)
+
+    def test_capped_at_pair_count(self, small_dataset, rng):
+        experts, _ = small_dataset.split_crowd(0.9)
+        maximum = small_dataset.num_facts * len(experts)
+        annotations = sample_expert_annotations(
+            small_dataset, experts, maximum + 1000, rng
+        )
+        assert len(annotations) == maximum
+
+    def test_answers_track_expert_accuracy(self, small_dataset):
+        experts, _ = small_dataset.split_crowd(0.9)
+        rng = np.random.default_rng(3)
+        annotations = sample_expert_annotations(
+            small_dataset, experts,
+            small_dataset.num_facts * len(experts), rng,
+        )
+        truth = small_dataset.truth_vector()
+        correct = np.mean(
+            [a.label == truth[a.task] for a in annotations]
+        )
+        expected = np.mean([w.accuracy for w in experts])
+        assert correct == pytest.approx(expected, abs=0.05)
+
+
+class TestBaselineSeries:
+    def test_monotone_information_protocol(self, small_dataset):
+        """The budget-B pool nests the budget-B' pool for B > B', and the
+        series carries one accuracy per budget."""
+        series = baseline_series(
+            small_dataset, "MV", [0, 20, 40], theta=0.9, seed=0
+        )
+        assert series.label == "MV"
+        assert len(series.accuracy) == 3
+        assert all(0.0 <= value <= 1.0 for value in series.accuracy)
+
+    def test_budget_zero_equals_cp_only_aggregation(self, small_dataset):
+        from repro.aggregation import make_aggregator
+
+        series = baseline_series(
+            small_dataset, "DS", [0], theta=0.9, seed=0
+        )
+        cp_matrix = small_dataset.preliminary_annotations(0.9)
+        direct = make_aggregator("DS").fit(cp_matrix)
+        assert series.accuracy[0] == pytest.approx(
+            direct.accuracy(small_dataset.truth_vector())
+        )

@@ -1,0 +1,84 @@
+"""Tests for the theta x k sweep and the replicated Figure 2."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DatasetSpec,
+    ExperimentScale,
+    SweepGrid,
+    format_sweep,
+    run_figure2_replicated,
+    run_theta_k_sweep,
+)
+
+TINY = ExperimentScale(
+    dataset=DatasetSpec(num_groups=8, group_size=3, answers_per_fact=6),
+    budgets=(10, 20, 30),
+    seed=0,
+)
+
+
+class TestThetaKSweep:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_theta_k_sweep(
+            TINY, thetas=(0.85, 0.9), k_values=(1, 2)
+        )
+
+    def test_shape(self, grid):
+        assert grid.accuracy.shape == (2, 2)
+        assert grid.quality.shape == (2, 2)
+
+    def test_feasible_cells_populated(self, grid):
+        assert not np.isnan(grid.accuracy).all()
+        populated = ~np.isnan(grid.accuracy)
+        assert (grid.accuracy[populated] >= 0).all()
+        assert (grid.accuracy[populated] <= 1).all()
+
+    def test_infeasible_theta_is_nan(self):
+        grid = run_theta_k_sweep(
+            TINY, thetas=(0.999,), k_values=(1,)
+        )
+        assert np.isnan(grid.accuracy).all()
+
+    def test_best_configuration(self, grid):
+        theta, k = grid.best_configuration()
+        assert theta in (0.85, 0.9)
+        assert k in (1, 2)
+
+    def test_best_configuration_empty_grid_raises(self):
+        grid = SweepGrid(
+            thetas=[0.9],
+            k_values=[1],
+            accuracy=np.array([[np.nan]]),
+            quality=np.array([[np.nan]]),
+        )
+        with pytest.raises(ValueError, match="no feasible"):
+            grid.best_configuration()
+
+    def test_format(self, grid):
+        text = format_sweep(grid, "accuracy")
+        assert "theta" in text and "sweep" in text
+        text_quality = format_sweep(grid, "quality")
+        assert "quality" in text_quality
+        with pytest.raises(ValueError):
+            format_sweep(grid, "speed")
+
+    def test_to_dict_serializable(self, grid):
+        import json
+
+        json.dumps(grid.to_dict())
+
+
+class TestFigure2Replicated:
+    def test_error_bars(self):
+        series = run_figure2_replicated(TINY, seeds=(0, 1, 2))
+        assert series.num_runs == 3
+        assert len(series.accuracy_mean) == len(TINY.budgets)
+        # Simulation noise exists but is bounded.
+        assert max(series.accuracy_std) < 0.2
+
+    def test_mean_curve_improves(self):
+        series = run_figure2_replicated(TINY, seeds=(0, 1))
+        assert series.quality_mean[-1] >= series.quality_mean[0]

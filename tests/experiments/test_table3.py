@@ -1,0 +1,72 @@
+"""Tests for the Table III timing harness (small instances)."""
+
+import pytest
+
+from repro.experiments import make_timing_belief, run_table3
+
+
+class TestMakeTimingBelief:
+    def test_single_group(self):
+        belief = make_timing_belief(6, seed=0)
+        assert len(belief) == 1
+        assert belief.num_facts == 6
+
+    def test_non_degenerate(self):
+        belief = make_timing_belief(5, seed=1)
+        probabilities = belief[0].probabilities
+        assert probabilities.min() > 0.0
+        assert probabilities.max() < 1.0
+
+    def test_seeded(self):
+        import numpy as np
+
+        a = make_timing_belief(4, seed=3)[0].probabilities
+        b = make_timing_belief(4, seed=3)[0].probabilities
+        assert np.array_equal(a, b)
+
+
+class TestRunTable3:
+    def test_rows_for_each_k(self):
+        result = run_table3(
+            k_values=(1, 2), num_facts=8, opt_timeout_seconds=30
+        )
+        assert [row.k for row in result.rows] == [1, 2]
+        for row in result.rows:
+            assert row.approx_seconds > 0
+            assert row.opt_seconds is not None
+
+    def test_opt_slower_than_approx_for_larger_k(self):
+        result = run_table3(
+            k_values=(1, 3), num_facts=10, opt_timeout_seconds=60
+        )
+        last = result.rows[-1]
+        assert last.opt_seconds > last.approx_seconds
+
+    def test_timeout_marks_and_skips(self):
+        result = run_table3(
+            k_values=(2, 3), num_facts=12, opt_timeout_seconds=0.001
+        )
+        assert result.rows[0].opt_seconds is None
+        assert result.rows[0].opt_display == "timeout"
+        # Once timed out, larger k is not attempted.
+        assert result.rows[1].opt_seconds is None
+        # Approx still measured.
+        assert all(row.approx_seconds > 0 for row in result.rows)
+
+    def test_metadata(self):
+        result = run_table3(
+            k_values=(1,), num_facts=6, opt_timeout_seconds=10
+        )
+        assert result.metadata["num_facts"] == 6
+        assert result.metadata["num_experts"] == 2
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            run_table3(k_values=(1,), num_facts=4, repeats=0)
+
+    def test_to_dict(self):
+        result = run_table3(
+            k_values=(1,), num_facts=5, opt_timeout_seconds=10
+        )
+        data = result.to_dict()
+        assert data["rows"][0]["k"] == 1

@@ -1,0 +1,104 @@
+"""Unit tests for the adaptive stopping rule (related work [38])."""
+
+import numpy as np
+import pytest
+
+from repro.core import Crowd
+from repro.simulation import StoppingRule, collect_adaptive_annotations
+
+
+class TestStoppingRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StoppingRule(threshold_scale=-1.0)
+        with pytest.raises(ValueError):
+            StoppingRule(min_answers=0)
+        with pytest.raises(ValueError):
+            StoppingRule(min_answers=5, max_answers=3)
+
+    def test_min_answers_enforced(self):
+        rule = StoppingRule(min_answers=3, threshold_scale=0.0)
+        assert not rule.should_stop(2, 0)
+        assert rule.should_stop(3, 0)
+
+    def test_max_answers_forces_stop(self):
+        rule = StoppingRule(threshold_scale=100.0, max_answers=6)
+        assert rule.should_stop(3, 3)
+
+    def test_decisive_gap_stops_early(self):
+        """Eq. 36: gap > C*sqrt(t) - eps*t."""
+        rule = StoppingRule(threshold_scale=2.0, drift=0.3)
+        # t=4, gap=4: 4 > 2*2 - 1.2 = 2.8 -> stop.
+        assert rule.should_stop(4, 0)
+        # t=4, gap=0: 0 > 2.8 is false -> continue.
+        assert not rule.should_stop(2, 2)
+
+    def test_drift_guarantees_termination(self):
+        """Even a perfectly contested stream stops once eps*t dominates."""
+        rule = StoppingRule(threshold_scale=2.0, drift=0.5,
+                            max_answers=100)
+        t = 2
+        while not rule.should_stop(t // 2, t - t // 2):
+            t += 2
+            assert t <= 100
+        assert t < 100  # stopped via the rule, not the hard cap
+
+
+class TestCollectAdaptiveAnnotations:
+    @pytest.fixture
+    def crowd(self):
+        return Crowd.from_accuracies([0.85] * 20)
+
+    def test_respects_bounds(self, crowd):
+        truth = {fact_id: bool(fact_id % 2) for fact_id in range(30)}
+        rule = StoppingRule(min_answers=2, max_answers=9)
+        matrix = collect_adaptive_annotations(truth, crowd, rule, rng=0)
+        counts = matrix.answers_per_task()
+        assert np.all(counts >= 2)
+        assert np.all(counts <= 9)
+
+    def test_accurate_crowd_stops_early(self):
+        """With near-oracle workers, unanimous early votes end
+        collection well below the cap on average."""
+        crowd = Crowd.from_accuracies([0.98] * 20)
+        truth = {fact_id: True for fact_id in range(40)}
+        rule = StoppingRule(min_answers=2, max_answers=15)
+        matrix = collect_adaptive_annotations(truth, crowd, rule, rng=1)
+        assert matrix.answers_per_task().mean() < 6
+
+    def test_noisy_crowd_needs_more_answers(self):
+        accurate = Crowd.from_accuracies([0.95] * 20)
+        noisy = Crowd.from_accuracies([0.55] * 20)
+        truth = {fact_id: True for fact_id in range(40)}
+        rule = StoppingRule(min_answers=2, max_answers=15)
+        matrix_accurate = collect_adaptive_annotations(
+            truth, accurate, rule, rng=2
+        )
+        matrix_noisy = collect_adaptive_annotations(
+            truth, noisy, rule, rng=2
+        )
+        assert (
+            matrix_noisy.answers_per_task().mean()
+            > matrix_accurate.answers_per_task().mean()
+        )
+
+    def test_max_answers_beyond_crowd_rejected(self, crowd):
+        rule = StoppingRule(max_answers=50)
+        with pytest.raises(ValueError, match="crowd size"):
+            collect_adaptive_annotations({0: True}, crowd, rule)
+
+    def test_deterministic_with_seed(self, crowd):
+        truth = {fact_id: bool(fact_id % 3) for fact_id in range(10)}
+        a = collect_adaptive_annotations(truth, crowd, rng=4)
+        b = collect_adaptive_annotations(truth, crowd, rng=4)
+        assert a.annotations == b.annotations
+
+    def test_aggregatable_output(self, crowd):
+        """The adaptive matrix feeds straight into any aggregator."""
+        from repro.aggregation import make_aggregator
+
+        truth = {fact_id: bool(fact_id % 2) for fact_id in range(60)}
+        matrix = collect_adaptive_annotations(truth, crowd, rng=5)
+        result = make_aggregator("DS").fit(matrix)
+        truth_vector = [int(truth[f]) for f in range(60)]
+        assert result.accuracy(truth_vector) > 0.85

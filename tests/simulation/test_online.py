@@ -1,0 +1,177 @@
+"""Unit tests for the sans-IO online checking session."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnswerFamily,
+    AnswerSet,
+    BeliefState,
+    Crowd,
+    FactSet,
+    FactoredBelief,
+    HierarchicalCrowdsourcing,
+    Worker,
+)
+from repro.simulation import (
+    OnlineCheckingSession,
+    SessionStateError,
+    SimulatedExpertPanel,
+)
+
+TRUTH = {0: True, 1: False, 2: True, 3: True}
+
+
+def _belief() -> FactoredBelief:
+    return FactoredBelief(
+        [
+            BeliefState.from_marginals(FactSet.from_ids([0, 1]), [0.7, 0.4]),
+            BeliefState.from_marginals(FactSet.from_ids([2, 3]), [0.6, 0.8]),
+        ]
+    )
+
+
+@pytest.fixture
+def experts():
+    return Crowd.from_accuracies([0.92, 0.95], prefix="e")
+
+
+@pytest.fixture
+def session(experts):
+    return OnlineCheckingSession(
+        _belief(), experts, budget=12, ground_truth=TRUTH
+    )
+
+
+class TestLifecycle:
+    def test_initial_state(self, session):
+        assert not session.is_finished
+        assert session.pending_queries is None
+        assert session.remaining_budget == 12
+        assert len(session.history) == 1
+
+    def test_full_loop_matches_batch_runner(self, experts):
+        """Driving the session with the same panel seed must reproduce
+        the batch HierarchicalCrowdsourcing run exactly."""
+        panel_online = SimulatedExpertPanel(TRUTH, rng=7)
+        session = OnlineCheckingSession(
+            _belief(), experts, budget=12, ground_truth=TRUTH
+        )
+        while (queries := session.next_queries()) is not None:
+            session.submit(panel_online.collect(queries, experts))
+
+        panel_batch = SimulatedExpertPanel(TRUTH, rng=7)
+        batch = HierarchicalCrowdsourcing(experts, k=1).run(
+            _belief(), panel_batch, budget=12, ground_truth=TRUTH
+        )
+        assert [r.quality for r in session.history] == pytest.approx(
+            [r.quality for r in batch.history]
+        )
+        assert session.final_labels() == batch.final_labels
+
+    def test_finishes_on_budget(self, session, experts):
+        panel = SimulatedExpertPanel(TRUTH, rng=0)
+        rounds = 0
+        while (queries := session.next_queries()) is not None:
+            session.submit(panel.collect(queries, experts))
+            rounds += 1
+        assert session.is_finished
+        assert rounds == 6  # budget 12 / (1 query * 2 experts)
+        assert session.next_queries() is None
+
+    def test_certain_belief_finishes_immediately(self, experts):
+        certain = FactoredBelief(
+            [BeliefState.point_mass(FactSet.from_ids([0]), (True,))]
+        )
+        session = OnlineCheckingSession(certain, experts, budget=100)
+        assert session.next_queries() is None
+        assert session.is_finished
+
+
+class TestStateMachine:
+    def test_double_next_queries_rejected(self, session):
+        session.next_queries()
+        with pytest.raises(SessionStateError, match="pending"):
+            session.next_queries()
+
+    def test_submit_without_pending_rejected(self, session, experts):
+        family = AnswerFamily(
+            answer_sets=tuple(
+                AnswerSet(worker=worker, answers={0: True})
+                for worker in experts
+            )
+        )
+        with pytest.raises(SessionStateError, match="no pending"):
+            session.submit(family)
+
+    def test_submit_wrong_facts_rejected(self, session, experts):
+        queries = session.next_queries()
+        wrong_fact = next(
+            fact_id for fact_id in TRUTH if fact_id not in queries
+        )
+        family = AnswerFamily(
+            answer_sets=tuple(
+                AnswerSet(worker=worker, answers={wrong_fact: True})
+                for worker in experts
+            )
+        )
+        with pytest.raises(ValueError, match="covers"):
+            session.submit(family)
+
+    def test_submit_missing_expert_rejected(self, session, experts):
+        queries = session.next_queries()
+        family = AnswerFamily(
+            answer_sets=(
+                AnswerSet(
+                    worker=experts[0],
+                    answers={fact_id: True for fact_id in queries},
+                ),
+            )
+        )
+        with pytest.raises(ValueError, match="missing experts"):
+            session.submit(family)
+
+    def test_abandon_pending(self, session, experts):
+        first = session.next_queries()
+        session.abandon_pending()
+        assert session.pending_queries is None
+        assert session.remaining_budget == 12  # nothing charged
+        second = session.next_queries()
+        assert second == first  # belief unchanged -> same selection
+
+    def test_abandon_without_pending_rejected(self, session):
+        with pytest.raises(SessionStateError):
+            session.abandon_pending()
+
+    def test_constructor_validation(self, experts):
+        with pytest.raises(ValueError, match="must not be empty"):
+            OnlineCheckingSession(_belief(), Crowd([]), budget=5)
+        with pytest.raises(ValueError, match="k must be"):
+            OnlineCheckingSession(_belief(), experts, budget=5, k=0)
+
+
+class TestAccounting:
+    def test_budget_charged_per_round(self, session, experts):
+        panel = SimulatedExpertPanel(TRUTH, rng=1)
+        queries = session.next_queries()
+        record = session.submit(panel.collect(queries, experts))
+        assert record.cost == len(queries) * len(experts)
+        assert session.spent_budget == record.cost
+
+    def test_caller_belief_untouched(self, experts):
+        belief = _belief()
+        before = [group.probabilities.copy() for group in belief]
+        session = OnlineCheckingSession(belief, experts, budget=8)
+        panel = SimulatedExpertPanel(TRUTH, rng=2)
+        while (queries := session.next_queries()) is not None:
+            session.submit(panel.collect(queries, experts))
+        for group, original in zip(belief, before):
+            assert np.allclose(group.probabilities, original)
+
+    def test_history_accuracy_tracked(self, session, experts):
+        panel = SimulatedExpertPanel(TRUTH, rng=3)
+        queries = session.next_queries()
+        session.submit(panel.collect(queries, experts))
+        assert all(
+            record.accuracy is not None for record in session.history
+        )

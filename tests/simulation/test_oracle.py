@@ -1,0 +1,120 @@
+"""Unit tests for the simulated answer sources."""
+
+import numpy as np
+import pytest
+
+from repro.core import Crowd, Worker
+from repro.simulation import (
+    CachedExpertPanel,
+    ScriptedAnswerSource,
+    SimulatedExpertPanel,
+)
+
+TRUTH = {0: True, 1: False, 2: True}
+
+
+@pytest.fixture
+def experts():
+    return Crowd.from_accuracies([0.9, 0.8], prefix="e")
+
+
+class TestSimulatedExpertPanel:
+    def test_family_structure(self, experts):
+        panel = SimulatedExpertPanel(TRUTH, rng=0)
+        family = panel.collect([0, 2], experts)
+        assert len(family) == 2
+        assert set(family.query_fact_ids) == {0, 2}
+
+    def test_answers_served_counter(self, experts):
+        panel = SimulatedExpertPanel(TRUTH, rng=0)
+        panel.collect([0, 1], experts)
+        panel.collect([2], experts)
+        assert panel.answers_served == 2 * 2 + 1 * 2
+
+    def test_seed_reproducibility(self, experts):
+        a = SimulatedExpertPanel(TRUTH, rng=5).collect([0, 1, 2], experts)
+        b = SimulatedExpertPanel(TRUTH, rng=5).collect([0, 1, 2], experts)
+        for set_a, set_b in zip(a, b):
+            assert set_a.answers == set_b.answers
+
+    def test_perfect_worker_always_truthful(self):
+        oracle = Crowd([Worker("o", 1.0)])
+        panel = SimulatedExpertPanel(TRUTH, rng=0)
+        for _repeat in range(10):
+            family = panel.collect([0, 1, 2], oracle)
+            answers = family.answer_sets[0].answers
+            assert answers == TRUTH
+
+    def test_adversarial_worker_always_lies(self):
+        liar = Crowd([Worker("liar", 0.0)])
+        panel = SimulatedExpertPanel(TRUTH, rng=0)
+        family = panel.collect([0, 1], liar)
+        answers = family.answer_sets[0].answers
+        assert answers == {0: False, 1: True}
+
+    def test_empirical_accuracy_matches_model(self):
+        worker = Crowd([Worker("w", 0.85)])
+        panel = SimulatedExpertPanel(TRUTH, rng=1)
+        correct = 0
+        trials = 3000
+        for _trial in range(trials):
+            family = panel.collect([0], worker)
+            correct += family.answer_sets[0].answer_for(0) == TRUTH[0]
+        assert correct / trials == pytest.approx(0.85, abs=0.03)
+
+    def test_fresh_sampling_varies_between_asks(self, experts):
+        """Default panel re-samples: a 0.8 worker asked many times must
+        not give identical answers every time."""
+        worker = Crowd([Worker("w", 0.8)])
+        panel = SimulatedExpertPanel(TRUTH, rng=2)
+        answers = {
+            panel.collect([0], worker).answer_sets[0].answer_for(0)
+            for _ in range(100)
+        }
+        assert answers == {True, False}
+
+    def test_unknown_fact_raises(self, experts):
+        panel = SimulatedExpertPanel(TRUTH, rng=0)
+        with pytest.raises(KeyError):
+            panel.collect([99], experts)
+
+
+class TestCachedExpertPanel:
+    def test_repeated_asks_identical(self):
+        worker = Crowd([Worker("w", 0.7)])
+        panel = CachedExpertPanel(TRUTH, rng=3)
+        first = panel.collect([0], worker).answer_sets[0].answer_for(0)
+        for _repeat in range(20):
+            again = panel.collect([0], worker).answer_sets[0].answer_for(0)
+            assert again == first
+
+    def test_cache_is_per_worker(self):
+        crowd = Crowd.from_accuracies([0.7, 0.7])
+        panel = CachedExpertPanel(TRUTH, rng=4)
+        family = panel.collect([0], crowd)
+        # Both answers are cached independently.
+        repeat = panel.collect([0], crowd)
+        for first, second in zip(family, repeat):
+            assert first.answers == second.answers
+
+
+class TestScriptedAnswerSource:
+    def test_replays_script(self, experts):
+        script = {
+            ("e0", 0): True, ("e1", 0): False,
+        }
+        source = ScriptedAnswerSource(script)
+        family = source.collect([0], experts)
+        assert family.votes_for(0) == [True, False]
+
+    def test_records_requests(self, experts):
+        source = ScriptedAnswerSource(
+            {("e0", 1): True, ("e1", 1): True}
+        )
+        source.collect([1], experts)
+        assert source.requests == [("e0", 1), ("e1", 1)]
+
+    def test_unscripted_request_fails_loudly(self, experts):
+        source = ScriptedAnswerSource({})
+        with pytest.raises(KeyError):
+            source.collect([0], experts)

@@ -1,0 +1,78 @@
+"""Unit tests for the one-call HC session pipeline."""
+
+import pytest
+
+from repro.core import MaxMarginalEntropySelector, RandomSelector
+from repro.simulation import (
+    SessionConfig,
+    SimulatedExpertPanel,
+    run_hc_session,
+)
+
+
+class TestSessionConfig:
+    def test_paper_defaults(self):
+        config = SessionConfig()
+        assert config.theta == 0.9
+        assert config.k == 1
+        assert config.initializer == "EBCC"
+
+
+class TestRunHcSession:
+    def test_end_to_end(self, small_dataset):
+        config = SessionConfig(budget=30, seed=0)
+        result = run_hc_session(small_dataset, config)
+        assert result.history[0].budget_spent == 0
+        assert result.history[-1].budget_spent <= 30
+        assert result.history[-1].accuracy is not None
+
+    def test_quality_improves(self, small_dataset):
+        config = SessionConfig(budget=60, seed=1)
+        result = run_hc_session(small_dataset, config)
+        assert result.history[-1].quality > result.history[0].quality
+
+    def test_custom_selector(self, small_dataset):
+        config = SessionConfig(budget=24, seed=0)
+        result = run_hc_session(
+            small_dataset, config, selector=RandomSelector(rng=0)
+        )
+        assert len(result.history) > 1
+
+    def test_custom_aggregator(self, small_dataset):
+        from repro.aggregation import MajorityVote
+
+        config = SessionConfig(budget=12, seed=0)
+        result = run_hc_session(
+            small_dataset, config, aggregator=MajorityVote(smoothing=1.0)
+        )
+        assert result.history[0].accuracy is not None
+
+    def test_custom_answer_source(self, small_dataset):
+        source = SimulatedExpertPanel(small_dataset.ground_truth, rng=9)
+        config = SessionConfig(budget=12, seed=0)
+        run_hc_session(small_dataset, config, answer_source=source)
+        assert source.answers_served > 0
+
+    def test_impossible_theta_rejected(self, small_dataset):
+        config = SessionConfig(theta=0.999, budget=10)
+        with pytest.raises(ValueError, match="no worker reaches"):
+            run_hc_session(small_dataset, config)
+
+    def test_seed_reproducibility(self, small_dataset):
+        config = SessionConfig(budget=30, seed=7)
+        a = run_hc_session(small_dataset, config)
+        b = run_hc_session(small_dataset, config)
+        assert [r.quality for r in a.history] == [
+            r.quality for r in b.history
+        ]
+        assert a.final_labels == b.final_labels
+
+    def test_k_greater_than_one(self, small_dataset):
+        config = SessionConfig(budget=36, k=3, seed=0)
+        result = run_hc_session(
+            small_dataset, config, selector=MaxMarginalEntropySelector()
+        )
+        assert any(
+            len(record.query_fact_ids) == 3
+            for record in result.history[1:]
+        )

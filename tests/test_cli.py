@@ -1,0 +1,102 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    """A small generated dataset directory."""
+    out = tmp_path / "data"
+    code = main([
+        "generate", "--out", str(out), "--groups", "6",
+        "--group-size", "4", "--answers", "5", "--seed", "1",
+    ])
+    assert code == 0
+    return out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate:
+    def test_writes_files(self, data_dir):
+        assert (data_dir / "answer.csv").exists()
+        assert (data_dir / "truth.csv").exists()
+
+    def test_output_message(self, tmp_path, capsys):
+        main(["generate", "--out", str(tmp_path / "d"), "--groups", "2"])
+        out = capsys.readouterr().out
+        assert "annotations" in out and "facts" in out
+
+
+class TestDescribe:
+    def test_prints_summary(self, data_dir, capsys):
+        code = main([
+            "describe", "--data", str(data_dir), "--group-size", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "facts:" in out
+        assert "tiering:" in out
+
+
+class TestAggregate:
+    def test_runs_and_reports_accuracy(self, data_dir, capsys):
+        code = main([
+            "aggregate", "--data", str(data_dir), "--method", "MV",
+            "--group-size", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+    @pytest.mark.parametrize("method", ["DS", "EBCC", "MV-BETA"])
+    def test_methods_by_name(self, data_dir, method, capsys):
+        code = main([
+            "aggregate", "--data", str(data_dir),
+            "--method", method, "--group-size", "4",
+        ])
+        assert code == 0
+
+    def test_unknown_method(self, data_dir):
+        with pytest.raises(ValueError, match="unknown aggregator"):
+            main([
+                "aggregate", "--data", str(data_dir),
+                "--method", "NOPE", "--group-size", "4",
+            ])
+
+
+class TestSession:
+    def test_prints_trajectory(self, data_dir, capsys):
+        code = main([
+            "session", "--data", str(data_dir), "--budget", "20",
+            "--group-size", "4", "--theta", "0.85", "--rows", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "budget" in out
+        assert "accuracy" in out
+        # Trajectory ends at or under the requested budget.
+        last_line = [l for l in out.splitlines() if l.strip()][-1]
+        assert float(last_line.split()[0]) <= 20
+
+
+class TestReproduce:
+    def test_single_small_experiment(self, tmp_path, capsys):
+        code = main([
+            "reproduce", "--scale", "small",
+            "--out", str(tmp_path / "results"),
+            "--only", "figure7",
+        ])
+        assert code == 0
+        assert (tmp_path / "results" / "figure7.json").exists()
+        assert (tmp_path / "results" / "figure7.txt").exists()

@@ -1,0 +1,66 @@
+"""Regression tests: every example script must run end to end.
+
+Examples are the first thing a new user executes; these tests run each
+one in-process (cheap) and assert on key output lines so doc drift and
+API breakage show up immediately.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, argv: list[str], capsys) -> str:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {name}"
+    old_argv = sys.argv
+    sys.argv = [str(script)] + argv
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart.py", [], capsys)
+        assert "Greedy selects facts" in out
+        assert "MAP labels" in out
+        # The quickstart's experts agree with the ground truth here.
+        assert "{1: True, 2: True, 3: False}" in out
+
+    def test_sentiment_pipeline_small(self, capsys):
+        out = _run_example("sentiment_pipeline.py", ["--small"], capsys)
+        assert "tiering:" in out  # dataset summary printed
+        assert "checking rounds" in out
+        # Accuracy line of the summary: improvement reported.
+        assert "->" in out
+
+    def test_medical_imaging(self, capsys):
+        out = _run_example("medical_imaging.py", [], capsys)
+        assert "junior panel" in out
+        assert "senior panel" in out
+        assert "Study 0 final read" in out
+
+    def test_compare_aggregators(self, capsys):
+        out = _run_example("compare_aggregators.py", [], capsys)
+        for name in ("MV", "DS", "EBCC"):
+            assert name in out
+        assert "answers/task" in out
+
+    def test_multiclass_checking(self, capsys):
+        out = _run_example("multiclass_checking.py", [], capsys)
+        assert "Initial class accuracy" in out
+        assert "Final class accuracy" in out
+        assert "Sample final reads" in out
+
+    def test_resumable_campaign(self, capsys):
+        out = _run_example("resumable_campaign.py", [], capsys)
+        assert "[lifetime 1] checkpointed" in out
+        assert "[lifetime 2] restored" in out
+        assert "[lifetime 2] finished" in out

@@ -1,0 +1,227 @@
+"""Integration tests: full pipelines across modules.
+
+These exercise realistic flows end to end — dataset generation ->
+aggregation -> belief initialization -> checking loop -> final labels —
+and assert the paper's headline claims at small scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation import BASELINE_NAMES, make_aggregator
+from repro.core import (
+    Crowd,
+    ExactSelector,
+    GreedySelector,
+    MaxMarginalEntropySelector,
+    RandomSelector,
+    labeling_accuracy,
+    run_flat_checking,
+    total_quality,
+)
+from repro.datasets import (
+    WorkerPoolSpec,
+    accuracy_of_labels,
+    initialize_belief,
+    make_sentiment_dataset,
+    make_synthetic_dataset,
+)
+from repro.simulation import (
+    SessionConfig,
+    SimulatedExpertPanel,
+    run_hc_session,
+)
+
+POOL = WorkerPoolSpec(
+    num_preliminary=20,
+    num_expert=3,
+    preliminary_accuracy=(0.6, 0.85),
+    expert_accuracy=(0.9, 0.97),
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_sentiment_dataset(
+        num_groups=25, group_size=5, answers_per_fact=8, pool=POOL, seed=21
+    )
+
+
+class TestHeadlineClaims:
+    def test_hc_improves_over_initialization(self, dataset):
+        """The initialization-checking-update loop must beat pure
+        aggregation on the same data (the paper's core claim)."""
+        config = SessionConfig(theta=0.9, k=1, budget=150, seed=0)
+        result = run_hc_session(dataset, config)
+        assert result.history[-1].accuracy > result.history[0].accuracy
+        assert result.history[-1].quality > result.history[0].quality
+
+    def test_hc_beats_every_baseline_on_same_answers(self, dataset):
+        """HC's final accuracy must top each baseline aggregating the
+        full recorded answer matrix (which includes expert answers)."""
+        config = SessionConfig(theta=0.9, k=1, budget=250, seed=0)
+        hc_accuracy = run_hc_session(dataset, config).history[-1].accuracy
+        truth = dataset.truth_vector()
+        for name in BASELINE_NAMES:
+            baseline = make_aggregator(name).fit(dataset.annotations)
+            assert hc_accuracy >= baseline.accuracy(truth) - 1e-9, name
+
+    def test_greedy_beats_random_selection(self, dataset):
+        config = SessionConfig(theta=0.9, k=2, budget=120, seed=3)
+        greedy = run_hc_session(
+            dataset, config, selector=GreedySelector()
+        )
+        random = run_hc_session(
+            dataset, config, selector=RandomSelector(rng=3)
+        )
+        assert (
+            greedy.history[-1].quality >= random.history[-1].quality
+        )
+
+    def test_hierarchy_beats_flat_checking(self, dataset):
+        """Figure 7's claim at small scale: HC quality after budget B
+        exceeds flat checking (uniform init, whole crowd) by a wide
+        margin."""
+        config = SessionConfig(theta=0.9, k=1, budget=100, seed=5)
+        hc = run_hc_session(dataset, config)
+        panel = SimulatedExpertPanel(dataset.ground_truth, rng=6)
+        flat = run_flat_checking(
+            dataset.groups,
+            dataset.crowd,
+            panel,
+            budget=100,
+            selector=MaxMarginalEntropySelector(),
+            ground_truth=dataset.ground_truth,
+        )
+        assert hc.history[-1].quality > flat.history[-1].quality
+
+    def test_more_budget_never_hurts_much(self, dataset):
+        """Quality is non-decreasing in budget up to simulation noise."""
+        config_small = SessionConfig(theta=0.9, k=1, budget=60, seed=7)
+        config_large = SessionConfig(theta=0.9, k=1, budget=240, seed=7)
+        small = run_hc_session(dataset, config_small)
+        large = run_hc_session(dataset, config_large)
+        assert (
+            large.history[-1].quality
+            >= small.history[-1].quality - 1.0
+        )
+
+
+class TestCrossModuleConsistency:
+    def test_final_labels_consistent_with_accuracy(self, dataset):
+        config = SessionConfig(theta=0.9, k=1, budget=60, seed=1)
+        result = run_hc_session(dataset, config)
+        recomputed = accuracy_of_labels(
+            result.final_labels, dataset.ground_truth
+        )
+        assert recomputed == pytest.approx(result.history[-1].accuracy)
+
+    def test_quality_recorded_matches_belief(self, dataset):
+        config = SessionConfig(theta=0.9, k=1, budget=45, seed=2)
+        result = run_hc_session(dataset, config)
+        assert result.history[-1].quality == pytest.approx(
+            total_quality(result.belief)
+        )
+
+    def test_every_aggregator_initializes_hc(self, dataset):
+        for name in BASELINE_NAMES:
+            belief, _ = initialize_belief(
+                dataset, make_aggregator(name), theta=0.9
+            )
+            accuracy = labeling_accuracy(belief, dataset.ground_truth)
+            assert accuracy > 0.6, name
+
+    def test_extra_aggregators_initialize_hc(self, dataset):
+        """The beyond-paper methods (KOS, spectral, Gibbs-DS, MV-Beta)
+        plug into the same initialization pipeline."""
+        for name in ("KOS", "SPECTRAL", "GIBBS-DS", "MV-BETA"):
+            belief, _ = initialize_belief(
+                dataset, make_aggregator(name), theta=0.9
+            )
+            accuracy = labeling_accuracy(belief, dataset.ground_truth)
+            assert accuracy > 0.6, name
+
+    def test_hc_with_gibbs_initializer_end_to_end(self, dataset):
+        config = SessionConfig(
+            theta=0.9, k=1, budget=60, initializer="GIBBS-DS", seed=3
+        )
+        result = run_hc_session(dataset, config)
+        assert result.history[-1].quality > result.history[0].quality
+
+    def test_budget_accounting_matches_answers_served(self, dataset):
+        experts, _ = dataset.split_crowd(0.9)
+        panel = SimulatedExpertPanel(dataset.ground_truth, rng=8)
+        config = SessionConfig(theta=0.9, k=2, budget=90, seed=8)
+        result = run_hc_session(dataset, config, answer_source=panel)
+        assert panel.answers_served == result.history[-1].budget_spent
+
+    def test_opt_and_greedy_agree_on_tiny_dataset(self):
+        tiny = make_synthetic_dataset(
+            num_groups=3, group_size=3, answers_per_fact=5,
+            pool=WorkerPoolSpec(num_preliminary=8, num_expert=2),
+            seed=4,
+        )
+        belief, _ = initialize_belief(
+            tiny, make_aggregator("MV"), theta=0.9
+        )
+        experts, _ = tiny.split_crowd(0.9)
+        from repro.core import conditional_entropy
+
+        def objective(selection):
+            per_group = {}
+            for fact_id in selection:
+                per_group.setdefault(
+                    belief.group_index_of(fact_id), []
+                ).append(fact_id)
+            return sum(
+                conditional_entropy(
+                    belief[index], per_group.get(index, []), experts
+                )
+                for index in range(len(belief))
+            )
+
+        greedy = GreedySelector().select(belief, experts, 1)
+        opt = ExactSelector().select(belief, experts, 1)
+        assert objective(greedy) == pytest.approx(objective(opt))
+
+
+class TestRobustness:
+    def test_tiny_budget_no_crash(self, dataset):
+        config = SessionConfig(theta=0.9, k=1, budget=1, seed=0)
+        result = run_hc_session(dataset, config)
+        assert len(result.history) == 1  # CE of 3 costs 3 per round
+
+    def test_single_group_dataset(self):
+        solo = make_synthetic_dataset(
+            num_groups=1, group_size=5, answers_per_fact=6,
+            pool=POOL, seed=9,
+        )
+        config = SessionConfig(theta=0.9, k=1, budget=30, seed=9)
+        result = run_hc_session(solo, config)
+        assert result.history[-1].quality >= result.history[0].quality
+
+    def test_group_size_one(self):
+        singles = make_synthetic_dataset(
+            num_groups=20, group_size=1, answers_per_fact=6,
+            pool=POOL, seed=10,
+        )
+        config = SessionConfig(theta=0.9, k=1, budget=30, seed=10)
+        result = run_hc_session(singles, config)
+        assert result.history[-1].accuracy >= result.history[0].accuracy - 0.05
+
+    def test_cached_panel_stops_gaining_from_reasks(self):
+        """With answer caching (workers never change their mind),
+        repeated checking of the same fact adds no new information and
+        the run still terminates cleanly."""
+        from repro.simulation import CachedExpertPanel
+
+        tiny = make_synthetic_dataset(
+            num_groups=4, group_size=3, answers_per_fact=6,
+            pool=POOL, seed=11,
+        )
+        panel = CachedExpertPanel(tiny.ground_truth, rng=11)
+        config = SessionConfig(theta=0.9, k=1, budget=200, seed=11)
+        result = run_hc_session(tiny, config, answer_source=panel)
+        assert result.history[-1].budget_spent <= 200

@@ -1,0 +1,199 @@
+"""Property-based tests for the aggregation and downstream layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation import (
+    AnswerMatrix,
+    BASELINE_NAMES,
+    make_aggregator,
+)
+from repro.analysis import majority_vote_error
+from repro.core.budget import CheckingBudget, CostModel
+from repro.core.workers import Crowd
+from repro.downstream import GaussianNaiveBayes, LogisticRegression
+
+# --------------------------------------------------------------------
+# strategies
+# --------------------------------------------------------------------
+
+
+@st.composite
+def answer_matrices(draw):
+    """Random sparse binary answer matrices (every task answered)."""
+    num_tasks = draw(st.integers(2, 12))
+    num_workers = draw(st.integers(2, 6))
+    annotations = []
+    for task in range(num_tasks):
+        count = draw(st.integers(1, num_workers))
+        workers = draw(
+            st.permutations(list(range(num_workers)))
+        )[:count]
+        for worker in workers:
+            label = draw(st.integers(0, 1))
+            annotations.append((task, worker, label))
+    return AnswerMatrix(
+        annotations,
+        num_tasks=num_tasks,
+        num_workers=num_workers,
+        num_classes=2,
+    )
+
+
+# --------------------------------------------------------------------
+# aggregator invariants
+# --------------------------------------------------------------------
+
+
+class TestAggregatorInvariants:
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    @given(matrix=answer_matrices())
+    @settings(max_examples=8, deadline=None)
+    def test_posteriors_always_valid(self, name, matrix):
+        """Every aggregator must return normalized, finite posteriors on
+        arbitrary (adversarial) answer matrices."""
+        result = make_aggregator(name).fit(matrix)
+        assert result.posteriors.shape == (matrix.num_tasks, 2)
+        assert np.all(np.isfinite(result.posteriors))
+        assert np.all(result.posteriors >= -1e-12)
+        assert np.allclose(result.posteriors.sum(axis=1), 1.0)
+
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    @given(matrix=answer_matrices())
+    @settings(max_examples=5, deadline=None)
+    def test_reliability_in_unit_interval(self, name, matrix):
+        result = make_aggregator(name).fit(matrix)
+        if result.worker_reliability is None:
+            return
+        assert np.all(result.worker_reliability >= -1e-9)
+        assert np.all(result.worker_reliability <= 1 + 1e-9)
+
+    @given(matrix=answer_matrices())
+    @settings(max_examples=10, deadline=None)
+    def test_unanimous_tasks_get_majority_label(self, matrix):
+        """For MV, a task whose every vote is class c must predict c."""
+        result = make_aggregator("MV").fit(matrix)
+        votes = matrix.vote_counts()
+        for task in range(matrix.num_tasks):
+            if votes[task, 0] > 0 and votes[task, 1] == 0:
+                assert result.predictions[task] == 0
+            if votes[task, 1] > 0 and votes[task, 0] == 0:
+                assert result.predictions[task] == 1
+
+
+# --------------------------------------------------------------------
+# theory invariants
+# --------------------------------------------------------------------
+
+
+class TestTheoryInvariants:
+    @given(
+        st.floats(0.0, 0.499),
+        st.integers(1, 15).map(lambda n: 2 * n + 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_odd_crowds_never_hurt_below_half(self, error, workers):
+        assert majority_vote_error(error, workers) <= error + 1e-12
+
+    @given(st.floats(0.0, 1.0), st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_error_is_probability(self, error, workers):
+        value = majority_vote_error(error, workers)
+        assert -1e-12 <= value <= 1 + 1e-12
+
+    @given(st.floats(0.01, 0.49), st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_bigger_odd_crowd_no_worse(self, error, half):
+        small = majority_vote_error(error, 2 * half - 1)
+        large = majority_vote_error(error, 2 * half + 1)
+        assert large <= small + 1e-12
+
+
+# --------------------------------------------------------------------
+# budget invariants
+# --------------------------------------------------------------------
+
+
+class TestBudgetInvariants:
+    @given(
+        st.floats(0.0, 1000.0),
+        st.lists(st.floats(0.5, 1.0), min_size=1, max_size=5),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_affordable_rounds_always_chargeable(
+        self, total, accuracies, k
+    ):
+        """Whatever affordable_queries returns must be chargeable, and
+        the loop must terminate with non-negative remaining budget."""
+        experts = Crowd.from_accuracies(accuracies)
+        budget = CheckingBudget(total)
+        rounds = 0
+        while True:
+            affordable = budget.affordable_queries(experts, k)
+            if affordable == 0:
+                break
+            budget.charge_round(affordable, experts)
+            rounds += 1
+            assert rounds < 10_000
+        assert budget.remaining >= -1e-9
+        assert budget.spent <= total + 1e-9
+
+    @given(
+        st.lists(st.floats(0.5, 1.0), min_size=1, max_size=4),
+        st.floats(0.1, 3.0),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cost_model_round_cost_additive(self, accuracies, rate, k):
+        experts = Crowd.from_accuracies(accuracies)
+        model = CostModel.accuracy_proportional(experts, rate=rate)
+        single = model.round_cost(1, experts)
+        assert model.round_cost(k, experts) == pytest.approx(k * single)
+
+
+# --------------------------------------------------------------------
+# downstream model invariants
+# --------------------------------------------------------------------
+
+
+class TestDownstreamInvariants:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_models_never_nan(self, seed):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(40, 3)) * rng.uniform(0.01, 10)
+        labels = rng.integers(0, 2, 40)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        for factory in (LogisticRegression, GaussianNaiveBayes):
+            model = factory().fit(features, labels)
+            probabilities = model.predict_proba(features)
+            assert np.all(np.isfinite(probabilities))
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_duplicating_examples_equals_doubling_weight(self, seed):
+        """2x weight on an example == including it twice (NB exact)."""
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(30, 2))
+        labels = rng.integers(0, 2, 30)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        weights = np.ones(30)
+        weights[:5] = 2.0
+        weighted = GaussianNaiveBayes().fit(
+            features, labels, sample_weight=weights
+        )
+        duplicated = GaussianNaiveBayes().fit(
+            np.vstack([features, features[:5]]),
+            np.concatenate([labels, labels[:5]]),
+        )
+        probe = rng.normal(size=(10, 2))
+        assert np.allclose(
+            weighted.predict_proba(probe), duplicated.predict_proba(probe)
+        )

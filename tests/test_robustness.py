@@ -1,0 +1,191 @@
+"""Failure-injection and robustness tests for the HC loop.
+
+What happens when the model's assumptions are violated: adversarial
+"experts", wildly miscalibrated accuracies, contradictory evidence,
+degenerate datasets.  The framework should degrade gracefully (never
+crash, never silently produce invalid probabilities).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BeliefState,
+    Crowd,
+    FactSet,
+    FactoredBelief,
+    GreedySelector,
+    HierarchicalCrowdsourcing,
+    Worker,
+    total_quality,
+)
+from repro.datasets import WorkerPoolSpec, make_synthetic_dataset
+from repro.simulation import (
+    MismatchedExpertPanel,
+    SessionConfig,
+    SimulatedExpertPanel,
+    run_hc_session,
+)
+
+TRUTH = {0: True, 1: False, 2: True, 3: False}
+
+
+def _belief() -> FactoredBelief:
+    return FactoredBelief(
+        [
+            BeliefState.from_marginals(FactSet.from_ids([0, 1]), [0.7, 0.3]),
+            BeliefState.from_marginals(FactSet.from_ids([2, 3]), [0.6, 0.4]),
+        ]
+    )
+
+
+class TestAdversarialExperts:
+    def test_loop_survives_adversarial_checker(self):
+        """A sub-0.5 'expert' (violating the error model) must not crash
+        the loop; beliefs stay valid distributions."""
+        liar = Crowd([Worker("liar", 0.2)])
+        panel = SimulatedExpertPanel(TRUTH, rng=0)
+        runner = HierarchicalCrowdsourcing(liar, k=1)
+        result = runner.run(_belief(), panel, budget=10,
+                            ground_truth=TRUTH)
+        for group in result.belief:
+            assert group.probabilities.sum() == pytest.approx(1.0)
+            assert np.all(group.probabilities >= 0)
+
+    def test_known_adversary_is_informative(self):
+        """If the operator KNOWS the worker lies (accuracy 0.2 on the
+        Worker object), Bayes inverts the answers and quality still
+        improves — a lie from a known liar is evidence."""
+        liar = Crowd([Worker("liar", 0.2)])
+        panel = SimulatedExpertPanel(TRUTH, rng=1)
+        runner = HierarchicalCrowdsourcing(liar, k=1)
+        belief = _belief()
+        result = runner.run(belief, panel, budget=40, ground_truth=TRUTH)
+        assert result.history[-1].quality > result.history[0].quality
+
+    def test_unknown_adversary_degrades_quality_belief(self):
+        """If the operator believes the liar is accurate (0.95) while
+        they answer at 0.05, accuracy against the truth must suffer
+        compared to an honest expert."""
+        believed = Crowd([Worker("w", 0.95)])
+        lying_panel = MismatchedExpertPanel(
+            TRUTH, true_accuracies={"w": 0.05}, rng=2
+        )
+        honest_panel = SimulatedExpertPanel(TRUTH, rng=2)
+        runner = HierarchicalCrowdsourcing(believed, k=1)
+        lied_to = runner.run(
+            _belief(), lying_panel, budget=20, ground_truth=TRUTH
+        )
+        honest = HierarchicalCrowdsourcing(believed, k=1).run(
+            _belief(), honest_panel, budget=20, ground_truth=TRUTH
+        )
+        assert honest.history[-1].accuracy >= lied_to.history[-1].accuracy
+
+
+class TestContradictoryEvidence:
+    def test_persistent_contradiction_remains_normalized(self):
+        """An expert repeatedly contradicting a near-certain belief must
+        move it smoothly, never produce NaNs."""
+        belief = FactoredBelief(
+            [
+                BeliefState.from_marginals(
+                    FactSet.from_ids([0]), [0.999]
+                )
+            ]
+        )
+        contrarian = Crowd([Worker("c", 0.9)])
+        panel = MismatchedExpertPanel(
+            {0: True}, true_accuracies={"c": 0.0}, rng=0
+        )
+        runner = HierarchicalCrowdsourcing(contrarian, k=1)
+        result = runner.run(belief, panel, budget=30)
+        probabilities = result.belief[0].probabilities
+        assert np.all(np.isfinite(probabilities))
+        assert probabilities.sum() == pytest.approx(1.0)
+        # Enough consistent contradiction flips the belief.
+        assert result.belief.marginal(0) < 0.5
+
+
+class TestDegenerateDatasets:
+    def test_all_workers_identical_accuracy(self):
+        pool = WorkerPoolSpec(
+            num_preliminary=10,
+            num_expert=2,
+            preliminary_accuracy=(0.7, 0.7),
+            expert_accuracy=(0.95, 0.95),
+        )
+        dataset = make_synthetic_dataset(
+            num_groups=5, group_size=3, answers_per_fact=5,
+            pool=pool, seed=0,
+        )
+        result = run_hc_session(
+            dataset, SessionConfig(budget=20, seed=0)
+        )
+        assert result.history[-1].quality >= result.history[0].quality
+
+    def test_minimum_crowd(self):
+        """One preliminary worker, one expert — the smallest legal
+        hierarchy."""
+        pool = WorkerPoolSpec(
+            num_preliminary=1,
+            num_expert=1,
+            preliminary_accuracy=(0.7, 0.7),
+            expert_accuracy=(0.95, 0.95),
+        )
+        dataset = make_synthetic_dataset(
+            num_groups=4, group_size=2, answers_per_fact=2,
+            pool=pool, seed=1,
+        )
+        result = run_hc_session(
+            dataset, SessionConfig(budget=10, initializer="MV", seed=1)
+        )
+        assert len(result.history) > 1
+
+    def test_expert_only_answers_still_work_for_baselines(self):
+        """theta so low every worker is an 'expert': session must refuse
+        cleanly (no CP tier to initialize from)."""
+        dataset = make_synthetic_dataset(
+            num_groups=3, group_size=2, answers_per_fact=3, seed=2
+        )
+        with pytest.raises(ValueError, match="no preliminary"):
+            run_hc_session(
+                dataset, SessionConfig(theta=0.0, budget=10)
+            )
+
+    def test_greedy_on_huge_k_terminates(self):
+        belief = _belief()
+        experts = Crowd.from_accuracies([0.9])
+        selected = GreedySelector().select(belief, experts, 10_000)
+        assert len(selected) <= belief.num_facts
+
+
+class TestNumericalStress:
+    def test_extremely_peaked_belief_updates(self):
+        """Posterior updates on a belief with 1e-12-scale probabilities
+        stay finite and normalized."""
+        facts = FactSet.from_ids([0, 1])
+        probabilities = np.array([1e-12, 1e-12, 1e-12, 1.0])
+        belief = BeliefState(facts, probabilities)
+        expert = Crowd([Worker("e", 0.99)])
+        panel = SimulatedExpertPanel({0: False, 1: False}, rng=0)
+        runner = HierarchicalCrowdsourcing(expert, k=1)
+        result = runner.run(
+            FactoredBelief([belief]), panel, budget=20
+        )
+        final = result.belief[0].probabilities
+        assert np.all(np.isfinite(final))
+        assert final.sum() == pytest.approx(1.0)
+
+    def test_quality_monotone_under_consistent_oracle(self):
+        """A perfect expert answering truthfully can only improve
+        quality round over round."""
+        oracle = Crowd([Worker("o", 1.0)])
+        panel = SimulatedExpertPanel(TRUTH, rng=0)
+        runner = HierarchicalCrowdsourcing(oracle, k=1)
+        result = runner.run(_belief(), panel, budget=8,
+                            ground_truth=TRUTH)
+        qualities = result.qualities
+        assert all(
+            later >= earlier - 1e-9
+            for earlier, later in zip(qualities, qualities[1:])
+        )
