@@ -1,79 +1,103 @@
-"""A resumable checking campaign with JSON checkpoints.
+"""A crash-safe checking campaign with a fault-injected crowd.
 
-Real expert panels answer over hours or days, so a checking campaign
-must survive process restarts.  This example runs a campaign in two
-"process lifetimes": the first selects queries, collects some answers
-and checkpoints to disk mid-flight; the second restores the session
-from the checkpoint and finishes the budget.
+Real expert panels answer over hours or days, workers no-show, and the
+collecting process can die mid-write.  This example runs a campaign in
+two "process lifetimes": the first drives a fault-tolerant
+:class:`~repro.simulation.ResilientCheckingSession` against a chaotic
+crowd while journaling every state transition, then crashes mid-run —
+including a torn final journal line, the signature of a process killed
+mid-append.  The second lifetime resumes from the journal and finishes
+the budget; because the simulated panel's RNG state is journaled too,
+the continuation is exactly the run the crash interrupted.
 
 Run:  python examples/resumable_campaign.py
 """
 
-import json
 import tempfile
 from pathlib import Path
 
 from repro.aggregation import Ebcc
 from repro.datasets import initialize_belief, make_sentiment_dataset
 from repro.experiments.config import EXPERIMENT_POOL
-from repro.simulation import OnlineCheckingSession, SimulatedExpertPanel
+from repro.simulation import (
+    FaultModel,
+    FaultyExpertPanel,
+    ResilientCheckingSession,
+    RetryPolicy,
+    SimulatedExpertPanel,
+)
+
+FAULTS = FaultModel(no_show=0.15, timeout=0.1, partial=0.1, seed=4)
+RETRY = RetryPolicy(max_attempts=4, max_reassignments=0)
 
 
-def first_lifetime(checkpoint_path: Path) -> None:
-    """Start the campaign, answer a few rounds, checkpoint, 'crash'."""
+def make_panel(dataset) -> FaultyExpertPanel:
+    """The chaotic crowd: both lifetimes build it identically; the
+    journal rewinds its RNG state to wherever the crash left it."""
+    return FaultyExpertPanel(
+        SimulatedExpertPanel(dataset.ground_truth, rng=4), FAULTS
+    )
+
+
+def first_lifetime(journal_path: Path) -> None:
+    """Start the campaign, survive some faults, crash mid-run."""
     dataset = make_sentiment_dataset(
         num_groups=30, pool=EXPERIMENT_POOL, seed=4
     )
     belief, _ = initialize_belief(dataset, Ebcc(), theta=0.9)
     experts, _ = dataset.split_crowd(0.9)
-    session = OnlineCheckingSession(
-        belief, experts, budget=120, ground_truth=dataset.ground_truth
+    session = ResilientCheckingSession(
+        belief,
+        experts,
+        budget=120,
+        ground_truth=dataset.ground_truth,
+        retry_policy=RETRY,
+        journal_path=journal_path,
     )
-    panel = SimulatedExpertPanel(dataset.ground_truth, rng=4)
-
-    for _round in range(10):
-        queries = session.next_queries()
-        if queries is None:
-            break
-        session.submit(panel.collect(queries, experts))
+    session.run(make_panel(dataset), max_rounds=10)
 
     last = session.history[-1]
+    incidents = ", ".join(
+        sorted({event.kind for event in session.incidents})
+    ) or "none"
     print(f"[lifetime 1] {len(session.history) - 1} rounds, "
           f"spent {session.spent_budget:.0f}/120, "
-          f"accuracy {last.accuracy:.4f}, quality {last.quality:.2f}")
-    checkpoint_path.write_text(json.dumps(session.to_checkpoint()))
-    print(f"[lifetime 1] checkpointed to {checkpoint_path.name} "
-          f"({checkpoint_path.stat().st_size} bytes); exiting")
+          f"accuracy {last.accuracy:.4f}, incidents: {incidents}")
+
+    # Inject the crash: the process dies mid-append, leaving a torn
+    # final line in the journal.  read_journal() discards it on resume.
+    raw = journal_path.read_bytes()
+    journal_path.write_bytes(raw[:-25])
+    print(f"[lifetime 1] crashed mid-write "
+          f"({journal_path.stat().st_size} bytes of journal survive)")
 
 
-def second_lifetime(checkpoint_path: Path) -> None:
-    """Restore from the checkpoint and finish the budget."""
+def second_lifetime(journal_path: Path) -> None:
+    """Resume from the journal and finish the budget."""
     # Rebuild the behavioral components (code, not state): the same
-    # dataset seed gives back the same crowd and ground truth.
+    # dataset seed gives back the same ground truth and panel.
     dataset = make_sentiment_dataset(
         num_groups=30, pool=EXPERIMENT_POOL, seed=4
     )
-    experts, _ = dataset.split_crowd(0.9)
-    payload = json.loads(checkpoint_path.read_text())
-    session = OnlineCheckingSession.from_checkpoint(payload, experts)
-    print(f"[lifetime 2] restored at spent={session.spent_budget:.0f}, "
+    session = ResilientCheckingSession.resume(
+        journal_path, retry_policy=RETRY
+    )
+    print(f"[lifetime 2] resumed at spent={session.spent_budget:.0f}, "
           f"{len(session.history) - 1} rounds of history")
 
-    panel = SimulatedExpertPanel(dataset.ground_truth, rng=5)
-    while (queries := session.next_queries()) is not None:
-        session.submit(panel.collect(queries, experts))
-
-    last = session.history[-1]
-    print(f"[lifetime 2] finished: {len(session.history) - 1} rounds "
+    result = session.run(make_panel(dataset))
+    last = result.history[-1]
+    print(f"[lifetime 2] finished: {len(result.history) - 1} rounds "
           f"total, accuracy {last.accuracy:.4f}, "
-          f"quality {last.quality:.2f}")
+          f"quality {last.quality:.2f}, "
+          f"{len(result.incidents)} incidents survived")
 
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
-        checkpoint_path = Path(tmp) / "campaign.checkpoint.json"
-        first_lifetime(checkpoint_path)
-        second_lifetime(checkpoint_path)
+        journal_path = Path(tmp) / "campaign.jsonl"
+        first_lifetime(journal_path)
+        second_lifetime(journal_path)
 
 
 if __name__ == "__main__":

@@ -74,19 +74,42 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
 
 
 def _cmd_session(args: argparse.Namespace) -> int:
+    from .simulation import FaultModel
+
     dataset = load_dataset(
         Path(args.data) / "answer.csv",
         Path(args.data) / "truth.csv",
         group_size=args.group_size,
     )
-    config = SessionConfig(
-        theta=args.theta,
-        k=args.k,
-        budget=args.budget,
-        initializer=args.initializer,
-        seed=args.seed,
+    faults = (
+        FaultModel.parse(args.faults, seed=args.seed)
+        if args.faults
+        else None
     )
-    result = run_hc_session(dataset, config)
+    if args.resume:
+        result = _resume_session(args, dataset, faults)
+    else:
+        config = SessionConfig(
+            theta=args.theta,
+            k=args.k,
+            budget=args.budget,
+            initializer=args.initializer,
+            seed=args.seed,
+            faults=faults,
+            journal_path=args.journal,
+        )
+        result = run_hc_session(dataset, config)
+    incidents = getattr(result, "incidents", None)
+    if incidents:
+        by_kind: dict[str, int] = {}
+        for event in incidents:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        summary = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(by_kind.items())
+        )
+        print(f"incidents: {summary}")
+    if getattr(result, "halted", False):
+        print("session halted early (retries exhausted)")
     print(f"{'budget':>8}  {'accuracy':>8}  {'quality':>10}")
     step = max(1, len(result.history) // args.rows)
     records = result.history[::step]
@@ -96,6 +119,25 @@ def _cmd_session(args: argparse.Namespace) -> int:
         print(f"{record.budget_spent:8.0f}  {record.accuracy:8.4f}  "
               f"{record.quality:10.2f}")
     return 0
+
+
+def _resume_session(args: argparse.Namespace, dataset, faults):
+    """Restore a crashed ``session --journal`` run and drive it on."""
+    import numpy as np
+
+    from .simulation import (
+        FaultyExpertPanel,
+        ResilientCheckingSession,
+        SimulatedExpertPanel,
+    )
+
+    session = ResilientCheckingSession.resume(args.resume)
+    answer_source = SimulatedExpertPanel(
+        dataset.ground_truth, rng=np.random.default_rng(args.seed)
+    )
+    if faults is not None:
+        answer_source = FaultyExpertPanel(answer_source, faults)
+    return session.run(answer_source)
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -160,6 +202,20 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("--group-size", type=int, default=5)
     session.add_argument("--rows", type=int, default=12,
                          help="approximate number of trajectory rows")
+    session.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject crowd faults and run the fault-tolerant loop, "
+             "e.g. 'no_show=0.1,timeout=0.2,spam=0.05'",
+    )
+    session.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append a crash-safe JSONL journal (enables --resume)",
+    )
+    session.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume a crashed run from its journal instead of "
+             "starting fresh",
+    )
     session.set_defaults(handler=_cmd_session)
 
     reproduce = commands.add_parser(

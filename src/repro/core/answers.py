@@ -101,6 +101,151 @@ class AnswerFamily:
         return [answer_set.answer_for(fact_id) for answer_set in self.answer_sets]
 
 
+@dataclass(frozen=True)
+class PartialAnswerFamily:
+    """What actually came back from an unreliable crowd for one round.
+
+    Unlike :class:`AnswerFamily` — which requires every worker to answer
+    every queried fact — a partial family records only the answers that
+    were received: workers may be missing entirely (no-shows) and the
+    answer sets may cover different subsets of the query set (partial
+    responses).  Lemma 3 still applies exactly: workers are
+    conditionally independent given the observation, so conditioning on
+    the responders' answers alone is the correct Bayesian update — the
+    missing answers simply carry no evidence.
+
+    Parameters
+    ----------
+    intended_query_fact_ids:
+        The query set that was sent out.
+    intended_worker_ids:
+        The workers the queries were sent to.
+    answer_sets:
+        One :class:`AnswerSet` per *responding* worker; each may cover
+        any non-empty subset of the query set.
+    """
+
+    intended_query_fact_ids: tuple[int, ...]
+    intended_worker_ids: tuple[str, ...]
+    answer_sets: tuple[AnswerSet, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "intended_query_fact_ids",
+            tuple(self.intended_query_fact_ids),
+        )
+        object.__setattr__(
+            self, "intended_worker_ids", tuple(self.intended_worker_ids)
+        )
+        object.__setattr__(self, "answer_sets", tuple(self.answer_sets))
+        intended_facts = set(self.intended_query_fact_ids)
+        intended_workers = set(self.intended_worker_ids)
+        seen: set[str] = set()
+        for answer_set in self.answer_sets:
+            worker_id = answer_set.worker.worker_id
+            if worker_id in seen:
+                raise ValueError(f"duplicate answer set for {worker_id!r}")
+            seen.add(worker_id)
+            if worker_id not in intended_workers:
+                raise ValueError(
+                    f"answer set from unexpected worker {worker_id!r}"
+                )
+            extra = set(answer_set.query_fact_ids) - intended_facts
+            if extra:
+                raise ValueError(
+                    f"worker {worker_id!r} answered unqueried facts "
+                    f"{sorted(extra)}"
+                )
+            if not answer_set.answers:
+                raise ValueError(
+                    f"empty answer set for {worker_id!r}; omit the worker "
+                    "instead"
+                )
+
+    def __iter__(self):
+        return iter(self.answer_sets)
+
+    def __len__(self) -> int:
+        return len(self.answer_sets)
+
+    @property
+    def answered_worker_ids(self) -> tuple[str, ...]:
+        return tuple(
+            answer_set.worker.worker_id for answer_set in self.answer_sets
+        )
+
+    @property
+    def missing_worker_ids(self) -> tuple[str, ...]:
+        """Intended workers that returned nothing, in intended order."""
+        answered = set(self.answered_worker_ids)
+        return tuple(
+            worker_id
+            for worker_id in self.intended_worker_ids
+            if worker_id not in answered
+        )
+
+    @property
+    def answered_fact_ids(self) -> tuple[int, ...]:
+        """Queried facts with at least one answer, in query order."""
+        covered = {
+            fact_id
+            for answer_set in self.answer_sets
+            for fact_id in answer_set.query_fact_ids
+        }
+        return tuple(
+            fact_id
+            for fact_id in self.intended_query_fact_ids
+            if fact_id in covered
+        )
+
+    @property
+    def num_answers(self) -> int:
+        """Total individual answers received."""
+        return sum(len(answer_set.answers) for answer_set in self.answer_sets)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.answer_sets
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every intended worker answered every queried fact."""
+        if set(self.answered_worker_ids) != set(self.intended_worker_ids):
+            return False
+        intended = set(self.intended_query_fact_ids)
+        return all(
+            set(answer_set.query_fact_ids) == intended
+            for answer_set in self.answer_sets
+        )
+
+    def to_family(self) -> AnswerFamily:
+        """The equivalent strict :class:`AnswerFamily`.
+
+        Raises ``ValueError`` unless the family is complete.
+        """
+        if not self.is_complete:
+            raise ValueError(
+                "partial answer family is incomplete "
+                f"(missing workers {list(self.missing_worker_ids)}, "
+                f"{self.num_answers} of "
+                f"{len(self.intended_worker_ids) * len(self.intended_query_fact_ids)}"
+                " answers)"
+            )
+        return AnswerFamily(answer_sets=self.answer_sets)
+
+    @classmethod
+    def from_family(cls, family: AnswerFamily) -> "PartialAnswerFamily":
+        """Wrap a complete family in the partial interface."""
+        return cls(
+            intended_query_fact_ids=family.query_fact_ids,
+            intended_worker_ids=tuple(
+                answer_set.worker.worker_id for answer_set in family
+            ),
+            answer_sets=family.answer_sets,
+        )
+
+
 # ----------------------------------------------------------------------
 # consistent / inconsistent sets (paper Eq. 7) and single-set likelihoods
 # ----------------------------------------------------------------------

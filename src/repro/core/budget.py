@@ -63,6 +63,20 @@ class CostModel:
             self.answer_cost(worker) for worker in experts
         )
 
+    def family_cost(self, family) -> float:
+        """Cost of the answers actually received in a (partial) family.
+
+        Accepts anything iterable over :class:`~repro.core.answers.AnswerSet`
+        objects (:class:`~repro.core.answers.AnswerFamily` or
+        :class:`~repro.core.answers.PartialAnswerFamily`); only answers
+        that exist are charged, so no-shows and skipped facts cost
+        nothing.
+        """
+        return sum(
+            self.answer_cost(answer_set.worker) * len(answer_set.answers)
+            for answer_set in family
+        )
+
 
 class CheckingBudget:
     """Mutable budget tracker for the checking loop."""
@@ -119,6 +133,31 @@ class CheckingBudget:
                 f"round cost {cost} exceeds remaining budget {self.remaining}"
             )
         self._spent += cost
+        return cost
+
+    def charge_family(self, family) -> float:
+        """Deduct the cost of the answers actually received.
+
+        The per-answer analogue of :meth:`charge_round` for partial
+        answer families: only (worker, fact) pairs that produced an
+        answer are charged, so the spent amount can never exceed what a
+        full round would have cost, and the budget can never go
+        negative.
+
+        Raises
+        ------
+        ValueError
+            If even the received answers exceed the remaining budget
+            (possible when reassigned workers cost more than the panel
+            the round was sized for).
+        """
+        cost = self._cost_model.family_cost(family)
+        if cost > self.remaining + 1e-9:
+            raise ValueError(
+                f"answer cost {cost} exceeds remaining budget "
+                f"{self.remaining}"
+            )
+        self._spent = min(self._spent + cost, self._total)
         return cost
 
     def restore_spent(self, amount: float) -> None:

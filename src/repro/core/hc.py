@@ -22,9 +22,10 @@ from typing import Callable, Mapping, Protocol, Sequence
 
 from .answers import AnswerFamily
 from .budget import CheckingBudget, CostModel
+from .incidents import FaultEvent
 from .observations import BeliefState, FactoredBelief
 from .selection import GreedySelector, Selector
-from .update import update_with_family
+from .update import InconsistentEvidenceError, update_with_family
 from .workers import Crowd
 from . import entropy as entropy_module
 
@@ -44,7 +45,12 @@ class AnswerSource(Protocol):
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """One checking round's bookkeeping."""
+    """One checking round's bookkeeping.
+
+    ``fault_events`` is empty for healthy rounds; the resilient runtime
+    attaches the incidents (no-shows, retries, tempered updates, …) it
+    survived while completing the round.
+    """
 
     round_index: int
     query_fact_ids: tuple[int, ...]
@@ -52,6 +58,7 @@ class RoundRecord:
     budget_spent: float
     quality: float
     accuracy: float | None
+    fault_events: tuple[FaultEvent, ...] = ()
 
 
 @dataclass
@@ -83,6 +90,21 @@ class RunResult:
     @property
     def accuracies(self) -> list[float | None]:
         return [record.accuracy for record in self.history]
+
+
+def describe_family(family: AnswerFamily, max_workers: int = 8) -> str:
+    """Compact human-readable rendering of an answer family for error
+    messages and incident logs: ``{worker: {fact: Y/N}}``."""
+    parts = []
+    for answer_set in list(family)[:max_workers]:
+        answers = ", ".join(
+            f"{fact_id}: {'Y' if answer else 'N'}"
+            for fact_id, answer in sorted(answer_set.answers.items())
+        )
+        parts.append(f"{answer_set.worker.worker_id}: {{{answers}}}")
+    if len(family) > max_workers:
+        parts.append(f"... {len(family) - max_workers} more workers")
+    return "{" + "; ".join(parts) + "}"
 
 
 def total_quality(belief: FactoredBelief) -> float:
@@ -238,7 +260,14 @@ class HierarchicalCrowdsourcing:
                     for answer_set in family
                 )
             )
-            updated = update_with_family(belief[group_index], sub_family)
+            try:
+                updated = update_with_family(belief[group_index], sub_family)
+            except InconsistentEvidenceError as error:
+                raise InconsistentEvidenceError(
+                    f"{error} (query set {sorted(query_fact_ids)}, "
+                    f"group facts {sorted(fact_ids)}, answer family "
+                    f"{describe_family(sub_family)})"
+                ) from error
             belief.replace_group(group_index, updated)
 
     @staticmethod

@@ -109,6 +109,25 @@ class BeliefState:
         return cls(facts, np.full(size, 1.0 / size))
 
     @classmethod
+    def from_normalized(
+        cls, facts: FactSet, probabilities: np.ndarray
+    ) -> "BeliefState":
+        """Rebuild from probabilities a prior belief already normalized.
+
+        ``__init__`` renormalizes defensively, which perturbs values by
+        one ulp when the stored sum is ``1 ± epsilon`` — enough to break
+        bitwise reproducibility of checkpoint restores.  This
+        constructor trusts the values verbatim (after the same shape /
+        non-negativity / non-degenerate checks), so serialization
+        round-trips are exact.
+        """
+        state = cls(facts, probabilities)
+        exact = np.asarray(probabilities, dtype=np.float64).copy()
+        exact.setflags(write=False)
+        state._probs = exact
+        return state
+
+    @classmethod
     def from_marginals(
         cls, facts: FactSet, marginals: Sequence[float]
     ) -> "BeliefState":

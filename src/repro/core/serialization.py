@@ -22,11 +22,17 @@ import numpy as np
 
 from .facts import Fact, FactSet
 from .hc import RoundRecord, RunResult
+from .incidents import FaultEvent
 from .observations import BeliefState, FactoredBelief
 from .workers import Crowd, Worker
 
-#: Format tag written into every serialized payload.
-FORMAT_VERSION = 1
+#: Format tag written into every serialized payload.  Version 2 adds
+#: fault events on round records and the append-only session journal;
+#: version-1 payloads are still read transparently.
+FORMAT_VERSION = 2
+
+#: Versions this build can read.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 
 class SerializationError(ValueError):
@@ -38,6 +44,21 @@ def _require(payload: dict, key: str) -> Any:
         return payload[key]
     except (KeyError, TypeError):
         raise SerializationError(f"missing field {key!r}") from None
+
+
+def check_version(payload: dict) -> int:
+    """Validate a payload's ``version`` tag (missing == version 1).
+
+    Returns the version; raises :class:`SerializationError` for
+    payloads written by a newer (or unknown) format.
+    """
+    version = payload.get("version", 1) if isinstance(payload, dict) else 1
+    if not isinstance(version, int) or version not in SUPPORTED_VERSIONS:
+        raise SerializationError(
+            f"unsupported payload version {version!r} "
+            f"(this build reads {sorted(SUPPORTED_VERSIONS)})"
+        )
+    return version
 
 
 # ----------------------------------------------------------------------
@@ -86,11 +107,15 @@ def belief_state_to_dict(belief: BeliefState) -> dict:
 
 
 def belief_state_from_dict(payload: dict) -> BeliefState:
+    check_version(payload)
     facts = fact_set_from_dict(_require(payload, "fact_set"))
     probabilities = np.asarray(
         _require(payload, "probabilities"), dtype=np.float64
     )
-    return BeliefState(facts, probabilities)
+    # Trust the stored normalization: re-dividing by a sum of 1 +/- ulp
+    # would perturb the restored belief and break bitwise-identical
+    # resume.
+    return BeliefState.from_normalized(facts, probabilities)
 
 
 def factored_belief_to_dict(belief: FactoredBelief) -> dict:
@@ -101,6 +126,7 @@ def factored_belief_to_dict(belief: FactoredBelief) -> dict:
 
 
 def factored_belief_from_dict(payload: dict) -> FactoredBelief:
+    check_version(payload)
     groups = _require(payload, "groups")
     if not isinstance(groups, list) or not groups:
         raise SerializationError("groups must be a non-empty list")
@@ -140,6 +166,7 @@ def crowd_to_dict(crowd: Crowd) -> dict:
 
 
 def crowd_from_dict(payload: dict) -> Crowd:
+    check_version(payload)
     workers = _require(payload, "workers")
     return Crowd(
         Worker(
@@ -151,12 +178,44 @@ def crowd_from_dict(payload: dict) -> Crowd:
 
 
 # ----------------------------------------------------------------------
+# incidents
+# ----------------------------------------------------------------------
+
+
+def fault_event_to_dict(event: FaultEvent) -> dict:
+    return {
+        "kind": event.kind,
+        "round_index": event.round_index,
+        "attempt": event.attempt,
+        "worker_id": event.worker_id,
+        "fact_ids": list(event.fact_ids),
+        "detail": event.detail,
+    }
+
+
+def fault_event_from_dict(payload: dict) -> FaultEvent:
+    try:
+        return FaultEvent(
+            kind=str(_require(payload, "kind")),
+            round_index=int(payload.get("round_index", -1)),
+            attempt=int(payload.get("attempt", 0)),
+            worker_id=payload.get("worker_id"),
+            fact_ids=tuple(payload.get("fact_ids", ())),
+            detail=str(payload.get("detail", "")),
+        )
+    except (TypeError, ValueError) as error:
+        if isinstance(error, SerializationError):
+            raise
+        raise SerializationError(f"malformed fault event: {error}") from error
+
+
+# ----------------------------------------------------------------------
 # run histories
 # ----------------------------------------------------------------------
 
 
 def round_record_to_dict(record: RoundRecord) -> dict:
-    return {
+    payload = {
         "round_index": record.round_index,
         "query_fact_ids": list(record.query_fact_ids),
         "cost": record.cost,
@@ -164,6 +223,11 @@ def round_record_to_dict(record: RoundRecord) -> dict:
         "quality": record.quality,
         "accuracy": record.accuracy,
     }
+    if record.fault_events:
+        payload["fault_events"] = [
+            fault_event_to_dict(event) for event in record.fault_events
+        ]
+    return payload
 
 
 def round_record_from_dict(payload: dict) -> RoundRecord:
@@ -174,6 +238,10 @@ def round_record_from_dict(payload: dict) -> RoundRecord:
         budget_spent=float(_require(payload, "budget_spent")),
         quality=float(_require(payload, "quality")),
         accuracy=payload.get("accuracy"),
+        fault_events=tuple(
+            fault_event_from_dict(event)
+            for event in payload.get("fault_events", ())
+        ),
     )
 
 
@@ -188,6 +256,7 @@ def run_result_to_dict(result: RunResult) -> dict:
 
 
 def run_result_from_dict(payload: dict) -> RunResult:
+    check_version(payload)
     belief = factored_belief_from_dict(_require(payload, "belief"))
     history = [
         round_record_from_dict(record)
@@ -207,3 +276,69 @@ def save_run_result(result: RunResult, path: str | Path) -> Path:
 def load_run_result(path: str | Path) -> RunResult:
     with Path(path).open() as handle:
         return run_result_from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# session journal (format version 2)
+# ----------------------------------------------------------------------
+#
+# An append-only JSONL file: one JSON object per line.  The first line
+# is a ``{"kind": "header", "version": 2, ...}`` record; later lines
+# are ``"checkpoint"`` (full durable session state) and ``"event"``
+# (one fault incident) records.  A process killed mid-write leaves at
+# most one truncated final line, which :func:`read_journal` discards —
+# the previous checkpoint line is always intact, making resume
+# crash-safe by construction.
+
+
+def append_journal_record(path: str | Path, record: dict) -> None:
+    """Append one record to a JSONL journal (creates parents/file).
+
+    The record is written as a single line and flushed to the OS before
+    returning, so at most the final in-flight line can be lost to a
+    crash.
+    """
+    if not isinstance(record, dict) or "kind" not in record:
+        raise SerializationError("journal records need a 'kind' field")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, separators=(",", ":"))
+    with path.open("a") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Read a JSONL journal written by :func:`append_journal_record`.
+
+    A malformed *final* line (the signature of a crash mid-append) is
+    silently dropped; a malformed line anywhere else raises
+    :class:`SerializationError`.  The header's version is validated.
+    """
+    path = Path(path)
+    records: list[dict] = []
+    with path.open() as handle:
+        lines = handle.read().splitlines()
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            if index == len(lines) - 1:
+                break  # torn final write from a crash; ignore
+            raise SerializationError(
+                f"corrupt journal line {index + 1}: {error}"
+            ) from error
+        if not isinstance(record, dict) or "kind" not in record:
+            raise SerializationError(
+                f"journal line {index + 1} is not a record object"
+            )
+        records.append(record)
+    if not records:
+        raise SerializationError(f"journal {path} contains no records")
+    header = records[0]
+    if header.get("kind") != "header":
+        raise SerializationError("journal does not start with a header")
+    check_version(header)
+    return records

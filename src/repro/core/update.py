@@ -43,6 +43,9 @@ def initialize_from_votes(
         Fractions are squeezed into ``[smoothing, 1 - smoothing]`` so a
         unanimous preliminary crowd does not produce an irrecoverable
         point mass (experts could then never overturn a wrong label).
+        Must lie strictly inside ``(0, 0.5)``: ``smoothing=0`` would
+        leave exactly that irrecoverable point mass in place, and the
+        checking loop could then die on the first contradicting expert.
     """
     if isinstance(yes_fractions, Mapping):
         ordered = [yes_fractions[fact.fact_id] for fact in facts]
@@ -50,8 +53,10 @@ def initialize_from_votes(
         ordered = list(yes_fractions)
         if len(ordered) != len(facts):
             raise ValueError("need one vote fraction per fact")
-    if not 0.0 <= smoothing < 0.5:
-        raise ValueError("smoothing must lie in [0, 0.5)")
+    if not 0.0 < smoothing < 0.5:
+        raise ValueError(
+            f"smoothing must lie in (0, 0.5), got {smoothing}"
+        )
     marginals = np.clip(np.asarray(ordered, dtype=np.float64),
                         smoothing, 1.0 - smoothing)
     return BeliefState.from_marginals(facts, marginals)
@@ -82,3 +87,52 @@ def _posterior(belief: BeliefState, likelihood: np.ndarray) -> BeliefState:
             "observed answers have zero probability under the current belief"
         )
     return belief.reweighted(likelihood)
+
+
+# ----------------------------------------------------------------------
+# tempered fallback (graceful degradation on zero evidence)
+# ----------------------------------------------------------------------
+
+#: Default likelihood floor used by the tempered updates.
+TEMPER_FLOOR = 1e-9
+
+
+def tempered_posterior(
+    belief: BeliefState, likelihood: np.ndarray, floor: float = TEMPER_FLOOR
+) -> tuple[BeliefState, bool]:
+    """Bayes update that survives zero-evidence answer patterns.
+
+    When ``P(A) > 0`` this is the exact Lemma-3 posterior and the second
+    return value is ``False``.  When the evidence is zero (the answers
+    contradict every observation the belief still allows — e.g. an
+    accuracy-1.0 worker contradicting a point mass), the likelihood is
+    floored at ``floor`` times its largest entry (or ``floor`` outright
+    if it is identically zero) and renormalized, which re-smooths the
+    posterior marginals instead of crashing; the second return value is
+    then ``True`` so callers can record the incident.
+    """
+    if not 0.0 < floor < 1.0:
+        raise ValueError(f"floor must lie in (0, 1), got {floor}")
+    likelihood = np.asarray(likelihood, dtype=np.float64)
+    evidence = float(belief.probabilities @ likelihood)
+    if evidence > 0.0:
+        return belief.reweighted(likelihood), False
+    scale = float(likelihood.max())
+    floored = likelihood + (scale if scale > 0.0 else 1.0) * floor
+    return belief.reweighted(floored), True
+
+
+def tempered_update_with_answer_set(
+    belief: BeliefState, answer_set: AnswerSet, floor: float = TEMPER_FLOOR
+) -> tuple[BeliefState, bool]:
+    """:func:`update_with_answer_set` with the tempered fallback."""
+    likelihood = answer_set_likelihood(belief, answer_set)
+    return tempered_posterior(belief, likelihood, floor=floor)
+
+
+def tempered_update_with_family(
+    belief: BeliefState, family: AnswerFamily, floor: float = TEMPER_FLOOR
+) -> tuple[BeliefState, bool]:
+    """:func:`update_with_family` with the tempered fallback."""
+    likelihood = family_likelihood(belief, family)
+    return tempered_posterior(belief, likelihood, floor=floor)

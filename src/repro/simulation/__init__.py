@@ -1,6 +1,7 @@
 """Simulated online crowdsourcing (paper section IV-A)."""
 
 from .adaptive import StoppingRule, collect_adaptive_annotations
+from .faults import AnswerCollectionTimeout, FaultModel, FaultyExpertPanel
 from .online import OnlineCheckingSession, SessionStateError
 from .oracle import (
     CachedExpertPanel,
@@ -8,12 +9,23 @@ from .oracle import (
     ScriptedAnswerSource,
     SimulatedExpertPanel,
 )
+from .resilient import (
+    ResilientCheckingSession,
+    ResilientRunResult,
+    RetryPolicy,
+)
 from .session import SessionConfig, run_hc_session
 
 __all__ = [
+    "AnswerCollectionTimeout",
     "CachedExpertPanel",
+    "FaultModel",
+    "FaultyExpertPanel",
     "MismatchedExpertPanel",
     "OnlineCheckingSession",
+    "ResilientCheckingSession",
+    "ResilientRunResult",
+    "RetryPolicy",
     "ScriptedAnswerSource",
     "SessionConfig",
     "SessionStateError",

@@ -18,13 +18,19 @@ simulated and live runs are directly comparable.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
-from ..core.answers import AnswerFamily
+from ..core.answers import AnswerFamily, AnswerSet, PartialAnswerFamily
 from ..core.budget import CheckingBudget, CostModel
 from ..core.hc import HierarchicalCrowdsourcing, RoundRecord
-from ..core.observations import FactoredBelief
+from ..core.incidents import FaultEvent
+from ..core.observations import BeliefState, FactoredBelief
 from ..core.selection import GreedySelector, Selector
+from ..core.update import (
+    InconsistentEvidenceError,
+    tempered_update_with_answer_set,
+    update_with_answer_set,
+)
 from ..core.workers import Crowd
 
 
@@ -92,6 +98,11 @@ class OnlineCheckingSession:
         return self._belief
 
     @property
+    def experts(self) -> Crowd:
+        """The current checking panel."""
+        return self._experts
+
+    @property
     def remaining_budget(self) -> float:
         return self._budget.remaining
 
@@ -102,6 +113,11 @@ class OnlineCheckingSession:
     @property
     def is_finished(self) -> bool:
         return self._finished
+
+    @property
+    def round_index(self) -> int:
+        """Index of the next round to complete."""
+        return self._round_index
 
     @property
     def pending_queries(self) -> tuple[int, ...] | None:
@@ -166,6 +182,143 @@ class OnlineCheckingSession:
         self._round_index += 1
         self._pending = None
         return record
+
+    def submit_partial(
+        self,
+        family: AnswerFamily | PartialAnswerFamily,
+        *,
+        temper: bool = True,
+        fault_events: Sequence[FaultEvent] = (),
+    ) -> RoundRecord:
+        """Apply whatever answers actually came back for the pending set.
+
+        Unlike :meth:`submit`, missing workers and partially answered
+        query sets are accepted: the Bayesian update conditions only on
+        the answers received (Lemma 3 — workers are conditionally
+        independent given the observation, so sequential per-worker
+        updates over the responders are exact), and the budget is
+        charged per answer received instead of per full round.
+
+        Parameters
+        ----------
+        family:
+            A complete :class:`AnswerFamily` or a
+            :class:`PartialAnswerFamily`; answered facts must be a
+            subset of the pending queries and answering workers a
+            subset of the current panel.  Must contain at least one
+            answer.
+        temper:
+            When ``True`` (default), a zero-evidence answer pattern is
+            absorbed by the tempered update
+            (:func:`~repro.core.update.tempered_posterior`) and recorded
+            as a ``tempered_update`` fault event instead of raising
+            :class:`~repro.core.update.InconsistentEvidenceError`.
+        fault_events:
+            Incidents observed while collecting this round; stamped with
+            the round index and stored on the returned record.
+        """
+        if self._finished:
+            raise SessionStateError("session is finished")
+        if self._pending is None:
+            raise SessionStateError(
+                "no pending queries; call next_queries() first"
+            )
+        if isinstance(family, AnswerFamily):
+            family = PartialAnswerFamily.from_family(family)
+        if family.is_empty:
+            raise ValueError(
+                "partial answer family contains no answers; use "
+                "abandon_pending() instead"
+            )
+        pending = set(self._pending)
+        stray = set(family.answered_fact_ids) - pending
+        if stray:
+            raise ValueError(
+                f"answers cover unpending facts {sorted(stray)}; "
+                f"pending are {sorted(pending)}"
+            )
+        unknown = [
+            worker_id
+            for worker_id in family.answered_worker_ids
+            if worker_id not in self._experts
+        ]
+        if unknown:
+            raise ValueError(
+                f"answers from workers outside the panel: {unknown}"
+            )
+        events = [
+            event.stamped(self._round_index) for event in fault_events
+        ]
+        self._apply_partial(family, temper=temper, events=events)
+        cost = self._budget.charge_family(family)
+        record = self._record(
+            self._round_index, self._pending, cost, tuple(events)
+        )
+        self.history.append(record)
+        self._round_index += 1
+        self._pending = None
+        return record
+
+    def _apply_partial(
+        self,
+        family: PartialAnswerFamily,
+        temper: bool,
+        events: list[FaultEvent],
+    ) -> None:
+        """Stage per-worker Lemma-3 updates per group, then commit.
+
+        Updates are staged on copies so a raised
+        :class:`InconsistentEvidenceError` (``temper=False``) leaves the
+        session belief untouched.
+        """
+        staged: dict[int, BeliefState] = {}
+        for answer_set in family:
+            by_group: dict[int, dict[int, bool]] = {}
+            for fact_id, answer in answer_set.answers.items():
+                group_index = self._belief.group_index_of(fact_id)
+                by_group.setdefault(group_index, {})[fact_id] = answer
+            for group_index, answers in by_group.items():
+                state = staged.get(group_index, self._belief[group_index])
+                sub = AnswerSet(worker=answer_set.worker, answers=answers)
+                try:
+                    updated = update_with_answer_set(state, sub)
+                except InconsistentEvidenceError as error:
+                    if not temper:
+                        raise InconsistentEvidenceError(
+                            f"{error} (round {self._round_index}, worker "
+                            f"{answer_set.worker.worker_id!r}, answers "
+                            f"{dict(sorted(answers.items()))})"
+                        ) from error
+                    updated, _ = tempered_update_with_answer_set(state, sub)
+                    events.append(
+                        FaultEvent(
+                            kind="tempered_update",
+                            round_index=self._round_index,
+                            worker_id=answer_set.worker.worker_id,
+                            fact_ids=tuple(sorted(answers)),
+                            detail="zero-evidence answers; likelihood "
+                                   "floored and renormalized",
+                        )
+                    )
+                staged[group_index] = updated
+        for group_index, updated in staged.items():
+            self._belief.replace_group(group_index, updated)
+
+    def replace_experts(self, experts: Crowd) -> None:
+        """Swap the checking panel (worker reassignment).
+
+        Subsequent selection, affordability checks and full-round
+        charging use the new panel.  Pending queries stay pending — the
+        resilient runtime swaps panels precisely to retry a round that
+        the old panel failed to answer.
+        """
+        if len(experts) == 0:
+            raise ValueError("the expert crowd CE must not be empty")
+        self._experts = experts
+        self._applier = HierarchicalCrowdsourcing(
+            experts=experts, selector=self._selector, k=self._k,
+            cost_model=self._budget.cost_model,
+        )
 
     def abandon_pending(self) -> None:
         """Drop the pending query set without charging the budget
@@ -233,10 +386,12 @@ class OnlineCheckingSession:
         """
         from ..core.serialization import (
             SerializationError,
+            check_version,
             factored_belief_from_dict,
             round_record_from_dict,
         )
 
+        check_version(payload)
         try:
             belief = factored_belief_from_dict(payload["belief"])
             ground_truth = payload.get("ground_truth")
@@ -272,7 +427,11 @@ class OnlineCheckingSession:
         return session
 
     def _record(
-        self, round_index: int, queries: tuple[int, ...], cost: float
+        self,
+        round_index: int,
+        queries: tuple[int, ...],
+        cost: float,
+        fault_events: tuple[FaultEvent, ...] = (),
     ) -> RoundRecord:
         from ..core.hc import labeling_accuracy, total_quality
 
@@ -287,4 +446,5 @@ class OnlineCheckingSession:
                 if self._ground_truth is not None
                 else None
             ),
+            fault_events=fault_events,
         )

@@ -54,6 +54,23 @@ class SimulatedExpertPanel:
         correct = self._rng.random() < worker.accuracy
         return truth if correct else not truth
 
+    def get_state(self) -> dict:
+        """JSON-compatible snapshot of the panel's RNG progress.
+
+        Restoring it with :meth:`set_state` replays the exact same
+        future answer stream — the hook the resilient session's journal
+        uses to make kill-and-resume byte-identical to an uninterrupted
+        run.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "answers_served": self.answers_served,
+        }
+
+    def set_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        self.answers_served = int(state.get("answers_served", 0))
+
     def collect(
         self, query_fact_ids: Sequence[int], experts: Crowd
     ) -> AnswerFamily:
@@ -111,6 +128,21 @@ class CachedExpertPanel(SimulatedExpertPanel):
         if key not in self._cache:
             self._cache[key] = super()._answer(worker, fact_id)
         return self._cache[key]
+
+    def get_state(self) -> dict:
+        state = super().get_state()
+        state["cache"] = [
+            [worker_id, fact_id, answer]
+            for (worker_id, fact_id), answer in self._cache.items()
+        ]
+        return state
+
+    def set_state(self, state: dict) -> None:
+        super().set_state(state)
+        self._cache = {
+            (str(worker_id), int(fact_id)): bool(answer)
+            for worker_id, fact_id, answer in state.get("cache", [])
+        }
 
 
 class ScriptedAnswerSource:

@@ -1,0 +1,602 @@
+"""Fault-tolerant campaign runtime over the sans-IO checking session.
+
+:class:`~repro.simulation.online.OnlineCheckingSession` assumes the
+caller always manages to produce an answer family.  Against a real (or
+fault-injected) crowd, collection fails in every way imaginable; this
+module keeps the checking loop alive through all of it:
+
+* **retry with exponential backoff + jitter** when a collection attempt
+  times out or comes back empty (:class:`RetryPolicy`);
+* **reassignment** to fresh reserve experts after a panel repeatedly
+  fails, with the budget charged through the same
+  :class:`~repro.core.budget.CostModel`;
+* **partial acceptance**: whatever subset of workers/answers arrives is
+  applied with exact Lemma-3 conditioning on the responders, and only
+  the received answers are charged;
+* **graceful degradation** on contradictory evidence — the tempered
+  update re-smooths the posterior instead of raising
+  :class:`~repro.core.update.InconsistentEvidenceError`;
+* **crash-safe checkpointing**: an append-only JSONL journal captures
+  belief, budget, pending queries, retry state and RNG states after
+  every state transition, and :meth:`ResilientCheckingSession.resume`
+  restores mid-round — byte-identical to an uninterrupted run.
+
+Every survived incident is a :class:`~repro.core.incidents.FaultEvent`
+in the session's ``incidents`` log and on the owning round's record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.answers import AnswerFamily, PartialAnswerFamily
+from ..core.budget import CostModel
+from ..core.hc import RunResult
+from ..core.incidents import FaultEvent
+from ..core.observations import FactoredBelief
+from ..core.selection import Selector
+from ..core.serialization import (
+    FORMAT_VERSION,
+    SerializationError,
+    append_journal_record,
+    crowd_from_dict,
+    crowd_to_dict,
+    fault_event_from_dict,
+    fault_event_to_dict,
+    read_journal,
+)
+from ..core.workers import Crowd
+from .faults import AnswerCollectionTimeout
+from .online import OnlineCheckingSession
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before giving a round up.
+
+    Parameters
+    ----------
+    max_attempts:
+        Collection attempts per panel per round (>= 1).
+    max_reassignments:
+        Panel swaps allowed per round once a panel has burned through
+        its attempts (0 disables reassignment).
+    base_delay, multiplier, max_delay:
+        Exponential backoff: the wait before attempt ``n+1`` is
+        ``min(base_delay * multiplier**n, max_delay)`` seconds.
+    jitter:
+        Fractional +/- jitter applied to each delay (0.25 == +/-25%),
+        decorrelating retry storms across concurrent campaigns.
+    """
+
+    max_attempts: int = 4
+    max_reassignments: int = 1
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.max_reassignments < 0:
+            raise ValueError("max_reassignments must be non-negative")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must lie in [0, 1]")
+
+    def delay_for(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retrying after failed attempt ``attempt``."""
+        delay = min(
+            self.base_delay * self.multiplier ** attempt, self.max_delay
+        )
+        if self.jitter > 0.0 and delay > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return max(delay, 0.0)
+
+
+@dataclass
+class ResilientRunResult(RunResult):
+    """A :class:`~repro.core.hc.RunResult` plus the incident log.
+
+    ``halted`` is ``True`` when the session gave up on a query set (all
+    retries and reassignments exhausted) before the budget ran out.
+    """
+
+    incidents: list[FaultEvent] = field(default_factory=list)
+    halted: bool = False
+
+
+class ResilientCheckingSession:
+    """Drive a checking campaign to completion through crowd faults.
+
+    Parameters
+    ----------
+    belief, experts, budget, selector, k, cost_model, ground_truth:
+        As in :class:`~repro.simulation.online.OnlineCheckingSession`.
+    retry_policy:
+        Retry/backoff/reassignment knobs; defaults to
+        ``RetryPolicy()``.
+    reserve_experts:
+        Optional pool of fresh workers to swap in when a panel
+        repeatedly fails; their answers are charged through the same
+        cost model (unlisted workers cost ``default_cost``).
+    journal_path:
+        When given, every state transition is appended to this JSONL
+        journal and :meth:`resume` can restore the session mid-round
+        after a crash.
+    seed:
+        Seed of the session RNG (backoff jitter).
+    sleep:
+        Callable invoked with each backoff delay.  ``None`` (default)
+        records the delay as a ``backoff`` event without actually
+        waiting — right for simulation; live deployments pass
+        ``time.sleep``.
+    """
+
+    def __init__(
+        self,
+        belief: FactoredBelief,
+        experts: Crowd,
+        budget: float,
+        *,
+        selector: Selector | None = None,
+        k: int = 1,
+        cost_model: CostModel | None = None,
+        ground_truth: Mapping[int, bool] | None = None,
+        retry_policy: RetryPolicy | None = None,
+        reserve_experts: Crowd | None = None,
+        journal_path: str | Path | None = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] | None = None,
+    ):
+        inner = OnlineCheckingSession(
+            belief,
+            experts,
+            budget,
+            selector=selector,
+            k=k,
+            cost_model=cost_model,
+            ground_truth=ground_truth,
+        )
+        self._init_common(
+            inner,
+            cost_model=cost_model,
+            retry_policy=retry_policy,
+            reserve=list(reserve_experts) if reserve_experts else [],
+            journal_path=journal_path,
+            rng=np.random.default_rng(seed),
+            sleep=sleep,
+        )
+        if self._journal_path is not None:
+            append_journal_record(
+                self._journal_path,
+                {
+                    "kind": "header",
+                    "version": FORMAT_VERSION,
+                    "budget_total": float(budget),
+                    "k": int(k),
+                },
+            )
+            self._journal_checkpoint(None)
+
+    def _init_common(
+        self,
+        inner: OnlineCheckingSession,
+        *,
+        cost_model: CostModel | None,
+        retry_policy: RetryPolicy | None,
+        reserve: list,
+        journal_path: str | Path | None,
+        rng: np.random.Generator,
+        sleep: Callable[[float], None] | None,
+    ) -> None:
+        self._inner = inner
+        self._cost_model = cost_model or CostModel()
+        self._retry = retry_policy or RetryPolicy()
+        self._reserve = reserve
+        self._journal_path = (
+            Path(journal_path) if journal_path is not None else None
+        )
+        self._rng = rng
+        self._sleep = sleep
+        self._attempt = 0
+        self._reassignments_used = 0
+        self._round_events: list[FaultEvent] = []
+        self._halted = False
+        self._pending_source_state: dict | None = None
+        #: Every incident survived so far, in order of occurrence.
+        self.incidents: list[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    # delegated accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def belief(self) -> FactoredBelief:
+        return self._inner.belief
+
+    @property
+    def experts(self) -> Crowd:
+        return self._inner.experts
+
+    @property
+    def remaining_budget(self) -> float:
+        return self._inner.remaining_budget
+
+    @property
+    def spent_budget(self) -> float:
+        return self._inner.spent_budget
+
+    @property
+    def history(self):
+        return self._inner.history
+
+    @property
+    def is_finished(self) -> bool:
+        return self._inner.is_finished or self._halted
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    @property
+    def pending_queries(self) -> tuple[int, ...] | None:
+        return self._inner.pending_queries
+
+    def final_labels(self) -> dict[int, bool]:
+        return self._inner.final_labels()
+
+    # ------------------------------------------------------------------
+    # the resilient loop
+    # ------------------------------------------------------------------
+
+    def run(self, answer_source, max_rounds: int | None = None) -> ResilientRunResult:
+        """Run the checking loop until the budget is exhausted.
+
+        Unlike the strict loop, *no* crowd behavior raises out of this
+        method: timeouts are retried with backoff, failed panels are
+        reassigned, partial answers are accepted and charged pro rata,
+        contradictory answers are tempered, and a permanently
+        unanswerable query set halts the session gracefully with an
+        ``abandoned`` incident instead of an exception.
+        """
+        if self._pending_source_state is not None:
+            set_state = getattr(answer_source, "set_state", None)
+            if callable(set_state):
+                set_state(self._pending_source_state)
+            self._pending_source_state = None
+        rounds = 0
+        while not self._halted and (
+            max_rounds is None or rounds < max_rounds
+        ):
+            if self._inner.pending_queries is None:
+                queries = self._inner.next_queries()
+                if queries is None:
+                    break
+                self._attempt = 0
+                self._reassignments_used = 0
+                self._round_events = []
+                self._journal_checkpoint(answer_source)
+            else:
+                # resumed mid-round: replay the journaled pending set
+                queries = list(self._inner.pending_queries)
+            family = self._collect_with_retry(answer_source, queries)
+            if family is None:
+                # the round never completed; its collection incidents
+                # would otherwise vanish with the abandoned record
+                self.incidents.extend(self._round_events)
+                self._round_events = []
+                self._note(
+                    FaultEvent(
+                        kind="abandoned",
+                        round_index=self._inner.round_index,
+                        attempt=self._attempt,
+                        fact_ids=tuple(queries),
+                        detail="all retries and reassignments exhausted",
+                    ),
+                    attach_to_round=False,
+                )
+                self._inner.abandon_pending()
+                self._halted = True
+                self._journal_checkpoint(answer_source)
+                break
+            before = len(self._round_events)
+            record = self._inner.submit_partial(
+                family, temper=True, fault_events=self._round_events
+            )
+            self.incidents.extend(record.fault_events[:before])
+            for event in record.fault_events[before:]:
+                # tempered updates surfaced by submit_partial
+                self._note(event, attach_to_round=False)
+            self._round_events = []
+            self._journal_checkpoint(answer_source)
+            rounds += 1
+        return self.result()
+
+    def result(self) -> ResilientRunResult:
+        """The campaign outcome so far."""
+        return ResilientRunResult(
+            belief=self._inner.belief,
+            history=list(self._inner.history),
+            incidents=list(self.incidents),
+            halted=self._halted,
+        )
+
+    # ------------------------------------------------------------------
+    # collection with retry / backoff / reassignment
+    # ------------------------------------------------------------------
+
+    def _collect_with_retry(
+        self, answer_source, queries: list[int]
+    ) -> PartialAnswerFamily | None:
+        """Collect answers for one round, surviving transient failures.
+
+        Returns ``None`` only when every retry against every available
+        panel produced nothing.
+        """
+        while True:
+            attempt = self._attempt
+            failure_detail = ""
+            partial: PartialAnswerFamily | None = None
+            try:
+                collected = answer_source.collect(
+                    queries, self._inner.experts
+                )
+            except AnswerCollectionTimeout as error:
+                self._drain_source_events(answer_source, attempt)
+                failure_detail = str(error)
+            else:
+                self._drain_source_events(answer_source, attempt)
+                partial = self._coerce(collected, queries)
+                partial = self._trim_to_budget(partial)
+                if partial.num_answers > 0:
+                    return partial
+                self._note(
+                    FaultEvent(
+                        kind="empty_round",
+                        round_index=self._inner.round_index,
+                        attempt=attempt,
+                        fact_ids=tuple(queries),
+                        detail="attempt produced zero answers",
+                    )
+                )
+            self._attempt += 1
+            self._journal_checkpoint(answer_source)
+            if self._attempt >= self._retry.max_attempts:
+                if (
+                    self._reassignments_used < self._retry.max_reassignments
+                    and self._reserve
+                ):
+                    self._reassign(queries)
+                    self._attempt = 0
+                    self._reassignments_used += 1
+                    self._journal_checkpoint(answer_source)
+                    continue
+                return None
+            delay = self._retry.delay_for(self._attempt - 1, self._rng)
+            self._note(
+                FaultEvent(
+                    kind="backoff",
+                    round_index=self._inner.round_index,
+                    attempt=self._attempt,
+                    fact_ids=tuple(queries),
+                    detail=(
+                        f"waiting {delay:.3f}s before attempt "
+                        f"{self._attempt + 1}"
+                        + (f" ({failure_detail})" if failure_detail else "")
+                    ),
+                )
+            )
+            if self._sleep is not None and delay > 0.0:
+                self._sleep(delay)
+
+    def _coerce(
+        self, collected, queries: Sequence[int]
+    ) -> PartialAnswerFamily:
+        if isinstance(collected, PartialAnswerFamily):
+            return collected
+        if isinstance(collected, AnswerFamily):
+            return PartialAnswerFamily.from_family(collected)
+        raise TypeError(
+            "answer source must return AnswerFamily or "
+            f"PartialAnswerFamily, got {type(collected).__name__}"
+        )
+
+    def _trim_to_budget(
+        self, partial: PartialAnswerFamily
+    ) -> PartialAnswerFamily:
+        """Drop answer sets (priciest first) until the family fits the
+        remaining budget — reassigned workers can cost more than the
+        panel the round was sized for."""
+        remaining = self._inner.remaining_budget
+        answer_sets = list(partial.answer_sets)
+        if self._cost_model.family_cost(answer_sets) <= remaining + 1e-9:
+            return partial
+        answer_sets.sort(
+            key=lambda answer_set: self._cost_model.answer_cost(
+                answer_set.worker
+            )
+            * len(answer_set.answers)
+        )
+        dropped: list[str] = []
+        while (
+            answer_sets
+            and self._cost_model.family_cost(answer_sets) > remaining + 1e-9
+        ):
+            dropped.append(answer_sets.pop().worker.worker_id)
+        if dropped:
+            self._note(
+                FaultEvent(
+                    kind="budget_clip",
+                    round_index=self._inner.round_index,
+                    attempt=self._attempt,
+                    detail=(
+                        f"dropped answers from {dropped} to fit the "
+                        f"remaining budget {remaining:.2f}"
+                    ),
+                )
+            )
+        return PartialAnswerFamily(
+            intended_query_fact_ids=partial.intended_query_fact_ids,
+            intended_worker_ids=partial.intended_worker_ids,
+            answer_sets=tuple(answer_sets),
+        )
+
+    def _reassign(self, queries: Sequence[int]) -> None:
+        """Swap as many failed panel members for reserves as possible."""
+        panel = list(self._inner.experts)
+        take = min(len(panel), len(self._reserve))
+        replacements = self._reserve[:take]
+        del self._reserve[:take]
+        new_panel = Crowd(replacements + panel[take:])
+        self._inner.replace_experts(new_panel)
+        self._note(
+            FaultEvent(
+                kind="reassignment",
+                round_index=self._inner.round_index,
+                attempt=self._attempt,
+                fact_ids=tuple(queries),
+                detail=(
+                    f"replaced {[worker.worker_id for worker in panel[:take]]}"
+                    f" with {[worker.worker_id for worker in replacements]}"
+                ),
+            )
+        )
+
+    def _drain_source_events(self, answer_source, attempt: int) -> None:
+        drain = getattr(answer_source, "drain_events", None)
+        if not callable(drain):
+            return
+        for event in drain():
+            self._note(event.stamped(self._inner.round_index, attempt))
+
+    def _note(self, event: FaultEvent, attach_to_round: bool = True) -> None:
+        """Record an incident: journal it and, unless told otherwise,
+        queue it for attachment to the current round's record."""
+        if attach_to_round:
+            self._round_events.append(event)
+        else:
+            self.incidents.append(event)
+        if self._journal_path is not None:
+            append_journal_record(
+                self._journal_path,
+                {"kind": "event", "event": fault_event_to_dict(event)},
+            )
+
+    # ------------------------------------------------------------------
+    # journal / resume
+    # ------------------------------------------------------------------
+
+    def _journal_checkpoint(self, answer_source) -> None:
+        if self._journal_path is None:
+            return
+        record: dict = {
+            "kind": "checkpoint",
+            "session": self._inner.to_checkpoint(),
+            "panel": crowd_to_dict(self._inner.experts),
+            "reserve": crowd_to_dict(Crowd(self._reserve)),
+            "attempt": self._attempt,
+            "reassignments_used": self._reassignments_used,
+            "round_events": [
+                fault_event_to_dict(event) for event in self._round_events
+            ],
+            "halted": self._halted,
+            "rng": self._rng.bit_generator.state,
+        }
+        if answer_source is not None:
+            get_state = getattr(answer_source, "get_state", None)
+            if callable(get_state):
+                record["source"] = get_state()
+        append_journal_record(self._journal_path, record)
+
+    @classmethod
+    def resume(
+        cls,
+        journal_path: str | Path,
+        *,
+        experts: Crowd | None = None,
+        selector: Selector | None = None,
+        cost_model: CostModel | None = None,
+        retry_policy: RetryPolicy | None = None,
+        reserve_experts: Crowd | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> "ResilientCheckingSession":
+        """Restore a session from its journal, mid-round if need be.
+
+        The journal's last intact checkpoint supplies the belief, budget
+        accounting, pending queries, retry counters, panel composition
+        and RNG states; behavioral components (selector, cost model,
+        retry policy, sleep hook) are code, not state, and are supplied
+        again by the caller.  If the journaled answer source exposed RNG
+        state, the source passed to the next :meth:`run` call is rewound
+        to it, making the resumed continuation byte-identical to an
+        uninterrupted run.
+        """
+        records = read_journal(journal_path)
+        checkpoints = [
+            record for record in records if record.get("kind") == "checkpoint"
+        ]
+        if not checkpoints:
+            raise SerializationError(
+                f"journal {journal_path} has no intact checkpoint"
+            )
+        last = checkpoints[-1]
+        try:
+            panel = (
+                experts
+                if experts is not None
+                else crowd_from_dict(last["panel"])
+            )
+            inner = OnlineCheckingSession.from_checkpoint(
+                last["session"],
+                panel,
+                selector=selector,
+                cost_model=cost_model,
+            )
+            session = cls.__new__(cls)
+            reserve = (
+                list(reserve_experts)
+                if reserve_experts is not None
+                else list(crowd_from_dict(last.get("reserve", {"workers": []})))
+            )
+            rng = np.random.default_rng(0)
+            rng.bit_generator.state = last["rng"]
+            session._init_common(
+                inner,
+                cost_model=cost_model,
+                retry_policy=retry_policy,
+                reserve=reserve,
+                journal_path=journal_path,
+                rng=rng,
+                sleep=sleep,
+            )
+            session._attempt = int(last.get("attempt", 0))
+            session._reassignments_used = int(
+                last.get("reassignments_used", 0)
+            )
+            session._round_events = [
+                fault_event_from_dict(event)
+                for event in last.get("round_events", ())
+            ]
+            session._halted = bool(last.get("halted", False))
+            session._pending_source_state = last.get("source")
+            session.incidents = [
+                fault_event_from_dict(record["event"])
+                for record in records
+                if record.get("kind") == "event"
+            ]
+        except (KeyError, TypeError, ValueError) as error:
+            if isinstance(error, SerializationError):
+                raise
+            raise SerializationError(
+                f"malformed journal checkpoint: {error}"
+            ) from error
+        return session

@@ -10,6 +10,7 @@ and the examples are thin wrappers over this function.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -19,7 +20,9 @@ from ..core.hc import HierarchicalCrowdsourcing, RunResult
 from ..core.selection import GreedySelector, Selector
 from ..datasets.grouping import initialize_belief
 from ..datasets.schema import CrowdLabelingDataset
+from .faults import FaultModel, FaultyExpertPanel
 from .oracle import SimulatedExpertPanel
+from .resilient import ResilientCheckingSession, RetryPolicy
 
 
 @dataclass
@@ -41,6 +44,19 @@ class SessionConfig:
         Seed for the simulated expert panel.
     smoothing:
         Marginal smoothing used at initialization.
+    faults:
+        Optional :class:`~repro.simulation.faults.FaultModel`.  When
+        set, the answer source is wrapped in a
+        :class:`~repro.simulation.faults.FaultyExpertPanel` and the
+        loop runs through the fault-tolerant
+        :class:`~repro.simulation.resilient.ResilientCheckingSession`
+        (retry, backoff, partial acceptance, tempered updates).
+    retry_policy:
+        Retry/backoff knobs for the resilient runtime; only used when
+        ``faults`` or ``journal_path`` is set.
+    journal_path:
+        When set, the session appends a crash-safe JSONL journal there
+        (implies the resilient runtime even without faults).
     """
 
     theta: float = 0.9
@@ -49,6 +65,9 @@ class SessionConfig:
     initializer: str = "EBCC"
     seed: int = 0
     smoothing: float = 0.01
+    faults: FaultModel | None = None
+    retry_policy: RetryPolicy | None = None
+    journal_path: str | Path | None = None
 
 
 def run_hc_session(
@@ -91,6 +110,21 @@ def run_hc_session(
         answer_source = SimulatedExpertPanel(
             dataset.ground_truth, rng=np.random.default_rng(config.seed)
         )
+    if config.faults is not None or config.journal_path is not None:
+        if config.faults is not None:
+            answer_source = FaultyExpertPanel(answer_source, config.faults)
+        session = ResilientCheckingSession(
+            belief,
+            experts,
+            config.budget,
+            selector=selector or GreedySelector(),
+            k=config.k,
+            ground_truth=dataset.ground_truth,
+            retry_policy=config.retry_policy,
+            journal_path=config.journal_path,
+            seed=config.seed,
+        )
+        return session.run(answer_source)
     runner = HierarchicalCrowdsourcing(
         experts=experts,
         selector=selector or GreedySelector(),

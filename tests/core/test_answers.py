@@ -247,3 +247,96 @@ class TestEnumerateAnswerFamilies:
             )
             seen.add(key)
         assert len(seen) == 16
+
+
+class TestPartialAnswerFamily:
+    def _make(self, answer_sets):
+        from repro.core import PartialAnswerFamily
+
+        return PartialAnswerFamily(
+            intended_query_fact_ids=(1, 2),
+            intended_worker_ids=("a", "b"),
+            answer_sets=tuple(answer_sets),
+        )
+
+    def test_accessors(self):
+        from repro.core import AnswerSet, Worker
+
+        family = self._make(
+            [
+                AnswerSet(
+                    worker=Worker("a", 0.9), answers={1: True, 2: False}
+                ),
+            ]
+        )
+        assert family.answered_worker_ids == ("a",)
+        assert family.missing_worker_ids == ("b",)
+        assert family.answered_fact_ids == (1, 2)
+        assert family.num_answers == 2
+        assert not family.is_empty
+        assert not family.is_complete
+        assert len(family) == 1
+
+    def test_complete_family_converts_back(self):
+        from repro.core import AnswerFamily, AnswerSet, Worker
+
+        family = self._make(
+            [
+                AnswerSet(
+                    worker=Worker(wid, 0.9), answers={1: True, 2: False}
+                )
+                for wid in ("a", "b")
+            ]
+        )
+        assert family.is_complete
+        assert isinstance(family.to_family(), AnswerFamily)
+
+    def test_incomplete_family_refuses_conversion(self):
+        from repro.core import AnswerSet, Worker
+
+        family = self._make(
+            [AnswerSet(worker=Worker("a", 0.9), answers={1: True})]
+        )
+        with pytest.raises(ValueError, match="complete"):
+            family.to_family()
+
+    def test_from_family_round_trip(self):
+        from repro.core import (
+            AnswerFamily,
+            AnswerSet,
+            PartialAnswerFamily,
+            Worker,
+        )
+
+        full = AnswerFamily(
+            answer_sets=tuple(
+                AnswerSet(worker=Worker(wid, 0.9), answers={1: True})
+                for wid in ("a", "b")
+            )
+        )
+        partial = PartialAnswerFamily.from_family(full)
+        assert partial.is_complete
+        assert partial.intended_query_fact_ids == (1,)
+
+    def test_rejects_answers_outside_intended_scope(self):
+        from repro.core import AnswerSet, Worker
+
+        with pytest.raises(ValueError, match="unqueried facts"):
+            self._make(
+                [AnswerSet(worker=Worker("a", 0.9), answers={9: True})]
+            )
+        with pytest.raises(ValueError, match="unexpected worker"):
+            self._make(
+                [AnswerSet(worker=Worker("z", 0.9), answers={1: True})]
+            )
+
+    def test_rejects_duplicate_workers(self):
+        from repro.core import AnswerSet, Worker
+
+        with pytest.raises(ValueError, match="duplicate"):
+            self._make(
+                [
+                    AnswerSet(worker=Worker("a", 0.9), answers={1: True}),
+                    AnswerSet(worker=Worker("a", 0.9), answers={2: True}),
+                ]
+            )

@@ -104,3 +104,81 @@ class TestCheckingBudget:
         assert budget.affordable_queries(free, 4) == 4
         budget.charge_round(4, free)
         assert budget.spent == 0.0
+
+
+class TestPartialFamilyCharging:
+    """Budget invariants for partial answer families (fault tolerance)."""
+
+    def _partial(self, experts, answered):
+        from repro.core import AnswerSet, PartialAnswerFamily
+
+        return PartialAnswerFamily(
+            intended_query_fact_ids=(0, 1),
+            intended_worker_ids=experts.worker_ids,
+            answer_sets=tuple(
+                AnswerSet(
+                    worker=experts.by_id(worker_id),
+                    answers={fact_id: True for fact_id in fact_ids},
+                )
+                for worker_id, fact_ids in answered.items()
+            ),
+        )
+
+    def test_family_cost_counts_only_received_answers(self, experts):
+        model = CostModel()
+        family = self._partial(experts, {"e0": [0, 1], "e1": [0]})
+        assert model.family_cost(family) == 3.0
+        # a no-show costs nothing
+        assert model.family_cost(self._partial(experts, {"e0": [0]})) == 1.0
+        assert model.family_cost(self._partial(experts, {})) == 0.0
+
+    def test_partial_never_exceeds_full_round(self, experts):
+        model = CostModel(per_worker={"e0": 2.0, "e1": 3.0})
+        full = model.round_cost(2, experts)
+        for answered in (
+            {"e0": [0, 1], "e1": [0, 1]},
+            {"e0": [0, 1], "e1": [0]},
+            {"e1": [1]},
+            {},
+        ):
+            family = self._partial(experts, answered)
+            assert model.family_cost(family) <= full
+
+    def test_charge_family_keeps_budget_non_negative(self, experts):
+        budget = CheckingBudget(3)
+        budget.charge_family(self._partial(experts, {"e0": [0, 1]}))
+        budget.charge_family(self._partial(experts, {"e1": [0]}))
+        assert budget.remaining == 0.0
+        assert budget.spent == 3.0
+        with pytest.raises(ValueError, match="exceeds remaining"):
+            budget.charge_family(self._partial(experts, {"e0": [0]}))
+        assert budget.remaining == 0.0  # the refused charge left no mark
+
+    def test_charge_family_charges_only_answered_workers(self, experts):
+        model = CostModel(per_worker={"e0": 5.0, "e1": 1.0})
+        budget = CheckingBudget(10, cost_model=model)
+        cost = budget.charge_family(self._partial(experts, {"e1": [0, 1]}))
+        assert cost == 2.0  # e0's no-show is free
+        assert budget.spent == 2.0
+
+    def test_accuracy_proportional_composes_with_reassignment(self):
+        """Section III-D pricing must extend over the union of the
+        original panel and reserves swapped in mid-campaign."""
+        from repro.core import AnswerSet, PartialAnswerFamily
+
+        panel = Crowd.from_accuracies([0.9, 0.95], prefix="e")
+        reserve = Crowd([Worker("r0", 0.8)])
+        union = Crowd(list(panel) + list(reserve))
+        model = CostModel.accuracy_proportional(union, rate=2.0)
+        budget = CheckingBudget(10, cost_model=model)
+        mixed = PartialAnswerFamily(
+            intended_query_fact_ids=(0,),
+            intended_worker_ids=union.worker_ids,
+            answer_sets=(
+                AnswerSet(worker=panel.by_id("e1"), answers={0: True}),
+                AnswerSet(worker=reserve.by_id("r0"), answers={0: False}),
+            ),
+        )
+        cost = budget.charge_family(mixed)
+        assert cost == pytest.approx(2.0 * 0.95 + 2.0 * 0.8)
+        assert budget.remaining == pytest.approx(10 - cost)

@@ -294,3 +294,52 @@ class TestRunTieredChecking:
             results[1].history[-1].quality
             >= results[0].history[0].quality
         )
+
+
+class TestInconsistentEvidenceContext:
+    """Regression: a zero-evidence round must surface which queries and
+    answers caused it, not just 'zero probability'."""
+
+    def test_error_names_query_set_and_answer_family(self):
+        from repro.core import InconsistentEvidenceError
+
+        # Two infallible experts disagreeing on the same fact leave no
+        # observation with positive likelihood: zero evidence on the
+        # very first round, whatever the selector picks.
+        belief = FactoredBelief(
+            [
+                BeliefState.from_marginals(
+                    FactSet.from_ids([0, 1]), [0.7, 0.4]
+                )
+            ]
+        )
+        panel = Crowd([Worker("yes", 1.0), Worker("no", 1.0)])
+        script = ScriptedAnswerSource(
+            {
+                **{("yes", fact_id): True for fact_id in (0, 1)},
+                **{("no", fact_id): False for fact_id in (0, 1)},
+            }
+        )
+        runner = HierarchicalCrowdsourcing(panel, k=1)
+        with pytest.raises(InconsistentEvidenceError) as excinfo:
+            runner.run(belief, script, budget=8)
+        message = str(excinfo.value)
+        assert "query set" in message
+        assert "answer family" in message
+        # the offending answers are rendered worker-by-worker
+        assert "yes" in message and "no" in message
+        assert ": Y" in message and ": N" in message
+
+    def test_describe_family_truncates_large_panels(self):
+        from repro.core import AnswerFamily, AnswerSet, describe_family
+
+        family = AnswerFamily(
+            answer_sets=tuple(
+                AnswerSet(worker=Worker(f"w{i}", 0.9), answers={0: True})
+                for i in range(12)
+            )
+        )
+        rendered = describe_family(family, max_workers=8)
+        assert "w0" in rendered and "w7" in rendered
+        assert "w8" not in rendered
+        assert "4 more workers" in rendered

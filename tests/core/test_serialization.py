@@ -180,3 +180,149 @@ class TestSessionCheckpoint:
         experts = Crowd.from_accuracies([0.9])
         with pytest.raises(SerializationError):
             OnlineCheckingSession.from_checkpoint({"nope": 1}, experts)
+
+
+class TestFormatVersions:
+    """v2 is written; v1 payloads (no fault events) still read."""
+
+    def test_payloads_are_tagged_v2(self, belief, factored):
+        from repro.core import FORMAT_VERSION
+
+        assert FORMAT_VERSION == 2
+        assert belief_state_to_dict(belief)["version"] == 2
+        assert factored_belief_to_dict(factored)["version"] == 2
+        assert crowd_to_dict(Crowd.from_accuracies([0.9]))["version"] == 2
+
+    def test_v1_payload_without_version_still_loads(self, belief):
+        payload = belief_state_to_dict(belief)
+        del payload["version"]  # what a v1 writer produced
+        restored = belief_state_from_dict(payload)
+        assert np.allclose(restored.probabilities, belief.probabilities)
+
+    def test_v1_round_record_without_fault_events_loads(self):
+        from repro.core import round_record_from_dict
+
+        record = round_record_from_dict(
+            {
+                "round_index": 0,
+                "query_fact_ids": [1, 2],
+                "cost": 4.0,
+                "budget_spent": 4.0,
+                "quality": -1.5,
+            }
+        )
+        assert record.fault_events == ()
+
+    def test_unsupported_version_rejected(self, belief):
+        payload = belief_state_to_dict(belief)
+        payload["version"] = 99
+        with pytest.raises(SerializationError, match="version"):
+            belief_state_from_dict(payload)
+
+    def test_round_trip_is_bitwise_exact(self, factored):
+        restored = factored_belief_from_dict(
+            json.loads(json.dumps(factored_belief_to_dict(factored)))
+        )
+        for ours, theirs in zip(restored, factored):
+            assert np.array_equal(ours.probabilities, theirs.probabilities)
+
+    def test_fault_event_round_trip(self):
+        from repro.core import (
+            FaultEvent,
+            fault_event_from_dict,
+            fault_event_to_dict,
+        )
+
+        event = FaultEvent(
+            kind="no_show",
+            round_index=3,
+            attempt=1,
+            worker_id="e0",
+            fact_ids=(1, 2),
+            detail="vanished",
+        )
+        restored = fault_event_from_dict(
+            json.loads(json.dumps(fault_event_to_dict(event)))
+        )
+        assert restored == event
+
+    def test_run_result_round_trips_fault_events(self, factored):
+        from repro.core import (
+            FaultEvent,
+            RoundRecord,
+            RunResult,
+        )
+
+        record = RoundRecord(
+            round_index=0,
+            query_fact_ids=(1,),
+            cost=2.0,
+            budget_spent=2.0,
+            quality=-1.0,
+            accuracy=None,
+            fault_events=(
+                FaultEvent(kind="timeout", round_index=0, fact_ids=(1,)),
+            ),
+        )
+        result = RunResult(belief=factored, history=[record])
+        restored = run_result_from_dict(
+            json.loads(json.dumps(run_result_to_dict(result)))
+        )
+        assert restored.history[0].fault_events[0].kind == "timeout"
+
+
+class TestJournal:
+    def test_append_and_read(self, tmp_path):
+        from repro.core import append_journal_record, read_journal
+
+        path = tmp_path / "j.jsonl"
+        append_journal_record(path, {"kind": "header", "version": 2})
+        append_journal_record(path, {"kind": "event", "event": {"kind": "x"}})
+        records = read_journal(path)
+        assert [record["kind"] for record in records] == ["header", "event"]
+
+    def test_records_need_a_kind(self, tmp_path):
+        from repro.core import append_journal_record
+
+        with pytest.raises(SerializationError, match="kind"):
+            append_journal_record(tmp_path / "j.jsonl", {"data": 1})
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        from repro.core import append_journal_record, read_journal
+
+        path = tmp_path / "j.jsonl"
+        append_journal_record(path, {"kind": "header", "version": 2})
+        append_journal_record(path, {"kind": "checkpoint", "n": 1})
+        with path.open("a") as handle:
+            handle.write('{"kind": "checkpoint", "n": 2, "tr')  # crash
+        records = read_journal(path)
+        assert len(records) == 2
+        assert records[-1]["n"] == 1
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        from repro.core import read_journal
+
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"kind": "header", "version": 2}\n'
+            "not json at all\n"
+            '{"kind": "checkpoint"}\n'
+        )
+        with pytest.raises(SerializationError, match="line 2"):
+            read_journal(path)
+
+    def test_journal_requires_header(self, tmp_path):
+        from repro.core import read_journal
+
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "checkpoint"}\n')
+        with pytest.raises(SerializationError, match="header"):
+            read_journal(path)
+
+    def test_journal_rejects_newer_version(self, tmp_path):
+        from repro.core import read_journal
+
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "header", "version": 99}\n')
+        with pytest.raises(SerializationError, match="version"):
+            read_journal(path)

@@ -14,6 +14,9 @@ from repro.core import (
     answer_set_likelihood,
     initialize_from_votes,
     observation_entropy,
+    tempered_posterior,
+    tempered_update_with_answer_set,
+    tempered_update_with_family,
     update_with_answer_set,
     update_with_family,
 )
@@ -28,7 +31,7 @@ class TestInitializeFromVotes:
     def test_eq15_product_form(self, three_facts):
         """P(o) = prod ob(o, f) with vote fractions (paper Eq. 15/16)."""
         belief = initialize_from_votes(
-            three_facts, {1: 0.8, 2: 0.6, 3: 0.4}, smoothing=0.0
+            three_facts, {1: 0.8, 2: 0.6, 3: 0.4}, smoothing=0.01
         )
         expected = 0.8 * 0.6 * (1 - 0.4)
         assert belief.probability_of((True, True, False)) == pytest.approx(
@@ -51,9 +54,20 @@ class TestInitializeFromVotes:
         assert belief.probability_of((True, True, True)) < 1.0
         assert observation_entropy(belief) > 0.0
 
-    def test_invalid_smoothing(self, three_facts):
-        with pytest.raises(ValueError, match="smoothing"):
-            initialize_from_votes(three_facts, [0.5] * 3, smoothing=0.6)
+    @pytest.mark.parametrize("smoothing", [0.6, 0.5, 0.0, -0.1])
+    def test_invalid_smoothing(self, three_facts, smoothing):
+        """Smoothing must lie strictly inside (0, 0.5) — zero would keep
+        an irrecoverable point mass from a unanimous crowd."""
+        with pytest.raises(ValueError, match=r"smoothing must lie in"):
+            initialize_from_votes(
+                three_facts, [0.5] * 3, smoothing=smoothing
+            )
+
+    def test_boundary_smoothing_accepted(self, three_facts):
+        belief = initialize_from_votes(
+            three_facts, [1.0] * 3, smoothing=0.499
+        )
+        assert belief.marginal(1) == pytest.approx(0.501)
 
     def test_marginals_clipped(self, three_facts):
         belief = initialize_from_votes(
@@ -170,6 +184,54 @@ class TestUpdateWithFamily:
         assert posterior.marginal(3) == pytest.approx(
             table1_belief.marginal(3)
         )
+
+    def test_tempered_matches_exact_update_when_consistent(
+        self, table1_belief, worker
+    ):
+        answer_set = AnswerSet(worker=worker, answers={1: True, 3: False})
+        exact = update_with_answer_set(table1_belief, answer_set)
+        tempered, was_tempered = tempered_update_with_answer_set(
+            table1_belief, answer_set
+        )
+        assert not was_tempered
+        assert np.array_equal(tempered.probabilities, exact.probabilities)
+
+    def test_tempered_absorbs_zero_evidence(self, three_facts):
+        certain = BeliefState.point_mass(three_facts, (True, True, True))
+        oracle = Worker("o", 1.0)
+        contradiction = AnswerSet(worker=oracle, answers={1: False})
+        posterior, was_tempered = tempered_update_with_answer_set(
+            certain, contradiction
+        )
+        assert was_tempered
+        assert posterior.probabilities.sum() == pytest.approx(1.0)
+        assert np.all(posterior.probabilities >= 0.0)
+        # flooring the likelihood cannot resurrect states the prior
+        # excludes: against a true point mass the update is a no-op
+        assert np.array_equal(
+            posterior.probabilities, certain.probabilities
+        )
+
+    def test_tempered_family_flags_zero_evidence(self, three_facts):
+        certain = BeliefState.point_mass(three_facts, (True, True, True))
+        family = AnswerFamily(
+            answer_sets=(
+                AnswerSet(worker=Worker("o", 1.0), answers={1: False}),
+            )
+        )
+        posterior, was_tempered = tempered_update_with_family(
+            certain, family
+        )
+        assert was_tempered
+        assert posterior.probabilities.sum() == pytest.approx(1.0)
+
+    def test_tempered_posterior_rejects_bad_floor(self, table1_belief):
+        with pytest.raises(ValueError, match="floor"):
+            tempered_posterior(
+                table1_belief,
+                np.ones_like(table1_belief.probabilities),
+                floor=0.0,
+            )
 
     def test_expected_posterior_entropy_drops(self, table1_belief):
         """Averaged over the family distribution, posterior entropy must

@@ -32,7 +32,7 @@ class TestBuildFactoredBelief:
     def test_marginals_respected(self):
         groups = group_tasks([0, 1, 2, 3], 2)
         probabilities = np.array([0.9, 0.2, 0.5, 0.7])
-        belief = build_factored_belief(groups, probabilities, smoothing=0.0)
+        belief = build_factored_belief(groups, probabilities, smoothing=0.01)
         for fact_id, expected in enumerate(probabilities):
             assert belief.marginal(fact_id) == pytest.approx(expected)
 

@@ -61,6 +61,6 @@ class TestExamples:
 
     def test_resumable_campaign(self, capsys):
         out = _run_example("resumable_campaign.py", [], capsys)
-        assert "[lifetime 1] checkpointed" in out
-        assert "[lifetime 2] restored" in out
+        assert "[lifetime 1] crashed mid-write" in out
+        assert "[lifetime 2] resumed" in out
         assert "[lifetime 2] finished" in out
