@@ -1,0 +1,102 @@
+"""Trust supervision catching an expert who goes bad mid-campaign.
+
+The paper assumes every checking-tier expert keeps their calibrated
+accuracy for the whole campaign.  This example breaks that assumption:
+one of three experts silently degrades to near-coin-flip right after
+the first round.  Two campaigns run on identical answers:
+
+* an *unsupervised* baseline, which keeps trusting the expert's
+  declared accuracy and absorbs the poisoned answers;
+* a *trust-supervised* session, which maintains a Beta posterior per
+  worker (fed by seeded gold probes and MAP agreement), trips the
+  degraded expert's circuit breaker, swaps in a reserve expert, and
+  down-weights the remaining answers via the posterior mean.
+
+Run:  python examples/degrading_expert.py
+"""
+
+from repro.core import BeliefState, Crowd, FactSet, FactoredBelief
+from repro.core.trust import TrustPolicy, select_gold_probes
+from repro.simulation import (
+    DegradingExpertPanel,
+    ResilientCheckingSession,
+    RetryPolicy,
+)
+
+TRUTH = {i: (i % 2 == 0) for i in range(12)}
+BUDGET = 72
+PANEL_SEED = 4
+
+
+def make_belief() -> FactoredBelief:
+    """Six weakly-initialized two-fact groups (marginals lean 55/45)."""
+    groups = []
+    for g in range(6):
+        ids = [2 * g, 2 * g + 1]
+        marginals = [0.55 if TRUTH[i] else 0.45 for i in ids]
+        groups.append(
+            BeliefState.from_marginals(FactSet.from_ids(ids), marginals)
+        )
+    return FactoredBelief(groups)
+
+
+def make_panel() -> DegradingExpertPanel:
+    """Expert e0 answers at 5% accuracy from the second round on."""
+    return DegradingExpertPanel(
+        TRUTH,
+        degraded_worker_id="e0",
+        degraded_accuracy=0.05,
+        degrade_after_collects=1,
+        rng=PANEL_SEED,
+    )
+
+
+def run_campaign(trusted: bool):
+    experts = Crowd.from_accuracies([0.95, 0.95, 0.9], prefix="e")
+    reserve = Crowd.from_accuracies([0.93, 0.93], prefix="r")
+    policy = gold = None
+    if trusted:
+        policy = TrustPolicy(probe_rate=0.8, min_observations=3.0, seed=1)
+        gold = select_gold_probes(TRUTH, fraction=0.25, seed=1)
+    session = ResilientCheckingSession(
+        make_belief(),
+        experts,
+        BUDGET,
+        k=2,
+        ground_truth=TRUTH,
+        retry_policy=RetryPolicy(max_attempts=5, max_reassignments=1),
+        reserve_experts=reserve,
+        trust_policy=policy,
+        gold_facts=gold,
+    )
+    return session.run(make_panel())
+
+
+def main() -> None:
+    baseline = run_campaign(trusted=False)
+    supervised = run_campaign(trusted=True)
+
+    print(f"unsupervised baseline: accuracy "
+          f"{baseline.history[-1].accuracy:.3f} after "
+          f"{len(baseline.history) - 1} rounds")
+    print(f"trust-supervised:      accuracy "
+          f"{supervised.history[-1].accuracy:.3f} after "
+          f"{len(supervised.history) - 1} rounds")
+
+    print("\nsupervision incidents:")
+    for event in supervised.incidents:
+        if event.kind in ("drift", "quarantine", "probation", "readmit"):
+            print(f"  round {event.round_index:>2} {event.kind:<10} "
+                  f"{event.worker_id}: {event.detail}")
+
+    report = supervised.trust
+    print(f"\ntrust report: {report.quarantines} quarantine(s), "
+          f"{report.readmissions} readmission(s)")
+    for summary in report.workers:
+        print(f"  {summary.worker_id}: declared {summary.declared:.2f} "
+              f"-> posterior {summary.mean:.2f} "
+              f"(lcb {summary.lcb:.2f}, breaker {summary.breaker_state})")
+
+
+if __name__ == "__main__":
+    main()

@@ -86,6 +86,15 @@ def _cmd_session(args: argparse.Namespace) -> int:
         if args.faults
         else None
     )
+    trust_policy = None
+    if args.trust:
+        from .core.trust import TrustPolicy
+
+        trust_policy = TrustPolicy(
+            probe_rate=args.probe_rate,
+            quarantine_lcb=args.quarantine_lcb,
+            seed=args.seed,
+        )
     if args.resume:
         result = _resume_session(args, dataset, faults)
     else:
@@ -97,8 +106,22 @@ def _cmd_session(args: argparse.Namespace) -> int:
             seed=args.seed,
             faults=faults,
             journal_path=args.journal,
+            trust_policy=trust_policy,
         )
         result = run_hc_session(dataset, config)
+    trust = getattr(result, "trust", None)
+    if trust is not None:
+        print(
+            f"trust: quarantines={trust.quarantines} "
+            f"readmissions={trust.readmissions}"
+        )
+        for summary in trust.workers:
+            print(
+                f"  {summary.worker_id}: declared {summary.declared:.3f}, "
+                f"posterior {summary.mean:.3f} "
+                f"(lcb {summary.lcb:.3f}, {summary.observations:.1f} obs, "
+                f"breaker {summary.breaker_state})"
+            )
     incidents = getattr(result, "incidents", None)
     if incidents:
         by_kind: dict[str, int] = {}
@@ -215,6 +238,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", default=None, metavar="PATH",
         help="resume a crashed run from its journal instead of "
              "starting fresh",
+    )
+    session.add_argument(
+        "--trust", action="store_true",
+        help="enable online trust supervision (accuracy posteriors, "
+             "gold probes, per-worker circuit breakers)",
+    )
+    session.add_argument(
+        "--probe-rate", type=float, default=0.2,
+        help="per-round probability of injecting a gold probe "
+             "(with --trust)",
+    )
+    session.add_argument(
+        "--quarantine-lcb", type=float, default=0.6,
+        help="posterior-LCB threshold below which a worker's breaker "
+             "trips (with --trust)",
     )
     session.set_defaults(handler=_cmd_session)
 

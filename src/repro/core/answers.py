@@ -290,6 +290,47 @@ def answer_set_likelihood(
     return np.where(matches, accuracy, 1.0 - accuracy).prod(axis=1)
 
 
+def log_answer_set_likelihood(
+    belief: BeliefState,
+    answer_set: AnswerSet,
+) -> np.ndarray:
+    """Log-space counterpart of :func:`answer_set_likelihood`.
+
+    Entry ``s`` is ``|T+| log Pr_cr + |T-| log (1 - Pr_cr)``; exact-zero
+    likelihoods (deterministic workers contradicted) come out as
+    ``-inf``.  Used by the underflow-proof update path: a large panel or
+    near-0/1 accuracies can drive the linear product below the float64
+    floor, but sums of logs cannot underflow.
+    """
+    accuracy = answer_set.worker.accuracy
+    query_fact_ids = answer_set.query_fact_ids
+    if not query_fact_ids:
+        return np.zeros(belief.num_observations)
+    positions = [belief.facts.position_of(fact_id) for fact_id in query_fact_ids]
+    observation_bits = truth_table(belief.num_facts)[:, positions]
+    answer_bits = answer_set.bits(query_fact_ids)
+    matches = observation_bits == answer_bits
+    with np.errstate(divide="ignore"):
+        log_hit = np.log(accuracy)
+        log_miss = np.log(1.0 - accuracy)
+    return np.where(matches, log_hit, log_miss).sum(axis=1)
+
+
+def log_family_likelihood(
+    belief: BeliefState, family: AnswerFamily | PartialAnswerFamily
+) -> np.ndarray:
+    """Log-space counterpart of :func:`family_likelihood` (Lemma 2).
+
+    Conditional independence turns the per-worker product into a sum of
+    per-worker log-likelihoods, immune to underflow no matter the panel
+    size.
+    """
+    total = np.zeros(belief.num_observations)
+    for answer_set in family:
+        total += log_answer_set_likelihood(belief, answer_set)
+    return total
+
+
 def answer_set_probability(belief: BeliefState, answer_set: AnswerSet) -> float:
     """Marginal ``P(A_cr^T) = sum_o P(o) P(A_cr^T | o)`` (paper Eq. 8)."""
     return float(belief.probabilities @ answer_set_likelihood(belief, answer_set))

@@ -22,7 +22,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from .workers import Crowd, Worker, estimate_accuracy
+from .workers import Crowd, Worker, clamp_accuracy, estimate_accuracy
 
 
 def calibrate_crowd(
@@ -44,8 +44,14 @@ def calibrate_crowd(
     smoothing:
         Laplace smoothing passed to :func:`estimate_accuracy`.
     default_accuracy:
-        Accuracy assigned to workers with no gold answers.
+        Accuracy assigned to workers with no gold answers.  Clamped
+        into the same epsilon-open interval as the estimates, so every
+        accuracy leaving calibration is safe to feed likelihoods.
     """
+    if not 0.0 <= default_accuracy <= 1.0:
+        raise ValueError(
+            f"default_accuracy must lie in [0, 1], got {default_accuracy}"
+        )
     workers = []
     for worker_id, answers in gold_answers.items():
         if len(answers) > len(gold_truth):
@@ -58,7 +64,7 @@ def calibrate_crowd(
                 smoothing=smoothing,
             )
         else:
-            accuracy = default_accuracy
+            accuracy = clamp_accuracy(default_accuracy)
         workers.append(Worker(worker_id=worker_id, accuracy=accuracy))
     return Crowd(workers)
 

@@ -30,6 +30,11 @@ FAULT_KINDS = frozenset(
         "tempered_update", # zero-evidence answers required tempering
         "budget_clip",     # answers dropped to stay within budget
         "abandoned",       # a query set was given up on permanently
+        "gold_probe",      # a seeded known-truth fact was scored
+        "drift",           # a worker's CUSUM drift statistic alarmed
+        "quarantine",      # a worker's breaker opened; worker benched
+        "probation",       # a half-open worker answered probation probes
+        "readmit",         # a quarantined worker passed probation
     }
 )
 

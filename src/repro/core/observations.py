@@ -239,6 +239,31 @@ class BeliefState:
             raise ValueError("likelihood must have one entry per observation")
         return BeliefState(self._facts, self._probs * likelihood)
 
+    def log_reweighted(self, log_likelihood: np.ndarray) -> "BeliefState":
+        """Bayes update from a *log*-likelihood vector.
+
+        Normalizes with the logsumexp trick (shift by the peak before
+        exponentiating), so posteriors survive likelihoods whose linear
+        products underflow float64 — the large-panel / near-0/1-accuracy
+        regime.  ``-inf`` entries (exactly-zero likelihood) are allowed;
+        raises ``ValueError`` when every entry is ``-inf`` (zero
+        evidence, the log-space analogue of a zero-sum posterior).
+        """
+        log_likelihood = np.asarray(log_likelihood, dtype=np.float64)
+        if log_likelihood.shape != self._probs.shape:
+            raise ValueError(
+                "log likelihood must have one entry per observation"
+            )
+        with np.errstate(divide="ignore"):
+            log_posterior = np.log(self._probs) + log_likelihood
+        peak = float(log_posterior.max())
+        if not np.isfinite(peak):
+            raise ValueError(
+                "log likelihood is -inf everywhere the belief has mass; "
+                "posterior is undefined"
+            )
+        return BeliefState(self._facts, np.exp(log_posterior - peak))
+
     def __repr__(self) -> str:
         return (
             f"BeliefState(num_facts={self.num_facts}, "

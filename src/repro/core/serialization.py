@@ -28,11 +28,13 @@ from .workers import Crowd, Worker
 
 #: Format tag written into every serialized payload.  Version 2 adds
 #: fault events on round records and the append-only session journal;
-#: version-1 payloads are still read transparently.
-FORMAT_VERSION = 2
+#: version 3 adds the trust-supervision state (worker posteriors,
+#: circuit breakers, pending gold probes) to session checkpoints.
+#: Older payloads are still read transparently.
+FORMAT_VERSION = 3
 
 #: Versions this build can read.
-SUPPORTED_VERSIONS = frozenset({1, 2})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3})
 
 
 class SerializationError(ValueError):

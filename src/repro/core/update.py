@@ -14,7 +14,14 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from .answers import AnswerFamily, AnswerSet, answer_set_likelihood, family_likelihood
+from .answers import (
+    AnswerFamily,
+    AnswerSet,
+    answer_set_likelihood,
+    family_likelihood,
+    log_answer_set_likelihood,
+    log_family_likelihood,
+)
 from .facts import FactSet
 from .observations import BeliefState
 
@@ -62,12 +69,22 @@ def initialize_from_votes(
     return BeliefState.from_marginals(facts, marginals)
 
 
+#: Evidence below this is treated as potential float64 underflow rather
+#: than genuine inconsistency: the update retries in log space before
+#: concluding the answers truly have zero probability.  Comfortably
+#: above the subnormal range (~1e-308) where products lose precision.
+EVIDENCE_UNDERFLOW_GUARD = 1e-250
+
+
 def update_with_answer_set(
     belief: BeliefState, answer_set: AnswerSet
 ) -> BeliefState:
     """Posterior after one worker's answer set (Lemma 3, Eq. 19)."""
     likelihood = answer_set_likelihood(belief, answer_set)
-    return _posterior(belief, likelihood)
+    return _posterior(
+        belief, likelihood,
+        lambda: log_answer_set_likelihood(belief, answer_set),
+    )
 
 
 def update_with_family(belief: BeliefState, family: AnswerFamily) -> BeliefState:
@@ -77,16 +94,36 @@ def update_with_family(belief: BeliefState, family: AnswerFamily) -> BeliefState
     family likelihood is the product of per-worker likelihoods.
     """
     likelihood = family_likelihood(belief, family)
-    return _posterior(belief, likelihood)
+    return _posterior(
+        belief, likelihood, lambda: log_family_likelihood(belief, family)
+    )
 
 
-def _posterior(belief: BeliefState, likelihood: np.ndarray) -> BeliefState:
+def _posterior(
+    belief: BeliefState,
+    likelihood: np.ndarray,
+    log_likelihood_fn=None,
+) -> BeliefState:
+    """Linear-space Bayes update with a log-space underflow fallback.
+
+    The linear path runs first and is kept bitwise-identical to the
+    historical behaviour whenever the evidence is healthy (checkpoint
+    resume depends on that).  Only when the evidence drops into the
+    underflow guard band does the update recompute in log space, which
+    distinguishes "the product underflowed" from "the answers are truly
+    impossible".
+    """
     evidence = float(belief.probabilities @ likelihood)
-    if evidence <= 0.0:
-        raise InconsistentEvidenceError(
-            "observed answers have zero probability under the current belief"
-        )
-    return belief.reweighted(likelihood)
+    if evidence > EVIDENCE_UNDERFLOW_GUARD:
+        return belief.reweighted(likelihood)
+    if log_likelihood_fn is not None:
+        try:
+            return belief.log_reweighted(log_likelihood_fn())
+        except ValueError:
+            pass
+    raise InconsistentEvidenceError(
+        "observed answers have zero probability under the current belief"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -98,24 +135,38 @@ TEMPER_FLOOR = 1e-9
 
 
 def tempered_posterior(
-    belief: BeliefState, likelihood: np.ndarray, floor: float = TEMPER_FLOOR
+    belief: BeliefState,
+    likelihood: np.ndarray,
+    floor: float = TEMPER_FLOOR,
+    log_likelihood_fn=None,
 ) -> tuple[BeliefState, bool]:
     """Bayes update that survives zero-evidence answer patterns.
 
     When ``P(A) > 0`` this is the exact Lemma-3 posterior and the second
-    return value is ``False``.  When the evidence is zero (the answers
-    contradict every observation the belief still allows — e.g. an
-    accuracy-1.0 worker contradicting a point mass), the likelihood is
-    floored at ``floor`` times its largest entry (or ``floor`` outright
-    if it is identically zero) and renormalized, which re-smooths the
-    posterior marginals instead of crashing; the second return value is
-    then ``True`` so callers can record the incident.
+    return value is ``False``.  When the evidence is zero, the update
+    first retries in log space (when ``log_likelihood_fn`` is supplied)
+    to distinguish float64 underflow from genuine inconsistency; an
+    underflowed-but-consistent update stays exact and is *not* counted
+    as tempered.  Only when the answers truly contradict every
+    observation the belief still allows (e.g. an accuracy-1.0 worker
+    contradicting a point mass) is the likelihood floored at ``floor``
+    times its largest entry (or ``floor`` outright if it is identically
+    zero) and renormalized, which re-smooths the posterior marginals
+    instead of crashing; the second return value is then ``True`` so
+    callers can record the incident.
     """
     if not 0.0 < floor < 1.0:
         raise ValueError(f"floor must lie in (0, 1), got {floor}")
     likelihood = np.asarray(likelihood, dtype=np.float64)
     evidence = float(belief.probabilities @ likelihood)
-    if evidence > 0.0:
+    if evidence > EVIDENCE_UNDERFLOW_GUARD:
+        return belief.reweighted(likelihood), False
+    if log_likelihood_fn is not None:
+        try:
+            return belief.log_reweighted(log_likelihood_fn()), False
+        except ValueError:
+            pass
+    elif evidence > 0.0:
         return belief.reweighted(likelihood), False
     scale = float(likelihood.max())
     floored = likelihood + (scale if scale > 0.0 else 1.0) * floor
@@ -127,7 +178,10 @@ def tempered_update_with_answer_set(
 ) -> tuple[BeliefState, bool]:
     """:func:`update_with_answer_set` with the tempered fallback."""
     likelihood = answer_set_likelihood(belief, answer_set)
-    return tempered_posterior(belief, likelihood, floor=floor)
+    return tempered_posterior(
+        belief, likelihood, floor=floor,
+        log_likelihood_fn=lambda: log_answer_set_likelihood(belief, answer_set),
+    )
 
 
 def tempered_update_with_family(
@@ -135,4 +189,7 @@ def tempered_update_with_family(
 ) -> tuple[BeliefState, bool]:
     """:func:`update_with_family` with the tempered fallback."""
     likelihood = family_likelihood(belief, family)
-    return tempered_posterior(belief, likelihood, floor=floor)
+    return tempered_posterior(
+        belief, likelihood, floor=floor,
+        log_likelihood_fn=lambda: log_family_likelihood(belief, family),
+    )

@@ -10,6 +10,7 @@ signal); a threshold ``theta`` then splits the crowd into *expert* workers
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -17,6 +18,27 @@ import numpy as np
 
 #: Error model lower bound on usable worker accuracy (paper section II-A).
 MIN_ACCURACY = 0.5
+
+#: Half-width of the epsilon-open interval accuracy *estimates* are
+#: clamped into.  An estimate of exactly 0 or 1 makes ``P(A | o)``
+#: degenerate downstream (a single contradicting answer then has zero
+#: probability under every observation), so estimators squeeze into
+#: ``[ACCURACY_EPSILON, 1 - ACCURACY_EPSILON]``.
+ACCURACY_EPSILON = 1e-6
+
+
+def clamp_accuracy(
+    value: float, epsilon: float = ACCURACY_EPSILON
+) -> float:
+    """Squeeze an accuracy estimate into an epsilon-open interval.
+
+    Declared accuracies of exactly 0 or 1 remain legal on
+    :class:`Worker` (the paper's deterministic endpoints); this clamp is
+    for *estimated* quantities that feed likelihoods.
+    """
+    if not 0.0 < epsilon < 0.5:
+        raise ValueError(f"epsilon must lie in (0, 0.5), got {epsilon}")
+    return float(min(max(value, epsilon), 1.0 - epsilon))
 
 
 @dataclass(frozen=True, order=True)
@@ -32,16 +54,25 @@ class Worker:
     accuracy: float
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.accuracy <= 1.0:
+        if (
+            not isinstance(self.accuracy, (int, float))
+            or not math.isfinite(self.accuracy)
+            or not 0.0 <= self.accuracy <= 1.0
+        ):
             raise ValueError(
-                f"accuracy must lie in [0, 1], got {self.accuracy} "
-                f"for worker {self.worker_id!r}"
+                f"accuracy must be a finite number in [0, 1], got "
+                f"{self.accuracy!r} for worker {self.worker_id!r}"
             )
 
     @property
     def is_usable(self) -> bool:
         """Whether the worker meets the error-model bound ``Pr_cr >= 1/2``."""
         return self.accuracy >= MIN_ACCURACY
+
+    def with_accuracy(self, accuracy: float) -> "Worker":
+        """Same worker id with a different accuracy (e.g. the trust
+        layer's posterior mean replacing the declared rate)."""
+        return Worker(worker_id=self.worker_id, accuracy=accuracy)
 
 
 class Crowd:
@@ -130,7 +161,11 @@ def estimate_accuracy(
     """Estimate a worker's accuracy from gold-task answers.
 
     Uses Laplace smoothing so a worker who aced (or failed) a handful of
-    gold tasks is not declared perfect (or useless) outright.
+    gold tasks is not declared perfect (or useless) outright.  The
+    estimate is additionally clamped into
+    ``[ACCURACY_EPSILON, 1 - ACCURACY_EPSILON]``: under ``smoothing=0``
+    the raw ratio can hit exactly 0 or 1, which would make the
+    downstream answer likelihood ``P(A | o)`` degenerate.
 
     Parameters
     ----------
@@ -139,6 +174,8 @@ def estimate_accuracy(
     smoothing:
         Pseudo-count added to both correct and incorrect tallies.
     """
+    if smoothing < 0.0:
+        raise ValueError(f"smoothing must be non-negative, got {smoothing}")
     if len(answers) != len(gold):
         raise ValueError("answers and gold must be the same length")
     if not answers:
@@ -146,4 +183,5 @@ def estimate_accuracy(
     correct = sum(
         1 for answer, truth in zip(answers, gold) if answer == truth
     )
-    return (correct + smoothing) / (len(answers) + 2.0 * smoothing)
+    estimate = (correct + smoothing) / (len(answers) + 2.0 * smoothing)
+    return clamp_accuracy(estimate)

@@ -5,6 +5,7 @@ from .faults import AnswerCollectionTimeout, FaultModel, FaultyExpertPanel
 from .online import OnlineCheckingSession, SessionStateError
 from .oracle import (
     CachedExpertPanel,
+    DegradingExpertPanel,
     MismatchedExpertPanel,
     ScriptedAnswerSource,
     SimulatedExpertPanel,
@@ -19,6 +20,7 @@ from .session import SessionConfig, run_hc_session
 __all__ = [
     "AnswerCollectionTimeout",
     "CachedExpertPanel",
+    "DegradingExpertPanel",
     "FaultModel",
     "FaultyExpertPanel",
     "MismatchedExpertPanel",

@@ -189,6 +189,7 @@ class OnlineCheckingSession:
         *,
         temper: bool = True,
         fault_events: Sequence[FaultEvent] = (),
+        accuracy_overrides: Mapping[str, float] | None = None,
     ) -> RoundRecord:
         """Apply whatever answers actually came back for the pending set.
 
@@ -216,6 +217,14 @@ class OnlineCheckingSession:
         fault_events:
             Incidents observed while collecting this round; stamped with
             the round index and stored on the returned record.
+        accuracy_overrides:
+            Optional ``worker_id -> accuracy`` mapping.  Listed workers'
+            answers are weighted with the given accuracy instead of
+            their declared rate — the trust layer passes posterior
+            means here so the Bayesian update trusts each expert only
+            as much as their observed track record warrants.  Workers
+            not listed use their declared accuracy; ids without answers
+            this round are ignored.
         """
         if self._finished:
             raise SessionStateError("session is finished")
@@ -249,7 +258,10 @@ class OnlineCheckingSession:
         events = [
             event.stamped(self._round_index) for event in fault_events
         ]
-        self._apply_partial(family, temper=temper, events=events)
+        self._apply_partial(
+            family, temper=temper, events=events,
+            accuracy_overrides=accuracy_overrides,
+        )
         cost = self._budget.charge_family(family)
         record = self._record(
             self._round_index, self._pending, cost, tuple(events)
@@ -264,6 +276,7 @@ class OnlineCheckingSession:
         family: PartialAnswerFamily,
         temper: bool,
         events: list[FaultEvent],
+        accuracy_overrides: Mapping[str, float] | None = None,
     ) -> None:
         """Stage per-worker Lemma-3 updates per group, then commit.
 
@@ -273,13 +286,18 @@ class OnlineCheckingSession:
         """
         staged: dict[int, BeliefState] = {}
         for answer_set in family:
+            worker = answer_set.worker
+            if accuracy_overrides and worker.worker_id in accuracy_overrides:
+                worker = worker.with_accuracy(
+                    accuracy_overrides[worker.worker_id]
+                )
             by_group: dict[int, dict[int, bool]] = {}
             for fact_id, answer in answer_set.answers.items():
                 group_index = self._belief.group_index_of(fact_id)
                 by_group.setdefault(group_index, {})[fact_id] = answer
             for group_index, answers in by_group.items():
                 state = staged.get(group_index, self._belief[group_index])
-                sub = AnswerSet(worker=answer_set.worker, answers=answers)
+                sub = AnswerSet(worker=worker, answers=answers)
                 try:
                     updated = update_with_answer_set(state, sub)
                 except InconsistentEvidenceError as error:

@@ -145,6 +145,75 @@ class CachedExpertPanel(SimulatedExpertPanel):
         }
 
 
+class DegradingExpertPanel(SimulatedExpertPanel):
+    """A panel where one worker's *true* accuracy drops mid-campaign.
+
+    The drop is keyed on the number of :meth:`collect` calls served, so
+    it is deterministic under journal resume (the counter is part of the
+    panel state).  Models the trust layer's target failure: a declared
+    expert whose real reliability collapses after the campaign starts.
+
+    Parameters
+    ----------
+    ground_truth, rng:
+        As in :class:`SimulatedExpertPanel`.
+    degraded_worker_id:
+        The worker whose behaviour changes.
+    degraded_accuracy:
+        Their true accuracy from ``degrade_after_collects`` onwards
+        (e.g. 0.5 == coin flip).
+    degrade_after_collects:
+        Number of :meth:`collect` calls served at full accuracy before
+        the drop takes effect.
+    """
+
+    def __init__(
+        self,
+        ground_truth: Mapping[int, bool],
+        degraded_worker_id: str,
+        degraded_accuracy: float = 0.5,
+        degrade_after_collects: int = 0,
+        rng: np.random.Generator | int | None = None,
+    ):
+        if not 0.0 <= degraded_accuracy <= 1.0:
+            raise ValueError(
+                f"degraded_accuracy must lie in [0, 1], "
+                f"got {degraded_accuracy}"
+            )
+        if degrade_after_collects < 0:
+            raise ValueError("degrade_after_collects must be non-negative")
+        super().__init__(ground_truth, rng)
+        self._degraded_worker_id = degraded_worker_id
+        self._degraded_accuracy = float(degraded_accuracy)
+        self._degrade_after = int(degrade_after_collects)
+        self.collect_calls = 0
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.collect_calls >= self._degrade_after
+
+    def _answer(self, worker: Worker, fact_id: int) -> bool:
+        if worker.worker_id == self._degraded_worker_id and self.is_degraded:
+            worker = worker.with_accuracy(self._degraded_accuracy)
+        return super()._answer(worker, fact_id)
+
+    def collect(
+        self, query_fact_ids: Sequence[int], experts: Crowd
+    ) -> AnswerFamily:
+        family = super().collect(query_fact_ids, experts)
+        self.collect_calls += 1
+        return family
+
+    def get_state(self) -> dict:
+        state = super().get_state()
+        state["collect_calls"] = self.collect_calls
+        return state
+
+    def set_state(self, state: dict) -> None:
+        super().set_state(state)
+        self.collect_calls = int(state.get("collect_calls", 0))
+
+
 class ScriptedAnswerSource:
     """Replays a fixed ``(worker_id, fact_id) -> answer`` script.
 

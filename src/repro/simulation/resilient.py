@@ -19,7 +19,15 @@ module keeps the checking loop alive through all of it:
 * **crash-safe checkpointing**: an append-only JSONL journal captures
   belief, budget, pending queries, retry state and RNG states after
   every state transition, and :meth:`ResilientCheckingSession.resume`
-  restores mid-round — byte-identical to an uninterrupted run.
+  restores mid-round — byte-identical to an uninterrupted run;
+* **online trust supervision** (opt-in via ``trust_policy``): a
+  :class:`~repro.core.trust.TrustSupervisor` maintains per-worker Beta
+  posteriors over accuracy fed by seeded gold probes and MAP-agreement,
+  trust-weights the Bayesian update, and drives per-worker circuit
+  breakers that quarantine drifting experts through the reassignment
+  path and re-admit them after gold-probe probation.  Supervisor state
+  (posteriors, breakers, pending probes, probe RNG) is journaled, so
+  resume stays byte-identical with trust enabled.
 
 Every survived incident is a :class:`~repro.core.incidents.FaultEvent`
 in the session's ``incidents`` log and on the owning round's record.
@@ -33,7 +41,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from ..core.answers import AnswerFamily, PartialAnswerFamily
+from ..core.answers import AnswerFamily, AnswerSet, PartialAnswerFamily
 from ..core.budget import CostModel
 from ..core.hc import RunResult
 from ..core.incidents import FaultEvent
@@ -49,6 +57,7 @@ from ..core.serialization import (
     fault_event_to_dict,
     read_journal,
 )
+from ..core.trust import TrustPolicy, TrustReport, TrustSupervisor
 from ..core.workers import Crowd
 from .faults import AnswerCollectionTimeout
 from .online import OnlineCheckingSession
@@ -112,6 +121,8 @@ class ResilientRunResult(RunResult):
 
     incidents: list[FaultEvent] = field(default_factory=list)
     halted: bool = False
+    #: Trust-supervision outcome, ``None`` when supervision was off.
+    trust: TrustReport | None = None
 
 
 class ResilientCheckingSession:
@@ -132,6 +143,19 @@ class ResilientCheckingSession:
         When given, every state transition is appended to this JSONL
         journal and :meth:`resume` can restore the session mid-round
         after a crash.
+    trust_policy:
+        When given, an online :class:`~repro.core.trust.TrustSupervisor`
+        tracks every panel member's accuracy posterior, injects gold
+        probes, trust-weights the Bayesian update, and quarantines /
+        re-admits workers through per-worker circuit breakers.  Probe
+        answers are an operational QA cost: they are stripped before the
+        belief update and are *not* charged against the checking budget
+        ``B``.
+    gold_facts:
+        ``fact_id -> truth`` probe pool for the trust layer (see
+        :func:`~repro.core.trust.select_gold_probes`).  Ignored without
+        ``trust_policy``; an empty pool disables probing and probation,
+        leaving trust to run on MAP agreement alone.
     seed:
         Seed of the session RNG (backoff jitter).
     sleep:
@@ -154,6 +178,8 @@ class ResilientCheckingSession:
         retry_policy: RetryPolicy | None = None,
         reserve_experts: Crowd | None = None,
         journal_path: str | Path | None = None,
+        trust_policy: TrustPolicy | None = None,
+        gold_facts: Mapping[int, bool] | None = None,
         seed: int = 0,
         sleep: Callable[[float], None] | None = None,
     ):
@@ -166,6 +192,11 @@ class ResilientCheckingSession:
             cost_model=cost_model,
             ground_truth=ground_truth,
         )
+        supervisor = (
+            TrustSupervisor(experts, policy=trust_policy, gold=gold_facts)
+            if trust_policy is not None
+            else None
+        )
         self._init_common(
             inner,
             cost_model=cost_model,
@@ -174,6 +205,7 @@ class ResilientCheckingSession:
             journal_path=journal_path,
             rng=np.random.default_rng(seed),
             sleep=sleep,
+            supervisor=supervisor,
         )
         if self._journal_path is not None:
             append_journal_record(
@@ -197,8 +229,10 @@ class ResilientCheckingSession:
         journal_path: str | Path | None,
         rng: np.random.Generator,
         sleep: Callable[[float], None] | None,
+        supervisor: TrustSupervisor | None = None,
     ) -> None:
         self._inner = inner
+        self._supervisor = supervisor
         self._cost_model = cost_model or CostModel()
         self._retry = retry_policy or RetryPolicy()
         self._reserve = reserve
@@ -284,11 +318,20 @@ class ResilientCheckingSession:
                 self._attempt = 0
                 self._reassignments_used = 0
                 self._round_events = []
+                if self._supervisor is not None:
+                    # chosen before the round-start checkpoint so a
+                    # resumed session replays the exact same probes
+                    self._supervisor.select_probes(exclude=queries)
                 self._journal_checkpoint(answer_source)
             else:
                 # resumed mid-round: replay the journaled pending set
                 queries = list(self._inner.pending_queries)
-            family = self._collect_with_retry(answer_source, queries)
+            probes = (
+                self._supervisor.select_probes(exclude=queries)
+                if self._supervisor is not None
+                else ()
+            )
+            family = self._collect_with_retry(answer_source, queries, probes)
             if family is None:
                 # the round never completed; its collection incidents
                 # would otherwise vanish with the abandoned record
@@ -305,18 +348,29 @@ class ResilientCheckingSession:
                     attach_to_round=False,
                 )
                 self._inner.abandon_pending()
+                if self._supervisor is not None:
+                    self._supervisor.clear_probes()
                 self._halted = True
                 self._journal_checkpoint(answer_source)
                 break
             before = len(self._round_events)
             record = self._inner.submit_partial(
-                family, temper=True, fault_events=self._round_events
+                family,
+                temper=True,
+                fault_events=self._round_events,
+                accuracy_overrides=(
+                    self._supervisor.accuracy_overrides()
+                    if self._supervisor is not None
+                    else None
+                ),
             )
             self.incidents.extend(record.fault_events[:before])
             for event in record.fault_events[before:]:
                 # tempered updates surfaced by submit_partial
                 self._note(event, attach_to_round=False)
             self._round_events = []
+            if self._supervisor is not None:
+                self._trust_post_round(answer_source, record, family)
             self._journal_checkpoint(answer_source)
             rounds += 1
         return self.result()
@@ -328,6 +382,11 @@ class ResilientCheckingSession:
             history=list(self._inner.history),
             incidents=list(self.incidents),
             halted=self._halted,
+            trust=(
+                self._supervisor.report()
+                if self._supervisor is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -335,29 +394,43 @@ class ResilientCheckingSession:
     # ------------------------------------------------------------------
 
     def _collect_with_retry(
-        self, answer_source, queries: list[int]
+        self,
+        answer_source,
+        queries: list[int],
+        probes: Sequence[int] = (),
     ) -> PartialAnswerFamily | None:
         """Collect answers for one round, surviving transient failures.
+
+        When the trust layer scheduled gold ``probes``, they ride along
+        in the same collection request (indistinguishable from campaign
+        queries to the workers), are scored against the gold truth, and
+        are stripped back out before the family reaches the budget
+        accounting and the Bayesian update.
 
         Returns ``None`` only when every retry against every available
         panel produced nothing.
         """
+        collect_queries = list(queries) + [
+            fact_id for fact_id in probes if fact_id not in queries
+        ]
         while True:
             attempt = self._attempt
             failure_detail = ""
             partial: PartialAnswerFamily | None = None
             try:
                 collected = answer_source.collect(
-                    queries, self._inner.experts
+                    collect_queries, self._inner.experts
                 )
             except AnswerCollectionTimeout as error:
                 self._drain_source_events(answer_source, attempt)
                 failure_detail = str(error)
             else:
                 self._drain_source_events(answer_source, attempt)
-                partial = self._coerce(collected, queries)
+                partial = self._coerce(collected, collect_queries)
+                partial, probe_answers = self._strip_probes(partial, probes)
                 partial = self._trim_to_budget(partial)
                 if partial.num_answers > 0:
+                    self._score_probes(probe_answers)
                     return partial
                 self._note(
                     FaultEvent(
@@ -369,7 +442,6 @@ class ResilientCheckingSession:
                     )
                 )
             self._attempt += 1
-            self._journal_checkpoint(answer_source)
             if self._attempt >= self._retry.max_attempts:
                 if (
                     self._reassignments_used < self._retry.max_reassignments
@@ -380,6 +452,8 @@ class ResilientCheckingSession:
                     self._reassignments_used += 1
                     self._journal_checkpoint(answer_source)
                     continue
+                # no checkpoint here: the caller's abandoned path notes
+                # the outcome and checkpoints the halted state
                 return None
             delay = self._retry.delay_for(self._attempt - 1, self._rng)
             self._note(
@@ -395,8 +469,77 @@ class ResilientCheckingSession:
                     ),
                 )
             )
+            # checkpoint only after the backoff delay was drawn and the
+            # event noted, so the snapshot (incidents + round_events +
+            # RNG state) is consistent: a resumed replay starts exactly
+            # at the next collection attempt and regenerates every
+            # journal record that followed this checkpoint
+            self._journal_checkpoint(answer_source)
             if self._sleep is not None and delay > 0.0:
                 self._sleep(delay)
+
+    def _strip_probes(
+        self, partial: PartialAnswerFamily, probes: Sequence[int]
+    ) -> tuple[PartialAnswerFamily, dict[str, dict[int, bool]]]:
+        """Split gold-probe answers out of a collected family.
+
+        The returned family covers only the campaign queries (probe
+        answers must never reach the budget accounting or the belief
+        update); the mapping holds each worker's probe answers for
+        trust scoring.
+        """
+        if not probes:
+            return partial, {}
+        probe_set = set(probes)
+        kept: list[AnswerSet] = []
+        probe_answers: dict[str, dict[int, bool]] = {}
+        for answer_set in partial.answer_sets:
+            regular = {
+                fact_id: answer
+                for fact_id, answer in answer_set.answers.items()
+                if fact_id not in probe_set
+            }
+            probed = {
+                fact_id: answer
+                for fact_id, answer in answer_set.answers.items()
+                if fact_id in probe_set
+            }
+            if probed:
+                probe_answers[answer_set.worker.worker_id] = probed
+            if regular:
+                kept.append(
+                    AnswerSet(worker=answer_set.worker, answers=regular)
+                )
+        stripped = PartialAnswerFamily(
+            intended_query_fact_ids=tuple(
+                fact_id
+                for fact_id in partial.intended_query_fact_ids
+                if fact_id not in probe_set
+            ),
+            intended_worker_ids=partial.intended_worker_ids,
+            answer_sets=tuple(kept),
+        )
+        return stripped, probe_answers
+
+    def _score_probes(
+        self, probe_answers: Mapping[str, Mapping[int, bool]]
+    ) -> None:
+        """Fold gold-probe answers into trust at weight 1."""
+        if self._supervisor is None or not probe_answers:
+            return
+        for worker_id in sorted(probe_answers):
+            answers = probe_answers[worker_id]
+            correct, total = self._supervisor.score_gold(worker_id, answers)
+            self._note(
+                FaultEvent(
+                    kind="gold_probe",
+                    round_index=self._inner.round_index,
+                    attempt=self._attempt,
+                    worker_id=worker_id,
+                    fact_ids=tuple(sorted(answers)),
+                    detail=f"{correct}/{total} gold probes correct",
+                )
+            )
 
     def _coerce(
         self, collected, queries: Sequence[int]
@@ -457,6 +600,9 @@ class ResilientCheckingSession:
         replacements = self._reserve[:take]
         del self._reserve[:take]
         new_panel = Crowd(replacements + panel[take:])
+        if self._supervisor is not None:
+            for worker in replacements:
+                self._supervisor.register(worker)
         self._inner.replace_experts(new_panel)
         self._note(
             FaultEvent(
@@ -471,12 +617,181 @@ class ResilientCheckingSession:
             )
         )
 
-    def _drain_source_events(self, answer_source, attempt: int) -> None:
+    # ------------------------------------------------------------------
+    # trust supervision (post-round)
+    # ------------------------------------------------------------------
+
+    def _trust_post_round(
+        self, answer_source, record, family: PartialAnswerFamily
+    ) -> None:
+        """Advance the trust layer after a completed round.
+
+        Folds the round's answers into every responder's posterior
+        (agreement with the *post-update* MAP labels; facts in the gold
+        pool against gold), ticks every circuit breaker, and acts on the
+        decisions: quarantines through the reassignment path, probation
+        probes for cooled-down workers, re-admission for workers that
+        pass.
+        """
+        supervisor = self._supervisor
+        assert supervisor is not None
+        answers_by_worker = {
+            answer_set.worker.worker_id: dict(answer_set.answers)
+            for answer_set in family.answer_sets
+        }
+        supervisor.observe_round(answers_by_worker, self._inner.final_labels())
+        supervisor.clear_probes()
+        round_index = record.round_index
+        decisions = supervisor.evaluate(
+            round_index, self._inner.experts.worker_ids
+        )
+        for decision in decisions:
+            if decision.kind == "drift":
+                self._note(
+                    FaultEvent(
+                        kind="drift",
+                        round_index=round_index,
+                        worker_id=decision.worker_id,
+                        detail=decision.reason,
+                    ),
+                    attach_to_round=False,
+                )
+            elif decision.kind == "quarantine":
+                self._quarantine(decision, round_index)
+            elif decision.kind == "probation":
+                self._probation(answer_source, decision, round_index)
+
+    def _quarantine(self, decision, round_index: int) -> None:
+        """Pull a tripped worker from the panel, substituting a reserve."""
+        supervisor = self._supervisor
+        panel = list(self._inner.experts)
+        worker = next(
+            member for member in panel
+            if member.worker_id == decision.worker_id
+        )
+        remaining = [
+            member for member in panel
+            if member.worker_id != decision.worker_id
+        ]
+        replacement = None
+        if self._reserve:
+            replacement = self._reserve.pop(0)
+            supervisor.register(replacement)
+            remaining.append(replacement)
+        supervisor.quarantine_worker(worker)
+        if not remaining:
+            # Never empty the panel: the worker stays active (their
+            # trust-weighted accuracy already discounts their answers)
+            # while the open breaker keeps them on the probation track.
+            detail = (
+                f"{decision.reason} (no reserves; worker retained to "
+                "keep the panel non-empty)"
+            )
+        else:
+            self._inner.replace_experts(Crowd(remaining))
+            detail = decision.reason + (
+                f"; replaced by {replacement.worker_id!r}"
+                if replacement is not None
+                else "; no reserve available"
+            )
+        self._note(
+            FaultEvent(
+                kind="quarantine",
+                round_index=round_index,
+                worker_id=worker.worker_id,
+                detail=detail,
+            ),
+            attach_to_round=False,
+        )
+
+    def _probation(self, answer_source, decision, round_index: int) -> None:
+        """Send one half-open worker their gold probation probes."""
+        supervisor = self._supervisor
+        worker = next(
+            (
+                candidate
+                for candidate in supervisor.quarantined_workers
+                if candidate.worker_id == decision.worker_id
+            ),
+            None,
+        )
+        if worker is None:
+            return
+        probe_facts = supervisor.probation_probes_for(worker.worker_id)
+        if not probe_facts:
+            # no gold pool: probation is impossible, the worker stays
+            # half-open (and benched) for the rest of the campaign
+            return
+        try:
+            collected = answer_source.collect(
+                list(probe_facts), Crowd([worker])
+            )
+        except AnswerCollectionTimeout as error:
+            # the round is already finalized; probation incidents go
+            # straight to the session log, not the (closed) round record
+            self._drain_source_events(
+                answer_source, attempt=0, attach_to_round=False
+            )
+            self._note(
+                FaultEvent(
+                    kind="probation",
+                    round_index=round_index,
+                    worker_id=worker.worker_id,
+                    fact_ids=probe_facts,
+                    detail=f"probation attempt timed out ({error}); "
+                           "retrying next round",
+                ),
+                attach_to_round=False,
+            )
+            return
+        self._drain_source_events(
+            answer_source, attempt=0, attach_to_round=False
+        )
+        partial = self._coerce(collected, list(probe_facts))
+        answers: dict[int, bool] = {}
+        for answer_set in partial.answer_sets:
+            if answer_set.worker.worker_id == worker.worker_id:
+                answers = dict(answer_set.answers)
+        verdict = supervisor.score_probation(
+            worker.worker_id, answers, round_index
+        )
+        self._note(
+            FaultEvent(
+                kind="probation",
+                round_index=round_index,
+                worker_id=worker.worker_id,
+                fact_ids=probe_facts,
+                detail=verdict.reason,
+            ),
+            attach_to_round=False,
+        )
+        if verdict.kind == "readmit":
+            panel = list(self._inner.experts)
+            if all(
+                member.worker_id != worker.worker_id for member in panel
+            ):
+                self._inner.replace_experts(Crowd(panel + [worker]))
+            self._note(
+                FaultEvent(
+                    kind="readmit",
+                    round_index=round_index,
+                    worker_id=worker.worker_id,
+                    detail=verdict.reason,
+                ),
+                attach_to_round=False,
+            )
+
+    def _drain_source_events(
+        self, answer_source, attempt: int, attach_to_round: bool = True
+    ) -> None:
         drain = getattr(answer_source, "drain_events", None)
         if not callable(drain):
             return
         for event in drain():
-            self._note(event.stamped(self._inner.round_index, attempt))
+            self._note(
+                event.stamped(self._inner.round_index, attempt),
+                attach_to_round=attach_to_round,
+            )
 
     def _note(self, event: FaultEvent, attach_to_round: bool = True) -> None:
         """Record an incident: journal it and, unless told otherwise,
@@ -511,6 +826,8 @@ class ResilientCheckingSession:
             "halted": self._halted,
             "rng": self._rng.bit_generator.state,
         }
+        if self._supervisor is not None:
+            record["trust"] = self._supervisor.get_state()
         if answer_source is not None:
             get_state = getattr(answer_source, "get_state", None)
             if callable(get_state):
@@ -541,14 +858,17 @@ class ResilientCheckingSession:
         uninterrupted run.
         """
         records = read_journal(journal_path)
-        checkpoints = [
-            record for record in records if record.get("kind") == "checkpoint"
+        checkpoint_indices = [
+            index
+            for index, record in enumerate(records)
+            if record.get("kind") == "checkpoint"
         ]
-        if not checkpoints:
+        if not checkpoint_indices:
             raise SerializationError(
                 f"journal {journal_path} has no intact checkpoint"
             )
-        last = checkpoints[-1]
+        last_index = checkpoint_indices[-1]
+        last = records[last_index]
         try:
             panel = (
                 experts
@@ -569,6 +889,12 @@ class ResilientCheckingSession:
             )
             rng = np.random.default_rng(0)
             rng.bit_generator.state = last["rng"]
+            trust_state = last.get("trust")
+            supervisor = (
+                TrustSupervisor.from_state(trust_state)
+                if trust_state is not None
+                else None
+            )
             session._init_common(
                 inner,
                 cost_model=cost_model,
@@ -577,6 +903,7 @@ class ResilientCheckingSession:
                 journal_path=journal_path,
                 rng=rng,
                 sleep=sleep,
+                supervisor=supervisor,
             )
             session._attempt = int(last.get("attempt", 0))
             session._reassignments_used = int(
@@ -588,10 +915,24 @@ class ResilientCheckingSession:
             ]
             session._halted = bool(last.get("halted", False))
             session._pending_source_state = last.get("source")
-            session.incidents = [
-                fault_event_from_dict(record["event"])
-                for record in records
+            # Rebuild the incident log from the event records preceding
+            # the resume checkpoint.  Records after it belong to work the
+            # replay will redo (and re-journal), and the in-flight
+            # round's events live in ``round_events`` — they rejoin
+            # ``incidents`` when the replayed round completes — so both
+            # must be excluded or a resumed campaign double-counts them.
+            event_payloads = [
+                dict(record["event"])
+                for record in records[:last_index]
                 if record.get("kind") == "event"
+            ]
+            for in_flight in reversed(last.get("round_events", ())):
+                for position in range(len(event_payloads) - 1, -1, -1):
+                    if event_payloads[position] == in_flight:
+                        del event_payloads[position]
+                        break
+            session.incidents = [
+                fault_event_from_dict(payload) for payload in event_payloads
             ]
         except (KeyError, TypeError, ValueError) as error:
             if isinstance(error, SerializationError):

@@ -18,6 +18,8 @@ from ..aggregation.base import Aggregator
 from ..aggregation.registry import make_aggregator
 from ..core.hc import HierarchicalCrowdsourcing, RunResult
 from ..core.selection import GreedySelector, Selector
+from ..core.trust import TrustPolicy, select_gold_probes
+from ..core.workers import Crowd
 from ..datasets.grouping import initialize_belief
 from ..datasets.schema import CrowdLabelingDataset
 from .faults import FaultModel, FaultyExpertPanel
@@ -57,6 +59,19 @@ class SessionConfig:
     journal_path:
         When set, the session appends a crash-safe JSONL journal there
         (implies the resilient runtime even without faults).
+    trust_policy:
+        When set, the resilient runtime runs with online trust
+        supervision (per-worker accuracy posteriors, gold probes,
+        circuit breakers); implies the resilient runtime.  The probe
+        pool is carved out of the dataset's ground truth with
+        :func:`~repro.core.trust.select_gold_probes` at
+        ``gold_fraction`` unless the policy's probing is disabled.
+    gold_fraction:
+        Fraction of ground-truth facts reserved as the trust layer's
+        gold-probe pool (seeded from the policy's ``seed``).
+    reserve_accuracies:
+        Accuracies of reserve experts available for reassignment and
+        quarantine substitution (workers named ``r0, r1, ...``).
     """
 
     theta: float = 0.9
@@ -68,6 +83,9 @@ class SessionConfig:
     faults: FaultModel | None = None
     retry_policy: RetryPolicy | None = None
     journal_path: str | Path | None = None
+    trust_policy: TrustPolicy | None = None
+    gold_fraction: float = 0.1
+    reserve_accuracies: tuple[float, ...] = ()
 
 
 def run_hc_session(
@@ -110,9 +128,25 @@ def run_hc_session(
         answer_source = SimulatedExpertPanel(
             dataset.ground_truth, rng=np.random.default_rng(config.seed)
         )
-    if config.faults is not None or config.journal_path is not None:
+    if (
+        config.faults is not None
+        or config.journal_path is not None
+        or config.trust_policy is not None
+    ):
         if config.faults is not None:
             answer_source = FaultyExpertPanel(answer_source, config.faults)
+        gold_facts = None
+        if config.trust_policy is not None:
+            gold_facts = select_gold_probes(
+                dataset.ground_truth,
+                fraction=config.gold_fraction,
+                seed=config.trust_policy.seed,
+            )
+        reserve = (
+            Crowd.from_accuracies(config.reserve_accuracies, prefix="r")
+            if config.reserve_accuracies
+            else None
+        )
         session = ResilientCheckingSession(
             belief,
             experts,
@@ -121,7 +155,10 @@ def run_hc_session(
             k=config.k,
             ground_truth=dataset.ground_truth,
             retry_policy=config.retry_policy,
+            reserve_experts=reserve,
             journal_path=config.journal_path,
+            trust_policy=config.trust_policy,
+            gold_facts=gold_facts,
             seed=config.seed,
         )
         return session.run(answer_source)

@@ -18,6 +18,8 @@ from repro.core import (
     family_distribution,
     family_likelihood,
     family_probability,
+    log_answer_set_likelihood,
+    log_family_likelihood,
     observation_index,
     pattern_marginal,
     worker_response_matrix,
@@ -340,3 +342,62 @@ class TestPartialAnswerFamily:
                     AnswerSet(worker=Worker("a", 0.9), answers={2: True}),
                 ]
             )
+
+
+class TestLogLikelihoods:
+    def test_log_answer_set_matches_linear(self, worker):
+        belief = BeliefState.from_marginals(
+            FactSet.from_ids([1, 2, 3]), [0.6, 0.5, 0.3]
+        )
+        answer_set = AnswerSet(worker=worker, answers={1: True, 3: False})
+        linear = answer_set_likelihood(belief, answer_set)
+        logged = log_answer_set_likelihood(belief, answer_set)
+        assert np.allclose(np.exp(logged), linear)
+
+    def test_log_family_is_sum_of_sets(self, worker):
+        belief = BeliefState.from_marginals(
+            FactSet.from_ids([1, 2]), [0.6, 0.4]
+        )
+        a = AnswerSet(worker=Worker("a", 0.9), answers={1: True, 2: False})
+        b = AnswerSet(worker=Worker("b", 0.7), answers={1: False, 2: False})
+        family = AnswerFamily(answer_sets=(a, b))
+        total = log_family_likelihood(belief, family)
+        assert np.allclose(
+            total,
+            log_answer_set_likelihood(belief, a)
+            + log_answer_set_likelihood(belief, b),
+        )
+
+    def test_extreme_accuracy_stays_finite_in_log_space(self):
+        belief = BeliefState.uniform(FactSet.from_ids(range(10)))
+        answers = {fact_id: True for fact_id in range(10)}
+        family = AnswerFamily(
+            answer_sets=tuple(
+                AnswerSet(worker=Worker(f"w{i}", 0.999), answers=answers)
+                for i in range(20)
+            )
+        )
+        logged = log_family_likelihood(belief, family)
+        # the all-True row is a near-hit for every worker; the all-False
+        # row collects 200 log(0.001) factors but remains representable
+        assert np.isfinite(logged.max())
+        assert logged.max() == pytest.approx(200 * np.log(0.999))
+        assert logged.min() == pytest.approx(200 * np.log(1 - 0.999))
+
+    def test_perfect_worker_gives_minus_inf_not_error(self):
+        belief = BeliefState.from_marginals(FactSet.from_ids([1]), [0.5])
+        answer_set = AnswerSet(
+            worker=Worker("oracle", 1.0), answers={1: True}
+        )
+        logged = log_answer_set_likelihood(belief, answer_set)
+        assert np.isneginf(logged).any()  # the contradicted observation
+        assert np.allclose(
+            np.exp(logged), answer_set_likelihood(belief, answer_set)
+        )
+
+    def test_empty_query_set_is_log_one(self, worker):
+        belief = BeliefState.from_marginals(FactSet.from_ids([1]), [0.5])
+        answer_set = AnswerSet(worker=worker, answers={})
+        assert np.array_equal(
+            log_answer_set_likelihood(belief, answer_set), np.zeros(2)
+        )

@@ -28,7 +28,10 @@ class TestCalibrateCrowd:
         gold_truth = [True, False, True]
         answers = {"w0": [True]}  # answered only the first gold fact
         crowd = calibrate_crowd(answers, gold_truth, smoothing=0.0)
-        assert crowd.by_id("w0").accuracy == pytest.approx(1.0)
+        # A perfect raw ratio is clamped into the epsilon-open interval
+        # so the estimate can never make P(A | o) degenerate.
+        assert crowd.by_id("w0").accuracy == pytest.approx(1.0, abs=1e-5)
+        assert crowd.by_id("w0").accuracy < 1.0
 
     def test_too_many_answers_rejected(self):
         with pytest.raises(ValueError, match="more gold facts"):

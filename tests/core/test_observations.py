@@ -215,3 +215,52 @@ class TestFactoredBelief:
         clone.replace_group(0, new_state)
         assert belief.marginal(0) == pytest.approx(0.5)
         assert clone.marginal(0) == pytest.approx(1.0)
+
+
+class TestLogReweighted:
+    def _belief(self):
+        return BeliefState.from_marginals(
+            FactSet.from_ids([1, 2]), [0.6, 0.3]
+        )
+
+    def test_matches_linear_reweighting(self):
+        belief = self._belief()
+        likelihood = np.array([0.9, 0.05, 0.4, 0.7])
+        linear = belief.reweighted(likelihood)
+        logged = belief.log_reweighted(np.log(likelihood))
+        assert np.allclose(linear.probabilities, logged.probabilities)
+
+    def test_survives_extreme_log_likelihoods(self):
+        belief = self._belief()
+        log_likelihood = np.array([-800.0, -805.0, -900.0, -1000.0])
+        posterior = belief.log_reweighted(log_likelihood)
+        assert np.all(np.isfinite(posterior.probabilities))
+        assert posterior.probabilities.sum() == pytest.approx(1.0)
+        # only the relative weights matter: -800 vs -805 is e^5
+        ratio = posterior.probabilities[0] / posterior.probabilities[1]
+        expected = np.exp(5.0) * belief.probabilities[0] / belief.probabilities[1]
+        assert ratio == pytest.approx(expected)
+
+    def test_all_minus_inf_raises(self):
+        belief = self._belief()
+        with pytest.raises(ValueError, match="-inf"):
+            belief.log_reweighted(np.full(4, -np.inf))
+
+    def test_minus_inf_only_off_support_is_fine(self):
+        facts = FactSet.from_ids([1, 2])
+        belief = BeliefState.from_mapping(
+            facts,
+            {
+                (False, False): 0.5,
+                (True, False): 0.5,
+                (False, True): 0.0,
+                (True, True): 0.0,
+            },
+        )
+        log_likelihood = np.array([0.0, -1.0, -np.inf, -np.inf])
+        posterior = belief.log_reweighted(log_likelihood)
+        assert posterior.probabilities.sum() == pytest.approx(1.0)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape|length|observation"):
+            self._belief().log_reweighted(np.zeros(3))

@@ -183,15 +183,21 @@ class TestSessionCheckpoint:
 
 
 class TestFormatVersions:
-    """v2 is written; v1 payloads (no fault events) still read."""
+    """v3 is written; v1/v2 payloads still read."""
 
-    def test_payloads_are_tagged_v2(self, belief, factored):
+    def test_payloads_are_tagged_v3(self, belief, factored):
         from repro.core import FORMAT_VERSION
 
-        assert FORMAT_VERSION == 2
-        assert belief_state_to_dict(belief)["version"] == 2
-        assert factored_belief_to_dict(factored)["version"] == 2
-        assert crowd_to_dict(Crowd.from_accuracies([0.9]))["version"] == 2
+        assert FORMAT_VERSION == 3
+        assert belief_state_to_dict(belief)["version"] == 3
+        assert factored_belief_to_dict(factored)["version"] == 3
+        assert crowd_to_dict(Crowd.from_accuracies([0.9]))["version"] == 3
+
+    def test_v2_payload_still_loads(self, belief):
+        payload = belief_state_to_dict(belief)
+        payload["version"] = 2  # what a v2 writer produced
+        restored = belief_state_from_dict(payload)
+        assert np.allclose(restored.probabilities, belief.probabilities)
 
     def test_v1_payload_without_version_still_loads(self, belief):
         payload = belief_state_to_dict(belief)

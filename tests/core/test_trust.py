@@ -1,0 +1,395 @@
+"""Unit tests for the online trust supervision layer."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    BetaTrust,
+    CircuitBreaker,
+    Crowd,
+    TrustPolicy,
+    TrustSupervisor,
+    Worker,
+    select_gold_probes,
+)
+from repro.core.trust import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+)
+
+
+class TestTrustPolicy:
+    def test_defaults_are_valid(self):
+        TrustPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"quarantine_lcb": 0.0},
+            {"quarantine_lcb": 1.0},
+            {"prior_strength": 0.0},
+            {"z": -1.0},
+            {"trip_confirmations": 0},
+            {"agreement_weight": 0.0},
+            {"agreement_weight": 1.5},
+            {"probe_rate": -0.1},
+            {"max_probes_per_round": 0},
+            {"cooldown_rounds": -1},
+            {"probation_probes": 0},
+            {"probation_pass": 5, "probation_probes": 3},
+            {"drift_threshold": 0.0},
+            {"drift_slack": 1.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TrustPolicy(**kwargs)
+
+    def test_dict_round_trip(self):
+        policy = TrustPolicy(probe_rate=0.5, quarantine_lcb=0.65, seed=9)
+        restored = TrustPolicy.from_dict(
+            json.loads(json.dumps(policy.to_dict()))
+        )
+        assert restored == policy
+
+
+class TestBetaTrust:
+    def test_prior_from_declared(self):
+        trust = BetaTrust.from_declared(0.95, strength=8.0)
+        assert trust.alpha == pytest.approx(1.0 + 8.0 * 0.95)
+        assert trust.beta == pytest.approx(1.0 + 8.0 * 0.05)
+        assert 0.5 < trust.mean < 0.95
+        assert trust.observations == 0.0
+
+    def test_observe_moves_posterior(self):
+        trust = BetaTrust.from_declared(0.9, strength=8.0)
+        before = trust.mean
+        for _ in range(10):
+            trust.observe(False, 1.0, slack=0.1)
+        assert trust.mean < before
+        assert trust.observations == pytest.approx(10.0)
+
+    def test_lcb_below_mean_and_tightens(self):
+        trust = BetaTrust.from_declared(0.9, strength=8.0)
+        loose = trust.lcb(1.645)
+        assert loose < trust.mean
+        for _ in range(100):
+            trust.observe(True, 1.0, slack=0.1)
+        assert trust.lcb(1.645) > loose
+
+    def test_cusum_accumulates_on_misses_only(self):
+        trust = BetaTrust.from_declared(0.9, 8.0)
+        trust.observe(True, 1.0, slack=0.1)
+        assert trust.cusum == 0.0  # correct answers do not accumulate
+        trust.observe(False, 1.0, slack=0.1)
+        assert trust.cusum == pytest.approx(0.8)
+        trust.observe(False, 1.0, slack=0.1)
+        assert trust.cusum == pytest.approx(1.6)
+
+    def test_invalid_weight(self):
+        trust = BetaTrust.from_declared(0.9, 8.0)
+        with pytest.raises(ValueError):
+            trust.observe(True, 0.0, slack=0.1)
+
+    def test_reset_restores_fresh_prior(self):
+        trust = BetaTrust.from_declared(0.9, 8.0)
+        for _ in range(20):
+            trust.observe(False, 1.0, slack=0.1)
+        trust.reset(8.0)
+        fresh = BetaTrust.from_declared(0.9, 8.0)
+        assert trust.alpha == fresh.alpha
+        assert trust.beta == fresh.beta
+        assert trust.cusum == 0.0
+        assert trust.observations == 0.0
+
+    def test_dict_round_trip_is_exact(self):
+        trust = BetaTrust.from_declared(0.937, 8.0)
+        trust.observe(True, 0.5, slack=0.1)
+        trust.observe(False, 1.0, slack=0.1)
+        restored = BetaTrust.from_dict(
+            json.loads(json.dumps(trust.to_dict()))
+        )
+        assert restored == trust
+
+
+class TestCircuitBreaker:
+    def test_lifecycle(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == BREAKER_CLOSED
+        breaker.trip(5, "lcb below threshold")
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.opened_at_round == 5
+        breaker.to_half_open()
+        assert breaker.state == BREAKER_HALF_OPEN
+        breaker.close()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.trip_reason == ""
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(state="melted")
+
+    def test_dict_round_trip(self):
+        breaker = CircuitBreaker()
+        breaker.trip(3, "drift")
+        restored = CircuitBreaker.from_dict(
+            json.loads(json.dumps(breaker.to_dict()))
+        )
+        assert restored == breaker
+
+
+class TestSelectGoldProbes:
+    TRUTH = {i: bool(i % 2) for i in range(20)}
+
+    def test_deterministic_for_seed(self):
+        a = select_gold_probes(self.TRUTH, fraction=0.2, seed=3)
+        b = select_gold_probes(self.TRUTH, fraction=0.2, seed=3)
+        assert a == b
+
+    def test_subset_of_truth_with_matching_labels(self):
+        gold = select_gold_probes(self.TRUTH, fraction=0.3, seed=1)
+        assert set(gold) <= set(self.TRUTH)
+        assert all(gold[fact] == self.TRUTH[fact] for fact in gold)
+
+    def test_fraction_controls_size(self):
+        gold = select_gold_probes(self.TRUTH, fraction=0.25, seed=0)
+        assert len(gold) == 5
+
+    def test_at_least_one_probe(self):
+        gold = select_gold_probes({1: True, 2: False}, fraction=0.01)
+        assert len(gold) == 1
+
+    def test_empty_truth(self):
+        assert select_gold_probes({}, fraction=0.5) == {}
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            select_gold_probes(self.TRUTH, fraction=0.0)
+
+
+def _supervisor(policy=None, gold=None, accuracies=(0.95, 0.9)):
+    experts = Crowd.from_accuracies(list(accuracies), prefix="e")
+    return TrustSupervisor(experts, policy=policy, gold=gold)
+
+
+class TestTrustSupervisor:
+    def test_register_is_idempotent(self):
+        supervisor = _supervisor()
+        supervisor.trust_of("e0").observe(False, 1.0, 0.1)
+        supervisor.register(Worker("e0", 0.95))
+        assert supervisor.trust_of("e0").observations == 1.0  # not reset
+
+    def test_accuracy_overrides_are_clamped_posterior_means(self):
+        supervisor = _supervisor()
+        overrides = supervisor.accuracy_overrides()
+        assert set(overrides) == {"e0", "e1"}
+        for value in overrides.values():
+            assert 0.0 < value < 1.0
+
+    def test_probe_selection_persists_until_cleared(self):
+        gold = {1: True, 2: False, 3: True}
+        supervisor = _supervisor(
+            TrustPolicy(probe_rate=1.0, seed=0), gold=gold
+        )
+        first = supervisor.select_probes()
+        assert supervisor.select_probes() == first  # no RNG re-advance
+        supervisor.clear_probes()
+        assert supervisor.pending_probes is None
+
+    def test_probes_avoid_excluded_facts(self):
+        gold = {1: True, 2: False}
+        supervisor = _supervisor(
+            TrustPolicy(probe_rate=1.0, seed=0), gold=gold
+        )
+        probes = supervisor.select_probes(exclude=[1])
+        assert 1 not in probes
+
+    def test_zero_probe_rate_never_probes(self):
+        supervisor = _supervisor(
+            TrustPolicy(probe_rate=0.0), gold={1: True}
+        )
+        for _ in range(10):
+            assert supervisor.select_probes() == ()
+            supervisor.clear_probes()
+
+    def test_score_gold_rejects_non_gold_fact(self):
+        supervisor = _supervisor(gold={1: True})
+        with pytest.raises(KeyError):
+            supervisor.score_gold("e0", {2: True})
+
+    def test_score_gold_updates_posterior_at_weight_one(self):
+        supervisor = _supervisor(gold={1: True, 2: False})
+        correct, total = supervisor.score_gold(
+            "e0", {1: True, 2: True}
+        )
+        assert (correct, total) == (1, 2)
+        assert supervisor.trust_of("e0").observations == pytest.approx(2.0)
+
+    def test_observe_round_weights_gold_above_agreement(self):
+        policy = TrustPolicy(agreement_weight=0.5)
+        supervisor = _supervisor(policy, gold={1: True})
+        supervisor.observe_round(
+            {"e0": {1: True, 2: True}}, map_labels={2: True}
+        )
+        # one gold hit at weight 1 + one MAP agreement at weight 0.5
+        assert supervisor.trust_of("e0").observations == pytest.approx(1.5)
+
+    def test_observe_round_ignores_unknown_workers_and_facts(self):
+        supervisor = _supervisor(gold={})
+        supervisor.observe_round(
+            {"ghost": {1: True}, "e0": {9: True}}, map_labels={}
+        )
+        assert supervisor.trust_of("e0").observations == 0.0
+
+    def test_evaluate_strikes_before_tripping(self):
+        policy = TrustPolicy(
+            min_observations=2.0, trip_confirmations=2, quarantine_lcb=0.7
+        )
+        supervisor = _supervisor(policy)
+        for _ in range(6):
+            supervisor.trust_of("e0").observe(False, 1.0, 0.1)
+        first = supervisor.evaluate(0, ["e0", "e1"])
+        assert [d.kind for d in first] == ["drift"]
+        assert supervisor.breaker_of("e0").state == BREAKER_CLOSED
+        second = supervisor.evaluate(1, ["e0", "e1"])
+        assert [d.kind for d in second] == ["quarantine"]
+        assert supervisor.breaker_of("e0").state == BREAKER_OPEN
+        assert supervisor.quarantines == 1
+
+    def test_recovery_resets_strikes(self):
+        policy = TrustPolicy(
+            min_observations=2.0, trip_confirmations=2, quarantine_lcb=0.7
+        )
+        supervisor = _supervisor(policy)
+        for _ in range(6):
+            supervisor.trust_of("e0").observe(False, 1.0, 0.1)
+        supervisor.evaluate(0, ["e0"])  # strike 1
+        for _ in range(60):
+            supervisor.trust_of("e0").observe(True, 1.0, 0.1)
+        assert supervisor.evaluate(1, ["e0"]) == []
+        assert supervisor.breaker_of("e0").strikes == 0
+
+    def test_min_observations_gates_evaluation(self):
+        policy = TrustPolicy(min_observations=10.0)
+        supervisor = _supervisor(policy)
+        for _ in range(5):
+            supervisor.trust_of("e0").observe(False, 1.0, 0.1)
+        assert supervisor.evaluate(0, ["e0"]) == []
+
+    def test_inactive_workers_not_evaluated(self):
+        policy = TrustPolicy(min_observations=1.0, trip_confirmations=1)
+        supervisor = _supervisor(policy)
+        for _ in range(6):
+            supervisor.trust_of("e0").observe(False, 1.0, 0.1)
+        assert supervisor.evaluate(0, ["e1"]) == []
+
+    def test_cusum_drift_trips_even_with_healthy_lcb(self):
+        policy = TrustPolicy(
+            min_observations=1.0,
+            trip_confirmations=1,
+            quarantine_lcb=0.01,  # LCB can never trip
+            drift_threshold=1.0,
+            drift_slack=0.0,
+        )
+        supervisor = _supervisor(policy)
+        for _ in range(3):
+            supervisor.trust_of("e0").observe(False, 1.0, 0.0)
+        decisions = supervisor.evaluate(0, ["e0"])
+        assert [d.kind for d in decisions] == ["quarantine"]
+        assert "cusum" in decisions[0].reason
+
+    def test_open_breaker_cools_down_into_probation(self):
+        policy = TrustPolicy(
+            min_observations=1.0, trip_confirmations=1, cooldown_rounds=2
+        )
+        supervisor = _supervisor(policy, gold={1: True})
+        for _ in range(20):
+            supervisor.trust_of("e0").observe(False, 1.0, 0.1)
+        supervisor.evaluate(0, ["e0"])
+        assert supervisor.breaker_of("e0").state == BREAKER_OPEN
+        assert supervisor.evaluate(1, []) == []  # still cooling down
+        decisions = supervisor.evaluate(2, [])
+        assert [d.kind for d in decisions] == ["probation"]
+        assert supervisor.breaker_of("e0").state == BREAKER_HALF_OPEN
+
+    def test_probation_pass_readmits_with_fresh_prior(self):
+        gold = {1: True, 2: False, 3: True}
+        policy = TrustPolicy(
+            min_observations=1.0,
+            trip_confirmations=1,
+            probation_probes=3,
+            probation_pass=3,
+        )
+        supervisor = _supervisor(policy, gold=gold)
+        for _ in range(20):
+            supervisor.trust_of("e0").observe(False, 1.0, 0.1)
+        supervisor.evaluate(0, ["e0"])
+        supervisor.quarantine_worker(Worker("e0", 0.95))
+        supervisor.breaker_of("e0").to_half_open()
+        verdict = supervisor.score_probation(
+            "e0", {1: True, 2: False, 3: True}, round_index=3
+        )
+        assert verdict.kind == "readmit"
+        assert supervisor.breaker_of("e0").state == BREAKER_CLOSED
+        assert supervisor.readmissions == 1
+        # clean slate: the polluted posterior is gone
+        assert supervisor.trust_of("e0").observations == 0.0
+        assert supervisor.quarantined_workers == ()
+
+    def test_probation_failure_reopens(self):
+        gold = {1: True, 2: False, 3: True}
+        policy = TrustPolicy(
+            min_observations=1.0,
+            trip_confirmations=1,
+            probation_probes=3,
+            probation_pass=3,
+        )
+        supervisor = _supervisor(policy, gold=gold)
+        supervisor.quarantine_worker(Worker("e0", 0.95))
+        supervisor.breaker_of("e0").trip(0, "test")
+        supervisor.breaker_of("e0").to_half_open()
+        verdict = supervisor.score_probation(
+            "e0", {1: False, 2: True, 3: True}, round_index=3
+        )
+        assert verdict.kind == "reopen"
+        assert supervisor.breaker_of("e0").state == BREAKER_OPEN
+        assert supervisor.readmissions == 0
+
+    def test_report_lists_every_tracked_worker(self):
+        supervisor = _supervisor()
+        supervisor.register(Worker("r0", 0.93))
+        report = supervisor.report()
+        assert [s.worker_id for s in report.workers] == ["e0", "e1", "r0"]
+        assert report.quarantines == 0
+        assert report.quarantined_worker_ids == ()
+
+    def test_state_round_trip_is_exact(self):
+        gold = {1: True, 2: False, 3: True, 4: False}
+        supervisor = _supervisor(
+            TrustPolicy(probe_rate=0.7, seed=5), gold=gold
+        )
+        supervisor.select_probes(exclude=[2])
+        supervisor.score_gold("e0", {1: True})
+        supervisor.observe_round({"e1": {9: False}}, map_labels={9: False})
+        supervisor.quarantine_worker(Worker("e1", 0.9))
+        supervisor.breaker_of("e1").trip(4, "test trip")
+        restored = TrustSupervisor.from_state(
+            json.loads(json.dumps(supervisor.get_state()))
+        )
+        assert restored.policy == supervisor.policy
+        assert restored.pending_probes == supervisor.pending_probes
+        assert restored.gold_fact_ids == supervisor.gold_fact_ids
+        for worker_id in ("e0", "e1"):
+            assert restored.trust_of(worker_id) == supervisor.trust_of(
+                worker_id
+            )
+            assert restored.breaker_of(worker_id) == supervisor.breaker_of(
+                worker_id
+            )
+        assert restored.quarantined_workers == supervisor.quarantined_workers
+        # the probe RNG continues identically after restore
+        assert restored.probation_probes_for(
+            "e1"
+        ) == supervisor.probation_probes_for("e1")

@@ -248,3 +248,108 @@ class TestUpdateWithFamily:
             posterior = update_with_family(table1_belief, family)
             expected += weight * observation_entropy(posterior)
         assert expected < prior_entropy
+
+
+class TestLogSpaceUnderflow:
+    """High-accuracy workers must not crash the update via float64
+    underflow: 20 workers at 0.999 split into two contradicting camps
+    (11 yes, 9 no) drive every linear-space likelihood product to
+    exactly 0.0, yet the evidence is perfectly consistent and the
+    majority camp should win."""
+
+    NUM_FACTS = 14
+    YES_CAMP = 11  # the remaining 9 of 20 answer all-No
+
+    def _camps_family(self, facts, num_workers=20, accuracy=0.999):
+        yes = {fact.fact_id: True for fact in facts}
+        no = {fact.fact_id: False for fact in facts}
+        return AnswerFamily(
+            answer_sets=tuple(
+                AnswerSet(
+                    worker=Worker(f"w{i}", accuracy),
+                    answers=dict(yes if i < self.YES_CAMP else no),
+                )
+                for i in range(num_workers)
+            )
+        )
+
+    def _uniform_belief(self):
+        return BeliefState.uniform(
+            FactSet.from_ids(range(self.NUM_FACTS))
+        )
+
+    def test_linear_product_underflows_to_zero(self):
+        from repro.core import family_likelihood
+
+        belief = self._uniform_belief()
+        family = self._camps_family(belief.facts)
+        likelihood = family_likelihood(belief, family)
+        assert likelihood.max() == 0.0  # the failure this guards against
+
+    def test_update_with_family_recovers_in_log_space(self):
+        belief = self._uniform_belief()
+        family = self._camps_family(belief.facts)
+        posterior = update_with_family(belief, family)
+
+        probs = posterior.probabilities
+        assert np.all(np.isfinite(probs))
+        assert probs.sum() == pytest.approx(1.0)
+        # the 11-worker yes camp outweighs the 9-worker no camp
+        all_true = posterior.probability_of((True,) * self.NUM_FACTS)
+        assert all_true > 0.999
+        for fact in belief.facts:
+            assert posterior.marginal(fact.fact_id) > 0.99
+
+    def test_tempered_update_stays_exact_on_underflow(self):
+        """Underflowed-but-consistent evidence is recomputed exactly in
+        log space, not floored — the tempered flag stays False."""
+        belief = self._uniform_belief()
+        family = self._camps_family(belief.facts)
+        posterior, tempered = tempered_update_with_family(belief, family)
+        assert tempered is False
+        exact = update_with_family(belief, family)
+        assert np.allclose(posterior.probabilities, exact.probabilities)
+
+    def test_single_answer_set_log_fallback(self):
+        belief = self._uniform_belief()
+        answers = {fact.fact_id: True for fact in belief.facts}
+        # drive the per-set product below the guard with repeats
+        answer_set = AnswerSet(worker=Worker("w", 1e-30), answers=answers)
+        posterior = update_with_answer_set(belief, answer_set)
+        assert np.all(np.isfinite(posterior.probabilities))
+        assert posterior.probabilities.sum() == pytest.approx(1.0)
+        # an inverter this extreme makes all-False a near-certainty
+        assert posterior.probability_of(
+            (False,) * self.NUM_FACTS
+        ) == pytest.approx(1.0)
+
+    def test_genuine_inconsistency_still_raises(self, three_facts):
+        certain = BeliefState.point_mass(three_facts, (True, True, True))
+        family = AnswerFamily(
+            answer_sets=(
+                AnswerSet(worker=Worker("o", 1.0), answers={1: False}),
+            )
+        )
+        with pytest.raises(InconsistentEvidenceError):
+            update_with_family(certain, family)
+
+    def test_log_path_matches_linear_on_healthy_evidence(
+        self, table1_belief
+    ):
+        """Same answers, healthy evidence: forcing the log path must
+        agree with the linear path to float tolerance."""
+        from repro.core import log_family_likelihood
+
+        family = AnswerFamily(
+            answer_sets=(
+                AnswerSet(worker=Worker("a", 0.9),
+                          answers={1: True, 2: False, 3: True}),
+                AnswerSet(worker=Worker("b", 0.8),
+                          answers={1: False, 2: False, 3: True}),
+            )
+        )
+        linear = update_with_family(table1_belief, family)
+        logged = table1_belief.log_reweighted(
+            log_family_likelihood(table1_belief, family)
+        )
+        assert np.allclose(linear.probabilities, logged.probabilities)

@@ -133,3 +133,73 @@ class TestEstimateAccuracy:
         answers = np.where(correct, truth, ~truth)
         estimate = estimate_accuracy(answers.tolist(), truth.tolist())
         assert estimate == pytest.approx(0.8, abs=0.03)
+
+
+class TestClampAccuracy:
+    def test_passthrough_in_interior(self):
+        from repro.core import clamp_accuracy
+
+        assert clamp_accuracy(0.75) == 0.75
+
+    def test_clamps_both_endpoints(self):
+        from repro.core import ACCURACY_EPSILON, clamp_accuracy
+
+        assert clamp_accuracy(0.0) == ACCURACY_EPSILON
+        assert clamp_accuracy(1.0) == 1.0 - ACCURACY_EPSILON
+        assert clamp_accuracy(-3.0) == ACCURACY_EPSILON
+        assert clamp_accuracy(4.0) == 1.0 - ACCURACY_EPSILON
+
+    def test_custom_epsilon(self):
+        from repro.core import clamp_accuracy
+
+        assert clamp_accuracy(1.0, epsilon=0.01) == 0.99
+
+    @pytest.mark.parametrize("epsilon", [0.0, 0.5, -0.1, 1.0])
+    def test_invalid_epsilon(self, epsilon):
+        from repro.core import clamp_accuracy
+
+        with pytest.raises(ValueError, match="epsilon"):
+            clamp_accuracy(0.5, epsilon=epsilon)
+
+
+class TestWorkerValidation:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf"), "0.9", None])
+    def test_non_finite_or_non_numeric_rejected(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            Worker(worker_id="w", accuracy=bad)
+
+    def test_endpoints_remain_legal_declarations(self):
+        # declared accuracies of exactly 0/1 are the paper's
+        # deterministic workers; only *estimates* get clamped
+        assert Worker("perfect", 1.0).accuracy == 1.0
+        assert Worker("inverter", 0.0).accuracy == 0.0
+
+    def test_with_accuracy_keeps_id(self):
+        worker = Worker("w", 0.9)
+        swapped = worker.with_accuracy(0.6)
+        assert swapped.worker_id == "w"
+        assert swapped.accuracy == 0.6
+        assert worker.accuracy == 0.9  # original untouched
+
+
+class TestEstimateAccuracyClamping:
+    def test_perfect_record_without_smoothing_is_clamped(self):
+        from repro.core import ACCURACY_EPSILON
+
+        estimate = estimate_accuracy(
+            [True] * 6, [True] * 6, smoothing=0.0
+        )
+        assert estimate == 1.0 - ACCURACY_EPSILON
+
+    def test_zero_record_without_smoothing_is_clamped(self):
+        from repro.core import ACCURACY_EPSILON
+
+        estimate = estimate_accuracy(
+            [True] * 6, [False] * 6, smoothing=0.0
+        )
+        assert estimate == ACCURACY_EPSILON
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError, match="smoothing"):
+            estimate_accuracy([True], [True], smoothing=-1.0)

@@ -18,6 +18,8 @@ from repro.simulation import (
     SimulatedExpertPanel,
 )
 
+pytestmark = pytest.mark.chaos
+
 TRUTH = {0: True, 1: False, 2: True}
 
 

@@ -24,6 +24,8 @@ from repro.simulation import (
     SimulatedExpertPanel,
 )
 
+pytestmark = pytest.mark.chaos
+
 TRUTH = {0: True, 1: False, 2: True, 3: True, 4: False, 5: True}
 
 
@@ -367,6 +369,8 @@ class TestJournalResume:
             assert np.array_equal(
                 ours.probabilities, theirs.probabilities
             )
+        # the incident log resumes without loss or double counting
+        assert result.incidents == reference.incidents
 
     def test_torn_final_line_still_resumes(
         self, experts, reserve, tmp_path
@@ -400,7 +404,7 @@ class TestJournalResume:
         records = read_journal(path)
         kinds = {record["kind"] for record in records}
         assert records[0]["kind"] == "header"
-        assert records[0]["version"] == 2
+        assert records[0]["version"] == 3
         assert "checkpoint" in kinds
         checkpoints = [r for r in records if r["kind"] == "checkpoint"]
         # every checkpoint carries full durable state

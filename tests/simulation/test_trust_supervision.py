@@ -1,0 +1,300 @@
+"""End-to-end tests for trust supervision in the resilient runtime.
+
+Acceptance criteria from the trust-supervision issue:
+
+* a trust-supervised session beats the unsupervised baseline when one
+  expert degrades to (near) coin-flip mid-campaign, with the quarantine
+  visible in ``ResilientRunResult.incidents``;
+* honest crowds (true accuracy >= theta + margin) finish a 50-round
+  campaign with zero quarantines across 20 seeds;
+* a worker dropped to accuracy 0.5 at round 10 is quarantined within a
+  bounded number of rounds;
+* gold probes are operational QA cost, never charged to the budget;
+* kill-and-resume with trust enabled stays byte-identical.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BeliefState,
+    Crowd,
+    FactSet,
+    FactoredBelief,
+)
+from repro.core.trust import TrustPolicy, select_gold_probes
+from repro.simulation import (
+    DegradingExpertPanel,
+    FaultModel,
+    FaultyExpertPanel,
+    ResilientCheckingSession,
+    RetryPolicy,
+    SimulatedExpertPanel,
+)
+
+pytestmark = pytest.mark.chaos
+
+TRUTH = {i: (i % 2 == 0) for i in range(12)}
+
+
+def _belief() -> FactoredBelief:
+    groups = []
+    for g in range(6):
+        ids = [2 * g, 2 * g + 1]
+        marginals = [0.55 if TRUTH[i] else 0.45 for i in ids]
+        groups.append(
+            BeliefState.from_marginals(FactSet.from_ids(ids), marginals)
+        )
+    return FactoredBelief(groups)
+
+
+def _session(
+    experts,
+    *,
+    budget=72,
+    trust_policy=None,
+    gold_facts=None,
+    reserve=None,
+    **kwargs,
+):
+    kwargs.setdefault("k", 2)
+    kwargs.setdefault("ground_truth", TRUTH)
+    kwargs.setdefault(
+        "retry_policy", RetryPolicy(max_attempts=5, max_reassignments=1)
+    )
+    return ResilientCheckingSession(
+        _belief(),
+        experts,
+        budget,
+        reserve_experts=reserve,
+        trust_policy=trust_policy,
+        gold_facts=gold_facts,
+        **kwargs,
+    )
+
+
+def _degrading_panel(seed, accuracy=0.05, after=1):
+    return DegradingExpertPanel(
+        TRUTH,
+        degraded_worker_id="e0",
+        degraded_accuracy=accuracy,
+        degrade_after_collects=after,
+        rng=seed,
+    )
+
+
+def _run_supervised(seed):
+    policy = TrustPolicy(probe_rate=0.8, min_observations=3.0, seed=1)
+    return _session(
+        Crowd.from_accuracies([0.95, 0.95, 0.9], prefix="e"),
+        reserve=Crowd.from_accuracies([0.93, 0.93], prefix="r"),
+        trust_policy=policy,
+        gold_facts=select_gold_probes(TRUTH, fraction=0.25, seed=1),
+    ).run(_degrading_panel(seed))
+
+
+def _run_baseline(seed):
+    return _session(
+        Crowd.from_accuracies([0.95, 0.95, 0.9], prefix="e"),
+        reserve=Crowd.from_accuracies([0.93, 0.93], prefix="r"),
+    ).run(_degrading_panel(seed))
+
+
+class TestTrustBeatsBaseline:
+    """One expert turns near-adversarial right after the first round;
+    supervision quarantines them, the baseline absorbs the poison."""
+
+    def test_quarantine_recovers_the_campaign(self):
+        supervised = _run_supervised(4)
+        baseline = _run_baseline(4)
+
+        assert supervised.history[-1].accuracy == 1.0
+        assert supervised.history[-1].accuracy > baseline.history[-1].accuracy
+
+        quarantines = [
+            event
+            for event in supervised.incidents
+            if event.kind == "quarantine"
+        ]
+        assert quarantines, "quarantine must be visible in incidents"
+        assert quarantines[0].worker_id == "e0"
+        assert supervised.trust is not None
+        assert supervised.trust.quarantines >= 1
+        # the degraded expert's posterior reflects the collapse
+        e0 = next(
+            s for s in supervised.trust.workers if s.worker_id == "e0"
+        )
+        assert e0.mean < e0.declared
+
+    def test_trust_never_hurts_across_seeds(self):
+        supervised = []
+        baseline = []
+        for seed in range(5):
+            supervised.append(_run_supervised(seed).history[-1].accuracy)
+            baseline.append(_run_baseline(seed).history[-1].accuracy)
+        for ours, theirs in zip(supervised, baseline):
+            assert ours >= theirs
+        assert sum(supervised) > sum(baseline)
+
+    def test_baseline_has_no_trust_report(self):
+        result = _run_baseline(0)
+        assert result.trust is None
+
+
+class TestProbeAccounting:
+    """Gold probes are operational QA cost, not expert budget."""
+
+    def test_probes_are_never_charged_to_the_budget(self):
+        experts = Crowd.from_accuracies([0.95, 0.95, 0.9], prefix="e")
+        policy = TrustPolicy(probe_rate=1.0, seed=0)
+        result = _session(
+            experts,
+            budget=60,
+            trust_policy=policy,
+            gold_facts=select_gold_probes(TRUTH, fraction=0.25, seed=0),
+        ).run(SimulatedExpertPanel(TRUTH, rng=0))
+
+        probe_events = [
+            event
+            for event in result.incidents
+            if event.kind == "gold_probe"
+        ]
+        assert probe_events, "probe_rate=1.0 must inject probes"
+        # k=2 queries x 3 experts: never more than 6 units per round,
+        # no matter how many probe answers rode along
+        for record in result.history:
+            assert record.cost <= 2 * len(experts)
+        assert result.history[-1].budget_spent <= 60
+
+
+class TestHonestCrowdProperty:
+    """No false-positive quarantines for crowds comfortably above theta."""
+
+    def test_zero_quarantines_across_20_seeds(self):
+        gold = select_gold_probes(TRUTH, fraction=0.25, seed=0)
+        for seed in range(20):
+            experts = Crowd.from_accuracies(
+                [0.95, 0.96, 0.95], prefix="e"
+            )
+            result = _session(
+                experts,
+                budget=300,
+                trust_policy=TrustPolicy(probe_rate=0.5, seed=seed),
+                gold_facts=gold,
+                reserve=Crowd.from_accuracies([0.95, 0.95], prefix="r"),
+            ).run(SimulatedExpertPanel(TRUTH, rng=seed), max_rounds=50)
+            assert result.trust is not None
+            assert result.trust.quarantines == 0, (
+                f"honest crowd quarantined at seed {seed}"
+            )
+            assert result.trust.quarantined_worker_ids == ()
+
+
+class TestDegradedWorkerDetection:
+    """A worker dropping to a coin flip mid-campaign is caught within a
+    bounded number of rounds."""
+
+    DETECTION_BOUND = 15  # rounds after the drop
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_coin_flip_worker_quarantined_in_bounded_rounds(self, seed):
+        drop_round = 10
+        panel = _degrading_panel(seed, accuracy=0.5, after=drop_round)
+        result = _session(
+            Crowd.from_accuracies([0.95, 0.95, 0.9], prefix="e"),
+            budget=400,
+            trust_policy=TrustPolicy(probe_rate=1.0, seed=seed),
+            gold_facts=select_gold_probes(TRUTH, fraction=0.25, seed=0),
+            reserve=Crowd.from_accuracies([0.95, 0.95], prefix="r"),
+        ).run(panel, max_rounds=drop_round + self.DETECTION_BOUND)
+
+        quarantine_rounds = [
+            event.round_index
+            for event in result.incidents
+            if event.kind == "quarantine" and event.worker_id == "e0"
+        ]
+        assert quarantine_rounds, "degraded worker was never quarantined"
+        assert quarantine_rounds[0] <= drop_round + self.DETECTION_BOUND
+
+
+class TestJournalResumeWithTrust:
+    """Kill-and-resume with trust enabled stays byte-identical: belief,
+    history, and the trust posteriors all match an uninterrupted run."""
+
+    FAULTS = dict(no_show=0.2, timeout=0.2, partial=0.2)
+
+    def _panel(self):
+        return FaultyExpertPanel(
+            _degrading_panel(7, accuracy=0.3, after=2),
+            FaultModel(**self.FAULTS, seed=3),
+        )
+
+    def _fresh(self, path):
+        return _session(
+            Crowd.from_accuracies([0.95, 0.95, 0.9], prefix="e"),
+            budget=60,
+            trust_policy=TrustPolicy(probe_rate=0.6, seed=1),
+            gold_facts=select_gold_probes(TRUTH, fraction=0.25, seed=1),
+            reserve=Crowd.from_accuracies([0.93, 0.93], prefix="r"),
+            journal_path=path,
+            retry_policy=RetryPolicy(max_attempts=3, max_reassignments=1),
+        )
+
+    @pytest.mark.parametrize("cut", [1, 3])
+    def test_kill_and_resume_is_byte_identical(self, tmp_path, cut):
+        reference = self._fresh(tmp_path / "ref.jsonl").run(self._panel())
+
+        interrupted = self._fresh(tmp_path / "kill.jsonl")
+        interrupted.run(self._panel(), max_rounds=cut)
+        del interrupted  # the crash
+
+        resumed = ResilientCheckingSession.resume(
+            tmp_path / "kill.jsonl",
+            retry_policy=RetryPolicy(max_attempts=3, max_reassignments=1),
+        )
+        result = resumed.run(self._panel())
+
+        assert len(result.history) == len(reference.history)
+        for ours, theirs in zip(result.history, reference.history):
+            assert ours.query_fact_ids == theirs.query_fact_ids
+            assert ours.cost == theirs.cost
+            assert ours.budget_spent == theirs.budget_spent
+            assert ours.quality == theirs.quality
+        for ours, theirs in zip(result.belief, reference.belief):
+            assert np.array_equal(ours.probabilities, theirs.probabilities)
+        # the trust layer resumed exactly: posteriors, breakers, counters
+        assert result.trust == reference.trust
+        assert result.incidents == reference.incidents
+
+    def test_mid_round_crash_does_not_double_count_incidents(self, tmp_path):
+        """Truncating the journal right after a mid-round checkpoint
+        leaves event records trailing it.  The replay redoes that work
+        and re-journals those events, so resume must not also preload
+        them — the incident log would double-count every replayed
+        no-show, probe score, and backoff."""
+        reference = self._fresh(tmp_path / "ref.jsonl").run(self._panel())
+
+        lines = (tmp_path / "ref.jsonl").read_text().splitlines()
+        kinds = [json.loads(line)["kind"] for line in lines]
+        cut = None
+        for index in range(len(kinds) - 1):
+            if kinds[index] == "checkpoint" and kinds[index + 1] == "event":
+                cut = index + 2  # keep the checkpoint + one trailing event
+        assert cut is not None, "scenario never journaled mid-round events"
+
+        crashed = tmp_path / "crashed.jsonl"
+        torn = lines[cut][:12]  # a torn final line, dropped by the reader
+        crashed.write_text("\n".join(lines[:cut] + [torn]))
+
+        resumed = ResilientCheckingSession.resume(
+            crashed,
+            retry_policy=RetryPolicy(max_attempts=3, max_reassignments=1),
+        )
+        result = resumed.run(self._panel())
+
+        assert result.incidents == reference.incidents
+        assert result.trust == reference.trust
+        for ours, theirs in zip(result.belief, reference.belief):
+            assert np.array_equal(ours.probabilities, theirs.probabilities)

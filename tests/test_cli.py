@@ -89,6 +89,29 @@ class TestSession:
         last_line = [l for l in out.splitlines() if l.strip()][-1]
         assert float(last_line.split()[0]) <= 20
 
+    def test_trust_flag_prints_supervision_summary(
+        self, data_dir, capsys
+    ):
+        code = main([
+            "session", "--data", str(data_dir), "--budget", "20",
+            "--group-size", "4", "--theta", "0.85", "--rows", "4",
+            "--trust", "--probe-rate", "0.5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trust: quarantines=" in out
+        assert "readmissions=" in out
+        assert "posterior" in out and "breaker" in out
+        # the trajectory still prints after the trust summary
+        assert "budget" in out and "accuracy" in out
+
+    def test_trust_flag_off_by_default(self, data_dir, capsys):
+        main([
+            "session", "--data", str(data_dir), "--budget", "20",
+            "--group-size", "4", "--theta", "0.85", "--rows", "4",
+        ])
+        assert "trust:" not in capsys.readouterr().out
+
 
 class TestReproduce:
     def test_single_small_experiment(self, tmp_path, capsys):

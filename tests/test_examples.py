@@ -64,3 +64,11 @@ class TestExamples:
         assert "[lifetime 1] crashed mid-write" in out
         assert "[lifetime 2] resumed" in out
         assert "[lifetime 2] finished" in out
+
+    def test_degrading_expert(self, capsys):
+        out = _run_example("degrading_expert.py", [], capsys)
+        assert "unsupervised baseline" in out
+        assert "trust-supervised" in out
+        assert "quarantine e0" in out
+        assert "trust report: 1 quarantine(s)" in out
+        assert "breaker open" in out
