@@ -1,0 +1,143 @@
+"""Benchmark: eager vs lazy greedy checking-task selection.
+
+Runs the same multi-round checking campaign twice — once with the
+eager ``GreedySelector`` (the paper's Algorithm 2 as written, O(N k)
+gain evaluations per round) and once with the CELF
+``LazyGreedySelector`` — asserts the selected query sets are identical
+round for round, and records wall-clock and entropy-evaluation counts
+to ``BENCH_selection.json`` at the repository root (and a copy under
+``benchmarks/results/``).
+
+Scale: 60 groups x 5 facts by default (the figure-benchmark scale);
+set ``BENCH_SELECTION_SMOKE=1`` to run a 12-group smoke version (used
+by the CI benchmark job).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import (
+    AnswerSet,
+    BeliefState,
+    Crowd,
+    FactSet,
+    FactoredBelief,
+    GreedySelector,
+    LazyGreedySelector,
+    update_with_answer_set,
+)
+
+SMOKE = os.environ.get("BENCH_SELECTION_SMOKE", "") not in ("", "0")
+NUM_GROUPS = 12 if SMOKE else 60
+GROUP_SIZE = 5
+ROUNDS = 4 if SMOKE else 8
+K = 5
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _fresh_belief() -> FactoredBelief:
+    rng = np.random.default_rng(0)
+    groups = []
+    for index in range(NUM_GROUPS):
+        start = index * GROUP_SIZE
+        facts = FactSet.from_ids(range(start, start + GROUP_SIZE))
+        groups.append(
+            BeliefState(facts, rng.dirichlet(np.ones(2 ** GROUP_SIZE)))
+        )
+    return FactoredBelief(groups)
+
+
+def _run_campaign(selector, experts: Crowd) -> tuple[list[list[int]], float]:
+    """Drive ``ROUNDS`` selection rounds with deterministic expert
+    answers between them; return the per-round selections and the
+    wall-clock spent inside ``selector.select`` only."""
+    belief = _fresh_belief()
+    answer_rng = np.random.default_rng(42)
+    checker = Crowd.from_accuracies([0.9], prefix="bench")[0]
+    selections: list[list[int]] = []
+    seconds = 0.0
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        selected = selector.select(belief, experts, K)
+        seconds += time.perf_counter() - started
+        selections.append(selected)
+        touched = set()
+        for fact_id in selected:
+            group_index = belief.group_index_of(fact_id)
+            answer = AnswerSet(
+                worker=checker,
+                answers={fact_id: bool(answer_rng.integers(2))},
+            )
+            belief.replace_group(
+                group_index,
+                update_with_answer_set(belief[group_index], answer),
+            )
+            touched.add(group_index)
+        invalidate = getattr(selector, "invalidate_groups", None)
+        if callable(invalidate):
+            invalidate(touched)
+    return selections, seconds
+
+
+def test_bench_selection(results_dir):
+    experts = Crowd.from_accuracies([0.85, 0.9, 0.95], prefix="e")
+    eager = GreedySelector()
+    lazy = LazyGreedySelector()
+
+    eager_selections, eager_seconds = _run_campaign(eager, experts)
+    lazy_selections, lazy_seconds = _run_campaign(lazy, experts)
+
+    # The tentpole guarantee: CELF returns *identical* query sets.
+    assert lazy_selections == eager_selections
+    assert all(selections for selections in eager_selections)
+
+    # And it must do measurably less entropy work: the eager engine
+    # pays O(N) scalar kernels per round, the lazy one a batch kernel
+    # per touched group plus a handful of re-evaluations.
+    assert lazy.stats.total_evaluations < eager.stats.total_evaluations / 2
+    assert lazy.stats.entropy_evaluations < eager.stats.entropy_evaluations
+
+    result = {
+        "scale": {
+            "num_groups": NUM_GROUPS,
+            "group_size": GROUP_SIZE,
+            "num_facts": NUM_GROUPS * GROUP_SIZE,
+            "rounds": ROUNDS,
+            "k": K,
+            "smoke": SMOKE,
+        },
+        "eager": {
+            "seconds": eager_seconds,
+            "stats": eager.stats.as_dict(),
+        },
+        "lazy": {
+            "seconds": lazy_seconds,
+            "stats": lazy.stats.as_dict(),
+        },
+        "speedup": eager_seconds / lazy_seconds if lazy_seconds else None,
+        "evaluation_ratio": (
+            eager.stats.total_evaluations / lazy.stats.total_evaluations
+            if lazy.stats.total_evaluations
+            else None
+        ),
+        "identical_selections": True,
+    }
+    payload = json.dumps(result, indent=2)
+    (REPO_ROOT / "BENCH_selection.json").write_text(payload)
+    (results_dir / "BENCH_selection.json").write_text(payload)
+    print()
+    print(
+        f"eager: {eager_seconds:.3f}s, "
+        f"{eager.stats.total_evaluations} evaluations | "
+        f"lazy: {lazy_seconds:.3f}s, "
+        f"{lazy.stats.total_evaluations} evaluations "
+        f"({result['speedup']:.1f}x wall-clock, "
+        f"{result['evaluation_ratio']:.1f}x fewer evaluations)"
+    )

@@ -95,8 +95,11 @@ def _cmd_session(args: argparse.Namespace) -> int:
             quarantine_lcb=args.quarantine_lcb,
             seed=args.seed,
         )
+    from .core.selection import make_selector
+
+    selector = make_selector(args.selector, seed=args.seed)
     if args.resume:
-        result = _resume_session(args, dataset, faults)
+        result = _resume_session(args, dataset, faults, selector)
     else:
         config = SessionConfig(
             theta=args.theta,
@@ -108,7 +111,16 @@ def _cmd_session(args: argparse.Namespace) -> int:
             journal_path=args.journal,
             trust_policy=trust_policy,
         )
-        result = run_hc_session(dataset, config)
+        result = run_hc_session(dataset, config, selector=selector)
+    stats = getattr(selector, "stats", None)
+    if stats is not None and args.selector_stats:
+        print(
+            f"selector[{args.selector}]: rounds={stats.rounds} "
+            f"evaluations={stats.total_evaluations} "
+            f"(scalar={stats.entropy_evaluations}, "
+            f"batch={stats.batch_evaluations} over {stats.batch_facts} "
+            f"facts, heap_pops={stats.heap_pops})"
+        )
     trust = getattr(result, "trust", None)
     if trust is not None:
         print(
@@ -144,7 +156,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resume_session(args: argparse.Namespace, dataset, faults):
+def _resume_session(args: argparse.Namespace, dataset, faults, selector=None):
     """Restore a crashed ``session --journal`` run and drive it on."""
     import numpy as np
 
@@ -154,7 +166,7 @@ def _resume_session(args: argparse.Namespace, dataset, faults):
         SimulatedExpertPanel,
     )
 
-    session = ResilientCheckingSession.resume(args.resume)
+    session = ResilientCheckingSession.resume(args.resume, selector=selector)
     answer_source = SimulatedExpertPanel(
         dataset.ground_truth, rng=np.random.default_rng(args.seed)
     )
@@ -225,6 +237,18 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("--group-size", type=int, default=5)
     session.add_argument("--rows", type=int, default=12,
                          help="approximate number of trajectory rows")
+    from .core.selection import SELECTOR_NAMES
+
+    session.add_argument(
+        "--selector", default="lazy", choices=SELECTOR_NAMES,
+        help="checking-task selection engine (default: the CELF "
+             "lazy greedy, which picks the same facts as 'greedy' "
+             "with far fewer entropy evaluations)",
+    )
+    session.add_argument(
+        "--selector-stats", action="store_true",
+        help="print the selector's evaluation counters after the run",
+    )
     session.add_argument(
         "--faults", default=None, metavar="SPEC",
         help="inject crowd faults and run the fault-tolerant loop, "

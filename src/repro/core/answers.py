@@ -409,6 +409,59 @@ def pattern_marginal(
     )
 
 
+def crowd_single_query_responses(
+    experts: Crowd, max_family_bits: int = MAX_FAMILY_BITS
+) -> np.ndarray:
+    """``R[v, a] = P(joint answer index a | true value v)`` for ``|T| = 1``.
+
+    The single-query answer family of a crowd is one bit per worker;
+    ``R`` is the iterated Kronecker product of the per-worker ``2 x 2``
+    response matrices, shape ``(2, 2**|CE|)`` with worker 0 on the
+    lowest bit of the family index.  Crucially ``R`` does not depend on
+    the belief at all, so one tensor serves every fact of every group —
+    this is what makes the batched first-step gain kernel
+    (:func:`repro.core.entropy.first_step_gains`) a single matmul per
+    group.
+
+    Raises
+    ------
+    FamilySpaceTooLarge
+        If ``|CE| > max_family_bits`` (one query bit per worker).
+    """
+    num_workers = len(experts)
+    if num_workers > max_family_bits:
+        raise FamilySpaceTooLarge(
+            f"single-query family space needs {num_workers} bits "
+            f"(> limit {max_family_bits})"
+        )
+    tensor = np.ones((2, 1))
+    for worker in experts:
+        response = worker_response_matrix(1, worker.accuracy)
+        tensor = (tensor[:, :, None] * response[:, None, :]).reshape(2, -1)
+    return tensor
+
+
+def single_fact_family_distributions(
+    belief: BeliefState,
+    experts: Crowd,
+    max_family_bits: int = MAX_FAMILY_BITS,
+) -> np.ndarray:
+    """Family distributions of every singleton query set, batched.
+
+    Row ``i`` is :func:`family_distribution` of querying only the fact
+    at position ``i`` — all ``n`` rows computed with one ``(n, 2) @
+    (2, 2**|CE|)`` matmul against the shared pattern marginal, instead
+    of ``n`` separate enumerations.  A single query's pattern marginal
+    is just the fact's truth marginal ``[1 - P(f), P(f)]``.
+    """
+    responses = crowd_single_query_responses(
+        experts, max_family_bits=max_family_bits
+    )
+    marginals = belief.marginals()
+    pattern = np.stack([1.0 - marginals, marginals], axis=1)
+    return pattern @ responses
+
+
 def family_distribution(
     belief: BeliefState,
     query_fact_ids: Sequence[int],

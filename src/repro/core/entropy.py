@@ -30,9 +30,20 @@ from .answers import (
     enumerate_answer_families,
     family_distribution,
     family_likelihood,
+    single_fact_family_distributions,
 )
 from .observations import BeliefState
 from .workers import Crowd
+
+
+class DegenerateSamplesError(RuntimeError):
+    """Raised when every Monte Carlo sample has zero posterior mass.
+
+    Returning a value in this situation would silently claim perfect
+    certainty (the old behaviour divided an empty sum by the sample
+    count), so the estimator refuses instead; callers should widen the
+    sample budget or fall back to the exact evaluator.
+    """
 
 
 def shannon_entropy(probabilities: np.ndarray) -> float:
@@ -127,6 +138,47 @@ def conditional_entropy(
     return float(min(max(value, 0.0), prior_entropy))
 
 
+def first_step_gains(
+    belief: BeliefState,
+    experts: Crowd,
+    prior_entropy: float | None = None,
+    max_family_bits: int = MAX_FAMILY_BITS,
+) -> np.ndarray:
+    """First-step gains ``gain^∅({f})`` of every fact in one kernel.
+
+    Entry ``i`` equals
+    ``H(O) - conditional_entropy(belief, [f_i], experts)`` (positional
+    order), but all ``n`` facts are evaluated together: the crowd's
+    single-query response tensor is shared, so the whole group costs one
+    ``(n, 2) @ (2, 2**|CE|)`` matmul plus a row-wise entropy instead of
+    ``n`` separate family enumerations.  This is the kernel the
+    lazy-greedy selector seeds its bound heap from.
+
+    Applies the same clamping as :func:`conditional_entropy` (gains lie
+    in ``[0, H(O)]``), so the values match the scalar path up to float
+    round-off.
+    """
+    if prior_entropy is None:
+        prior_entropy = observation_entropy(belief)
+    if len(experts) == 0:
+        return np.zeros(belief.num_facts)
+    distributions = single_fact_family_distributions(
+        belief, experts, max_family_bits=max_family_bits
+    )
+    # Row-wise shannon_entropy with the same normalize-first convention.
+    totals = distributions.sum(axis=1, keepdims=True)
+    distributions = distributions / totals
+    contributions = np.zeros_like(distributions)
+    positive = distributions > 0.0
+    contributions[positive] = distributions[positive] * np.log2(
+        distributions[positive]
+    )
+    family_entropies = -contributions.sum(axis=1)
+    answer_noise = sum(binary_entropy(worker.accuracy) for worker in experts)
+    gains = family_entropies - answer_noise
+    return np.minimum(np.maximum(gains, 0.0), prior_entropy)
+
+
 def conditional_entropy_naive(
     belief: BeliefState,
     query_fact_ids: Sequence[int],
@@ -214,20 +266,37 @@ def conditional_entropy_sampled(
     truth_table_view = truth_table(belief.num_facts)[:, positions]
     prior = belief.probabilities
     total = 0.0
+    retained = 0
     for sample in range(num_samples):
-        likelihood = np.ones(prior.size)
-        for worker_index in range(num_workers):
-            matches = truth_table_view == answers[sample, worker_index]
-            accuracy = accuracies[worker_index]
-            likelihood *= np.where(matches, accuracy, 1.0 - accuracy).prod(
-                axis=1
-            )
+        # (workers, observations, queries) in one shot per sample.
+        matches = (
+            truth_table_view[None, :, :] == answers[sample][:, None, :]
+        )
+        factors = np.where(
+            matches,
+            accuracies[:, None, None],
+            1.0 - accuracies[:, None, None],
+        )
+        likelihood = factors.prod(axis=(0, 2))
         joint = prior * likelihood
         mass = joint.sum()
         if mass <= 0.0:
+            # Degenerate sample: near-deterministic workers drove the
+            # family likelihood below the float64 floor everywhere the
+            # belief has mass.  It carries no usable posterior.
             continue
+        retained += 1
         total += shannon_entropy(joint)
-    return total / num_samples
+    if retained == 0:
+        raise DegenerateSamplesError(
+            f"all {num_samples} sampled answer families have zero "
+            "posterior mass; increase num_samples, reduce the panel, or "
+            "use the exact conditional entropy"
+        )
+    # Average over the retained samples only: dividing by num_samples
+    # would bias the estimate toward 0 (overstating information gain)
+    # whenever degenerate samples were skipped.
+    return total / retained
 
 
 def expected_quality(

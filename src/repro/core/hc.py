@@ -24,7 +24,7 @@ from .answers import AnswerFamily
 from .budget import CheckingBudget, CostModel
 from .incidents import FaultEvent
 from .observations import BeliefState, FactoredBelief
-from .selection import GreedySelector, Selector
+from .selection import LazyGreedySelector, Selector
 from .update import InconsistentEvidenceError, update_with_family
 from .workers import Crowd
 from . import entropy as entropy_module
@@ -174,7 +174,7 @@ class HierarchicalCrowdsourcing:
             )
             experts = Crowd(ranked[:panel_size])
         self.experts = experts
-        self.selector = selector or GreedySelector()
+        self.selector = selector or LazyGreedySelector()
         self.k = k
         self.cost_model = cost_model
 
@@ -269,6 +269,12 @@ class HierarchicalCrowdsourcing:
                     f"{describe_family(sub_family)})"
                 ) from error
             belief.replace_group(group_index, updated)
+        # Stateful selectors cache entropies keyed on belief identity;
+        # releasing the updated groups' entries right away keeps the
+        # cross-round cache bounded by the current belief.
+        invalidate = getattr(self.selector, "invalidate_groups", None)
+        if callable(invalidate):
+            invalidate(groups.keys())
 
     @staticmethod
     def _record(

@@ -12,6 +12,10 @@ provides:
   a (1 - 1/e)-approximation that adds the fact with the largest
   marginal entropy-reduction gain until ``k`` facts are chosen or no
   fact has a positive gain;
+* :class:`LazyGreedySelector` — the same selections via CELF lazy
+  evaluation (licensed by the gain's monotone submodularity, Theorems
+  1–3) seeded from batch-vectorized first-step gains; the default
+  engine of the online/resilient runtimes;
 * :class:`RandomSelector` — the **Random** baseline of section IV-C3;
 * :class:`MaxMarginalEntropySelector` — the trivial rule from related
   work ([41]): pick the facts whose marginal ``P(f)`` is most
@@ -29,22 +33,82 @@ selector only ever evaluates per-group entropies.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import time
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from math import comb
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from .answers import FamilySpaceTooLarge
-from .entropy import binary_entropy, conditional_entropy, observation_entropy
+from .entropy import (
+    binary_entropy,
+    conditional_entropy,
+    first_step_gains,
+    observation_entropy,
+)
 from .observations import BeliefState, FactoredBelief
 from .workers import Crowd
 
 
 class SelectionTimeout(RuntimeError):
     """Raised when a selector exceeds its wall-clock deadline."""
+
+
+@dataclass
+class SelectionStats:
+    """Work counters of a selector, for benchmarks and regression tests.
+
+    ``entropy_evaluations`` counts *scalar* conditional-entropy kernel
+    invocations (cache misses), ``prior_evaluations`` counts ``H(O)``
+    computations, ``batch_evaluations`` counts vectorized whole-group
+    first-step kernels (``batch_facts`` facts covered by them in total),
+    ``sampled_evaluations`` counts Monte Carlo estimator calls, and
+    ``heap_pops`` counts lazy-heap pops.  Counters accumulate across
+    rounds; call :meth:`reset` between measurements.
+    """
+
+    entropy_evaluations: int = 0
+    prior_evaluations: int = 0
+    batch_evaluations: int = 0
+    batch_facts: int = 0
+    sampled_evaluations: int = 0
+    heap_pops: int = 0
+    rounds: int = 0
+
+    @property
+    def total_evaluations(self) -> int:
+        """Every entropy-kernel invocation, scalar or batched."""
+        return (
+            self.entropy_evaluations
+            + self.prior_evaluations
+            + self.batch_evaluations
+            + self.sampled_evaluations
+        )
+
+    def reset(self) -> None:
+        self.entropy_evaluations = 0
+        self.prior_evaluations = 0
+        self.batch_evaluations = 0
+        self.batch_facts = 0
+        self.sampled_evaluations = 0
+        self.heap_pops = 0
+        self.rounds = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "entropy_evaluations": self.entropy_evaluations,
+            "prior_evaluations": self.prior_evaluations,
+            "batch_evaluations": self.batch_evaluations,
+            "batch_facts": self.batch_facts,
+            "sampled_evaluations": self.sampled_evaluations,
+            "heap_pops": self.heap_pops,
+            "rounds": self.rounds,
+            "total_evaluations": self.total_evaluations,
+        }
 
 
 class Selector(ABC):
@@ -68,17 +132,27 @@ class Selector(ABC):
 
 
 class _GroupEntropyCache:
-    """Caches per-group conditional entropies for one selection pass.
+    """Caches per-group conditional entropies across selection passes.
 
-    Keyed on the group's immutable :class:`BeliefState` identity, so a
-    stateful selector can carry the cache across rounds and only pay
-    for groups whose belief actually changed.
+    Keyed on the group's immutable :class:`BeliefState` identity (and,
+    for conditional entries, the expert crowd), so a stateful selector
+    can carry the cache across rounds and only pay for groups whose
+    belief actually changed — while a changed crowd (e.g. a trust
+    quarantine) correctly invalidates every conditional entry.
+
+    Entries computed against a superseded state are evicted the first
+    time the group is written under its new state (and eagerly via
+    :meth:`invalidate_group`): conditional entries live in one
+    per-group sub-dict that is dropped wholesale on a state change, so
+    a long campaign never pins the old ``2**n`` probability arrays of
+    every past round — the cache stays bounded by the *current* states.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, stats: SelectionStats | None = None) -> None:
+        self.stats = stats if stats is not None else SelectionStats()
         self._prior: dict[int, tuple[BeliefState, float]] = {}
         self._conditional: dict[
-            tuple[int, frozenset[int]], tuple[BeliefState, float]
+            int, tuple[BeliefState, Crowd, dict[frozenset[int], float]]
         ] = {}
 
     def prior(self, group_index: int, state: BeliefState) -> float:
@@ -86,6 +160,7 @@ class _GroupEntropyCache:
         if cached is not None and cached[0] is state:
             return cached[1]
         value = observation_entropy(state)
+        self.stats.prior_evaluations += 1
         self._prior[group_index] = (state, value)
         return value
 
@@ -98,18 +173,38 @@ class _GroupEntropyCache:
     ) -> float:
         if not query_fact_ids:
             return self.prior(group_index, state)
-        key = (group_index, query_fact_ids)
-        cached = self._conditional.get(key)
-        if cached is not None and cached[0] is state:
-            return cached[1]
+        cached = self._conditional.get(group_index)
+        if cached is None or cached[0] is not state or not (
+            cached[1] is experts or cached[1] == experts
+        ):
+            values: dict[frozenset[int], float] = {}
+            self._conditional[group_index] = (state, experts, values)
+        else:
+            values = cached[2]
+            if query_fact_ids in values:
+                return values[query_fact_ids]
         value = conditional_entropy(
             state,
             sorted(query_fact_ids),
             experts,
             prior_entropy=self.prior(group_index, state),
         )
-        self._conditional[key] = (state, value)
+        self.stats.entropy_evaluations += 1
+        values[query_fact_ids] = value
         return value
+
+    def invalidate_group(self, group_index: int) -> None:
+        """Drop everything cached for one group (e.g. after its belief
+        was updated), releasing the superseded state immediately."""
+        self._prior.pop(group_index, None)
+        self._conditional.pop(group_index, None)
+
+    @property
+    def num_entries(self) -> int:
+        """Total cached values (prior + conditional), for bound tests."""
+        return len(self._prior) + sum(
+            len(entry[-1]) for entry in self._conditional.values()
+        )
 
 
 class GreedySelector(Selector):
@@ -132,9 +227,35 @@ class GreedySelector(Selector):
     def __init__(self, gain_tolerance: float = 1e-12):
         #: Gains at or below this are treated as zero (greedy stops).
         self.gain_tolerance = gain_tolerance
-        self._cache = _GroupEntropyCache()
-        # fact_id -> (belief state it was computed against, gain)
-        self._first_step_gain: dict[int, tuple[BeliefState, float]] = {}
+        #: Work counters (shared with the entropy cache).
+        self.stats = SelectionStats()
+        self._cache = _GroupEntropyCache(self.stats)
+        # group_index -> (state and crowd computed against,
+        # {fact_id: gain}); the whole sub-dict is dropped when either is
+        # superseded, so old probability arrays are never pinned across
+        # rounds and a changed crowd never serves stale gains.
+        self._first_step_gain: dict[
+            int, tuple[BeliefState, Crowd, dict[int, float]]
+        ] = {}
+
+    def invalidate_groups(self, group_indices: Iterable[int]) -> None:
+        """Explicitly drop cached entropies/gains of updated groups.
+
+        Correctness never requires this — caches are keyed on belief
+        *identity* — but calling it right after a belief update releases
+        the superseded states immediately instead of at the next
+        selection pass.
+        """
+        for group_index in group_indices:
+            self._cache.invalidate_group(group_index)
+            self._first_step_gain.pop(group_index, None)
+
+    @property
+    def cache_entries(self) -> int:
+        """Total cached values, for memory-bound regression tests."""
+        return self._cache.num_entries + sum(
+            len(entry[-1]) for entry in self._first_step_gain.values()
+        )
 
     def _single_fact_gain(
         self, belief: FactoredBelief, experts: Crowd, fact_id: int
@@ -142,15 +263,22 @@ class GreedySelector(Selector):
         """Gain of ``{f}`` over the empty set, cached per belief state."""
         group_index = belief.group_index_of(fact_id)
         state = belief[group_index]
-        cached = self._first_step_gain.get(fact_id)
-        if cached is not None and cached[0] is state:
-            return cached[1]
+        cached = self._first_step_gain.get(group_index)
+        if cached is None or cached[0] is not state or not (
+            cached[1] is experts or cached[1] == experts
+        ):
+            gains: dict[int, float] = {}
+            self._first_step_gain[group_index] = (state, experts, gains)
+        else:
+            gains = cached[2]
+            if fact_id in gains:
+                return gains[fact_id]
         prior = self._cache.prior(group_index, state)
         conditional = self._cache.conditional(
             group_index, state, frozenset((fact_id,)), experts
         )
         gain = prior - conditional
-        self._first_step_gain[fact_id] = (state, gain)
+        gains[fact_id] = gain
         return gain
 
     def select(
@@ -158,9 +286,12 @@ class GreedySelector(Selector):
     ) -> list[int]:
         if k < 0:
             raise ValueError("k must be non-negative")
+        self.stats.rounds += 1
         selected: list[int] = []
         group_queries: dict[int, list[int]] = {}
-        candidates = set(belief.fact_ids)
+        # Sorted iteration + strict ">" makes equal-gain ties break on
+        # the lowest fact id, independent of hash randomization.
+        candidates = sorted(belief.fact_ids)
 
         while len(selected) < k and candidates:
             best_fact: int | None = None
@@ -201,6 +332,135 @@ class GreedySelector(Selector):
         return selected
 
 
+class LazyGreedySelector(Selector):
+    """CELF lazy greedy: Algorithm 2's selections at a fraction of the cost.
+
+    Produces exactly the same query sets as :class:`GreedySelector`
+    (same gain function, same ``gain_tolerance`` stop rule, same
+    lowest-fact-id tie-breaking) but avoids the eager ``O(N k)``
+    per-round gain scan with two machines:
+
+    * **Lazy evaluation (CELF).**  Candidate gains live in a max-heap of
+      *stale upper bounds*.  The gain of adding ``f`` only depends on
+      ``f``'s own group's query set, and within a group the gain
+      function is monotone submodular (paper Theorems 1–3), so a gain
+      computed against an earlier, smaller query set upper-bounds the
+      current gain.  A popped entry whose bound is stale is re-evaluated
+      and pushed back; a popped entry whose bound is *fresh* is the true
+      argmax and is selected without touching the other ``N - 1``
+      candidates.
+    * **Batched first-step gains.**  The heap is seeded with the gains
+      of every singleton query set, computed one whole group at a time
+      by :func:`repro.core.entropy.first_step_gains` — a single matmul
+      against the crowd's shared single-query response tensor instead of
+      per-fact family enumerations.
+
+    The first-step gain vectors are cached per group keyed on belief
+    identity, so across checking rounds only the groups actually updated
+    by the previous round are re-evaluated (``O(changed)`` per round);
+    superseded states are evicted on write, keeping memory bounded by
+    the current belief.  :meth:`invalidate_groups` releases updated
+    groups' entries eagerly — the online sessions call it after every
+    belief update.
+    """
+
+    name = "Approx-Lazy"
+
+    def __init__(self, gain_tolerance: float = 1e-12):
+        #: Gains at or below this are treated as zero (greedy stops).
+        self.gain_tolerance = gain_tolerance
+        #: Work counters (heap pops, kernel invocations).
+        self.stats = SelectionStats()
+        self._cache = _GroupEntropyCache(self.stats)
+        # group_index -> (state and crowd computed against, per-fact
+        # gain vector); superseded entries are replaced on write.
+        self._first_gains: dict[
+            int, tuple[BeliefState, Crowd, np.ndarray]
+        ] = {}
+
+    def invalidate_groups(self, group_indices: Iterable[int]) -> None:
+        """Explicitly drop cached entropies/gains of updated groups."""
+        for group_index in group_indices:
+            self._cache.invalidate_group(group_index)
+            self._first_gains.pop(group_index, None)
+
+    @property
+    def cache_entries(self) -> int:
+        """Total cached values, for memory-bound regression tests."""
+        return self._cache.num_entries + sum(
+            entry[-1].size for entry in self._first_gains.values()
+        )
+
+    def _group_first_gains(
+        self, group_index: int, state: BeliefState, experts: Crowd
+    ) -> np.ndarray:
+        cached = self._first_gains.get(group_index)
+        if cached is not None and cached[0] is state and (
+            cached[1] is experts or cached[1] == experts
+        ):
+            return cached[2]
+        gains = first_step_gains(
+            state, experts, prior_entropy=self._cache.prior(group_index, state)
+        )
+        self.stats.batch_evaluations += 1
+        self.stats.batch_facts += gains.size
+        self._first_gains[group_index] = (state, experts, gains)
+        return gains
+
+    def select(
+        self, belief: FactoredBelief, experts: Crowd, k: int
+    ) -> list[int]:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.stats.rounds += 1
+        # Heap entries are (-gain, fact_id, bound_version, group_index);
+        # fact_id second makes equal-gain ties pop the lowest id first,
+        # matching the eager greedy's deterministic tie-breaking.  The
+        # bound_version is the size of the group's query set the gain
+        # was computed against: the entry is fresh iff it still matches.
+        heap: list[tuple[float, int, int, int]] = []
+        for group_index, state in enumerate(belief):
+            gains = self._group_first_gains(group_index, state, experts)
+            for fact, gain in zip(state.facts, gains):
+                if gain > self.gain_tolerance:
+                    heap.append((-float(gain), fact.fact_id, 0, group_index))
+        heapq.heapify(heap)
+
+        selected: list[int] = []
+        group_queries: dict[int, list[int]] = {}
+        while len(selected) < k and heap:
+            neg_gain, fact_id, version, group_index = heapq.heappop(heap)
+            self.stats.heap_pops += 1
+            queries = group_queries.get(group_index, [])
+            if version == len(queries):
+                # Fresh bound: by submodularity every other entry's
+                # bound dominates its true gain, so this is the argmax.
+                selected.append(fact_id)
+                group_queries.setdefault(group_index, []).append(fact_id)
+                continue
+            state = belief[group_index]
+            try:
+                current = self._cache.conditional(
+                    group_index, state, frozenset(queries), experts
+                )
+                with_fact = self._cache.conditional(
+                    group_index, state, frozenset(queries) | {fact_id},
+                    experts,
+                )
+            except FamilySpaceTooLarge:
+                # Stacking another query on this group is unenumerable;
+                # the group's query set only grows within a round, so
+                # the candidate stays infeasible — drop it (the eager
+                # greedy skips it on every remaining iteration too).
+                continue
+            gain = current - with_fact
+            if gain > self.gain_tolerance:
+                heapq.heappush(
+                    heap, (-gain, fact_id, len(queries), group_index)
+                )
+        return selected
+
+
 class SampledGreedySelector(Selector):
     """Greedy selection with Monte Carlo conditional entropies.
 
@@ -211,6 +471,17 @@ class SampledGreedySelector(Selector):
     (:func:`repro.core.entropy.conditional_entropy_sampled`), making the
     full objective available at any crowd size — at the price of
     estimator noise and per-candidate sampling cost.
+
+    Within one selection round every entropy estimate is cached per
+    ``(group, query set)`` — in particular the *current* group entropy
+    is estimated once and reused for every candidate of the group, so a
+    gain never compares two independently-noisy estimates of the same
+    quantity (which produced phantom gains above ``gain_tolerance`` and
+    ``O(N)`` redundant sampling per round).  All estimates within a
+    round also share one random seed (common random numbers), so both
+    the with/without difference and cross-candidate comparisons reuse
+    the same draws as far as the query sets allow and subtract
+    correlated noise instead of adding independent noise.
 
     Parameters
     ----------
@@ -236,6 +507,8 @@ class SampledGreedySelector(Selector):
         self.num_samples = num_samples
         self.gain_tolerance = gain_tolerance
         self._rng = np.random.default_rng(rng)
+        #: Work counters (``sampled_evaluations`` counts MC estimates).
+        self.stats = SelectionStats()
 
     def select(
         self, belief: FactoredBelief, experts: Crowd, k: int
@@ -244,21 +517,35 @@ class SampledGreedySelector(Selector):
 
         if k < 0:
             raise ValueError("k must be non-negative")
+        self.stats.rounds += 1
         selected: list[int] = []
         group_queries: dict[int, list[int]] = {}
-        candidates = set(belief.fact_ids)
-        prior_cache: dict[int, float] = {}
+        candidates = sorted(belief.fact_ids)
+        # One seed per round: every estimate of the round shares the
+        # same draws (common random numbers), so both the with/without
+        # difference and cross-candidate comparisons subtract correlated
+        # noise; cached per (group, query set) so each entropy is
+        # estimated exactly once per round.
+        round_seed = int(self._rng.integers(0, 2**63))
+        entropy_cache: dict[tuple[int, frozenset[int]], float] = {}
 
-        def entropy_of(group_index: int, queries: list[int]) -> float:
+        def entropy_of(group_index: int, queries: Sequence[int]) -> float:
+            key = (group_index, frozenset(queries))
+            if key in entropy_cache:
+                return entropy_cache[key]
             state = belief[group_index]
             if not queries:
-                if group_index not in prior_cache:
-                    prior_cache[group_index] = observation_entropy(state)
-                return prior_cache[group_index]
-            return conditional_entropy_sampled(
-                state, queries, experts,
-                num_samples=self.num_samples, rng=self._rng,
-            )
+                value = observation_entropy(state)
+                self.stats.prior_evaluations += 1
+            else:
+                value = conditional_entropy_sampled(
+                    state, sorted(queries), experts,
+                    num_samples=self.num_samples,
+                    rng=np.random.default_rng(round_seed),
+                )
+                self.stats.sampled_evaluations += 1
+            entropy_cache[key] = value
+            return value
 
         while len(selected) < k and candidates:
             best_fact: int | None = None
@@ -443,6 +730,36 @@ class FactoredExactSelector(Selector):
             if size:
                 selected.extend(best_subset[group_index][size])
         return selected
+
+
+#: Registry of CLI-selectable selector constructors.
+SELECTOR_NAMES = ("lazy", "greedy", "sampled", "random", "max-entropy")
+
+
+def make_selector(
+    name: str, seed: int | None = None
+) -> Selector:
+    """Build a selector by CLI name.
+
+    ``lazy`` (the default engine), ``greedy`` (the eager reference
+    Approx), ``sampled`` (Monte Carlo greedy for unenumerable crowds),
+    ``random`` and ``max-entropy`` (baselines).  ``seed`` feeds the
+    stochastic selectors and is ignored by the deterministic ones.
+    """
+    key = name.strip().lower()
+    if key == "lazy":
+        return LazyGreedySelector()
+    if key == "greedy":
+        return GreedySelector()
+    if key == "sampled":
+        return SampledGreedySelector(rng=seed)
+    if key == "random":
+        return RandomSelector(rng=seed)
+    if key == "max-entropy":
+        return MaxMarginalEntropySelector()
+    raise ValueError(
+        f"unknown selector {name!r}; expected one of {', '.join(SELECTOR_NAMES)}"
+    )
 
 
 class RandomSelector(Selector):

@@ -25,7 +25,7 @@ from ..core.budget import CheckingBudget, CostModel
 from ..core.hc import HierarchicalCrowdsourcing, RoundRecord
 from ..core.incidents import FaultEvent
 from ..core.observations import BeliefState, FactoredBelief
-from ..core.selection import GreedySelector, Selector
+from ..core.selection import LazyGreedySelector, Selector
 from ..core.update import (
     InconsistentEvidenceError,
     tempered_update_with_answer_set,
@@ -52,7 +52,11 @@ class OnlineCheckingSession:
     budget:
         Expert-answer budget ``B``.
     selector, k, cost_model:
-        As in :class:`~repro.core.hc.HierarchicalCrowdsourcing`.
+        As in :class:`~repro.core.hc.HierarchicalCrowdsourcing`; the
+        selector defaults to the lazy-greedy engine
+        (:class:`~repro.core.selection.LazyGreedySelector`), whose
+        cross-round gain cache is invalidated for exactly the groups
+        each submitted round updates.
     ground_truth:
         Optional truth map enabling accuracy tracking in the history.
     """
@@ -73,7 +77,7 @@ class OnlineCheckingSession:
             raise ValueError("k must be at least 1")
         self._belief = belief.copy()
         self._experts = experts
-        self._selector = selector or GreedySelector()
+        self._selector = selector or LazyGreedySelector()
         self._k = k
         self._budget = CheckingBudget(budget, cost_model=cost_model)
         self._ground_truth = (
@@ -321,6 +325,12 @@ class OnlineCheckingSession:
                 staged[group_index] = updated
         for group_index, updated in staged.items():
             self._belief.replace_group(group_index, updated)
+        # Release the selector's cached entropies for the groups this
+        # round actually changed; untouched groups keep their entries,
+        # so the next selection pass costs O(changed), not O(N).
+        invalidate = getattr(self._selector, "invalidate_groups", None)
+        if callable(invalidate):
+            invalidate(staged.keys())
 
     def replace_experts(self, experts: Crowd) -> None:
         """Swap the checking panel (worker reassignment).

@@ -131,7 +131,13 @@ class ResilientCheckingSession:
     Parameters
     ----------
     belief, experts, budget, selector, k, cost_model, ground_truth:
-        As in :class:`~repro.simulation.online.OnlineCheckingSession`.
+        As in :class:`~repro.simulation.online.OnlineCheckingSession`;
+        selection defaults to the lazy-greedy engine
+        (:class:`~repro.core.selection.LazyGreedySelector`), which
+        carries its gain cache across rounds — after every committed
+        round the inner session invalidates exactly the updated groups,
+        so steady-state selection work is proportional to the groups
+        the previous round touched, not the whole fact set.
     retry_policy:
         Retry/backoff/reassignment knobs; defaults to
         ``RetryPolicy()``.

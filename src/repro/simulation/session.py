@@ -17,7 +17,7 @@ import numpy as np
 from ..aggregation.base import Aggregator
 from ..aggregation.registry import make_aggregator
 from ..core.hc import HierarchicalCrowdsourcing, RunResult
-from ..core.selection import GreedySelector, Selector
+from ..core.selection import LazyGreedySelector, Selector
 from ..core.trust import TrustPolicy, select_gold_probes
 from ..core.workers import Crowd
 from ..datasets.grouping import initialize_belief
@@ -151,7 +151,7 @@ def run_hc_session(
             belief,
             experts,
             config.budget,
-            selector=selector or GreedySelector(),
+            selector=selector or LazyGreedySelector(),
             k=config.k,
             ground_truth=dataset.ground_truth,
             retry_policy=config.retry_policy,
@@ -164,7 +164,7 @@ def run_hc_session(
         return session.run(answer_source)
     runner = HierarchicalCrowdsourcing(
         experts=experts,
-        selector=selector or GreedySelector(),
+        selector=selector or LazyGreedySelector(),
         k=config.k,
     )
     return runner.run(

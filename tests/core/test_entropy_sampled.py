@@ -6,6 +6,7 @@ import pytest
 from repro.core import (
     BeliefState,
     Crowd,
+    DegenerateSamplesError,
     FactSet,
     conditional_entropy,
     conditional_entropy_sampled,
@@ -79,6 +80,40 @@ class TestConditionalEntropySampled:
             conditional_entropy_sampled(
                 belief, [0], two_experts, num_samples=0
             )
+
+    def test_all_degenerate_samples_raise(self, belief):
+        """A 2200-coin-flipper panel drives every family likelihood to
+        ``0.5**2200`` — below the float64 floor — so every sample has
+        zero posterior mass.  The estimator must refuse rather than
+        return the old silent 0.0 ("perfect certainty")."""
+        coin_flippers = Crowd.from_accuracies([0.5] * 2200)
+        with pytest.raises(DegenerateSamplesError):
+            conditional_entropy_sampled(
+                belief, [0], coin_flippers, num_samples=50, rng=0
+            )
+
+    def test_partial_degeneracy_averages_over_retained(self):
+        """Dividing by ``num_samples`` while skipping zero-mass samples
+        biased the estimate toward 0 (overstating information gain).
+
+        Construction: two independent uniform facts, query only fact 0
+        with 1300 workers of accuracy 0.25.  For every sample the
+        likelihood of the *wrong* fact-0 value underflows to exactly 0,
+        so a retained sample's posterior is exactly (1/2, 1/2) over the
+        unqueried fact — entropy exactly 1 bit.  The likelihood of the
+        *correct* value sits right at the float64 floor, so with this
+        seed a fifth of the samples underflow everywhere (degenerate).
+        Averaging over retained samples gives exactly 1.0; the old
+        divide-by-``num_samples`` gave the retained fraction (~0.79).
+        """
+        belief = BeliefState(
+            FactSet.from_ids([0, 1]), np.full(4, 0.25)
+        )
+        crowd = Crowd.from_accuracies([0.25] * 1300)
+        value = conditional_entropy_sampled(
+            belief, [0], crowd, num_samples=300, rng=5
+        )
+        assert value == pytest.approx(1.0, abs=1e-12)
 
     def test_precision_improves_with_samples(self, belief, two_experts):
         exact = conditional_entropy(belief, [0, 1], two_experts)

@@ -1,0 +1,256 @@
+"""Tests for the CELF lazy-greedy selector and the batch gain kernel.
+
+The lazy selector's contract is *exact equivalence* with the eager
+``GreedySelector`` (same gain function, same stop rule, same
+tie-breaking) at a fraction of the entropy-evaluation cost; these tests
+pin both halves of that contract, plus the cross-round cache behaviour
+(identity keying, evict-on-write, explicit invalidation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BeliefState,
+    Crowd,
+    FactSet,
+    FactoredBelief,
+    GreedySelector,
+    LazyGreedySelector,
+    conditional_entropy,
+    first_step_gains,
+    observation_entropy,
+    update_with_answer_set,
+    AnswerSet,
+)
+
+
+def _random_belief(
+    seed: int, num_groups: int = 4, group_size: int = 3
+) -> FactoredBelief:
+    rng = np.random.default_rng(seed)
+    groups = []
+    for index in range(num_groups):
+        start = index * group_size
+        facts = FactSet.from_ids(range(start, start + group_size))
+        groups.append(
+            BeliefState(facts, rng.dirichlet(np.ones(2 ** group_size)))
+        )
+    return FactoredBelief(groups)
+
+
+class TestBatchGainKernel:
+    """``first_step_gains`` must match the scalar path exactly."""
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_gains(self, seed):
+        rng = np.random.default_rng(seed)
+        num_facts = int(rng.integers(1, 5))
+        state = BeliefState(
+            FactSet.from_ids(range(num_facts)),
+            rng.dirichlet(np.ones(2 ** num_facts)),
+        )
+        experts = Crowd.from_accuracies(
+            rng.uniform(0.5, 0.99, size=int(rng.integers(1, 4))).tolist()
+        )
+        prior = observation_entropy(state)
+        batched = first_step_gains(state, experts, prior_entropy=prior)
+        for position, fact in enumerate(state.facts):
+            scalar = prior - conditional_entropy(
+                state, [fact.fact_id], experts, prior_entropy=prior
+            )
+            assert batched[position] == pytest.approx(scalar, abs=1e-10)
+
+    def test_empty_crowd_is_all_zero(self):
+        state = BeliefState.uniform(FactSet.from_ids([0, 1]))
+        assert first_step_gains(state, Crowd([])).tolist() == [0.0, 0.0]
+
+
+class TestLazyEagerEquivalence:
+    """The tentpole guarantee: identical selections, fewer evaluations."""
+
+    @given(
+        seed=st.integers(0, 10_000),
+        num_groups=st.integers(1, 5),
+        group_size=st.integers(1, 3),
+        k=st.integers(0, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_identical_selections(self, seed, num_groups, group_size, k):
+        rng = np.random.default_rng(seed)
+        belief = _random_belief(
+            seed, num_groups=num_groups, group_size=group_size
+        )
+        experts = Crowd.from_accuracies(
+            rng.uniform(0.5, 0.99, size=int(rng.integers(1, 4))).tolist()
+        )
+        eager = GreedySelector().select(belief, experts, k)
+        lazy = LazyGreedySelector().select(belief, experts, k)
+        assert lazy == eager
+
+    def test_identical_selections_across_rounds(self):
+        """Equivalence must survive belief updates and cache reuse."""
+        eager, lazy = GreedySelector(), LazyGreedySelector()
+        belief_a = _random_belief(1)
+        belief_b = _random_belief(2)
+        experts = Crowd.from_accuracies([0.8, 0.9])
+        for belief in (belief_a, belief_b, belief_a):
+            for k in (1, 3, 5):
+                assert lazy.select(belief, experts, k) == eager.select(
+                    belief, experts, k
+                )
+
+    def test_lazy_needs_fewer_evaluations(self):
+        """At 20 groups x 4 facts, k=5, the eager greedy pays O(N k)
+        scalar kernels; the lazy one pays one batch kernel per group
+        plus a handful of re-evaluations."""
+        belief = _random_belief(7, num_groups=20, group_size=4)
+        experts = Crowd.from_accuracies([0.8, 0.9])
+        eager, lazy = GreedySelector(), LazyGreedySelector()
+        assert lazy.select(belief, experts, 5) == eager.select(
+            belief, experts, 5
+        )
+        assert lazy.stats.total_evaluations < eager.stats.total_evaluations
+        # The first-step gains never go through the scalar kernel at all.
+        assert lazy.stats.batch_evaluations == 20
+        assert lazy.stats.batch_facts == 80
+        assert lazy.stats.entropy_evaluations < 20
+        # Eager evaluates ~every candidate every iteration.
+        assert eager.stats.entropy_evaluations >= 80
+
+    def test_cache_makes_repeat_rounds_free(self):
+        """Same belief, next round: zero new kernel evaluations."""
+        belief = _random_belief(3)
+        experts = Crowd.from_accuracies([0.85, 0.9])
+        lazy = LazyGreedySelector()
+        first = lazy.select(belief, experts, 2)
+        evaluations = lazy.stats.total_evaluations
+        assert lazy.select(belief, experts, 2) == first
+        assert lazy.stats.batch_evaluations == len(belief)
+        assert lazy.stats.total_evaluations == evaluations
+
+    def test_infeasible_stacking_matches_eager(self):
+        """8 checkers x 3 stacked queries = 24 family bits > the cap:
+        both selectors must spread across groups identically instead of
+        dying on FamilySpaceTooLarge."""
+        belief = _random_belief(11, num_groups=3, group_size=4)
+        experts = Crowd.from_accuracies([0.8] * 8)
+        eager = GreedySelector().select(belief, experts, 9)
+        lazy = LazyGreedySelector().select(belief, experts, 9)
+        assert lazy == eager
+        # Feasibility cap binds: nobody stacks 3+ queries on one group.
+        groups = [fact_id // 4 for fact_id in lazy]
+        assert max(groups.count(g) for g in set(groups)) == 2
+
+    def test_k_zero_empty_crowd_and_validation(self):
+        belief = _random_belief(0)
+        experts = Crowd.from_accuracies([0.9])
+        lazy = LazyGreedySelector()
+        assert lazy.select(belief, experts, 0) == []
+        assert lazy.select(belief, Crowd([]), 3) == []
+        with pytest.raises(ValueError):
+            lazy.select(belief, experts, -1)
+
+    def test_certain_belief_selects_nothing(self):
+        certain = FactoredBelief(
+            [BeliefState.point_mass(FactSet.from_ids([0, 1]), (True, False))]
+        )
+        experts = Crowd.from_accuracies([0.9, 0.95])
+        assert LazyGreedySelector().select(certain, experts, 2) == []
+
+
+def _updated(belief: FactoredBelief, fact_id: int, seed: int) -> None:
+    """Apply a fresh expert answer to ``fact_id``'s group in place."""
+    rng = np.random.default_rng(seed)
+    group_index = belief.group_index_of(fact_id)
+    state = belief[group_index]
+    worker = Crowd.from_accuracies([0.9], prefix="e")[0]
+    answer_set = AnswerSet(
+        worker=worker, answers={fact_id: bool(rng.integers(2))}
+    )
+    belief.replace_group(group_index, update_with_answer_set(state, answer_set))
+
+
+class TestCacheRetention:
+    """Memory stays bounded by the *current* belief across rounds."""
+
+    @pytest.mark.parametrize(
+        "selector_factory", [GreedySelector, LazyGreedySelector]
+    )
+    def test_cache_bounded_across_many_rounds(self, selector_factory):
+        belief = _random_belief(5, num_groups=4, group_size=3)
+        experts = Crowd.from_accuracies([0.85, 0.9])
+        selector = selector_factory()
+        sizes = []
+        for round_index in range(30):
+            selected = selector.select(belief, experts, 2)
+            for fact_id in selected:
+                _updated(belief, fact_id, seed=round_index)
+            selector.invalidate_groups(
+                {belief.group_index_of(fact_id) for fact_id in selected}
+            )
+            sizes.append(selector.cache_entries)
+        # Superseded states are evicted, so the entry count plateaus
+        # instead of growing linearly with rounds.
+        assert max(sizes) == max(sizes[:4])
+
+    @pytest.mark.parametrize(
+        "selector_factory", [GreedySelector, LazyGreedySelector]
+    )
+    def test_eviction_without_explicit_invalidation(self, selector_factory):
+        """Identity keying alone (no invalidate_groups call) must also
+        evict superseded per-group entries on the next write."""
+        belief = _random_belief(6, num_groups=3, group_size=3)
+        experts = Crowd.from_accuracies([0.85, 0.9])
+        selector = selector_factory()
+        sizes = []
+        for round_index in range(20):
+            selected = selector.select(belief, experts, 2)
+            for fact_id in selected:
+                _updated(belief, fact_id, seed=100 + round_index)
+            sizes.append(selector.cache_entries)
+        # Without eviction the count grows by a few entries every round;
+        # with it, the count plateaus within the first few rounds at a
+        # level bounded by the current belief (priors + per-fact gains +
+        # per-group query-set entries).
+        assert max(sizes) == max(sizes[:8])
+        groups, facts = 3, 9
+        assert max(sizes) <= groups + facts + groups * 2 ** 3
+
+    @pytest.mark.parametrize(
+        "selector_factory", [GreedySelector, LazyGreedySelector]
+    )
+    def test_crowd_change_invalidates_cached_gains(self, selector_factory):
+        """A cross-round cache must not serve gains computed for a
+        different expert crowd (trust supervision shrinks the panel
+        mid-campaign).  Same belief, weaker crowd -> same answer as a
+        fresh selector, not the cached strong-crowd answer."""
+        belief = _random_belief(9, num_groups=3, group_size=3)
+        strong = Crowd.from_accuracies([0.95, 0.99])
+        weak = Crowd.from_accuracies([0.55])
+        selector = selector_factory()
+        selector.select(belief, strong, 3)
+        assert selector.select(belief, weak, 3) == selector_factory().select(
+            belief, weak, 3
+        )
+        # Degenerate shrinkage: an emptied panel yields no selection.
+        assert selector.select(belief, Crowd([]), 3) == []
+
+    def test_invalidate_groups_releases_entries(self):
+        belief = _random_belief(8, num_groups=3, group_size=3)
+        experts = Crowd.from_accuracies([0.9])
+        lazy = LazyGreedySelector()
+        lazy.select(belief, experts, 3)
+        populated = lazy.cache_entries
+        assert populated > 0
+        lazy.invalidate_groups(range(len(belief)))
+        assert lazy.cache_entries == 0
+        # And the next round simply recomputes.
+        assert lazy.select(belief, experts, 3) == LazyGreedySelector().select(
+            belief, experts, 3
+        )

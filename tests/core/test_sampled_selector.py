@@ -68,6 +68,35 @@ class TestSampledGreedySelector:
         with pytest.raises(ValueError):
             SampledGreedySelector(num_samples=0)
 
+    def test_zero_information_crowd_selects_nothing(self, two_experts):
+        """Regression: coin-flip checkers carry zero information, so
+        every gain must be *exactly* zero and the selection empty at the
+        default tolerance.  The old selector re-estimated the current
+        group entropy with fresh draws per candidate, and the difference
+        of two independently-noisy estimates of the same quantity
+        produced phantom "gains" that it happily chased."""
+        belief = _belief()
+        coin_flippers = Crowd.from_accuracies([0.5, 0.5])
+        for seed in range(5):
+            selector = SampledGreedySelector(num_samples=300, rng=seed)
+            assert selector.select(belief, coin_flippers, 3) == []
+
+    def test_each_entropy_estimated_once_per_round(self, two_experts):
+        """Regression: with 2 groups x 3 facts, one greedy iteration
+        needs exactly one MC estimate per candidate singleton (the
+        current group entropies are the cached priors) — not O(N) extra
+        re-estimates of the current entropy."""
+        selector = SampledGreedySelector(num_samples=200, rng=0)
+        selector.select(_belief(), two_experts, 1)
+        assert selector.stats.sampled_evaluations == 6
+        assert selector.stats.prior_evaluations == 2
+
+        # Second iteration adds only the two 2-query sets of the
+        # selected fact's group; everything else is cache hits.
+        selector = SampledGreedySelector(num_samples=200, rng=0)
+        selector.select(_belief(), two_experts, 2)
+        assert selector.stats.sampled_evaluations == 8
+
     def test_usable_in_full_loop(self):
         """End-to-end: NO-HC-style whole-crowd checking driven by the MC
         greedy improves quality."""

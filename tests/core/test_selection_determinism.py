@@ -1,0 +1,80 @@
+"""Deterministic tie-breaking of the greedy selectors.
+
+Uniform groups make every fact's gain *exactly* equal at every greedy
+step (a uniform joint factorizes into independent uniform facts), so
+the selected set is decided purely by tie-breaking.  Both greedy
+engines must break ties on the lowest fact id — independent of hash
+randomization (this file runs in CI under a PYTHONHASHSEED matrix) and
+of the order groups or ids are presented in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BeliefState,
+    Crowd,
+    FactSet,
+    FactoredBelief,
+    GreedySelector,
+    LazyGreedySelector,
+)
+
+
+def _uniform_belief(starts=(0, 3, 6), size: int = 3) -> FactoredBelief:
+    return FactoredBelief(
+        [
+            BeliefState.uniform(FactSet.from_ids(range(s, s + size)))
+            for s in starts
+        ]
+    )
+
+
+@pytest.fixture
+def experts() -> Crowd:
+    return Crowd.from_accuracies([0.8, 0.9], prefix="e")
+
+
+@pytest.mark.parametrize(
+    "selector_factory", [GreedySelector, LazyGreedySelector]
+)
+class TestTieBreaking:
+    def test_all_ties_select_lowest_fact_ids(self, selector_factory, experts):
+        """Every gain ties, so the selection is the k lowest ids."""
+        selected = selector_factory().select(_uniform_belief(), experts, 5)
+        assert selected == [0, 1, 2, 3, 4]
+
+    def test_group_presentation_order_is_irrelevant(
+        self, selector_factory, experts
+    ):
+        """Shuffling which group holds the low ids must not change the
+        id-ordered outcome."""
+        shuffled = _uniform_belief(starts=(6, 0, 3))
+        selected = selector_factory().select(shuffled, experts, 4)
+        assert selected == [0, 1, 2, 3]
+
+    def test_repeated_runs_identical(self, selector_factory, experts):
+        """Fresh selectors on fresh (but equal) instances agree — no
+        dependence on set iteration order or interpreter state."""
+        runs = [
+            selector_factory().select(_uniform_belief(), experts, 5)
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_noncontiguous_ids_still_lowest_first(
+        self, selector_factory, experts
+    ):
+        belief = _uniform_belief(starts=(100, 7, 40))
+        selected = selector_factory().select(belief, experts, 3)
+        assert selected == [7, 8, 9]
+
+
+def test_engines_agree_on_ties(experts):
+    """The two greedy engines resolve every tie the same way, so they
+    stay interchangeable even on fully symmetric instances."""
+    for k in range(1, 10):
+        assert LazyGreedySelector().select(
+            _uniform_belief(), experts, k
+        ) == GreedySelector().select(_uniform_belief(), experts, k)

@@ -175,3 +175,46 @@ class TestAccounting:
         assert all(
             record.accuracy is not None for record in session.history
         )
+
+
+class TestSelectorCacheLifecycle:
+    """The session must release selector cache entries for groups it
+    updates, so a long campaign's memory is bounded by the *current*
+    belief rather than by every belief that ever existed."""
+
+    def test_submit_invalidates_updated_groups(self, experts):
+        from repro.core import LazyGreedySelector
+
+        selector = LazyGreedySelector()
+        session = OnlineCheckingSession(
+            _belief(), experts, budget=40, ground_truth=TRUTH, selector=selector
+        )
+        panel = SimulatedExpertPanel(TRUTH, rng=5)
+        sizes = []
+        while (queries := session.next_queries()) is not None:
+            session.submit(panel.collect(queries, experts))
+            sizes.append(selector.cache_entries)
+        assert sizes, "session must run at least one round"
+        # 2 groups x 2 facts: bounded by priors + first-step gain
+        # vectors + per-group query-set entries of the current states.
+        assert max(sizes) <= 2 + 4 + 2 * 4
+
+    def test_partial_submission_invalidates_staged_groups(self, experts):
+        from repro.core import LazyGreedySelector
+
+        selector = LazyGreedySelector()
+        session = OnlineCheckingSession(
+            _belief(), experts, budget=20, ground_truth=TRUTH,
+            selector=selector, k=2,
+        )
+        panel = SimulatedExpertPanel(TRUTH, rng=6)
+        queries = session.next_queries()
+        assert selector.cache_entries > 0
+        # Only one of the two panellists responds this round.
+        session.submit_partial(panel.collect(queries, Crowd([experts[0]])))
+        # The staged groups' superseded states are no longer cached.
+        current = {id(session.belief[i]) for i in range(len(session.belief))}
+        cached = {
+            id(entry[0]) for entry in selector._first_gains.values()
+        }
+        assert cached <= current
