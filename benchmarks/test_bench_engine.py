@@ -1,0 +1,133 @@
+"""Benchmark: serial vs sharded (multi-process) campaign execution.
+
+Runs the same checking campaign three times — serially through
+``run_hc_session`` and on 2- and 4-worker :class:`ParallelCampaignRunner`
+process pools — asserts the runs are *bit-identical* (same per-round
+selections, same budget trajectory, same final belief arrays), and
+records wall-clock to ``BENCH_engine.json`` at the repository root (and
+a copy under ``benchmarks/results/``).
+
+The answer source is a :class:`KeyedExpertPanel` whose per-query latency
+simulates real crowd turnaround; sharded collection overlaps those
+latencies across shard processes, which is the speedup being measured.
+Worker startup (process spawn + interpreter imports) is one-time cost
+and is reported separately as ``startup_seconds``: on a many-core
+machine it overlaps, on the 1-core CI box it serializes, and either way
+it amortizes over a campaign while the campaign-phase speedup does not.
+
+Set ``BENCH_ENGINE_SMOKE=1`` for the reduced CI version (2 workers,
+short campaign, equivalence assertions only — no speedup floor).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.hc import RunResult
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.engine import KeyedExpertPanel, ParallelCampaignRunner
+from repro.simulation.session import SessionConfig, run_hc_session
+
+SMOKE = os.environ.get("BENCH_ENGINE_SMOKE", "") not in ("", "0")
+NUM_GROUPS = 8 if SMOKE else 16
+GROUP_SIZE = 5
+K = 8
+BUDGET = 180.0 if SMOKE else 360.0
+LATENCY = 0.05 if SMOKE else 0.3
+JOB_COUNTS = (2,) if SMOKE else (2, 4)
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _dataset():
+    return make_synthetic_dataset(
+        num_groups=NUM_GROUPS, group_size=GROUP_SIZE, seed=0
+    )
+
+
+def _panel(dataset) -> KeyedExpertPanel:
+    return KeyedExpertPanel(dataset.ground_truth, seed=1, latency=LATENCY)
+
+
+def _signature(result: RunResult):
+    """Everything two equivalent runs must agree on, bit for bit."""
+    return (
+        [list(record.query_fact_ids) for record in result.history],
+        [record.budget_spent for record in result.history],
+        [state.probabilities.tobytes() for state in result.belief],
+    )
+
+
+def test_bench_engine(results_dir):
+    dataset = _dataset()
+    config = SessionConfig(budget=BUDGET, k=K, seed=1)
+
+    started = time.perf_counter()
+    serial = run_hc_session(dataset, config, answer_source=_panel(dataset))
+    serial_seconds = time.perf_counter() - started
+    reference = _signature(serial)
+    rounds = len(serial.history) - 1
+    assert rounds >= 3
+
+    runs = {}
+    for jobs in JOB_COUNTS:
+        runner = ParallelCampaignRunner(
+            dataset,
+            config,
+            jobs=jobs,
+            answer_source=_panel(dataset),
+            inline=False,
+        )
+        started = time.perf_counter()
+        runner.prepare()
+        startup_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        parallel = runner.run()
+        campaign_seconds = time.perf_counter() - started
+
+        # The tentpole guarantee: identical selections, identical budget
+        # trajectory, bit-identical final beliefs, for any worker count.
+        assert _signature(parallel) == reference
+        assert parallel.final_labels == serial.final_labels
+        runs[jobs] = {
+            "jobs": runner.jobs_used,
+            "startup_seconds": startup_seconds,
+            "campaign_seconds": campaign_seconds,
+            "speedup": serial_seconds / campaign_seconds,
+        }
+
+    if not SMOKE:
+        # Four shard workers must at least halve campaign wall-clock by
+        # overlapping collection latency (startup excluded: it is
+        # one-time and amortizes; campaign time does not).
+        assert runs[4]["speedup"] >= 2.0
+
+    result = {
+        "scale": {
+            "num_groups": NUM_GROUPS,
+            "group_size": GROUP_SIZE,
+            "num_facts": NUM_GROUPS * GROUP_SIZE,
+            "k": K,
+            "budget": BUDGET,
+            "rounds": rounds,
+            "latency_per_query": LATENCY,
+            "smoke": SMOKE,
+        },
+        "serial": {"campaign_seconds": serial_seconds},
+        "parallel": {str(jobs): stats for jobs, stats in runs.items()},
+        "identical_results": True,
+    }
+    payload = json.dumps(result, indent=2)
+    (REPO_ROOT / "BENCH_engine.json").write_text(payload)
+    (results_dir / "BENCH_engine.json").write_text(payload)
+    print()
+    print(f"serial: {serial_seconds:.2f}s over {rounds} rounds")
+    for jobs, stats in runs.items():
+        print(
+            f"jobs={jobs}: campaign {stats['campaign_seconds']:.2f}s "
+            f"({stats['speedup']:.2f}x), "
+            f"startup {stats['startup_seconds']:.2f}s"
+        )

@@ -97,9 +97,17 @@ def _cmd_session(args: argparse.Namespace) -> int:
         )
     from .core.selection import make_selector
 
+    jobs = args.jobs or 1
+    if jobs > 1 and args.selector != "lazy":
+        print(
+            "error: --jobs shards the lazy-greedy selector itself; "
+            "other --selector choices only run serially",
+            file=sys.stderr,
+        )
+        return 2
     selector = make_selector(args.selector, seed=args.seed)
     if args.resume:
-        result = _resume_session(args, dataset, faults, selector)
+        result = _resume_session(args, dataset, faults, selector, jobs=jobs)
     else:
         config = SessionConfig(
             theta=args.theta,
@@ -111,7 +119,12 @@ def _cmd_session(args: argparse.Namespace) -> int:
             journal_path=args.journal,
             trust_policy=trust_policy,
         )
-        result = run_hc_session(dataset, config, selector=selector)
+        if jobs > 1:
+            from .engine import run_parallel_hc_session
+
+            result = run_parallel_hc_session(dataset, config, jobs=jobs)
+        else:
+            result = run_hc_session(dataset, config, selector=selector)
     stats = getattr(selector, "stats", None)
     if stats is not None and args.selector_stats:
         print(
@@ -156,7 +169,9 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resume_session(args: argparse.Namespace, dataset, faults, selector=None):
+def _resume_session(
+    args: argparse.Namespace, dataset, faults, selector=None, jobs: int = 1
+):
     """Restore a crashed ``session --journal`` run and drive it on."""
     import numpy as np
 
@@ -166,12 +181,18 @@ def _resume_session(args: argparse.Namespace, dataset, faults, selector=None):
         SimulatedExpertPanel,
     )
 
-    session = ResilientCheckingSession.resume(args.resume, selector=selector)
     answer_source = SimulatedExpertPanel(
         dataset.ground_truth, rng=np.random.default_rng(args.seed)
     )
     if faults is not None:
         answer_source = FaultyExpertPanel(answer_source, faults)
+    if jobs > 1:
+        from .engine import resume_parallel_session
+
+        session, pool = resume_parallel_session(args.resume, jobs=jobs)
+        with pool:
+            return session.run(answer_source)
+    session = ResilientCheckingSession.resume(args.resume, selector=selector)
     return session.run(answer_source)
 
 
@@ -182,6 +203,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         scale_name=args.scale,
         out_dir=args.out,
         only=args.only,
+        jobs=args.jobs,
     )
     return 0
 
@@ -246,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
              "with far fewer entropy evaluations)",
     )
     session.add_argument(
+        "--jobs", "--shards", type=int, default=1, metavar="N",
+        help="run the campaign on N shard workers (the sharded engine; "
+             "results are bit-identical for any N)",
+    )
+    session.add_argument(
         "--selector-stats", action="store_true",
         help="print the selector's evaluation counters after the run",
     )
@@ -287,6 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=("paper", "small"))
     reproduce.add_argument("--out", default="results")
     reproduce.add_argument("--only", nargs="*", default=None)
+    reproduce.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan independent experiments across N worker processes",
+    )
     reproduce.set_defaults(handler=_cmd_reproduce)
 
     return parser

@@ -284,10 +284,22 @@ class GreedySelector(Selector):
     def select(
         self, belief: FactoredBelief, experts: Crowd, k: int
     ) -> list[int]:
+        return [fact_id for fact_id, _gain in
+                self.select_with_gains(belief, experts, k)]
+
+    def select_with_gains(
+        self, belief: FactoredBelief, experts: Crowd, k: int
+    ) -> list[tuple[int, float]]:
+        """Like :meth:`select` but also return each pick's marginal gain.
+
+        The gain sequence is non-increasing (submodularity), which is
+        what licenses merging per-shard sequences by a k-way merge in
+        the parallel engine.
+        """
         if k < 0:
             raise ValueError("k must be non-negative")
         self.stats.rounds += 1
-        selected: list[int] = []
+        selected: list[tuple[int, float]] = []
         group_queries: dict[int, list[int]] = {}
         # Sorted iteration + strict ">" makes equal-gain ties break on
         # the lowest fact id, independent of hash randomization.
@@ -325,7 +337,7 @@ class GreedySelector(Selector):
                     best_gain = gain
             if best_fact is None:
                 break  # no fact offers positive gain (Algorithm 2 line 4)
-            selected.append(best_fact)
+            selected.append((best_fact, best_gain))
             candidates.remove(best_fact)
             group_index = belief.group_index_of(best_fact)
             group_queries.setdefault(group_index, []).append(best_fact)
@@ -410,6 +422,19 @@ class LazyGreedySelector(Selector):
     def select(
         self, belief: FactoredBelief, experts: Crowd, k: int
     ) -> list[int]:
+        return [fact_id for fact_id, _gain in
+                self.select_with_gains(belief, experts, k)]
+
+    def select_with_gains(
+        self, belief: FactoredBelief, experts: Crowd, k: int
+    ) -> list[tuple[int, float]]:
+        """Like :meth:`select` but also return each pick's marginal gain.
+
+        A fresh heap pop *is* the argmax, so its bound is the exact gain
+        of the pick; the resulting gain sequence is non-increasing
+        (submodularity), licensing the parallel engine's k-way merge of
+        per-shard sequences.
+        """
         if k < 0:
             raise ValueError("k must be non-negative")
         self.stats.rounds += 1
@@ -426,7 +451,7 @@ class LazyGreedySelector(Selector):
                     heap.append((-float(gain), fact.fact_id, 0, group_index))
         heapq.heapify(heap)
 
-        selected: list[int] = []
+        selected: list[tuple[int, float]] = []
         group_queries: dict[int, list[int]] = {}
         while len(selected) < k and heap:
             neg_gain, fact_id, version, group_index = heapq.heappop(heap)
@@ -435,7 +460,7 @@ class LazyGreedySelector(Selector):
             if version == len(queries):
                 # Fresh bound: by submodularity every other entry's
                 # bound dominates its true gain, so this is the argmax.
-                selected.append(fact_id)
+                selected.append((fact_id, -neg_gain))
                 group_queries.setdefault(group_index, []).append(fact_id)
                 continue
             state = belief[group_index]

@@ -15,6 +15,8 @@ checkpoint support on these primitives.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -29,12 +31,14 @@ from .workers import Crowd, Worker
 #: Format tag written into every serialized payload.  Version 2 adds
 #: fault events on round records and the append-only session journal;
 #: version 3 adds the trust-supervision state (worker posteriors,
-#: circuit breakers, pending gold probes) to session checkpoints.
+#: circuit breakers, pending gold probes) to session checkpoints;
+#: version 4 adds the parallel engine's ``{"kind": "engine"}`` journal
+#: record (shard layout + jobs) and durable (fsynced) journal appends.
 #: Older payloads are still read transparently.
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 
 #: Versions this build can read.
-SUPPORTED_VERSIONS = frozenset({1, 2, 3})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3, 4})
 
 
 class SerializationError(ValueError):
@@ -137,13 +141,53 @@ def factored_belief_from_dict(payload: dict) -> FactoredBelief:
     )
 
 
-def save_belief(belief: FactoredBelief, path: str | Path) -> Path:
-    """Write a factored belief as JSON; returns the path."""
+def atomic_write_json(payload: dict, path: str | Path) -> Path:
+    """Durably write ``payload`` as JSON via write-to-temp + rename.
+
+    The bytes are written to a temporary file in the destination
+    directory, fsynced, and moved into place with :func:`os.replace`
+    (atomic on POSIX), then the directory entry is fsynced too.  A crash
+    at any point leaves either the old file or the new file — never a
+    torn snapshot.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as handle:
-        json.dump(factored_belief_to_dict(belief), handle)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
     return path
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry so a rename survives power loss."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # e.g. platforms that cannot open directories
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def save_belief(belief: FactoredBelief, path: str | Path) -> Path:
+    """Atomically write a factored belief as JSON; returns the path."""
+    return atomic_write_json(factored_belief_to_dict(belief), path)
 
 
 def load_belief(path: str | Path) -> FactoredBelief:
@@ -268,11 +312,7 @@ def run_result_from_dict(payload: dict) -> RunResult:
 
 
 def save_run_result(result: RunResult, path: str | Path) -> Path:
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as handle:
-        json.dump(run_result_to_dict(result), handle)
-    return path
+    return atomic_write_json(run_result_to_dict(result), path)
 
 
 def load_run_result(path: str | Path) -> RunResult:
@@ -296,9 +336,10 @@ def load_run_result(path: str | Path) -> RunResult:
 def append_journal_record(path: str | Path, record: dict) -> None:
     """Append one record to a JSONL journal (creates parents/file).
 
-    The record is written as a single line and flushed to the OS before
+    The record is written as a single line, flushed and fsynced before
     returning, so at most the final in-flight line can be lost to a
-    crash.
+    crash — and a completed append survives power loss, not just a
+    process kill.
     """
     if not isinstance(record, dict) or "kind" not in record:
         raise SerializationError("journal records need a 'kind' field")
@@ -308,6 +349,76 @@ def append_journal_record(path: str | Path, record: dict) -> None:
     with path.open("a") as handle:
         handle.write(line + "\n")
         handle.flush()
+        os.fsync(handle.fileno())
+
+
+def repair_journal(path: str | Path) -> bool:
+    """Truncate a torn trailing line left by a crash mid-append.
+
+    :func:`read_journal` already *ignores* a malformed final line, but
+    the bytes stay in the file — and the next
+    :func:`append_journal_record` would glue its record onto the torn
+    fragment, corrupting the journal.  Resuming runtimes call this
+    first so their appends continue the journal byte-identically to an
+    uninterrupted run.  Returns ``True`` when bytes were removed.
+    """
+    path = Path(path)
+    if not path.exists():
+        return False
+    raw = path.read_bytes()
+    end = len(raw)
+    while end > 0:
+        newline = raw.rfind(b"\n", 0, end)
+        if newline == end - 1:
+            # The final line is terminated; keep it if it parses.
+            previous = raw.rfind(b"\n", 0, newline)
+            try:
+                json.loads(raw[previous + 1 : newline])
+                break
+            except json.JSONDecodeError:
+                end = previous + 1
+        else:
+            end = newline + 1  # drop the unterminated tail
+    if end == len(raw):
+        return False
+    with path.open("r+b") as handle:
+        handle.truncate(end)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return True
+
+
+def trim_journal_to_last_checkpoint(path: str | Path) -> int:
+    """Drop journal records trailing the last intact checkpoint.
+
+    A crash can land between a checkpoint and the next one, leaving the
+    in-flight round's event records journaled.  Resume replays that
+    round from the checkpoint and re-journals the same records
+    byte-for-byte (the replay is deterministic: the checkpoint rewinds
+    the session, fault and answer-source RNG states), so the trailing
+    lines are removed first — otherwise they would appear twice and the
+    resumed journal could never match an uninterrupted run's.  Call
+    :func:`repair_journal` first; returns the number of bytes removed.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    offset = 0
+    end = None
+    for line in raw.splitlines(keepends=True):
+        offset += len(line)
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            break
+        if isinstance(record, dict) and record.get("kind") == "checkpoint":
+            end = offset
+    if end is None or end == len(raw):
+        return 0
+    with path.open("r+b") as handle:
+        handle.truncate(end)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return len(raw) - end
 
 
 def read_journal(path: str | Path) -> list[dict]:

@@ -1,0 +1,63 @@
+"""Sharded parallel campaign execution.
+
+The belief state of a campaign factorizes exactly across independent
+task groups (paper §II-A), so belief updates and greedy checking-task
+selection can run group-parallel without approximation.  This package
+partitions a campaign's groups across shard workers (spawn-safe
+multiprocessing, or in-process for tests), coordinates each round
+through a single coordinator, and charges a global budget ledger with
+reservation/refund semantics:
+
+* :mod:`~repro.engine.ledger` — :class:`BudgetLedger` (reserve →
+  commit/release accounting that makes double-spending structurally
+  impossible) and :class:`LedgerBudget` (a drop-in
+  :class:`~repro.core.budget.CheckingBudget` that settles every charge
+  against the ledger);
+* :mod:`~repro.engine.partition` — deterministic group partitioning;
+* :mod:`~repro.engine.shards` — the shard worker state machine,
+  process/inline shard transports and :class:`ShardPool`;
+* :mod:`~repro.engine.sharded` — :class:`ShardedSelector` (k-way gain
+  merge of per-shard CELF selections) and :class:`ShardedUpdateEngine`
+  (two-phase stage/commit belief updates);
+* :mod:`~repro.engine.sources` — :class:`KeyedExpertPanel`, an answer
+  source whose streams are keyed per ``(fact, ask, worker)`` so sharded
+  collection is bit-identical to serial collection;
+* :mod:`~repro.engine.runner` — :class:`ParallelCampaignRunner` /
+  :func:`run_parallel_hc_session`, the
+  :func:`~repro.simulation.session.run_hc_session`-compatible entry
+  points, plus :func:`resume_parallel_session`.
+
+Everything the coordinator journals goes through the serial code paths,
+so a parallel campaign's results, histories and journals are
+bit-identical to the serial runtime's — with any worker count.
+"""
+
+from .ledger import BudgetLedger, LedgerBudget, LedgerError
+from .partition import partition_groups
+from .runner import (
+    ParallelCampaignRunner,
+    resume_parallel_session,
+    run_parallel_hc_session,
+)
+from .sharded import ShardedSelector, ShardedUpdateEngine, merge_shard_selections
+from .shards import InlineShard, ProcessShard, ShardPool
+from .sources import KeyedExpertPanel, ShardedAnswerSource, stable_worker_digest
+
+__all__ = [
+    "BudgetLedger",
+    "InlineShard",
+    "KeyedExpertPanel",
+    "LedgerBudget",
+    "LedgerError",
+    "ParallelCampaignRunner",
+    "ProcessShard",
+    "ShardPool",
+    "ShardedAnswerSource",
+    "ShardedSelector",
+    "ShardedUpdateEngine",
+    "merge_shard_selections",
+    "partition_groups",
+    "resume_parallel_session",
+    "run_parallel_hc_session",
+    "stable_worker_digest",
+]

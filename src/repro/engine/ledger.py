@@ -1,0 +1,265 @@
+"""The cross-shard budget ledger: reserve → commit/release accounting.
+
+The serial runtimes charge a :class:`~repro.core.budget.CheckingBudget`
+*after* answers arrive.  That is sound for one sequential campaign, but
+as soon as several rounds (or several campaigns sharing one budget) are
+in flight, two rounds can each see enough ``remaining`` budget and then
+both charge — a double-spend.  The bandit view of expert labor as a
+contended shared resource (Zhang & Sugiyama, 2015) makes the fix
+explicit: money is *reserved* when a round is dispatched, *committed*
+(at the actual, possibly partial, cost) when its answers are accepted,
+and *released* when the round is abandoned.  Trust-layer gold probes
+are stripped before the charge, so they never touch the ledger at all.
+
+:class:`BudgetLedger` is the invariant-enforcing book (thread-safe; the
+coordinator is the only writer in a parallel campaign, but concurrent
+campaigns may share one ledger).  :class:`LedgerBudget` adapts it to
+the exact :class:`~repro.core.budget.CheckingBudget` interface the
+sessions use — every float operation is delegated to the parent class,
+so the ``spent`` trajectory (and therefore every checkpoint and journal
+byte) is identical to a plain budget's.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.budget import CheckingBudget, CostModel
+from ..core.workers import Crowd
+
+#: Tolerance for float accumulation when checking ledger invariants,
+#: matching :class:`~repro.core.budget.CheckingBudget`'s slack.
+_SLACK = 1e-9
+
+
+class LedgerError(RuntimeError):
+    """An operation would violate the ledger's accounting invariants."""
+
+
+class BudgetLedger:
+    """Reservation/refund accounting over one shared budget.
+
+    Invariants (enforced, not documented-only):
+
+    * ``committed + outstanding <= total`` at all times;
+    * a reservation can be settled exactly once (commit or release);
+    * a commit can never exceed its reservation — the unused remainder
+      is refunded to the available pool atomically with the commit.
+    """
+
+    def __init__(self, total: float):
+        if total < 0:
+            raise ValueError("ledger total must be non-negative")
+        self._total = float(total)
+        self._committed = 0.0
+        self._reservations: dict[int, tuple[float, str]] = {}
+        self._next_id = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def committed(self) -> float:
+        """Budget definitively spent (sum of committed amounts)."""
+        with self._lock:
+            return self._committed
+
+    @property
+    def outstanding(self) -> float:
+        """Budget held by open reservations (not yet committed)."""
+        with self._lock:
+            return sum(amount for amount, _ in self._reservations.values())
+
+    @property
+    def available(self) -> float:
+        """Budget no one has claimed: ``total - committed - outstanding``."""
+        with self._lock:
+            return self._available_locked()
+
+    def _available_locked(self) -> float:
+        return self._total - self._committed - sum(
+            amount for amount, _ in self._reservations.values()
+        )
+
+    @property
+    def open_reservations(self) -> int:
+        with self._lock:
+            return len(self._reservations)
+
+    # ------------------------------------------------------------------
+
+    def reserve(self, amount: float, label: str = "") -> int:
+        """Claim ``amount`` from the available pool; returns a ticket id.
+
+        Raises :class:`LedgerError` when the pool cannot cover it — the
+        caller must not dispatch the round.
+        """
+        if amount < 0:
+            raise ValueError("reservation amount must be non-negative")
+        with self._lock:
+            if amount > self._available_locked() + _SLACK:
+                raise LedgerError(
+                    f"cannot reserve {amount}: only "
+                    f"{self._available_locked()} of {self._total} available "
+                    f"({len(self._reservations)} reservations open)"
+                )
+            ticket = self._next_id
+            self._next_id += 1
+            self._reservations[ticket] = (float(amount), label)
+            return ticket
+
+    def commit(self, ticket: int, amount: float) -> None:
+        """Settle a reservation at its actual cost, refunding the rest.
+
+        ``amount`` may be anything in ``[0, reserved]`` — partial-family
+        acceptance commits only what the received answers cost.
+        """
+        if amount < 0:
+            raise ValueError("commit amount must be non-negative")
+        with self._lock:
+            if ticket not in self._reservations:
+                raise LedgerError(
+                    f"reservation {ticket} is unknown or already settled"
+                )
+            reserved, _label = self._reservations[ticket]
+            if amount > reserved + _SLACK:
+                raise LedgerError(
+                    f"commit {amount} exceeds reservation {reserved} "
+                    f"(ticket {ticket})"
+                )
+            del self._reservations[ticket]
+            self._committed += float(amount)
+
+    def release(self, ticket: int) -> None:
+        """Refund a reservation in full (the round was abandoned)."""
+        with self._lock:
+            if ticket not in self._reservations:
+                raise LedgerError(
+                    f"reservation {ticket} is unknown or already settled"
+                )
+            del self._reservations[ticket]
+
+    def commit_direct(self, amount: float) -> None:
+        """Commit without a reservation (checkpoint-restore catch-up).
+
+        Used when a resumed session re-syncs its pre-crash spending into
+        a fresh ledger; still bounded by the available pool.
+        """
+        if amount < 0:
+            raise ValueError("commit amount must be non-negative")
+        with self._lock:
+            if amount > self._available_locked() + _SLACK:
+                raise LedgerError(
+                    f"direct commit {amount} exceeds available "
+                    f"{self._available_locked()}"
+                )
+            self._committed += float(amount)
+
+    def as_dict(self) -> dict:
+        """JSON-compatible snapshot for diagnostics and benchmarks."""
+        with self._lock:
+            return {
+                "total": self._total,
+                "committed": self._committed,
+                "outstanding": sum(
+                    amount for amount, _ in self._reservations.values()
+                ),
+                "open_reservations": len(self._reservations),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"BudgetLedger(total={self._total}, committed={self.committed}, "
+            f"open={self.open_reservations})"
+        )
+
+
+class LedgerBudget(CheckingBudget):
+    """A :class:`~repro.core.budget.CheckingBudget` settled on a ledger.
+
+    The session-facing arithmetic (``spent``/``remaining``/
+    ``affordable_queries``/charges) is inherited unchanged — byte-for-
+    byte the same accounting as a plain budget — while every lifecycle
+    event is mirrored onto the :class:`BudgetLedger`:
+
+    * :meth:`reserve_pending` (called by
+      :meth:`~repro.simulation.online.OnlineCheckingSession.next_queries`
+      right after selection) reserves the worst-case round cost;
+    * :meth:`charge_round` / :meth:`charge_family` commit the actual
+      cost against the open reservation, refunding the remainder;
+    * :meth:`release_pending` (on ``abandon_pending``) refunds in full;
+    * :meth:`restore_spent` (checkpoint restore) catches the ledger up
+      with a direct commit.
+    """
+
+    def __init__(
+        self,
+        total: float,
+        ledger: BudgetLedger | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        super().__init__(total, cost_model=cost_model)
+        self.ledger = ledger if ledger is not None else BudgetLedger(total)
+        self._open_ticket: int | None = None
+        self._ledger_committed = 0.0
+
+    # -- reservation lifecycle (discovered via getattr by the session) --
+
+    def reserve_pending(self, num_queries: int, experts: Crowd) -> None:
+        """Reserve the worst-case cost of the just-selected round."""
+        if self._open_ticket is not None:
+            raise LedgerError(
+                "a reservation is already open; settle it before "
+                "reserving another round"
+            )
+        cost = self.cost_model.round_cost(num_queries, experts)
+        self._open_ticket = self.ledger.reserve(
+            cost, label=f"round:{num_queries}q"
+        )
+
+    def release_pending(self) -> None:
+        """Refund the open reservation (round abandoned)."""
+        if self._open_ticket is not None:
+            self.ledger.release(self._open_ticket)
+            self._open_ticket = None
+
+    # -- charges settle the reservation --------------------------------
+
+    def charge_round(self, num_queries: int, experts: Crowd) -> float:
+        before = self.spent
+        cost = super().charge_round(num_queries, experts)
+        self._settle(self.spent - before)
+        return cost
+
+    def charge_family(self, family) -> float:
+        before = self.spent
+        cost = super().charge_family(family)
+        self._settle(self.spent - before)
+        return cost
+
+    def restore_spent(self, amount: float) -> None:
+        super().restore_spent(amount)
+        delta = self.spent - self._ledger_committed
+        if delta < -_SLACK:
+            raise LedgerError(
+                "restore_spent cannot move the ledger backwards "
+                f"(committed {self._ledger_committed}, restoring "
+                f"{self.spent})"
+            )
+        if delta > 0:
+            self.ledger.commit_direct(delta)
+            self._ledger_committed += delta
+
+    def _settle(self, spent_delta: float) -> None:
+        if self._open_ticket is not None:
+            self.ledger.commit(self._open_ticket, spent_delta)
+            self._open_ticket = None
+        else:
+            # A resumed mid-round session charges a pending set whose
+            # reservation died with the crashed process.
+            self.ledger.commit_direct(spent_delta)
+        self._ledger_committed += spent_delta

@@ -1,0 +1,32 @@
+"""Deterministic partitioning of a campaign's task groups into shards.
+
+The partition is a pure function of ``(num_groups, num_shards)``: a
+balanced contiguous split (first ``num_groups % num_shards`` shards get
+one extra group).  Determinism matters twice over — a resumed campaign
+must rebuild the exact same shard layout from the journal's engine
+record, and the equivalence proof for the gain merge relies on every
+group living in exactly one shard.
+"""
+
+from __future__ import annotations
+
+
+def partition_groups(num_groups: int, num_shards: int) -> list[tuple[int, ...]]:
+    """Split group indices ``0..num_groups-1`` into ``num_shards`` slices.
+
+    Returns exactly ``num_shards`` tuples covering every group once;
+    callers that cannot use empty shards should clamp ``num_shards`` to
+    ``num_groups`` first.
+    """
+    if num_groups < 0:
+        raise ValueError("num_groups must be non-negative")
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    base, extra = divmod(num_groups, num_shards)
+    shards: list[tuple[int, ...]] = []
+    start = 0
+    for shard_index in range(num_shards):
+        size = base + (1 if shard_index < extra else 0)
+        shards.append(tuple(range(start, start + size)))
+        start += size
+    return shards

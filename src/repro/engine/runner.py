@@ -1,0 +1,372 @@
+"""The sharded campaign entry points, API-compatible with
+:func:`~repro.simulation.session.run_hc_session`.
+
+:class:`ParallelCampaignRunner` mirrors the serial pipeline stage for
+stage — same crowd split, same initialization, same default answer
+source, same resilient-runtime triggers — and swaps in the sharded
+execution seams: a :class:`~repro.engine.shards.ShardPool` over the
+belief's groups, a :class:`~repro.engine.sharded.ShardedSelector`, a
+:class:`~repro.engine.sharded.ShardedUpdateEngine`, and a
+:class:`~repro.engine.ledger.LedgerBudget` settling every charge
+against a global :class:`~repro.engine.ledger.BudgetLedger`.  Because
+each seam is individually bit-identical to its serial counterpart, the
+returned result (history, beliefs, labels — and on the resilient path,
+the journal) is byte-for-byte the serial run's, for any worker count.
+
+Journals gain one ``{"kind": "engine"}`` record (after the header and
+initial checkpoint) remembering the shard layout; a parallel journal is
+otherwise identical to a serial one, and
+:func:`resume_parallel_session` uses the record to rebuild the same
+layout — resuming a killed parallel campaign byte-identically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.budget import CostModel
+from ..core.hc import RunResult
+from ..core.serialization import (
+    SerializationError,
+    crowd_from_dict,
+    factored_belief_from_dict,
+    read_journal,
+)
+from ..core.trust import select_gold_probes
+from ..core.workers import Crowd
+from ..datasets.schema import CrowdLabelingDataset
+from ..simulation.faults import FaultyExpertPanel
+from ..simulation.online import OnlineCheckingSession
+from ..simulation.oracle import SimulatedExpertPanel
+from ..simulation.resilient import ResilientCheckingSession
+from ..simulation.session import SessionConfig
+from .ledger import BudgetLedger, LedgerBudget
+from .sharded import ShardedSelector, ShardedUpdateEngine
+from .shards import ShardPool
+from .sources import KeyedExpertPanel, ShardedAnswerSource
+
+
+class ParallelCampaignRunner:
+    """Run one HC campaign with sharded selection/updates.
+
+    Parameters
+    ----------
+    dataset, config, aggregator, answer_source:
+        Exactly as in :func:`~repro.simulation.session.run_hc_session`.
+    jobs:
+        Number of shard workers (clamped to the number of task groups).
+    inline:
+        ``True`` runs shards in-process (no multiprocessing; what tests
+        use), ``False`` in spawn-safe child processes; ``None`` (default)
+        picks inline when ``jobs == 1``.
+    ledger:
+        Optional shared :class:`~repro.engine.ledger.BudgetLedger`;
+        concurrent campaigns passing the same ledger draw on one budget
+        pool without double-spending.  Defaults to a private ledger.
+    sharded_collection:
+        Fan answer collection out to shard-local panel replicas.
+        Requires a partition-independent source and the plain (non-
+        resilient) path; ``None`` auto-enables for a
+        :class:`~repro.engine.sources.KeyedExpertPanel` there.
+    start_method:
+        Multiprocessing start method for process shards (spawn-safe
+        default).
+    """
+
+    def __init__(
+        self,
+        dataset: CrowdLabelingDataset,
+        config: SessionConfig | None = None,
+        *,
+        jobs: int = 1,
+        aggregator=None,
+        answer_source=None,
+        inline: bool | None = None,
+        ledger: BudgetLedger | None = None,
+        sharded_collection: bool | None = None,
+        start_method: str = "spawn",
+    ):
+        self._dataset = dataset
+        self._config = config or SessionConfig()
+        self._jobs = int(jobs)
+        self._aggregator = aggregator
+        self._answer_source = answer_source
+        self._inline = inline
+        self._ledger = ledger
+        self._sharded_collection = sharded_collection
+        self._start_method = start_method
+        #: Set by :meth:`prepare`: the campaign's budget ledger (inspect
+        #: for reservation/commit accounting) and the shard count used.
+        self.ledger: BudgetLedger | None = None
+        self.jobs_used: int | None = None
+        self._prepared: dict | None = None
+
+    # ------------------------------------------------------------------
+
+    def prepare(self) -> "ParallelCampaignRunner":
+        """Build the belief, shard pool and session without running.
+
+        :meth:`run` calls this implicitly; benchmarks call it directly
+        so one-time worker startup (process spawn + imports) can be
+        measured separately from campaign wall-clock.  Idempotent until
+        the prepared campaign is consumed by :meth:`run`.
+        """
+        if self._prepared is not None:
+            return self
+        from ..aggregation.registry import make_aggregator
+        from ..datasets.grouping import initialize_belief
+
+        dataset, config = self._dataset, self._config
+        experts, _preliminary = dataset.split_crowd(config.theta)
+        if len(experts) == 0:
+            raise ValueError(
+                f"no worker reaches theta={config.theta}; cannot form CE"
+            )
+        aggregator = self._aggregator or make_aggregator(config.initializer)
+        belief, _init_result = initialize_belief(
+            dataset, aggregator, config.theta, smoothing=config.smoothing
+        )
+        answer_source = self._answer_source
+        if answer_source is None:
+            answer_source = SimulatedExpertPanel(
+                dataset.ground_truth, rng=np.random.default_rng(config.seed)
+            )
+        resilient = (
+            config.faults is not None
+            or config.journal_path is not None
+            or config.trust_policy is not None
+        )
+        sharded_collection = self._sharded_collection
+        if sharded_collection is None:
+            sharded_collection = (
+                not resilient
+                and isinstance(answer_source, KeyedExpertPanel)
+            )
+        if sharded_collection and resilient:
+            raise ValueError(
+                "sharded collection requires the plain path: the "
+                "resilient runtime journals/faults the coordinator-side "
+                "answer source"
+            )
+        inline = self._inline if self._inline is not None else self._jobs == 1
+        tracker = LedgerBudget(config.budget, ledger=self._ledger)
+        self.ledger = tracker.ledger
+        pool = ShardPool(
+            belief,
+            experts,
+            self._jobs,
+            inline=inline,
+            answer_source=answer_source if sharded_collection else None,
+            start_method=self._start_method,
+        )
+        self.jobs_used = pool.jobs
+        try:
+            selector = ShardedSelector(pool)
+            engine = ShardedUpdateEngine(pool)
+            if resilient:
+                session, source = self._prepare_resilient(
+                    dataset, config, belief, experts, tracker,
+                    selector, engine, answer_source,
+                )
+            else:
+                source = (
+                    ShardedAnswerSource(pool)
+                    if sharded_collection
+                    else answer_source
+                )
+                session = OnlineCheckingSession(
+                    belief,
+                    experts,
+                    tracker,
+                    selector=selector,
+                    k=config.k,
+                    ground_truth=dataset.ground_truth,
+                    update_engine=engine,
+                )
+        except BaseException:
+            pool.close()
+            raise
+        self._prepared = {
+            "pool": pool,
+            "session": session,
+            "source": source,
+            "resilient": resilient,
+        }
+        return self
+
+    def run(self) -> RunResult:
+        """Execute the campaign; returns the serial-identical result."""
+        self.prepare()
+        prepared, self._prepared = self._prepared, None
+        session, source = prepared["session"], prepared["source"]
+        try:
+            if prepared["resilient"]:
+                return session.run(source)
+            while (queries := session.next_queries()) is not None:
+                family = source.collect(queries, session.experts)
+                session.submit(family)
+            return RunResult(
+                belief=session.belief, history=list(session.history)
+            )
+        finally:
+            prepared["pool"].close()
+
+    def _prepare_resilient(
+        self,
+        dataset,
+        config,
+        belief,
+        experts,
+        tracker,
+        selector,
+        engine,
+        answer_source,
+    ):
+        """The resilient branch, mirroring ``run_hc_session`` verbatim
+        (fault wrapping, gold probes, reserves) plus the engine seams
+        and the journal's engine record."""
+        if config.faults is not None:
+            answer_source = FaultyExpertPanel(answer_source, config.faults)
+        gold_facts = None
+        if config.trust_policy is not None:
+            gold_facts = select_gold_probes(
+                dataset.ground_truth,
+                fraction=config.gold_fraction,
+                seed=config.trust_policy.seed,
+            )
+        reserve = (
+            Crowd.from_accuracies(config.reserve_accuracies, prefix="r")
+            if config.reserve_accuracies
+            else None
+        )
+        session = ResilientCheckingSession(
+            belief,
+            experts,
+            tracker,
+            selector=selector,
+            k=config.k,
+            ground_truth=dataset.ground_truth,
+            retry_policy=config.retry_policy,
+            reserve_experts=reserve,
+            journal_path=config.journal_path,
+            trust_policy=config.trust_policy,
+            gold_facts=gold_facts,
+            seed=config.seed,
+            update_engine=engine,
+            journal_metadata=(
+                self._engine_record()
+                if config.journal_path is not None
+                else None
+            ),
+        )
+        return session, answer_source
+
+    def _engine_record(self) -> dict:
+        return {
+            "kind": "engine",
+            "jobs": int(self.jobs_used or self._jobs),
+            "start_method": self._start_method,
+        }
+
+
+def run_parallel_hc_session(
+    dataset: CrowdLabelingDataset,
+    config: SessionConfig | None = None,
+    selector=None,
+    aggregator=None,
+    answer_source=None,
+    *,
+    jobs: int = 1,
+    inline: bool | None = None,
+    ledger: BudgetLedger | None = None,
+) -> RunResult:
+    """Drop-in :func:`~repro.simulation.session.run_hc_session` with
+    sharded execution.
+
+    The positional parameters match ``run_hc_session`` so call sites
+    switch by adding ``jobs=N``.  A caller-supplied ``selector`` is
+    rejected: selection *is* the sharded engine's job (the per-shard
+    CELF greedy), and silently running a different selector serially
+    would defeat it.
+    """
+    if selector is not None:
+        raise ValueError(
+            "run_parallel_hc_session owns selection (sharded lazy "
+            "greedy); drop the selector argument or use run_hc_session"
+        )
+    runner = ParallelCampaignRunner(
+        dataset,
+        config,
+        jobs=jobs,
+        aggregator=aggregator,
+        answer_source=answer_source,
+        inline=inline,
+        ledger=ledger,
+    )
+    return runner.run()
+
+
+def resume_parallel_session(
+    journal_path: str | Path,
+    *,
+    jobs: int | None = None,
+    inline: bool | None = None,
+    ledger: BudgetLedger | None = None,
+    retry_policy=None,
+    reserve_experts: Crowd | None = None,
+    cost_model: CostModel | None = None,
+    sleep=None,
+) -> tuple[ResilientCheckingSession, ShardPool]:
+    """Restore a killed parallel campaign from its journal.
+
+    Rebuilds the shard layout from the journal's ``engine`` record
+    (overridable with ``jobs`` — the continuation is bit-identical for
+    any worker count), seeds every shard with the last checkpoint's
+    group states, and resumes the resilient session with the sharded
+    seams and a fresh ledger caught up to the checkpoint's spending.
+    No new ``engine`` record is appended — resume only ever adds the
+    same records a serial resume would.
+
+    Returns ``(session, pool)``; call ``session.run(answer_source)`` to
+    continue and close the pool afterwards (it is a context manager).
+    """
+    records = read_journal(journal_path)
+    engine_records = [
+        record for record in records if record.get("kind") == "engine"
+    ]
+    checkpoints = [
+        record for record in records if record.get("kind") == "checkpoint"
+    ]
+    if not checkpoints:
+        raise SerializationError(
+            f"journal {journal_path} has no intact checkpoint"
+        )
+    header = records[0]
+    last = checkpoints[-1]
+    if jobs is None:
+        jobs = int(engine_records[-1]["jobs"]) if engine_records else 1
+    if inline is None:
+        inline = jobs == 1
+    belief = factored_belief_from_dict(last["session"]["belief"])
+    panel = crowd_from_dict(last["panel"])
+    pool = ShardPool(belief, panel, jobs, inline=inline)
+    tracker = LedgerBudget(
+        float(header["budget_total"]), ledger=ledger, cost_model=cost_model
+    )
+    try:
+        session = ResilientCheckingSession.resume(
+            journal_path,
+            selector=ShardedSelector(pool),
+            cost_model=cost_model,
+            retry_policy=retry_policy,
+            reserve_experts=reserve_experts,
+            sleep=sleep,
+            update_engine=ShardedUpdateEngine(pool),
+            budget_tracker=tracker,
+        )
+    except BaseException:
+        pool.close()
+        raise
+    return session, pool

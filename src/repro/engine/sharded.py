@@ -1,0 +1,180 @@
+"""Coordinator-side selector and update engine over a shard pool.
+
+Both classes are *drop-in seams*: :class:`ShardedSelector` implements
+the :class:`~repro.core.selection.Selector` protocol and
+:class:`ShardedUpdateEngine` the ``update_engine`` hook of
+:class:`~repro.simulation.online.OnlineCheckingSession`, so the serial
+session/runtime code drives a sharded campaign without knowing it.
+
+Why the merge is exact (not approximate)
+----------------------------------------
+The greedy gain of adding fact ``f`` to a query set only depends on the
+query set restricted to ``f``'s *group* (entropy factorizes across
+groups), and every group lives in exactly one shard.  Therefore the
+serial greedy's pick sequence, restricted to the facts of one shard, is
+a prefix of that shard's local greedy sequence — the presence of other
+shards' picks in the query set never changes a gain.  Each shard
+returns its non-increasing ``(gain, fact_id)`` sequence, and a k-way
+merge by ``(-gain, fact_id)`` (the serial argmax rule, including the
+lowest-fact-id tie-break) reproduces the serial picks one-for-one.
+Gains are computed by the same kernels on bit-equal inputs, so the
+floats — and hence every comparison — are identical to the serial
+run's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.answers import AnswerFamily, PartialAnswerFamily
+from ..core.observations import BeliefState, FactoredBelief
+from ..core.workers import Crowd
+from .shards import ShardPool
+
+
+def merge_shard_selections(
+    shard_selections: Sequence[Sequence[tuple[int, float]]],
+    k: int,
+    gain_tolerance: float = 1e-12,
+) -> list[int]:
+    """K-way merge of per-shard greedy sequences into the global picks.
+
+    Each input sequence must be non-increasing in gain (which local
+    greedy guarantees); the merge repeatedly takes the head with the
+    highest gain, breaking ties toward the lowest fact id — exactly the
+    serial argmax rule — and stops after ``k`` picks or when no head
+    beats ``gain_tolerance``.
+    """
+    heads = [0] * len(shard_selections)
+    picks: list[int] = []
+    while len(picks) < k:
+        best: tuple[float, int, int] | None = None
+        for shard_index, selection in enumerate(shard_selections):
+            position = heads[shard_index]
+            if position >= len(selection):
+                continue
+            fact_id, gain = selection[position]
+            candidate = (-gain, fact_id, shard_index)
+            if best is None or candidate < best:
+                best = candidate
+        if best is None or -best[0] <= gain_tolerance:
+            break
+        picks.append(best[1])
+        heads[best[2]] += 1
+    return picks
+
+
+class ShardedSelector:
+    """Greedy selection fanned out over a :class:`ShardPool`.
+
+    Selections are bit-identical to :class:`LazyGreedySelector` on the
+    whole belief (see the module docstring for the argument).  The
+    ``belief`` argument of :meth:`select` is the coordinator's mirror;
+    the authoritative per-group states live in the shards, which also
+    own the gain caches — so :meth:`invalidate_groups` is a no-op here
+    (shards invalidate exactly their committed groups).
+    """
+
+    name = "Sharded-Lazy"
+
+    def __init__(self, pool: ShardPool, gain_tolerance: float = 1e-12):
+        self._pool = pool
+        self.gain_tolerance = gain_tolerance
+
+    def select(
+        self, belief: FactoredBelief, experts: Crowd, k: int
+    ) -> list[int]:
+        self._pool.ensure_experts(experts)
+        shard_selections = self._pool.broadcast("select", k)
+        return merge_shard_selections(
+            shard_selections, k, self.gain_tolerance
+        )
+
+    def invalidate_groups(self, group_indices: Iterable[int]) -> None:
+        """Shard-local caches are invalidated by the shards on commit."""
+
+    def aggregate_stats(self) -> dict:
+        """Summed work counters across all shards (for benchmarks)."""
+        totals: dict[str, int] = {}
+        for stats in self._pool.stats():
+            for key, value in stats.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return totals
+
+
+class ShardedUpdateEngine:
+    """Two-phase (stage → commit/abort) belief updates across shards.
+
+    Implements the ``update_engine`` seam of
+    :class:`~repro.simulation.online.OnlineCheckingSession`: every
+    belief update is first *staged* in all shards (pure, on copies);
+    only if every shard succeeds are the staged states committed — in
+    the shards and, mirrored bit-exactly through pickled posterior
+    arrays and
+    :meth:`~repro.core.observations.BeliefState.from_normalized`, in the
+    coordinator's belief (whose bytes feed checkpoints and journals).
+    On an inconsistency the engine aborts every staged shard and
+    re-raises the error carrying the smallest serial emission key —
+    exactly the error the serial loop would have hit first.
+    """
+
+    def __init__(self, pool: ShardPool):
+        self._pool = pool
+
+    # ------------------------------------------------------------------
+
+    def _settle(
+        self, belief: FactoredBelief, replies: list[tuple]
+    ) -> tuple[list[int], list]:
+        """Commit everywhere, or abort everywhere and raise serial-first."""
+        failures = [reply for reply in replies if reply[0] == "inconsistent"]
+        if failures:
+            for shard, reply in zip(self._pool.shards, replies):
+                if reply[0] == "staged":
+                    shard.submit("abort")
+            for shard, reply in zip(self._pool.shards, replies):
+                if reply[0] == "staged":
+                    shard.result()
+            raise min(failures, key=lambda reply: reply[1])[2]
+        updated: list[int] = []
+        keyed_events: list[tuple] = []
+        for reply in replies:
+            _status, staged, tempered = reply
+            for global_index, probabilities in staged.items():
+                belief.replace_group(
+                    global_index,
+                    BeliefState.from_normalized(
+                        belief[global_index].facts, probabilities
+                    ),
+                )
+                updated.append(global_index)
+            keyed_events.extend(tempered)
+        self._pool.broadcast("commit")
+        keyed_events.sort(key=lambda item: item[0])
+        return updated, [event for _key, event in keyed_events]
+
+    # -- the OnlineCheckingSession seams -------------------------------
+
+    def apply_family(
+        self, belief: FactoredBelief, family: AnswerFamily
+    ) -> list[int]:
+        """Full-round Eq. 23 update; returns the updated group indices."""
+        replies = self._pool.broadcast("stage_family", family)
+        updated, _events = self._settle(belief, replies)
+        return updated
+
+    def apply_partial(
+        self,
+        belief: FactoredBelief,
+        family: PartialAnswerFamily,
+        *,
+        temper: bool,
+        round_index: int,
+        accuracy_overrides: dict | None = None,
+    ) -> tuple[list[int], list]:
+        """Partial-family Lemma-3 update; returns ``(updated_groups,
+        tempered_events)`` with events in serial emission order."""
+        replies = self._pool.broadcast(
+            "stage_partial", family, temper, round_index, accuracy_overrides
+        )
+        return self._settle(belief, replies)

@@ -1,0 +1,511 @@
+"""Shard workers: the per-shard slice of a campaign, plus transports.
+
+A shard owns a contiguous slice of the campaign's task groups.  Because
+groups are independent, the shard can hold its own
+:class:`~repro.core.observations.FactoredBelief` over just those
+groups, run the CELF lazy-greedy selector with a *shard-local* gain
+cache, and apply Bayesian updates for its facts — all without ever
+seeing another shard's state.  The coordinator talks to shards through
+a tiny command protocol:
+
+``select``
+    Run the shard-local greedy for up to ``k`` picks; reply with the
+    non-increasing ``(fact_id, gain)`` sequence.
+``stage_partial`` / ``stage_family``
+    Phase one of a belief update: compute the posterior states of the
+    shard's touched groups on copies; reply with their probability
+    arrays (bit-exact through pickling) without committing.
+``commit`` / ``abort``
+    Phase two: atomically adopt (or drop) the staged states and
+    invalidate exactly the updated groups' selector caches.
+``replace_experts``, ``sync_groups``, ``collect``, ``stats``, ``close``
+    Panel swaps, resume re-sync, sharded answer collection (benchmark
+    mode), work counters, shutdown.
+
+Two transports implement the protocol: :class:`InlineShard` executes
+commands in the calling process (fast, used by tests and ``--jobs 1``)
+and :class:`ProcessShard` runs the same :class:`ShardState` in a
+``multiprocessing`` child using the **spawn** start method (fork-safety:
+no inherited locks or RNG state; everything crosses the pipe pickled).
+:class:`ShardPool` owns one transport per shard and the broadcast /
+gather helpers the coordinator uses.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Sequence
+
+from ..core.answers import AnswerFamily, PartialAnswerFamily
+from ..core.hc import describe_family
+from ..core.observations import BeliefState, FactoredBelief
+from ..core.selection import LazyGreedySelector
+from ..core.update import InconsistentEvidenceError, update_with_family
+from ..core.workers import Crowd
+from ..simulation.online import stage_partial_updates
+
+
+class ShardProtocolError(RuntimeError):
+    """The coordinator and a shard disagreed about the protocol state."""
+
+
+class ShardState:
+    """The shard-local campaign slice and its command handlers.
+
+    Shared verbatim by both transports, so inline and process shards
+    cannot drift apart behaviourally.
+
+    Parameters
+    ----------
+    group_indices:
+        The *global* group indices this shard owns (ascending).
+    states:
+        The owned groups' belief states, aligned with ``group_indices``.
+    experts:
+        The current checking panel.
+    gain_tolerance:
+        Forwarded to the shard's
+        :class:`~repro.core.selection.LazyGreedySelector`.
+    answer_source:
+        Optional shard-local answer source for sharded collection; must
+        produce partition-independent answers (see
+        :class:`~repro.engine.sources.KeyedExpertPanel`).
+    """
+
+    def __init__(
+        self,
+        group_indices: Sequence[int],
+        states: Sequence[BeliefState],
+        experts: Crowd,
+        gain_tolerance: float = 1e-12,
+        answer_source=None,
+    ):
+        if len(group_indices) != len(states) or not group_indices:
+            raise ValueError("need one state per owned group (and >= 1)")
+        self._global_indices = tuple(int(index) for index in group_indices)
+        self._belief = FactoredBelief(states)
+        self._fact_ids = frozenset(self._belief.fact_ids)
+        self._experts = experts
+        self._selector = LazyGreedySelector(gain_tolerance)
+        self._staged: dict[int, BeliefState] | None = None
+        self._source = answer_source
+
+    # ------------------------------------------------------------------
+
+    def _to_global(self, local_index: int) -> int:
+        return self._global_indices[local_index]
+
+    def handle(self, command: str, payload: tuple) -> object:
+        handler = getattr(self, f"_cmd_{command}", None)
+        if handler is None:
+            raise ShardProtocolError(f"unknown shard command {command!r}")
+        return handler(*payload)
+
+    # -- selection ------------------------------------------------------
+
+    def _cmd_select(self, k: int) -> list[tuple[int, float]]:
+        return self._selector.select_with_gains(
+            self._belief, self._experts, k
+        )
+
+    def _cmd_replace_experts(self, experts: Crowd) -> None:
+        self._experts = experts
+
+    def _cmd_stats(self) -> dict:
+        return self._selector.stats.as_dict()
+
+    # -- two-phase belief updates --------------------------------------
+
+    def _cmd_stage_partial(
+        self,
+        family: PartialAnswerFamily,
+        temper: bool,
+        round_index: int,
+        accuracy_overrides: dict | None,
+    ) -> tuple:
+        """Stage Lemma-3 updates for the shard's facts.
+
+        Replies ``("staged", {global_group: probabilities}, tempered)``
+        or ``("inconsistent", key, error)`` with the error's serial
+        emission key, so the coordinator can abort everywhere and raise
+        the error the serial loop would have raised first.
+        """
+        if self._staged is not None:
+            raise ShardProtocolError("a staged update is already pending")
+        try:
+            staged, tempered = stage_partial_updates(
+                self._belief,
+                family,
+                temper=temper,
+                round_index=round_index,
+                accuracy_overrides=accuracy_overrides,
+                fact_filter=self._fact_ids,
+            )
+        except InconsistentEvidenceError as error:
+            key = getattr(error, "stage_key", (0, 0))
+            return ("inconsistent", key, error)
+        self._staged = staged
+        return (
+            "staged",
+            {
+                self._to_global(local): state.probabilities
+                for local, state in staged.items()
+            },
+            tempered,
+        )
+
+    def _cmd_stage_family(self, family: AnswerFamily) -> tuple:
+        """Stage full-round Eq. 23 updates for the shard's groups.
+
+        Mirrors :meth:`~repro.core.hc.HierarchicalCrowdsourcing._apply_family`
+        exactly (same sub-family construction, same error context) for
+        the facts this shard owns.
+        """
+        if self._staged is not None:
+            raise ShardProtocolError("a staged update is already pending")
+        query_fact_ids = family.query_fact_ids
+        groups: dict[int, list[int]] = {}
+        first_position: dict[int, int] = {}
+        for position, fact_id in enumerate(query_fact_ids):
+            if fact_id not in self._fact_ids:
+                continue
+            local = self._belief.group_index_of(fact_id)
+            if local not in groups:
+                first_position[local] = position
+            groups.setdefault(local, []).append(fact_id)
+        staged: dict[int, BeliefState] = {}
+        for local, fact_ids in groups.items():
+            sub_family = AnswerFamily(
+                answer_sets=tuple(
+                    type(answer_set)(
+                        worker=answer_set.worker,
+                        answers={
+                            fact_id: answer_set.answer_for(fact_id)
+                            for fact_id in fact_ids
+                        },
+                    )
+                    for answer_set in family
+                )
+            )
+            try:
+                staged[local] = update_with_family(
+                    self._belief[local], sub_family
+                )
+            except InconsistentEvidenceError as error:
+                wrapped = InconsistentEvidenceError(
+                    f"{error} (query set {sorted(query_fact_ids)}, "
+                    f"group facts {sorted(fact_ids)}, answer family "
+                    f"{describe_family(sub_family)})"
+                )
+                return ("inconsistent", (first_position[local],), wrapped)
+        self._staged = staged
+        return (
+            "staged",
+            {
+                self._to_global(local): state.probabilities
+                for local, state in staged.items()
+            },
+            [],
+        )
+
+    def _cmd_commit(self) -> None:
+        if self._staged is None:
+            raise ShardProtocolError("no staged update to commit")
+        for local, state in self._staged.items():
+            self._belief.replace_group(local, state)
+        self._selector.invalidate_groups(self._staged.keys())
+        self._staged = None
+
+    def _cmd_abort(self) -> None:
+        if self._staged is None:
+            raise ShardProtocolError("no staged update to abort")
+        self._staged = None
+
+    # -- resume / collection -------------------------------------------
+
+    def _cmd_sync_groups(self, groups: dict) -> None:
+        """Overwrite owned groups from ``{global_index: probabilities}``
+        (journal resume re-syncs shard beliefs to the checkpoint)."""
+        local_of = {
+            global_index: local
+            for local, global_index in enumerate(self._global_indices)
+        }
+        touched = []
+        for global_index, probabilities in groups.items():
+            local = local_of[int(global_index)]
+            self._belief.replace_group(
+                local,
+                BeliefState.from_normalized(
+                    self._belief[local].facts, probabilities
+                ),
+            )
+            touched.append(local)
+        self._selector.invalidate_groups(touched)
+
+    def _cmd_collect(self, query_fact_ids: tuple) -> dict:
+        """Collect shard-owned answers; reply ``{worker_id: {fact: bool}}``.
+
+        Only meaningful with a partition-independent answer source.
+        """
+        if self._source is None:
+            raise ShardProtocolError("shard has no answer source")
+        owned = [
+            fact_id for fact_id in query_fact_ids
+            if fact_id in self._fact_ids
+        ]
+        if not owned:
+            return {}
+        family = self._source.collect(owned, self._experts)
+        return {
+            answer_set.worker.worker_id: dict(answer_set.answers)
+            for answer_set in family
+        }
+
+    def _cmd_ping(self) -> str:
+        return "pong"
+
+
+# ----------------------------------------------------------------------
+# transports
+# ----------------------------------------------------------------------
+
+
+class InlineShard:
+    """Runs the shard state machine in the calling process."""
+
+    def __init__(self, *args, **kwargs):
+        self._state = ShardState(*args, **kwargs)
+
+    def submit(self, command: str, *payload) -> None:
+        self._reply = self._state.handle(command, payload)
+
+    def result(self):
+        return self._reply
+
+    def call(self, command: str, *payload):
+        self.submit(command, *payload)
+        return self.result()
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_main(connection) -> None:
+    """Child-process entry point: build the state, serve commands.
+
+    Module-level so the spawn start method can pickle it; the first
+    message carries the constructor payload, every later message is
+    ``(command, payload)`` answered with ``("ok", result)`` or
+    ``("error", exception)``.
+    """
+    try:
+        kind, payload = connection.recv()
+        if kind != "init":
+            raise ShardProtocolError(f"expected init, got {kind!r}")
+        state = ShardState(*payload)
+        connection.send(("ok", None))
+        while True:
+            message = connection.recv()
+            if message is None:
+                break
+            command, payload = message
+            try:
+                connection.send(("ok", state.handle(command, payload)))
+            except Exception as error:  # surfaced to the coordinator
+                connection.send(("error", error))
+    finally:
+        connection.close()
+
+
+class ProcessShard:
+    """Runs the shard state machine in a spawn-safe child process."""
+
+    def __init__(
+        self,
+        group_indices,
+        states,
+        experts,
+        gain_tolerance=1e-12,
+        answer_source=None,
+        start_method: str = "spawn",
+    ):
+        context = multiprocessing.get_context(start_method)
+        self._parent, child = context.Pipe()
+        self._process = context.Process(
+            target=_shard_main, args=(child,), daemon=True
+        )
+        self._process.start()
+        child.close()
+        self._parent.send(
+            (
+                "init",
+                (
+                    tuple(group_indices),
+                    tuple(states),
+                    experts,
+                    gain_tolerance,
+                    answer_source,
+                ),
+            )
+        )
+        # The init handshake is awaited in wait_ready() so a pool can
+        # start every child first and let their interpreter/numpy
+        # imports overlap across cores.
+        self._ready = False
+        self._in_flight = False
+
+    def wait_ready(self) -> None:
+        if not self._ready:
+            self._check(self._parent.recv())
+            self._ready = True
+
+    @staticmethod
+    def _check(reply):
+        status, value = reply
+        if status == "error":
+            raise value
+        return value
+
+    def submit(self, command: str, *payload) -> None:
+        self.wait_ready()
+        if self._in_flight:
+            raise ShardProtocolError("previous command still in flight")
+        self._parent.send((command, payload))
+        self._in_flight = True
+
+    def result(self):
+        if not self._in_flight:
+            raise ShardProtocolError("no command in flight")
+        self._in_flight = False
+        return self._check(self._parent.recv())
+
+    def call(self, command: str, *payload):
+        self.submit(command, *payload)
+        return self.result()
+
+    def close(self) -> None:
+        try:
+            self._parent.send(None)
+            self._parent.close()
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=10)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=10)
+
+
+class ShardPool:
+    """One transport per shard plus the coordinator-side helpers.
+
+    Parameters
+    ----------
+    belief:
+        The campaign's initial factored belief; its groups are
+        partitioned with
+        :func:`~repro.engine.partition.partition_groups` (``jobs`` is
+        clamped to the number of groups, so every shard is non-empty).
+    experts:
+        The initial checking panel.
+    jobs:
+        Requested shard count.
+    inline:
+        ``True`` runs every shard in-process (no multiprocessing);
+        bit-identical to process shards by construction, and what
+        ``--jobs 1`` and the fast tests use.
+    answer_source:
+        Optional picklable, partition-independent source replicated
+        into every shard for sharded collection.
+    gain_tolerance, start_method:
+        Forwarded to the shard selector / transport.
+    """
+
+    def __init__(
+        self,
+        belief: FactoredBelief,
+        experts: Crowd,
+        jobs: int,
+        *,
+        inline: bool = False,
+        answer_source=None,
+        gain_tolerance: float = 1e-12,
+        start_method: str = "spawn",
+    ):
+        from .partition import partition_groups
+
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        num_groups = len(belief)
+        self.jobs = max(1, min(jobs, num_groups))
+        self.partition = [
+            shard
+            for shard in partition_groups(num_groups, self.jobs)
+            if shard
+        ]
+        self._experts = experts
+        transport = InlineShard if inline else ProcessShard
+        kwargs = {} if inline else {"start_method": start_method}
+        self.shards = [
+            transport(
+                indices,
+                [belief[index] for index in indices],
+                experts,
+                gain_tolerance,
+                answer_source,
+                **kwargs,
+            )
+            for indices in self.partition
+        ]
+        for shard in self.shards:
+            wait_ready = getattr(shard, "wait_ready", None)
+            if callable(wait_ready):
+                wait_ready()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def experts(self) -> Crowd:
+        return self._experts
+
+    def broadcast(self, command: str, *payload) -> list:
+        """Send one command to every shard; gather replies in shard
+        order.  Process shards overlap their work (all commands are
+        submitted before any reply is awaited)."""
+        for shard in self.shards:
+            shard.submit(command, *payload)
+        return [shard.result() for shard in self.shards]
+
+    def ensure_experts(self, experts: Crowd) -> None:
+        """Propagate a panel change to every shard (idempotent)."""
+        if experts is self._experts or experts == self._experts:
+            self._experts = experts
+            return
+        self._experts = experts
+        self.broadcast("replace_experts", experts)
+
+    def sync_groups(self, belief: FactoredBelief) -> None:
+        """Overwrite every shard's groups from ``belief`` (resume)."""
+        for shard, indices in zip(self.shards, self.partition):
+            shard.submit(
+                "sync_groups",
+                {index: belief[index].probabilities for index in indices},
+            )
+        for shard in self.shards:
+            shard.result()
+
+    def stats(self) -> list[dict]:
+        return self.broadcast("stats")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

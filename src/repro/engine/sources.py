@@ -1,0 +1,163 @@
+"""Partition-independent answer sources for sharded collection.
+
+:class:`~repro.simulation.oracle.SimulatedExpertPanel` draws all
+answers from one sequential RNG stream, so the answers depend on the
+order facts are asked in — collecting a query set shard-by-shard would
+change every draw.  :class:`KeyedExpertPanel` removes that coupling:
+the answer for ``(worker, fact, ask_index)`` is drawn from its own
+``SeedSequence([seed, fact_id, ask_index, worker_digest])`` stream, so
+any partition of a query set across shards collects byte-identical
+answers.  (A fact's ``ask_index`` advances once per round it appears
+in, and each fact is owned by exactly one shard, so shard-local ask
+counters agree with a serial panel's.)
+
+``latency`` models the human in the loop: ``collect`` sleeps
+``latency * len(query_fact_ids)`` before answering, the wall-clock cost
+of sequentially waiting on experts.  Sharded collection overlaps these
+waits — each shard sleeps only for its own facts, concurrently — which
+is where the engine's speedup comes from on latency-bound campaigns.
+
+:class:`ShardedAnswerSource` is the coordinator-side adapter: it fans a
+query set out to a :class:`~repro.engine.shards.ShardPool` (each shard
+answers its owned facts from its replica of a keyed panel) and merges
+the replies back into the exact family a serial panel would return.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.answers import AnswerFamily, AnswerSet
+from ..core.workers import Crowd, Worker
+from .shards import ShardPool
+
+
+def stable_worker_digest(worker_id: str) -> int:
+    """A 64-bit integer key for a worker id, stable across processes.
+
+    ``hash()`` is salted per interpreter (``PYTHONHASHSEED``), which
+    would make spawn-children disagree with the coordinator; sha256 is
+    not.
+    """
+    digest = hashlib.sha256(worker_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class KeyedExpertPanel:
+    """Bernoulli answers against ground truth, keyed per (fact, ask,
+    worker) so collection order and partitioning cannot change them.
+
+    Parameters
+    ----------
+    ground_truth:
+        ``fact_id -> bool`` true labels.
+    seed:
+        Campaign-level seed mixed into every answer's key.
+    latency:
+        Simulated seconds of expert latency *per queried fact* per
+        :meth:`collect` call (0 disables sleeping).
+    """
+
+    def __init__(
+        self,
+        ground_truth: Mapping[int, bool],
+        seed: int = 0,
+        latency: float = 0.0,
+    ):
+        self._truth = dict(ground_truth)
+        self._seed = int(seed)
+        self.latency = float(latency)
+        self._ask_counts: dict[int, int] = {}
+        #: Total answers served (lets tests assert budget accounting).
+        self.answers_served = 0
+
+    def _answer(self, worker: Worker, fact_id: int, ask_index: int) -> bool:
+        sequence = np.random.SeedSequence(
+            [
+                self._seed,
+                int(fact_id),
+                int(ask_index),
+                stable_worker_digest(worker.worker_id),
+            ]
+        )
+        correct = (
+            np.random.default_rng(sequence).random() < worker.accuracy
+        )
+        truth = self._truth[fact_id]
+        return truth if correct else not truth
+
+    def collect(
+        self, query_fact_ids: Sequence[int], experts: Crowd
+    ) -> AnswerFamily:
+        if self.latency > 0:
+            time.sleep(self.latency * len(query_fact_ids))
+        ask_index: dict[int, int] = {}
+        for fact_id in query_fact_ids:
+            ask_index[fact_id] = self._ask_counts.get(fact_id, 0)
+            self._ask_counts[fact_id] = ask_index[fact_id] + 1
+        answer_sets = []
+        for worker in experts:
+            answers = {
+                fact_id: self._answer(worker, fact_id, ask_index[fact_id])
+                for fact_id in query_fact_ids
+            }
+            answer_sets.append(AnswerSet(worker=worker, answers=answers))
+            self.answers_served += len(answers)
+        return AnswerFamily(answer_sets=tuple(answer_sets))
+
+    # -- journaling hooks (same contract as SimulatedExpertPanel) ------
+
+    def get_state(self) -> dict:
+        """JSON-compatible snapshot; restoring it replays the exact
+        same future answer stream."""
+        return {
+            "ask_counts": {
+                str(fact_id): count
+                for fact_id, count in self._ask_counts.items()
+            },
+            "answers_served": self.answers_served,
+        }
+
+    def set_state(self, state: dict) -> None:
+        self._ask_counts = {
+            int(fact_id): int(count)
+            for fact_id, count in state.get("ask_counts", {}).items()
+        }
+        self.answers_served = int(state.get("answers_served", 0))
+
+
+class ShardedAnswerSource:
+    """Collects a query set via the pool's shard-local panel replicas.
+
+    Each shard answers (and sleeps for) only the facts it owns — the
+    waits overlap across shard processes — and the merged family is
+    byte-identical to one serial :class:`KeyedExpertPanel` call, by the
+    keying argument in the module docstring.
+    """
+
+    def __init__(self, pool: ShardPool):
+        self._pool = pool
+        self.answers_served = 0
+
+    def collect(
+        self, query_fact_ids: Sequence[int], experts: Crowd
+    ) -> AnswerFamily:
+        self._pool.ensure_experts(experts)
+        replies = self._pool.broadcast("collect", tuple(query_fact_ids))
+        by_worker: dict[str, dict[int, bool]] = {}
+        for reply in replies:
+            for worker_id, answers in reply.items():
+                by_worker.setdefault(worker_id, {}).update(answers)
+        answer_sets = []
+        for worker in experts:
+            collected = by_worker.get(worker.worker_id, {})
+            answers = {
+                fact_id: collected[fact_id] for fact_id in query_fact_ids
+            }
+            answer_sets.append(AnswerSet(worker=worker, answers=answers))
+            self.answers_served += len(answers)
+        return AnswerFamily(answer_sets=tuple(answer_sets))

@@ -39,6 +39,92 @@ class SessionStateError(RuntimeError):
     next_queries while answers are pending, or use after completion)."""
 
 
+def stage_partial_updates(
+    belief: FactoredBelief,
+    family: PartialAnswerFamily,
+    *,
+    temper: bool,
+    round_index: int,
+    accuracy_overrides: Mapping[str, float] | None = None,
+    fact_filter: "frozenset[int] | set[int] | None" = None,
+) -> tuple[
+    dict[int, BeliefState],
+    list[tuple[tuple[int, int], FaultEvent]],
+]:
+    """Stage per-worker Lemma-3 updates per group without committing.
+
+    This is the pure core of :meth:`OnlineCheckingSession.submit_partial`:
+    it computes each touched group's posterior state on copies (the
+    belief is *not* mutated) so a raised
+    :class:`InconsistentEvidenceError` (``temper=False``) leaves the
+    caller's belief untouched.  The parallel engine runs this same
+    function inside every shard worker, restricted via ``fact_filter`` to
+    the facts the shard owns, so shard-local posteriors are bit-identical
+    to the serial computation.
+
+    Returns ``(staged, tempered)`` where ``staged`` maps group index to
+    the updated :class:`BeliefState` and ``tempered`` holds the
+    ``tempered_update`` fault events each keyed by
+    ``(answer-set index, position of the group's first fact)`` — sorting
+    by that key reproduces the exact order the serial loop emits them
+    in, even when the events were produced by different shards.
+    """
+    staged: dict[int, BeliefState] = {}
+    tempered: list[tuple[tuple[int, int], FaultEvent]] = []
+    for set_index, answer_set in enumerate(family):
+        worker = answer_set.worker
+        if accuracy_overrides and worker.worker_id in accuracy_overrides:
+            worker = worker.with_accuracy(
+                accuracy_overrides[worker.worker_id]
+            )
+        by_group: dict[int, dict[int, bool]] = {}
+        first_position: dict[int, int] = {}
+        for position, (fact_id, answer) in enumerate(
+            answer_set.answers.items()
+        ):
+            if fact_filter is not None and fact_id not in fact_filter:
+                continue
+            group_index = belief.group_index_of(fact_id)
+            if group_index not in by_group:
+                first_position[group_index] = position
+            by_group.setdefault(group_index, {})[fact_id] = answer
+        for group_index, answers in by_group.items():
+            state = staged.get(group_index, belief[group_index])
+            sub = AnswerSet(worker=worker, answers=answers)
+            try:
+                updated = update_with_answer_set(state, sub)
+            except InconsistentEvidenceError as error:
+                if not temper:
+                    wrapped = InconsistentEvidenceError(
+                        f"{error} (round {round_index}, worker "
+                        f"{answer_set.worker.worker_id!r}, answers "
+                        f"{dict(sorted(answers.items()))})"
+                    )
+                    # The parallel engine orders errors from different
+                    # shards by this key so the coordinator re-raises
+                    # exactly the error the serial loop hits first.
+                    wrapped.stage_key = (
+                        set_index, first_position[group_index]
+                    )
+                    raise wrapped from error
+                updated, _ = tempered_update_with_answer_set(state, sub)
+                tempered.append(
+                    (
+                        (set_index, first_position[group_index]),
+                        FaultEvent(
+                            kind="tempered_update",
+                            round_index=round_index,
+                            worker_id=answer_set.worker.worker_id,
+                            fact_ids=tuple(sorted(answers)),
+                            detail="zero-evidence answers; likelihood "
+                                   "floored and renormalized",
+                        ),
+                    )
+                )
+            staged[group_index] = updated
+    return staged, tempered
+
+
 class OnlineCheckingSession:
     """Step-wise checking loop with externalized answer collection.
 
@@ -59,17 +145,28 @@ class OnlineCheckingSession:
         each submitted round updates.
     ground_truth:
         Optional truth map enabling accuracy tracking in the history.
+    update_engine:
+        Optional delegate that owns the Bayesian updates.  ``None``
+        (default) applies updates in-process; the parallel engine
+        passes a sharded implementation that stages updates inside the
+        shard workers and mirrors the committed group states back here.
+        The delegate must expose ``apply_family(belief, family)`` and
+        ``apply_partial(belief, family, *, temper, round_index,
+        accuracy_overrides)``; both mutate ``belief`` and return the
+        updated group indices (``apply_partial`` also returns the
+        tempered-update events, in serial emission order).
     """
 
     def __init__(
         self,
         belief: FactoredBelief,
         experts: Crowd,
-        budget: float,
+        budget: "float | CheckingBudget",
         selector: Selector | None = None,
         k: int = 1,
         cost_model: CostModel | None = None,
         ground_truth: Mapping[int, bool] | None = None,
+        update_engine=None,
     ):
         if len(experts) == 0:
             raise ValueError("the expert crowd CE must not be empty")
@@ -79,7 +176,19 @@ class OnlineCheckingSession:
         self._experts = experts
         self._selector = selector or LazyGreedySelector()
         self._k = k
-        self._budget = CheckingBudget(budget, cost_model=cost_model)
+        if isinstance(budget, CheckingBudget):
+            # Caller-owned tracker (e.g. the engine's ledger-backed
+            # budget); its float accounting must match CheckingBudget's
+            # exactly for checkpoints to stay byte-identical.
+            if cost_model is not None and budget.cost_model is not cost_model:
+                raise ValueError(
+                    "pass the cost model inside the budget tracker, "
+                    "not separately"
+                )
+            self._budget = budget
+        else:
+            self._budget = CheckingBudget(budget, cost_model=cost_model)
+        self._update_engine = update_engine
         self._ground_truth = (
             dict(ground_truth) if ground_truth is not None else None
         )
@@ -152,6 +261,12 @@ class OnlineCheckingSession:
             self._finished = True
             return None
         self._pending = tuple(queries)
+        # Ledger-backed trackers reserve the worst-case round cost here
+        # and settle it at submit/abandon time (reservation/refund), so
+        # concurrent campaigns sharing a ledger cannot double-spend.
+        reserve = getattr(self._budget, "reserve_pending", None)
+        if callable(reserve):
+            reserve(len(queries), self._experts)
         return list(queries)
 
     def submit(self, family: AnswerFamily) -> RoundRecord:
@@ -179,7 +294,11 @@ class OnlineCheckingSession:
             raise ValueError(
                 f"answer family is missing experts: {missing}"
             )
-        self._applier._apply_family(self._belief, family)
+        if self._update_engine is not None:
+            updated = self._update_engine.apply_family(self._belief, family)
+            self._invalidate(updated)
+        else:
+            self._applier._apply_family(self._belief, family)
         cost = self._budget.charge_round(len(self._pending), self._experts)
         record = self._record(self._round_index, self._pending, cost)
         self.history.append(record)
@@ -284,53 +403,40 @@ class OnlineCheckingSession:
     ) -> None:
         """Stage per-worker Lemma-3 updates per group, then commit.
 
-        Updates are staged on copies so a raised
-        :class:`InconsistentEvidenceError` (``temper=False``) leaves the
-        session belief untouched.
+        Updates are staged on copies (see :func:`stage_partial_updates`)
+        so a raised :class:`InconsistentEvidenceError` (``temper=False``)
+        leaves the session belief untouched.
         """
-        staged: dict[int, BeliefState] = {}
-        for answer_set in family:
-            worker = answer_set.worker
-            if accuracy_overrides and worker.worker_id in accuracy_overrides:
-                worker = worker.with_accuracy(
-                    accuracy_overrides[worker.worker_id]
-                )
-            by_group: dict[int, dict[int, bool]] = {}
-            for fact_id, answer in answer_set.answers.items():
-                group_index = self._belief.group_index_of(fact_id)
-                by_group.setdefault(group_index, {})[fact_id] = answer
-            for group_index, answers in by_group.items():
-                state = staged.get(group_index, self._belief[group_index])
-                sub = AnswerSet(worker=worker, answers=answers)
-                try:
-                    updated = update_with_answer_set(state, sub)
-                except InconsistentEvidenceError as error:
-                    if not temper:
-                        raise InconsistentEvidenceError(
-                            f"{error} (round {self._round_index}, worker "
-                            f"{answer_set.worker.worker_id!r}, answers "
-                            f"{dict(sorted(answers.items()))})"
-                        ) from error
-                    updated, _ = tempered_update_with_answer_set(state, sub)
-                    events.append(
-                        FaultEvent(
-                            kind="tempered_update",
-                            round_index=self._round_index,
-                            worker_id=answer_set.worker.worker_id,
-                            fact_ids=tuple(sorted(answers)),
-                            detail="zero-evidence answers; likelihood "
-                                   "floored and renormalized",
-                        )
-                    )
-                staged[group_index] = updated
+        if self._update_engine is not None:
+            updated_groups, tempered = self._update_engine.apply_partial(
+                self._belief,
+                family,
+                temper=temper,
+                round_index=self._round_index,
+                accuracy_overrides=accuracy_overrides,
+            )
+            events.extend(tempered)
+            self._invalidate(updated_groups)
+            return
+        staged, tempered = stage_partial_updates(
+            self._belief,
+            family,
+            temper=temper,
+            round_index=self._round_index,
+            accuracy_overrides=accuracy_overrides,
+        )
+        events.extend(event for _key, event in tempered)
         for group_index, updated in staged.items():
             self._belief.replace_group(group_index, updated)
+        self._invalidate(staged.keys())
+
+    def _invalidate(self, group_indices) -> None:
         # Release the selector's cached entropies for the groups this
         # round actually changed; untouched groups keep their entries,
         # so the next selection pass costs O(changed), not O(N).
         invalidate = getattr(self._selector, "invalidate_groups", None)
         if callable(invalidate):
-            invalidate(staged.keys())
+            invalidate(group_indices)
 
     def replace_experts(self, experts: Crowd) -> None:
         """Swap the checking panel (worker reassignment).
@@ -354,6 +460,10 @@ class OnlineCheckingSession:
         if self._pending is None:
             raise SessionStateError("no pending queries to abandon")
         self._pending = None
+        # Refund a ledger-backed tracker's open reservation in full.
+        release = getattr(self._budget, "release_pending", None)
+        if callable(release):
+            release()
 
     def final_labels(self) -> dict[int, bool]:
         """MAP labels of the current belief (paper Eq. 20)."""
@@ -405,12 +515,16 @@ class OnlineCheckingSession:
         experts: Crowd,
         selector: Selector | None = None,
         cost_model: CostModel | None = None,
+        update_engine=None,
+        budget_tracker: "CheckingBudget | None" = None,
     ) -> "OnlineCheckingSession":
         """Rebuild a session from :meth:`to_checkpoint` output.
 
         The caller provides the expert crowd (and optionally the
-        selector / cost model) that were in use; pending queries and
-        spent budget are restored exactly.
+        selector / cost model / update engine / budget tracker) that
+        were in use; pending queries and spent budget are restored
+        exactly.  A supplied ``budget_tracker`` must carry the
+        checkpoint's total.
         """
         from ..core.serialization import (
             SerializationError,
@@ -428,14 +542,24 @@ class OnlineCheckingSession:
                     int(key): bool(value)
                     for key, value in ground_truth.items()
                 }
+            if budget_tracker is not None:
+                if budget_tracker.total != float(payload["budget_total"]):
+                    raise SerializationError(
+                        f"budget tracker total {budget_tracker.total} != "
+                        f"checkpoint total {payload['budget_total']}"
+                    )
+                budget: "float | CheckingBudget" = budget_tracker
+            else:
+                budget = float(payload["budget_total"])
             session = cls(
                 belief,
                 experts,
-                budget=float(payload["budget_total"]),
+                budget=budget,
                 selector=selector,
                 k=int(payload["k"]),
                 cost_model=cost_model,
                 ground_truth=ground_truth,
+                update_engine=update_engine,
             )
             session._budget.restore_spent(float(payload["budget_spent"]))
             session._round_index = int(payload["round_index"])

@@ -42,7 +42,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from ..core.answers import AnswerFamily, AnswerSet, PartialAnswerFamily
-from ..core.budget import CostModel
+from ..core.budget import CheckingBudget, CostModel
 from ..core.hc import RunResult
 from ..core.incidents import FaultEvent
 from ..core.observations import FactoredBelief
@@ -56,6 +56,8 @@ from ..core.serialization import (
     fault_event_from_dict,
     fault_event_to_dict,
     read_journal,
+    repair_journal,
+    trim_journal_to_last_checkpoint,
 )
 from ..core.trust import TrustPolicy, TrustReport, TrustSupervisor
 from ..core.workers import Crowd
@@ -169,13 +171,18 @@ class ResilientCheckingSession:
         records the delay as a ``backoff`` event without actually
         waiting — right for simulation; live deployments pass
         ``time.sleep``.
+    journal_metadata:
+        Optional extra record appended between the journal's header and
+        its first checkpoint (the parallel engine stores its shard
+        layout here).  Must carry a ``"kind"`` field; ignored without
+        ``journal_path``.
     """
 
     def __init__(
         self,
         belief: FactoredBelief,
         experts: Crowd,
-        budget: float,
+        budget: "float | CheckingBudget",
         *,
         selector: Selector | None = None,
         k: int = 1,
@@ -188,6 +195,8 @@ class ResilientCheckingSession:
         gold_facts: Mapping[int, bool] | None = None,
         seed: int = 0,
         sleep: Callable[[float], None] | None = None,
+        update_engine=None,
+        journal_metadata: dict | None = None,
     ):
         inner = OnlineCheckingSession(
             belief,
@@ -197,6 +206,7 @@ class ResilientCheckingSession:
             k=k,
             cost_model=cost_model,
             ground_truth=ground_truth,
+            update_engine=update_engine,
         )
         supervisor = (
             TrustSupervisor(experts, policy=trust_policy, gold=gold_facts)
@@ -219,10 +229,20 @@ class ResilientCheckingSession:
                 {
                     "kind": "header",
                     "version": FORMAT_VERSION,
-                    "budget_total": float(budget),
+                    "budget_total": (
+                        float(budget.total)
+                        if isinstance(budget, CheckingBudget)
+                        else float(budget)
+                    ),
                     "k": int(k),
                 },
             )
+            if journal_metadata is not None:
+                # Caller-provided runtime metadata (e.g. the parallel
+                # engine's shard layout).  It sits between the header
+                # and the first checkpoint so resume's trim-to-last-
+                # checkpoint can never drop it.
+                append_journal_record(self._journal_path, journal_metadata)
             self._journal_checkpoint(None)
 
     def _init_common(
@@ -851,6 +871,8 @@ class ResilientCheckingSession:
         retry_policy: RetryPolicy | None = None,
         reserve_experts: Crowd | None = None,
         sleep: Callable[[float], None] | None = None,
+        update_engine=None,
+        budget_tracker: "CheckingBudget | None" = None,
     ) -> "ResilientCheckingSession":
         """Restore a session from its journal, mid-round if need be.
 
@@ -863,6 +885,12 @@ class ResilientCheckingSession:
         to it, making the resumed continuation byte-identical to an
         uninterrupted run.
         """
+        # Repair first (drop a torn trailing line), then trim records
+        # past the last checkpoint: the replay re-journals the in-flight
+        # round's records byte-for-byte, so resumed appends extend the
+        # journal byte-identically to an uninterrupted run.
+        repair_journal(journal_path)
+        trim_journal_to_last_checkpoint(journal_path)
         records = read_journal(journal_path)
         checkpoint_indices = [
             index
@@ -886,6 +914,8 @@ class ResilientCheckingSession:
                 panel,
                 selector=selector,
                 cost_model=cost_model,
+                update_engine=update_engine,
+                budget_tracker=budget_tracker,
             )
             session = cls.__new__(cls)
             reserve = (

@@ -183,15 +183,15 @@ class TestSessionCheckpoint:
 
 
 class TestFormatVersions:
-    """v3 is written; v1/v2 payloads still read."""
+    """v4 is written; v1/v2/v3 payloads still read."""
 
-    def test_payloads_are_tagged_v3(self, belief, factored):
+    def test_payloads_are_tagged_v4(self, belief, factored):
         from repro.core import FORMAT_VERSION
 
-        assert FORMAT_VERSION == 3
-        assert belief_state_to_dict(belief)["version"] == 3
-        assert factored_belief_to_dict(factored)["version"] == 3
-        assert crowd_to_dict(Crowd.from_accuracies([0.9]))["version"] == 3
+        assert FORMAT_VERSION == 4
+        assert belief_state_to_dict(belief)["version"] == 4
+        assert factored_belief_to_dict(factored)["version"] == 4
+        assert crowd_to_dict(Crowd.from_accuracies([0.9]))["version"] == 4
 
     def test_v2_payload_still_loads(self, belief):
         payload = belief_state_to_dict(belief)
@@ -332,3 +332,151 @@ class TestJournal:
         path.write_text('{"kind": "header", "version": 99}\n')
         with pytest.raises(SerializationError, match="version"):
             read_journal(path)
+
+
+class TestAtomicWriteJson:
+    def test_writes_readable_json(self, tmp_path):
+        from repro.core import atomic_write_json
+
+        path = atomic_write_json({"a": 1}, tmp_path / "deep" / "out.json")
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_leaves_no_temp_files_behind(self, tmp_path):
+        from repro.core import atomic_write_json
+
+        atomic_write_json({"a": 1}, tmp_path / "out.json")
+        atomic_write_json({"a": 2}, tmp_path / "out.json")
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == [
+            "out.json"
+        ]
+
+    def test_failed_write_preserves_the_old_file(self, tmp_path):
+        from repro.core import atomic_write_json
+
+        path = tmp_path / "out.json"
+        atomic_write_json({"a": 1}, path)
+        with pytest.raises(TypeError):
+            atomic_write_json({"bad": object()}, path)
+        assert json.loads(path.read_text()) == {"a": 1}
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == [
+            "out.json"
+        ]
+
+
+class TestJournalRepair:
+    def _journal(self, tmp_path):
+        from repro.core import append_journal_record
+
+        path = tmp_path / "j.jsonl"
+        append_journal_record(path, {"kind": "header", "version": 4})
+        append_journal_record(path, {"kind": "checkpoint", "n": 1})
+        append_journal_record(path, {"kind": "event", "n": 2})
+        return path
+
+    def test_intact_journal_untouched(self, tmp_path):
+        from repro.core import repair_journal
+
+        path = self._journal(tmp_path)
+        before = path.read_bytes()
+        assert repair_journal(path) is False
+        assert path.read_bytes() == before
+
+    def test_unterminated_tail_removed(self, tmp_path):
+        from repro.core import repair_journal
+
+        path = self._journal(tmp_path)
+        before = path.read_bytes()
+        with path.open("ab") as handle:
+            handle.write(b'{"kind": "event", "n": 3, "tr')
+        assert repair_journal(path) is True
+        assert path.read_bytes() == before
+
+    def test_terminated_but_corrupt_final_line_removed(self, tmp_path):
+        from repro.core import repair_journal
+
+        path = self._journal(tmp_path)
+        before = path.read_bytes()
+        with path.open("ab") as handle:
+            handle.write(b'{"kind": "event", "n": 3, "tr\n')
+        assert repair_journal(path) is True
+        assert path.read_bytes() == before
+
+    def test_append_after_repair_continues_cleanly(self, tmp_path):
+        """The reason repair exists: without it the next append glues
+        onto the torn fragment and corrupts the merged line."""
+        from repro.core import (
+            append_journal_record,
+            read_journal,
+            repair_journal,
+        )
+
+        path = self._journal(tmp_path)
+        with path.open("ab") as handle:
+            handle.write(b'{"kind": "event", "n": 3, "tr')
+        repair_journal(path)
+        append_journal_record(path, {"kind": "event", "n": 3})
+        assert [record["kind"] for record in read_journal(path)] == [
+            "header",
+            "checkpoint",
+            "event",
+            "event",
+        ]
+
+    def test_missing_file_is_a_noop(self, tmp_path):
+        from repro.core import repair_journal
+
+        assert repair_journal(tmp_path / "absent.jsonl") is False
+
+
+class TestTrimToLastCheckpoint:
+    def test_trailing_events_after_checkpoint_removed(self, tmp_path):
+        from repro.core import (
+            append_journal_record,
+            read_journal,
+            trim_journal_to_last_checkpoint,
+        )
+
+        path = tmp_path / "j.jsonl"
+        append_journal_record(path, {"kind": "header", "version": 4})
+        append_journal_record(path, {"kind": "checkpoint", "n": 1})
+        append_journal_record(path, {"kind": "event", "n": 2})
+        append_journal_record(path, {"kind": "checkpoint", "n": 3})
+        append_journal_record(path, {"kind": "event", "n": 4})
+        append_journal_record(path, {"kind": "event", "n": 5})
+        removed = trim_journal_to_last_checkpoint(path)
+        assert removed > 0
+        assert [record["n"] for record in read_journal(path)[1:]] == [1, 2, 3]
+
+    def test_journal_ending_on_checkpoint_untouched(self, tmp_path):
+        from repro.core import (
+            append_journal_record,
+            trim_journal_to_last_checkpoint,
+        )
+
+        path = tmp_path / "j.jsonl"
+        append_journal_record(path, {"kind": "header", "version": 4})
+        append_journal_record(path, {"kind": "checkpoint", "n": 1})
+        before = path.read_bytes()
+        assert trim_journal_to_last_checkpoint(path) == 0
+        assert path.read_bytes() == before
+
+    def test_records_before_first_checkpoint_survive(self, tmp_path):
+        """The engine record sits between header and first checkpoint;
+        trimming must never drop it."""
+        from repro.core import (
+            append_journal_record,
+            read_journal,
+            trim_journal_to_last_checkpoint,
+        )
+
+        path = tmp_path / "j.jsonl"
+        append_journal_record(path, {"kind": "header", "version": 4})
+        append_journal_record(path, {"kind": "engine", "jobs": 3})
+        append_journal_record(path, {"kind": "checkpoint", "n": 1})
+        append_journal_record(path, {"kind": "event", "n": 2})
+        trim_journal_to_last_checkpoint(path)
+        assert [record["kind"] for record in read_journal(path)] == [
+            "header",
+            "engine",
+            "checkpoint",
+        ]

@@ -1,0 +1,157 @@
+"""Unit tests for the cross-shard budget ledger."""
+
+import pytest
+
+from repro.core import Crowd
+from repro.engine import BudgetLedger, LedgerBudget, LedgerError
+
+
+class TestBudgetLedger:
+    def test_reserve_commit_refunds_remainder(self):
+        ledger = BudgetLedger(10.0)
+        ticket = ledger.reserve(6.0, label="round")
+        assert ledger.available == pytest.approx(4.0)
+        assert ledger.outstanding == pytest.approx(6.0)
+        ledger.commit(ticket, 2.5)
+        assert ledger.committed == pytest.approx(2.5)
+        assert ledger.outstanding == 0.0
+        assert ledger.available == pytest.approx(7.5)
+
+    def test_release_refunds_in_full(self):
+        ledger = BudgetLedger(10.0)
+        ticket = ledger.reserve(6.0)
+        ledger.release(ticket)
+        assert ledger.available == pytest.approx(10.0)
+        assert ledger.committed == 0.0
+        assert ledger.open_reservations == 0
+
+    def test_cannot_overdraw_the_pool(self):
+        ledger = BudgetLedger(10.0)
+        ledger.reserve(7.0)
+        with pytest.raises(LedgerError, match="cannot reserve"):
+            ledger.reserve(4.0)
+        # A ledger holds the invariant even across many reservations.
+        ledger.reserve(3.0)
+        with pytest.raises(LedgerError):
+            ledger.reserve(0.5)
+
+    def test_double_settlement_is_rejected(self):
+        ledger = BudgetLedger(10.0)
+        ticket = ledger.reserve(5.0)
+        ledger.commit(ticket, 5.0)
+        with pytest.raises(LedgerError, match="already settled"):
+            ledger.commit(ticket, 1.0)
+        with pytest.raises(LedgerError, match="already settled"):
+            ledger.release(ticket)
+
+    def test_commit_cannot_exceed_reservation(self):
+        ledger = BudgetLedger(10.0)
+        ticket = ledger.reserve(3.0)
+        with pytest.raises(LedgerError, match="exceeds reservation"):
+            ledger.commit(ticket, 3.5)
+        # The failed commit must not consume the ticket.
+        ledger.commit(ticket, 3.0)
+        assert ledger.committed == pytest.approx(3.0)
+
+    def test_commit_direct_is_bounded_by_available(self):
+        ledger = BudgetLedger(10.0)
+        ledger.commit_direct(8.0)
+        with pytest.raises(LedgerError, match="direct commit"):
+            ledger.commit_direct(4.0)
+        ledger.commit_direct(2.0)
+        assert ledger.committed == pytest.approx(10.0)
+
+    def test_negative_amounts_rejected(self):
+        ledger = BudgetLedger(10.0)
+        with pytest.raises(ValueError):
+            ledger.reserve(-1.0)
+        ticket = ledger.reserve(1.0)
+        with pytest.raises(ValueError):
+            ledger.commit(ticket, -1.0)
+        with pytest.raises(ValueError):
+            ledger.commit_direct(-1.0)
+        with pytest.raises(ValueError):
+            BudgetLedger(-1.0)
+
+    def test_as_dict_snapshot(self):
+        ledger = BudgetLedger(10.0)
+        ticket = ledger.reserve(4.0)
+        ledger.commit(ticket, 4.0)
+        ledger.reserve(1.0)
+        snapshot = ledger.as_dict()
+        assert snapshot == {
+            "total": 10.0,
+            "committed": 4.0,
+            "outstanding": 1.0,
+            "open_reservations": 1,
+        }
+
+    def test_shared_ledger_serializes_two_campaigns(self):
+        """Two budgets drawing on one ledger cannot jointly overspend."""
+        ledger = BudgetLedger(10.0)
+        first = LedgerBudget(10.0, ledger=ledger)
+        second = LedgerBudget(10.0, ledger=ledger)
+        experts = Crowd.from_accuracies([0.9], prefix="e")
+        first.reserve_pending(6, experts)
+        with pytest.raises(LedgerError):
+            second.reserve_pending(6, experts)
+        first.release_pending()
+        second.reserve_pending(6, experts)
+
+
+class TestLedgerBudget:
+    @pytest.fixture
+    def experts(self):
+        return Crowd.from_accuracies([0.9, 0.95], prefix="e")
+
+    def test_charge_settles_open_reservation(self, experts):
+        budget = LedgerBudget(100.0)
+        budget.reserve_pending(2, experts)
+        assert budget.ledger.open_reservations == 1
+        cost = budget.charge_round(2, experts)
+        assert budget.ledger.open_reservations == 0
+        assert budget.ledger.committed == pytest.approx(cost)
+        assert budget.ledger.committed == pytest.approx(budget.spent)
+
+    def test_double_reservation_is_a_bug(self, experts):
+        budget = LedgerBudget(100.0)
+        budget.reserve_pending(1, experts)
+        with pytest.raises(LedgerError, match="already open"):
+            budget.reserve_pending(1, experts)
+
+    def test_release_pending_refunds(self, experts):
+        budget = LedgerBudget(100.0)
+        budget.reserve_pending(2, experts)
+        budget.release_pending()
+        assert budget.ledger.available == pytest.approx(100.0)
+        budget.release_pending()  # idempotent
+
+    def test_charge_without_reservation_commits_direct(self, experts):
+        """A resumed mid-round session's reservation died with the
+        crashed process; the charge still lands on the ledger."""
+        budget = LedgerBudget(100.0)
+        cost = budget.charge_round(2, experts)
+        assert budget.ledger.committed == pytest.approx(cost)
+
+    def test_restore_spent_catches_ledger_up(self, experts):
+        budget = LedgerBudget(100.0)
+        budget.restore_spent(12.0)
+        assert budget.spent == pytest.approx(12.0)
+        assert budget.ledger.committed == pytest.approx(12.0)
+        # And further charges accumulate on top.
+        budget.reserve_pending(1, experts)
+        budget.charge_round(1, experts)
+        assert budget.ledger.committed == pytest.approx(budget.spent)
+
+    def test_spent_trajectory_matches_plain_budget(self, experts):
+        from repro.core.budget import CheckingBudget
+
+        plain = CheckingBudget(40.0)
+        ledgered = LedgerBudget(40.0)
+        for _ in range(3):
+            ledgered.reserve_pending(2, experts)
+            assert ledgered.charge_round(2, experts) == plain.charge_round(
+                2, experts
+            )
+            assert ledgered.spent == plain.spent
+            assert ledgered.remaining == plain.remaining

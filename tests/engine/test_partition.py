@@ -1,0 +1,44 @@
+"""Unit tests for deterministic group partitioning."""
+
+import pytest
+
+from repro.engine import partition_groups
+
+
+def test_balanced_contiguous_split():
+    assert partition_groups(7, 3) == [(0, 1, 2), (3, 4), (5, 6)]
+
+
+def test_every_group_appears_exactly_once():
+    for num_groups in range(0, 25):
+        for num_shards in range(1, 9):
+            shards = partition_groups(num_groups, num_shards)
+            assert len(shards) == num_shards
+            flat = [index for shard in shards for index in shard]
+            assert flat == list(range(num_groups))
+
+
+def test_sizes_differ_by_at_most_one():
+    for num_groups in range(1, 25):
+        for num_shards in range(1, 9):
+            sizes = [
+                len(shard)
+                for shard in partition_groups(num_groups, num_shards)
+            ]
+            assert max(sizes) - min(sizes) <= 1
+
+
+def test_more_shards_than_groups_yields_empty_tails():
+    shards = partition_groups(2, 4)
+    assert shards == [(0,), (1,), (), ()]
+
+
+def test_deterministic():
+    assert partition_groups(13, 4) == partition_groups(13, 4)
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        partition_groups(-1, 2)
+    with pytest.raises(ValueError):
+        partition_groups(3, 0)

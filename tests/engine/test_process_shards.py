@@ -1,0 +1,71 @@
+"""Spawned-process shard tests (the real multiprocessing transport).
+
+These run actual ``spawn`` children, so they are the slow end of the
+engine suite; the bit-identity logic itself is covered much more
+broadly by the inline-shard tests in ``test_equivalence.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import WorkerPoolSpec, make_synthetic_dataset
+from repro.engine import KeyedExpertPanel, run_parallel_hc_session
+from repro.simulation import SessionConfig, run_hc_session
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_synthetic_dataset(
+        num_groups=4,
+        group_size=4,
+        answers_per_fact=6,
+        pool=WorkerPoolSpec(num_preliminary=10, num_expert=2),
+        seed=6,
+    )
+
+
+def test_spawned_shards_match_serial(dataset):
+    """2 spawned worker processes, sharded collection included: the
+    full IPC path (pickled beliefs, staged posteriors, keyed answers)
+    must reproduce the serial run bit for bit."""
+    config = SessionConfig(budget=14.0, k=2, seed=1)
+    serial = run_hc_session(
+        dataset,
+        config,
+        answer_source=KeyedExpertPanel(dataset.ground_truth, seed=1),
+    )
+    parallel = run_parallel_hc_session(
+        dataset,
+        config,
+        answer_source=KeyedExpertPanel(dataset.ground_truth, seed=1),
+        jobs=2,
+        inline=False,
+    )
+    assert [tuple(r.query_fact_ids) for r in parallel.history] == [
+        tuple(r.query_fact_ids) for r in serial.history
+    ]
+    assert [r.budget_spent for r in parallel.history] == [
+        r.budget_spent for r in serial.history
+    ]
+    for ours, theirs in zip(parallel.belief, serial.belief):
+        assert np.array_equal(ours.probabilities, theirs.probabilities)
+
+
+def test_process_pool_closes_cleanly(dataset):
+    from repro.datasets.grouping import initialize_belief
+    from repro.aggregation.registry import make_aggregator
+    from repro.engine import ShardPool
+
+    experts, _ = dataset.split_crowd(0.9)
+    belief, _ = initialize_belief(
+        dataset, make_aggregator("EBCC"), 0.9, smoothing=0.01
+    )
+    pool = ShardPool(belief, experts, 2, inline=False)
+    try:
+        assert pool.jobs == 2
+        selections = pool.broadcast("select", 2)
+        assert len(selections) == 2
+    finally:
+        pool.close()
+    # Closing twice must be safe.
+    pool.close()

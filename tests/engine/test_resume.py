@@ -1,0 +1,241 @@
+"""Crash-recovery tests: a killed parallel campaign resumes to a
+byte-identical journal (and bit-identical beliefs).
+
+The strategy: run one uninterrupted reference campaign, then recreate
+every flavor of crash — torn trailing lines at arbitrary offsets, and a
+real ``SIGKILL`` of a running campaign process — and assert the resumed
+journal's bytes equal the reference journal's.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import SerializationError
+from repro.core.trust import TrustPolicy
+from repro.datasets import WorkerPoolSpec, make_synthetic_dataset
+from repro.engine import resume_parallel_session, run_parallel_hc_session
+from repro.simulation import (
+    FaultModel,
+    FaultyExpertPanel,
+    SessionConfig,
+    SimulatedExpertPanel,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _dataset():
+    return make_synthetic_dataset(
+        num_groups=6,
+        group_size=4,
+        answers_per_fact=6,
+        pool=WorkerPoolSpec(num_preliminary=12, num_expert=3),
+        seed=3,
+    )
+
+
+FAULTS = FaultModel(no_show=0.2, partial=0.2, seed=9)
+
+
+def _config(journal_path):
+    return SessionConfig(
+        budget=30.0,
+        k=2,
+        seed=5,
+        faults=FAULTS,
+        trust_policy=TrustPolicy(seed=7),
+        reserve_accuracies=(0.92, 0.9),
+        journal_path=journal_path,
+    )
+
+
+def _fresh_panel(dataset):
+    return FaultyExpertPanel(
+        SimulatedExpertPanel(
+            dataset.ground_truth, rng=np.random.default_rng(5)
+        ),
+        FAULTS,
+    )
+
+
+class TestTornJournalResume:
+    def test_every_cut_point_resumes_byte_identically(self, tmp_path):
+        dataset = _dataset()
+        reference_path = tmp_path / "reference.jsonl"
+        reference = run_parallel_hc_session(
+            dataset, _config(reference_path), jobs=3, inline=True
+        )
+        reference_bytes = reference_path.read_bytes()
+        lines = reference_bytes.splitlines(keepends=True)
+        assert len(lines) > 6
+        # Cut after every intact prefix that contains a checkpoint
+        # (header, engine, first checkpoint = 3 lines), tearing the
+        # next line mid-record — the on-disk state a SIGKILL during an
+        # append leaves behind.
+        for cut in range(3, len(lines)):
+            killed = tmp_path / f"killed{cut}.jsonl"
+            killed.write_bytes(
+                b"".join(lines[:cut]) + lines[cut][: len(lines[cut]) // 2]
+            )
+            session, pool = resume_parallel_session(killed, inline=True)
+            with pool:
+                result = session.run(_fresh_panel(dataset))
+            assert killed.read_bytes() == reference_bytes, f"cut={cut}"
+            for ours, theirs in zip(result.belief, reference.belief):
+                assert np.array_equal(
+                    ours.probabilities, theirs.probabilities
+                )
+
+    def test_resume_reads_jobs_from_engine_record(self, tmp_path):
+        dataset = _dataset()
+        journal = tmp_path / "campaign.jsonl"
+        run_parallel_hc_session(
+            dataset, _config(journal), jobs=3, inline=True
+        )
+        lines = journal.read_bytes().splitlines(keepends=True)
+        assert json.loads(lines[1])["kind"] == "engine"
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_bytes(b"".join(lines[:4]))
+        session, pool = resume_parallel_session(truncated, inline=True)
+        with pool:
+            assert pool.jobs == 3  # from the engine record, not a default
+            session.run(_fresh_panel(dataset))
+
+    def test_resume_without_checkpoint_is_rejected(self, tmp_path):
+        dataset = _dataset()
+        journal = tmp_path / "campaign.jsonl"
+        run_parallel_hc_session(
+            dataset, _config(journal), jobs=2, inline=True
+        )
+        lines = journal.read_bytes().splitlines(keepends=True)
+        headless = tmp_path / "headless.jsonl"
+        headless.write_bytes(b"".join(lines[:2]))  # header + engine only
+        with pytest.raises(SerializationError, match="checkpoint"):
+            resume_parallel_session(headless, inline=True)
+
+
+_KILL_HELPER = '''
+"""Subprocess helper: run the resume test's parallel campaign.
+
+Argv: journal_path delay_seconds.  ``delay_seconds`` slows each round's
+answer collection so the parent can SIGKILL the campaign mid-run; it
+changes no answers and no journal bytes.
+"""
+import sys
+import time
+
+import numpy as np
+
+from repro.datasets import WorkerPoolSpec, make_synthetic_dataset
+from repro.simulation import FaultModel, SessionConfig, SimulatedExpertPanel
+from repro.core.trust import TrustPolicy
+from repro.engine import run_parallel_hc_session
+
+
+class SlowPanel:
+    def __init__(self, inner, delay):
+        self._inner = inner
+        self._delay = delay
+
+    def collect(self, query_fact_ids, experts):
+        time.sleep(self._delay)
+        return self._inner.collect(query_fact_ids, experts)
+
+    def get_state(self):
+        return self._inner.get_state()
+
+    def set_state(self, state):
+        self._inner.set_state(state)
+
+
+def main():
+    journal_path, delay = sys.argv[1], float(sys.argv[2])
+    dataset = make_synthetic_dataset(
+        num_groups=6, group_size=4, answers_per_fact=6,
+        pool=WorkerPoolSpec(num_preliminary=12, num_expert=3), seed=3,
+    )
+    config = SessionConfig(
+        budget=30.0, k=2, seed=5,
+        faults=FaultModel(no_show=0.2, partial=0.2, seed=9),
+        trust_policy=TrustPolicy(seed=7),
+        reserve_accuracies=(0.92, 0.9),
+        journal_path=journal_path,
+    )
+    panel = SlowPanel(
+        SimulatedExpertPanel(
+            dataset.ground_truth, rng=np.random.default_rng(5)
+        ),
+        delay,
+    )
+    run_parallel_hc_session(
+        dataset, config, jobs=3, inline=True, answer_source=panel
+    )
+    print("COMPLETED")
+
+
+if __name__ == "__main__":
+    main()
+'''
+
+
+class TestSigkillResume:
+    def _run_helper(self, tmp_path, journal, delay, kill_after_lines=None):
+        helper = tmp_path / "campaign_helper.py"
+        helper.write_text(_KILL_HELPER)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        process = subprocess.Popen(
+            [sys.executable, str(helper), str(journal), str(delay)],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        if kill_after_lines is None:
+            out, err = process.communicate(timeout=180)
+            assert process.returncode == 0, err.decode()
+            assert b"COMPLETED" in out
+            return None
+        deadline = time.monotonic() + 180
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                break  # finished before we could kill it
+            if (
+                journal.exists()
+                and journal.read_bytes().count(b"\n") >= kill_after_lines
+            ):
+                process.send_signal(signal.SIGKILL)
+                break
+            time.sleep(0.01)
+        process.wait(timeout=60)
+        return process.returncode
+
+    def test_sigkilled_campaign_resumes_byte_identically(self, tmp_path):
+        dataset = _dataset()
+        reference = tmp_path / "reference.jsonl"
+        self._run_helper(tmp_path, reference, delay=0.0)
+        reference_bytes = reference.read_bytes()
+        assert reference_bytes.count(b"\n") > 6
+
+        killed = tmp_path / "killed.jsonl"
+        returncode = self._run_helper(
+            tmp_path, killed, delay=0.3, kill_after_lines=5
+        )
+        assert returncode is not None
+        killed_bytes = killed.read_bytes()
+        assert killed_bytes != reference_bytes
+        assert reference_bytes.startswith(
+            killed_bytes[: killed_bytes.rfind(b"\n") + 1]
+        )
+
+        session, pool = resume_parallel_session(killed, inline=True)
+        with pool:
+            session.run(_fresh_panel(dataset))
+        assert killed.read_bytes() == reference_bytes

@@ -1,0 +1,140 @@
+"""API tests for ParallelCampaignRunner / run_parallel_hc_session."""
+
+import pytest
+
+from repro.core.trust import TrustPolicy
+from repro.datasets import WorkerPoolSpec, make_synthetic_dataset
+from repro.engine import (
+    BudgetLedger,
+    KeyedExpertPanel,
+    LedgerError,
+    ParallelCampaignRunner,
+    run_parallel_hc_session,
+)
+from repro.simulation import SessionConfig, run_hc_session
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_synthetic_dataset(
+        num_groups=5,
+        group_size=4,
+        answers_per_fact=6,
+        pool=WorkerPoolSpec(num_preliminary=12, num_expert=3),
+        seed=2,
+    )
+
+
+def test_caller_supplied_selector_is_rejected(dataset):
+    from repro.core import LazyGreedySelector
+
+    with pytest.raises(ValueError, match="owns selection"):
+        run_parallel_hc_session(dataset, selector=LazyGreedySelector())
+
+
+def test_jobs_clamped_to_group_count(dataset):
+    runner = ParallelCampaignRunner(
+        dataset, SessionConfig(budget=8.0), jobs=16, inline=True
+    )
+    runner.prepare()
+    assert runner.jobs_used == 5
+    runner.run()
+
+
+def test_prepare_is_idempotent_until_consumed(dataset):
+    runner = ParallelCampaignRunner(
+        dataset, SessionConfig(budget=8.0), jobs=2, inline=True
+    )
+    assert runner.prepare() is runner
+    first = runner._prepared
+    runner.prepare()
+    assert runner._prepared is first
+    runner.run()
+    assert runner._prepared is None
+
+
+def test_theta_without_experts_raises(dataset):
+    with pytest.raises(ValueError, match="theta"):
+        run_parallel_hc_session(
+            dataset, SessionConfig(theta=0.9999, budget=8.0), jobs=2,
+            inline=True,
+        )
+
+
+def test_sharded_collection_requires_plain_path(dataset, tmp_path):
+    runner = ParallelCampaignRunner(
+        dataset,
+        SessionConfig(budget=8.0, journal_path=tmp_path / "j.jsonl"),
+        jobs=2,
+        inline=True,
+        answer_source=KeyedExpertPanel(dataset.ground_truth, seed=1),
+        sharded_collection=True,
+    )
+    with pytest.raises(ValueError, match="plain path"):
+        runner.prepare()
+
+
+def test_sharded_collection_auto_enables_for_keyed_panel(dataset):
+    serial = run_hc_session(
+        dataset,
+        SessionConfig(budget=16.0, k=2),
+        answer_source=KeyedExpertPanel(dataset.ground_truth, seed=4),
+    )
+    parallel = run_parallel_hc_session(
+        dataset,
+        SessionConfig(budget=16.0, k=2),
+        answer_source=KeyedExpertPanel(dataset.ground_truth, seed=4),
+        jobs=3,
+        inline=True,
+    )
+    assert [tuple(r.query_fact_ids) for r in parallel.history] == [
+        tuple(r.query_fact_ids) for r in serial.history
+    ]
+    assert parallel.final_labels == serial.final_labels
+
+
+def test_ledger_reports_committed_spending(dataset):
+    runner = ParallelCampaignRunner(
+        dataset, SessionConfig(budget=16.0, k=2), jobs=2, inline=True
+    )
+    result = runner.run()
+    assert runner.ledger is not None
+    assert runner.ledger.open_reservations == 0
+    assert runner.ledger.committed == pytest.approx(
+        result.history[-1].budget_spent
+    )
+
+
+def test_shared_ledger_caps_joint_spending(dataset):
+    """Two campaigns over one ledger can never jointly exceed it."""
+    ledger = BudgetLedger(16.0)
+    first = run_parallel_hc_session(
+        dataset, SessionConfig(budget=16.0, k=2), jobs=2, inline=True,
+        ledger=ledger,
+    )
+    spent = first.history[-1].budget_spent
+    assert ledger.committed == pytest.approx(spent)
+    # The pool is nearly drained; a second full-budget campaign must
+    # fail its first reservation rather than double-spend.
+    with pytest.raises(LedgerError):
+        run_parallel_hc_session(
+            dataset, SessionConfig(budget=16.0, k=2), jobs=2, inline=True,
+            ledger=ledger,
+        )
+    assert ledger.committed == pytest.approx(spent)
+
+
+def test_trust_summary_survives_the_parallel_path(dataset):
+    config = SessionConfig(
+        budget=20.0, k=2, seed=3, trust_policy=TrustPolicy(seed=7)
+    )
+    serial = run_hc_session(dataset, config)
+    parallel = run_parallel_hc_session(dataset, config, jobs=2, inline=True)
+    assert parallel.trust is not None
+    assert [
+        (summary.worker_id, summary.mean, summary.breaker_state)
+        for summary in parallel.trust.workers
+    ] == [
+        (summary.worker_id, summary.mean, summary.breaker_state)
+        for summary in serial.trust.workers
+    ]

@@ -35,6 +35,53 @@ class TestRunAll:
         with pytest.raises(ValueError, match="unknown experiment"):
             run_all(scale_name="small", out_dir=tmp_path, only=["nope"])
 
+    def test_unknown_experiment_fails_fast_with_valid_names(self, tmp_path):
+        """The typo must be caught before any experiment runs (no
+        artifacts written) and the error must list every valid name."""
+        from repro.experiments.reproduce import available_experiments
+
+        with pytest.raises(ValueError, match="available:") as excinfo:
+            run_all(
+                scale_name="small",
+                out_dir=tmp_path,
+                only=["figure7", "figure99"],
+            )
+        message = str(excinfo.value)
+        assert "'figure99'" in message
+        for name in available_experiments():
+            assert name in message
+        # figure7 was valid and listed first, but nothing may have run.
+        assert not (tmp_path / "figure7.json").exists()
+        assert not (tmp_path / "timings.json").exists()
+
+    def test_available_experiments_registry(self):
+        from repro.experiments.reproduce import available_experiments
+
+        names = available_experiments()
+        assert set(FIGURE_RUNNERS) <= set(names)
+        for name in ("table3", "sweep_theta_k", "figure2_replicated"):
+            assert name in names
+
+    def test_parallel_jobs_match_serial_outputs(self, tmp_path):
+        """--jobs fans experiments across processes; every artifact
+        must be identical to a serial run's."""
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        selected = ["figure7", "figure2_replicated"]
+        serial_timings = run_all(
+            scale_name="small", out_dir=serial_dir, only=selected
+        )
+        parallel_timings = run_all(
+            scale_name="small", out_dir=parallel_dir, only=selected, jobs=2
+        )
+        assert set(serial_timings) == set(parallel_timings) == set(selected)
+        for name in selected:
+            assert json.loads(
+                (parallel_dir / f"{name}.json").read_text()
+            ) == json.loads((serial_dir / f"{name}.json").read_text())
+            assert (parallel_dir / f"{name}.txt").read_text() == (
+                serial_dir / f"{name}.txt"
+            ).read_text()
+
     def test_unknown_scale_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="unknown scale"):
             run_all(scale_name="huge", out_dir=tmp_path, only=["figure7"])

@@ -394,6 +394,30 @@ class TestJournalResume:
                 ours.probabilities, theirs.probabilities
             )
 
+    def test_truncated_journal_resumes_to_identical_bytes(
+        self, experts, reserve, tmp_path
+    ):
+        """Not just identical state: the resumed *journal file* must end
+        up byte-for-byte equal to an uninterrupted run's (repair drops
+        the torn fragment, trim drops the in-flight round's records,
+        and replay re-journals them identically)."""
+        reference_path = tmp_path / "ref.jsonl"
+        self._fresh(experts, reserve, reference_path).run(self._panel())
+        reference_bytes = reference_path.read_bytes()
+
+        lines = reference_bytes.splitlines(keepends=True)
+        for cut in (2, len(lines) // 2, len(lines) - 1):
+            path = tmp_path / f"cut{cut}.jsonl"
+            path.write_bytes(b"".join(lines[:cut]) + lines[cut][:-10])
+            resumed = ResilientCheckingSession.resume(
+                path,
+                retry_policy=RetryPolicy(
+                    max_attempts=3, max_reassignments=1
+                ),
+            )
+            resumed.run(self._panel())
+            assert path.read_bytes() == reference_bytes, f"cut={cut}"
+
     def test_journal_records_header_checkpoints_and_events(
         self, experts, reserve, tmp_path
     ):
@@ -404,7 +428,7 @@ class TestJournalResume:
         records = read_journal(path)
         kinds = {record["kind"] for record in records}
         assert records[0]["kind"] == "header"
-        assert records[0]["version"] == 3
+        assert records[0]["version"] == 4
         assert "checkpoint" in kinds
         checkpoints = [r for r in records if r["kind"] == "checkpoint"]
         # every checkpoint carries full durable state

@@ -112,6 +112,55 @@ class TestSession:
         ])
         assert "trust:" not in capsys.readouterr().out
 
+    def test_jobs_runs_the_sharded_engine(self, data_dir, capsys):
+        """--jobs 2 must print the same trajectory as the serial run
+        (the engine is bit-identical, so the rows are too)."""
+        arguments = [
+            "session", "--data", str(data_dir), "--budget", "20",
+            "--group-size", "4", "--theta", "0.85", "--rows", "4",
+        ]
+        assert main(arguments) == 0
+        serial = capsys.readouterr().out
+        assert main(arguments + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_shards_is_an_alias_for_jobs(self, data_dir):
+        code = main([
+            "session", "--data", str(data_dir), "--budget", "12",
+            "--group-size", "4", "--theta", "0.85", "--shards", "3",
+        ])
+        assert code == 0
+
+    def test_jobs_rejects_non_lazy_selectors(self, data_dir, capsys):
+        code = main([
+            "session", "--data", str(data_dir), "--budget", "12",
+            "--group-size", "4", "--theta", "0.85",
+            "--jobs", "2", "--selector", "random",
+        ])
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_journaled_jobs_run_resumes_with_jobs(
+        self, data_dir, tmp_path, capsys
+    ):
+        journal = tmp_path / "campaign.jsonl"
+        code = main([
+            "session", "--data", str(data_dir), "--budget", "20",
+            "--group-size", "4", "--theta", "0.85", "--rows", "4",
+            "--jobs", "2", "--journal", str(journal),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        # A finished journal resumes as a no-op and reprints the final
+        # trajectory through the parallel resume path.
+        code = main([
+            "session", "--data", str(data_dir), "--budget", "20",
+            "--group-size", "4", "--theta", "0.85", "--rows", "4",
+            "--jobs", "2", "--resume", str(journal),
+        ])
+        assert code == 0
+        assert "budget" in capsys.readouterr().out
+
 
 class TestReproduce:
     def test_single_small_experiment(self, tmp_path, capsys):
