@@ -120,9 +120,13 @@ def _cmd_session(args: argparse.Namespace) -> int:
             trust_policy=trust_policy,
         )
         if jobs > 1:
-            from .engine import run_parallel_hc_session
+            from .engine import ParallelCampaignRunner
 
-            result = run_parallel_hc_session(dataset, config, jobs=jobs)
+            runner = ParallelCampaignRunner(
+                dataset, config, jobs=jobs, policy=_shard_policy(args)
+            )
+            result = runner.run()
+            _print_supervisor_stats(runner.supervisor_stats)
         else:
             result = run_hc_session(dataset, config, selector=selector)
     stats = getattr(selector, "stats", None)
@@ -169,6 +173,35 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_policy(args: argparse.Namespace):
+    """Supervision policy for the sharded engine: environment defaults
+    (``REPRO_SHARD_*``) with the command line's flags on top."""
+    from .engine import SupervisionPolicy
+
+    return SupervisionPolicy.from_env().with_overrides(
+        _supervision_overrides(args)
+    )
+
+
+def _supervision_overrides(args: argparse.Namespace) -> dict:
+    overrides: dict = {}
+    if args.shard_deadline is not None:
+        overrides["deadline"] = args.shard_deadline
+    if args.max_shard_restarts is not None:
+        overrides["max_restarts"] = args.max_shard_restarts
+    if args.no_failover:
+        overrides["failover"] = False
+    return overrides
+
+
+def _print_supervisor_stats(stats: dict | None) -> None:
+    if stats and any(stats.values()):
+        summary = ", ".join(
+            f"{name}={count}" for name, count in stats.items() if count
+        )
+        print(f"supervisor: {summary}")
+
+
 def _resume_session(
     args: argparse.Namespace, dataset, faults, selector=None, jobs: int = 1
 ):
@@ -189,16 +222,35 @@ def _resume_session(
     if jobs > 1:
         from .engine import resume_parallel_session
 
-        session, pool = resume_parallel_session(args.resume, jobs=jobs)
+        # ``jobs=None`` restores the journaled shard layout (including
+        # any failover-degraded slices) and the engine record's
+        # supervision settings; the flags below override the latter.
+        session, pool = resume_parallel_session(
+            args.resume,
+            supervision_overrides=_supervision_overrides(args),
+        )
         with pool:
-            return session.run(answer_source)
+            result = session.run(answer_source)
+        _print_supervisor_stats(pool.supervisor_stats())
+        return result
     session = ResilientCheckingSession.resume(args.resume, selector=selector)
     return session.run(answer_source)
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
+    import os
+
     from .experiments.reproduce import run_all
 
+    # Supervision flags travel to the spawned experiment workers (and
+    # any shard pools they build) through the environment — the same
+    # hook SupervisionPolicy.from_env reads everywhere.
+    if args.shard_deadline is not None:
+        os.environ["REPRO_SHARD_DEADLINE"] = str(args.shard_deadline)
+    if args.max_shard_restarts is not None:
+        os.environ["REPRO_MAX_SHARD_RESTARTS"] = str(args.max_shard_restarts)
+    if args.no_failover:
+        os.environ["REPRO_SHARD_FAILOVER"] = "off"
     run_all(
         scale_name=args.scale,
         out_dir=args.out,
@@ -272,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the campaign on N shard workers (the sharded engine; "
              "results are bit-identical for any N)",
     )
+    _add_supervision_arguments(session)
     session.add_argument(
         "--selector-stats", action="store_true",
         help="print the selector's evaluation counters after the run",
@@ -318,9 +371,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="fan independent experiments across N worker processes",
     )
+    _add_supervision_arguments(reproduce)
     reproduce.set_defaults(handler=_cmd_reproduce)
 
     return parser
+
+
+def _add_supervision_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shard-supervision flags shared by ``session`` and ``reproduce``."""
+    parser.add_argument(
+        "--shard-deadline", type=float, default=None, metavar="SECONDS",
+        help="seconds a shard worker may take to answer one command "
+             "before it is declared hung and respawned (default 60)",
+    )
+    parser.add_argument(
+        "--max-shard-restarts", type=int, default=None, metavar="N",
+        help="in-place respawns granted per shard worker before its "
+             "groups fail over to a surviving shard (default 2)",
+    )
+    parser.add_argument(
+        "--no-failover", action="store_true",
+        help="abort the campaign when a shard exhausts its restart "
+             "budget instead of failing its groups over",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

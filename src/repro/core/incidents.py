@@ -35,6 +35,12 @@ FAULT_KINDS = frozenset(
         "quarantine",      # a worker's breaker opened; worker benched
         "probation",       # a half-open worker answered probation probes
         "readmit",         # a quarantined worker passed probation
+        "shard_deadline",  # a shard missed its command deadline (hung)
+        "shard_death",     # a shard worker process died mid-command
+        "shard_protocol",  # a shard reply arrived garbled/desynchronized
+        "shard_restart",   # a failed shard was respawned in place
+        "shard_failover",  # a shard's groups degraded to inline execution
+        "shard_rebalance", # degraded groups merged into a surviving shard
     }
 )
 

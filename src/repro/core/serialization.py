@@ -33,12 +33,15 @@ from .workers import Crowd, Worker
 #: version 3 adds the trust-supervision state (worker posteriors,
 #: circuit breakers, pending gold probes) to session checkpoints;
 #: version 4 adds the parallel engine's ``{"kind": "engine"}`` journal
-#: record (shard layout + jobs) and durable (fsynced) journal appends.
+#: record (shard layout + jobs) and durable (fsynced) journal appends;
+#: version 5 adds ``{"kind": "shard_incident"}`` journal records (shard
+#: supervision audit trail + failover layout for resume) and the
+#: supervision settings on the engine record.
 #: Older payloads are still read transparently.
-FORMAT_VERSION = 4
+FORMAT_VERSION = 5
 
 #: Versions this build can read.
-SUPPORTED_VERSIONS = frozenset({1, 2, 3, 4})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3, 4, 5})
 
 
 class SerializationError(ValueError):

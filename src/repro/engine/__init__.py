@@ -25,13 +25,24 @@ reservation/refund semantics:
 * :mod:`~repro.engine.runner` — :class:`ParallelCampaignRunner` /
   :func:`run_parallel_hc_session`, the
   :func:`~repro.simulation.session.run_hc_session`-compatible entry
-  points, plus :func:`resume_parallel_session`.
+  points, plus :func:`resume_parallel_session`;
+* :mod:`~repro.engine.supervisor` — :class:`ShardSupervisor`
+  (per-command deadlines, worker respawn from coordinator state, group
+  failover) with :class:`SupervisionPolicy` / :class:`SupervisorStats`
+  / :class:`ShardIncident`;
+* :mod:`~repro.engine.chaos` — :class:`ChaosPlan` /
+  :class:`ChaosTransport`, process-level fault injection (kill, hang,
+  delay, corrupt) for testing the supervision layer.
 
 Everything the coordinator journals goes through the serial code paths,
 so a parallel campaign's results, histories and journals are
-bit-identical to the serial runtime's — with any worker count.
+bit-identical to the serial runtime's — with any worker count, and
+(because recovery rebuilds workers from the coordinator's authoritative
+state and keyed answers are replay-independent) under worker kills,
+hangs and protocol corruption too.
 """
 
+from .chaos import ChaosPlan, ChaosTransport
 from .ledger import BudgetLedger, LedgerBudget, LedgerError
 from .partition import partition_groups
 from .runner import (
@@ -42,19 +53,35 @@ from .runner import (
 from .sharded import ShardedSelector, ShardedUpdateEngine, merge_shard_selections
 from .shards import InlineShard, ProcessShard, ShardPool
 from .sources import KeyedExpertPanel, ShardedAnswerSource, stable_worker_digest
+from .supervisor import (
+    ShardFailureError,
+    ShardIncident,
+    ShardRespawnError,
+    ShardSupervisor,
+    SupervisionPolicy,
+    SupervisorStats,
+)
 
 __all__ = [
     "BudgetLedger",
+    "ChaosPlan",
+    "ChaosTransport",
     "InlineShard",
     "KeyedExpertPanel",
     "LedgerBudget",
     "LedgerError",
     "ParallelCampaignRunner",
     "ProcessShard",
+    "ShardFailureError",
+    "ShardIncident",
     "ShardPool",
+    "ShardRespawnError",
+    "ShardSupervisor",
     "ShardedAnswerSource",
     "ShardedSelector",
     "ShardedUpdateEngine",
+    "SupervisionPolicy",
+    "SupervisorStats",
     "merge_shard_selections",
     "partition_groups",
     "resume_parallel_session",

@@ -46,6 +46,7 @@ from .ledger import BudgetLedger, LedgerBudget
 from .sharded import ShardedSelector, ShardedUpdateEngine
 from .shards import ShardPool
 from .sources import KeyedExpertPanel, ShardedAnswerSource
+from .supervisor import SupervisionPolicy
 
 
 class ParallelCampaignRunner:
@@ -73,6 +74,13 @@ class ParallelCampaignRunner:
     start_method:
         Multiprocessing start method for process shards (spawn-safe
         default).
+    policy:
+        :class:`~repro.engine.supervisor.SupervisionPolicy` for the
+        shard pool (deadline, restart budget, failover); defaults to
+        environment-derived settings.
+    chaos:
+        Optional :class:`~repro.engine.chaos.ChaosPlan` injecting
+        transport faults (tests / CI).
     """
 
     def __init__(
@@ -87,6 +95,8 @@ class ParallelCampaignRunner:
         ledger: BudgetLedger | None = None,
         sharded_collection: bool | None = None,
         start_method: str = "spawn",
+        policy: SupervisionPolicy | None = None,
+        chaos=None,
     ):
         self._dataset = dataset
         self._config = config or SessionConfig()
@@ -97,10 +107,17 @@ class ParallelCampaignRunner:
         self._ledger = ledger
         self._sharded_collection = sharded_collection
         self._start_method = start_method
+        self._policy = policy
+        self._chaos = chaos
         #: Set by :meth:`prepare`: the campaign's budget ledger (inspect
         #: for reservation/commit accounting) and the shard count used.
         self.ledger: BudgetLedger | None = None
         self.jobs_used: int | None = None
+        self.policy_used: SupervisionPolicy | None = None
+        #: Set by :meth:`run`: the pool's supervision counters and
+        #: incident log (captured before the pool is closed).
+        self.supervisor_stats: dict | None = None
+        self.supervisor_incidents: list = []
         self._prepared: dict | None = None
 
     # ------------------------------------------------------------------
@@ -153,6 +170,12 @@ class ParallelCampaignRunner:
         inline = self._inline if self._inline is not None else self._jobs == 1
         tracker = LedgerBudget(config.budget, ledger=self._ledger)
         self.ledger = tracker.ledger
+        policy = (
+            self._policy
+            if self._policy is not None
+            else SupervisionPolicy.from_env()
+        )
+        self.policy_used = policy
         pool = ShardPool(
             belief,
             experts,
@@ -160,6 +183,8 @@ class ParallelCampaignRunner:
             inline=inline,
             answer_source=answer_source if sharded_collection else None,
             start_method=self._start_method,
+            policy=policy,
+            chaos=self._chaos,
         )
         self.jobs_used = pool.jobs
         try:
@@ -188,6 +213,8 @@ class ParallelCampaignRunner:
         except BaseException:
             pool.close()
             raise
+        if config.journal_path is not None:
+            pool.attach_journal(config.journal_path)
         self._prepared = {
             "pool": pool,
             "session": session,
@@ -201,17 +228,20 @@ class ParallelCampaignRunner:
         self.prepare()
         prepared, self._prepared = self._prepared, None
         session, source = prepared["session"], prepared["source"]
-        try:
-            if prepared["resilient"]:
-                return session.run(source)
-            while (queries := session.next_queries()) is not None:
-                family = source.collect(queries, session.experts)
-                session.submit(family)
-            return RunResult(
-                belief=session.belief, history=list(session.history)
-            )
-        finally:
-            prepared["pool"].close()
+        pool = prepared["pool"]
+        with pool:
+            try:
+                if prepared["resilient"]:
+                    return session.run(source)
+                while (queries := session.next_queries()) is not None:
+                    family = source.collect(queries, session.experts)
+                    session.submit(family)
+                return RunResult(
+                    belief=session.belief, history=list(session.history)
+                )
+            finally:
+                self.supervisor_stats = pool.supervisor_stats()
+                self.supervisor_incidents = list(pool.supervisor_incidents)
 
     def _prepare_resilient(
         self,
@@ -264,11 +294,19 @@ class ParallelCampaignRunner:
         return session, answer_source
 
     def _engine_record(self) -> dict:
-        return {
+        record = {
             "kind": "engine",
             "jobs": int(self.jobs_used or self._jobs),
             "start_method": self._start_method,
         }
+        policy = self.policy_used
+        if policy is not None:
+            record["supervision"] = {
+                "deadline": policy.deadline,
+                "max_restarts": policy.max_restarts,
+                "failover": policy.failover,
+            }
+        return record
 
 
 def run_parallel_hc_session(
@@ -281,6 +319,8 @@ def run_parallel_hc_session(
     jobs: int = 1,
     inline: bool | None = None,
     ledger: BudgetLedger | None = None,
+    policy: SupervisionPolicy | None = None,
+    chaos=None,
 ) -> RunResult:
     """Drop-in :func:`~repro.simulation.session.run_hc_session` with
     sharded execution.
@@ -304,6 +344,8 @@ def run_parallel_hc_session(
         answer_source=answer_source,
         inline=inline,
         ledger=ledger,
+        policy=policy,
+        chaos=chaos,
     )
     return runner.run()
 
@@ -318,6 +360,9 @@ def resume_parallel_session(
     reserve_experts: Crowd | None = None,
     cost_model: CostModel | None = None,
     sleep=None,
+    policy: SupervisionPolicy | None = None,
+    supervision_overrides: dict | None = None,
+    chaos=None,
 ) -> tuple[ResilientCheckingSession, ShardPool]:
     """Restore a killed parallel campaign from its journal.
 
@@ -328,6 +373,16 @@ def resume_parallel_session(
     seams and a fresh ledger caught up to the checkpoint's spending.
     No new ``engine`` record is appended — resume only ever adds the
     same records a serial resume would.
+
+    Supervision settings are restored from the engine record's
+    ``supervision`` entry (overridable per-field with
+    ``supervision_overrides`` or wholesale with ``policy``), and the
+    failover layout from the last layout-bearing ``shard_incident``
+    record — a campaign that degraded some shards resumes with the same
+    degraded layout rather than resurrecting workers on hardware that
+    just failed.  Passing an explicit ``jobs`` discards the journaled
+    layout and starts from a fresh balanced partition (equally correct:
+    results are partition-independent).
 
     Returns ``(session, pool)``; call ``session.run(answer_source)`` to
     continue and close the pool afterwards (it is a context manager).
@@ -345,13 +400,44 @@ def resume_parallel_session(
         )
     header = records[0]
     last = checkpoints[-1]
+    if policy is None:
+        policy = SupervisionPolicy.from_env()
+        if engine_records and "supervision" in engine_records[-1]:
+            policy = policy.with_overrides(engine_records[-1]["supervision"])
+    policy = policy.with_overrides(supervision_overrides)
+    partition = None
+    degraded: tuple[bool, ...] = ()
     if jobs is None:
+        layout_records = [
+            record
+            for record in records
+            if record.get("kind") == "shard_incident"
+            and record.get("partition") is not None
+        ]
+        if layout_records:
+            partition = [
+                tuple(int(index) for index in shard)
+                for shard in layout_records[-1]["partition"]
+            ]
+            degraded = tuple(
+                bool(flag)
+                for flag in layout_records[-1].get("degraded", ())
+            )
         jobs = int(engine_records[-1]["jobs"]) if engine_records else 1
     if inline is None:
-        inline = jobs == 1
+        inline = jobs == 1 and partition is None
     belief = factored_belief_from_dict(last["session"]["belief"])
     panel = crowd_from_dict(last["panel"])
-    pool = ShardPool(belief, panel, jobs, inline=inline)
+    pool = ShardPool(
+        belief,
+        panel,
+        jobs,
+        inline=inline,
+        policy=policy,
+        chaos=chaos,
+        partition=partition,
+        degraded=degraded,
+    )
     tracker = LedgerBudget(
         float(header["budget_total"]), ledger=ledger, cost_model=cost_model
     )
@@ -369,4 +455,5 @@ def resume_parallel_session(
     except BaseException:
         pool.close()
         raise
+    pool.attach_journal(journal_path)
     return session, pool

@@ -129,24 +129,26 @@ class ShardedUpdateEngine:
         """Commit everywhere, or abort everywhere and raise serial-first."""
         failures = [reply for reply in replies if reply[0] == "inconsistent"]
         if failures:
-            for shard, reply in zip(self._pool.shards, replies):
-                if reply[0] == "staged":
-                    shard.submit("abort")
-            for shard, reply in zip(self._pool.shards, replies):
-                if reply[0] == "staged":
-                    shard.result()
+            staged_positions = [
+                position
+                for position, reply in enumerate(replies)
+                if reply[0] == "staged"
+            ]
+            self._pool.multicast(staged_positions, "abort")
             raise min(failures, key=lambda reply: reply[1])[2]
         updated: list[int] = []
         keyed_events: list[tuple] = []
         for reply in replies:
             _status, staged, tempered = reply
             for global_index, probabilities in staged.items():
-                belief.replace_group(
-                    global_index,
-                    BeliefState.from_normalized(
-                        belief[global_index].facts, probabilities
-                    ),
+                state = BeliefState.from_normalized(
+                    belief[global_index].facts, probabilities
                 )
+                belief.replace_group(global_index, state)
+                # The pool's mirror must reflect the commit *before* it
+                # is broadcast: a worker that dies during the commit is
+                # rebuilt from the mirror and skips the command.
+                self._pool.mirror_group(global_index, state)
                 updated.append(global_index)
             keyed_events.extend(tempered)
         self._pool.broadcast("commit")

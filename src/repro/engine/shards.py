@@ -29,10 +29,21 @@ and :class:`ProcessShard` runs the same :class:`ShardState` in a
 no inherited locks or RNG state; everything crosses the pipe pickled).
 :class:`ShardPool` owns one transport per shard and the broadcast /
 gather helpers the coordinator uses.
+
+Both transports expose a *supervisable* surface — non-blocking
+``poll(timeout)`` / raw ``take_reply()`` / ``is_alive()`` /
+``destroy()`` — in addition to the legacy blocking
+``submit``/``result`` pair.  The pool routes every command through a
+:class:`~repro.engine.supervisor.ShardSupervisor`, which awaits replies
+under a deadline and repairs dead, hung, or desynchronized workers by
+respawning them from the pool's authoritative coordinator-side state
+(see :meth:`ShardPool.respawn_shard`), failing their groups over to
+inline execution once the restart budget runs out.
 """
 
 from __future__ import annotations
 
+import copy
 import multiprocessing
 from typing import Sequence
 
@@ -271,16 +282,67 @@ class ShardState:
 
 
 class InlineShard:
-    """Runs the shard state machine in the calling process."""
+    """Runs the shard state machine in the calling process.
+
+    Execution is *deferred*: ``submit`` only records the command and
+    ``take_reply`` runs it, returning the same ``("ok", result)`` /
+    ``("error", exception)`` wire tuples a process shard sends — so the
+    supervisor drives both transports through one code path, and chaos
+    tests can exercise the full recovery machinery without spawning
+    processes.  ``chaos_kill`` flips a dead-flag that makes the shard
+    indistinguishable from a killed worker (``poll`` finds nothing,
+    ``is_alive`` is false, pending work is lost).
+    """
 
     def __init__(self, *args, **kwargs):
         self._state = ShardState(*args, **kwargs)
+        self._pending: tuple[str, tuple] | None = None
+        self._dead = False
+
+    # -- supervisable surface ------------------------------------------
+
+    def wait_ready(self) -> None:
+        pass
+
+    def ensure_ready(self, timeout: float | None = None) -> None:
+        pass
 
     def submit(self, command: str, *payload) -> None:
-        self._reply = self._state.handle(command, payload)
+        if self._dead:
+            raise BrokenPipeError("inline shard is dead")
+        if self._pending is not None:
+            raise ShardProtocolError("previous command still in flight")
+        self._pending = (command, payload)
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return self._pending is not None and not self._dead
+
+    def take_reply(self):
+        if self._dead:
+            raise EOFError("inline shard is dead")
+        if self._pending is None:
+            raise ShardProtocolError("no command in flight")
+        command, payload = self._pending
+        self._pending = None
+        try:
+            return ("ok", self._state.handle(command, payload))
+        except Exception as error:  # surfaced to the coordinator
+            return ("error", error)
+
+    def is_alive(self) -> bool:
+        return not self._dead
+
+    def chaos_kill(self) -> None:
+        self._dead = True
+        self._pending = None
+
+    # -- legacy blocking surface ---------------------------------------
 
     def result(self):
-        return self._reply
+        status, value = self.take_reply()
+        if status == "error":
+            raise value
+        return value
 
     def call(self, command: str, *payload):
         self.submit(command, *payload)
@@ -288,6 +350,10 @@ class InlineShard:
 
     def close(self) -> None:
         pass
+
+    def destroy(self) -> None:
+        self._dead = True
+        self._pending = None
 
 
 def _shard_main(connection) -> None:
@@ -348,16 +414,29 @@ class ProcessShard:
                 ),
             )
         )
-        # The init handshake is awaited in wait_ready() so a pool can
+        # The init handshake is awaited in ensure_ready() so a pool can
         # start every child first and let their interpreter/numpy
         # imports overlap across cores.
         self._ready = False
         self._in_flight = False
+        self._destroyed = False
 
     def wait_ready(self) -> None:
-        if not self._ready:
-            self._check(self._parent.recv())
-            self._ready = True
+        self.ensure_ready(None)
+
+    def ensure_ready(self, timeout: float | None = None) -> None:
+        """Await the init handshake, optionally under a deadline (a
+        respawned worker that cannot come up must not hang recovery)."""
+        if self._ready:
+            return
+        if timeout is not None and not self._parent.poll(timeout):
+            from .supervisor import ShardRespawnError
+
+            raise ShardRespawnError(
+                f"shard worker not ready within {timeout}s"
+            )
+        self._check(self._parent.recv())
+        self._ready = True
 
     @staticmethod
     def _check(reply):
@@ -367,11 +446,28 @@ class ProcessShard:
         return value
 
     def submit(self, command: str, *payload) -> None:
-        self.wait_ready()
+        self.ensure_ready()
         if self._in_flight:
             raise ShardProtocolError("previous command still in flight")
         self._parent.send((command, payload))
         self._in_flight = True
+
+    # -- supervisable surface ------------------------------------------
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return self._parent.poll(timeout)
+
+    def take_reply(self):
+        self._in_flight = False
+        return self._parent.recv()
+
+    def is_alive(self) -> bool:
+        return self._process.is_alive()
+
+    def chaos_kill(self) -> None:
+        self._process.kill()
+
+    # -- legacy blocking surface ---------------------------------------
 
     def result(self):
         if not self._in_flight:
@@ -384,27 +480,79 @@ class ProcessShard:
         return self.result()
 
     def close(self) -> None:
+        """Graceful shutdown that can never hang or leak.
+
+        The shutdown sentinel may fail (dead child, full pipe) — the
+        parent pipe end is closed regardless, and the join escalates
+        terminate → kill so a wedged child cannot zombie past the 30s
+        worst case.
+        """
+        if self._destroyed:
+            return
+        self._destroyed = True
         try:
             self._parent.send(None)
-            self._parent.close()
         except (BrokenPipeError, OSError):
             pass
+        finally:
+            try:
+                self._parent.close()
+            except OSError:
+                pass
         self._process.join(timeout=10)
         if self._process.is_alive():
             self._process.terminate()
             self._process.join(timeout=10)
+        if self._process.is_alive():
+            self._process.kill()
+            self._process.join(timeout=10)
+        try:
+            self._process.close()
+        except ValueError:
+            pass
+
+    def destroy(self) -> None:
+        """Immediate teardown of a failed worker (no sentinel, no
+        grace): SIGKILL, reap, close the pipe.  Killing before the pipe
+        closes keeps a live-but-hung child from tracebacking into the
+        coordinator's stderr mid-recovery.  Idempotent."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        if self._process.is_alive():
+            self._process.kill()
+        self._process.join(timeout=10)
+        try:
+            self._parent.close()
+        except OSError:
+            pass
+        try:
+            self._process.close()
+        except ValueError:
+            pass
 
 
 class ShardPool:
     """One transport per shard plus the coordinator-side helpers.
 
+    The pool is the authoritative side of every shard's state: it keeps
+    a reference to the campaign belief (kept current by the update
+    engine's mirror calls and :meth:`sync_groups`) and, for sharded
+    collection, a per-shard mirror of the answer-source counters —
+    enough to rebuild any worker's :class:`ShardState` from scratch.
+    All commands are dispatched through a
+    :class:`~repro.engine.supervisor.ShardSupervisor` (deadline, respawn
+    and failover; see that module for why recovery preserves
+    bit-identity).
+
     Parameters
     ----------
     belief:
-        The campaign's initial factored belief; its groups are
-        partitioned with
+        The campaign's factored belief; its groups are partitioned with
         :func:`~repro.engine.partition.partition_groups` (``jobs`` is
         clamped to the number of groups, so every shard is non-empty).
+        The pool keeps the reference as its authoritative mirror for
+        worker rebuilds.
     experts:
         The initial checking panel.
     jobs:
@@ -418,6 +566,20 @@ class ShardPool:
         into every shard for sharded collection.
     gain_tolerance, start_method:
         Forwarded to the shard selector / transport.
+    policy:
+        :class:`~repro.engine.supervisor.SupervisionPolicy`; defaults to
+        :meth:`~repro.engine.supervisor.SupervisionPolicy.from_env`.
+    chaos:
+        Optional :class:`~repro.engine.chaos.ChaosPlan` injecting
+        transport faults (tests / the CI chaos matrix); defaults to
+        :meth:`~repro.engine.chaos.ChaosPlan.from_env`.
+    partition:
+        Optional explicit group layout (list of group-index tuples
+        covering every group exactly once), used by resume to restore a
+        journaled failover layout; overrides ``jobs``.
+    degraded:
+        Per-``partition``-slice flags marking slices that already
+        failed over to inline execution (resume restore).
     """
 
     def __init__(
@@ -430,51 +592,302 @@ class ShardPool:
         answer_source=None,
         gain_tolerance: float = 1e-12,
         start_method: str = "spawn",
+        policy=None,
+        chaos=None,
+        partition: Sequence[Sequence[int]] | None = None,
+        degraded: Sequence[bool] = (),
     ):
+        from .chaos import ChaosPlan
         from .partition import partition_groups
+        from .supervisor import ShardSupervisor, SupervisionPolicy
 
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         num_groups = len(belief)
-        self.jobs = max(1, min(jobs, num_groups))
-        self.partition = [
-            shard
-            for shard in partition_groups(num_groups, self.jobs)
-            if shard
-        ]
-        self._experts = experts
-        transport = InlineShard if inline else ProcessShard
-        kwargs = {} if inline else {"start_method": start_method}
-        self.shards = [
-            transport(
-                indices,
-                [belief[index] for index in indices],
-                experts,
-                gain_tolerance,
-                answer_source,
-                **kwargs,
+        if partition is not None:
+            layout = [
+                tuple(int(index) for index in shard)
+                for shard in partition
+                if shard
+            ]
+            covered = sorted(
+                index for shard in layout for index in shard
             )
-            for indices in self.partition
+            if covered != list(range(num_groups)):
+                raise ValueError(
+                    "partition must cover every group exactly once"
+                )
+            self.partition = layout
+        else:
+            requested = max(1, min(jobs, num_groups))
+            self.partition = [
+                tuple(shard)
+                for shard in partition_groups(num_groups, requested)
+                if shard
+            ]
+        self.jobs = len(self.partition)
+        self.inline = bool(inline)
+        self._belief = belief
+        self._experts = experts
+        self._gain_tolerance = gain_tolerance
+        self._start_method = start_method
+        self._policy = (
+            policy if policy is not None else SupervisionPolicy.from_env()
+        )
+        plan = chaos if chaos is not None else ChaosPlan.from_env()
+        self._chaos = plan if plan is not None and plan.enabled else None
+        self._answer_source = answer_source
+        self._pristine_source = (
+            copy.deepcopy(answer_source)
+            if answer_source is not None
+            else None
+        )
+        source_state = None
+        if answer_source is not None:
+            get_state = getattr(answer_source, "get_state", None)
+            if callable(get_state):
+                source_state = get_state()
+        self._initial_source_state = copy.deepcopy(source_state)
+        self._source_mirrors = (
+            [copy.deepcopy(source_state) for _ in self.partition]
+            if source_state is not None
+            else None
+        )
+        self.shard_ids = list(range(len(self.partition)))
+        self._degraded: set[int] = set()
+        for position, flag in enumerate(degraded):
+            if flag:
+                self._degraded.add(self.shard_ids[position])
+        self._chaos_counts: dict[int, int] = {}
+        self.shards = [
+            self._build_transport(position, answer_source)
+            for position in range(len(self.partition))
         ]
         for shard in self.shards:
-            wait_ready = getattr(shard, "wait_ready", None)
-            if callable(wait_ready):
-                wait_ready()
+            shard.ensure_ready(self._policy.startup_deadline)
+        self.supervisor = ShardSupervisor(self, self._policy)
         self._closed = False
 
+    # ------------------------------------------------------------------
+    # transport construction / repair
+    # ------------------------------------------------------------------
+
+    def _build_transport(self, position: int, source):
+        """A transport for ``self.partition[position]`` with states
+        rebuilt from the authoritative belief mirror.  Degraded slices
+        run inline and are never chaos-wrapped, so an injection plan
+        cannot prevent the campaign from terminating."""
+        indices = self.partition[position]
+        shard_id = self.shard_ids[position]
+        degraded = shard_id in self._degraded
+        states = [self._belief[index] for index in indices]
+        if self.inline or degraded:
+            shard = InlineShard(
+                indices, states, self._experts,
+                self._gain_tolerance, source,
+            )
+        else:
+            shard = ProcessShard(
+                indices, states, self._experts,
+                self._gain_tolerance, source,
+                start_method=self._start_method,
+            )
+        if self._chaos is not None and not degraded:
+            from .chaos import ChaosTransport
+
+            shard = ChaosTransport(
+                shard,
+                self._chaos,
+                shard_id,
+                self._chaos_counts.get(shard_id, 0),
+            )
+        return shard
+
+    def _rebuild_source(self, position: int):
+        """A fresh answer-source replica at the position's mirror state
+        (a rebuilt worker must re-draw exactly the answers whose replies
+        were never consumed)."""
+        if self._answer_source is None:
+            return None
+        source = copy.deepcopy(self._pristine_source)
+        if self._source_mirrors is not None:
+            set_state = getattr(source, "set_state", None)
+            if callable(set_state):
+                set_state(copy.deepcopy(self._source_mirrors[position]))
+        return source
+
+    def _remember_chaos_count(self, shard) -> None:
+        commands_seen = getattr(shard, "commands_seen", None)
+        if commands_seen is not None:
+            self._chaos_counts[shard.shard_id] = commands_seen
+
+    def destroy_shard(self, position: int) -> None:
+        """Immediately tear down one worker (failure path)."""
+        shard = self.shards[position]
+        self._remember_chaos_count(shard)
+        shard.destroy()
+
+    def respawn_shard(
+        self,
+        position: int,
+        *,
+        degraded: bool = False,
+        startup_deadline: float | None = None,
+    ) -> None:
+        """Replace a destroyed worker with a fresh one rebuilt from the
+        coordinator's authoritative state (belief mirror + answer-source
+        mirror).  ``degraded=True`` permanently fails the slice over to
+        an unsupervised :class:`InlineShard`."""
+        shard_id = self.shard_ids[position]
+        if degraded:
+            self._degraded.add(shard_id)
+        shard = self._build_transport(
+            position, self._rebuild_source(position)
+        )
+        shard.ensure_ready(startup_deadline)
+        self.shards[position] = shard
+
+    def merge_shards(
+        self,
+        target: int,
+        source: int,
+        *,
+        startup_deadline: float | None = None,
+    ) -> int:
+        """Fold shard ``source``'s groups into shard ``target``
+        (rebalance of a degraded slice onto a survivor).  Both workers
+        are destroyed and the target respawned over the merged groups;
+        only safe when nothing is staged or in flight.  Returns the
+        target's position after the removal."""
+        if target == source:
+            raise ValueError("cannot merge a shard into itself")
+        merged_groups = tuple(
+            sorted(self.partition[target] + self.partition[source])
+        )
+        merged_mirror = None
+        if self._source_mirrors is not None:
+            merged_mirror = self._merge_mirrors(
+                self._source_mirrors[target],
+                self._source_mirrors[source],
+                self._initial_source_state,
+            )
+        self.destroy_shard(target)
+        self.destroy_shard(source)
+        removed_id = self.shard_ids[source]
+        del self.partition[source]
+        del self.shards[source]
+        del self.shard_ids[source]
+        if self._source_mirrors is not None:
+            del self._source_mirrors[source]
+        self._degraded.discard(removed_id)
+        self._chaos_counts.pop(removed_id, None)
+        if source < target:
+            target -= 1
+        self.partition[target] = merged_groups
+        if merged_mirror is not None:
+            self._source_mirrors[target] = merged_mirror
+        self.jobs = len(self.partition)
+        self.respawn_shard(target, startup_deadline=startup_deadline)
+        return target
+
+    @staticmethod
+    def _merge_mirrors(first: dict, second: dict, initial: dict | None) -> dict:
+        """Merge two per-shard answer-source mirrors.
+
+        Each fact is owned by exactly one shard, so only its owner's
+        mirror advanced its ask count past the (shared) initial state —
+        the per-fact max is the merged count.  ``answers_served``
+        started at the initial value in both replicas, so the merged
+        total adds the two deltas onto it once.
+        """
+        counts = {
+            key: int(value)
+            for key, value in first.get("ask_counts", {}).items()
+        }
+        for key, value in second.get("ask_counts", {}).items():
+            counts[key] = max(counts.get(key, 0), int(value))
+        initial_served = int((initial or {}).get("answers_served", 0))
+        served = (
+            int(first.get("answers_served", 0))
+            + int(second.get("answers_served", 0))
+            - initial_served
+        )
+        return {"ask_counts": counts, "answers_served": served}
+
+    # ------------------------------------------------------------------
+    # authoritative coordinator-side state
+    # ------------------------------------------------------------------
+
+    def mirror_group(self, global_index: int, state: BeliefState) -> None:
+        """Record a committed group state in the belief mirror (called
+        by the update engine *before* ``commit`` is broadcast, so a
+        worker rebuilt during the commit already reflects it)."""
+        self._belief.replace_group(global_index, state)
+
+    def _owned_fact_ids(self, position: int) -> set[int]:
+        owned: set[int] = set()
+        for index in self.partition[position]:
+            owned.update(self._belief[index].facts.fact_ids)
+        return owned
+
+    def advance_source_mirror(
+        self, position: int, query_fact_ids, reply: dict
+    ) -> None:
+        """Advance the position's answer-source mirror as its consumed
+        ``collect`` reply advanced the worker's replica."""
+        if self._source_mirrors is None:
+            return
+        owned = self._owned_fact_ids(position)
+        asked = [
+            fact_id for fact_id in query_fact_ids if fact_id in owned
+        ]
+        if not asked:
+            return
+        from .sources import KeyedExpertPanel
+
+        served = sum(len(answers) for answers in reply.values())
+        self._source_mirrors[position] = KeyedExpertPanel.advance_state(
+            self._source_mirrors[position], asked, served
+        )
+
+    def layout(self) -> dict:
+        """The current shard layout, as journaled on failover (resume
+        rebuilds the same pool shape from it)."""
+        return {
+            "partition": tuple(
+                tuple(shard) for shard in self.partition
+            ),
+            "degraded": tuple(
+                self.shard_ids[position] in self._degraded
+                for position in range(len(self.partition))
+            ),
+        }
+
+    def is_degraded(self, position: int) -> bool:
+        return self.shard_ids[position] in self._degraded
+
+    # ------------------------------------------------------------------
+    # supervised dispatch
     # ------------------------------------------------------------------
 
     @property
     def experts(self) -> Crowd:
         return self._experts
 
+    @property
+    def policy(self):
+        return self._policy
+
     def broadcast(self, command: str, *payload) -> list:
         """Send one command to every shard; gather replies in shard
         order.  Process shards overlap their work (all commands are
-        submitted before any reply is awaited)."""
-        for shard in self.shards:
-            shard.submit(command, *payload)
-        return [shard.result() for shard in self.shards]
+        submitted before any reply is awaited); the supervisor enforces
+        the deadline and repairs failures along the way."""
+        return self.supervisor.broadcast(command, *payload)
+
+    def multicast(self, positions, command: str, *payload) -> list:
+        """Supervised dispatch to a subset of shard positions."""
+        return self.supervisor.multicast(positions, command, *payload)
 
     def ensure_experts(self, experts: Crowd) -> None:
         """Propagate a panel change to every shard (idempotent)."""
@@ -485,17 +898,40 @@ class ShardPool:
         self.broadcast("replace_experts", experts)
 
     def sync_groups(self, belief: FactoredBelief) -> None:
-        """Overwrite every shard's groups from ``belief`` (resume)."""
-        for shard, indices in zip(self.shards, self.partition):
-            shard.submit(
-                "sync_groups",
-                {index: belief[index].probabilities for index in indices},
-            )
-        for shard in self.shards:
-            shard.result()
+        """Overwrite every shard's groups from ``belief`` (resume).
+
+        The belief mirror is brought current first, so a worker that
+        fails during the sync is rebuilt at the synced state.
+        """
+        if belief is not self._belief:
+            for index in range(len(belief)):
+                self._belief.replace_group(index, belief[index])
+        payloads = [
+            {index: belief[index].probabilities for index in indices}
+            for indices in self.partition
+        ]
+        self.supervisor.scatter("sync_groups", payloads)
 
     def stats(self) -> list[dict]:
         return self.broadcast("stats")
+
+    # ------------------------------------------------------------------
+    # supervision surface
+    # ------------------------------------------------------------------
+
+    def attach_journal(self, path) -> None:
+        """Journal every supervision incident as a ``shard_incident``
+        record (resume replays the journaled failover layout)."""
+        self.supervisor.attach_journal(path)
+
+    def supervisor_stats(self) -> dict:
+        return self.supervisor.stats.as_dict()
+
+    @property
+    def supervisor_incidents(self) -> list:
+        return self.supervisor.incidents
+
+    # ------------------------------------------------------------------
 
     def close(self) -> None:
         if self._closed:

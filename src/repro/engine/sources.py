@@ -129,6 +129,30 @@ class KeyedExpertPanel:
         }
         self.answers_served = int(state.get("answers_served", 0))
 
+    @staticmethod
+    def advance_state(
+        state: dict, asked_fact_ids: Sequence[int], answers_served: int
+    ) -> dict:
+        """Return ``state`` advanced as one :meth:`collect` call over
+        ``asked_fact_ids`` would advance it.
+
+        The shard supervisor keeps a coordinator-side mirror of each
+        shard's panel state and advances it with this helper only when
+        a ``collect`` reply is *consumed*; a worker rebuilt from the
+        mirror then re-draws byte-identical answers for any reply that
+        was lost in flight.
+        """
+        counts = dict(state.get("ask_counts", {}))
+        for fact_id in asked_fact_ids:
+            key = str(int(fact_id))
+            counts[key] = int(counts.get(key, 0)) + 1
+        return {
+            "ask_counts": counts,
+            "answers_served": (
+                int(state.get("answers_served", 0)) + int(answers_served)
+            ),
+        }
+
 
 class ShardedAnswerSource:
     """Collects a query set via the pool's shard-local panel replicas.

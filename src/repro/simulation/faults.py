@@ -31,6 +31,33 @@ class AnswerCollectionTimeout(RuntimeError):
     """The platform failed to collect any answers in time (transient)."""
 
 
+def parse_rate_spec(spec: str, allowed: Sequence[str]) -> dict[str, float]:
+    """Parse a ``name=rate,name=rate`` CLI spec into a rate dict.
+
+    Shared by :meth:`FaultModel.parse` (crowd faults) and
+    :meth:`repro.engine.chaos.ChaosPlan.parse` (transport faults), so
+    both CLI surfaces speak the same mini-language.
+    """
+    allowed_set = set(allowed)
+    rates: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, value = part.partition("=")
+        name = name.strip()
+        if name not in allowed_set:
+            raise ValueError(
+                f"unknown fault {name!r}; expected one of "
+                f"{sorted(allowed_set)}"
+            )
+        try:
+            rates[name] = float(value)
+        except ValueError:
+            raise ValueError(f"bad rate for {name!r}: {value!r}") from None
+    return rates
+
+
 @dataclass(frozen=True)
 class FaultModel:
     """Seeded configuration of crowd failure rates.
@@ -96,25 +123,9 @@ class FaultModel:
 
         Example: ``"no_show=0.1,spam=0.05,timeout=0.2"``.
         """
-        rates: dict[str, float] = {}
-        allowed = {"no_show", "timeout", "spam", "adversarial", "partial"}
-        for part in spec.split(","):
-            part = part.strip()
-            if not part:
-                continue
-            name, _, value = part.partition("=")
-            name = name.strip()
-            if name not in allowed:
-                raise ValueError(
-                    f"unknown fault {name!r}; expected one of "
-                    f"{sorted(allowed)}"
-                )
-            try:
-                rates[name] = float(value)
-            except ValueError:
-                raise ValueError(
-                    f"bad rate for {name!r}: {value!r}"
-                ) from None
+        rates = parse_rate_spec(
+            spec, ("no_show", "timeout", "spam", "adversarial", "partial")
+        )
         return cls(seed=seed, **rates)
 
 

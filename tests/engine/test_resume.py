@@ -32,6 +32,16 @@ from repro.simulation import (
 SRC = Path(__file__).resolve().parents[2] / "src"
 
 
+@pytest.fixture(autouse=True)
+def _no_env_chaos(monkeypatch):
+    """These tests compare journal *bytes*; environment-injected chaos
+    (the CI engine-chaos matrix) adds nondeterministically-placed
+    ``shard_incident`` lines.  Chaos-under-journaling equivalence is
+    pinned separately in test_supervisor.py, which strips them."""
+    for name in ("REPRO_CHAOS", "REPRO_CHAOS_SEED", "REPRO_SHARD_DEADLINE"):
+        monkeypatch.delenv(name, raising=False)
+
+
 def _dataset():
     return make_synthetic_dataset(
         num_groups=6,

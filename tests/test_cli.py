@@ -162,6 +162,49 @@ class TestSession:
         assert "budget" in capsys.readouterr().out
 
 
+class TestSupervisionFlags:
+    def test_session_accepts_supervision_flags(self, data_dir, capsys):
+        code = main([
+            "session", "--data", str(data_dir), "--budget", "12",
+            "--group-size", "4", "--theta", "0.85", "--jobs", "2",
+            "--shard-deadline", "30", "--max-shard-restarts", "1",
+        ])
+        assert code == 0
+        # A clean run has no interventions: no supervisor line.
+        assert "supervisor:" not in capsys.readouterr().out
+
+    def test_no_failover_aborts_under_injected_kills(
+        self, data_dir, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", "kill=1.0")
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "0")
+        with pytest.raises(Exception, match="failover is disabled"):
+            main([
+                "session", "--data", str(data_dir), "--budget", "12",
+                "--group-size", "4", "--theta", "0.85", "--jobs", "2",
+                "--max-shard-restarts", "0", "--no-failover",
+            ])
+
+    def test_supervisor_counters_print_after_recovery(
+        self, data_dir, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", "kill=0.1")
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "1")
+        arguments = [
+            "session", "--data", str(data_dir), "--budget", "20",
+            "--group-size", "4", "--theta", "0.85", "--rows", "4",
+        ]
+        assert main(arguments) == 0
+        serial = capsys.readouterr().out
+        assert main(arguments + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert "supervisor:" in parallel
+        supervisor_line, trajectory = parallel.split("\n", 1)
+        assert "restarts=" in supervisor_line or "failovers=" in supervisor_line
+        # Recovery never changes the printed trajectory.
+        assert trajectory == serial
+
+
 class TestReproduce:
     def test_single_small_experiment(self, tmp_path, capsys):
         code = main([
