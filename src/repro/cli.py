@@ -11,6 +11,10 @@ aggregate
 session
     Run the full HC pipeline on a dataset directory and print the
     budget/accuracy/quality trajectory.
+serve
+    Host many campaigns at once on the multi-tenant campaign service
+    (shared budget pool, admission control, weighted-fair scheduling)
+    and print the per-tenant service report.
 reproduce
     Regenerate the paper's figures and Table III (delegates to
     :mod:`repro.experiments.reproduce`).
@@ -106,7 +110,11 @@ def _cmd_session(args: argparse.Namespace) -> int:
         )
         return 2
     selector = make_selector(args.selector, seed=args.seed)
-    if args.resume:
+    if args.attach:
+        result = _attach_session(args, dataset, faults)
+        if result is None:
+            return 2
+    elif args.resume:
         result = _resume_session(args, dataset, faults, selector, jobs=jobs)
     else:
         config = SessionConfig(
@@ -237,6 +245,137 @@ def _resume_session(
     return session.run(answer_source)
 
 
+def _attach_session(args: argparse.Namespace, dataset, faults):
+    """Re-admit a detached service campaign and drive it to completion.
+
+    Unlike ``--resume`` (which rebuilds the session in-process), the
+    journal goes back through a one-shot :class:`CampaignService`
+    attach: identity comes from the journal's ``tenant`` record, the
+    pre-crash spending is committed to the fresh pool, and the rest of
+    the campaign runs under service scheduling — the same path a
+    long-lived deployment takes after a restart.
+    """
+    from .core.serialization import read_journal
+    from .service import CampaignService, CampaignSpec
+
+    records = read_journal(args.attach)
+    header = records[0]
+    identities = [
+        record for record in records if record.get("kind") == "tenant"
+    ]
+    if not identities:
+        print(
+            f"error: {args.attach} has no tenant record — it is not a "
+            "service journal; use --resume instead",
+            file=sys.stderr,
+        )
+        return None
+    identity = identities[-1]
+    config = SessionConfig(
+        theta=args.theta,
+        k=int(header["k"]),
+        budget=float(header["budget_total"]),
+        initializer=args.initializer,
+        seed=args.seed,
+        faults=faults,
+        journal_path=args.attach,
+    )
+    spec = CampaignSpec(
+        tenant=identity["tenant"],
+        name=identity["name"],
+        dataset=dataset,
+        config=config,
+        jobs=args.jobs or 1,
+        priority=int(identity.get("priority", 0)),
+        weight=identity.get("weight"),
+    )
+    with CampaignService(float(header["budget_total"])) as service:
+        handle = service.attach(spec)
+        service.run_until_idle()
+        print(
+            f"attached {handle.campaign_id}: "
+            f"{handle.rounds} rounds, spent {handle.spent:.0f} "
+            f"({handle.status.value})"
+        )
+        return service.result(handle)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run a fleet of campaigns through the multi-tenant service."""
+    from .service import (
+        CampaignService,
+        CampaignSpec,
+        ServiceError,
+        ServicePolicy,
+        TenantQuota,
+    )
+
+    dataset = load_dataset(
+        Path(args.data) / "answer.csv",
+        Path(args.data) / "truth.csv",
+        group_size=args.group_size,
+    )
+    budget_pool = (
+        args.budget_pool
+        if args.budget_pool is not None
+        else args.budget * args.campaigns
+    )
+    policy = ServicePolicy(
+        slots=args.slots,
+        queue_limit=args.queue_limit,
+        round_deadline=args.round_deadline,
+        max_strikes=args.max_strikes,
+        supervision=_shard_policy(args),
+    )
+    default_quota = TenantQuota(
+        max_active=args.quota_active, max_budget=args.quota_budget
+    )
+    with CampaignService(
+        budget_pool,
+        policy=policy,
+        default_quota=default_quota,
+        journal_root=args.journal_root,
+    ) as service:
+        for index in range(args.campaigns):
+            config = SessionConfig(
+                theta=args.theta,
+                k=args.k,
+                budget=args.budget,
+                initializer=args.initializer,
+                seed=args.seed + index,
+            )
+            spec = CampaignSpec(
+                tenant=f"tenant-{index % args.tenants}",
+                name=f"campaign-{index}",
+                dataset=dataset,
+                config=config,
+                jobs=args.jobs,
+            )
+            try:
+                service.submit(spec)
+            except ServiceError as error:
+                print(f"rejected {spec.campaign_id}: {error}")
+        rounds = service.run_until_idle()
+        stats = service.stats()
+        print(f"served {rounds} rounds, {stats['completed']} campaigns "
+              f"completed")
+        print(f"{'campaign':<28}  {'status':<12} {'rounds':>6} "
+              f"{'spent':>8} {'strikes':>7}")
+        for campaign_id, entry in stats["campaigns"].items():
+            print(f"{campaign_id:<28}  {entry['status']:<12} "
+                  f"{entry['rounds']:>6} {entry['spent']:>8.0f} "
+                  f"{entry['strikes']:>7}")
+        admission = stats["admission"]
+        print("admission: " + ", ".join(
+            f"{name}={count}" for name, count in admission.items()
+        ))
+        ledger = stats["ledger"]
+        print(f"ledger: committed {ledger['committed']:.0f} of "
+              f"{ledger['total']:.0f}, "
+              f"{ledger['open_reservations']} reservations open")
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     import os
 
@@ -344,6 +483,11 @@ def build_parser() -> argparse.ArgumentParser:
              "starting fresh",
     )
     session.add_argument(
+        "--attach", default=None, metavar="PATH",
+        help="re-admit a detached campaign-service journal (written by "
+             "'repro serve') and drive it to completion",
+    )
+    session.add_argument(
         "--trust", action="store_true",
         help="enable online trust supervision (accuracy posteriors, "
              "gold probes, per-worker circuit breakers)",
@@ -359,6 +503,70 @@ def build_parser() -> argparse.ArgumentParser:
              "trips (with --trust)",
     )
     session.set_defaults(handler=_cmd_session)
+
+    serve = commands.add_parser(
+        "serve",
+        help="host many campaigns on the multi-tenant campaign service",
+    )
+    serve.add_argument("--data", default="data")
+    serve.add_argument("--group-size", type=int, default=5)
+    serve.add_argument("--theta", type=float, default=0.9)
+    serve.add_argument("--k", type=int, default=1)
+    serve.add_argument("--initializer", default="EBCC")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--campaigns", type=int, default=4, metavar="N",
+        help="number of campaigns to submit (seeds seed..seed+N-1)",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=2, metavar="N",
+        help="spread the campaigns round-robin over N tenants",
+    )
+    serve.add_argument(
+        "--budget", type=float, default=200,
+        help="checking budget of each campaign",
+    )
+    serve.add_argument(
+        "--budget-pool", type=float, default=None,
+        help="shared ledger total backing all deposits "
+             "(default: budget * campaigns)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard workers per campaign pool",
+    )
+    serve.add_argument(
+        "--slots", type=int, default=4,
+        help="campaigns with a live shard pool at once",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="bound on the pending admission queue",
+    )
+    serve.add_argument(
+        "--round-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per campaign round before it costs a "
+             "strike (default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-strikes", type=int, default=3,
+        help="fault strikes before a campaign is quarantined",
+    )
+    serve.add_argument(
+        "--quota-active", type=int, default=None, metavar="N",
+        help="per-tenant cap on concurrently admitted campaigns",
+    )
+    serve.add_argument(
+        "--quota-budget", type=float, default=None,
+        help="per-tenant cap on summed admitted campaign budgets",
+    )
+    serve.add_argument(
+        "--journal-root", default="service-journals",
+        help="directory for campaign journals "
+             "(journal_root/tenant/name.jsonl)",
+    )
+    _add_supervision_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     reproduce = commands.add_parser(
         "reproduce", help="regenerate the paper's figures and tables"

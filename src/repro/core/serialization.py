@@ -36,12 +36,15 @@ from .workers import Crowd, Worker
 #: record (shard layout + jobs) and durable (fsynced) journal appends;
 #: version 5 adds ``{"kind": "shard_incident"}`` journal records (shard
 #: supervision audit trail + failover layout for resume) and the
-#: supervision settings on the engine record.
+#: supervision settings on the engine record;
+#: version 6 adds the campaign service's ``{"kind": "tenant"}`` journal
+#: record (tenant id, campaign name, priority, scheduling weight) so a
+#: detached campaign can be re-admitted under the same identity.
 #: Older payloads are still read transparently.
-FORMAT_VERSION = 5
+FORMAT_VERSION = 6
 
 #: Versions this build can read.
-SUPPORTED_VERSIONS = frozenset({1, 2, 3, 4, 5})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3, 4, 5, 6})
 
 
 class SerializationError(ValueError):

@@ -219,6 +219,32 @@ class ChaosTransport:
                     return False
         return self._inner.poll(timeout)
 
+    def wait_reply(self, timeout: float, tick: float | None = None) -> bool:
+        """Event-driven wait with the injected fault honoured.
+
+        A hung command has no event to wait on, so the wait degrades to
+        a sleep capped at ``tick`` (the supervisor's poll interval) —
+        liveness and deadline are re-checked at that granularity, same
+        as the pre-wait poll loop.  A delayed reply sleeps out the
+        remaining hold-back, then waits on the real transport for
+        whatever timeout is left.
+        """
+        if self._action == "hang":
+            wait_for = timeout if tick is None else min(timeout, tick)
+            if wait_for > 0:
+                time.sleep(wait_for)
+            return False
+        if self._action == "delay":
+            remaining = self._delay_until - time.monotonic()
+            if remaining > 0:
+                wait_for = min(timeout, remaining)
+                if wait_for > 0:
+                    time.sleep(wait_for)
+                if self._delay_until > time.monotonic():
+                    return False
+                timeout -= wait_for
+        return self._inner.wait_reply(timeout, tick)
+
     def take_reply(self):
         reply = self._inner.take_reply()
         if self._action == "corrupt":

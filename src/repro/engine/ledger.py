@@ -159,6 +159,23 @@ class BudgetLedger:
                 )
             self._committed += float(amount)
 
+    def audit(self) -> list[dict]:
+        """Describe every open reservation (leak hunting).
+
+        A campaign that exits cleanly must leave the ledger with
+        ``open_reservations == 0``; anything this returns after a
+        completed campaign is a leaked hold on the shared pool.  Each
+        entry carries the ticket id, the reserved amount, and the label
+        the reserver attached.
+        """
+        with self._lock:
+            return [
+                {"ticket": ticket, "amount": amount, "label": label}
+                for ticket, (amount, label) in sorted(
+                    self._reservations.items()
+                )
+            ]
+
     def as_dict(self) -> dict:
         """JSON-compatible snapshot for diagnostics and benchmarks."""
         with self._lock:
@@ -263,3 +280,22 @@ class LedgerBudget(CheckingBudget):
             # reservation died with the crashed process.
             self.ledger.commit_direct(spent_delta)
         self._ledger_committed += spent_delta
+
+    # -- teardown -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release any still-open reservation (abort teardown).
+
+        A campaign that dies between ``reserve_pending`` and the charge
+        would otherwise leave its worst-case round cost held on the
+        shared ledger forever.  Idempotent; an alias of
+        :meth:`release_pending` under the teardown name so campaign
+        runtimes can close the tracker unconditionally.
+        """
+        self.release_pending()
+
+    def __enter__(self) -> "LedgerBudget":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

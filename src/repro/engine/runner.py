@@ -23,6 +23,7 @@ layout — resuming a killed parallel campaign byte-identically.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
@@ -81,6 +82,10 @@ class ParallelCampaignRunner:
     chaos:
         Optional :class:`~repro.engine.chaos.ChaosPlan` injecting
         transport faults (tests / CI).
+    extra_journal_records:
+        Extra metadata records journaled *before* the engine record
+        (each needs a ``"kind"`` field).  The campaign service stores
+        its ``{"kind": "tenant"}`` identity record here.
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class ParallelCampaignRunner:
         start_method: str = "spawn",
         policy: SupervisionPolicy | None = None,
         chaos=None,
+        extra_journal_records: Sequence[dict] = (),
     ):
         self._dataset = dataset
         self._config = config or SessionConfig()
@@ -109,6 +115,7 @@ class ParallelCampaignRunner:
         self._start_method = start_method
         self._policy = policy
         self._chaos = chaos
+        self._extra_journal_records = list(extra_journal_records)
         #: Set by :meth:`prepare`: the campaign's budget ledger (inspect
         #: for reservation/commit accounting) and the shard count used.
         self.ledger: BudgetLedger | None = None
@@ -220,8 +227,22 @@ class ParallelCampaignRunner:
             "session": session,
             "source": source,
             "resilient": resilient,
+            "tracker": tracker,
         }
         return self
+
+    def launch(self) -> dict:
+        """Hand the prepared campaign parts to an external driver.
+
+        The campaign service steps sessions round-by-round itself, so it
+        needs the pool/session/source/tracker rather than a blocking
+        :meth:`run`.  The caller takes ownership: it must close the pool
+        and the tracker (releasing any orphaned ledger reservation) when
+        the campaign ends, however it ends.
+        """
+        self.prepare()
+        prepared, self._prepared = self._prepared, None
+        return prepared
 
     def run(self) -> RunResult:
         """Execute the campaign; returns the serial-identical result."""
@@ -240,6 +261,10 @@ class ParallelCampaignRunner:
                     belief=session.belief, history=list(session.history)
                 )
             finally:
+                # An abort between reserve_pending and the charge must
+                # not leave its worst-case round cost held on a shared
+                # ledger forever.
+                prepared["tracker"].close()
                 self.supervisor_stats = pool.supervisor_stats()
                 self.supervisor_incidents = list(pool.supervisor_incidents)
 
@@ -286,7 +311,7 @@ class ParallelCampaignRunner:
             seed=config.seed,
             update_engine=engine,
             journal_metadata=(
-                self._engine_record()
+                [*self._extra_journal_records, self._engine_record()]
                 if config.journal_path is not None
                 else None
             ),

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import copy
 import multiprocessing
+from multiprocessing import connection as mp_connection
 from typing import Sequence
 
 from ..core.answers import AnswerFamily, PartialAnswerFamily
@@ -317,6 +318,13 @@ class InlineShard:
     def poll(self, timeout: float = 0.0) -> bool:
         return self._pending is not None and not self._dead
 
+    def wait_reply(
+        self, timeout: float, tick: float | None = None
+    ) -> bool:
+        """Inline replies are ready the moment they are submitted, so
+        waiting never blocks (death is reported immediately too)."""
+        return self.poll()
+
     def take_reply(self):
         if self._dead:
             raise EOFError("inline shard is dead")
@@ -456,6 +464,32 @@ class ProcessShard:
 
     def poll(self, timeout: float = 0.0) -> bool:
         return self._parent.poll(timeout)
+
+    def wait_reply(
+        self, timeout: float, tick: float | None = None
+    ) -> bool:
+        """Block until a reply is readable or the worker dies, up to
+        ``timeout`` seconds; returns whether a reply is readable.
+
+        Uses :func:`multiprocessing.connection.wait` over the reply
+        pipe *and* the process sentinel, so an idle coordinator wakes
+        the instant either fires instead of sleeping fixed poll ticks —
+        and a worker death interrupts the wait immediately rather than
+        being noticed at the next deadline check.  (``tick`` is only
+        meaningful for transports that must sleep-poll; a real pipe
+        wait needs no granularity.)
+        """
+        if self._parent.poll(0.0):
+            return True
+        if timeout <= 0:
+            return False
+        handles: list = [self._parent]
+        try:
+            handles.append(self._process.sentinel)
+        except ValueError:
+            pass  # process already closed; the pipe wait still works
+        mp_connection.wait(handles, timeout)
+        return self._parent.poll(0.0)
 
     def take_reply(self):
         self._in_flight = False

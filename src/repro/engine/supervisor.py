@@ -367,11 +367,22 @@ class ShardSupervisor:
             shard = self._pool.shards[position]
             reply = _NO_REPLY
             failure = None
+            # Event-driven wait: wake on reply arrival or worker death
+            # (multiprocessing.connection.wait over pipe + sentinel in
+            # ProcessShard.wait_reply) instead of sleeping fixed poll
+            # ticks.  With a deadline the wait is bounded by it; without
+            # one, poll_interval caps each wait so liveness keeps being
+            # re-checked.  Transports that must sleep-poll (a chaos
+            # "hang" has no event) use poll_interval as their tick.
+            if deadline is None:
+                timeout = policy.poll_interval
+            else:
+                timeout = max(0.0, deadline - time.monotonic())
             try:
-                if shard.poll(policy.poll_interval):
+                if self._wait_for_reply(shard, timeout):
                     reply = shard.take_reply()
                 elif not shard.is_alive():
-                    # A reply may have raced in between the poll timing
+                    # A reply may have raced in between the wait timing
                     # out and the liveness check; drain it first.
                     if shard.poll(0.0):
                         reply = shard.take_reply()
@@ -412,6 +423,18 @@ class ShardSupervisor:
                 if policy.deadline is None
                 else time.monotonic() + policy.deadline
             )
+
+    def _wait_for_reply(self, shard, timeout: float) -> bool:
+        """Wait up to ``timeout`` for a readable reply on one shard.
+
+        Prefers the transport's event-driven ``wait_reply`` (pipe +
+        sentinel); falls back to a plain blocking ``poll`` for
+        transports that predate it.
+        """
+        waiter = getattr(shard, "wait_reply", None)
+        if callable(waiter):
+            return waiter(timeout, self.policy.poll_interval)
+        return shard.poll(timeout)
 
     def _resubmit(self, position, command, payload) -> None:
         while True:

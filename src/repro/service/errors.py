@@ -1,0 +1,54 @@
+"""Error taxonomy of the multi-tenant campaign service.
+
+All service errors derive from :class:`ServiceError` so callers can
+catch the family; the admission-control subset additionally derives
+from the specific condition they report:
+
+* :class:`ServiceSaturatedError` — backpressure.  The bounded admission
+  queue is full of equal-or-higher-priority work, or the shared
+  :class:`~repro.engine.ledger.BudgetLedger` cannot cover the
+  campaign's deposit.  The submission was *rejected*, nothing was
+  admitted, and no ledger state changed.
+* :class:`QuotaExceededError` — the submitting tenant is over one of
+  its own limits (concurrent campaigns, admitted budget), independent
+  of how loaded the service is.
+* :class:`UnknownCampaignError` / :class:`CampaignStateError` — client
+  protocol misuse: addressing a campaign the service does not know, or
+  driving one through an illegal state transition (e.g. detaching a
+  campaign that already completed).
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(RuntimeError):
+    """Base class of every campaign-service error."""
+
+
+class ServiceSaturatedError(ServiceError):
+    """Admission rejected: the service is at capacity.
+
+    ``reason`` distinguishes the saturated resource: ``"queue"`` (the
+    bounded admission queue) or ``"ledger"`` (the shared budget pool
+    cannot cover the deposit).
+    """
+
+    def __init__(self, message: str, *, reason: str = ""):
+        super().__init__(message)
+        self.reason = reason
+
+
+class QuotaExceededError(ServiceError):
+    """Admission rejected: the tenant is over its own quota."""
+
+
+class UnknownCampaignError(ServiceError, KeyError):
+    """The addressed campaign is not registered with the service."""
+
+
+class CampaignStateError(ServiceError):
+    """The campaign cannot make the requested state transition."""
+
+
+class CampaignQuarantinedError(CampaignStateError):
+    """The addressed campaign was quarantined after repeated failures."""

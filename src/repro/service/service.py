@@ -1,0 +1,604 @@
+"""The multi-tenant campaign service.
+
+:class:`CampaignService` multiplexes many simultaneous hierarchical-
+checking campaigns onto one shared budget pool and a bounded set of
+shard-pool slots.  The design keeps three properties that the rest of
+the codebase already guarantees for solo campaigns, and extends them
+across tenants:
+
+**Bit-identity.**  Each campaign runs on its *own* shard pool and its
+own private round-accounting ledger, stepped one round at a time
+(``session.run(source, max_rounds=1)``).  Interleaving campaigns
+therefore cannot perturb any campaign's selections, budget trajectory,
+beliefs, or journal bytes: every campaign's outcome is byte-identical
+to the same campaign run solo through
+:func:`~repro.engine.runner.run_parallel_hc_session`.  The shared
+:class:`~repro.engine.ledger.BudgetLedger` holds only *deposits* —
+whole-campaign reservations — so cross-tenant accounting never touches
+per-round arithmetic.
+
+**Backpressure.**  Admission is deposit-based and fail-fast (see
+:mod:`~repro.service.admission`): a submission either secures its full
+remaining budget on the pool, possibly shedding strictly
+lower-priority pending work, or is rejected with
+:class:`~repro.service.errors.ServiceSaturatedError` leaving no state
+behind.
+
+**Fault isolation.**  Chaos plans and supervision policies are
+per-campaign, so one tenant's injected faults live entirely inside
+that tenant's pool.  A round that raises (e.g.
+:class:`~repro.engine.supervisor.ShardFailureError` after the restart
+budget is spent) or overruns the service's round deadline costs the
+campaign a *strike*: its runtime is torn down (pool closed, tracker
+closed so no reservation leaks) and the campaign rebuilds from its
+journal on its next turn.  ``max_strikes`` strikes quarantine it —
+runtime gone, deposit intact — without ever touching another tenant's
+rounds or the shared ledger's commitments.
+
+Detach/reattach rides the same machinery: a detach is a voluntary
+teardown at a round boundary, and an attach (same service or a fresh
+one after a restart) rebuilds pool + session from the journal via
+:func:`~repro.engine.runner.resume_parallel_session`, rewinds the
+answer source from the checkpointed source state, and continues
+byte-identically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.serialization import SerializationError, read_journal
+from ..engine.ledger import BudgetLedger
+from ..engine.runner import ParallelCampaignRunner, resume_parallel_session
+from ..engine.supervisor import SupervisionPolicy
+from ..simulation.faults import FaultyExpertPanel
+from .admission import AdmissionController, TenantQuota
+from .campaign import (
+    CampaignHandle,
+    CampaignRecord,
+    CampaignSpec,
+    CampaignStatus,
+    resolve_config,
+)
+from .errors import (
+    CampaignQuarantinedError,
+    CampaignStateError,
+    ServiceError,
+    UnknownCampaignError,
+)
+from .scheduler import WeightedFairScheduler
+
+
+def _completed_rounds(session) -> int:
+    """Checking rounds completed so far (``history`` also holds the
+    initialization record, which is not a served round)."""
+    return max(0, len(session.history) - 1)
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Service-wide knobs (per-campaign overrides live on the spec).
+
+    Parameters
+    ----------
+    slots:
+        Maximum campaigns with a live runtime (shard pool) at once;
+        the rest wait in the admission queue.
+    queue_limit:
+        Bound on the pending queue; beyond it, admission sheds or
+        rejects.
+    round_deadline:
+        Wall-clock budget for one campaign round, in seconds.  An
+        overrun costs a strike (the round itself, being journaled, is
+        not lost).  ``None`` disables the check.
+    max_strikes:
+        Fault strikes before a campaign is quarantined.
+    supervision:
+        Default :class:`~repro.engine.supervisor.SupervisionPolicy`
+        for campaign pools (a spec's ``policy`` wins).
+    """
+
+    slots: int = 4
+    queue_limit: int = 16
+    round_deadline: float | None = None
+    max_strikes: int = 3
+    supervision: SupervisionPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError("slots must be at least 1")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        if self.round_deadline is not None and self.round_deadline <= 0:
+            raise ValueError("round_deadline must be positive")
+        if self.max_strikes < 1:
+            raise ValueError("max_strikes must be at least 1")
+
+
+class CampaignService:
+    """A long-lived host for many tenants' campaigns.
+
+    Parameters
+    ----------
+    budget_pool:
+        Total budget of the shared ledger backing every deposit.
+        Ignored when an existing ``ledger`` is supplied.
+    policy:
+        :class:`ServicePolicy`; defaults apply when omitted.
+    quotas, default_quota:
+        Per-tenant :class:`~repro.service.admission.TenantQuota`
+        overrides and the fallback quota.
+    journal_root:
+        Directory under which campaigns without an explicit
+        ``config.journal_path`` journal (``journal_root/tenant/name
+        .jsonl``).
+    ledger:
+        Optional pre-existing shared ledger (e.g. one also backing
+        campaigns outside the service).
+
+    The service is synchronous and single-threaded by design: callers
+    drive it with :meth:`step` / :meth:`run_until_idle`, which makes
+    every schedule — and therefore every test — deterministic.
+    """
+
+    def __init__(
+        self,
+        budget_pool: float | None = None,
+        *,
+        policy: ServicePolicy | None = None,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
+        journal_root: str | Path | None = None,
+        ledger: BudgetLedger | None = None,
+    ):
+        if ledger is None:
+            if budget_pool is None:
+                raise ValueError("pass budget_pool or an existing ledger")
+            ledger = BudgetLedger(float(budget_pool))
+        self.ledger = ledger
+        self.policy = policy or ServicePolicy()
+        self._admission = AdmissionController(
+            ledger,
+            queue_limit=self.policy.queue_limit,
+            quotas=quotas,
+            default_quota=default_quota,
+        )
+        self._journal_root = (
+            Path(journal_root) if journal_root is not None else None
+        )
+        self._records: dict[str, CampaignRecord] = {}
+        self._pending: list[CampaignRecord] = []
+        self._active: list[CampaignRecord] = []
+        self._scheduler = WeightedFairScheduler()
+        self._closed = False
+        self._steps = 0
+        self._completed = 0
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: CampaignSpec) -> CampaignHandle:
+        """Admit a fresh campaign; raises before any state changes when
+        the tenant is over quota or the service is saturated."""
+        self._ensure_open()
+        campaign_id = spec.campaign_id
+        existing = self._records.get(campaign_id)
+        if existing is not None and existing.status is not CampaignStatus.SHED:
+            raise CampaignStateError(
+                f"campaign {campaign_id!r} is already registered "
+                f"({existing.status.value})"
+            )
+        config, journal_path = resolve_config(spec, self._journal_root)
+        if journal_path.exists():
+            raise CampaignStateError(
+                f"journal {journal_path} already exists; use attach() to "
+                "re-admit an existing campaign"
+            )
+        weight = (
+            float(spec.weight)
+            if spec.weight is not None
+            else self._admission.quota_for(spec.tenant).weight
+        )
+        record = CampaignRecord(
+            spec=spec,
+            config=config,
+            journal_path=journal_path,
+            weight=weight,
+        )
+        self._shed(self._admission.admit(record, self._pending))
+        self._records[campaign_id] = record
+        self._pending.append(record)
+        return CampaignHandle(record)
+
+    def attach(self, spec: CampaignSpec) -> CampaignHandle:
+        """(Re-)admit a campaign whose journal already exists.
+
+        Covers both flavors of reattachment: a campaign this service
+        instance detached or quarantined (deposit still open — it just
+        rejoins the queue), and a journal from *before a service
+        restart* (the spec re-describes it; spending already on the
+        journal is committed to the fresh pool and only the remainder
+        is deposited).
+        """
+        self._ensure_open()
+        campaign_id = spec.campaign_id
+        existing = self._records.get(campaign_id)
+        if existing is not None:
+            if existing.status not in (
+                CampaignStatus.DETACHED,
+                CampaignStatus.QUARANTINED,
+            ):
+                raise CampaignStateError(
+                    f"campaign {campaign_id!r} is {existing.status.value}; "
+                    "only detached or quarantined campaigns can reattach"
+                )
+            # Adopt the caller's fresh spec (it may carry a repaired
+            # source factory or a new chaos/supervision setting) but
+            # keep the admitted identity: resolved config, journal,
+            # deposit and base_spent all stay.
+            existing.spec = spec
+            if spec.weight is not None:
+                existing.weight = float(spec.weight)
+            existing.strikes = 0
+            existing.error = None
+            existing.status = CampaignStatus.PENDING
+            self._pending.append(existing)
+            return CampaignHandle(existing)
+        config, journal_path = resolve_config(spec, self._journal_root)
+        if not journal_path.exists():
+            raise UnknownCampaignError(
+                f"no journal at {journal_path} to attach"
+            )
+        base_spent, journaled = self._read_attach_state(journal_path)
+        if journaled is not None and (
+            journaled.get("tenant") != spec.tenant
+            or journaled.get("name") != spec.name
+        ):
+            raise CampaignStateError(
+                f"journal {journal_path} belongs to "
+                f"{journaled.get('tenant')}/{journaled.get('name')}, "
+                f"not {campaign_id}"
+            )
+        weight = (
+            float(spec.weight)
+            if spec.weight is not None
+            else float(
+                (journaled or {}).get(
+                    "weight", self._admission.quota_for(spec.tenant).weight
+                )
+            )
+        )
+        record = CampaignRecord(
+            spec=spec,
+            config=config,
+            journal_path=journal_path,
+            weight=weight,
+            base_spent=base_spent,
+            launched=True,
+        )
+        self._shed(self._admission.admit(record, self._pending))
+        self._records[campaign_id] = record
+        self._pending.append(record)
+        return CampaignHandle(record)
+
+    def detach(self, campaign: "CampaignHandle | str") -> None:
+        """Release a campaign's runtime at the current round boundary.
+
+        The deposit and the journal stay; :meth:`attach` (here or on a
+        future service instance) continues the campaign
+        byte-identically.
+        """
+        self._ensure_open()
+        record = self._resolve(campaign)
+        if record.status is CampaignStatus.ACTIVE:
+            self._teardown_runtime(record)
+            self._scheduler.remove(record.campaign_id)
+            self._active.remove(record)
+        elif record.status is CampaignStatus.PENDING:
+            self._pending.remove(record)
+        else:
+            raise CampaignStateError(
+                f"campaign {record.campaign_id!r} is "
+                f"{record.status.value}; nothing to detach"
+            )
+        record.status = CampaignStatus.DETACHED
+
+    # ------------------------------------------------------------------
+    # the step loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> dict | None:
+        """Run one round of the next scheduled campaign.
+
+        Returns a small info dict (campaign id, wall latency, whether
+        it finished, the error if it struck) or ``None`` when nothing
+        is runnable — the service is idle.
+        """
+        self._ensure_open()
+        self._activate_pending()
+        campaign_id = self._scheduler.peek()
+        if campaign_id is None:
+            return None
+        record = self._records[campaign_id]
+        session = record.runtime["session"]
+        source = record.runtime["source"]
+        started = time.perf_counter()
+        error: BaseException | None = None
+        try:
+            session.run(source, max_rounds=1)
+        except Exception as exc:
+            error = exc
+        latency = time.perf_counter() - started
+        record.latencies.append(latency)
+        self._scheduler.charge(campaign_id)
+        self._steps += 1
+        info = {
+            "campaign": campaign_id,
+            "latency": latency,
+            "finished": False,
+            "error": None,
+        }
+        if error is not None:
+            info["error"] = f"{type(error).__name__}: {error}"
+            self._strike(record, info["error"])
+            return info
+        record.rounds = _completed_rounds(session)
+        record.spent = float(session.spent_budget)
+        if session.is_finished:
+            info["finished"] = True
+            self._finalize(record)
+        elif (
+            self.policy.round_deadline is not None
+            and latency > self.policy.round_deadline
+        ):
+            # The round itself committed (and is journaled) — only the
+            # runtime is torn down, so a slow tenant degrades to
+            # rebuild-per-round and eventually quarantine instead of
+            # stalling everyone behind it.
+            info["error"] = (
+                f"round took {latency:.3f}s "
+                f"(deadline {self.policy.round_deadline}s)"
+            )
+            self._strike(record, info["error"])
+        return info
+
+    def run_until_idle(self, max_steps: int | None = None) -> int:
+        """Step until no campaign is runnable; returns rounds run."""
+        steps = 0
+        while max_steps is None or steps < max_steps:
+            if self.step() is None:
+                break
+            steps += 1
+        return steps
+
+    # ------------------------------------------------------------------
+    # lifecycle internals
+    # ------------------------------------------------------------------
+
+    def _activate_pending(self) -> None:
+        while self._pending and len(self._active) < self.policy.slots:
+            record = self._pending.pop(0)
+            try:
+                if record.launched:
+                    self._reattach_runtime(record)
+                else:
+                    self._launch_runtime(record)
+            except Exception as exc:
+                record.error = f"{type(exc).__name__}: {exc}"
+                record.strikes += 1
+                if record.strikes >= self.policy.max_strikes:
+                    record.status = CampaignStatus.QUARANTINED
+                else:
+                    self._pending.append(record)
+                continue
+            record.status = CampaignStatus.ACTIVE
+            self._active.append(record)
+            self._scheduler.add(record.campaign_id, record.weight)
+
+    def _launch_runtime(self, record: CampaignRecord) -> None:
+        spec = record.spec
+        record.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        runner = ParallelCampaignRunner(
+            spec.dataset,
+            record.config,
+            jobs=spec.jobs,
+            answer_source=spec.build_source(),
+            inline=spec.inline,
+            policy=spec.policy or self.policy.supervision,
+            chaos=spec.chaos,
+            extra_journal_records=[record.identity_record()],
+        )
+        prepared = runner.launch()
+        record.runtime = {
+            "pool": prepared["pool"],
+            "session": prepared["session"],
+            "source": prepared["source"],
+            "tracker": prepared["tracker"],
+        }
+        record.launched = True
+
+    def _reattach_runtime(self, record: CampaignRecord) -> None:
+        spec = record.spec
+        session, pool = resume_parallel_session(
+            record.journal_path,
+            inline=spec.inline,
+            retry_policy=record.config.retry_policy,
+            policy=spec.policy or self.policy.supervision,
+            chaos=spec.chaos,
+        )
+        source = spec.build_source()
+        if record.config.faults is not None:
+            source = FaultyExpertPanel(source, record.config.faults)
+        record.runtime = {
+            "pool": pool,
+            "session": session,
+            "source": source,
+            "tracker": session.budget_tracker,
+        }
+        record.rounds = _completed_rounds(session)
+        record.spent = float(session.spent_budget)
+
+    def _teardown_runtime(self, record: CampaignRecord) -> None:
+        runtime, record.runtime = record.runtime, None
+        if runtime is None:
+            return
+        session = runtime["session"]
+        record.rounds = _completed_rounds(session)
+        record.spent = float(session.spent_budget)
+        # Order matters: closing the tracker releases any reservation
+        # the aborted round left open on the campaign's private ledger,
+        # so the audit below only ever reports true leaks.
+        runtime["tracker"].close()
+        runtime["pool"].close()
+        leaks = runtime["tracker"].ledger.audit()
+        record.leaked_reservations += len(leaks)
+
+    def _strike(self, record: CampaignRecord, reason: str) -> None:
+        record.strikes += 1
+        record.error = reason
+        self._teardown_runtime(record)
+        self._scheduler.remove(record.campaign_id)
+        self._active.remove(record)
+        if record.strikes >= self.policy.max_strikes:
+            # Deposit and journal are untouched: an operator can
+            # attach() later; other tenants never notice.
+            record.status = CampaignStatus.QUARANTINED
+        else:
+            record.status = CampaignStatus.PENDING
+            self._pending.append(record)
+
+    def _finalize(self, record: CampaignRecord) -> None:
+        session = record.runtime["session"]
+        record.result = session.result()
+        self._teardown_runtime(record)
+        self._scheduler.remove(record.campaign_id)
+        self._active.remove(record)
+        self._admission.settle(
+            record.campaign_id, record.spent - record.base_spent
+        )
+        record.status = CampaignStatus.COMPLETED
+        self._completed += 1
+
+    def _shed(self, victims: list[CampaignRecord]) -> None:
+        for victim in victims:
+            self._pending.remove(victim)
+            victim.status = CampaignStatus.SHED
+
+    # ------------------------------------------------------------------
+    # introspection / teardown
+    # ------------------------------------------------------------------
+
+    def handle(self, campaign_id: str) -> CampaignHandle:
+        return CampaignHandle(self._resolve(campaign_id))
+
+    def status(self, campaign: "CampaignHandle | str") -> CampaignStatus:
+        return self._resolve(campaign).status
+
+    def result(self, campaign: "CampaignHandle | str"):
+        record = self._resolve(campaign)
+        if record.status is CampaignStatus.QUARANTINED:
+            raise CampaignQuarantinedError(
+                f"campaign {record.campaign_id!r} was quarantined: "
+                f"{record.error}"
+            )
+        if record.result is None:
+            raise CampaignStateError(
+                f"campaign {record.campaign_id!r} has not completed "
+                f"({record.status.value})"
+            )
+        return record.result
+
+    def stats(self) -> dict:
+        """A JSON-compatible service snapshot (stats endpoint/bench)."""
+        return {
+            "steps": self._steps,
+            "completed": self._completed,
+            "active": len(self._active),
+            "pending": len(self._pending),
+            "admission": self._admission.counters,
+            "ledger": self.ledger.as_dict(),
+            "campaigns": {
+                campaign_id: {
+                    "tenant": record.spec.tenant,
+                    "status": record.status.value,
+                    "rounds": record.rounds,
+                    "strikes": record.strikes,
+                    "spent": record.spent,
+                    "leaked_reservations": record.leaked_reservations,
+                }
+                for campaign_id, record in sorted(self._records.items())
+            },
+        }
+
+    def round_latencies(self) -> list[float]:
+        """Every stepped round's wall latency (percentile fodder)."""
+        latencies: list[float] = []
+        for record in self._records.values():
+            latencies.extend(record.latencies)
+        return latencies
+
+    def close(self) -> None:
+        """Tear everything down, returning unfinished deposits.
+
+        Idempotent.  Committed money (completed campaigns, pre-restart
+        ``base_spent``) stays committed; every open deposit of a
+        non-completed campaign is released so the pool ends with
+        ``open_reservations == 0``.
+        """
+        if self._closed:
+            return
+        for record in list(self._active):
+            self._teardown_runtime(record)
+            self._scheduler.remove(record.campaign_id)
+            self._active.remove(record)
+            record.status = CampaignStatus.DETACHED
+        self._pending.clear()
+        for record in self._records.values():
+            if self._admission.has_deposit(record.campaign_id):
+                self._admission.forfeit(record.campaign_id)
+        self._closed = True
+
+    def __enter__(self) -> "CampaignService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _resolve(self, campaign: "CampaignHandle | str") -> CampaignRecord:
+        campaign_id = (
+            campaign.campaign_id
+            if isinstance(campaign, CampaignHandle)
+            else str(campaign)
+        )
+        try:
+            return self._records[campaign_id]
+        except KeyError:
+            raise UnknownCampaignError(campaign_id) from None
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceError("the campaign service is closed")
+
+    @staticmethod
+    def _read_attach_state(journal_path: Path) -> tuple[float, dict | None]:
+        """Base spending + journaled tenant identity for an attach."""
+        records = read_journal(journal_path)
+        checkpoints = [
+            record
+            for record in records
+            if record.get("kind") == "checkpoint"
+        ]
+        if not records or not checkpoints:
+            raise SerializationError(
+                f"journal {journal_path} has no intact checkpoint"
+            )
+        tenant_records = [
+            record for record in records if record.get("kind") == "tenant"
+        ]
+        base_spent = float(checkpoints[-1]["session"]["budget_spent"])
+        return base_spent, tenant_records[-1] if tenant_records else None

@@ -216,6 +216,12 @@ class OnlineCheckingSession:
         return self._experts
 
     @property
+    def budget(self) -> CheckingBudget:
+        """The budget tracker itself (teardown paths close a
+        ledger-backed tracker to release an orphaned reservation)."""
+        return self._budget
+
+    @property
     def remaining_budget(self) -> float:
         return self._budget.remaining
 

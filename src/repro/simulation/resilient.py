@@ -172,10 +172,11 @@ class ResilientCheckingSession:
         waiting — right for simulation; live deployments pass
         ``time.sleep``.
     journal_metadata:
-        Optional extra record appended between the journal's header and
-        its first checkpoint (the parallel engine stores its shard
-        layout here).  Must carry a ``"kind"`` field; ignored without
-        ``journal_path``.
+        Optional extra record — or sequence of records — appended
+        between the journal's header and its first checkpoint (the
+        parallel engine stores its shard layout here; the campaign
+        service prepends its tenant identity).  Each must carry a
+        ``"kind"`` field; ignored without ``journal_path``.
     """
 
     def __init__(
@@ -196,7 +197,7 @@ class ResilientCheckingSession:
         seed: int = 0,
         sleep: Callable[[float], None] | None = None,
         update_engine=None,
-        journal_metadata: dict | None = None,
+        journal_metadata: dict | Sequence[dict] | None = None,
     ):
         inner = OnlineCheckingSession(
             belief,
@@ -239,10 +240,18 @@ class ResilientCheckingSession:
             )
             if journal_metadata is not None:
                 # Caller-provided runtime metadata (e.g. the parallel
-                # engine's shard layout).  It sits between the header
-                # and the first checkpoint so resume's trim-to-last-
-                # checkpoint can never drop it.
-                append_journal_record(self._journal_path, journal_metadata)
+                # engine's shard layout, the service's tenant record).
+                # It sits between the header and the first checkpoint so
+                # resume's trim-to-last-checkpoint can never drop it.
+                metadata_records = (
+                    [journal_metadata]
+                    if isinstance(journal_metadata, Mapping)
+                    else list(journal_metadata)
+                )
+                for metadata_record in metadata_records:
+                    append_journal_record(
+                        self._journal_path, metadata_record
+                    )
             self._journal_checkpoint(None)
 
     def _init_common(
@@ -310,6 +319,14 @@ class ResilientCheckingSession:
     @property
     def pending_queries(self) -> tuple[int, ...] | None:
         return self._inner.pending_queries
+
+    @property
+    def budget_tracker(self) -> CheckingBudget:
+        """The session's budget object (a
+        :class:`~repro.engine.ledger.LedgerBudget` on the parallel
+        path).  Abort paths close it to release an orphaned
+        reservation."""
+        return self._inner.budget
 
     def final_labels(self) -> dict[int, bool]:
         return self._inner.final_labels()

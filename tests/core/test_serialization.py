@@ -183,15 +183,15 @@ class TestSessionCheckpoint:
 
 
 class TestFormatVersions:
-    """v5 is written; v1–v4 payloads still read."""
+    """v6 is written; v1–v5 payloads still read."""
 
-    def test_payloads_are_tagged_v5(self, belief, factored):
+    def test_payloads_are_tagged_v6(self, belief, factored):
         from repro.core import FORMAT_VERSION
 
-        assert FORMAT_VERSION == 5
-        assert belief_state_to_dict(belief)["version"] == 5
-        assert factored_belief_to_dict(factored)["version"] == 5
-        assert crowd_to_dict(Crowd.from_accuracies([0.9]))["version"] == 5
+        assert FORMAT_VERSION == 6
+        assert belief_state_to_dict(belief)["version"] == 6
+        assert factored_belief_to_dict(factored)["version"] == 6
+        assert crowd_to_dict(Crowd.from_accuracies([0.9]))["version"] == 6
 
     def test_v2_payload_still_loads(self, belief):
         payload = belief_state_to_dict(belief)

@@ -155,3 +155,77 @@ class TestLedgerBudget:
             )
             assert ledgered.spent == plain.spent
             assert ledgered.remaining == plain.remaining
+
+
+class TestLedgerAudit:
+    """Leak hunting: every open reservation is attributable, and the
+    teardown hooks guarantee a clean campaign leaves none behind."""
+
+    def test_audit_lists_open_reservations(self):
+        ledger = BudgetLedger(20.0)
+        first = ledger.reserve(5.0, label="round:2q")
+        second = ledger.reserve(3.0, label="deposit:acme/job")
+        assert ledger.audit() == [
+            {"ticket": first, "amount": 5.0, "label": "round:2q"},
+            {"ticket": second, "amount": 3.0, "label": "deposit:acme/job"},
+        ]
+        ledger.commit(first, 4.0)
+        assert [entry["ticket"] for entry in ledger.audit()] == [second]
+        ledger.release(second)
+        assert ledger.audit() == []
+
+    def test_close_releases_an_orphaned_reservation(self):
+        experts = Crowd.from_accuracies([0.95, 0.92])
+        budget = LedgerBudget(100.0)
+        budget.reserve_pending(2, experts)
+        assert budget.ledger.open_reservations == 1
+        # A mid-round abort never reaches the charge; close() is the
+        # teardown path that returns the hold to the pool.
+        budget.close()
+        assert budget.ledger.open_reservations == 0
+        assert budget.ledger.available == pytest.approx(100.0)
+        budget.close()  # idempotent
+
+    def test_context_manager_releases_on_abort(self):
+        experts = Crowd.from_accuracies([0.95, 0.92])
+        shared = BudgetLedger(50.0)
+        with pytest.raises(RuntimeError, match="mid-round abort"):
+            with LedgerBudget(50.0, ledger=shared) as budget:
+                budget.reserve_pending(2, experts)
+                raise RuntimeError("mid-round abort")
+        assert shared.open_reservations == 0
+        assert shared.audit() == []
+
+    def test_runner_abort_leaves_no_reservation(self, tmp_path):
+        """A campaign killed between selection and the charge releases
+        its worst-case round hold when the runner unwinds."""
+        from repro.datasets.synthetic import (
+            WorkerPoolSpec,
+            make_synthetic_dataset,
+        )
+        from repro.engine import ParallelCampaignRunner
+        from repro.simulation.session import SessionConfig
+
+        class ExplodingSource:
+            def collect(self, queries, experts):
+                raise RuntimeError("collection infrastructure died")
+
+        dataset = make_synthetic_dataset(
+            num_groups=4,
+            group_size=4,
+            answers_per_fact=6,
+            pool=WorkerPoolSpec(num_preliminary=10, num_expert=2),
+            seed=6,
+        )
+        shared = BudgetLedger(40.0)
+        runner = ParallelCampaignRunner(
+            dataset,
+            SessionConfig(budget=14.0, k=2, seed=1),
+            answer_source=ExplodingSource(),
+            jobs=2,
+            inline=True,
+            ledger=shared,
+        )
+        with pytest.raises(RuntimeError, match="infrastructure died"):
+            runner.run()
+        assert shared.open_reservations == 0, shared.audit()

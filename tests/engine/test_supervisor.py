@@ -400,6 +400,7 @@ class TestProcessShardRecovery:
         )
         runner.prepare()
         pool = runner._prepared["pool"]
+        session = runner._prepared["session"]
         victim = pool.shards[1]
         while hasattr(victim, "inner"):
             victim = victim.inner
@@ -408,7 +409,16 @@ class TestProcessShardRecovery:
         killed = threading.Event()
 
         def assassin():
-            time.sleep(0.6)
+            # Progress-triggered, not wall-clock: fire right after the
+            # second round commits, so whole rounds (with commands to
+            # every shard) still lie ahead and the death cannot slip
+            # into the tail window between the victim's last consumed
+            # reply and pool close.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if len(session.history) >= 2:
+                    break
+                time.sleep(0.002)
             try:
                 os.kill(pid, signal.SIGKILL)
                 killed.set()

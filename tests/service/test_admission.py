@@ -1,0 +1,212 @@
+"""Unit tests for admission control: quotas, deposits, shedding.
+
+These drive the :class:`AdmissionController` directly with lightweight
+campaign records (the dataset is never touched by admission), pinning
+the exact rejection/shedding semantics the service builds on — in
+particular that every rejection leaves *zero* state behind.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.engine import BudgetLedger
+from repro.service import (
+    AdmissionController,
+    QuotaExceededError,
+    ServiceSaturatedError,
+    TenantQuota,
+)
+from repro.service.campaign import CampaignRecord, CampaignSpec
+from repro.simulation.session import SessionConfig
+
+
+def make_record(
+    tenant: str,
+    name: str,
+    budget: float,
+    priority: int = 0,
+    base_spent: float = 0.0,
+) -> CampaignRecord:
+    spec = CampaignSpec(
+        tenant=tenant,
+        name=name,
+        dataset=object(),  # admission never touches the dataset
+        config=SessionConfig(budget=budget),
+        priority=priority,
+    )
+    return CampaignRecord(
+        spec=spec,
+        config=spec.config,
+        journal_path=Path(f"{tenant}-{name}.jsonl"),
+        weight=1.0,
+        base_spent=base_spent,
+    )
+
+
+def controller(total: float = 100.0, **kwargs):
+    ledger = BudgetLedger(total)
+    kwargs.setdefault("queue_limit", 8)
+    return AdmissionController(ledger, **kwargs), ledger
+
+
+class TestDeposits:
+    def test_admit_reserves_the_full_remaining_budget(self):
+        admission, ledger = controller(100.0)
+        record = make_record("acme", "a", budget=30.0)
+        assert admission.admit(record, []) == []
+        assert ledger.outstanding == pytest.approx(30.0)
+        assert admission.deposit_amount(record.campaign_id) == 30.0
+        assert admission.counters["admitted"] == 1
+
+    def test_settle_commits_actual_spend_and_refunds_rest(self):
+        admission, ledger = controller(100.0)
+        record = make_record("acme", "a", budget=30.0)
+        admission.admit(record, [])
+        admission.settle(record.campaign_id, 18.0)
+        assert ledger.committed == pytest.approx(18.0)
+        assert ledger.available == pytest.approx(82.0)
+        assert ledger.open_reservations == 0
+
+    def test_forfeit_releases_in_full(self):
+        admission, ledger = controller(100.0)
+        record = make_record("acme", "a", budget=30.0)
+        admission.admit(record, [])
+        admission.forfeit(record.campaign_id)
+        assert ledger.available == pytest.approx(100.0)
+        assert not admission.has_deposit(record.campaign_id)
+
+    def test_reattach_commits_base_spent_directly(self):
+        """Attach-after-restart: pre-restart spending joins the pool as
+        committed money; only the remainder is a refundable deposit."""
+        admission, ledger = controller(100.0)
+        record = make_record("acme", "a", budget=30.0, base_spent=12.0)
+        admission.admit(record, [])
+        assert ledger.committed == pytest.approx(12.0)
+        assert ledger.outstanding == pytest.approx(18.0)
+        admission.settle(record.campaign_id, 18.0)  # finished the rest
+        assert ledger.committed == pytest.approx(30.0)
+
+
+class TestQuotas:
+    def test_max_active_rejection_changes_nothing(self):
+        admission, ledger = controller(
+            100.0, default_quota=TenantQuota(max_active=1)
+        )
+        admission.admit(make_record("acme", "a", budget=10.0), [])
+        before = ledger.as_dict()
+        with pytest.raises(QuotaExceededError, match="1 admitted"):
+            admission.admit(make_record("acme", "b", budget=10.0), [])
+        assert ledger.as_dict() == before
+        assert admission.counters["rejected_quota"] == 1
+        assert admission.counters["admitted"] == 1
+
+    def test_max_budget_rejection(self):
+        admission, _ledger = controller(
+            100.0, default_quota=TenantQuota(max_budget=25.0)
+        )
+        admission.admit(make_record("acme", "a", budget=20.0), [])
+        with pytest.raises(QuotaExceededError, match="budget quota"):
+            admission.admit(make_record("acme", "b", budget=10.0), [])
+
+    def test_quotas_are_per_tenant(self):
+        admission, _ledger = controller(
+            100.0,
+            quotas={"small": TenantQuota(max_active=1)},
+            default_quota=TenantQuota(),
+        )
+        admission.admit(make_record("small", "a", budget=10.0), [])
+        with pytest.raises(QuotaExceededError):
+            admission.admit(make_record("small", "b", budget=10.0), [])
+        # Another tenant is unaffected by small's quota.
+        admission.admit(make_record("big", "a", budget=10.0), [])
+        admission.admit(make_record("big", "b", budget=10.0), [])
+
+    def test_settlement_returns_quota_headroom(self):
+        admission, _ledger = controller(
+            100.0, default_quota=TenantQuota(max_active=1)
+        )
+        first = make_record("acme", "a", budget=10.0)
+        admission.admit(first, [])
+        admission.settle(first.campaign_id, 10.0)
+        admission.admit(make_record("acme", "b", budget=10.0), [])
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_equal_priority(self):
+        admission, ledger = controller(100.0, queue_limit=2)
+        pending = []
+        for name in ("a", "b"):
+            record = make_record("acme", name, budget=10.0)
+            admission.admit(record, pending)
+            pending.append(record)
+        before = ledger.as_dict()
+        with pytest.raises(ServiceSaturatedError, match="queue") as info:
+            admission.admit(make_record("acme", "c", budget=10.0), pending)
+        assert info.value.reason == "queue"
+        assert ledger.as_dict() == before
+        assert admission.counters["rejected_queue"] == 1
+
+    def test_full_queue_sheds_strictly_lower_priority(self):
+        admission, ledger = controller(100.0, queue_limit=2)
+        low = make_record("acme", "low", budget=10.0, priority=0)
+        mid = make_record("acme", "mid", budget=10.0, priority=1)
+        pending = []
+        for record in (low, mid):
+            admission.admit(record, pending)
+            pending.append(record)
+        urgent = make_record("acme", "urgent", budget=10.0, priority=2)
+        victims = admission.admit(urgent, pending)
+        assert victims == [low]
+        assert not admission.has_deposit(low.campaign_id)
+        assert admission.has_deposit(urgent.campaign_id)
+        assert admission.counters["shed"] == 1
+        assert ledger.outstanding == pytest.approx(20.0)
+
+    def test_saturated_ledger_rejects_without_side_effects(self):
+        admission, ledger = controller(25.0)
+        record = make_record("acme", "a", budget=20.0)
+        admission.admit(record, [])
+        before = ledger.as_dict()
+        with pytest.raises(ServiceSaturatedError, match="pool") as info:
+            admission.admit(make_record("acme", "b", budget=10.0), [record])
+        assert info.value.reason == "ledger"
+        assert ledger.as_dict() == before
+        assert admission.counters["rejected_ledger"] == 1
+
+    def test_saturated_ledger_sheds_lower_priority_deposits(self):
+        admission, ledger = controller(25.0, queue_limit=8)
+        low = make_record("acme", "low", budget=20.0, priority=0)
+        pending = []
+        admission.admit(low, pending)
+        pending.append(low)
+        urgent = make_record("acme", "urgent", budget=15.0, priority=1)
+        victims = admission.admit(urgent, pending)
+        assert victims == [low]
+        assert ledger.outstanding == pytest.approx(15.0)
+        assert admission.counters["shed"] == 1
+
+    def test_sheds_newest_lowest_priority_first(self):
+        admission, _ledger = controller(100.0, queue_limit=3)
+        pending = []
+        records = {
+            name: make_record("acme", name, budget=10.0, priority=priority)
+            for name, priority in (("p0-old", 0), ("p1", 1), ("p0-new", 0))
+        }
+        for record in records.values():
+            admission.admit(record, pending)
+            pending.append(record)
+        urgent = make_record("acme", "urgent", budget=10.0, priority=2)
+        victims = admission.admit(urgent, pending)
+        assert victims == [records["p0-new"]]
+
+    def test_equal_priority_is_never_shed(self):
+        admission, _ledger = controller(100.0, queue_limit=1)
+        incumbent = make_record("acme", "a", budget=10.0, priority=1)
+        admission.admit(incumbent, [])
+        with pytest.raises(ServiceSaturatedError):
+            admission.admit(
+                make_record("acme", "b", budget=10.0, priority=1),
+                [incumbent],
+            )
+        assert admission.has_deposit(incumbent.campaign_id)
