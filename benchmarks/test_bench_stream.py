@@ -1,0 +1,157 @@
+"""Benchmark: the streaming runtime under chaos-degraded delivery.
+
+Drives a :class:`~repro.stream.runtime.StreamingCampaign` over a
+reorder/duplicate/stall delivery schedule with expert churn and records
+streaming-level metrics to ``BENCH_stream.json`` at the repository root
+(plus a copy under ``benchmarks/results/``):
+
+* sustained throughput in delivered events per second of wall-clock;
+* event-to-belief latency percentiles (p50 / p95 / p99) — the time
+  from a delivery slot starting to its boundary checkpoint committing;
+* admission accounting (admitted / duplicates / late drops / groups
+  sealed / forced seals / out-of-band updates).
+
+Before measuring, the run re-asserts the robustness contract at bench
+scale: the same chaos-streamed campaign killed mid-stream resumes from
+its journal byte-identical to the uninterrupted run.
+
+Set ``BENCH_STREAM_SMOKE=1`` for the reduced CI version.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.stream import (
+    StreamChaos,
+    StreamSpec,
+    StreamingCampaign,
+    generate_event_stream,
+    make_arrivals,
+)
+
+SMOKE = os.environ.get("BENCH_STREAM_SMOKE", "") not in ("", "0")
+NUM_GROUPS = 3 if SMOKE else 20
+BUDGET = 40.0 if SMOKE else 400.0
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _percentile(values: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q))
+
+
+def _build(tmp_path, journal_name):
+    dataset = make_synthetic_dataset(
+        num_groups=NUM_GROUPS, group_size=3, answers_per_fact=6, seed=1
+    )
+    spec = StreamSpec(
+        arrival="bursty",
+        rate=200.0,
+        votes_per_fact=3,
+        group_size=3,
+        target_votes=2,
+        churn=0.1,
+        seed=7,
+        chaos=StreamChaos(
+            reorder=0.15, duplicate=0.1, stall=0.05, drop=0.02, seed=3
+        ),
+    )
+    events = generate_event_stream(
+        dataset,
+        theta=spec.theta,
+        votes_per_fact=spec.votes_per_fact,
+        arrivals=make_arrivals(spec.arrival, spec.rate),
+        seed=spec.seed,
+        churn_rate=spec.churn,
+        window=spec.window,
+    )
+    experts = dataset.split_crowd(spec.theta)[0]
+    campaign = StreamingCampaign(
+        events,
+        experts,
+        BUDGET,
+        spec=spec,
+        journal_path=tmp_path / journal_name,
+    )
+    return campaign, events, experts
+
+
+def test_bench_stream(results_dir, tmp_path, monkeypatch):
+    for name in ("REPRO_STREAM_CHAOS", "REPRO_STREAM_CHAOS_SEED"):
+        monkeypatch.delenv(name, raising=False)
+
+    # -- contract first: chaos kill/resume is byte-identical ----------
+    reference, events, experts = _build(tmp_path, "ref.jsonl")
+    reference.run()
+    assert reference.finished
+    reference_bytes = (tmp_path / "ref.jsonl").read_bytes()
+
+    killed, _, _ = _build(tmp_path, "killed.jsonl")
+    killed.run(max_events=killed.total_deliveries // 2)
+    resumed = StreamingCampaign.resume(
+        tmp_path / "killed.jsonl", events, experts=experts
+    )
+    resumed.run()
+    assert resumed.finished
+    assert (tmp_path / "killed.jsonl").read_bytes() == reference_bytes, (
+        "chaos-streamed resume diverged from the uninterrupted run"
+    )
+
+    # -- then the measured run ----------------------------------------
+    campaign, _, _ = _build(tmp_path, "bench.jsonl")
+    started = time.perf_counter()
+    stats = campaign.run()
+    wall_seconds = time.perf_counter() - started
+    assert campaign.finished
+    latencies = campaign.event_latencies
+    assert len(latencies) == stats["cursor"]
+
+    result = {
+        "scale": {
+            "num_groups": NUM_GROUPS,
+            "budget": BUDGET,
+            "deliveries": stats["deliveries"],
+            "smoke": SMOKE,
+        },
+        "wall_seconds": wall_seconds,
+        "events_per_second": stats["cursor"] / wall_seconds,
+        "event_to_belief_latency_seconds": {
+            "p50": _percentile(latencies, 50),
+            "p95": _percentile(latencies, 95),
+            "p99": _percentile(latencies, 99),
+            "max": max(latencies),
+        },
+        "admission": {
+            key: stats[key]
+            for key in (
+                "admitted",
+                "duplicates",
+                "late_admitted",
+                "late_dropped",
+                "groups_sealed",
+                "forced_seals",
+                "out_of_band",
+                "joins",
+                "leaves",
+            )
+        },
+        "spent_budget": campaign.spent_budget,
+        "resume_byte_identical": True,
+    }
+    payload = json.dumps(result, indent=2)
+    (REPO_ROOT / "BENCH_stream.json").write_text(payload)
+    (results_dir / "BENCH_stream.json").write_text(payload)
+    print()
+    print(
+        f"{stats['cursor']} deliveries in {wall_seconds:.2f}s "
+        f"({result['events_per_second']:.0f} ev/s), "
+        f"p95 event-to-belief "
+        f"{result['event_to_belief_latency_seconds']['p95'] * 1e3:.2f}ms"
+    )

@@ -1,0 +1,123 @@
+"""A streamed labeling campaign that survives chaos and a kill.
+
+Batch campaigns see the whole preliminary answer matrix up front.  This
+example runs the streaming alternative end to end: facts, preliminary
+votes and expert churn arrive as a seeded event log, delivery is
+degraded (reordered, duplicated, stalled), task groups seal
+incrementally as their votes land — or by straggler timeout when the
+watermark says the missing votes are not coming — and the checking
+session grows mid-campaign as groups appear.
+
+Like :mod:`examples.resumable_campaign`, the run happens in two
+"process lifetimes": the first consumes part of the stream and stops
+(standing in for a crash at an event boundary), the second resumes from
+the journal and drains the stream.  Because every checkpoint carries
+the stream cursor, dedup state, watermark and partial groups, the
+continued journal is byte-identical to an uninterrupted run.
+
+Run:  python examples/streaming_campaign.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.datasets import make_synthetic_dataset
+from repro.stream import (
+    StreamChaos,
+    StreamSpec,
+    StreamingCampaign,
+    generate_event_stream,
+    make_arrivals,
+)
+
+BUDGET = 40.0
+
+SPEC = StreamSpec(
+    arrival="bursty",
+    rate=80.0,
+    votes_per_fact=3,
+    group_size=3,
+    target_votes=2,
+    churn=0.1,
+    seed=7,
+    chaos=StreamChaos(reorder=0.15, duplicate=0.1, stall=0.05, seed=3),
+)
+
+
+def make_inputs():
+    """Both lifetimes rebuild the same event log from the same seed;
+    the journal pins everything else."""
+    dataset = make_synthetic_dataset(
+        num_groups=4, group_size=3, answers_per_fact=6, seed=1
+    )
+    events = generate_event_stream(
+        dataset,
+        theta=SPEC.theta,
+        votes_per_fact=SPEC.votes_per_fact,
+        arrivals=make_arrivals(SPEC.arrival, SPEC.rate),
+        seed=SPEC.seed,
+        churn_rate=SPEC.churn,
+        window=SPEC.window,
+    )
+    experts, _ = dataset.split_crowd(SPEC.theta)
+    return dataset, events, experts
+
+
+def first_lifetime(journal_path: Path) -> None:
+    """Consume half the degraded stream, then 'die' at a boundary."""
+    _, events, experts = make_inputs()
+    campaign = StreamingCampaign(
+        events, experts, BUDGET, spec=SPEC, journal_path=journal_path
+    )
+    campaign.run(max_events=campaign.total_deliveries // 2)
+    stats = campaign.stats()
+    print(
+        f"lifetime 1: consumed {stats['cursor']}/{stats['deliveries']} "
+        f"deliveries ({stats['duplicates']} duplicates dropped, "
+        f"{stats['groups_sealed']} groups sealed, "
+        f"watermark {stats['watermark']:.2f}s)"
+    )
+    print("lifetime 1: killed mid-stream")
+
+
+def second_lifetime(journal_path: Path) -> None:
+    """Resume from the journal alone and drain the stream."""
+    dataset, events, experts = make_inputs()
+    campaign = StreamingCampaign.resume(
+        journal_path, events, experts=experts
+    )
+    campaign.run()
+    stats = campaign.stats()
+    print(
+        f"lifetime 2: resumed and drained the stream "
+        f"({stats['admitted']} events admitted, "
+        f"{stats['groups_sealed']} groups sealed, "
+        f"{stats['forced_seals']} by straggler timeout, "
+        f"{stats['out_of_band']} late votes folded in out-of-band)"
+    )
+    print(
+        f"lifetime 2: churn {stats['joins']} joins / "
+        f"{stats['leaves']} leaves through the trust supervisor"
+    )
+    result = campaign.result()
+    labels = result.final_labels
+    correct = sum(
+        labels[fact_id] == dataset.ground_truth[fact_id]
+        for fact_id in labels
+    )
+    print(
+        f"final: {len(labels)} facts labeled, "
+        f"{correct}/{len(labels)} correct, "
+        f"budget spent {campaign.spent_budget:.1f}/{BUDGET:.0f}"
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = Path(tmp) / "stream.jsonl"
+        first_lifetime(journal_path)
+        second_lifetime(journal_path)
+
+
+if __name__ == "__main__":
+    main()

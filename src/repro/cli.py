@@ -14,7 +14,12 @@ session
 serve
     Host many campaigns at once on the multi-tenant campaign service
     (shared budget pool, admission control, weighted-fair scheduling)
-    and print the per-tenant service report.
+    and print the per-tenant service report.  ``--stream`` runs each
+    campaign from a delivered event log with backpressure.
+stream
+    Run one streamed campaign: seeded event-log delivery (optionally
+    degraded by chaos), watermark admission, incremental group
+    formation, and exactly-once journal resume via ``--resume``.
 reproduce
     Regenerate the paper's figures and Table III (delegates to
     :mod:`repro.experiments.reproduce`).
@@ -23,6 +28,7 @@ reproduce
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
@@ -300,6 +306,117 @@ def _attach_session(args: argparse.Namespace, dataset, faults):
         return service.result(handle)
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Run (or resume) a streamed campaign over a dataset's event log."""
+    from .stream import (
+        StreamChaos,
+        StreamingCampaign,
+        StreamSpec,
+        generate_event_stream,
+        make_arrivals,
+    )
+
+    dataset = load_dataset(
+        Path(args.data) / "answer.csv",
+        Path(args.data) / "truth.csv",
+        group_size=args.group_size,
+    )
+    def events_for(spec: StreamSpec):
+        return generate_event_stream(
+            dataset,
+            theta=spec.theta,
+            votes_per_fact=spec.votes_per_fact,
+            arrivals=make_arrivals(spec.arrival, spec.rate),
+            seed=spec.seed,
+            churn_rate=spec.churn,
+            window=spec.window,
+        )
+
+    if args.resume:
+        from .core.serialization import read_journal
+
+        records = read_journal(args.resume)
+        config_record = next(
+            (
+                record
+                for record in records
+                if record.get("kind") == "stream"
+            ),
+            None,
+        )
+        if config_record is None:
+            print(
+                f"error: {args.resume} has no stream config record — "
+                "not a streamed-campaign journal",
+                file=sys.stderr,
+            )
+            return 2
+        spec = StreamSpec.from_dict(config_record.get("config", {}))
+        campaign = StreamingCampaign.resume(
+            args.resume,
+            events_for(spec),
+            experts=dataset.split_crowd(spec.theta)[0],
+        )
+    else:
+        chaos = (
+            StreamChaos.parse(args.chaos, seed=args.seed)
+            if args.chaos
+            else StreamChaos.from_env()
+        )
+        spec = StreamSpec(
+            arrival=args.arrival,
+            rate=args.rate,
+            theta=args.theta,
+            votes_per_fact=args.votes_per_fact,
+            group_size=args.stream_group_size,
+            target_votes=args.target_votes,
+            allowed_lateness=args.allowed_lateness,
+            straggler_timeout=args.straggler_timeout,
+            rounds_per_event=args.rounds_per_event,
+            churn=args.churn,
+            seed=args.seed,
+            chaos=chaos,
+        )
+        experts, _preliminary = dataset.split_crowd(spec.theta)
+        if len(experts) == 0:
+            print(
+                f"error: no worker reaches theta={spec.theta}; cannot "
+                "form the checking panel CE",
+                file=sys.stderr,
+            )
+            return 2
+        campaign = StreamingCampaign(
+            events_for(spec),
+            experts,
+            args.budget,
+            spec=spec,
+            journal_path=args.journal,
+            k=args.k,
+        )
+    stats = campaign.run()
+    print(
+        f"stream: {stats['admitted']} admitted of {stats['deliveries']} "
+        f"deliveries ({stats['duplicates']} duplicates, "
+        f"{stats['late_admitted']} late, {stats['late_dropped']} dropped)"
+    )
+    print(
+        f"groups: {stats['groups_sealed']} sealed "
+        f"({stats['forced_seals']} forced), {stats['out_of_band']} "
+        f"out-of-band updates, churn {stats['joins']} joins / "
+        f"{stats['leaves']} leaves"
+    )
+    result = campaign.result()
+    if result is None:
+        print("no group ever sealed; nothing was checked")
+        return 0
+    final = result.history[-1]
+    print(
+        f"checking: {max(0, len(result.history) - 1)} rounds, "
+        f"spent {final.budget_spent:.0f}, accuracy {final.accuracy:.4f}"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run a fleet of campaigns through the multi-tenant service."""
     from .service import (
@@ -336,6 +453,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_quota=default_quota,
         journal_root=args.journal_root,
     ) as service:
+        stream_spec = None
+        if args.stream:
+            from .stream import StreamChaos, StreamSpec
+
+            stream_spec = StreamSpec(
+                rate=args.stream_rate,
+                theta=args.theta,
+                chaos=(
+                    StreamChaos.parse(args.stream_chaos, seed=args.seed)
+                    if args.stream_chaos
+                    else StreamChaos.from_env()
+                ),
+            )
         for index in range(args.campaigns):
             config = SessionConfig(
                 theta=args.theta,
@@ -349,12 +479,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 name=f"campaign-{index}",
                 dataset=dataset,
                 config=config,
-                jobs=args.jobs,
+                jobs=1 if args.stream else args.jobs,
+                stream=(
+                    None
+                    if stream_spec is None
+                    else dataclasses.replace(
+                        stream_spec, seed=args.seed + index
+                    )
+                ),
             )
             try:
                 service.submit(spec)
             except ServiceError as error:
-                print(f"rejected {spec.campaign_id}: {error}")
+                hint = getattr(error, "retry_after_rounds", 0)
+                suffix = f" (retry after ~{hint} rounds)" if hint else ""
+                print(f"rejected {spec.campaign_id}: {error}{suffix}")
         rounds = service.run_until_idle()
         stats = service.stats()
         print(f"served {rounds} rounds, {stats['completed']} campaigns "
@@ -373,6 +512,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"ledger: committed {ledger['committed']:.0f} of "
               f"{ledger['total']:.0f}, "
               f"{ledger['open_reservations']} reservations open")
+        if args.stream:
+            print(f"backpressure: stream backlog "
+                  f"{stats['stream_backlog']}, effective queue limit "
+                  f"{stats['effective_queue_limit']}")
     return 0
 
 
@@ -565,8 +708,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for campaign journals "
              "(journal_root/tenant/name.jsonl)",
     )
+    serve.add_argument(
+        "--stream", action="store_true",
+        help="run each campaign as a streamed campaign (event-log "
+             "delivery, incremental group formation, backpressure)",
+    )
+    serve.add_argument(
+        "--stream-rate", type=float, default=50.0, metavar="EVENTS/S",
+        help="arrival rate of each streamed campaign (with --stream)",
+    )
+    serve.add_argument(
+        "--stream-chaos", default=None, metavar="SPEC",
+        help="delivery degradation, e.g. 'reorder=0.2,stall=0.05' "
+             "(with --stream; REPRO_STREAM_CHAOS is the env fallback)",
+    )
     _add_supervision_arguments(serve)
     serve.set_defaults(handler=_cmd_serve)
+
+    stream = commands.add_parser(
+        "stream",
+        help="run one streamed campaign over a dataset's event log",
+    )
+    stream.add_argument("--data", default="data")
+    stream.add_argument("--group-size", type=int, default=5)
+    stream.add_argument("--theta", type=float, default=0.9)
+    stream.add_argument("--k", type=int, default=1)
+    stream.add_argument("--budget", type=float, default=1000)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--arrival", default="poisson",
+        choices=("poisson", "bursty", "stalled"),
+        help="arrival-process shape of the event stream",
+    )
+    stream.add_argument(
+        "--rate", type=float, default=50.0, metavar="EVENTS/S",
+        help="target event arrival rate",
+    )
+    stream.add_argument(
+        "--votes-per-fact", type=int, default=3,
+        help="simulated preliminary votes per streamed fact",
+    )
+    stream.add_argument(
+        "--stream-group-size", type=int, default=3, metavar="N",
+        help="facts per incrementally sealed group",
+    )
+    stream.add_argument(
+        "--target-votes", type=int, default=2,
+        help="votes per fact before its group may seal normally",
+    )
+    stream.add_argument(
+        "--allowed-lateness", type=float, default=2.0, metavar="SECONDS",
+        help="watermark grace for out-of-order events",
+    )
+    stream.add_argument(
+        "--straggler-timeout", type=float, default=20.0, metavar="SECONDS",
+        help="event-time horizon forcing a partial group seal (and "
+             "beyond which late events are dropped)",
+    )
+    stream.add_argument(
+        "--rounds-per-event", type=int, default=1,
+        help="checking rounds driven after each admitted event",
+    )
+    stream.add_argument(
+        "--churn", type=float, default=0.0,
+        help="per-slot probability of an expert leave/join event",
+    )
+    stream.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="delivery degradation, e.g. 'reorder=0.2,duplicate=0.1' "
+             "(REPRO_STREAM_CHAOS is the env fallback)",
+    )
+    stream.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append a crash-safe journal (required for --resume later)",
+    )
+    stream.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume a killed streamed campaign from its journal "
+             "(the stream config is read back from the journal)",
+    )
+    stream.set_defaults(handler=_cmd_stream)
 
     reproduce = commands.add_parser(
         "reproduce", help="regenerate the paper's figures and tables"

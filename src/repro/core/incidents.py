@@ -41,6 +41,11 @@ FAULT_KINDS = frozenset(
         "shard_restart",   # a failed shard was respawned in place
         "shard_failover",  # a shard's groups degraded to inline execution
         "shard_rebalance", # degraded groups merged into a surviving shard
+        "worker_join",     # a streamed expert joined the checking panel
+        "worker_leave",    # a streamed expert left the checking panel
+        "group_sealed",    # a streamed group's belief was initialized
+        "late_admit",      # a late event was admitted with tempering
+        "late_drop",       # an event arrived past the straggler timeout
     }
 )
 

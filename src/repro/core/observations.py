@@ -326,6 +326,27 @@ class FactoredBelief:
             raise ValueError("replacement belief must cover the same facts")
         self._groups[group_index] = belief
 
+    def add_group(self, belief: BeliefState) -> int:
+        """Append a newly formed group (mid-campaign group formation).
+
+        The streaming runtime seals groups as their preliminary votes
+        arrive, so a campaign's factored belief grows over time.  New
+        groups get the next index — existing indices (and therefore any
+        selector caches keyed on them) are untouched.  Returns the new
+        group's index.
+        """
+        for fact in belief.facts:
+            if fact.fact_id in self._group_of:
+                raise ValueError(
+                    f"fact {fact.fact_id} already belongs to group "
+                    f"{self._group_of[fact.fact_id]}"
+                )
+        self._groups.append(belief)
+        group_index = len(self._groups) - 1
+        for fact in belief.facts:
+            self._group_of[fact.fact_id] = group_index
+        return group_index
+
     def marginal(self, fact_id: int) -> float:
         return self.group_of(fact_id).marginal(fact_id)
 

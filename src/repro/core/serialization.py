@@ -39,12 +39,19 @@ from .workers import Crowd, Worker
 #: supervision settings on the engine record;
 #: version 6 adds the campaign service's ``{"kind": "tenant"}`` journal
 #: record (tenant id, campaign name, priority, scheduling weight) so a
-#: detached campaign can be re-admitted under the same identity.
+#: detached campaign can be re-admitted under the same identity;
+#: version 7 adds the streaming runtime's records: a ``{"kind":
+#: "stream"}`` config record (arrival/chaos/watermark settings), the
+#: bootstrap-phase ``{"kind": "stream_checkpoint"}`` records written
+#: before the first checking session exists, and a ``"stream"`` field on
+#: session checkpoints carrying the event-log offset, watermark,
+#: dedup state and incremental-initialization state so a streamed
+#: campaign killed at any event boundary resumes exactly-once.
 #: Older payloads are still read transparently.
-FORMAT_VERSION = 6
+FORMAT_VERSION = 7
 
 #: Versions this build can read.
-SUPPORTED_VERSIONS = frozenset({1, 2, 3, 4, 5, 6})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3, 4, 5, 6, 7})
 
 
 class SerializationError(ValueError):

@@ -23,6 +23,7 @@ byte) is identical to a plain budget's.
 from __future__ import annotations
 
 import threading
+from fractions import Fraction
 
 from ..core.budget import CheckingBudget, CostModel
 from ..core.workers import Crowd
@@ -30,6 +31,24 @@ from ..core.workers import Crowd
 #: Tolerance for float accumulation when checking ledger invariants,
 #: matching :class:`~repro.core.budget.CheckingBudget`'s slack.
 _SLACK = 1e-9
+
+#: The same tolerance as an exact rational, for the internal books.
+_SLACK_EXACT = Fraction("1e-9")
+
+
+def _exact(value: "float | Fraction") -> Fraction:
+    """A float amount as the exact rational the caller *meant*.
+
+    ``Fraction(str(x))`` parses the float's shortest round-trip decimal
+    repr, so ``14.4`` becomes exactly ``72/5`` rather than the binary
+    neighbor ``14.4000000000000003552713678800500929355621337890625``.
+    Summing those rationals is associative and drift-free — the
+    committed pool of 24 campaigns at 14.4 each is exactly ``345.6``,
+    not ``345.59999999999997``.
+    """
+    if isinstance(value, Fraction):
+        return value
+    return Fraction(str(float(value)))
 
 
 class LedgerError(RuntimeError):
@@ -45,14 +64,18 @@ class BudgetLedger:
     * a reservation can be settled exactly once (commit or release);
     * a commit can never exceed its reservation — the unused remainder
       is refunded to the available pool atomically with the commit.
+
+    The books are kept in exact rational arithmetic (see :func:`_exact`)
+    so long-running pools never accumulate float drift; the public API
+    stays float-in/float-out.
     """
 
     def __init__(self, total: float):
         if total < 0:
             raise ValueError("ledger total must be non-negative")
-        self._total = float(total)
-        self._committed = 0.0
-        self._reservations: dict[int, tuple[float, str]] = {}
+        self._total = _exact(total)
+        self._committed = Fraction(0)
+        self._reservations: dict[int, tuple[Fraction, str]] = {}
         self._next_id = 0
         self._lock = threading.Lock()
 
@@ -60,30 +83,34 @@ class BudgetLedger:
 
     @property
     def total(self) -> float:
-        return self._total
+        return float(self._total)
 
     @property
     def committed(self) -> float:
         """Budget definitively spent (sum of committed amounts)."""
         with self._lock:
-            return self._committed
+            return float(self._committed)
 
     @property
     def outstanding(self) -> float:
         """Budget held by open reservations (not yet committed)."""
         with self._lock:
-            return sum(amount for amount, _ in self._reservations.values())
+            return float(self._outstanding_locked())
 
     @property
     def available(self) -> float:
         """Budget no one has claimed: ``total - committed - outstanding``."""
         with self._lock:
-            return self._available_locked()
+            return float(self._available_locked())
 
-    def _available_locked(self) -> float:
-        return self._total - self._committed - sum(
-            amount for amount, _ in self._reservations.values()
+    def _outstanding_locked(self) -> Fraction:
+        return sum(
+            (amount for amount, _ in self._reservations.values()),
+            Fraction(0),
         )
+
+    def _available_locked(self) -> Fraction:
+        return self._total - self._committed - self._outstanding_locked()
 
     @property
     def open_reservations(self) -> int:
@@ -100,16 +127,18 @@ class BudgetLedger:
         """
         if amount < 0:
             raise ValueError("reservation amount must be non-negative")
+        exact = _exact(amount)
         with self._lock:
-            if amount > self._available_locked() + _SLACK:
+            if exact > self._available_locked() + _SLACK_EXACT:
                 raise LedgerError(
-                    f"cannot reserve {amount}: only "
-                    f"{self._available_locked()} of {self._total} available "
+                    f"cannot reserve {float(exact)}: only "
+                    f"{float(self._available_locked())} of "
+                    f"{float(self._total)} available "
                     f"({len(self._reservations)} reservations open)"
                 )
             ticket = self._next_id
             self._next_id += 1
-            self._reservations[ticket] = (float(amount), label)
+            self._reservations[ticket] = (exact, label)
             return ticket
 
     def commit(self, ticket: int, amount: float) -> None:
@@ -120,19 +149,23 @@ class BudgetLedger:
         """
         if amount < 0:
             raise ValueError("commit amount must be non-negative")
+        exact = _exact(amount)
         with self._lock:
             if ticket not in self._reservations:
                 raise LedgerError(
                     f"reservation {ticket} is unknown or already settled"
                 )
             reserved, _label = self._reservations[ticket]
-            if amount > reserved + _SLACK:
+            if exact > reserved + _SLACK_EXACT:
                 raise LedgerError(
-                    f"commit {amount} exceeds reservation {reserved} "
-                    f"(ticket {ticket})"
+                    f"commit {float(exact)} exceeds reservation "
+                    f"{float(reserved)} (ticket {ticket})"
                 )
             del self._reservations[ticket]
-            self._committed += float(amount)
+            # Clamp to the reservation: the slack only forgives float
+            # rounding in the *caller's* arithmetic, it must not let
+            # the exact books exceed ``total``.
+            self._committed += min(exact, reserved)
 
     def release(self, ticket: int) -> None:
         """Refund a reservation in full (the round was abandoned)."""
@@ -151,13 +184,15 @@ class BudgetLedger:
         """
         if amount < 0:
             raise ValueError("commit amount must be non-negative")
+        exact = _exact(amount)
         with self._lock:
-            if amount > self._available_locked() + _SLACK:
+            available = self._available_locked()
+            if exact > available + _SLACK_EXACT:
                 raise LedgerError(
-                    f"direct commit {amount} exceeds available "
-                    f"{self._available_locked()}"
+                    f"direct commit {float(exact)} exceeds available "
+                    f"{float(available)}"
                 )
-            self._committed += float(amount)
+            self._committed += min(exact, available)
 
     def audit(self) -> list[dict]:
         """Describe every open reservation (leak hunting).
@@ -166,31 +201,35 @@ class BudgetLedger:
         ``open_reservations == 0``; anything this returns after a
         completed campaign is a leaked hold on the shared pool.  Each
         entry carries the ticket id, the reserved amount, and the label
-        the reserver attached.
+        the reserver attached.  Amounts are exact: they are the
+        rationals on the books rendered as floats, never re-derived by
+        float summation.
         """
         with self._lock:
             return [
-                {"ticket": ticket, "amount": amount, "label": label}
+                {"ticket": ticket, "amount": float(amount), "label": label}
                 for ticket, (amount, label) in sorted(
                     self._reservations.items()
                 )
             ]
 
     def as_dict(self) -> dict:
-        """JSON-compatible snapshot for diagnostics and benchmarks."""
+        """JSON-compatible snapshot for diagnostics and benchmarks.
+
+        Exact under accumulation: 24 commits of 14.4 report a committed
+        pool of exactly ``345.6``.
+        """
         with self._lock:
             return {
-                "total": self._total,
-                "committed": self._committed,
-                "outstanding": sum(
-                    amount for amount, _ in self._reservations.values()
-                ),
+                "total": float(self._total),
+                "committed": float(self._committed),
+                "outstanding": float(self._outstanding_locked()),
                 "open_reservations": len(self._reservations),
             }
 
     def __repr__(self) -> str:
         return (
-            f"BudgetLedger(total={self._total}, committed={self.committed}, "
+            f"BudgetLedger(total={self.total}, committed={self.committed}, "
             f"open={self.open_reservations})"
         )
 

@@ -21,6 +21,12 @@ queue or the ledger cannot take a new campaign, strictly lower-priority
 enough, the submission is rejected with
 :class:`~repro.service.errors.ServiceSaturatedError` and **no state
 changes** — rejection is free, by design.
+
+Streamed campaigns add a second pressure source: their aggregate
+backlog (undelivered events plus unsealed facts), fed in through
+:meth:`AdmissionController.observe_backlog`, shrinks the *effective*
+queue bound so new admissions slow down while the service digests the
+stream.
 """
 
 from __future__ import annotations
@@ -83,11 +89,16 @@ class AdmissionController:
         queue_limit: int,
         quotas: dict[str, TenantQuota] | None = None,
         default_quota: TenantQuota | None = None,
+        backlog_per_slot: int = 32,
     ):
         if queue_limit < 1:
             raise ValueError("queue_limit must be at least 1")
+        if backlog_per_slot < 1:
+            raise ValueError("backlog_per_slot must be at least 1")
         self._ledger = ledger
         self._queue_limit = int(queue_limit)
+        self._backlog_per_slot = int(backlog_per_slot)
+        self._backlog = 0
         self._quotas = dict(quotas or {})
         self._default_quota = default_quota or TenantQuota()
         # campaign_id -> (ticket, tenant, budget_total, deposit_amount)
@@ -118,6 +129,33 @@ class AdmissionController:
 
     def open_deposits(self) -> list[str]:
         return sorted(self._deposits)
+
+    # ------------------------------------------------------------------
+    # streaming backpressure
+
+    def observe_backlog(self, depth: int) -> None:
+        """Feed the aggregate streaming backlog into admission.
+
+        ``depth`` is the total number of undelivered events plus
+        unsealed pending facts across the service's streamed campaigns.
+        Every ``backlog_per_slot`` events of backlog withhold one slot
+        of the admission queue (never below one), so a service drowning
+        in stream events sheds *new* work at the door instead of
+        letting the backlog compound.
+        """
+        if depth < 0:
+            raise ValueError("backlog depth must be non-negative")
+        self._backlog = int(depth)
+
+    @property
+    def backlog(self) -> int:
+        return self._backlog
+
+    @property
+    def effective_queue_limit(self) -> int:
+        """The queue bound after backpressure shrinkage."""
+        withheld = self._backlog // self._backlog_per_slot
+        return max(1, self._queue_limit - withheld)
 
     # ------------------------------------------------------------------
 
@@ -234,14 +272,20 @@ class AdmissionController:
             ),
         )
         victims: list[CampaignRecord] = []
-        overflow = len(pending) + 1 - self._queue_limit
+        limit = self.effective_queue_limit
+        overflow = len(pending) + 1 - limit
         if overflow > 0:
             if len(sheddable) < overflow:
                 self._counters["rejected_queue"] += 1
+                crowded = (
+                    f" (backpressure holds {self._queue_limit - limit} "
+                    f"of {self._queue_limit} slots)"
+                    if limit < self._queue_limit
+                    else ""
+                )
                 raise ServiceSaturatedError(
-                    f"admission queue is full ({len(pending)}/"
-                    f"{self._queue_limit}) with no lower-priority work "
-                    "to shed",
+                    f"admission queue is full ({len(pending)}/{limit})"
+                    f"{crowded} with no lower-priority work to shed",
                     reason="queue",
                 )
             victims = sheddable[:overflow]

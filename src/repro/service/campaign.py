@@ -75,6 +75,14 @@ class CampaignSpec:
         source; used at launch and again at every re-attach, after
         which the journaled source state rewinds it.  Defaults to the
         simulator panel every solo entry point builds.
+    stream:
+        Optional :class:`~repro.stream.runtime.StreamSpec`.  When set,
+        the campaign runs as a :class:`~repro.stream.runtime
+        .StreamingCampaign` fed by an event log generated from the
+        dataset: each service step consumes ``events_per_step``
+        delivery slots instead of one checking round.  Streamed
+        campaigns are inline-only (the streaming runtime owns its
+        session directly; there is no shard pool to spread).
     """
 
     tenant: str
@@ -88,12 +96,18 @@ class CampaignSpec:
     chaos: object | None = None
     policy: object | None = None
     source_factory: Callable[["CampaignSpec"], object] | None = None
+    stream: object | None = None
 
     def __post_init__(self) -> None:
         if not self.tenant or "/" in self.tenant:
             raise ValueError("tenant must be non-empty and '/'-free")
         if not self.name or "/" in self.name:
             raise ValueError("campaign name must be non-empty and '/'-free")
+        if self.stream is not None and not self.inline:
+            raise ValueError(
+                "streamed campaigns are inline-only: the streaming "
+                "runtime drives its own session, not a shard pool"
+            )
 
     @property
     def campaign_id(self) -> str:

@@ -31,11 +31,25 @@ class ServiceSaturatedError(ServiceError):
     ``reason`` distinguishes the saturated resource: ``"queue"`` (the
     bounded admission queue) or ``"ledger"`` (the shared budget pool
     cannot cover the deposit).
+
+    ``retry_after_rounds`` — when the service can estimate it — is the
+    number of scheduler rounds after which a retry has a realistic
+    chance of admission: the virtual-time catch-up of the backlog plus
+    one full weighted cycle of the queue ahead of the caller.  ``0``
+    means no estimate (e.g. the pool itself is exhausted and only a
+    completion can free it).
     """
 
-    def __init__(self, message: str, *, reason: str = ""):
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "",
+        retry_after_rounds: int = 0,
+    ):
         super().__init__(message)
         self.reason = reason
+        self.retry_after_rounds = int(retry_after_rounds)
 
 
 class QuotaExceededError(ServiceError):

@@ -68,6 +68,17 @@ class WeightedFairScheduler:
     def pass_of(self, key: str) -> float:
         return self._entries[key][0]
 
+    def snapshot(self) -> list[tuple[str, float, float]]:
+        """``(key, pass, weight)`` per scheduled campaign, in admission
+        order — the service's retry-hint estimator reads virtual time
+        from here without reaching into the entry lists."""
+        return [
+            (key, entry[0], entry[2])
+            for key, entry in sorted(
+                self._entries.items(), key=lambda item: item[1][1]
+            )
+        ]
+
     def __contains__(self, key: str) -> bool:
         return key in self._entries
 

@@ -41,10 +41,22 @@ one after a restart) rebuilds pool + session from the journal via
 :func:`~repro.engine.runner.resume_parallel_session`, rewinds the
 answer source from the checkpointed source state, and continues
 byte-identically.
+
+**Streamed tenants.**  A spec carrying a
+:class:`~repro.stream.runtime.StreamSpec` runs as a
+:class:`~repro.stream.runtime.StreamingCampaign`: each service step
+consumes ``events_per_step`` delivery slots instead of one checking
+round, and the aggregate stream backlog is fed back into admission
+control (:meth:`AdmissionController.observe_backlog`), shrinking the
+effective queue under sustained pressure.  Strikes, detach/reattach,
+and post-restart attach all work unchanged — the streaming runtime
+journals its cursor/watermark/builder state on every checkpoint, so a
+rebuild resumes exactly-once.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -54,6 +66,8 @@ from ..engine.ledger import BudgetLedger
 from ..engine.runner import ParallelCampaignRunner, resume_parallel_session
 from ..engine.supervisor import SupervisionPolicy
 from ..simulation.faults import FaultyExpertPanel
+from ..stream.arrivals import generate_event_stream, make_arrivals
+from ..stream.runtime import StreamingCampaign
 from .admission import AdmissionController, TenantQuota
 from .campaign import (
     CampaignHandle,
@@ -66,6 +80,7 @@ from .errors import (
     CampaignQuarantinedError,
     CampaignStateError,
     ServiceError,
+    ServiceSaturatedError,
     UnknownCampaignError,
 )
 from .scheduler import WeightedFairScheduler
@@ -208,7 +223,7 @@ class CampaignService:
             journal_path=journal_path,
             weight=weight,
         )
-        self._shed(self._admission.admit(record, self._pending))
+        self._shed(self._admit_with_hint(record))
         self._records[campaign_id] = record
         self._pending.append(record)
         return CampaignHandle(record)
@@ -279,10 +294,45 @@ class CampaignService:
             base_spent=base_spent,
             launched=True,
         )
-        self._shed(self._admission.admit(record, self._pending))
+        self._shed(self._admit_with_hint(record))
         self._records[campaign_id] = record
         self._pending.append(record)
         return CampaignHandle(record)
+
+    def _admit_with_hint(self, record: CampaignRecord) -> list[CampaignRecord]:
+        """Admit through the controller, stamping a retry hint on
+        queue-saturation rejections (ledger exhaustion gets none: only
+        a completion can free deposited money, and the scheduler cannot
+        predict one)."""
+        try:
+            return self._admission.admit(record, self._pending)
+        except ServiceSaturatedError as error:
+            if error.reason == "queue":
+                error.retry_after_rounds = self._retry_after_rounds()
+            raise
+
+    def _retry_after_rounds(self) -> int:
+        """Scheduler-virtual-time estimate of when a retry can succeed.
+
+        The backlog clears once every active campaign has caught up to
+        the current maximum ``pass`` (``(max_pass - pass) * weight``
+        rounds each) and the queue ahead of the caller has drained —
+        approximated as one full weighted cycle per queued campaign
+        plus one for the caller itself.
+        """
+        entries = self._scheduler.snapshot()
+        catch_up = 0
+        cycle = 1
+        if entries:
+            max_pass = max(entry[1] for entry in entries)
+            catch_up = sum(
+                math.ceil((max_pass - pass_value) * weight)
+                for _key, pass_value, weight in entries
+            )
+            cycle = sum(
+                max(1, round(weight)) for _key, _pass, weight in entries
+            )
+        return max(1, catch_up + cycle * (len(self._pending) + 1))
 
     def detach(self, campaign: "CampaignHandle | str") -> None:
         """Release a campaign's runtime at the current round boundary.
@@ -323,18 +373,23 @@ class CampaignService:
         if campaign_id is None:
             return None
         record = self._records[campaign_id]
-        session = record.runtime["session"]
-        source = record.runtime["source"]
+        stream = record.runtime.get("stream")
         started = time.perf_counter()
         error: BaseException | None = None
         try:
-            session.run(source, max_rounds=1)
+            if stream is not None:
+                stream.run(max_events=stream.spec.events_per_step)
+            else:
+                record.runtime["session"].run(
+                    record.runtime["source"], max_rounds=1
+                )
         except Exception as exc:
             error = exc
         latency = time.perf_counter() - started
         record.latencies.append(latency)
         self._scheduler.charge(campaign_id)
         self._steps += 1
+        self._feed_backlog()
         info = {
             "campaign": campaign_id,
             "latency": latency,
@@ -345,9 +400,19 @@ class CampaignService:
             info["error"] = f"{type(error).__name__}: {error}"
             self._strike(record, info["error"])
             return info
-        record.rounds = _completed_rounds(session)
-        record.spent = float(session.spent_budget)
-        if session.is_finished:
+        if stream is not None:
+            session = stream.session
+            record.rounds = (
+                _completed_rounds(session) if session is not None else 0
+            )
+            record.spent = float(stream.spent_budget)
+            finished = stream.finished
+        else:
+            session = record.runtime["session"]
+            record.rounds = _completed_rounds(session)
+            record.spent = float(session.spent_budget)
+            finished = session.is_finished
+        if finished:
             info["finished"] = True
             self._finalize(record)
         elif (
@@ -401,6 +466,21 @@ class CampaignService:
     def _launch_runtime(self, record: CampaignRecord) -> None:
         spec = record.spec
         record.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        if spec.stream is not None:
+            campaign = StreamingCampaign(
+                self._stream_events(spec),
+                spec.dataset.split_crowd(spec.stream.theta)[0],
+                float(record.config.budget),
+                spec=spec.stream,
+                journal_path=record.journal_path,
+                journal_metadata=[record.identity_record()],
+                k=record.config.k,
+                retry_policy=record.config.retry_policy,
+                trust_policy=record.config.trust_policy,
+            )
+            record.runtime = {"stream": campaign}
+            record.launched = True
+            return
         runner = ParallelCampaignRunner(
             spec.dataset,
             record.config,
@@ -420,8 +500,38 @@ class CampaignService:
         }
         record.launched = True
 
+    @staticmethod
+    def _stream_events(spec: CampaignSpec):
+        """Regenerate a streamed campaign's event log from its spec.
+
+        Pure data from (dataset, stream spec) — the same log every
+        time, which is what lets reattach resume against it."""
+        stream = spec.stream
+        return generate_event_stream(
+            spec.dataset,
+            theta=stream.theta,
+            votes_per_fact=stream.votes_per_fact,
+            arrivals=make_arrivals(stream.arrival, stream.rate),
+            seed=stream.seed,
+            churn_rate=stream.churn,
+            window=stream.window,
+        )
+
     def _reattach_runtime(self, record: CampaignRecord) -> None:
         spec = record.spec
+        if spec.stream is not None:
+            campaign = StreamingCampaign.resume(
+                record.journal_path,
+                self._stream_events(spec),
+                retry_policy=record.config.retry_policy,
+            )
+            record.runtime = {"stream": campaign}
+            session = campaign.session
+            record.rounds = (
+                _completed_rounds(session) if session is not None else 0
+            )
+            record.spent = float(campaign.spent_budget)
+            return
         session, pool = resume_parallel_session(
             record.journal_path,
             inline=spec.inline,
@@ -444,6 +554,17 @@ class CampaignService:
     def _teardown_runtime(self, record: CampaignRecord) -> None:
         runtime, record.runtime = record.runtime, None
         if runtime is None:
+            return
+        stream = runtime.get("stream")
+        if stream is not None:
+            # The streaming runtime is inline: no pool to close, and
+            # its budget is private, so there is no reservation to
+            # release on the shared ledger.
+            session = stream.session
+            record.rounds = (
+                _completed_rounds(session) if session is not None else 0
+            )
+            record.spent = float(stream.spent_budget)
             return
         session = runtime["session"]
         record.rounds = _completed_rounds(session)
@@ -471,8 +592,11 @@ class CampaignService:
             self._pending.append(record)
 
     def _finalize(self, record: CampaignRecord) -> None:
-        session = record.runtime["session"]
-        record.result = session.result()
+        stream = record.runtime.get("stream")
+        if stream is not None:
+            record.result = stream.result()
+        else:
+            record.result = record.runtime["session"].result()
         self._teardown_runtime(record)
         self._scheduler.remove(record.campaign_id)
         self._active.remove(record)
@@ -486,6 +610,16 @@ class CampaignService:
         for victim in victims:
             self._pending.remove(victim)
             victim.status = CampaignStatus.SHED
+
+    def _feed_backlog(self) -> None:
+        """Report the streamed campaigns' aggregate backlog to
+        admission control (zero when none are streaming)."""
+        depth = sum(
+            record.runtime["stream"].backlog
+            for record in self._active
+            if record.runtime is not None and "stream" in record.runtime
+        )
+        self._admission.observe_backlog(depth)
 
     # ------------------------------------------------------------------
     # introspection / teardown
@@ -518,6 +652,8 @@ class CampaignService:
             "completed": self._completed,
             "active": len(self._active),
             "pending": len(self._pending),
+            "stream_backlog": self._admission.backlog,
+            "effective_queue_limit": self._admission.effective_queue_limit,
             "admission": self._admission.counters,
             "ledger": self.ledger.as_dict(),
             "campaigns": {
@@ -593,12 +729,20 @@ class CampaignService:
             for record in records
             if record.get("kind") == "checkpoint"
         ]
-        if not records or not checkpoints:
+        if checkpoints:
+            base_spent = float(checkpoints[-1]["session"]["budget_spent"])
+        elif any(
+            record.get("kind") == "stream_checkpoint" for record in records
+        ):
+            # A streamed campaign killed in its bootstrap phase: the
+            # checking session does not exist yet, so nothing of the
+            # budget is spent.
+            base_spent = 0.0
+        else:
             raise SerializationError(
                 f"journal {journal_path} has no intact checkpoint"
             )
         tenant_records = [
             record for record in records if record.get("kind") == "tenant"
         ]
-        base_spent = float(checkpoints[-1]["session"]["budget_spent"])
         return base_spent, tenant_records[-1] if tenant_records else None

@@ -444,6 +444,83 @@ class OnlineCheckingSession:
         if callable(invalidate):
             invalidate(group_indices)
 
+    def add_groups(
+        self,
+        states: Sequence[BeliefState],
+        ground_truth: Mapping[int, bool] | None = None,
+    ) -> list[int]:
+        """Grow the campaign's belief with newly formed groups.
+
+        The streaming runtime seals task groups as their preliminary
+        votes arrive; each sealed group joins the live belief here and
+        becomes selectable from the next round on.  Existing group
+        indices — and therefore the selector's per-group caches — are
+        untouched.  A session that had finished because no remaining
+        fact offered positive gain is revived: the fresh groups are new
+        work (the next ``next_queries`` re-checks affordability, so a
+        genuinely exhausted budget finishes it again immediately).
+        """
+        if self._pending is not None:
+            raise SessionStateError(
+                "cannot add groups while answers are pending"
+            )
+        indices = [self._belief.add_group(state) for state in states]
+        if ground_truth:
+            if self._ground_truth is None:
+                self._ground_truth = {}
+            for fact_id in ground_truth:
+                self._ground_truth[int(fact_id)] = bool(
+                    ground_truth[fact_id]
+                )
+        if indices and self._finished:
+            self._finished = False
+        return indices
+
+    def apply_out_of_band(
+        self, answer_set: AnswerSet
+    ) -> list[FaultEvent]:
+        """Fold a late, out-of-round answer set in with tempering.
+
+        Streamed preliminary labels that arrive after their group was
+        sealed (but inside the straggler window) still carry evidence;
+        they are applied between checking rounds with the *tempered*
+        update only — a contradictory straggler degrades gracefully
+        instead of raising.  No budget is charged: the checking budget
+        ``B`` counts expert answers, and these are preliminary-tier
+        votes.  Returns one ``late_admit`` event per touched group.
+        """
+        if self._pending is not None:
+            raise SessionStateError(
+                "cannot apply out-of-band answers while a round is "
+                "pending"
+            )
+        by_group: dict[int, dict[int, bool]] = {}
+        for fact_id, answer in answer_set.answers.items():
+            group_index = self._belief.group_index_of(fact_id)
+            by_group.setdefault(group_index, {})[fact_id] = answer
+        events: list[FaultEvent] = []
+        for group_index in sorted(by_group):
+            answers = by_group[group_index]
+            sub = AnswerSet(worker=answer_set.worker, answers=answers)
+            updated, tempered = tempered_update_with_answer_set(
+                self._belief[group_index], sub
+            )
+            self._belief.replace_group(group_index, updated)
+            events.append(
+                FaultEvent(
+                    kind="late_admit",
+                    round_index=self._round_index,
+                    worker_id=answer_set.worker.worker_id,
+                    fact_ids=tuple(sorted(answers)),
+                    detail=(
+                        "late stream event applied with tempering"
+                        + (" (evidence floored)" if tempered else "")
+                    ),
+                )
+            )
+        self._invalidate(by_group.keys())
+        return events
+
     def replace_experts(self, experts: Crowd) -> None:
         """Swap the checking panel (worker reassignment).
 

@@ -54,6 +54,17 @@ class SimulatedExpertPanel:
         correct = self._rng.random() < worker.accuracy
         return truth if correct else not truth
 
+    def extend_truth(self, ground_truth: Mapping[int, bool]) -> None:
+        """Teach the panel facts that streamed in after construction.
+
+        The open-world runtime creates the panel when the first task
+        group seals, then keeps feeding it the ground truth of facts
+        that arrive later; existing entries are never overwritten, so
+        the RNG-replay contract of :meth:`get_state` is unaffected.
+        """
+        for fact_id, value in ground_truth.items():
+            self._truth.setdefault(int(fact_id), bool(value))
+
     def get_state(self) -> dict:
         """JSON-compatible snapshot of the panel's RNG progress.
 

@@ -45,7 +45,7 @@ from ..core.answers import AnswerFamily, AnswerSet, PartialAnswerFamily
 from ..core.budget import CheckingBudget, CostModel
 from ..core.hc import RunResult
 from ..core.incidents import FaultEvent
-from ..core.observations import FactoredBelief
+from ..core.observations import BeliefState, FactoredBelief
 from ..core.selection import Selector
 from ..core.serialization import (
     FORMAT_VERSION,
@@ -177,6 +177,19 @@ class ResilientCheckingSession:
         parallel engine stores its shard layout here; the campaign
         service prepends its tenant identity).  Each must carry a
         ``"kind"`` field; ignored without ``journal_path``.
+    journal_header:
+        ``False`` when the caller already initialized the journal file
+        (header, metadata, its own bootstrap records) and will trigger
+        the first checkpoint itself — the streaming runtime does this
+        so its stream-offset extras ride on every checkpoint from the
+        very first one.  Defaults to ``True`` (write header, metadata
+        and an initial checkpoint on construction).
+    checkpoint_extras:
+        Optional zero-argument callable returning a JSON-serializable
+        dict; when set, every checkpoint record carries its result
+        under the ``"stream"`` key.  The streaming runtime uses this to
+        persist its event-log offset, watermark and dedup state
+        atomically with the session state.
     """
 
     def __init__(
@@ -198,6 +211,8 @@ class ResilientCheckingSession:
         sleep: Callable[[float], None] | None = None,
         update_engine=None,
         journal_metadata: dict | Sequence[dict] | None = None,
+        journal_header: bool = True,
+        checkpoint_extras: Callable[[], dict] | None = None,
     ):
         inner = OnlineCheckingSession(
             belief,
@@ -223,8 +238,9 @@ class ResilientCheckingSession:
             rng=np.random.default_rng(seed),
             sleep=sleep,
             supervisor=supervisor,
+            checkpoint_extras=checkpoint_extras,
         )
-        if self._journal_path is not None:
+        if self._journal_path is not None and journal_header:
             append_journal_record(
                 self._journal_path,
                 {
@@ -265,9 +281,11 @@ class ResilientCheckingSession:
         rng: np.random.Generator,
         sleep: Callable[[float], None] | None,
         supervisor: TrustSupervisor | None = None,
+        checkpoint_extras: Callable[[], dict] | None = None,
     ) -> None:
         self._inner = inner
         self._supervisor = supervisor
+        self._checkpoint_extras = checkpoint_extras
         self._cost_model = cost_model or CostModel()
         self._retry = retry_policy or RetryPolicy()
         self._reserve = reserve
@@ -431,6 +449,124 @@ class ResilientCheckingSession:
                 else None
             ),
         )
+
+    # ------------------------------------------------------------------
+    # streaming integration: group growth and expert churn
+    # ------------------------------------------------------------------
+
+    def add_groups(
+        self,
+        states: Sequence[BeliefState],
+        ground_truth: Mapping[int, bool] | None = None,
+    ) -> list[int]:
+        """Grow the belief with newly sealed streaming groups.
+
+        Delegates to
+        :meth:`~repro.simulation.online.OnlineCheckingSession.add_groups`.
+        A session halted on an abandoned query set stays halted (that
+        query set is still unanswerable), but one that merely ran out
+        of selectable work is revived by the inner call.
+        """
+        return self._inner.add_groups(states, ground_truth)
+
+    def note_incident(self, event: FaultEvent) -> None:
+        """Record an externally observed incident (journaled; not
+        attached to any round) — the streaming runtime's hook for
+        ``group_sealed``/``late_drop`` events it detects itself."""
+        self._note(event, attach_to_round=False)
+
+    def apply_out_of_band(self, answer_set: AnswerSet) -> None:
+        """Fold a late streamed answer set in with tempering, noting
+        one ``late_admit`` incident per touched group."""
+        for event in self._inner.apply_out_of_band(answer_set):
+            self._note(event, attach_to_round=False)
+
+    def adopt_expert(self, worker) -> bool:
+        """Admit a worker who joined the stream onto the checking panel.
+
+        Registered with the trust supervisor (fresh joiners start on the
+        policy prior; rejoining workers keep their earlier posterior),
+        so churned-in experts are immediately under CircuitBreaker/CUSUM
+        supervision.  Returns ``False`` when the worker is already on
+        the panel.
+        """
+        panel = list(self._inner.experts)
+        if any(member.worker_id == worker.worker_id for member in panel):
+            return False
+        if self._supervisor is not None:
+            self._supervisor.register(worker)
+        self._inner.replace_experts(Crowd(panel + [worker]))
+        self._note(
+            FaultEvent(
+                kind="worker_join",
+                round_index=self._inner.round_index,
+                worker_id=worker.worker_id,
+                detail=f"stream join (accuracy {worker.accuracy:.3f})",
+            ),
+            attach_to_round=False,
+        )
+        return True
+
+    def retire_expert(self, worker_id: str) -> bool:
+        """Drop a departed worker from the panel and the reserve pool.
+
+        Departure is not misbehavior: the worker is removed outright
+        rather than quarantined (quarantine would schedule probation
+        probes for someone who is gone).  Their trust posterior is kept,
+        so a later rejoin resumes supervision where it left off.  The
+        last panel member is retained — a checking campaign cannot run
+        against an empty crowd — with the retention noted.
+        """
+        before = len(self._reserve)
+        self._reserve = [
+            member for member in self._reserve
+            if member.worker_id != worker_id
+        ]
+        removed_reserve = len(self._reserve) != before
+        panel = list(self._inner.experts)
+        on_panel = any(
+            member.worker_id == worker_id for member in panel
+        )
+        if not on_panel:
+            if removed_reserve:
+                self._note(
+                    FaultEvent(
+                        kind="worker_leave",
+                        round_index=self._inner.round_index,
+                        worker_id=worker_id,
+                        detail="stream leave (was in reserve pool)",
+                    ),
+                    attach_to_round=False,
+                )
+            return removed_reserve
+        remaining = [
+            member for member in panel if member.worker_id != worker_id
+        ]
+        if not remaining:
+            self._note(
+                FaultEvent(
+                    kind="worker_leave",
+                    round_index=self._inner.round_index,
+                    worker_id=worker_id,
+                    detail=(
+                        "stream leave ignored: last panel member "
+                        "retained to keep the crowd non-empty"
+                    ),
+                ),
+                attach_to_round=False,
+            )
+            return False
+        self._inner.replace_experts(Crowd(remaining))
+        self._note(
+            FaultEvent(
+                kind="worker_leave",
+                round_index=self._inner.round_index,
+                worker_id=worker_id,
+                detail="stream leave (removed from panel)",
+            ),
+            attach_to_round=False,
+        )
+        return True
 
     # ------------------------------------------------------------------
     # collection with retry / backoff / reassignment
@@ -875,7 +1011,44 @@ class ResilientCheckingSession:
             get_state = getattr(answer_source, "get_state", None)
             if callable(get_state):
                 record["source"] = get_state()
+        if self._checkpoint_extras is not None:
+            record["stream"] = self._checkpoint_extras()
         append_journal_record(self._journal_path, record)
+
+    def rewind_source(self, answer_source) -> None:
+        """Apply the journaled answer-source state immediately.
+
+        :meth:`run` does this lazily on its next call; callers that may
+        checkpoint a finished session *without* running it again (the
+        streaming runtime keeps checkpointing event boundaries after
+        the budget is spent) rewind eagerly so those checkpoints carry
+        the journaled source state, not a freshly seeded one.
+        """
+        if self._pending_source_state is None:
+            return
+        set_state = getattr(answer_source, "set_state", None)
+        if callable(set_state):
+            set_state(self._pending_source_state)
+        self._pending_source_state = None
+
+    def checkpoint(self, answer_source=None) -> None:
+        """Force a checkpoint now (streaming event-boundary hook).
+
+        The resilient loop checkpoints at its own transitions; the
+        streaming runtime additionally checkpoints after every admitted
+        event so a ``kill -9`` at any event boundary resumes
+        exactly-once.  No-op without a journal.
+        """
+        self._journal_checkpoint(answer_source)
+
+    def set_checkpoint_extras(
+        self, checkpoint_extras: Callable[[], dict] | None
+    ) -> None:
+        """Install (or clear) the per-checkpoint extras provider.
+
+        :meth:`resume` cannot receive the callable through the journal;
+        the streaming runtime re-attaches it here after restoring."""
+        self._checkpoint_extras = checkpoint_extras
 
     @classmethod
     def resume(

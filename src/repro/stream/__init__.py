@@ -1,0 +1,40 @@
+"""Streaming open-world campaign runtime.
+
+The paper assumes a fixed answer matrix and a closed crowd; a platform
+does not.  This package turns the batch pipeline into a continuously
+operating one:
+
+* :mod:`~repro.stream.events` — the replayable event log: preliminary
+  labels, new facts and worker join/leave as seeded, ordered records;
+* :mod:`~repro.stream.arrivals` — Poisson / bursty / stalled arrival
+  processes stamping event times;
+* :mod:`~repro.stream.chaos` — :class:`StreamChaos`, stateless seeded
+  reorder/duplicate/stall/drop injection on the delivery path;
+* :mod:`~repro.stream.incremental` — watermarks and the incremental
+  belief builder (property-tested equal to batch initialization);
+* :mod:`~repro.stream.runtime` — :class:`StreamingCampaign`, which
+  admits the delivered stream, seals groups into a live
+  :class:`~repro.simulation.resilient.ResilientCheckingSession`, routes
+  churn through trust supervision, and checkpoints stream offsets in
+  the journal for exactly-once, byte-identical resume.
+"""
+
+from .arrivals import ArrivalProcess, generate_event_stream, make_arrivals
+from .chaos import StreamChaos
+from .events import StreamEvent, event_from_dict, event_to_dict
+from .incremental import StreamingBeliefBuilder, WatermarkTracker
+from .runtime import StreamSpec, StreamingCampaign
+
+__all__ = [
+    "ArrivalProcess",
+    "StreamChaos",
+    "StreamEvent",
+    "StreamSpec",
+    "StreamingBeliefBuilder",
+    "StreamingCampaign",
+    "WatermarkTracker",
+    "event_from_dict",
+    "event_to_dict",
+    "generate_event_stream",
+    "make_arrivals",
+]

@@ -1,0 +1,187 @@
+"""Delivery-path fault injection for the streaming runtime.
+
+:mod:`repro.engine.chaos` breaks the shard transport; this module
+breaks the *arrival path*: the generated event log is well-ordered, but
+what the campaign actually receives may be reordered, duplicated,
+stalled (delivered far later than generated) or dropped entirely.
+
+:class:`StreamChaos` is a pure, seeded plan.  Given the generated log
+it computes the full *delivery schedule* up front
+(:meth:`plan_delivery`) — a deterministic function of ``(rates, seed)``
+— so a killed-and-resumed campaign replays exactly the same degraded
+delivery as an uninterrupted one.  Per-event decisions are stateless
+draws from ``SeedSequence([seed, salt, event_seq])``, mirroring the
+engine plan's idiom.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulation.faults import parse_rate_spec
+from .events import StreamEvent
+
+#: Injectable delivery faults, in the order draws are checked.
+STREAM_CHAOS_ACTIONS = ("drop", "stall", "reorder", "duplicate")
+
+#: Salt for the per-event draw stream (distinct from other planners).
+_DRAW_SALT = 0x5C40
+
+
+@dataclass(frozen=True)
+class StreamChaos:
+    """Seeded configuration of arrival-path fault injection.
+
+    Parameters
+    ----------
+    drop, stall, reorder, duplicate:
+        Per-event probabilities (mutually exclusive per draw, checked
+        in that order) that the event is lost, delivered far out of
+        position (``stall_shift`` slots late — past the straggler
+        window, exercising the late-drop path), delivered slightly out
+        of position (``reorder_shift`` slots late — inside the
+        watermark's grace, exercising the late-admit path), or
+        delivered twice (the duplicate ``duplicate_shift`` slots after
+        the original, exercising dedup).
+    reorder_shift, stall_shift, duplicate_shift:
+        Displacements in delivery slots for the respective faults.
+    seed:
+        Seed of the per-event draw streams.
+    """
+
+    drop: float = 0.0
+    stall: float = 0.0
+    reorder: float = 0.0
+    duplicate: float = 0.0
+    reorder_shift: int = 3
+    stall_shift: int = 24
+    duplicate_shift: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for name in STREAM_CHAOS_ACTIONS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"{name} rate must lie in [0, 1], got {rate}"
+                )
+            total += rate
+        if total > 1.0 + 1e-12:
+            raise ValueError(
+                "drop + stall + reorder + duplicate must not exceed 1 "
+                "(they are mutually exclusive per-event actions)"
+            )
+        for name in ("reorder_shift", "stall_shift", "duplicate_shift"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            getattr(self, name) > 0.0 for name in STREAM_CHAOS_ACTIONS
+        )
+
+    def action_for(self, event_seq: int) -> str | None:
+        """The fault to inject on one event, or ``None``.
+
+        Deterministic and stateless: the draw comes from its own
+        ``SeedSequence([seed, salt, event_seq])`` stream, so the same
+        plan degrades the same events regardless of where a resumed
+        campaign picks the stream back up.
+        """
+        if not self.enabled:
+            return None
+        draw = np.random.default_rng(
+            np.random.SeedSequence(
+                [int(self.seed), _DRAW_SALT, int(event_seq)]
+            )
+        ).random()
+        threshold = 0.0
+        for name in STREAM_CHAOS_ACTIONS:
+            threshold += getattr(self, name)
+            if draw < threshold:
+                return name
+        return None
+
+    def plan_delivery(
+        self, events: "list[StreamEvent]"
+    ) -> "list[StreamEvent]":
+        """The degraded delivery order of a generated event log.
+
+        Each event gets a delivery priority equal to its generated
+        position, displaced forward by the injected fault; a stable
+        sort by ``(priority, seq, copy)`` yields the order the campaign
+        will actually receive.  Dropped events are absent; duplicated
+        events appear twice (same ``seq`` — admission dedup must catch
+        the second copy).
+        """
+        scheduled: list[tuple[int, int, int, StreamEvent]] = []
+        for position, event in enumerate(events):
+            action = self.action_for(event.seq)
+            if action == "drop":
+                continue
+            priority = position
+            if action == "stall":
+                priority = position + self.stall_shift
+            elif action == "reorder":
+                priority = position + self.reorder_shift
+            scheduled.append((priority, event.seq, 0, event))
+            if action == "duplicate":
+                scheduled.append(
+                    (position + self.duplicate_shift, event.seq, 1, event)
+                )
+        scheduled.sort(key=lambda entry: entry[:3])
+        return [entry[3] for entry in scheduled]
+
+    def to_dict(self) -> dict:
+        """JSON form, stored in the journal's stream config record."""
+        return {
+            "drop": self.drop,
+            "stall": self.stall,
+            "reorder": self.reorder,
+            "duplicate": self.duplicate,
+            "reorder_shift": self.reorder_shift,
+            "stall_shift": self.stall_shift,
+            "duplicate_shift": self.duplicate_shift,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "StreamChaos":
+        return cls(
+            drop=float(payload.get("drop", 0.0)),
+            stall=float(payload.get("stall", 0.0)),
+            reorder=float(payload.get("reorder", 0.0)),
+            duplicate=float(payload.get("duplicate", 0.0)),
+            reorder_shift=int(payload.get("reorder_shift", 3)),
+            stall_shift=int(payload.get("stall_shift", 24)),
+            duplicate_shift=int(payload.get("duplicate_shift", 2)),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "StreamChaos":
+        """Build a plan from a ``name=rate,...`` CLI/env spec.
+
+        Example: ``"reorder=0.1,duplicate=0.05,stall=0.02"``.
+        """
+        rates = parse_rate_spec(spec, STREAM_CHAOS_ACTIONS)
+        return cls(seed=seed, **rates)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "StreamChaos | None":
+        """Plan from ``REPRO_STREAM_CHAOS`` (+ ``REPRO_STREAM_CHAOS_SEED``),
+        or ``None`` when unset — the hook the CI ``stream-chaos`` matrix
+        uses to degrade delivery under the whole stream test suite."""
+        env = os.environ if environ is None else environ
+        spec = env.get("REPRO_STREAM_CHAOS")
+        if not spec:
+            return None
+        plan = cls.parse(
+            spec, seed=int(env.get("REPRO_STREAM_CHAOS_SEED", "0"))
+        )
+        return plan if plan.enabled else None

@@ -1,0 +1,97 @@
+"""The streaming event log: typed, ordered, replayable records.
+
+A streamed campaign is driven by a sequence of :class:`StreamEvent`
+records rather than a pre-materialized dataset.  Each event carries a
+monotone sequence number ``seq`` (its position in the *generated* log —
+chaos may deliver it out of order, but ``seq`` never changes and is what
+admission dedups on) and an arrival-process timestamp ``time`` (what
+watermarks advance on).
+
+Event kinds and payloads:
+
+``new_fact``
+    ``{"fact_id", "instance_id", "label", "truth"}`` — a fact enters
+    the open world.  ``truth`` is the simulation's ground truth,
+    carried so the evaluation harness can score streamed campaigns.
+``prelim_label``
+    ``{"fact_id", "worker_id", "accuracy", "answer"}`` — one
+    preliminary-tier vote on a fact; these accumulate into the Eq-15
+    initialization fractions.  ``accuracy`` is the voter's rate,
+    carried so a vote straggling in after its group sealed can still
+    be folded in as a tempered out-of-band update.
+``worker_join``
+    ``{"worker_id", "accuracy"}`` — an expert becomes available.
+``worker_leave``
+    ``{"worker_id"}`` — an expert departs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+#: The event kinds a version-7 stream log may contain.
+EVENT_KINDS = frozenset(
+    {"new_fact", "prelim_label", "worker_join", "worker_leave"}
+)
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One record of the replayable stream log.
+
+    Parameters
+    ----------
+    seq:
+        Position in the generated log; unique, dense from 0.  Delivery
+        chaos permutes *delivery* order, never ``seq`` — it is the
+        exactly-once dedup key.
+    time:
+        Arrival timestamp stamped by the arrival process (seconds on an
+        abstract clock).  Non-decreasing in ``seq`` at generation time;
+        chaos-induced reorder is what makes watermarks necessary.
+    kind:
+        One of :data:`EVENT_KINDS`.
+    payload:
+        Kind-specific fields (see module docstring); exposed read-only.
+    """
+
+    seq: int
+    time: float
+    kind: str
+    payload: Mapping[str, object]
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError("StreamEvent.seq must be non-negative")
+        if self.time < 0.0:
+            raise ValueError("StreamEvent.time must be non-negative")
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown stream event kind {self.kind!r}; "
+                f"expected one of {sorted(EVENT_KINDS)}"
+            )
+        object.__setattr__(
+            self, "payload", MappingProxyType(dict(self.payload))
+        )
+
+
+def event_to_dict(event: StreamEvent) -> dict:
+    """JSON-serializable form of a stream event."""
+    return {
+        "seq": int(event.seq),
+        "time": float(event.time),
+        "kind": event.kind,
+        "payload": dict(event.payload),
+    }
+
+
+def event_from_dict(payload: Mapping) -> StreamEvent:
+    """Inverse of :func:`event_to_dict`."""
+    return StreamEvent(
+        seq=int(payload["seq"]),
+        time=float(payload["time"]),
+        kind=str(payload["kind"]),
+        payload=dict(payload.get("payload", {})),
+    )

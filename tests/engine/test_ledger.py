@@ -229,3 +229,55 @@ class TestLedgerAudit:
         with pytest.raises(RuntimeError, match="infrastructure died"):
             runner.run()
         assert shared.open_reservations == 0, shared.audit()
+
+
+class TestLedgerExactness:
+    """The books are kept in exact decimal fractions — float charge
+    streams that would accumulate binary drift settle exactly."""
+
+    def test_ten_dimes_commit_to_exactly_one(self):
+        ledger = BudgetLedger(1.0)
+        for _ in range(10):
+            ledger.commit_direct(0.1)
+        # float accumulation gives 0.9999999999999999; the ledger not
+        assert ledger.committed == 1.0
+        assert ledger.available == 0.0
+
+    def test_many_awkward_charges_settle_exactly(self):
+        ledger = BudgetLedger(400.0)
+        for _ in range(24):
+            ticket = ledger.reserve(14.4)
+            ledger.commit(ticket, 14.4)
+        assert ledger.committed == 345.6
+        # float arithmetic puts 400.0 - 345.6 at 54.400000000000006 and
+        # 24 * 14.4 at 345.59999999999997; the exact books do not
+        assert ledger.available == 54.4
+        assert ledger.open_reservations == 0
+
+    def test_exact_books_admit_the_full_total(self):
+        # 0.1 + 0.2 > 0.3 in floats; exact books still admit the rest
+        ledger = BudgetLedger(0.6)
+        ledger.commit_direct(0.1)
+        ledger.commit_direct(0.2)
+        ticket = ledger.reserve(0.3)
+        ledger.commit(ticket, 0.3)
+        assert ledger.committed == 0.6
+        assert ledger.available == 0.0
+
+    def test_audit_amounts_are_exact(self):
+        ledger = BudgetLedger(10.0)
+        ledger.reserve(0.1, label="a")
+        ledger.reserve(0.2, label="b")
+        amounts = [entry["amount"] for entry in ledger.audit()]
+        assert amounts == [0.1, 0.2]
+        assert ledger.outstanding == pytest.approx(0.3)
+
+    def test_as_dict_round_trips_without_drift(self):
+        ledger = BudgetLedger(1.0)
+        for _ in range(7):
+            ledger.commit_direct(0.1)
+        snapshot = ledger.as_dict()
+        assert snapshot["committed"] == 0.7
+        assert snapshot["outstanding"] == 0.0
+        assert snapshot["total"] == 1.0
+        assert snapshot["open_reservations"] == 0

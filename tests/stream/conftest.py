@@ -1,0 +1,66 @@
+"""Shared fixtures and helpers for the streaming-runtime suite.
+
+The CI ``stream-chaos`` job sets ``REPRO_STREAM_CHAOS`` (and a seed)
+before running this directory, so :func:`build_spec` honors the
+environment plan when one is present and falls back to a fixed local
+chaos mix otherwise — every test in the suite then exercises the same
+degraded delivery the job's matrix prescribes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import make_synthetic_dataset
+from repro.stream import (
+    StreamChaos,
+    StreamSpec,
+    generate_event_stream,
+    make_arrivals,
+)
+
+#: Checking budget used by the resume/byte-identity campaigns.
+BUDGET = 40.0
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return make_synthetic_dataset(
+        num_groups=3, group_size=3, answers_per_fact=6, seed=1
+    )
+
+
+def build_spec(**overrides) -> StreamSpec:
+    """The suite's canonical streamed-campaign spec.
+
+    ``REPRO_STREAM_CHAOS`` (the CI matrix) wins over the local default
+    chaos mix; explicit ``chaos=...`` overrides win over both.
+    """
+    base = dict(
+        rate=50.0,
+        votes_per_fact=3,
+        group_size=3,
+        target_votes=2,
+        churn=0.1,
+        seed=7,
+        chaos=StreamChaos.from_env()
+        or StreamChaos(reorder=0.15, duplicate=0.1, stall=0.05, seed=3),
+    )
+    base.update(overrides)
+    return StreamSpec(**base)
+
+
+def events_for(dataset, spec: StreamSpec):
+    return generate_event_stream(
+        dataset,
+        theta=spec.theta,
+        votes_per_fact=spec.votes_per_fact,
+        arrivals=make_arrivals(spec.arrival, spec.rate),
+        seed=spec.seed,
+        churn_rate=spec.churn,
+        window=spec.window,
+    )
+
+
+def experts_for(dataset, spec: StreamSpec):
+    return dataset.split_crowd(spec.theta)[0]

@@ -1,0 +1,87 @@
+"""Arrival processes and the replayable event-log generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream import generate_event_stream, make_arrivals
+from repro.stream.arrivals import ARRIVAL_KINDS, StalledArrivals
+
+
+@pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+def test_timestamps_are_non_decreasing_and_seeded(kind):
+    arrivals = make_arrivals(kind, rate=25.0)
+    first = arrivals.timestamps(200, np.random.default_rng(5))
+    second = arrivals.timestamps(200, np.random.default_rng(5))
+    assert first == second
+    assert all(b >= a for a, b in zip(first, first[1:]))
+    assert all(value > 0.0 for value in first)
+
+
+def test_make_arrivals_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        make_arrivals("fractal", rate=10.0)
+
+
+def test_invalid_rates_rejected():
+    with pytest.raises(ValueError):
+        make_arrivals("poisson", rate=0.0)
+    with pytest.raises(ValueError):
+        StalledArrivals(rate=10.0, stall_every=0)
+
+
+def test_stalled_arrivals_inject_dead_air():
+    arrivals = StalledArrivals(
+        rate=100.0, stall_every=10, stall_duration=50.0
+    )
+    gaps = arrivals.gaps(100, np.random.default_rng(0))
+    stall_gaps = gaps[9::10]
+    normal = np.delete(gaps, np.arange(9, 100, 10))
+    assert stall_gaps.mean() > normal.mean() * 10
+
+
+def test_event_stream_is_replayable(dataset):
+    kwargs = dict(theta=0.9, votes_per_fact=3, seed=11, churn_rate=0.2)
+    first = generate_event_stream(dataset, **kwargs)
+    second = generate_event_stream(dataset, **kwargs)
+    assert first == second
+    assert [event.seq for event in first] == list(range(len(first)))
+    times = [event.time for event in first]
+    assert times == sorted(times)
+
+
+def test_event_stream_covers_every_fact_and_vote(dataset):
+    events = generate_event_stream(dataset, votes_per_fact=2, seed=3)
+    new_facts = [event for event in events if event.kind == "new_fact"]
+    votes = [event for event in events if event.kind == "prelim_label"]
+    assert len(new_facts) == dataset.num_facts
+    assert {event.payload["fact_id"] for event in new_facts} == set(
+        dataset.fact_ids
+    )
+    assert len(votes) == 2 * dataset.num_facts
+    # every vote references a fact that exists in the dataset
+    assert all(
+        event.payload["fact_id"] in set(dataset.fact_ids) for event in votes
+    )
+
+
+def test_churn_weaves_worker_departures(dataset):
+    events = generate_event_stream(dataset, seed=5, churn_rate=0.5)
+    kinds = {event.kind for event in events}
+    assert "worker_leave" in kinds
+    # churn must never invent workers: every leave names a CE member
+    experts, _ = dataset.split_crowd(0.9)
+    known = {worker.worker_id for worker in experts}
+    assert all(
+        event.payload["worker_id"] in known
+        for event in events
+        if event.kind in ("worker_leave", "worker_join")
+    )
+
+
+def test_zero_churn_emits_no_membership_events(dataset):
+    events = generate_event_stream(dataset, seed=5, churn_rate=0.0)
+    assert all(
+        event.kind in ("new_fact", "prelim_label") for event in events
+    )

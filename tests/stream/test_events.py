@@ -1,0 +1,60 @@
+"""Stream event records: validation, immutability, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream import StreamEvent, event_from_dict, event_to_dict
+from repro.stream.events import EVENT_KINDS
+
+
+def test_event_kinds_cover_the_streaming_protocol():
+    assert EVENT_KINDS == {
+        "new_fact",
+        "prelim_label",
+        "worker_join",
+        "worker_leave",
+    }
+
+
+def test_validation_rejects_bad_fields():
+    with pytest.raises(ValueError):
+        StreamEvent(seq=-1, time=0.0, kind="new_fact", payload={})
+    with pytest.raises(ValueError):
+        StreamEvent(seq=0, time=-0.5, kind="new_fact", payload={})
+    with pytest.raises(ValueError):
+        StreamEvent(seq=0, time=0.0, kind="nonsense", payload={})
+
+
+def test_payload_is_immutable():
+    event = StreamEvent(
+        seq=0, time=1.0, kind="new_fact", payload={"fact_id": 3}
+    )
+    with pytest.raises(TypeError):
+        event.payload["fact_id"] = 4
+
+
+def test_payload_is_copied_not_aliased():
+    payload = {"fact_id": 3}
+    event = StreamEvent(seq=0, time=1.0, kind="new_fact", payload=payload)
+    payload["fact_id"] = 9
+    assert event.payload["fact_id"] == 3
+
+
+def test_dict_round_trip():
+    event = StreamEvent(
+        seq=5,
+        time=2.5,
+        kind="prelim_label",
+        payload={
+            "fact_id": 1,
+            "worker_id": "w1",
+            "accuracy": 0.8,
+            "answer": True,
+        },
+    )
+    clone = event_from_dict(event_to_dict(event))
+    assert clone.seq == event.seq
+    assert clone.time == event.time
+    assert clone.kind == event.kind
+    assert dict(clone.payload) == dict(event.payload)

@@ -1,0 +1,217 @@
+"""Watermarks and the incremental initializer.
+
+The load-bearing property: a group sealed from streamed votes is
+**bit-identical** to the batch initialization
+(:func:`~repro.core.update.initialize_from_votes`) computed on the same
+vote prefix — no float drift between streaming and batch bootstrap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.facts import Fact, FactSet
+from repro.core.update import initialize_from_votes
+from repro.stream import StreamingBeliefBuilder, WatermarkTracker
+
+# ----------------------------------------------------------------------
+# watermark
+
+
+def test_watermark_trails_max_admitted_time():
+    tracker = WatermarkTracker(allowed_lateness=2.0)
+    assert tracker.watermark == -2.0
+    tracker.observe(10.0)
+    assert tracker.watermark == 8.0
+    assert tracker.lateness_of(7.0) == pytest.approx(1.0)
+    assert tracker.lateness_of(9.0) == pytest.approx(-1.0)
+
+
+def test_watermark_is_monotone():
+    tracker = WatermarkTracker(allowed_lateness=1.0)
+    tracker.observe(5.0)
+    tracker.observe(3.0)  # admitting a late event must not rewind
+    assert tracker.max_time == 5.0
+
+
+def test_watermark_state_round_trip():
+    tracker = WatermarkTracker(allowed_lateness=3.5)
+    tracker.observe(12.25)
+    clone = WatermarkTracker.from_state(tracker.state())
+    assert clone.watermark == tracker.watermark
+    assert clone.allowed_lateness == tracker.allowed_lateness
+
+
+# ----------------------------------------------------------------------
+# builder mechanics
+
+
+def test_duplicate_facts_and_sealed_votes_are_rejected():
+    builder = StreamingBeliefBuilder(group_size=1, target_votes=1)
+    assert builder.add_fact(7, time=0.0)
+    assert not builder.add_fact(7, time=1.0)
+    assert builder.add_vote(7, True)
+    (sealed,) = builder.sealable(watermark=0.0)
+    state, forced = sealed
+    assert not forced
+    assert builder.is_sealed(7)
+    assert not builder.add_vote(7, False)
+    assert not builder.add_fact(7, time=2.0)
+
+
+def test_normal_seal_waits_for_the_vote_target():
+    builder = StreamingBeliefBuilder(group_size=2, target_votes=2)
+    builder.add_fact(1, time=0.0)
+    builder.add_fact(2, time=0.1)
+    builder.add_vote(1, True)
+    builder.add_vote(1, True)
+    builder.add_vote(2, True)
+    assert builder.sealable(watermark=5.0) == []
+    builder.add_vote(2, False)
+    ((state, forced),) = builder.sealable(watermark=5.0)
+    assert not forced
+    assert [fact.fact_id for fact in state.facts] == [1, 2]
+
+
+def test_straggler_timeout_forces_a_short_unvoted_seal():
+    builder = StreamingBeliefBuilder(
+        group_size=3, target_votes=2, straggler_timeout=10.0
+    )
+    builder.add_fact(1, time=0.0)
+    builder.add_fact(2, time=1.0)
+    # only one vote ever arrives, and only for fact 1
+    builder.add_vote(1, True)
+    assert builder.sealable(watermark=9.0) == []
+    ((state, forced),) = builder.sealable(watermark=10.0)
+    assert forced
+    assert [fact.fact_id for fact in state.facts] == [1, 2]
+    # the unvoted fact initialized at the uninformative 0.5 fraction
+    batch = initialize_from_votes(
+        FactSet(
+            [
+                Fact(fact_id=1, instance_id="", label="positive"),
+                Fact(fact_id=2, instance_id="", label="positive"),
+            ]
+        ),
+        {1: 1.0, 2: 0.5},
+        smoothing=0.01,
+    )
+    assert np.array_equal(state.probabilities, batch.probabilities)
+
+
+def test_builder_state_round_trip_preserves_sealing():
+    builder = StreamingBeliefBuilder(group_size=2, target_votes=1)
+    builder.add_fact(1, instance_id="a", label="positive", time=0.0)
+    builder.add_fact(2, instance_id="b", label="negative", time=0.5)
+    builder.add_vote(1, True)
+    builder.add_vote(2, False)
+    clone = StreamingBeliefBuilder.from_state(builder.state())
+    ((original, _),) = builder.sealable(watermark=0.0)
+    ((restored, _),) = clone.sealable(watermark=0.0)
+    assert np.array_equal(original.probabilities, restored.probabilities)
+    assert [f.fact_id for f in original.facts] == [
+        f.fact_id for f in restored.facts
+    ]
+
+
+# ----------------------------------------------------------------------
+# the bit-identity property
+
+
+@settings(derandomize=True, max_examples=50, deadline=None)
+@given(st.data())
+def test_incremental_initialization_equals_batch(data):
+    num_facts = data.draw(st.integers(1, 5), label="num_facts")
+    votes = {
+        fact_id: data.draw(
+            st.lists(st.booleans(), max_size=5), label=f"votes[{fact_id}]"
+        )
+        for fact_id in range(num_facts)
+    }
+    builder = StreamingBeliefBuilder(
+        group_size=num_facts, target_votes=0, smoothing=0.01
+    )
+    for fact_id in range(num_facts):
+        builder.add_fact(
+            fact_id, instance_id=f"i{fact_id}", label="positive", time=0.0
+        )
+        for answer in votes[fact_id]:
+            builder.add_vote(fact_id, answer)
+    ((streamed, forced),) = [
+        entry for entry in builder.sealable(watermark=0.0)
+    ] or [(None, None)]
+    assert streamed is not None and not forced
+    fractions = {
+        fact_id: (
+            sum(votes[fact_id]) / len(votes[fact_id])
+            if votes[fact_id]
+            else 0.5
+        )
+        for fact_id in range(num_facts)
+    }
+    batch = initialize_from_votes(
+        FactSet(
+            [
+                Fact(
+                    fact_id=fact_id,
+                    instance_id=f"i{fact_id}",
+                    label="positive",
+                )
+                for fact_id in range(num_facts)
+            ]
+        ),
+        fractions,
+        smoothing=0.01,
+    )
+    assert np.array_equal(streamed.probabilities, batch.probabilities)
+
+
+@settings(derandomize=True, max_examples=25, deadline=None)
+@given(
+    chunks=st.integers(1, 3),
+    group_size=st.integers(1, 3),
+    seed=st.integers(0, 2**16),
+)
+def test_chunked_sealing_matches_per_chunk_batch(chunks, group_size, seed):
+    """Sealing head chunks one at a time equals batch-building each
+    chunk from the same votes — mid-campaign group formation does not
+    perturb initialization."""
+    rng = np.random.default_rng(seed)
+    total = chunks * group_size
+    votes = {
+        fact_id: [bool(rng.random() < 0.7) for _ in range(3)]
+        for fact_id in range(total)
+    }
+    builder = StreamingBeliefBuilder(group_size=group_size, target_votes=3)
+    streamed = []
+    for fact_id in range(total):
+        builder.add_fact(fact_id, instance_id=f"i{fact_id}", time=0.0)
+        for answer in votes[fact_id]:
+            builder.add_vote(fact_id, answer)
+        streamed.extend(
+            state for state, _forced in builder.sealable(watermark=0.0)
+        )
+    assert len(streamed) == chunks
+    for index, state in enumerate(streamed):
+        ids = list(range(index * group_size, (index + 1) * group_size))
+        batch = initialize_from_votes(
+            FactSet(
+                [
+                    Fact(
+                        fact_id=fact_id,
+                        instance_id=f"i{fact_id}",
+                        label="positive",
+                    )
+                    for fact_id in ids
+                ]
+            ),
+            {
+                fact_id: sum(votes[fact_id]) / len(votes[fact_id])
+                for fact_id in ids
+            },
+            smoothing=0.01,
+        )
+        assert np.array_equal(state.probabilities, batch.probabilities)

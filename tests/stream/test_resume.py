@@ -1,0 +1,169 @@
+"""Exactly-once resume: kill a streamed campaign, continue byte-identical.
+
+The acceptance bar from the issue: a chaos-streamed campaign
+(reorder + duplicate + stall delivery, expert churn) killed at **every**
+event-boundary checkpoint must resume and produce a journal
+byte-identical to an uninterrupted run.  Three escalating forms here:
+
+* an in-process kill at every boundary (the exhaustive sweep),
+* a real ``SIGKILL`` of a subprocess mid-campaign,
+* a torn trailing record (the partial line a kill mid-``write`` leaves).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.stream import StreamingCampaign
+
+from .conftest import BUDGET, build_spec, events_for, experts_for
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _reference_journal(dataset, spec, path: Path) -> bytes:
+    campaign = StreamingCampaign(
+        events_for(dataset, spec),
+        experts_for(dataset, spec),
+        BUDGET,
+        spec=spec,
+        journal_path=path,
+    )
+    campaign.run()
+    assert campaign.finished
+    return path.read_bytes()
+
+
+@pytest.mark.chaos
+def test_kill_at_every_event_boundary_resumes_byte_identical(
+    dataset, tmp_path
+):
+    spec = build_spec()
+    events = events_for(dataset, spec)
+    experts = experts_for(dataset, spec)
+    reference = _reference_journal(dataset, spec, tmp_path / "ref.jsonl")
+    for boundary in range(len(events) + 1):
+        path = tmp_path / f"kill_{boundary}.jsonl"
+        first = StreamingCampaign(
+            events, experts, BUDGET, spec=spec, journal_path=path
+        )
+        first.run(max_events=boundary)
+        # "kill": drop the object on the floor, resume from disk alone
+        resumed = StreamingCampaign.resume(path, events, experts=experts)
+        resumed.run()
+        assert resumed.finished
+        assert path.read_bytes() == reference, (
+            f"journal diverged after kill at boundary {boundary}"
+        )
+
+
+_CHILD_SCRIPT = textwrap.dedent(
+    """
+    import os
+    import signal
+    import sys
+
+    from repro.datasets.synthetic import make_synthetic_dataset
+    from repro.stream import (
+        StreamChaos,
+        StreamSpec,
+        StreamingCampaign,
+        generate_event_stream,
+        make_arrivals,
+    )
+
+    journal, kill_after = sys.argv[1], int(sys.argv[2])
+    dataset = make_synthetic_dataset(
+        num_groups=3, group_size=3, answers_per_fact=6, seed=1
+    )
+    spec = StreamSpec(
+        rate=50.0,
+        votes_per_fact=3,
+        group_size=3,
+        target_votes=2,
+        churn=0.1,
+        seed=7,
+        chaos=StreamChaos.from_env()
+        or StreamChaos(reorder=0.15, duplicate=0.1, stall=0.05, seed=3),
+    )
+    events = generate_event_stream(
+        dataset,
+        theta=spec.theta,
+        votes_per_fact=spec.votes_per_fact,
+        arrivals=make_arrivals(spec.arrival, spec.rate),
+        seed=spec.seed,
+        churn_rate=spec.churn,
+        window=spec.window,
+    )
+    campaign = StreamingCampaign(
+        events,
+        dataset.split_crowd(spec.theta)[0],
+        40.0,
+        spec=spec,
+        journal_path=journal,
+    )
+    campaign.run(max_events=kill_after)
+    os.kill(os.getpid(), signal.SIGKILL)
+    """
+)
+
+
+def test_sigkill_mid_campaign_resumes_byte_identical(dataset, tmp_path):
+    spec = build_spec()
+    events = events_for(dataset, spec)
+    experts = experts_for(dataset, spec)
+    reference = _reference_journal(dataset, spec, tmp_path / "ref.jsonl")
+    journal = tmp_path / "killed.jsonl"
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, str(journal), "9"],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+    assert journal.exists()
+    resumed = StreamingCampaign.resume(journal, events, experts=experts)
+    resumed.run()
+    assert resumed.finished
+    assert journal.read_bytes() == reference
+
+
+def test_torn_trailing_record_is_repaired_on_resume(dataset, tmp_path):
+    spec = build_spec()
+    events = events_for(dataset, spec)
+    experts = experts_for(dataset, spec)
+    reference = _reference_journal(dataset, spec, tmp_path / "ref.jsonl")
+    journal = tmp_path / "torn.jsonl"
+    partial = StreamingCampaign(
+        events, experts, BUDGET, spec=spec, journal_path=journal
+    )
+    partial.run(max_events=7)
+    # a kill mid-write leaves a partial final line on disk
+    with journal.open("ab") as handle:
+        handle.write(b'{"kind": "checkp')
+    resumed = StreamingCampaign.resume(journal, events, experts=experts)
+    resumed.run()
+    assert resumed.finished
+    assert journal.read_bytes() == reference
+
+
+def test_resume_of_a_finished_campaign_is_a_no_op(dataset, tmp_path):
+    spec = build_spec()
+    events = events_for(dataset, spec)
+    journal = tmp_path / "done.jsonl"
+    reference = _reference_journal(dataset, spec, journal)
+    resumed = StreamingCampaign.resume(
+        journal, events, experts=experts_for(dataset, spec)
+    )
+    assert resumed.finished
+    resumed.run()
+    assert journal.read_bytes() == reference

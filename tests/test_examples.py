@@ -65,6 +65,13 @@ class TestExamples:
         assert "[lifetime 2] resumed" in out
         assert "[lifetime 2] finished" in out
 
+    def test_streaming_campaign(self, capsys):
+        out = _run_example("streaming_campaign.py", [], capsys)
+        assert "lifetime 1: killed mid-stream" in out
+        assert "lifetime 2: resumed and drained the stream" in out
+        assert "through the trust supervisor" in out
+        assert "budget spent" in out
+
     def test_degrading_expert(self, capsys):
         out = _run_example("degrading_expert.py", [], capsys)
         assert "unsupervised baseline" in out
