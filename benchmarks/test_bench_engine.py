@@ -7,44 +7,69 @@ selections, same budget trajectory, same final belief arrays), and
 records wall-clock to ``BENCH_engine.json`` at the repository root (and
 a copy under ``benchmarks/results/``).
 
-The answer source is a :class:`KeyedExpertPanel` whose per-query latency
-simulates real crowd turnaround; sharded collection overlaps those
-latencies across shard processes, which is the speedup being measured.
-Worker startup (process spawn + interpreter imports) is one-time cost
-and is reported separately as ``startup_seconds``: on a many-core
-machine it overlaps, on the 1-core CI box it serializes, and either way
-it amortizes over a campaign while the campaign-phase speedup does not.
+The campaign scale is 160 groups x 8 facts (1280 facts, 10x the
+pre-kernel benchmark): the bit-packed log-space kernel and the
+pre-serialized shard transport are what keep startup and per-round
+compute flat enough to measure latency overlap at this size.
 
-Set ``BENCH_ENGINE_SMOKE=1`` for the reduced CI version (2 workers,
-short campaign, equivalence assertions only — no speedup floor).
+The answer source is a :class:`KeyedExpertPanel` whose per-query latency
+simulates real crowd turnaround; sharded collection scatters each
+round's queries in balanced ``(fact, ask_index)`` chunks, so the shard
+processes overlap those latencies — that overlap is the speedup being
+measured.  Worker startup (process spawn + interpreter imports) is
+one-time cost and is reported separately as ``startup_seconds`` with
+its own ceiling: the pre-serialized transport pickles the shared
+panel/source payload once, so startup must stay flat as jobs grow.
+
+Set ``BENCH_ENGINE_SMOKE=1`` for the reduced CI version: the same
+10x dataset, but a short low-latency campaign on a 2-worker pool —
+equivalence assertions and the peak-RSS guard only, no speedup floor.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import resource
 import time
 from pathlib import Path
 
 from repro.core.hc import RunResult
+from repro.datasets import WorkerPoolSpec
 from repro.datasets.synthetic import make_synthetic_dataset
 from repro.engine import KeyedExpertPanel, ParallelCampaignRunner
 from repro.simulation.session import SessionConfig, run_hc_session
 
 SMOKE = os.environ.get("BENCH_ENGINE_SMOKE", "") not in ("", "0")
-NUM_GROUPS = 8 if SMOKE else 16
-GROUP_SIZE = 5
-K = 8
-BUDGET = 180.0 if SMOKE else 360.0
-LATENCY = 0.05 if SMOKE else 0.3
+NUM_GROUPS = 160
+GROUP_SIZE = 8
+K = 16
+BUDGET = 256.0 if SMOKE else 768.0
+LATENCY = 0.02 if SMOKE else 0.2
 JOB_COUNTS = (2,) if SMOKE else (2, 4)
+
+#: Ceilings enforced on the full (non-smoke) run.
+MAX_STARTUP_SECONDS = 1.5
+MIN_SPEEDUP_JOBS4 = 3.0
+
+#: Peak-RSS guard (enforced in smoke mode too — it is what the CI
+#: engine-smoke leg is for).  The coordinator at 160x8 holds 160 dense
+#: 256-state groups plus the pool's belief mirror — a few MB of arrays
+#: on top of the interpreter + numpy baseline; 600 MB is an order of
+#: magnitude of headroom that still catches an accidental per-shard
+#: belief copy or a dense-matrix blowup in the kernel.
+MAX_PEAK_RSS_MB = 600
 
 REPO_ROOT = Path(__file__).parent.parent
 
 
 def _dataset():
     return make_synthetic_dataset(
-        num_groups=NUM_GROUPS, group_size=GROUP_SIZE, seed=0
+        num_groups=NUM_GROUPS,
+        group_size=GROUP_SIZE,
+        answers_per_fact=6,
+        pool=WorkerPoolSpec(num_preliminary=30, num_expert=8),
+        seed=0,
     )
 
 
@@ -61,6 +86,11 @@ def _signature(result: RunResult):
     )
 
 
+def _peak_rss_mb() -> float:
+    """Coordinator-process peak RSS in MB (Linux ru_maxrss is in KB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
 def test_bench_engine(results_dir):
     dataset = _dataset()
     config = SessionConfig(budget=BUDGET, k=K, seed=1)
@@ -70,7 +100,7 @@ def test_bench_engine(results_dir):
     serial_seconds = time.perf_counter() - started
     reference = _signature(serial)
     rounds = len(serial.history) - 1
-    assert rounds >= 3
+    assert rounds >= (1 if SMOKE else 3)
 
     runs = {}
     for jobs in JOB_COUNTS:
@@ -99,11 +129,20 @@ def test_bench_engine(results_dir):
             "speedup": serial_seconds / campaign_seconds,
         }
 
+    peak_rss_mb = _peak_rss_mb()
+    assert peak_rss_mb < MAX_PEAK_RSS_MB
+
     if not SMOKE:
-        # Four shard workers must at least halve campaign wall-clock by
-        # overlapping collection latency (startup excluded: it is
-        # one-time and amortizes; campaign time does not).
-        assert runs[4]["speedup"] >= 2.0
+        # Startup is one-time (pre-serialized shared payload; flat in
+        # jobs) but must stay sub-interactive even at 4 workers on the
+        # 1-core CI box, where the spawns serialize.
+        assert runs[4]["startup_seconds"] < MAX_STARTUP_SECONDS
+        # Four shard workers must overlap enough collection latency for
+        # a 3x campaign speedup (startup excluded: it amortizes over a
+        # campaign; campaign time does not).  Balanced scatter makes
+        # the per-shard sleep ~k/4 queries; compute stays serial on one
+        # core, which is what keeps this below the ideal 4x.
+        assert runs[4]["speedup"] >= MIN_SPEEDUP_JOBS4
 
     result = {
         "scale": {
@@ -118,6 +157,7 @@ def test_bench_engine(results_dir):
         },
         "serial": {"campaign_seconds": serial_seconds},
         "parallel": {str(jobs): stats for jobs, stats in runs.items()},
+        "peak_rss_mb": peak_rss_mb,
         "identical_results": True,
     }
     payload = json.dumps(result, indent=2)
@@ -131,3 +171,4 @@ def test_bench_engine(results_dir):
             f"({stats['speedup']:.2f}x), "
             f"startup {stats['startup_seconds']:.2f}s"
         )
+    print(f"peak RSS: {peak_rss_mb:.0f} MB")

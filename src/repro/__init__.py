@@ -17,19 +17,15 @@ Public API tour
   table of the paper's evaluation.
 """
 
-from . import (
-    aggregation,
-    analysis,
-    core,
-    datasets,
-    downstream,
-    experiments,
-    simulation,
-)
+import importlib
 
 __version__ = "1.0.0"
 
-__all__ = [
+# Subpackages resolve lazily (PEP 562): the aggregation baselines pull
+# scipy, which costs ~0.8 s per interpreter — paid by every spawned
+# shard worker if the package root imports it eagerly.  Workers import
+# repro.engine.shards only, so the root must not decide for them.
+_SUBPACKAGES = (
     "aggregation",
     "analysis",
     "core",
@@ -37,5 +33,18 @@ __all__ = [
     "downstream",
     "experiments",
     "simulation",
-    "__version__",
-]
+)
+
+__all__ = [*_SUBPACKAGES, "__version__"]
+
+
+def __getattr__(name: str):
+    if name in _SUBPACKAGES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_SUBPACKAGES))

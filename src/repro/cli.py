@@ -132,6 +132,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
             faults=faults,
             journal_path=args.journal,
             trust_policy=trust_policy,
+            belief_epsilon=_belief_epsilon(args),
         )
         if jobs > 1:
             from .engine import ParallelCampaignRunner
@@ -376,6 +377,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             churn=args.churn,
             seed=args.seed,
             chaos=chaos,
+            belief_epsilon=_belief_epsilon(args),
         )
         experts, _preliminary = dataset.split_crowd(spec.theta)
         if len(experts) == 0:
@@ -465,6 +467,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     if args.stream_chaos
                     else StreamChaos.from_env()
                 ),
+                belief_epsilon=_belief_epsilon(args),
             )
         for index in range(args.campaigns):
             config = SessionConfig(
@@ -473,6 +476,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 budget=args.budget,
                 initializer=args.initializer,
                 seed=args.seed + index,
+                belief_epsilon=_belief_epsilon(args),
             )
             spec = CampaignSpec(
                 tenant=f"tenant-{index % args.tenants}",
@@ -607,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
              "results are bit-identical for any N)",
     )
     _add_supervision_arguments(session)
+    _add_belief_epsilon_argument(session)
     session.add_argument(
         "--selector-stats", action="store_true",
         help="print the selector's evaluation counters after the run",
@@ -723,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(with --stream; REPRO_STREAM_CHAOS is the env fallback)",
     )
     _add_supervision_arguments(serve)
+    _add_belief_epsilon_argument(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     stream = commands.add_parser(
@@ -787,6 +793,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a killed streamed campaign from its journal "
              "(the stream config is read back from the journal)",
     )
+    _add_belief_epsilon_argument(stream)
     stream.set_defaults(handler=_cmd_stream)
 
     reproduce = commands.add_parser(
@@ -804,6 +811,27 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.set_defaults(handler=_cmd_reproduce)
 
     return parser
+
+
+def _add_belief_epsilon_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--belief-epsilon", type=float, default=None, metavar="EPS",
+        help="truncation budget of the sparse belief kernel, in [0, 1); "
+             "0 keeps the exact dense kernel (default: the "
+             "REPRO_BELIEF_EPSILON environment variable, else 0)",
+    )
+
+
+def _belief_epsilon(args: argparse.Namespace) -> float:
+    """Resolve the flag; unset falls back to the environment default."""
+    if args.belief_epsilon is None:
+        from .core.kernel import default_belief_epsilon
+
+        return default_belief_epsilon()
+    value = float(args.belief_epsilon)
+    if not 0.0 <= value < 1.0:
+        raise SystemExit("error: --belief-epsilon must lie in [0, 1)")
+    return value
 
 
 def _add_supervision_arguments(parser: argparse.ArgumentParser) -> None:

@@ -396,11 +396,21 @@ def pattern_marginal(
 
     Collapses the observation distribution onto the ``2**|T|`` possible
     truth patterns of the query set; this is the only aspect of the
-    belief the answer distribution depends on.
+    belief the answer distribution depends on.  Sparse beliefs collapse
+    their support only, via packed-state bit gathers instead of truth
+    table columns.
     """
     positions = [belief.facts.position_of(fact_id) for fact_id in query_fact_ids]
     if not positions:
         return np.ones(1)
+    from .kernel import SparseBeliefState, pattern_indices
+
+    if isinstance(belief, SparseBeliefState):
+        return np.bincount(
+            pattern_indices(belief.support, positions),
+            weights=belief.sparse_probabilities,
+            minlength=1 << len(positions),
+        )
     table = truth_table(belief.num_facts)[:, positions]
     weights = 1 << np.arange(len(positions), dtype=np.int64)
     pattern_index = table @ weights
@@ -434,10 +444,25 @@ def crowd_single_query_responses(
             f"single-query family space needs {num_workers} bits "
             f"(> limit {max_family_bits})"
         )
+    return _cached_single_query_responses(
+        tuple(worker.accuracy for worker in experts)
+    )
+
+
+@lru_cache(maxsize=64)
+def _cached_single_query_responses(accuracies: tuple[float, ...]) -> np.ndarray:
+    """Memoized body of :func:`crowd_single_query_responses`.
+
+    Keyed on the accuracy tuple alone (worker identities are irrelevant
+    to the response tensor), so re-selecting with an unchanged panel —
+    the common case inside one checking round batch — reuses the tensor
+    instead of re-running the Kronecker build per group.
+    """
     tensor = np.ones((2, 1))
-    for worker in experts:
-        response = worker_response_matrix(1, worker.accuracy)
+    for accuracy in accuracies:
+        response = worker_response_matrix(1, accuracy)
         tensor = (tensor[:, :, None] * response[:, None, :]).reshape(2, -1)
+    tensor.setflags(write=False)
     return tensor
 
 

@@ -21,12 +21,14 @@ cross-validate the fast one in tests.
 
 from __future__ import annotations
 
-from typing import Sequence
+from functools import lru_cache
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from .answers import (
     MAX_FAMILY_BITS,
+    crowd_single_query_responses,
     enumerate_answer_families,
     family_distribution,
     family_likelihood,
@@ -80,7 +82,19 @@ def binary_entropy(probability: float) -> float:
 
 
 def observation_entropy(belief: BeliefState) -> float:
-    """``H(O)`` of a belief state."""
+    """``H(O)`` of a belief state.
+
+    Sparse beliefs skip the dense materialization: their support holds
+    exactly the positive entries :func:`shannon_entropy` would keep, in
+    the same (ascending state) order.  Serial and parallel runs agree
+    bit for bit because both evaluate the same representation; against
+    the dense path the result matches up to pairwise-summation grouping
+    of the interleaved zeros (last-ulp).
+    """
+    from .kernel import SparseBeliefState
+
+    if isinstance(belief, SparseBeliefState):
+        return belief.entropy_bits()
     return shannon_entropy(belief.probabilities)
 
 
@@ -126,9 +140,7 @@ def conditional_entropy(
         prior_entropy = observation_entropy(belief)
     if not query_fact_ids:
         return prior_entropy
-    entropy_given_observation = len(query_fact_ids) * sum(
-        binary_entropy(worker.accuracy) for worker in experts
-    )
+    entropy_given_observation = len(query_fact_ids) * crowd_answer_noise(experts)
     family_entropy = answer_family_entropy(
         belief, query_fact_ids, experts, max_family_bits=max_family_bits
     )
@@ -136,6 +148,21 @@ def conditional_entropy(
     # Mutual information is non-negative, so H(O|AS) <= H(O); tiny
     # negative slack can appear from float cancellation.
     return float(min(max(value, 0.0), prior_entropy))
+
+
+def crowd_answer_noise(experts: Crowd) -> float:
+    """``H(AS|O)`` per queried fact: ``sum_cr h(Pr_cr)`` in bits.
+
+    The crowd's answer-noise term depends only on the accuracy profile,
+    so it is memoized on the accuracy tuple; the sum runs in worker
+    order, matching the historical inline ``sum(...)`` bit for bit.
+    """
+    return _cached_answer_noise(tuple(worker.accuracy for worker in experts))
+
+
+@lru_cache(maxsize=256)
+def _cached_answer_noise(accuracies: tuple[float, ...]) -> float:
+    return sum(binary_entropy(accuracy) for accuracy in accuracies)
 
 
 def first_step_gains(
@@ -174,9 +201,61 @@ def first_step_gains(
         distributions[positive]
     )
     family_entropies = -contributions.sum(axis=1)
-    answer_noise = sum(binary_entropy(worker.accuracy) for worker in experts)
+    answer_noise = crowd_answer_noise(experts)
     gains = family_entropies - answer_noise
     return np.minimum(np.maximum(gains, 0.0), prior_entropy)
+
+
+def first_step_gains_many(
+    states: Sequence[BeliefState],
+    experts: Crowd,
+    prior_entropies: Iterable[float] | None = None,
+    max_family_bits: int = MAX_FAMILY_BITS,
+) -> list[np.ndarray]:
+    """:func:`first_step_gains` for a whole shard of groups at once.
+
+    Stacks every group's ``(n_g, 2)`` pattern-marginal block into one
+    ``(sum n_g, 2) @ (2, 2**|CE|)`` matmul against the shared crowd
+    response tensor, then splits and clamps per group.  Each output row
+    is a fixed-order two-term dot product regardless of how rows are
+    batched, and the row-wise entropy and clamp operate elementwise, so
+    the result is bitwise identical to calling :func:`first_step_gains`
+    per group — the batch only removes the per-group Python/BLAS
+    dispatch overhead, which dominates at hundreds of small groups.
+    """
+    states = list(states)
+    if prior_entropies is None:
+        priors = [observation_entropy(state) for state in states]
+    else:
+        priors = list(prior_entropies)
+        if len(priors) != len(states):
+            raise ValueError("need one prior entropy per state")
+    if not states:
+        return []
+    if len(experts) == 0:
+        return [np.zeros(state.num_facts) for state in states]
+    responses = crowd_single_query_responses(
+        experts, max_family_bits=max_family_bits
+    )
+    marginals = np.concatenate([state.marginals() for state in states])
+    pattern = np.stack([1.0 - marginals, marginals], axis=1)
+    distributions = pattern @ responses
+    totals = distributions.sum(axis=1, keepdims=True)
+    distributions = distributions / totals
+    contributions = np.zeros_like(distributions)
+    positive = distributions > 0.0
+    contributions[positive] = distributions[positive] * np.log2(
+        distributions[positive]
+    )
+    family_entropies = -contributions.sum(axis=1)
+    gains = family_entropies - crowd_answer_noise(experts)
+    results: list[np.ndarray] = []
+    offset = 0
+    for state, prior in zip(states, priors):
+        chunk = gains[offset:offset + state.num_facts]
+        offset += state.num_facts
+        results.append(np.minimum(np.maximum(chunk, 0.0), prior))
+    return results
 
 
 def conditional_entropy_naive(

@@ -46,6 +46,7 @@ FAULT_KINDS = frozenset(
         "group_sealed",    # a streamed group's belief was initialized
         "late_admit",      # a late event was admitted with tempering
         "late_drop",       # an event arrived past the straggler timeout
+        "degenerate_marginals",  # zero-mass marginal product; uniform fallback
     }
 )
 

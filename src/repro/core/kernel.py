@@ -1,0 +1,549 @@
+"""Bit-packed, log-space, sparse belief kernel.
+
+The dense :class:`~repro.core.observations.BeliefState` materializes all
+``2**n`` observation probabilities and walks ``(2**n, n)`` boolean truth
+tables on every likelihood evaluation.  This module is the scale path:
+
+* **Bit-packed observation states.**  An observation index *is* its
+  truth assignment (bit ``i`` of ``s`` is fact ``i``'s value,
+  little-endian — the same encoding ``truth_table`` materializes), so
+  match counting against an answer set reduces to a popcount of
+  ``(s & query_mask) ^ answer_mask`` over a vector of packed states —
+  no ``(2**n, n)`` bool matrix, no fancy-indexed column gathers.
+* **Log-space updates.**  Posteriors are computed as
+  ``exp(log prior + log likelihood - logsumexp)``; the normalization
+  never leaves log space, so no evidence product can underflow and no
+  linear renormalization pass perturbs the result afterwards.
+* **Sparse truncated beliefs.**  :class:`SparseBeliefState` stores only
+  the observations carrying mass.  With truncation budget ``epsilon``
+  it drops the smallest states whose *total* mass stays ``<= epsilon``,
+  which bounds the total-variation distance to the untruncated belief
+  by exactly the dropped mass (see DESIGN.md for the one-line proof).
+
+``epsilon = 0`` is never routed here: the dense class remains the exact
+reference path and its bytes (journals, checkpoints, selections) are
+pinned by the equivalence suites.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .facts import FactSet
+from .observations import MAX_FACTS_PER_SPACE, BeliefState, _EPSILON
+
+__all__ = [
+    "SparseBeliefState",
+    "default_belief_epsilon",
+    "packed_states",
+    "popcount",
+    "pack_query",
+    "pattern_indices",
+    "sparse_from_marginals",
+    "sparse_log_answer_set_likelihood",
+    "sparse_log_family_likelihood",
+    "state_wire_payload",
+    "state_from_wire",
+]
+
+def default_belief_epsilon() -> float:
+    """Process-wide default for the sparse-kernel truncation budget.
+
+    Reads ``REPRO_BELIEF_EPSILON`` so CI legs (and operators) can run
+    existing entry points on the truncated kernel without threading the
+    flag through every call site; unset or empty means exact dense.
+    """
+    raw = os.environ.get("REPRO_BELIEF_EPSILON", "").strip()
+    if not raw:
+        return 0.0
+    value = float(raw)
+    if not 0.0 <= value < 1.0:
+        raise ValueError(
+            f"REPRO_BELIEF_EPSILON must lie in [0, 1), got {raw!r}"
+        )
+    return value
+
+
+if hasattr(np, "bitwise_count"):
+    def popcount(values: np.ndarray) -> np.ndarray:
+        """Per-element population count of packed observation states."""
+        return np.bitwise_count(values).astype(np.int64)
+else:  # pragma: no cover - numpy < 2.0 fallback
+    _POPCOUNT_LUT = np.array(
+        [bin(i).count("1") for i in range(1 << 16)], dtype=np.int64
+    )
+
+    def popcount(values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        total = np.zeros(values.shape, dtype=np.int64)
+        while np.any(values):
+            total += _POPCOUNT_LUT[values & 0xFFFF]
+            values = values >> 16
+        return total
+
+
+def packed_states(num_facts: int) -> np.ndarray:
+    """All ``2**n`` observations as packed masks (``uint64``).
+
+    The identity map — observation index *is* the packed assignment —
+    made explicit for callers that want the full space.
+    """
+    if not 0 <= num_facts <= MAX_FACTS_PER_SPACE:
+        raise ValueError(
+            f"num_facts must lie in [0, {MAX_FACTS_PER_SPACE}], "
+            f"got {num_facts}"
+        )
+    return np.arange(1 << num_facts, dtype=np.uint64)
+
+
+def pack_query(
+    facts: FactSet, answers: dict[int, bool] | Sequence[tuple[int, bool]]
+) -> tuple[int, int, int]:
+    """Pack a ``{fact_id: answer}`` query into bit masks.
+
+    Returns ``(query_mask, answer_mask, num_queries)``: bit ``p`` of
+    ``query_mask`` is set iff the fact at position ``p`` was queried,
+    and the corresponding bit of ``answer_mask`` carries the answer.
+    """
+    items = answers.items() if isinstance(answers, dict) else answers
+    query_mask = 0
+    answer_mask = 0
+    count = 0
+    for fact_id, answer in items:
+        position = facts.position_of(fact_id)
+        query_mask |= 1 << position
+        if answer:
+            answer_mask |= 1 << position
+        count += 1
+    return query_mask, answer_mask, count
+
+
+def pattern_indices(
+    states: np.ndarray, positions: Sequence[int]
+) -> np.ndarray:
+    """Compact pattern index of the selected bit positions per state.
+
+    Output bit ``j`` is input bit ``positions[j]`` — the packed
+    equivalent of ``truth_table(n)[:, positions] @ (1 << arange(q))``.
+    """
+    states = np.asarray(states, dtype=np.int64)
+    out = np.zeros(states.shape, dtype=np.int64)
+    for j, position in enumerate(positions):
+        out |= ((states >> np.int64(position)) & np.int64(1)) << np.int64(j)
+    return out
+
+
+def _match_log_terms(accuracy: float) -> tuple[float, float]:
+    with np.errstate(divide="ignore"):
+        log_hit = float(np.log(accuracy))
+        log_miss = float(np.log(1.0 - accuracy))
+    return log_hit, log_miss
+
+
+def _scaled(count: np.ndarray, log_term: float) -> np.ndarray:
+    """``count * log_term`` with the ``0 * -inf == 0`` convention."""
+    if np.isfinite(log_term):
+        return count * log_term
+    out = np.zeros(count.shape, dtype=np.float64)
+    out[count > 0] = log_term
+    return out
+
+
+def sparse_log_answer_set_likelihood(
+    facts: FactSet, states: np.ndarray, answer_set
+) -> np.ndarray:
+    """``log P(A_cr^T | o)`` at the given packed states only.
+
+    The bit-packed counterpart of
+    :func:`repro.core.answers.log_answer_set_likelihood`: with ``d`` the
+    popcount of ``(s & query_mask) ^ answer_mask``, the log-likelihood
+    is ``(|T| - d) log p + d log (1 - p)``.
+    """
+    query_mask, answer_mask, num_queries = pack_query(
+        facts, answer_set.answers
+    )
+    if num_queries == 0:
+        return np.zeros(np.asarray(states).shape, dtype=np.float64)
+    states = np.asarray(states, dtype=np.int64)
+    mismatches = popcount(
+        (states & np.int64(query_mask)) ^ np.int64(answer_mask)
+    )
+    log_hit, log_miss = _match_log_terms(answer_set.worker.accuracy)
+    return _scaled(num_queries - mismatches, log_hit) + _scaled(
+        mismatches, log_miss
+    )
+
+
+def sparse_log_family_likelihood(
+    facts: FactSet, states: np.ndarray, family
+) -> np.ndarray:
+    """``log P(A_C^T | o)`` at the given packed states (Lemma 2 sum)."""
+    total = np.zeros(np.asarray(states).shape, dtype=np.float64)
+    for answer_set in family:
+        total += sparse_log_answer_set_likelihood(
+            facts, states, answer_set
+        )
+    return total
+
+
+def _truncated(
+    support: np.ndarray, values: np.ndarray, epsilon: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop the smallest-mass states within a total budget of ``epsilon``.
+
+    ``values`` must be positive.  States are ranked by (probability,
+    state index) ascending and the longest prefix whose cumulative mass
+    stays ``<= epsilon * total`` is removed (at least one state always
+    survives); the rest is renormalized.  The total-variation distance
+    between the original and the truncated-renormalized distribution is
+    exactly the dropped mass, hence ``<= epsilon``.
+    """
+    if epsilon <= 0.0 or support.size <= 1:
+        return support, values
+    order = np.lexsort((support, values))
+    cumulative = np.cumsum(values[order])
+    budget = epsilon * float(cumulative[-1])
+    dropped = int(np.searchsorted(cumulative, budget, side="right"))
+    dropped = min(dropped, support.size - 1)
+    if dropped == 0:
+        return support, values
+    keep = np.ones(support.size, dtype=bool)
+    keep[order[:dropped]] = False
+    support = support[keep]
+    values = values[keep]
+    return support, values / values.sum()
+
+
+class SparseBeliefState(BeliefState):
+    """A belief stored as (support, probabilities) over packed states.
+
+    Drop-in for :class:`~repro.core.observations.BeliefState` — all
+    accessors work, and ``.probabilities`` materializes the dense vector
+    on demand (cached) for consumers that need it.  Updates run fully in
+    log space restricted to the support, then re-truncate within the
+    state's ``epsilon`` budget.
+
+    Parameters
+    ----------
+    facts:
+        The facts this belief is about.
+    probabilities:
+        Dense array of ``2**n`` non-negative weights (the parent-class
+        contract); normalized, sparsified and truncated on construction.
+    epsilon:
+        Per-update total-variation truncation budget, kept by every
+        state derived from this one.
+    """
+
+    def __init__(
+        self,
+        facts: FactSet,
+        probabilities: np.ndarray,
+        epsilon: float = 0.0,
+    ):
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        expected = 1 << len(facts)
+        if probabilities.shape != (expected,):
+            raise ValueError(
+                f"expected {expected} probabilities for {len(facts)} "
+                f"facts, got shape {probabilities.shape}"
+            )
+        if np.any(probabilities < -1e-12):
+            raise ValueError("probabilities must be non-negative")
+        if not 0.0 <= epsilon < 1.0:
+            raise ValueError(
+                f"epsilon must lie in [0, 1), got {epsilon}"
+            )
+        probabilities = np.clip(probabilities, 0.0, None)
+        total = probabilities.sum()
+        if total <= _EPSILON:
+            raise ValueError(
+                "probabilities sum to zero; belief is undefined"
+            )
+        support = np.flatnonzero(probabilities).astype(np.int64)
+        values = probabilities[support] / total
+        support, values = _truncated(support, values, float(epsilon))
+        self._install(facts, support, values, float(epsilon))
+
+    # ------------------------------------------------------------------
+    # construction internals
+    # ------------------------------------------------------------------
+
+    def _install(
+        self,
+        facts: FactSet,
+        support: np.ndarray,
+        values: np.ndarray,
+        epsilon: float,
+    ) -> None:
+        support.setflags(write=False)
+        values.setflags(write=False)
+        self._facts = facts
+        self._support = support
+        self._values = values
+        self._epsilon = epsilon
+
+    @classmethod
+    def from_support(
+        cls,
+        facts: FactSet,
+        support: np.ndarray,
+        values: np.ndarray,
+        epsilon: float,
+    ) -> "SparseBeliefState":
+        """Rebuild from an existing (support, probabilities) pair.
+
+        Trusts the values verbatim (no renormalization, no truncation) —
+        the sparse analogue of ``BeliefState.from_normalized``, used by
+        checkpoint restores and shard-commit mirrors so serialization
+        round-trips are bitwise exact.
+        """
+        support = np.asarray(support, dtype=np.int64).copy()
+        values = np.asarray(values, dtype=np.float64).copy()
+        if support.shape != values.shape or support.ndim != 1:
+            raise ValueError("support and values must be 1-d and aligned")
+        if support.size == 0:
+            raise ValueError("sparse belief needs a non-empty support")
+        if np.any(values <= 0.0):
+            raise ValueError("sparse probabilities must be positive")
+        if np.any(np.diff(support) <= 0):
+            raise ValueError("support must be strictly increasing")
+        if support[0] < 0 or support[-1] >= (1 << len(facts)):
+            raise ValueError("support states out of range for fact set")
+        state = cls.__new__(cls)
+        state._install(facts, support, values, float(epsilon))
+        return state
+
+    def __reduce__(self):
+        return (
+            SparseBeliefState.from_support,
+            (self._facts, self._support, self._values, self._epsilon),
+        )
+
+    # ------------------------------------------------------------------
+    # sparse accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def support(self) -> np.ndarray:
+        """Packed observation states carrying mass, ascending."""
+        return self._support
+
+    @property
+    def sparse_probabilities(self) -> np.ndarray:
+        """Probabilities aligned with :attr:`support`."""
+        return self._values
+
+    @property
+    def epsilon(self) -> float:
+        """The truncation budget inherited by updated states."""
+        return self._epsilon
+
+    @property
+    def support_size(self) -> int:
+        return int(self._support.size)
+
+    def __getattr__(self, name: str):
+        # Dense materialization is lazy: parent-class code paths that
+        # read self._probs trigger it exactly once per state.
+        if name != "_probs":
+            raise AttributeError(name)
+        dense = np.zeros(1 << len(self._facts), dtype=np.float64)
+        dense[self._support] = self._values
+        dense.setflags(write=False)
+        self._probs = dense
+        return dense
+
+    # ------------------------------------------------------------------
+    # overridden accessors (support-restricted fast paths)
+    # ------------------------------------------------------------------
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        return self._probs
+
+    @property
+    def num_observations(self) -> int:
+        return 1 << len(self._facts)
+
+    def probability_of(self, assignment: Sequence[bool]) -> float:
+        from .observations import observation_index
+
+        state = observation_index(assignment)
+        where = np.searchsorted(self._support, state)
+        if where < self._support.size and self._support[where] == state:
+            return float(self._values[where])
+        return 0.0
+
+    def marginal(self, fact_id: int) -> float:
+        position = self._facts.position_of(fact_id)
+        hit = (self._support >> np.int64(position)) & np.int64(1)
+        return float(self._values[hit.astype(bool)].sum())
+
+    def marginals(self) -> np.ndarray:
+        bits = (
+            (self._support[:, None] >> np.arange(len(self._facts), dtype=np.int64))
+            & np.int64(1)
+        ).astype(np.float64)
+        return self._values @ bits
+
+    def map_observation(self) -> int:
+        return int(self._support[int(np.argmax(self._values))])
+
+    def entropy_bits(self) -> float:
+        """Shannon entropy in bits over the support (no zeros to skip)."""
+        values = self._values / self._values.sum()
+        return float(-(values * np.log2(values)).sum())
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def with_probabilities(self, probabilities: np.ndarray) -> "SparseBeliefState":
+        return SparseBeliefState(
+            self._facts, probabilities, epsilon=self._epsilon
+        )
+
+    def reweighted(self, likelihood: np.ndarray) -> "SparseBeliefState":
+        likelihood = np.asarray(likelihood, dtype=np.float64)
+        if likelihood.shape != (self.num_observations,):
+            raise ValueError(
+                "likelihood must have one entry per observation"
+            )
+        with np.errstate(divide="ignore"):
+            log_likelihood = np.log(likelihood[self._support])
+        return self.log_posterior(log_likelihood)
+
+    def log_reweighted(self, log_likelihood: np.ndarray) -> "SparseBeliefState":
+        log_likelihood = np.asarray(log_likelihood, dtype=np.float64)
+        if log_likelihood.shape != (self.num_observations,):
+            raise ValueError(
+                "log likelihood must have one entry per observation"
+            )
+        return self.log_posterior(log_likelihood[self._support])
+
+    def log_posterior(self, log_likelihood: np.ndarray) -> "SparseBeliefState":
+        """Bayes update from a *support-aligned* log-likelihood vector.
+
+        Never leaves log space until the final normalized
+        exponentiation: ``posterior = exp(lp - logsumexp(lp))`` with
+        ``lp = log prior + log likelihood``.  Raises ``ValueError`` when
+        the likelihood is ``-inf`` everywhere on the support.
+        """
+        log_likelihood = np.asarray(log_likelihood, dtype=np.float64)
+        if log_likelihood.shape != self._values.shape:
+            raise ValueError(
+                "log likelihood must have one entry per support state"
+            )
+        log_post = np.log(self._values) + log_likelihood
+        peak = float(log_post.max())
+        if not np.isfinite(peak):
+            raise ValueError(
+                "log likelihood is -inf everywhere the belief has mass; "
+                "posterior is undefined"
+            )
+        log_norm = peak + float(np.log(np.exp(log_post - peak).sum()))
+        values = np.exp(log_post - log_norm)
+        keep = values > 0.0
+        support, values = _truncated(
+            self._support[keep], values[keep], self._epsilon
+        )
+        return SparseBeliefState.from_support(
+            self._facts, support, values, self._epsilon
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseBeliefState(num_facts={self.num_facts}, "
+            f"support={self.support_size}/{self.num_observations}, "
+            f"epsilon={self._epsilon:g})"
+        )
+
+
+def sparse_from_marginals(
+    facts: FactSet,
+    marginals: Sequence[float],
+    epsilon: float,
+    on_degenerate: Callable[[], None] | None = None,
+) -> SparseBeliefState:
+    """Product belief from per-fact marginals, built in log space.
+
+    The sparse counterpart of ``BeliefState.from_marginals`` (Eq. 15):
+    ``log P(s) = sum_i [bit_i(s) log m_i + (1 - bit_i(s)) log (1-m_i)]``
+    accumulated over packed states, so extreme marginals cannot
+    underflow the product.  A fully degenerate set of marginals (zero
+    mass everywhere) falls back to the exact uniform belief and invokes
+    ``on_degenerate``.
+    """
+    marginals = np.asarray(marginals, dtype=np.float64)
+    if marginals.shape != (len(facts),):
+        raise ValueError("need one marginal per fact")
+    if np.any(marginals < 0) or np.any(marginals > 1):
+        raise ValueError("marginals must lie in [0, 1]")
+    states = np.arange(1 << len(facts), dtype=np.int64)
+    log_joint = np.zeros(states.shape, dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        log_yes = np.log(marginals)
+        log_no = np.log(1.0 - marginals)
+    for position in range(len(facts)):
+        bit = ((states >> np.int64(position)) & np.int64(1)).astype(bool)
+        log_joint += np.where(bit, log_yes[position], log_no[position])
+    peak = float(log_joint.max())
+    if not np.isfinite(peak):
+        warnings.warn(
+            "degenerate marginals: the joint product has zero mass "
+            "everywhere; falling back to the uniform belief",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        if on_degenerate is not None:
+            on_degenerate()
+        size = states.size
+        return SparseBeliefState(
+            facts, np.full(size, 1.0 / size), epsilon=epsilon
+        )
+    log_norm = peak + float(np.log(np.exp(log_joint - peak).sum()))
+    values = np.exp(log_joint - log_norm)
+    keep = values > 0.0
+    support, values = _truncated(
+        states[keep], values[keep], float(epsilon)
+    )
+    return SparseBeliefState.from_support(facts, support, values, epsilon)
+
+
+# ----------------------------------------------------------------------
+# wire / checkpoint payloads
+# ----------------------------------------------------------------------
+
+
+def state_wire_payload(state: BeliefState):
+    """The exact cross-process payload of a belief state.
+
+    Dense states travel as their raw probability array (the historical
+    wire shape, byte-pinned by the engine equivalence suites); sparse
+    states travel as a tagged (support, values, epsilon) triple so a
+    commit mirror or a respawned shard reconstructs the *same* sparse
+    state instead of a dense approximation of it.
+    """
+    if isinstance(state, SparseBeliefState):
+        return (
+            "sparse",
+            state.support,
+            state.sparse_probabilities,
+            state.epsilon,
+        )
+    return state.probabilities
+
+
+def state_from_wire(facts: FactSet, payload) -> BeliefState:
+    """Inverse of :func:`state_wire_payload` (bitwise exact)."""
+    if isinstance(payload, tuple) and payload and payload[0] == "sparse":
+        _tag, support, values, epsilon = payload
+        return SparseBeliefState.from_support(
+            facts, support, values, epsilon
+        )
+    return BeliefState.from_normalized(facts, payload)

@@ -15,8 +15,9 @@ fact at position ``i`` iff bit ``i`` of ``s`` is set (little-endian).
 
 from __future__ import annotations
 
+import warnings
 from functools import lru_cache
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -129,12 +130,24 @@ class BeliefState:
 
     @classmethod
     def from_marginals(
-        cls, facts: FactSet, marginals: Sequence[float]
+        cls,
+        facts: FactSet,
+        marginals: Sequence[float],
+        on_degenerate: Callable[[], None] | None = None,
     ) -> "BeliefState":
         """Product belief from per-fact marginals ``P(f_i)`` (paper Eq. 15).
 
         This is how preliminary-crowd answers initialize the belief: the
         joint is the independent product of the per-fact vote fractions.
+
+        A degenerate set of marginals (e.g. some fact with marginals
+        exactly 0 *and* 1 in a contradictory pattern, or a product that
+        underflows everywhere) leaves no observation with mass.  The
+        fallback is the exact uniform belief — the honest
+        maximum-entropy answer to "the initializer told us nothing" —
+        and it is never silent: a ``RuntimeWarning`` is raised and
+        ``on_degenerate`` (when given) is invoked so callers can record
+        a ``degenerate_marginals`` incident.
         """
         marginals = np.asarray(marginals, dtype=np.float64)
         if marginals.shape != (len(facts),):
@@ -143,10 +156,20 @@ class BeliefState:
             raise ValueError("marginals must lie in [0, 1]")
         table = truth_table(len(facts))
         joint = np.where(table, marginals, 1.0 - marginals).prod(axis=1)
-        # A degenerate initialization (some marginal exactly 0 and 1 in a
-        # contradictory pattern) can zero out everything; smooth minimally.
-        if joint.sum() <= _EPSILON:
-            joint = joint + 1.0 / joint.size
+        total = float(joint.sum())
+        # `not (total > eps)` rather than `total <= eps`: NaN marginals
+        # (e.g. an aggregator's 0/0) pass the range check above and must
+        # land in the fallback, not propagate through the belief.
+        if not total > _EPSILON:
+            warnings.warn(
+                "degenerate marginals: the joint product has zero mass "
+                "everywhere; falling back to the uniform belief",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if on_degenerate is not None:
+                on_degenerate()
+            joint = np.full(joint.size, 1.0 / joint.size)
         return cls(facts, joint)
 
     @classmethod
@@ -242,12 +265,17 @@ class BeliefState:
     def log_reweighted(self, log_likelihood: np.ndarray) -> "BeliefState":
         """Bayes update from a *log*-likelihood vector.
 
-        Normalizes with the logsumexp trick (shift by the peak before
-        exponentiating), so posteriors survive likelihoods whose linear
-        products underflow float64 — the large-panel / near-0/1-accuracy
-        regime.  ``-inf`` entries (exactly-zero likelihood) are allowed;
-        raises ``ValueError`` when every entry is ``-inf`` (zero
-        evidence, the log-space analogue of a zero-sum posterior).
+        The normalization never leaves log space: the posterior is
+        ``exp(lp - logsumexp(lp))`` with ``lp = log prior + log
+        likelihood``, computed with the peak-shifted logsumexp.  (The
+        previous implementation exponentiated the peak-shifted vector
+        and let ``__init__`` renormalize the result *in linear space* —
+        a round-trip that the guard path exists to avoid.)  Posteriors
+        therefore survive likelihoods whose linear products underflow
+        float64 — the large-panel / near-0/1-accuracy regime.  ``-inf``
+        entries (exactly-zero likelihood) are allowed; raises
+        ``ValueError`` when every entry is ``-inf`` (zero evidence, the
+        log-space analogue of a zero-sum posterior).
         """
         log_likelihood = np.asarray(log_likelihood, dtype=np.float64)
         if log_likelihood.shape != self._probs.shape:
@@ -262,7 +290,12 @@ class BeliefState:
                 "log likelihood is -inf everywhere the belief has mass; "
                 "posterior is undefined"
             )
-        return BeliefState(self._facts, np.exp(log_posterior - peak))
+        log_norm = peak + float(
+            np.log(np.exp(log_posterior - peak).sum())
+        )
+        return BeliefState.from_normalized(
+            self._facts, np.exp(log_posterior - log_norm)
+        )
 
     def __repr__(self) -> str:
         return (

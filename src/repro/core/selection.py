@@ -48,6 +48,7 @@ from .entropy import (
     binary_entropy,
     conditional_entropy,
     first_step_gains,
+    first_step_gains_many,
     observation_entropy,
 )
 from .observations import BeliefState, FactoredBelief
@@ -419,6 +420,43 @@ class LazyGreedySelector(Selector):
         self._first_gains[group_index] = (state, experts, gains)
         return gains
 
+    def _prime_first_gains(
+        self, belief: FactoredBelief, experts: Crowd
+    ) -> None:
+        """Fill the first-gain cache for every stale group in one pass.
+
+        All groups whose cached gain vector is missing or superseded are
+        evaluated through one stacked
+        :func:`~repro.core.entropy.first_step_gains_many` call — a
+        single cross-group matmul against the shared crowd response
+        tensor — instead of a per-group Python loop.  Bitwise identical
+        to evaluating each group separately (see the kernel's docstring);
+        the stats counters still tick once per group so work accounting
+        is unchanged.
+        """
+        stale: list[tuple[int, BeliefState]] = []
+        for group_index, state in enumerate(belief):
+            cached = self._first_gains.get(group_index)
+            if cached is not None and cached[0] is state and (
+                cached[1] is experts or cached[1] == experts
+            ):
+                continue
+            stale.append((group_index, state))
+        if not stale:
+            return
+        priors = [
+            self._cache.prior(group_index, state)
+            for group_index, state in stale
+        ]
+        batched = first_step_gains_many(
+            [state for _index, state in stale], experts,
+            prior_entropies=priors,
+        )
+        for (group_index, state), gains in zip(stale, batched):
+            self.stats.batch_evaluations += 1
+            self.stats.batch_facts += gains.size
+            self._first_gains[group_index] = (state, experts, gains)
+
     def select(
         self, belief: FactoredBelief, experts: Crowd, k: int
     ) -> list[int]:
@@ -444,6 +482,7 @@ class LazyGreedySelector(Selector):
         # bound_version is the size of the group's query set the gain
         # was computed against: the entry is fresh iff it still matches.
         heap: list[tuple[float, int, int, int]] = []
+        self._prime_first_gains(belief, experts)
         for group_index, state in enumerate(belief):
             gains = self._group_first_gains(group_index, state, experts)
             for fact, gain in zip(state.facts, gains):

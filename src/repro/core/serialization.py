@@ -118,11 +118,21 @@ def fact_set_from_dict(payload: dict) -> FactSet:
 
 
 def belief_state_to_dict(belief: BeliefState) -> dict:
-    return {
+    payload = {
         "version": FORMAT_VERSION,
         "fact_set": fact_set_to_dict(belief.facts),
         "probabilities": belief.probabilities.tolist(),
     }
+    # Dense probabilities are the canonical stored form for both kernels
+    # (``tolist`` round-trips float64 exactly).  Sparse states add their
+    # truncation budget so resume rebuilds the same kernel; the key is
+    # emitted only for sparse states, keeping epsilon=0 journal bytes
+    # identical to the pre-kernel format.
+    from .kernel import SparseBeliefState
+
+    if isinstance(belief, SparseBeliefState):
+        payload["epsilon"] = belief.epsilon
+    return payload
 
 
 def belief_state_from_dict(payload: dict) -> BeliefState:
@@ -131,6 +141,17 @@ def belief_state_from_dict(payload: dict) -> BeliefState:
     probabilities = np.asarray(
         _require(payload, "probabilities"), dtype=np.float64
     )
+    epsilon = payload.get("epsilon")
+    if epsilon is not None:
+        from .kernel import SparseBeliefState
+
+        # The stored dense array is already truncated and renormalized;
+        # reconstruct the support from its positive entries verbatim
+        # (no re-truncation pass) so resume is bitwise faithful.
+        support = np.flatnonzero(probabilities > 0.0).astype(np.int64)
+        return SparseBeliefState.from_support(
+            facts, support, probabilities[support], float(epsilon)
+        )
     # Trust the stored normalization: re-dividing by a sum of 1 +/- ulp
     # would perturb the restored belief and break bitwise-identical
     # resume.

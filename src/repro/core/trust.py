@@ -452,7 +452,18 @@ class TrustSupervisor:
         """Posterior-mean accuracies for the trust-weighted update.
 
         Clamped into the epsilon-open interval so a collapsed posterior
-        can never make ``P(A | o)`` degenerate.
+        can never make ``P(A | o)`` degenerate.  The clamp is
+        load-bearing for the log kernel, not just cosmetic: after
+        enough correct gold answers ``alpha / (alpha + beta)`` rounds
+        to exactly ``1.0`` in float64 (once ``alpha`` outgrows ``beta``
+        by ~16 decimal orders), and an unclamped ``1.0`` would turn the
+        kernel's ``log(1 - p)`` mismatch term into ``-inf`` — making a
+        single disagreeing expert zero out every observation it
+        touches.  With the clamp, every log term the sparse and dense
+        log paths compute is finite, so the underflow guard in
+        :func:`~repro.core.update.tempered_posterior` resolves in log
+        space and never has to round-trip a flushed-to-zero linear
+        product.
         """
         return {
             worker_id: clamp_accuracy(trust.mean, ACCURACY_EPSILON)

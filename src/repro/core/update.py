@@ -23,6 +23,12 @@ from .answers import (
     log_family_likelihood,
 )
 from .facts import FactSet
+from .kernel import (
+    SparseBeliefState,
+    sparse_from_marginals,
+    sparse_log_answer_set_likelihood,
+    sparse_log_family_likelihood,
+)
 from .observations import BeliefState
 
 
@@ -35,6 +41,8 @@ def initialize_from_votes(
     facts: FactSet,
     yes_fractions: Mapping[int, float] | Sequence[float],
     smoothing: float = 0.01,
+    epsilon: float = 0.0,
+    on_degenerate=None,
 ) -> BeliefState:
     """Initial belief from preliminary-crowd vote fractions (Eq. 15/16).
 
@@ -53,6 +61,16 @@ def initialize_from_votes(
         Must lie strictly inside ``(0, 0.5)``: ``smoothing=0`` would
         leave exactly that irrecoverable point mass in place, and the
         checking loop could then die on the first contradicting expert.
+    epsilon:
+        Truncation budget of the sparse belief kernel.  ``0`` (the
+        default) builds the exact dense :class:`BeliefState`;
+        a positive value builds a
+        :class:`~repro.core.kernel.SparseBeliefState` whose updates drop
+        negligible-mass states within a total-variation bound of
+        ``epsilon`` per update.
+    on_degenerate:
+        Callback invoked if the marginal product is degenerate and the
+        belief falls back to uniform (``degenerate_marginals`` incident).
     """
     if isinstance(yes_fractions, Mapping):
         ordered = [yes_fractions[fact.fact_id] for fact in facts]
@@ -66,7 +84,13 @@ def initialize_from_votes(
         )
     marginals = np.clip(np.asarray(ordered, dtype=np.float64),
                         smoothing, 1.0 - smoothing)
-    return BeliefState.from_marginals(facts, marginals)
+    if epsilon > 0.0:
+        return sparse_from_marginals(
+            facts, marginals, epsilon, on_degenerate=on_degenerate
+        )
+    return BeliefState.from_marginals(
+        facts, marginals, on_degenerate=on_degenerate
+    )
 
 
 #: Evidence below this is treated as potential float64 underflow rather
@@ -80,6 +104,13 @@ def update_with_answer_set(
     belief: BeliefState, answer_set: AnswerSet
 ) -> BeliefState:
     """Posterior after one worker's answer set (Lemma 3, Eq. 19)."""
+    if isinstance(belief, SparseBeliefState):
+        return _sparse_posterior(
+            belief,
+            sparse_log_answer_set_likelihood(
+                belief.facts, belief.support, answer_set
+            ),
+        )
     likelihood = answer_set_likelihood(belief, answer_set)
     return _posterior(
         belief, likelihood,
@@ -93,10 +124,31 @@ def update_with_family(belief: BeliefState, family: AnswerFamily) -> BeliefState
     Workers are conditionally independent given the observation, so the
     family likelihood is the product of per-worker likelihoods.
     """
+    if isinstance(belief, SparseBeliefState):
+        return _sparse_posterior(
+            belief,
+            sparse_log_family_likelihood(
+                belief.facts, belief.support, family
+            ),
+        )
     likelihood = family_likelihood(belief, family)
     return _posterior(
         belief, likelihood, lambda: log_family_likelihood(belief, family)
     )
+
+
+def _sparse_posterior(
+    belief: "SparseBeliefState", log_likelihood: np.ndarray
+) -> BeliefState:
+    """Pure log-space update on the sparse kernel (no guard band needed:
+    sums of logs cannot underflow, so zero evidence *is* inconsistency)."""
+    try:
+        return belief.log_posterior(log_likelihood)
+    except ValueError as error:
+        raise InconsistentEvidenceError(
+            "observed answers have zero probability under the current "
+            "belief"
+        ) from error
 
 
 def _posterior(
@@ -158,6 +210,10 @@ def tempered_posterior(
     if not 0.0 < floor < 1.0:
         raise ValueError(f"floor must lie in (0, 1), got {floor}")
     likelihood = np.asarray(likelihood, dtype=np.float64)
+    if isinstance(belief, SparseBeliefState):
+        with np.errstate(divide="ignore"):
+            log_likelihood = np.log(likelihood[belief.support])
+        return _sparse_tempered(belief, log_likelihood, floor)
     evidence = float(belief.probabilities @ likelihood)
     if evidence > EVIDENCE_UNDERFLOW_GUARD:
         return belief.reweighted(likelihood), False
@@ -173,10 +229,41 @@ def tempered_posterior(
     return belief.reweighted(floored), True
 
 
+def _sparse_tempered(
+    belief: "SparseBeliefState",
+    log_likelihood: np.ndarray,
+    floor: float,
+) -> tuple[BeliefState, bool]:
+    """Sparse-kernel tempered update, fully in log space.
+
+    Log-space sums cannot underflow, so a failed update means the
+    answers genuinely contradict every supported observation; only then
+    is the (support-restricted) likelihood floored and retried.
+    """
+    if not 0.0 < floor < 1.0:
+        raise ValueError(f"floor must lie in (0, 1), got {floor}")
+    try:
+        return belief.log_posterior(log_likelihood), False
+    except ValueError:
+        pass
+    likelihood = np.exp(log_likelihood)
+    scale = float(likelihood.max())
+    floored = likelihood + (scale if scale > 0.0 else 1.0) * floor
+    return belief.log_posterior(np.log(floored)), True
+
+
 def tempered_update_with_answer_set(
     belief: BeliefState, answer_set: AnswerSet, floor: float = TEMPER_FLOOR
 ) -> tuple[BeliefState, bool]:
     """:func:`update_with_answer_set` with the tempered fallback."""
+    if isinstance(belief, SparseBeliefState):
+        return _sparse_tempered(
+            belief,
+            sparse_log_answer_set_likelihood(
+                belief.facts, belief.support, answer_set
+            ),
+            floor,
+        )
     likelihood = answer_set_likelihood(belief, answer_set)
     return tempered_posterior(
         belief, likelihood, floor=floor,
@@ -188,6 +275,14 @@ def tempered_update_with_family(
     belief: BeliefState, family: AnswerFamily, floor: float = TEMPER_FLOOR
 ) -> tuple[BeliefState, bool]:
     """:func:`update_with_family` with the tempered fallback."""
+    if isinstance(belief, SparseBeliefState):
+        return _sparse_tempered(
+            belief,
+            sparse_log_family_likelihood(
+                belief.facts, belief.support, family
+            ),
+            floor,
+        )
     likelihood = family_likelihood(belief, family)
     return tempered_posterior(
         belief, likelihood, floor=floor,

@@ -41,6 +41,7 @@ def build_factored_belief(
     groups: Sequence[FactSet],
     yes_probabilities: np.ndarray,
     smoothing: float = 0.01,
+    belief_epsilon: float = 0.0,
 ) -> FactoredBelief:
     """Factored belief with per-group independent-product joints.
 
@@ -54,6 +55,9 @@ def build_factored_belief(
     smoothing:
         Marginals are squeezed into ``[smoothing, 1 - smoothing]`` so
         experts can overturn a unanimous-but-wrong initialization.
+    belief_epsilon:
+        Truncation budget of the sparse belief kernel; ``0`` (default)
+        builds exact dense states.
     """
     yes_probabilities = np.asarray(yes_probabilities, dtype=np.float64)
     beliefs: list[BeliefState] = []
@@ -63,7 +67,10 @@ def build_factored_belief(
             for fact in group
         }
         beliefs.append(
-            initialize_from_votes(group, fractions, smoothing=smoothing)
+            initialize_from_votes(
+                group, fractions, smoothing=smoothing,
+                epsilon=belief_epsilon,
+            )
         )
     return FactoredBelief(beliefs)
 
@@ -73,6 +80,7 @@ def initialize_belief(
     aggregator: Aggregator,
     theta: float,
     smoothing: float = 0.01,
+    belief_epsilon: float = 0.0,
 ) -> tuple[FactoredBelief, AggregationResult]:
     """Run the full initialization pipeline of Algorithm 3, lines 1-2.
 
@@ -91,7 +99,8 @@ def initialize_belief(
         )
     result = aggregator.fit(preliminary_matrix)
     belief = build_factored_belief(
-        dataset.groups, result.posteriors[:, 1], smoothing=smoothing
+        dataset.groups, result.posteriors[:, 1], smoothing=smoothing,
+        belief_epsilon=belief_epsilon,
     )
     return belief, result
 
@@ -101,6 +110,7 @@ def initialize_belief_from_matrix(
     matrix: AnswerMatrix,
     aggregator: Aggregator,
     smoothing: float = 0.01,
+    belief_epsilon: float = 0.0,
 ) -> tuple[FactoredBelief, AggregationResult]:
     """Initialization from an explicit answer matrix (no crowd split).
 
@@ -109,6 +119,7 @@ def initialize_belief_from_matrix(
     """
     result = aggregator.fit(matrix)
     belief = build_factored_belief(
-        groups, result.posteriors[:, 1], smoothing=smoothing
+        groups, result.posteriors[:, 1], smoothing=smoothing,
+        belief_epsilon=belief_epsilon,
     )
     return belief, result

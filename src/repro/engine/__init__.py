@@ -42,25 +42,55 @@ state and keyed answers are replay-independent) under worker kills,
 hangs and protocol corruption too.
 """
 
-from .chaos import ChaosPlan, ChaosTransport
-from .ledger import BudgetLedger, LedgerBudget, LedgerError
-from .partition import partition_groups
-from .runner import (
-    ParallelCampaignRunner,
-    resume_parallel_session,
-    run_parallel_hc_session,
-)
-from .sharded import ShardedSelector, ShardedUpdateEngine, merge_shard_selections
-from .shards import InlineShard, ProcessShard, ShardPool
-from .sources import KeyedExpertPanel, ShardedAnswerSource, stable_worker_digest
-from .supervisor import (
-    ShardFailureError,
-    ShardIncident,
-    ShardRespawnError,
-    ShardSupervisor,
-    SupervisionPolicy,
-    SupervisorStats,
-)
+import importlib
+
+# Re-exports resolve lazily (PEP 562): spawned shard workers import
+# repro.engine.shards, and an eager package root would make each of
+# them pay for runner -> simulation.session -> aggregation -> scipy.
+_EXPORTS = {
+    "ChaosPlan": "chaos",
+    "ChaosTransport": "chaos",
+    "BudgetLedger": "ledger",
+    "LedgerBudget": "ledger",
+    "LedgerError": "ledger",
+    "partition_groups": "partition",
+    "ParallelCampaignRunner": "runner",
+    "resume_parallel_session": "runner",
+    "run_parallel_hc_session": "runner",
+    "ShardedSelector": "sharded",
+    "ShardedUpdateEngine": "sharded",
+    "merge_shard_selections": "sharded",
+    "InlineShard": "shards",
+    "ProcessShard": "shards",
+    "ShardPool": "shards",
+    "KeyedExpertPanel": "sources",
+    "ShardedAnswerSource": "sources",
+    "stable_worker_digest": "sources",
+    "ShardFailureError": "supervisor",
+    "ShardIncident": "supervisor",
+    "ShardRespawnError": "supervisor",
+    "ShardSupervisor": "supervisor",
+    "SupervisionPolicy": "supervisor",
+    "SupervisorStats": "supervisor",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    value = getattr(
+        importlib.import_module(f".{module_name}", __name__), name
+    )
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))
+
 
 __all__ = [
     "BudgetLedger",

@@ -150,7 +150,8 @@ class ParallelCampaignRunner:
             )
         aggregator = self._aggregator or make_aggregator(config.initializer)
         belief, _init_result = initialize_belief(
-            dataset, aggregator, config.theta, smoothing=config.smoothing
+            dataset, aggregator, config.theta, smoothing=config.smoothing,
+            belief_epsilon=config.belief_epsilon,
         )
         answer_source = self._answer_source
         if answer_source is None:

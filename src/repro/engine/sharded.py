@@ -27,7 +27,8 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..core.answers import AnswerFamily, PartialAnswerFamily
-from ..core.observations import BeliefState, FactoredBelief
+from ..core.kernel import state_from_wire
+from ..core.observations import FactoredBelief
 from ..core.workers import Crowd
 from .shards import ShardPool
 
@@ -140,9 +141,9 @@ class ShardedUpdateEngine:
         keyed_events: list[tuple] = []
         for reply in replies:
             _status, staged, tempered = reply
-            for global_index, probabilities in staged.items():
-                state = BeliefState.from_normalized(
-                    belief[global_index].facts, probabilities
+            for global_index, payload in staged.items():
+                state = state_from_wire(
+                    belief[global_index].facts, payload
                 )
                 belief.replace_group(global_index, state)
                 # The pool's mirror must reflect the commit *before* it

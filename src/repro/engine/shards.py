@@ -18,9 +18,16 @@ a tiny command protocol:
 ``commit`` / ``abort``
     Phase two: atomically adopt (or drop) the staged states and
     invalidate exactly the updated groups' selector caches.
-``replace_experts``, ``sync_groups``, ``collect``, ``stats``, ``close``
-    Panel swaps, resume re-sync, sharded answer collection (benchmark
-    mode), work counters, shutdown.
+``replace_experts``, ``sync_groups``, ``stats``, ``close``
+    Panel swaps, resume re-sync, work counters, shutdown.
+``collect`` / ``collect_scatter``
+    Sharded answer collection.  ``collect`` answers the shard-owned
+    subset of a broadcast query set from the replica's own ask
+    counters; ``collect_scatter`` answers an explicit chunk of
+    ``(fact_id, ask_index)`` pairs statelessly (the coordinator owns
+    the counters), which is what
+    :class:`~repro.engine.sources.ShardedAnswerSource` scatters for
+    balanced latency overlap.
 
 Two transports implement the protocol: :class:`InlineShard` executes
 commands in the calling process (fast, used by tests and ``--jobs 1``)
@@ -45,16 +52,41 @@ from __future__ import annotations
 
 import copy
 import multiprocessing
+import pickle
 from multiprocessing import connection as mp_connection
 from typing import Sequence
 
 from ..core.answers import AnswerFamily, PartialAnswerFamily
 from ..core.hc import describe_family
+from ..core.kernel import state_from_wire, state_wire_payload
 from ..core.observations import BeliefState, FactoredBelief
 from ..core.selection import LazyGreedySelector
 from ..core.update import InconsistentEvidenceError, update_with_family
 from ..core.workers import Crowd
 from ..simulation.online import stage_partial_updates
+
+
+def _dumps(obj) -> bytes:
+    """Wire encoding: always ``HIGHEST_PROTOCOL``.
+
+    ``Connection.send`` pickles with the *default* protocol, which
+    frames large float64 arrays less efficiently (no out-of-band buffer
+    framing) and re-serializes the object per call; every pipe frame in
+    this module goes through here instead, so the protocol is pinned in
+    one place and payloads can be pre-serialized once and reused.
+    """
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _send(connection, obj) -> int:
+    """Send one pre-pickled frame; returns its size in bytes."""
+    frame = _dumps(obj)
+    connection.send_bytes(frame)
+    return len(frame)
+
+
+def _recv(connection):
+    return pickle.loads(connection.recv_bytes())
 
 
 class ShardProtocolError(RuntimeError):
@@ -160,7 +192,7 @@ class ShardState:
         return (
             "staged",
             {
-                self._to_global(local): state.probabilities
+                self._to_global(local): state_wire_payload(state)
                 for local, state in staged.items()
             },
             tempered,
@@ -214,7 +246,7 @@ class ShardState:
         return (
             "staged",
             {
-                self._to_global(local): state.probabilities
+                self._to_global(local): state_wire_payload(state)
                 for local, state in staged.items()
             },
             [],
@@ -236,20 +268,18 @@ class ShardState:
     # -- resume / collection -------------------------------------------
 
     def _cmd_sync_groups(self, groups: dict) -> None:
-        """Overwrite owned groups from ``{global_index: probabilities}``
+        """Overwrite owned groups from ``{global_index: wire payload}``
         (journal resume re-syncs shard beliefs to the checkpoint)."""
         local_of = {
             global_index: local
             for local, global_index in enumerate(self._global_indices)
         }
         touched = []
-        for global_index, probabilities in groups.items():
+        for global_index, payload in groups.items():
             local = local_of[int(global_index)]
             self._belief.replace_group(
                 local,
-                BeliefState.from_normalized(
-                    self._belief[local].facts, probabilities
-                ),
+                state_from_wire(self._belief[local].facts, payload),
             )
             touched.append(local)
         self._selector.invalidate_groups(touched)
@@ -268,6 +298,27 @@ class ShardState:
         if not owned:
             return {}
         family = self._source.collect(owned, self._experts)
+        return {
+            answer_set.worker.worker_id: dict(answer_set.answers)
+            for answer_set in family
+        }
+
+    def _cmd_collect_scatter(self, indexed_queries: tuple) -> dict:
+        """Answer an explicit ``(fact_id, ask_index)`` chunk; reply
+        ``{worker_id: {fact: bool}}``.
+
+        Stateless on the shard side: the coordinator assigned the ask
+        indices, so the chunk may contain *any* fact (not just owned
+        ones) and re-executing the command after a respawn re-draws
+        byte-identical answers with no replayed counter state.
+        """
+        if self._source is None:
+            raise ShardProtocolError("shard has no answer source")
+        if not indexed_queries:
+            return {}
+        family = self._source.collect_indexed(
+            indexed_queries, self._experts
+        )
         return {
             answer_set.worker.worker_id: dict(answer_set.answers)
             for answer_set in family
@@ -364,35 +415,130 @@ class InlineShard:
         self._pending = None
 
 
+class SharedCampaignPayload:
+    """The pool-wide slice of the shard init payload, serialized once.
+
+    Historically every :class:`ProcessShard` re-pickled the full expert
+    panel and answer-source replica at spawn, so startup pipe bytes
+    scaled with ``jobs x panel size``.  The pool now pickles the shared
+    part exactly once (``HIGHEST_PROTOCOL``) and publishes the bytes
+    through a :mod:`multiprocessing.shared_memory` segment that every
+    worker maps read-only; each init frame then carries only the tiny
+    segment reference plus the shard's own group slice.  Where shared
+    memory is unavailable the bytes ride inline in each init frame —
+    still serialized once, merely transported per worker.
+
+    The segment lives until :meth:`close` (the pool closes it after the
+    shards), so late respawns can still map it; the resource tracker
+    reclaims it even if the coordinator is SIGKILLed.
+    """
+
+    def __init__(self, experts: Crowd, answer_source=None):
+        #: Kept as references so transports can detect when a caller's
+        #: current panel/source has drifted from the shared snapshot
+        #: (a respawn after a panel swap must override, not reuse).
+        self.experts = experts
+        self.answer_source = answer_source
+        blob = _dumps((experts, answer_source))
+        self.size = len(blob)
+        self._segment = None
+        self._blob: bytes | None = None
+        try:
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, len(blob))
+            )
+            segment.buf[: len(blob)] = blob
+            self._segment = segment
+        except Exception:
+            self._blob = blob
+
+    @property
+    def uses_shared_memory(self) -> bool:
+        return self._segment is not None
+
+    def ref(self) -> tuple:
+        """The per-worker handle: a segment name or the inline bytes."""
+        if self._segment is not None:
+            return ("shm", self._segment.name, self.size)
+        return ("inline", self._blob)
+
+    def close(self) -> None:
+        if self._segment is not None:
+            try:
+                self._segment.close()
+                self._segment.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+            self._segment = None
+        self._blob = None
+
+
+def _load_shared_payload(ref: tuple):
+    """Child-side decode of :meth:`SharedCampaignPayload.ref`."""
+    if ref[0] == "inline":
+        return pickle.loads(ref[1])
+    from multiprocessing import shared_memory
+
+    _kind, name, size = ref
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        return pickle.loads(bytes(segment.buf[:size]))
+    finally:
+        segment.close()
+
+
 def _shard_main(connection) -> None:
     """Child-process entry point: build the state, serve commands.
 
     Module-level so the spawn start method can pickle it; the first
-    message carries the constructor payload, every later message is
-    ``(command, payload)`` answered with ``("ok", result)`` or
-    ``("error", exception)``.
+    frame carries the shared-payload reference plus the shard's own
+    slice, every later frame is ``(command, payload)`` answered with
+    ``("ok", result)`` or ``("error", exception)``.  All frames cross
+    the pipe as ``HIGHEST_PROTOCOL`` pickles via :func:`_send` /
+    :func:`_recv`.
     """
     try:
-        kind, payload = connection.recv()
+        kind, shared_ref, shard_payload = _recv(connection)
         if kind != "init":
             raise ShardProtocolError(f"expected init, got {kind!r}")
-        state = ShardState(*payload)
-        connection.send(("ok", None))
+        experts, source = _load_shared_payload(shared_ref)
+        if shard_payload.get("experts") is not None:
+            experts = shard_payload["experts"]
+        if shard_payload.get("override_source"):
+            source = shard_payload.get("source")
+        state = ShardState(
+            shard_payload["indices"],
+            shard_payload["states"],
+            experts,
+            shard_payload["gain_tolerance"],
+            source,
+        )
+        _send(connection, ("ok", None))
         while True:
-            message = connection.recv()
+            message = _recv(connection)
             if message is None:
                 break
             command, payload = message
             try:
-                connection.send(("ok", state.handle(command, payload)))
+                _send(connection, ("ok", state.handle(command, payload)))
             except Exception as error:  # surfaced to the coordinator
-                connection.send(("error", error))
+                _send(connection, ("error", error))
     finally:
         connection.close()
 
 
 class ProcessShard:
-    """Runs the shard state machine in a spawn-safe child process."""
+    """Runs the shard state machine in a spawn-safe child process.
+
+    ``shared`` is the pool's :class:`SharedCampaignPayload`; when it is
+    omitted (tests building a lone shard) a private one is created and
+    owned.  The positional ``experts`` / ``answer_source`` are the
+    *current* values: whenever they differ from the shared snapshot
+    (panel swap before a respawn, rebuilt source replica) they ride in
+    the per-shard init frame as overrides.
+    """
 
     def __init__(
         self,
@@ -402,7 +548,25 @@ class ProcessShard:
         gain_tolerance=1e-12,
         answer_source=None,
         start_method: str = "spawn",
+        *,
+        shared: SharedCampaignPayload | None = None,
     ):
+        self._owned_shared: SharedCampaignPayload | None = None
+        if shared is None:
+            shared = SharedCampaignPayload(experts, answer_source)
+            self._owned_shared = shared
+        shard_payload = {
+            "indices": tuple(group_indices),
+            "states": tuple(states),
+            "gain_tolerance": gain_tolerance,
+            "experts": None if experts is shared.experts else experts,
+            "override_source": answer_source is not shared.answer_source,
+            "source": (
+                answer_source
+                if answer_source is not shared.answer_source
+                else None
+            ),
+        }
         context = multiprocessing.get_context(start_method)
         self._parent, child = context.Pipe()
         self._process = context.Process(
@@ -410,18 +574,14 @@ class ProcessShard:
         )
         self._process.start()
         child.close()
-        self._parent.send(
-            (
-                "init",
-                (
-                    tuple(group_indices),
-                    tuple(states),
-                    experts,
-                    gain_tolerance,
-                    answer_source,
-                ),
-            )
+        #: Startup / steady-state pipe byte counters (transport tests
+        #: assert init bytes no longer scale with the worker count).
+        self.init_bytes = _send(
+            self._parent, ("init", shared.ref(), shard_payload)
         )
+        self.shared_payload_bytes = shared.size
+        self.bytes_sent = 0
+        self.bytes_received = 0
         # The init handshake is awaited in ensure_ready() so a pool can
         # start every child first and let their interpreter/numpy
         # imports overlap across cores.
@@ -443,7 +603,7 @@ class ProcessShard:
             raise ShardRespawnError(
                 f"shard worker not ready within {timeout}s"
             )
-        self._check(self._parent.recv())
+        self._check(self._recv_frame())
         self._ready = True
 
     @staticmethod
@@ -453,11 +613,16 @@ class ProcessShard:
             raise value
         return value
 
+    def _recv_frame(self):
+        frame = self._parent.recv_bytes()
+        self.bytes_received += len(frame)
+        return pickle.loads(frame)
+
     def submit(self, command: str, *payload) -> None:
         self.ensure_ready()
         if self._in_flight:
             raise ShardProtocolError("previous command still in flight")
-        self._parent.send((command, payload))
+        self.bytes_sent += _send(self._parent, (command, payload))
         self._in_flight = True
 
     # -- supervisable surface ------------------------------------------
@@ -493,7 +658,7 @@ class ProcessShard:
 
     def take_reply(self):
         self._in_flight = False
-        return self._parent.recv()
+        return self._recv_frame()
 
     def is_alive(self) -> bool:
         return self._process.is_alive()
@@ -507,7 +672,7 @@ class ProcessShard:
         if not self._in_flight:
             raise ShardProtocolError("no command in flight")
         self._in_flight = False
-        return self._check(self._parent.recv())
+        return self._check(self._recv_frame())
 
     def call(self, command: str, *payload):
         self.submit(command, *payload)
@@ -525,7 +690,7 @@ class ProcessShard:
             return
         self._destroyed = True
         try:
-            self._parent.send(None)
+            _send(self._parent, None)
         except (BrokenPipeError, OSError):
             pass
         finally:
@@ -544,6 +709,9 @@ class ProcessShard:
             self._process.close()
         except ValueError:
             pass
+        if self._owned_shared is not None:
+            self._owned_shared.close()
+            self._owned_shared = None
 
     def destroy(self) -> None:
         """Immediate teardown of a failed worker (no sentinel, no
@@ -564,6 +732,9 @@ class ProcessShard:
             self._process.close()
         except ValueError:
             pass
+        if self._owned_shared is not None:
+            self._owned_shared.close()
+            self._owned_shared = None
 
 
 class ShardPool:
@@ -693,6 +864,7 @@ class ShardPool:
             if flag:
                 self._degraded.add(self.shard_ids[position])
         self._chaos_counts: dict[int, int] = {}
+        self._shared_payload: SharedCampaignPayload | None = None
         self.shards = [
             self._build_transport(position, answer_source)
             for position in range(len(self.partition))
@@ -721,10 +893,18 @@ class ShardPool:
                 self._gain_tolerance, source,
             )
         else:
+            if self._shared_payload is None:
+                # Pickled once for the whole pool; every worker (initial
+                # spawn and later respawns) maps the same bytes instead
+                # of re-serializing the panel/source per process.
+                self._shared_payload = SharedCampaignPayload(
+                    self._experts, self._answer_source
+                )
             shard = ProcessShard(
                 indices, states, self._experts,
                 self._gain_tolerance, source,
                 start_method=self._start_method,
+                shared=self._shared_payload,
             )
         if self._chaos is not None and not degraded:
             from .chaos import ChaosTransport
@@ -941,13 +1121,47 @@ class ShardPool:
             for index in range(len(belief)):
                 self._belief.replace_group(index, belief[index])
         payloads = [
-            {index: belief[index].probabilities for index in indices}
+            {index: state_wire_payload(belief[index]) for index in indices}
             for indices in self.partition
         ]
         self.supervisor.scatter("sync_groups", payloads)
 
     def stats(self) -> list[dict]:
         return self.broadcast("stats")
+
+    def transport_stats(self) -> dict:
+        """Pipe/shared-memory byte counters across the pool's shards.
+
+        ``shared_payload_bytes`` is counted once however many workers
+        exist — the regression test for startup cost asserts the
+        per-worker ``init_bytes`` stay free of the panel/source payload.
+        """
+        unwrapped = [
+            getattr(shard, "inner", shard) for shard in self.shards
+        ]
+        init_bytes = [
+            int(getattr(shard, "init_bytes", 0)) for shard in unwrapped
+        ]
+        return {
+            "shared_payload_bytes": (
+                self._shared_payload.size
+                if self._shared_payload is not None
+                else 0
+            ),
+            "shared_payload_in_memory": (
+                self._shared_payload is not None
+                and self._shared_payload.uses_shared_memory
+            ),
+            "init_bytes": init_bytes,
+            "init_bytes_total": sum(init_bytes),
+            "bytes_sent": sum(
+                int(getattr(shard, "bytes_sent", 0)) for shard in unwrapped
+            ),
+            "bytes_received": sum(
+                int(getattr(shard, "bytes_received", 0))
+                for shard in unwrapped
+            ),
+        }
 
     # ------------------------------------------------------------------
     # supervision surface
@@ -973,6 +1187,11 @@ class ShardPool:
         self._closed = True
         for shard in self.shards:
             shard.close()
+        # After the workers: a respawn can still map the segment while
+        # any shard lives, so the pool owns its lifetime.
+        if self._shared_payload is not None:
+            self._shared_payload.close()
+            self._shared_payload = None
 
     def __enter__(self) -> "ShardPool":
         return self

@@ -7,20 +7,26 @@ change every draw.  :class:`KeyedExpertPanel` removes that coupling:
 the answer for ``(worker, fact, ask_index)`` is drawn from its own
 ``SeedSequence([seed, fact_id, ask_index, worker_digest])`` stream, so
 any partition of a query set across shards collects byte-identical
-answers.  (A fact's ``ask_index`` advances once per round it appears
-in, and each fact is owned by exactly one shard, so shard-local ask
-counters agree with a serial panel's.)
+answers.
 
 ``latency`` models the human in the loop: ``collect`` sleeps
 ``latency * len(query_fact_ids)`` before answering, the wall-clock cost
 of sequentially waiting on experts.  Sharded collection overlaps these
-waits — each shard sleeps only for its own facts, concurrently — which
-is where the engine's speedup comes from on latency-bound campaigns.
+waits — each shard sleeps only for its chunk of the round's queries,
+concurrently — which is where the engine's speedup comes from on
+latency-bound campaigns.
 
-:class:`ShardedAnswerSource` is the coordinator-side adapter: it fans a
-query set out to a :class:`~repro.engine.shards.ShardPool` (each shard
-answers its owned facts from its replica of a keyed panel) and merges
-the replies back into the exact family a serial panel would return.
+:class:`ShardedAnswerSource` is the coordinator-side adapter.  It owns
+the *global* per-fact ask counters, splits each round's query set into
+balanced contiguous chunks of explicit ``(fact_id, ask_index)`` pairs,
+scatters one chunk per shard, and merges the replies back into the
+exact family a serial panel would return.  Scattering by balanced
+chunk rather than by group ownership matters twice over: the
+per-round query load of the owning shards can be skewed (capping the
+latency overlap well below ``jobs``), and carrying the ask index in
+the command payload makes a re-executed ``collect_scatter`` trivially
+byte-identical — a respawned worker needs no replayed counter state to
+re-draw the same answers.
 """
 
 from __future__ import annotations
@@ -109,6 +115,32 @@ class KeyedExpertPanel:
             self.answers_served += len(answers)
         return AnswerFamily(answer_sets=tuple(answer_sets))
 
+    def collect_indexed(
+        self,
+        indexed_queries: Sequence[tuple[int, int]],
+        experts: Crowd,
+    ) -> AnswerFamily:
+        """Answer explicit ``(fact_id, ask_index)`` pairs.
+
+        Pure with respect to the panel's own counters: the caller (the
+        coordinator-side :class:`ShardedAnswerSource`) owns the global
+        ask counts, so neither ``_ask_counts`` nor ``answers_served``
+        moves here and re-invoking with the same pairs re-draws the
+        same answers — which is exactly what makes a re-executed
+        ``collect_scatter`` command safe after a worker respawn.
+        Latency is still paid per queried fact, as in :meth:`collect`.
+        """
+        if self.latency > 0:
+            time.sleep(self.latency * len(indexed_queries))
+        answer_sets = []
+        for worker in experts:
+            answers = {
+                int(fact_id): self._answer(worker, fact_id, ask_index)
+                for fact_id, ask_index in indexed_queries
+            }
+            answer_sets.append(AnswerSet(worker=worker, answers=answers))
+        return AnswerFamily(answer_sets=tuple(answer_sets))
+
     # -- journaling hooks (same contract as SimulatedExpertPanel) ------
 
     def get_state(self) -> dict:
@@ -157,21 +189,51 @@ class KeyedExpertPanel:
 class ShardedAnswerSource:
     """Collects a query set via the pool's shard-local panel replicas.
 
-    Each shard answers (and sleeps for) only the facts it owns — the
-    waits overlap across shard processes — and the merged family is
-    byte-identical to one serial :class:`KeyedExpertPanel` call, by the
-    keying argument in the module docstring.
+    The coordinator advances the global per-fact ask counters exactly
+    as one serial :class:`KeyedExpertPanel` call would, then scatters
+    the round's ``(fact_id, ask_index)`` pairs in balanced contiguous
+    chunks — one per shard, each shard sleeping only for its chunk,
+    concurrently.  Because the keyed draws depend only on
+    ``(seed, fact, ask_index, worker)``, any shard can answer any
+    fact, so chunking is free to balance the latency instead of
+    following group ownership; the merged family is byte-identical to
+    the serial panel's by the keying argument in the module docstring.
     """
 
     def __init__(self, pool: ShardPool):
         self._pool = pool
+        self._ask_counts: dict[int, int] = {}
         self.answers_served = 0
+
+    @staticmethod
+    def _balanced_chunks(
+        pairs: Sequence[tuple[int, int]], num_shards: int
+    ) -> list[tuple]:
+        """Split ``pairs`` into ``num_shards`` contiguous chunks whose
+        sizes differ by at most one (earlier chunks take the extras)."""
+        base, extra = divmod(len(pairs), num_shards)
+        chunks, start = [], 0
+        for position in range(num_shards):
+            size = base + (1 if position < extra else 0)
+            chunks.append(tuple(pairs[start:start + size]))
+            start += size
+        return chunks
 
     def collect(
         self, query_fact_ids: Sequence[int], experts: Crowd
     ) -> AnswerFamily:
         self._pool.ensure_experts(experts)
-        replies = self._pool.broadcast("collect", tuple(query_fact_ids))
+        # Advance the global counters exactly as the serial panel does
+        # (repeats within one round keep the last index, dict-style).
+        ask_index: dict[int, int] = {}
+        for fact_id in query_fact_ids:
+            fact_id = int(fact_id)
+            current = self._ask_counts.get(fact_id, 0)
+            ask_index[fact_id] = current
+            self._ask_counts[fact_id] = current + 1
+        pairs = [(fact_id, index) for fact_id, index in ask_index.items()]
+        chunks = self._balanced_chunks(pairs, len(self._pool.shards))
+        replies = self._pool.supervisor.scatter("collect_scatter", chunks)
         by_worker: dict[str, dict[int, bool]] = {}
         for reply in replies:
             for worker_id, answers in reply.items():

@@ -20,14 +20,17 @@ The checking loop is stateless per round over independent groups
 classes:
 
 * **Re-executable** (``select``, ``stage_partial``, ``stage_family``,
-  ``collect``, ``sync_groups``, ``replace_experts``, ``stats``,
-  ``ping``): pure reads, staged-on-copies updates, or idempotent
-  overwrites.  ``collect`` is re-executable because answers come from a
+  ``collect``, ``collect_scatter``, ``sync_groups``,
+  ``replace_experts``, ``stats``, ``ping``): pure reads,
+  staged-on-copies updates, or idempotent overwrites.  Collection is
+  re-executable because answers come from a
   :class:`~repro.engine.sources.KeyedExpertPanel`, whose per
-  ``(seed, fact, ask, worker)`` keying makes replies replay-independent
-  — the supervisor mirrors the panel's ask counters coordinator-side
-  (advancing them only when a reply is *consumed*) so a rebuilt worker
-  re-draws byte-identical answers.
+  ``(seed, fact, ask, worker)`` keying makes replies replay-independent.
+  ``collect_scatter`` carries its ask indices in the command payload,
+  so a re-execution is byte-identical by construction; the legacy
+  ``collect`` relies on replica-local counters, which the supervisor
+  mirrors coordinator-side (advancing them only when a reply is
+  *consumed*) so a rebuilt worker re-draws byte-identical answers.
 * **Subsumed by the rebuild** (``commit``, ``abort``): the coordinator
   mirrors staged posteriors into its own belief *before* broadcasting
   ``commit`` (see :meth:`~repro.engine.sharded.ShardedUpdateEngine`),
@@ -68,6 +71,7 @@ REEXECUTABLE_COMMANDS = frozenset(
         "stage_partial",
         "stage_family",
         "collect",
+        "collect_scatter",
         "sync_groups",
         "replace_experts",
         "stats",

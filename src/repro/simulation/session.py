@@ -9,7 +9,7 @@ and the examples are thin wrappers over this function.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -17,6 +17,7 @@ import numpy as np
 from ..aggregation.base import Aggregator
 from ..aggregation.registry import make_aggregator
 from ..core.hc import HierarchicalCrowdsourcing, RunResult
+from ..core.kernel import default_belief_epsilon
 from ..core.selection import LazyGreedySelector, Selector
 from ..core.trust import TrustPolicy, select_gold_probes
 from ..core.workers import Crowd
@@ -72,6 +73,15 @@ class SessionConfig:
     reserve_accuracies:
         Accuracies of reserve experts available for reassignment and
         quarantine substitution (workers named ``r0, r1, ...``).
+    belief_epsilon:
+        Truncation budget of the sparse belief kernel.  ``0`` (the
+        default) keeps the exact dense kernel; a positive value builds
+        :class:`~repro.core.kernel.SparseBeliefState` groups whose
+        updates drop negligible-mass observations within a
+        total-variation bound of ``belief_epsilon`` per update.  The
+        default can be overridden fleet-wide with the
+        ``REPRO_BELIEF_EPSILON`` environment variable (the CI kernel leg
+        uses it to run whole suites on the truncated kernel).
     """
 
     theta: float = 0.9
@@ -86,6 +96,7 @@ class SessionConfig:
     trust_policy: TrustPolicy | None = None
     gold_fraction: float = 0.1
     reserve_accuracies: tuple[float, ...] = ()
+    belief_epsilon: float = field(default_factory=default_belief_epsilon)
 
 
 def run_hc_session(
@@ -122,7 +133,8 @@ def run_hc_session(
     if aggregator is None:
         aggregator = make_aggregator(config.initializer)
     belief, _init_result = initialize_belief(
-        dataset, aggregator, config.theta, smoothing=config.smoothing
+        dataset, aggregator, config.theta, smoothing=config.smoothing,
+        belief_epsilon=config.belief_epsilon,
     )
     if answer_source is None:
         answer_source = SimulatedExpertPanel(

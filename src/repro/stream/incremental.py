@@ -102,6 +102,19 @@ class StreamingBeliefBuilder:
         Seconds after the head chunk's *first* fact arrived that the
         watermark may force-seal it with whatever votes exist —
         unvoted facts initialize at the uninformative ``0.5``.
+    belief_epsilon:
+        Truncation budget of the sparse belief kernel; ``0`` (the
+        default) seals exact dense
+        :class:`~repro.core.observations.BeliefState` groups, positive
+        values seal :class:`~repro.core.kernel.SparseBeliefState`
+        groups through the *same*
+        :func:`~repro.core.update.initialize_from_votes` call the batch
+        path uses.
+
+    The ``on_degenerate`` attribute (not checkpointed) may be set to a
+    zero-argument callable; it fires when a seal's marginal product is
+    degenerate and the initializer falls back to uniform, so the
+    runtime can record a ``degenerate_marginals`` incident.
     """
 
     def __init__(
@@ -111,6 +124,7 @@ class StreamingBeliefBuilder:
         target_votes: int = 3,
         smoothing: float = 0.01,
         straggler_timeout: float = 30.0,
+        belief_epsilon: float = 0.0,
     ):
         if group_size < 1:
             raise ValueError("group_size must be at least 1")
@@ -118,10 +132,14 @@ class StreamingBeliefBuilder:
             raise ValueError("target_votes must be non-negative")
         if straggler_timeout < 0.0:
             raise ValueError("straggler_timeout must be non-negative")
+        if not 0.0 <= belief_epsilon < 1.0:
+            raise ValueError("belief_epsilon must lie in [0, 1)")
         self._group_size = int(group_size)
         self._target_votes = int(target_votes)
         self._smoothing = float(smoothing)
         self._straggler_timeout = float(straggler_timeout)
+        self._belief_epsilon = float(belief_epsilon)
+        self.on_degenerate = None
         #: Unsealed facts in arrival order: [fact_id, first_seen_time].
         self._pending: list[list] = []
         #: fact_id -> {"instance_id": str, "label": str} for pending facts.
@@ -261,13 +279,17 @@ class StreamingBeliefBuilder:
             fractions[fact_id] = self.vote_fraction(fact_id)
             self._sealed.add(fact_id)
         return initialize_from_votes(
-            FactSet(facts), fractions, smoothing=self._smoothing
+            FactSet(facts),
+            fractions,
+            smoothing=self._smoothing,
+            epsilon=self._belief_epsilon,
+            on_degenerate=self.on_degenerate,
         )
 
     # -- checkpoint state ---------------------------------------------
 
     def state(self) -> dict:
-        return {
+        state = {
             "group_size": self._group_size,
             "target_votes": self._target_votes,
             "smoothing": self._smoothing,
@@ -285,6 +307,11 @@ class StreamingBeliefBuilder:
             },
             "sealed": sorted(self._sealed),
         }
+        # Only serialized when set: exact-kernel checkpoints must stay
+        # byte-identical to those written before the key existed.
+        if self._belief_epsilon:
+            state["belief_epsilon"] = self._belief_epsilon
+        return state
 
     @classmethod
     def from_state(cls, state: dict) -> "StreamingBeliefBuilder":
@@ -293,6 +320,7 @@ class StreamingBeliefBuilder:
             target_votes=int(state["target_votes"]),
             smoothing=float(state["smoothing"]),
             straggler_timeout=float(state["straggler_timeout"]),
+            belief_epsilon=float(state.get("belief_epsilon", 0.0)),
         )
         builder._pending = [
             [int(fact_id), float(time)] for fact_id, time in state["pending"]

@@ -37,7 +37,7 @@ exactly-once.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
@@ -46,6 +46,7 @@ import numpy as np
 from ..core.answers import AnswerSet
 from ..core.budget import CheckingBudget, CostModel
 from ..core.incidents import FaultEvent
+from ..core.kernel import default_belief_epsilon
 from ..core.observations import BeliefState, FactoredBelief
 from ..core.selection import Selector
 from ..core.serialization import (
@@ -111,6 +112,13 @@ class StreamSpec:
     chaos:
         Optional :class:`~repro.stream.chaos.StreamChaos` delivery
         degradation.
+    belief_epsilon:
+        Truncation budget of the sparse belief kernel applied to sealed
+        groups (see
+        :class:`~repro.stream.incremental.StreamingBeliefBuilder`);
+        ``0`` keeps the exact dense kernel.  Defaults from the
+        ``REPRO_BELIEF_EPSILON`` environment variable so the CI kernel
+        leg can flip whole streamed suites onto the truncated kernel.
     """
 
     arrival: str = "poisson"
@@ -128,12 +136,15 @@ class StreamSpec:
     window: int = 2
     seed: int = 0
     chaos: StreamChaos | None = None
+    belief_epsilon: float = field(default_factory=default_belief_epsilon)
 
     def __post_init__(self) -> None:
         if self.rounds_per_event < 1:
             raise ValueError("rounds_per_event must be at least 1")
         if self.events_per_step < 1:
             raise ValueError("events_per_step must be at least 1")
+        if not 0.0 <= self.belief_epsilon < 1.0:
+            raise ValueError("belief_epsilon must lie in [0, 1)")
 
     def to_dict(self) -> dict:
         payload = {
@@ -154,6 +165,10 @@ class StreamSpec:
         }
         if self.chaos is not None:
             payload["chaos"] = self.chaos.to_dict()
+        # Emitted only when set, like ``chaos``: exact-kernel journals
+        # must stay byte-identical to the pre-kernel corpus.
+        if self.belief_epsilon:
+            payload["belief_epsilon"] = self.belief_epsilon
         return payload
 
     @classmethod
@@ -179,6 +194,7 @@ class StreamSpec:
             chaos=(
                 StreamChaos.from_dict(chaos) if chaos is not None else None
             ),
+            belief_epsilon=float(payload.get("belief_epsilon", 0.0)),
         )
 
 
@@ -260,12 +276,8 @@ class StreamingCampaign:
         self._dedup_low = 0
         self._dedup_extra: set[int] = set()
         self._watermark = WatermarkTracker(self._spec.allowed_lateness)
-        self._builder = StreamingBeliefBuilder(
-            group_size=self._spec.group_size,
-            target_votes=self._spec.target_votes,
-            smoothing=self._spec.smoothing,
-            straggler_timeout=self._spec.straggler_timeout,
-        )
+        self._degenerate_seals = 0
+        self._builder = self._make_builder()
         self._truth: dict[int, bool] = {}
         self._stats: dict[str, int] = {
             "admitted": 0,
@@ -284,6 +296,22 @@ class StreamingCampaign:
 
         if self._journal_path is not None:
             self._init_journal(journal_metadata)
+
+    def _make_builder(self) -> StreamingBeliefBuilder:
+        builder = StreamingBeliefBuilder(
+            group_size=self._spec.group_size,
+            target_votes=self._spec.target_votes,
+            smoothing=self._spec.smoothing,
+            straggler_timeout=self._spec.straggler_timeout,
+            belief_epsilon=self._spec.belief_epsilon,
+        )
+        builder.on_degenerate = self._count_degenerate
+        return builder
+
+    def _count_degenerate(self) -> None:
+        """Degenerate seal observed; the incident is noted once the
+        session exists (the first seal is what creates it)."""
+        self._degenerate_seals += 1
 
     # ------------------------------------------------------------------
     # journal bootstrap
@@ -634,6 +662,14 @@ class StreamingCampaign:
                     )
         else:
             self._session.add_groups(states, truth)
+        while self._degenerate_seals:
+            self._degenerate_seals -= 1
+            self._session.note_incident(
+                FaultEvent(
+                    kind="degenerate_marginals",
+                    detail="uniform fallback at streamed seal",
+                )
+            )
 
     def _create_session(
         self, states: Sequence[BeliefState], truth: Mapping[int, bool]
@@ -818,6 +854,9 @@ class StreamingCampaign:
         return campaign
 
     def _restore_extras(self, extras: "dict | None") -> None:
+        # Never checkpointed: a pending degenerate-seal count is always
+        # drained into the journal before the boundary record is cut.
+        self._degenerate_seals = 0
         if extras is None:
             # killed before the first event-boundary record: restart
             # the bootstrap from scratch (nothing was admitted yet)
@@ -828,12 +867,7 @@ class StreamingCampaign:
             self._dedup_low = 0
             self._dedup_extra = set()
             self._watermark = WatermarkTracker(self._spec.allowed_lateness)
-            self._builder = StreamingBeliefBuilder(
-                group_size=self._spec.group_size,
-                target_votes=self._spec.target_votes,
-                smoothing=self._spec.smoothing,
-                straggler_timeout=self._spec.straggler_timeout,
-            )
+            self._builder = self._make_builder()
             self._truth = {}
             self._stats = {
                 "admitted": 0,
@@ -858,6 +892,7 @@ class StreamingCampaign:
         self._builder = StreamingBeliefBuilder.from_state(
             extras["builder"]
         )
+        self._builder.on_degenerate = self._count_degenerate
         self._truth = {
             int(fact_id): bool(value)
             for fact_id, value in extras["truth"].items()

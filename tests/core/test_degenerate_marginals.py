@@ -1,0 +1,91 @@
+"""Regression tests: degenerate marginal products at initialization.
+
+``BeliefState.from_marginals`` historically guarded ``total <= eps``,
+which NaN totals sail straight past (``NaN <= eps`` is ``False``): NaN
+marginals — e.g. an aggregator's 0/0 vote fraction — propagated NaN
+into the belief instead of triggering the uniform fallback.  The guard
+is now ``not total > eps`` and both kernels must agree on the
+semantics:
+
+* NaN marginals -> RuntimeWarning + ``on_degenerate`` + *exact* uniform;
+* all-zero (or all-one) marginals are NOT degenerate — the product is a
+  legitimate point mass and no warning fires.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import BeliefState, FactSet, SparseBeliefState
+from repro.core import sparse_from_marginals
+from repro.core.update import initialize_from_votes
+
+
+@pytest.fixture
+def facts() -> FactSet:
+    return FactSet.from_ids([1, 2, 3])
+
+
+def test_nan_marginals_fall_back_to_exact_uniform(facts):
+    calls = []
+    with pytest.warns(RuntimeWarning, match="degenerate"):
+        belief = BeliefState.from_marginals(
+            facts, [float("nan"), 0.5, 0.5], on_degenerate=lambda: calls.append(True)
+        )
+    assert calls  # the incident hook fired
+    assert np.array_equal(
+        belief.probabilities, np.full(8, 1.0 / 8)
+    )  # exact uniform, not merely approximate
+
+
+def test_all_nan_marginals_fall_back(facts):
+    with pytest.warns(RuntimeWarning, match="degenerate"):
+        belief = BeliefState.from_marginals(facts, [float("nan")] * 3)
+    assert np.array_equal(belief.probabilities, np.full(8, 1.0 / 8))
+
+
+def test_all_zero_marginals_are_a_point_mass_not_degenerate(facts):
+    """Zero marginals mean "every fact is false", which is a perfectly
+    well-defined observation — the all-false state gets all the mass."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        belief = BeliefState.from_marginals(facts, [0.0, 0.0, 0.0])
+    assert belief.probability_of((False, False, False)) == 1.0
+
+
+def test_near_zero_products_are_renormalized_not_degenerate(facts):
+    """Tiny-but-positive products renormalize exactly; the fallback is
+    reserved for genuinely zero/NaN mass."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        belief = BeliefState.from_marginals(facts, [1e-200, 1e-200, 0.5])
+    assert belief.probabilities.sum() == pytest.approx(1.0)
+    assert belief.map_observation() == 0
+
+
+def test_sparse_kernel_agrees_on_nan_fallback(facts):
+    calls = []
+    with pytest.warns(RuntimeWarning, match="degenerate"):
+        sparse = sparse_from_marginals(
+            facts, [float("nan"), 0.5, 0.5], 1e-3,
+            on_degenerate=lambda: calls.append(True),
+        )
+    assert calls
+    assert isinstance(sparse, SparseBeliefState)
+    assert np.array_equal(sparse.probabilities, np.full(8, 1.0 / 8))
+
+
+def test_initialize_from_votes_threads_the_hook(facts):
+    calls = []
+    with pytest.warns(RuntimeWarning, match="degenerate"):
+        belief = initialize_from_votes(
+            facts,
+            {1: float("nan"), 2: 0.5, 3: 0.5},
+            smoothing=0.01,  # NaN survives the smoothing clip
+            on_degenerate=lambda: calls.append(True),
+        )
+    assert calls
+    assert np.array_equal(belief.probabilities, np.full(8, 1.0 / 8))

@@ -1,0 +1,284 @@
+"""Unit tests of the bit-packed, log-space, sparse belief kernel."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnswerFamily,
+    AnswerSet,
+    BeliefState,
+    FactSet,
+    SparseBeliefState,
+    Worker,
+    pack_query,
+    packed_states,
+    pattern_indices,
+    popcount,
+    sparse_from_marginals,
+    sparse_log_answer_set_likelihood,
+    sparse_log_family_likelihood,
+    state_from_wire,
+    state_wire_payload,
+    update_with_answer_set,
+    update_with_family,
+)
+from repro.core.answers import log_answer_set_likelihood, log_family_likelihood
+from repro.core.kernel import _truncated
+
+
+def _total_variation(dense: BeliefState, other: BeliefState) -> float:
+    return 0.5 * float(
+        np.abs(dense.probabilities - other.probabilities).sum()
+    )
+
+
+def _sparse(facts: FactSet, probabilities, epsilon: float = 0.0):
+    return SparseBeliefState(facts, np.asarray(probabilities), epsilon)
+
+
+# ---------------------------------------------------------------------
+# bit packing primitives
+# ---------------------------------------------------------------------
+
+
+def test_popcount_matches_python():
+    values = np.array([0, 1, 2, 3, 255, 2**40 - 1, 2**62], dtype=np.int64)
+    assert popcount(values).tolist() == [
+        bin(int(v)).count("1") for v in values
+    ]
+
+
+def test_packed_states_is_arange():
+    assert packed_states(3).tolist() == list(range(8))
+    assert packed_states(0).tolist() == [0]
+
+
+def test_pack_query_masks_follow_positions():
+    facts = FactSet.from_ids([10, 20, 30, 40])
+    query_mask, answer_mask, count = pack_query(
+        facts, {20: True, 40: False}
+    )
+    assert count == 2
+    # Fact 20 is position 1, fact 40 position 3.
+    assert query_mask == 0b1010
+    assert answer_mask == 0b0010
+
+
+def test_sparse_log_likelihood_matches_dense_log_kernel():
+    facts = FactSet.from_ids([1, 2, 3])
+    dense = BeliefState.uniform(facts)
+    worker = Worker("w0", 0.85)
+    answer_set = AnswerSet(worker, {1: True, 3: False})
+    states = packed_states(3)
+    via_kernel = sparse_log_answer_set_likelihood(facts, states, answer_set)
+    via_dense = log_answer_set_likelihood(dense, answer_set)
+    assert np.array_equal(via_kernel, via_dense)
+
+    family = AnswerFamily(
+        answer_sets=(
+            answer_set,
+            AnswerSet(Worker("w1", 0.7), {1: False, 3: True}),
+        )
+    )
+    assert np.array_equal(
+        sparse_log_family_likelihood(facts, states, family),
+        log_family_likelihood(dense, family),
+    )
+
+
+def test_pattern_indices_compacts_selected_bits():
+    states = np.array([0b000, 0b101, 0b110, 0b011], dtype=np.int64)
+    # Select bit positions 0 and 2 -> compact index (bit2 << 1) | bit0.
+    assert pattern_indices(states, [0, 2]).tolist() == [0, 3, 2, 1]
+
+
+# ---------------------------------------------------------------------
+# truncation
+# ---------------------------------------------------------------------
+
+
+def test_truncated_drops_within_budget_and_renormalizes():
+    support = np.arange(4, dtype=np.int64)
+    values = np.array([0.5, 0.3, 0.15, 0.05])
+    kept_support, kept_values = _truncated(support, values, 0.06)
+    assert kept_support.tolist() == [0, 1, 2]
+    assert kept_values.sum() == pytest.approx(1.0)
+    # Dropped mass (0.05) is the TV distance, within the 0.06 budget.
+    dense_before = np.zeros(4)
+    dense_before[support] = values
+    dense_after = np.zeros(4)
+    dense_after[kept_support] = kept_values
+    assert 0.5 * np.abs(dense_before - dense_after).sum() <= 0.06
+
+
+def test_truncated_never_empties_the_support():
+    support = np.arange(3, dtype=np.int64)
+    values = np.array([1 / 3, 1 / 3, 1 / 3])
+    kept_support, _values = _truncated(support, values, 0.999999)
+    assert kept_support.size >= 1
+
+
+def test_truncated_epsilon_zero_is_identity():
+    support = np.arange(5, dtype=np.int64)
+    values = np.full(5, 0.2)
+    kept_support, kept_values = _truncated(support, values, 0.0)
+    assert kept_support is support
+    assert kept_values is values
+
+
+# ---------------------------------------------------------------------
+# SparseBeliefState semantics
+# ---------------------------------------------------------------------
+
+
+def test_sparse_state_matches_dense_accessors():
+    facts = FactSet.from_ids([1, 2, 3])
+    probabilities = np.array(
+        [0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18]
+    )
+    dense = BeliefState(facts, probabilities)
+    sparse = _sparse(facts, probabilities)
+    assert np.array_equal(sparse.probabilities, dense.probabilities)
+    assert np.allclose(sparse.marginals(), dense.marginals())
+    assert sparse.map_observation() == dense.map_observation()
+    assert sparse.probability_of((True, True, False)) == pytest.approx(
+        dense.probability_of((True, True, False))
+    )
+    assert sparse.marginal(2) == pytest.approx(dense.marginal(2))
+    assert sparse.support_size == 8
+
+
+def test_sparse_update_tracks_dense_within_epsilon():
+    facts = FactSet.from_ids([1, 2, 3, 4])
+    rng = np.random.default_rng(5)
+    probabilities = rng.dirichlet(np.ones(16))
+    epsilon = 1e-3
+    dense = BeliefState(facts, probabilities)
+    sparse = _sparse(facts, probabilities, epsilon)
+    answers = AnswerSet(Worker("w0", 0.9), {1: True, 3: False})
+    dense = update_with_answer_set(dense, answers)
+    sparse = update_with_answer_set(sparse, answers)
+    assert isinstance(sparse, SparseBeliefState)
+    assert sparse.epsilon == epsilon
+    # One init truncation + one update truncation, plus float noise.
+    assert _total_variation(dense, sparse) <= 2 * epsilon + 1e-9
+
+
+def test_sparse_family_update_matches_log_reference():
+    facts = FactSet.from_ids([1, 2])
+    probabilities = np.array([0.4, 0.3, 0.2, 0.1])
+    sparse = _sparse(facts, probabilities, 0.0)
+    family = AnswerFamily(
+        answer_sets=(
+            AnswerSet(Worker("a", 0.8), {1: True, 2: True}),
+            AnswerSet(Worker("b", 0.95), {1: True, 2: False}),
+        )
+    )
+    updated = update_with_family(sparse, family)
+    dense = BeliefState(facts, probabilities)
+    reference = dense.log_reweighted(log_family_likelihood(dense, family))
+    assert _total_variation(reference, updated) <= 1e-12
+
+
+def test_sparse_pickle_round_trip_is_bitwise():
+    facts = FactSet.from_ids([7, 8, 9])
+    sparse = sparse_from_marginals(facts, [0.9, 0.2, 0.5], 1e-4)
+    clone = pickle.loads(
+        pickle.dumps(sparse, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    assert isinstance(clone, SparseBeliefState)
+    assert np.array_equal(clone.support, sparse.support)
+    assert np.array_equal(
+        clone.sparse_probabilities, sparse.sparse_probabilities
+    )
+    assert clone.epsilon == sparse.epsilon
+
+
+def test_from_support_rejects_malformed_inputs():
+    facts = FactSet.from_ids([1, 2])
+    with pytest.raises(ValueError):
+        SparseBeliefState.from_support(
+            facts, np.array([], dtype=np.int64), np.array([]), 0.0
+        )
+    with pytest.raises(ValueError):
+        SparseBeliefState.from_support(
+            facts, np.array([1, 0]), np.array([0.5, 0.5]), 0.0
+        )
+    with pytest.raises(ValueError):
+        SparseBeliefState.from_support(
+            facts, np.array([0, 4]), np.array([0.5, 0.5]), 0.0
+        )
+    with pytest.raises(ValueError):
+        SparseBeliefState.from_support(
+            facts, np.array([0, 1]), np.array([0.5, 0.0]), 0.0
+        )
+
+
+def test_log_posterior_rejects_all_inf_likelihood():
+    facts = FactSet.from_ids([1])
+    sparse = _sparse(facts, [0.5, 0.5])
+    with pytest.raises(ValueError):
+        sparse.log_posterior(np.array([-np.inf, -np.inf]))
+
+
+# ---------------------------------------------------------------------
+# marginal products
+# ---------------------------------------------------------------------
+
+
+def test_sparse_from_marginals_matches_dense_at_epsilon_zero():
+    facts = FactSet.from_ids([1, 2, 3])
+    marginals = [0.9, 0.25, 0.6]
+    dense = BeliefState.from_marginals(facts, marginals)
+    sparse = sparse_from_marginals(facts, marginals, 0.0)
+    assert _total_variation(dense, sparse) <= 1e-12
+
+
+def test_sparse_from_marginals_truncates_within_budget():
+    facts = FactSet.from_ids(list(range(8)))
+    marginals = [0.99] * 8
+    epsilon = 1e-3
+    dense = BeliefState.from_marginals(facts, marginals)
+    sparse = sparse_from_marginals(facts, marginals, epsilon)
+    assert sparse.support_size < dense.num_observations
+    assert _total_variation(dense, sparse) <= epsilon + 1e-12
+
+
+def test_sparse_from_marginals_extreme_endpoints_are_exact():
+    """Accuracy-0/1 marginals give a point mass, not an underflow."""
+    facts = FactSet.from_ids([1, 2, 3])
+    sparse = sparse_from_marginals(facts, [0.0, 1.0, 0.0], 0.0)
+    assert sparse.support_size == 1
+    assert sparse.support[0] == 0b010
+    assert sparse.sparse_probabilities[0] == 1.0
+
+
+# ---------------------------------------------------------------------
+# wire payloads
+# ---------------------------------------------------------------------
+
+
+def test_wire_payload_round_trip_dense_and_sparse():
+    facts = FactSet.from_ids([1, 2, 3])
+    probabilities = np.array(
+        [0.09, 0.11, 0.10, 0.20, 0.08, 0.09, 0.15, 0.18]
+    )
+    dense = BeliefState(facts, probabilities)
+    restored = state_from_wire(facts, state_wire_payload(dense))
+    assert type(restored) is BeliefState
+    assert np.array_equal(restored.probabilities, dense.probabilities)
+
+    sparse = _sparse(facts, probabilities, 1e-4)
+    payload = state_wire_payload(sparse)
+    assert payload[0] == "sparse"
+    restored = state_from_wire(facts, payload)
+    assert isinstance(restored, SparseBeliefState)
+    assert np.array_equal(restored.support, sparse.support)
+    assert np.array_equal(
+        restored.sparse_probabilities, sparse.sparse_probabilities
+    )
+    assert restored.epsilon == sparse.epsilon

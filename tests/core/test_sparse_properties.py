@@ -1,0 +1,209 @@
+"""Property-based suite: the sparse/truncated kernel vs the dense reference.
+
+The contract the tentpole rewrite must honor (hypothesis-driven, over
+randomized beliefs, crowds, and truncation budgets):
+
+* every truncation stays within its total-variation budget — at
+  initialization exactly, and per update against the untruncated twin;
+* ``epsilon=0`` never instantiates the sparse kernel in product code
+  (``initialize_from_votes`` routes dense), and a full-support sparse
+  twin drives the CELF selector to *identical* selections;
+* the sparse canonical form (ascending unique support, strictly
+  positive renormalized values) survives arbitrary update chains.
+
+Journal-level byte-identity for ``run_parallel_hc_session`` and
+``repro stream`` resume lives with the other resume suites
+(tests/engine/test_resume.py, tests/stream/test_resume.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AnswerSet,
+    BeliefState,
+    Crowd,
+    FactSet,
+    FactoredBelief,
+    LazyGreedySelector,
+    SparseBeliefState,
+    Worker,
+    sparse_from_marginals,
+    update_with_answer_set,
+)
+from repro.core.update import initialize_from_votes
+
+#: Float slack on top of the analytic TV bounds (renormalization ulps).
+TV_SLACK = 1e-9
+
+
+def _tv(p: np.ndarray, q: np.ndarray) -> float:
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+# --------------------------------------------------------------------
+# strategies
+# --------------------------------------------------------------------
+
+
+@st.composite
+def marginal_vectors(draw, min_facts: int = 1, max_facts: int = 4):
+    num_facts = draw(st.integers(min_facts, max_facts))
+    return draw(
+        st.lists(
+            st.floats(0.02, 0.98, allow_nan=False),
+            min_size=num_facts,
+            max_size=num_facts,
+        )
+    )
+
+
+@st.composite
+def answer_sets_for(draw, num_facts: int):
+    accuracy = draw(st.floats(0.55, 0.95, allow_nan=False))
+    queried = draw(
+        st.lists(
+            st.integers(0, num_facts - 1),
+            min_size=1,
+            max_size=num_facts,
+            unique=True,
+        )
+    )
+    answers = {
+        fact_id: draw(st.booleans()) for fact_id in sorted(queried)
+    }
+    return AnswerSet(worker=Worker("w", accuracy), answers=answers)
+
+
+epsilons = st.floats(1e-9, 0.2, allow_nan=False)
+
+
+# --------------------------------------------------------------------
+# truncation stays within its TV budget
+# --------------------------------------------------------------------
+
+
+class TestTruncationBudget:
+    @settings(max_examples=60, deadline=None)
+    @given(marginal_vectors(), epsilons)
+    def test_initialization_tv_within_epsilon(self, marginals, epsilon):
+        facts = FactSet.from_ids(range(len(marginals)))
+        dense = BeliefState.from_marginals(facts, marginals)
+        sparse = sparse_from_marginals(facts, marginals, epsilon)
+        assert isinstance(sparse, SparseBeliefState)
+        assert _tv(sparse.probabilities, dense.probabilities) <= (
+            epsilon + TV_SLACK
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(marginal_vectors(min_facts=2), epsilons, st.data())
+    def test_each_update_tv_within_epsilon(self, marginals, epsilon, data):
+        """One update's truncation, isolated: the truncated posterior
+        vs the *untruncated* posterior of the same sparse prior."""
+        facts = FactSet.from_ids(range(len(marginals)))
+        prior = sparse_from_marginals(facts, marginals, epsilon)
+        exact_twin = SparseBeliefState.from_support(
+            facts, prior.support, prior.sparse_probabilities, 0.0
+        )
+        answer_set = data.draw(answer_sets_for(len(marginals)))
+        truncated = update_with_answer_set(prior, answer_set)
+        exact = update_with_answer_set(exact_twin, answer_set)
+        assert _tv(truncated.probabilities, exact.probabilities) <= (
+            epsilon + TV_SLACK
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(marginal_vectors(min_facts=2), st.data())
+    def test_tiny_epsilon_chain_stays_near_dense(self, marginals, data):
+        """Three chained updates at epsilon=1e-9: accumulated error vs
+        the dense reference stays far below any decision threshold.
+        (Conditioning can amplify truncated mass by the worst-case
+        likelihood ratio, ~81 per update at these accuracies, so the
+        honest bound is 1e-9 * 81**3 < 1e-3 — not 3e-9.)"""
+        facts = FactSet.from_ids(range(len(marginals)))
+        dense = BeliefState.from_marginals(facts, marginals)
+        sparse = sparse_from_marginals(facts, marginals, 1e-9)
+        for _ in range(3):
+            answer_set = data.draw(answer_sets_for(len(marginals)))
+            dense = update_with_answer_set(dense, answer_set)
+            sparse = update_with_answer_set(sparse, answer_set)
+        assert _tv(sparse.probabilities, dense.probabilities) <= 1e-3
+
+
+# --------------------------------------------------------------------
+# the canonical sparse form survives update chains
+# --------------------------------------------------------------------
+
+
+class TestCanonicalForm:
+    @settings(max_examples=40, deadline=None)
+    @given(marginal_vectors(min_facts=2), epsilons, st.data())
+    def test_support_invariants_after_updates(
+        self, marginals, epsilon, data
+    ):
+        facts = FactSet.from_ids(range(len(marginals)))
+        state = sparse_from_marginals(facts, marginals, epsilon)
+        for _ in range(data.draw(st.integers(1, 3))):
+            state = update_with_answer_set(
+                state, data.draw(answer_sets_for(len(marginals)))
+            )
+        support = state.support
+        values = state.sparse_probabilities
+        assert support.dtype == np.int64
+        assert np.all(np.diff(support) > 0)  # ascending, unique
+        assert np.all(values > 0.0)  # no dead weight carried
+        assert values.sum() == pytest.approx(1.0, abs=1e-12)
+        assert state.support_size == support.size
+
+
+# --------------------------------------------------------------------
+# epsilon = 0: dense everywhere, identical selections
+# --------------------------------------------------------------------
+
+
+class TestEpsilonZeroIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(marginal_vectors())
+    def test_epsilon_zero_routes_to_the_dense_kernel(self, marginals):
+        facts = FactSet.from_ids(range(len(marginals)))
+        belief = initialize_from_votes(facts, marginals, epsilon=0.0)
+        assert type(belief) is BeliefState
+        positive = initialize_from_votes(facts, marginals, epsilon=1e-4)
+        assert isinstance(positive, SparseBeliefState)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        marginal_vectors(min_facts=2, max_facts=4),
+        st.lists(
+            st.floats(0.6, 0.9, allow_nan=False), min_size=1, max_size=3
+        ),
+        st.integers(1, 3),
+    )
+    def test_full_support_sparse_selects_identically(
+        self, marginals, accuracies, k
+    ):
+        """A full-support sparse twin of a dense belief must drive CELF
+        to the same selections (same gains, same tie-breaks)."""
+        facts = FactSet.from_ids(range(len(marginals)))
+        dense = BeliefState.from_marginals(facts, marginals)
+        twin = SparseBeliefState.from_support(
+            facts,
+            np.arange(dense.probabilities.size, dtype=np.int64),
+            dense.probabilities,
+            0.0,
+        )
+        experts = Crowd(
+            Worker(f"e{i}", accuracy)
+            for i, accuracy in enumerate(accuracies)
+        )
+        dense_picks = LazyGreedySelector().select(
+            FactoredBelief([dense]), experts, k
+        )
+        sparse_picks = LazyGreedySelector().select(
+            FactoredBelief([twin]), experts, k
+        )
+        assert dense_picks == sparse_picks

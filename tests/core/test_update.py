@@ -353,3 +353,100 @@ class TestLogSpaceUnderflow:
             log_family_likelihood(table1_belief, family)
         )
         assert np.allclose(linear.probabilities, logged.probabilities)
+
+
+class TestExtremePanelLogGuard:
+    """Satellite regression: a 30-worker panel at 0.9999 accuracy.
+
+    This is the regime the log-space guard path exists for.  Each
+    contrarian worker contributes ``0.0001**14 == 1e-56`` to the linear
+    family product; 14 of them put the best state near ``1e-784`` —
+    far below float64's ~1e-308 floor, so *every* dense linear
+    likelihood is exactly 0.0.  The update must resolve entirely in log
+    space (no re-exponentiate-then-renormalize round trip: that path
+    would divide 0.0 by 0.0) and still return the exact posterior.
+    """
+
+    NUM_FACTS = 14
+    NUM_WORKERS = 30
+    YES_CAMP = 16  # the remaining 14 of 30 answer all-No
+    ACCURACY = 0.9999
+
+    def _facts(self):
+        return FactSet.from_ids(range(self.NUM_FACTS))
+
+    def _camps_family(self, facts):
+        yes = {fact.fact_id: True for fact in facts}
+        no = {fact.fact_id: False for fact in facts}
+        return AnswerFamily(
+            answer_sets=tuple(
+                AnswerSet(
+                    worker=Worker(f"w{i}", self.ACCURACY),
+                    answers=yes if i < self.YES_CAMP else no,
+                )
+                for i in range(self.NUM_WORKERS)
+            )
+        )
+
+    def test_dense_linear_path_fails(self):
+        """The failure this pins: the linear product is identically 0."""
+        from repro.core import family_likelihood
+
+        belief = BeliefState.uniform(self._facts())
+        likelihood = family_likelihood(belief, self._camps_family(belief.facts))
+        assert likelihood.max() == 0.0
+
+    def test_dense_log_guard_recovers_exactly(self):
+        belief = BeliefState.uniform(self._facts())
+        posterior = update_with_family(belief, self._camps_family(belief.facts))
+        probs = posterior.probabilities
+        assert np.all(np.isfinite(probs))
+        assert probs.sum() == pytest.approx(1.0)
+        # 16 near-perfect yes-workers beat 14 near-perfect no-workers
+        assert posterior.probability_of((True,) * self.NUM_FACTS) > 0.9999
+
+    def test_tempered_flag_stays_false(self):
+        """Underflowed-but-consistent evidence resolves in log space and
+        is never tempered (tempering would distort the posterior)."""
+        belief = BeliefState.uniform(self._facts())
+        posterior, tempered = tempered_update_with_family(
+            belief, self._camps_family(belief.facts)
+        )
+        assert tempered is False
+        assert posterior.probability_of((True,) * self.NUM_FACTS) > 0.9999
+
+    def test_sparse_kernel_agrees_with_dense_log_path(self):
+        """The bit-packed sparse kernel computes the same posterior
+        directly in log space (it has no linear path to fall back
+        from), matching the dense guard path to float tolerance."""
+        from repro.core import sparse_from_marginals
+
+        facts = self._facts()
+        family = self._camps_family(facts)
+        marginals = np.full(self.NUM_FACTS, 0.5)
+        sparse = sparse_from_marginals(facts, marginals, 1e-12)
+        dense = update_with_family(BeliefState.uniform(facts), family)
+        sparse_post = update_with_family(sparse, family)
+        assert np.all(np.isfinite(sparse_post.probabilities))
+        assert sparse_post.probability_of((True,) * self.NUM_FACTS) == (
+            pytest.approx(
+                dense.probability_of((True,) * self.NUM_FACTS), rel=1e-9
+            )
+        )
+
+    def test_estimated_accuracy_clamp_keeps_log_terms_finite(self):
+        """estimate_accuracy can see a perfect gold record; the clamp
+        must keep both log terms of the likelihood finite so the log
+        kernel never sees log(0) for a merely *estimated* perfection."""
+        from repro.core import estimate_accuracy
+
+        perfect = estimate_accuracy([True] * 50, [True] * 50, smoothing=0.0)
+        assert 0.0 < perfect < 1.0
+        assert np.isfinite(np.log(perfect))
+        assert np.isfinite(np.log1p(-perfect))
+        belief = BeliefState.uniform(self._facts())
+        answers = {fact.fact_id: True for fact in belief.facts}
+        posterior = update_with_answer_set(
+            belief, AnswerSet(worker=Worker("gold", perfect), answers=answers)
+        )
+        assert np.all(np.isfinite(posterior.probabilities))

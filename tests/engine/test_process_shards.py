@@ -69,3 +69,87 @@ def test_process_pool_closes_cleanly(dataset):
         pool.close()
     # Closing twice must be safe.
     pool.close()
+
+
+class TestStartupBytes:
+    """Satellite regression: the crowd/panel payload is pickled once.
+
+    Before the pre-serialized transport, every ``ProcessShard`` init
+    frame re-pickled the full expert panel and answer source, so
+    startup payload bytes grew linearly with ``jobs``.  Now the
+    (experts, answer_source) blob is serialized once at
+    ``HIGHEST_PROTOCOL`` into a shared segment and every worker's init
+    frame carries only a reference plus its own group slice — total
+    init bytes must stay flat as jobs grow.
+    """
+
+    #: Per-worker framing slack (command tag, shared-segment ref,
+    #: tolerances) — generous; the shared panel blob alone is bigger.
+    FRAME_SLACK = 1024
+
+    @pytest.fixture(scope="class")
+    def wide_dataset(self):
+        """A 40-expert panel, so the shared blob dwarfs the framing and
+        a single re-pickled copy per worker is unmissable."""
+        return make_synthetic_dataset(
+            num_groups=8,
+            group_size=4,
+            answers_per_fact=6,
+            pool=WorkerPoolSpec(num_preliminary=10, num_expert=40),
+            seed=7,
+        )
+
+    def _pool(self, dataset, jobs):
+        from repro.aggregation.registry import make_aggregator
+        from repro.datasets.grouping import initialize_belief
+        from repro.engine import KeyedExpertPanel, ShardPool
+
+        experts, _ = dataset.split_crowd(0.9)
+        belief, _ = initialize_belief(
+            dataset, make_aggregator("EBCC"), 0.9, smoothing=0.01
+        )
+        return ShardPool(
+            belief,
+            experts,
+            jobs,
+            inline=False,
+            answer_source=KeyedExpertPanel(dataset.ground_truth, seed=1),
+        )
+
+    def test_payload_bytes_do_not_scale_with_jobs(self, wide_dataset):
+        totals = {}
+        payload_sizes = {}
+        for jobs in (1, 4):
+            pool = self._pool(wide_dataset, jobs)
+            try:
+                stats = pool.transport_stats()
+            finally:
+                pool.close()
+            assert stats["shared_payload_bytes"] > 0
+            assert len(stats["init_bytes"]) == pool.jobs
+            totals[jobs] = stats["init_bytes_total"]
+            payload_sizes[jobs] = stats["shared_payload_bytes"]
+
+        # The shared blob is the same bytes however many workers exist.
+        assert payload_sizes[4] == payload_sizes[1]
+        # Init frames partition the group states, so their *sum* is
+        # flat in jobs — only per-worker framing may be added.  A
+        # re-pickled panel per worker would blow through this bound.
+        assert totals[4] <= totals[1] + 4 * self.FRAME_SLACK
+        # The three extra workers must not add even ONE more copy of
+        # the panel blob (the old transport re-pickled it per worker).
+        assert totals[4] - totals[1] < payload_sizes[1]
+
+    def test_shared_payload_round_trips(self, dataset):
+        """The worker actually reconstructs the panel from the shared
+        segment: a spawned pool must still answer selections."""
+        pool = self._pool(dataset, 2)
+        try:
+            stats = pool.transport_stats()
+            selections = pool.broadcast("select", 1)
+            assert len(selections) == 2
+            # replies flowed over the counted pipe
+            after = pool.transport_stats()
+            assert after["bytes_received"] > stats["bytes_received"]
+        finally:
+            pool.close()
