@@ -28,7 +28,6 @@ equivalence assertions and the peak-RSS guard only, no speedup floor.
 
 from __future__ import annotations
 
-import json
 import os
 import resource
 import time
@@ -59,6 +58,8 @@ MIN_SPEEDUP_JOBS4 = 3.0
 #: magnitude of headroom that still catches an accidental per-shard
 #: belief copy or a dense-matrix blowup in the kernel.
 MAX_PEAK_RSS_MB = 600
+
+from _writer import write_bench
 
 REPO_ROOT = Path(__file__).parent.parent
 
@@ -160,9 +161,7 @@ def test_bench_engine(results_dir):
         "peak_rss_mb": peak_rss_mb,
         "identical_results": True,
     }
-    payload = json.dumps(result, indent=2)
-    (REPO_ROOT / "BENCH_engine.json").write_text(payload)
-    (results_dir / "BENCH_engine.json").write_text(payload)
+    write_bench("engine", result, results_dir)
     print()
     print(f"serial: {serial_seconds:.2f}s over {rounds} rounds")
     for jobs, stats in runs.items():

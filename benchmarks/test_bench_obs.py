@@ -1,0 +1,131 @@
+"""Benchmark: observability overhead on the checking campaign.
+
+Runs the same lazy-greedy checking campaign with ``OBS`` disabled and
+with metrics + tracing fully enabled (including a trace JSONL file),
+asserts the selections are identical (the zero-perturbation contract at
+bench scale) and that the enabled run costs < 3% extra wall-clock.
+Records both timings to ``BENCH_obs.json`` and leaves the enabled
+run's trace (``BENCH_obs.trace.jsonl``) and metrics snapshot
+(``metrics-obs.json``) at the repository root for CI artifact upload.
+
+Scale: 40 groups x 5 facts by default; set ``BENCH_OBS_SMOKE=1`` for
+the 12-group version the CI ``obs-smoke`` job runs.  Each mode runs
+``REPEATS`` times interleaved and the per-mode minimum is compared, so
+a single noisy iteration cannot fail the overhead gate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.datasets import WorkerPoolSpec, make_synthetic_dataset
+from repro.obs import OBS
+from repro.simulation import SessionConfig, run_hc_session
+
+SMOKE = os.environ.get("BENCH_OBS_SMOKE", "") not in ("", "0")
+NUM_GROUPS = 24 if SMOKE else 60
+GROUP_SIZE = 6
+BUDGET = 360.0 if SMOKE else 960.0
+REPEATS = 3 if SMOKE else 5
+MAX_OVERHEAD = 0.03
+
+from _writer import write_bench
+
+REPO_ROOT = Path(__file__).parent.parent
+TRACE_PATH = REPO_ROOT / "BENCH_obs.trace.jsonl"
+METRICS_PATH = REPO_ROOT / "metrics-obs.json"
+
+
+def _dataset():
+    return make_synthetic_dataset(
+        num_groups=NUM_GROUPS,
+        group_size=GROUP_SIZE,
+        answers_per_fact=6,
+        pool=WorkerPoolSpec(num_preliminary=20, num_expert=3),
+        seed=11,
+    )
+
+
+def _run_campaign(dataset):
+    """One full session; returns (per-round selections, seconds)."""
+    config = SessionConfig(budget=BUDGET, k=4, seed=7, theta=0.85)
+    started = time.perf_counter()
+    result = run_hc_session(dataset, config)
+    seconds = time.perf_counter() - started
+    selections = [
+        list(record.query_fact_ids) for record in result.history
+    ]
+    return selections, seconds
+
+
+def test_bench_obs_overhead(results_dir):
+    dataset = _dataset()
+    TRACE_PATH.unlink(missing_ok=True)
+
+    disabled_times: list[float] = []
+    enabled_times: list[float] = []
+    disabled_selections = enabled_selections = None
+    # Interleave the modes so clock drift hits both equally; compare
+    # per-mode minima, the standard noise-robust wall-clock estimator.
+    for repeat in range(REPEATS):
+        OBS.reset()
+        selections, seconds = _run_campaign(dataset)
+        disabled_times.append(seconds)
+        disabled_selections = selections
+
+        OBS.reset()
+        OBS.enable(trace_path=TRACE_PATH if repeat == 0 else None)
+        selections, seconds = _run_campaign(dataset)
+        if repeat == 0:
+            OBS.flush(METRICS_PATH)
+        enabled_times.append(seconds)
+        enabled_selections = selections
+    snapshot = OBS.snapshot()
+    OBS.reset()
+
+    # Zero perturbation at bench scale: identical selections per round.
+    assert enabled_selections == disabled_selections
+
+    # The enabled run must have actually recorded the campaign phases.
+    phases = {
+        series["labels"]["phase"]
+        for series in snapshot["metrics"]["repro_phase_seconds"]["series"]
+    }
+    assert {"select", "collect", "update"} <= phases
+    assert TRACE_PATH.exists() and TRACE_PATH.stat().st_size > 0
+    assert METRICS_PATH.exists()
+
+    disabled_best = min(disabled_times)
+    enabled_best = min(enabled_times)
+    overhead = enabled_best / disabled_best - 1.0
+    assert overhead < MAX_OVERHEAD, (
+        f"observability overhead {overhead:.1%} exceeds "
+        f"{MAX_OVERHEAD:.0%} (disabled {disabled_best:.3f}s, "
+        f"enabled {enabled_best:.3f}s)"
+    )
+
+    result = {
+        "scale": {
+            "num_groups": NUM_GROUPS,
+            "group_size": GROUP_SIZE,
+            "budget": BUDGET,
+            "repeats": REPEATS,
+            "smoke": SMOKE,
+        },
+        "disabled_seconds": disabled_times,
+        "enabled_seconds": enabled_times,
+        "disabled_best": disabled_best,
+        "enabled_best": enabled_best,
+        "overhead": overhead,
+        "max_overhead": MAX_OVERHEAD,
+        "phases_recorded": sorted(phases),
+        "identical_selections": True,
+    }
+    write_bench("obs", result, results_dir)
+    print()
+    print(
+        f"disabled: {disabled_best:.3f}s | enabled: {enabled_best:.3f}s "
+        f"({overhead:+.2%} overhead, gate <{MAX_OVERHEAD:.0%})"
+    )

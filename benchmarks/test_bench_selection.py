@@ -15,7 +15,6 @@ by the CI benchmark job).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -38,6 +37,8 @@ NUM_GROUPS = 12 if SMOKE else 60
 GROUP_SIZE = 5
 ROUNDS = 4 if SMOKE else 8
 K = 5
+
+from _writer import write_bench
 
 REPO_ROOT = Path(__file__).parent.parent
 
@@ -129,9 +130,7 @@ def test_bench_selection(results_dir):
         ),
         "identical_selections": True,
     }
-    payload = json.dumps(result, indent=2)
-    (REPO_ROOT / "BENCH_selection.json").write_text(payload)
-    (results_dir / "BENCH_selection.json").write_text(payload)
+    write_bench("selection", result, results_dir)
     print()
     print(
         f"eager: {eager_seconds:.3f}s, "

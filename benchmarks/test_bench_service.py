@@ -24,7 +24,6 @@ smaller campaigns).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -50,6 +49,8 @@ NUM_GROUPS = 4 if SMOKE else 8
 BUDGET = 12.0 if SMOKE else 24.0
 SLOTS = 2 if SMOKE else 4
 JOBS = 2
+
+from _writer import write_bench
 
 REPO_ROOT = Path(__file__).parent.parent
 
@@ -192,9 +193,7 @@ def test_bench_service(results_dir, tmp_path, monkeypatch):
         "ledger": stats["ledger"],
         "identical_to_solo": True,
     }
-    payload = json.dumps(result, indent=2)
-    (REPO_ROOT / "BENCH_service.json").write_text(payload)
-    (results_dir / "BENCH_service.json").write_text(payload)
+    write_bench("service", result, results_dir)
     print()
     print(
         f"{completed} campaigns / {rounds_run} rounds in "

@@ -20,7 +20,6 @@ Set ``BENCH_STREAM_SMOKE=1`` for the reduced CI version.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -39,6 +38,8 @@ from repro.stream import (
 SMOKE = os.environ.get("BENCH_STREAM_SMOKE", "") not in ("", "0")
 NUM_GROUPS = 3 if SMOKE else 20
 BUDGET = 40.0 if SMOKE else 400.0
+
+from _writer import write_bench
 
 REPO_ROOT = Path(__file__).parent.parent
 
@@ -145,9 +146,7 @@ def test_bench_stream(results_dir, tmp_path, monkeypatch):
         "spent_budget": campaign.spent_budget,
         "resume_byte_identical": True,
     }
-    payload = json.dumps(result, indent=2)
-    (REPO_ROOT / "BENCH_stream.json").write_text(payload)
-    (results_dir / "BENCH_stream.json").write_text(payload)
+    write_bench("stream", result, results_dir)
     print()
     print(
         f"{stats['cursor']} deliveries in {wall_seconds:.2f}s "

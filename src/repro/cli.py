@@ -20,6 +20,10 @@ stream
     Run one streamed campaign: seeded event-log delivery (optionally
     degraded by chaos), watermark admission, incremental group
     formation, and exactly-once journal resume via ``--resume``.
+metrics
+    Pretty-print a ``--metrics-out`` JSON snapshot: per-phase latency
+    attribution (select/collect/update/commit/journal/scheduler-wait,
+    p50/p95/p99) and counter totals.
 reproduce
     Regenerate the paper's figures and Table III (delegates to
     :mod:`repro.experiments.reproduce`).
@@ -83,9 +87,71 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _start_observability(args: argparse.Namespace) -> None:
+    """Enable tracing/metrics when any consumer flag was given.
+
+    Observability never perturbs a run (no RNG, no journal bytes — see
+    :mod:`repro.obs`), so enabling is purely additive; with no flag
+    the hot paths keep their single disabled-check cost.  ``serve
+    --health-every`` needs the registry populated even without a
+    snapshot destination — the health line reads p95 round latency
+    from it.
+    """
+    if (
+        args.metrics_out
+        or args.trace_out
+        or getattr(args, "health_every", 0)
+    ):
+        from .obs import OBS
+
+        OBS.enable(trace_path=args.trace_out)
+
+
+def _finish_observability(args: argparse.Namespace) -> None:
+    if args.metrics_out or args.trace_out:
+        from .obs import OBS
+
+        OBS.flush(args.metrics_out)
+        if args.metrics_out:
+            print(f"metrics snapshot: {args.metrics_out}")
+        if args.trace_out:
+            print(f"trace: {args.trace_out}")
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Pretty-print a ``--metrics-out`` snapshot."""
+    from .obs import (
+        format_report,
+        latency_report,
+        load_snapshot,
+        render_prometheus,
+    )
+
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.prometheus:
+        print(render_prometheus(snapshot), end="")
+        return 0
+    print(format_report(latency_report(snapshot)))
+    counters = {
+        name: sum(series["value"] for series in family["series"])
+        for name, family in sorted(snapshot["metrics"].items())
+        if family["type"] == "counter"
+    }
+    if counters:
+        print("counters:")
+        for name, total in counters.items():
+            print(f"  {name:<44} {total:,.0f}")
+    return 0
+
+
 def _cmd_session(args: argparse.Namespace) -> int:
     from .simulation import FaultModel
 
+    _start_observability(args)
     dataset = load_dataset(
         Path(args.data) / "answer.csv",
         Path(args.data) / "truth.csv",
@@ -185,6 +251,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
     for record in records:
         print(f"{record.budget_spent:8.0f}  {record.accuracy:8.4f}  "
               f"{record.quality:10.2f}")
+    _finish_observability(args)
     return 0
 
 
@@ -317,6 +384,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         make_arrivals,
     )
 
+    _start_observability(args)
     dataset = load_dataset(
         Path(args.data) / "answer.csv",
         Path(args.data) / "truth.csv",
@@ -410,12 +478,14 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     result = campaign.result()
     if result is None:
         print("no group ever sealed; nothing was checked")
+        _finish_observability(args)
         return 0
     final = result.history[-1]
     print(
         f"checking: {max(0, len(result.history) - 1)} rounds, "
         f"spent {final.budget_spent:.0f}, accuracy {final.accuracy:.4f}"
     )
+    _finish_observability(args)
     return 0
 
 
@@ -429,6 +499,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         TenantQuota,
     )
 
+    _start_observability(args)
     dataset = load_dataset(
         Path(args.data) / "answer.csv",
         Path(args.data) / "truth.csv",
@@ -498,7 +569,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 hint = getattr(error, "retry_after_rounds", 0)
                 suffix = f" (retry after ~{hint} rounds)" if hint else ""
                 print(f"rejected {spec.campaign_id}: {error}{suffix}")
-        rounds = service.run_until_idle()
+        if args.health_every:
+            rounds = 0
+            while service.step() is not None:
+                rounds += 1
+                if rounds % args.health_every == 0:
+                    print(service.health_summary())
+        else:
+            rounds = service.run_until_idle()
         stats = service.stats()
         print(f"served {rounds} rounds, {stats['completed']} campaigns "
               f"completed")
@@ -520,6 +598,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"backpressure: stream backlog "
                   f"{stats['stream_backlog']}, effective queue limit "
                   f"{stats['effective_queue_limit']}")
+    _finish_observability(args)
     return 0
 
 
@@ -612,6 +691,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_supervision_arguments(session)
     _add_belief_epsilon_argument(session)
+    _add_observability_arguments(session)
     session.add_argument(
         "--selector-stats", action="store_true",
         help="print the selector's evaluation counters after the run",
@@ -727,8 +807,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="delivery degradation, e.g. 'reorder=0.2,stall=0.05' "
              "(with --stream; REPRO_STREAM_CHAOS is the env fallback)",
     )
+    serve.add_argument(
+        "--health-every", type=int, default=0, metavar="N",
+        help="print a one-line service health summary (active/queued "
+             "campaigns, shed count, p95 round latency) every N rounds",
+    )
     _add_supervision_arguments(serve)
     _add_belief_epsilon_argument(serve)
+    _add_observability_arguments(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     stream = commands.add_parser(
@@ -794,7 +880,24 @@ def build_parser() -> argparse.ArgumentParser:
              "(the stream config is read back from the journal)",
     )
     _add_belief_epsilon_argument(stream)
+    _add_observability_arguments(stream)
     stream.set_defaults(handler=_cmd_stream)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="pretty-print a --metrics-out snapshot (latency "
+             "attribution and counters)",
+    )
+    metrics.add_argument(
+        "snapshot", help="path to a JSON snapshot written by "
+                         "--metrics-out",
+    )
+    metrics.add_argument(
+        "--prometheus", action="store_true",
+        help="render the snapshot in Prometheus text exposition "
+             "format instead",
+    )
+    metrics.set_defaults(handler=_cmd_metrics)
 
     reproduce = commands.add_parser(
         "reproduce", help="regenerate the paper's figures and tables"
@@ -811,6 +914,21 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.set_defaults(handler=_cmd_reproduce)
 
     return parser
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--metrics-out``/``--trace-out`` shared by session/serve/stream."""
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a JSON metrics snapshot at exit (.prom extension "
+             "switches to Prometheus text format); render it later "
+             "with 'repro metrics PATH'",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="append every span (select/collect/update/commit/journal "
+             "timings and shard dispatches) as JSON lines to PATH",
+    )
 
 
 def _add_belief_epsilon_argument(parser: argparse.ArgumentParser) -> None:

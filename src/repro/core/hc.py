@@ -28,6 +28,7 @@ from .selection import LazyGreedySelector, Selector
 from .update import InconsistentEvidenceError, update_with_family
 from .workers import Crowd
 from . import entropy as entropy_module
+from ..obs import OBS
 
 
 class AnswerSource(Protocol):
@@ -216,13 +217,16 @@ class HierarchicalCrowdsourcing:
             affordable = tracker.affordable_queries(self.experts, self.k)
             if affordable == 0:
                 break
-            query_fact_ids = self.selector.select(
-                belief, self.experts, affordable
-            )
+            with OBS.phase("select"):
+                query_fact_ids = self.selector.select(
+                    belief, self.experts, affordable
+                )
             if not query_fact_ids:
                 break  # no positive-gain checking task remains
-            family = answer_source.collect(query_fact_ids, self.experts)
-            self._apply_family(belief, family)
+            with OBS.phase("collect"):
+                family = answer_source.collect(query_fact_ids, self.experts)
+            with OBS.phase("update"):
+                self._apply_family(belief, family)
             cost = tracker.charge_round(len(query_fact_ids), self.experts)
             record = self._record(
                 round_index,

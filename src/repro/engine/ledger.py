@@ -27,6 +27,7 @@ from fractions import Fraction
 
 from ..core.budget import CheckingBudget, CostModel
 from ..core.workers import Crowd
+from ..obs import OBS
 
 #: Tolerance for float accumulation when checking ledger invariants,
 #: matching :class:`~repro.core.budget.CheckingBudget`'s slack.
@@ -139,7 +140,8 @@ class BudgetLedger:
             ticket = self._next_id
             self._next_id += 1
             self._reservations[ticket] = (exact, label)
-            return ticket
+        self._publish("reserve")
+        return ticket
 
     def commit(self, ticket: int, amount: float) -> None:
         """Settle a reservation at its actual cost, refunding the rest.
@@ -166,6 +168,7 @@ class BudgetLedger:
             # rounding in the *caller's* arithmetic, it must not let
             # the exact books exceed ``total``.
             self._committed += min(exact, reserved)
+        self._publish("commit")
 
     def release(self, ticket: int) -> None:
         """Refund a reservation in full (the round was abandoned)."""
@@ -175,6 +178,7 @@ class BudgetLedger:
                     f"reservation {ticket} is unknown or already settled"
                 )
             del self._reservations[ticket]
+        self._publish("release")
 
     def commit_direct(self, amount: float) -> None:
         """Commit without a reservation (checkpoint-restore catch-up).
@@ -193,6 +197,31 @@ class BudgetLedger:
                     f"{float(available)}"
                 )
             self._committed += min(exact, available)
+        self._publish("commit_direct")
+
+    def _publish(self, operation: str) -> None:
+        """Mirror the books into the registry after a settled mutation.
+
+        Called outside the lock — the gauges are a monitoring view, not
+        part of the exact accounting, so a racy read of ``committed``
+        between two concurrent settles is harmless.
+        """
+        if not OBS.enabled:
+            return
+        OBS.registry.counter(
+            "repro_ledger_operations_total",
+            "Settled ledger mutations by operation",
+            labels=("operation",),
+        ).labels(operation=operation).inc()
+        OBS.publish_gauges(
+            "repro_ledger",
+            {
+                "committed": self.committed,
+                "outstanding": self.outstanding,
+                "available": self.available,
+                "open_reservations": self.open_reservations,
+            },
+        )
 
     def audit(self) -> list[dict]:
         """Describe every open reservation (leak hunting).

@@ -30,6 +30,7 @@ from ..core.answers import AnswerFamily, PartialAnswerFamily
 from ..core.kernel import state_from_wire
 from ..core.observations import FactoredBelief
 from ..core.workers import Crowd
+from ..obs import OBS
 from .shards import ShardPool
 
 
@@ -152,7 +153,15 @@ class ShardedUpdateEngine:
                 self._pool.mirror_group(global_index, state)
                 updated.append(global_index)
             keyed_events.extend(tempered)
-        self._pool.broadcast("commit")
+        with OBS.phase("commit"):
+            commit_replies = self._pool.broadcast("commit")
+        if OBS.enabled:
+            # Each commit reply piggybacks that worker's metric delta
+            # (command counts / busy seconds since the last commit);
+            # rebuilt workers replied None for the subsumed commit and
+            # are skipped.  No extra round-trip ever happens for this.
+            for position, delta in enumerate(commit_replies):
+                OBS.consume_worker_delta(str(position), delta)
         keyed_events.sort(key=lambda item: item[0])
         return updated, [event for _key, event in keyed_events]
 

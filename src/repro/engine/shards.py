@@ -53,8 +53,11 @@ from __future__ import annotations
 import copy
 import multiprocessing
 import pickle
+import time
 from multiprocessing import connection as mp_connection
 from typing import Sequence
+
+from ..obs import OBS
 
 from ..core.answers import AnswerFamily, PartialAnswerFamily
 from ..core.hc import describe_family
@@ -133,6 +136,16 @@ class ShardState:
         self._selector = LazyGreedySelector(gain_tolerance)
         self._staged: dict[int, BeliefState] | None = None
         self._source = answer_source
+        # Worker-local observability aggregation: command counts and
+        # busy seconds, drained as a delta piggybacked on ``commit``
+        # replies (never a dedicated round-trip; see
+        # :meth:`take_metrics_delta`).  Always on — two perf_counter
+        # reads per command are noise next to any command body, and
+        # keeping the protocol identical whether or not the
+        # coordinator's observability is enabled is what makes the
+        # enabled/disabled byte-identity guarantee trivial.
+        self._metrics_commands: dict[str, int] = {}
+        self._metrics_busy: dict[str, float] = {}
 
     # ------------------------------------------------------------------
 
@@ -143,7 +156,31 @@ class ShardState:
         handler = getattr(self, f"_cmd_{command}", None)
         if handler is None:
             raise ShardProtocolError(f"unknown shard command {command!r}")
-        return handler(*payload)
+        started = time.perf_counter()
+        try:
+            return handler(*payload)
+        finally:
+            elapsed = time.perf_counter() - started
+            self._metrics_commands[command] = (
+                self._metrics_commands.get(command, 0) + 1
+            )
+            self._metrics_busy[command] = (
+                self._metrics_busy.get(command, 0.0) + elapsed
+            )
+
+    def take_metrics_delta(self) -> dict:
+        """Drain the worker-local counters accumulated since the last
+        drain.  The coordinator folds the delta into its registry with
+        a ``shard`` label (:meth:`Observability.consume_worker_delta`);
+        the reply payload is a few dozen bytes riding a message that
+        was being sent anyway."""
+        delta = {
+            "commands": self._metrics_commands,
+            "busy_seconds": self._metrics_busy,
+        }
+        self._metrics_commands = {}
+        self._metrics_busy = {}
+        return delta
 
     # -- selection ------------------------------------------------------
 
@@ -252,13 +289,17 @@ class ShardState:
             [],
         )
 
-    def _cmd_commit(self) -> None:
+    def _cmd_commit(self) -> dict:
+        """Commit the staged update; the reply piggybacks the worker's
+        metric delta (a rebuilt worker's subsumed commit replies
+        ``None`` instead — the coordinator skips non-dict deltas)."""
         if self._staged is None:
             raise ShardProtocolError("no staged update to commit")
         for local, state in self._staged.items():
             self._belief.replace_group(local, state)
         self._selector.invalidate_groups(self._staged.keys())
         self._staged = None
+        return self.take_metrics_delta()
 
     def _cmd_abort(self) -> None:
         if self._staged is None:
@@ -1185,6 +1226,16 @@ class ShardPool:
         if self._closed:
             return
         self._closed = True
+        if OBS.enabled:
+            # Migrate the ad-hoc transport/supervision counters into
+            # the registry once per pool lifetime — gauges for the
+            # byte totals, counter deltas for the interventions.
+            OBS.publish_gauges(
+                "repro_shard_transport", self.transport_stats()
+            )
+            OBS.publish_deltas(
+                "repro_supervisor", self.supervisor.stats
+            )
         for shard in self.shards:
             shard.close()
         # After the workers: a respawn can still map the segment while

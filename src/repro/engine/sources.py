@@ -39,6 +39,7 @@ import numpy as np
 
 from ..core.answers import AnswerFamily, AnswerSet
 from ..core.workers import Crowd, Worker
+from ..obs import OBS
 from .shards import ShardPool
 
 
@@ -233,7 +234,22 @@ class ShardedAnswerSource:
             self._ask_counts[fact_id] = current + 1
         pairs = [(fact_id, index) for fact_id, index in ask_index.items()]
         chunks = self._balanced_chunks(pairs, len(self._pool.shards))
-        replies = self._pool.supervisor.scatter("collect_scatter", chunks)
+        with OBS.tracer.span(
+            "collect.scatter", queries=len(pairs), shards=len(chunks)
+        ):
+            replies = self._pool.supervisor.scatter(
+                "collect_scatter", chunks
+            )
+        if OBS.enabled:
+            OBS.registry.counter(
+                "repro_collect_queries_total",
+                "Queries scattered to shard-local panels",
+            ).inc(len(pairs))
+            OBS.registry.histogram(
+                "repro_collect_chunk_size",
+                "Per-shard chunk sizes of scattered collection rounds",
+                bounds=tuple(float(2 ** n) for n in range(0, 12)),
+            ).observe(max(len(chunk) for chunk in chunks) if chunks else 0)
         by_worker: dict[str, dict[int, bool]] = {}
         for reply in replies:
             for worker_id, answers in reply.items():

@@ -62,6 +62,7 @@ from dataclasses import asdict, dataclass, field, fields, replace
 
 from ..core.incidents import FaultEvent
 from ..core.serialization import append_journal_record
+from ..obs import OBS
 
 #: Commands safe to re-execute on a rebuilt worker (pure, staged on
 #: copies, idempotent, or replay-independent by keyed answers).
@@ -335,6 +336,31 @@ class ShardSupervisor:
         )
 
     def _dispatch(self, plan) -> list:
+        if not OBS.enabled or not plan:
+            return self._dispatch_plan(plan)
+        # One span per fan-out (not per shard): the interesting number
+        # is how long the coordinator blocked on the slowest worker.
+        command = plan[0][1]
+        with OBS.tracer.span(
+            "shard.dispatch", command=command, fanout=len(plan)
+        ):
+            started = time.perf_counter()
+            replies = self._dispatch_plan(plan)
+        OBS.registry.counter(
+            "repro_shard_dispatch_total",
+            "Coordinator-side shard command fan-outs",
+            labels=("command",),
+        ).labels(command=command).inc()
+        OBS.registry.histogram(
+            "repro_shard_dispatch_seconds",
+            "Coordinator wall-clock per shard command fan-out",
+            labels=("command",),
+        ).labels(command=command).observe(
+            time.perf_counter() - started
+        )
+        return replies
+
+    def _dispatch_plan(self, plan) -> list:
         resolved: dict[int, object] = {}
         for position, command, payload in plan:
             self._submit(position, command, payload, resolved)
@@ -612,6 +638,12 @@ class ShardSupervisor:
 
     def _note(self, incident: ShardIncident) -> None:
         self.incidents.append(incident)
+        if OBS.enabled:
+            OBS.registry.counter(
+                "repro_shard_incidents_total",
+                "Supervision incidents by kind",
+                labels=("kind",),
+            ).labels(kind=incident.kind).inc()
         if self._journal_path is not None:
             append_journal_record(self._journal_path, incident.to_record())
         if self._on_incident is not None:

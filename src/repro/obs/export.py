@@ -1,0 +1,122 @@
+"""Rendering the registry: Prometheus text exposition and JSON files.
+
+Both renderers work off :meth:`MetricsRegistry.snapshot`, so the same
+deterministic dict backs the scrape endpoint text, the ``--metrics-out``
+file, and the ``repro metrics`` pretty-printer — there is exactly one
+serialization of a registry, and it sorts everything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .registry import SNAPSHOT_SCHEMA, MetricsRegistry
+
+__all__ = [
+    "render_prometheus",
+    "render_json",
+    "write_snapshot",
+    "load_snapshot",
+]
+
+
+def _label_suffix(labels: dict, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        (name, value) for name, value in labels.items()
+    ] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(source: MetricsRegistry | dict) -> str:
+    """Prometheus text exposition format (version 0.0.4).
+
+    Accepts a live registry or an already-serialized snapshot dict, so
+    a scrape endpoint and an offline renderer share this code path.
+    """
+    snapshot = (
+        source.snapshot() if isinstance(source, MetricsRegistry) else source
+    )
+    lines: list[str] = []
+    for name in sorted(snapshot.get("metrics", {})):
+        family = snapshot["metrics"][name]
+        kind = family["type"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in family["series"]:
+            labels = series["labels"]
+            if kind == "histogram":
+                for bound, cumulative in series["buckets"]:
+                    suffix = _label_suffix(
+                        labels, (("le", _format_bound(bound)),)
+                    )
+                    lines.append(f"{name}_bucket{suffix} {cumulative}")
+                inf_suffix = _label_suffix(labels, (("le", "+Inf"),))
+                lines.append(
+                    f"{name}_bucket{inf_suffix} {series['count']}"
+                )
+                plain = _label_suffix(labels)
+                lines.append(f"{name}_sum{plain} {series['sum']!r}")
+                lines.append(f"{name}_count{plain} {series['count']}")
+            else:
+                suffix = _label_suffix(labels)
+                lines.append(
+                    f"{name}{suffix} {_format_value(series['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_bound(bound: float) -> str:
+    return repr(float(bound))
+
+
+def render_json(source: MetricsRegistry | dict) -> str:
+    snapshot = (
+        source.snapshot() if isinstance(source, MetricsRegistry) else source
+    )
+    return json.dumps(snapshot, indent=2, sort_keys=True)
+
+
+def write_snapshot(source: MetricsRegistry | dict, path) -> Path:
+    """Write the JSON snapshot; ``.prom`` extension switches to the
+    Prometheus text format (handy for node-exporter textfile dirs)."""
+    path = Path(path)
+    if path.suffix == ".prom":
+        path.write_text(render_prometheus(source))
+    else:
+        path.write_text(render_json(source) + "\n")
+    return path
+
+
+def load_snapshot(path) -> dict:
+    """Read back a ``--metrics-out`` JSON file, checking the schema."""
+    snapshot = json.loads(Path(path).read_text())
+    schema = snapshot.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise ValueError(
+            f"metrics snapshot schema {schema!r} is not supported "
+            f"(expected {SNAPSHOT_SCHEMA})"
+        )
+    return snapshot

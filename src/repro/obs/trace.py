@@ -1,0 +1,149 @@
+"""Deterministic-overhead tracing: nestable spans, bounded buffer.
+
+A span is a ``with``-scoped monotonic duration plus a name and a flat
+attribute dict.  Finished spans land in a bounded ring buffer (old
+spans fall off; tracing never grows without bound) and, when a path
+was given, are appended as one JSON line each — a format every trace
+viewer and ``jq`` pipeline can read.
+
+The zero-perturbation contract lives here: the default tracer is
+:class:`NullTracer`, whose ``span()`` hands back one shared, reusable
+no-op context manager — the hot-path cost of disabled tracing is a
+single attribute check (``tracer.enabled``) plus one method call, and
+nothing touches RNG streams, journal bytes, or the event loop either
+way.  Timing uses ``time.perf_counter`` exclusively; wall-clock never
+enters the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+
+__all__ = ["Tracer", "NullTracer", "SpanRecord"]
+
+
+class SpanRecord(dict):
+    """A finished span: ``name``, ``depth``, ``start``, ``duration``
+    (seconds, monotonic origin) plus the call site's attributes."""
+
+    __slots__ = ()
+
+
+class _NullSpan:
+    """Shared no-op context manager — allocated once per process."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: disabled, allocation-free, shareable."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs):
+        return _NULL_SPAN
+
+    def spans(self) -> list:
+        return []
+
+    def close(self) -> None:
+        pass
+
+
+class _Span:
+    """Live span bound to its tracer; records itself on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self):
+        self._tracer._depth += 1
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        duration = time.perf_counter() - self._started
+        tracer = self._tracer
+        tracer._depth -= 1
+        tracer._record(
+            self.name, self.attrs, self._started, duration, tracer._depth
+        )
+        return False
+
+
+class Tracer:
+    """Enabled tracer: ring buffer of spans, optional JSONL emission.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer bound; the ``capacity`` most recent spans are kept.
+    jsonl_path:
+        When given, every finished span is appended as one JSON line
+        (sorted keys, so files diff cleanly).  The file is line-buffered
+        via explicit flush on :meth:`close` — a crash loses at most the
+        OS buffer, never corrupts earlier lines.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 4096, jsonl_path=None) -> None:
+        if capacity <= 0:
+            raise ValueError("trace buffer capacity must be positive")
+        self._buffer: deque = deque(maxlen=capacity)
+        self._depth = 0
+        self._sequence = 0
+        self._file = None
+        if jsonl_path is not None:
+            self._file = open(jsonl_path, "a", encoding="utf-8")
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def _record(
+        self,
+        name: str,
+        attrs: dict,
+        started: float,
+        duration: float,
+        depth: int,
+    ) -> None:
+        record = SpanRecord(
+            name=name,
+            depth=depth,
+            seq=self._sequence,
+            start=started,
+            duration=duration,
+        )
+        self._sequence += 1
+        if attrs:
+            record.update(attrs)
+        self._buffer.append(record)
+        if self._file is not None:
+            self._file.write(
+                json.dumps(record, sort_keys=True, default=str) + "\n"
+            )
+
+    def spans(self) -> list[SpanRecord]:
+        return list(self._buffer)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            self._file.close()
+            self._file = None

@@ -65,6 +65,7 @@ from ..core.serialization import SerializationError, read_journal
 from ..engine.ledger import BudgetLedger
 from ..engine.runner import ParallelCampaignRunner, resume_parallel_session
 from ..engine.supervisor import SupervisionPolicy
+from ..obs import OBS, latency_report
 from ..simulation.faults import FaultyExpertPanel
 from ..stream.arrivals import generate_event_stream, make_arrivals
 from ..stream.runtime import StreamingCampaign
@@ -84,6 +85,18 @@ from .errors import (
     UnknownCampaignError,
 )
 from .scheduler import WeightedFairScheduler
+
+
+class _StatsView:
+    """Adapt a counters-dict thunk to the ``as_dict()`` shape that
+    :meth:`Observability.publish_deltas` expects, while persisting long
+    enough to carry the last-published snapshot between calls."""
+
+    def __init__(self, thunk):
+        self._thunk = thunk
+
+    def as_dict(self) -> dict:
+        return self._thunk()
 
 
 def _completed_rounds(session) -> int:
@@ -190,6 +203,12 @@ class CampaignService:
         self._closed = False
         self._steps = 0
         self._completed = 0
+        # Observability bookkeeping (only touched when OBS.enabled):
+        # per-campaign end-of-last-step marks for scheduler-wait, and a
+        # persistent view of the admission counters so delta publishing
+        # never double-counts.
+        self._obs_last_step: dict[str, float] = {}
+        self._obs_admission = _StatsView(lambda: self._admission.counters)
 
     # ------------------------------------------------------------------
     # admission
@@ -375,14 +394,23 @@ class CampaignService:
         record = self._records[campaign_id]
         stream = record.runtime.get("stream")
         started = time.perf_counter()
+        if OBS.enabled:
+            # Everything the round records below carries this tenant
+            # label; scheduler-wait is the gap since this campaign's
+            # previous round ended (time lost to other tenants' turns).
+            OBS.tenant = record.spec.tenant
+            waited_from = self._obs_last_step.get(campaign_id)
+            if waited_from is not None:
+                OBS.observe_phase("scheduler-wait", started - waited_from)
         error: BaseException | None = None
         try:
-            if stream is not None:
-                stream.run(max_events=stream.spec.events_per_step)
-            else:
-                record.runtime["session"].run(
-                    record.runtime["source"], max_rounds=1
-                )
+            with OBS.phase("round", campaign=campaign_id):
+                if stream is not None:
+                    stream.run(max_events=stream.spec.events_per_step)
+                else:
+                    record.runtime["session"].run(
+                        record.runtime["source"], max_rounds=1
+                    )
         except Exception as exc:
             error = exc
         latency = time.perf_counter() - started
@@ -390,6 +418,24 @@ class CampaignService:
         self._scheduler.charge(campaign_id)
         self._steps += 1
         self._feed_backlog()
+        if OBS.enabled:
+            OBS.tenant = ""
+            self._obs_last_step[campaign_id] = time.perf_counter()
+            OBS.registry.counter(
+                "repro_service_rounds_total",
+                "Rounds stepped by the service",
+                labels=("tenant",),
+            ).labels(tenant=record.spec.tenant).inc()
+            OBS.publish_gauges(
+                "repro_service",
+                {
+                    "active_campaigns": len(self._active),
+                    "pending_campaigns": len(self._pending),
+                    "completed_campaigns": self._completed,
+                    "stream_backlog": self._admission.backlog,
+                },
+            )
+            OBS.publish_deltas("repro_admission", self._obs_admission)
         info = {
             "campaign": campaign_id,
             "latency": latency,
@@ -580,6 +626,12 @@ class CampaignService:
     def _strike(self, record: CampaignRecord, reason: str) -> None:
         record.strikes += 1
         record.error = reason
+        if OBS.enabled:
+            OBS.registry.counter(
+                "repro_service_strikes_total",
+                "Fault strikes charged to campaigns",
+                labels=("tenant",),
+            ).labels(tenant=record.spec.tenant).inc()
         self._teardown_runtime(record)
         self._scheduler.remove(record.campaign_id)
         self._active.remove(record)
@@ -675,6 +727,27 @@ class CampaignService:
         for record in self._records.values():
             latencies.extend(record.latencies)
         return latencies
+
+    def health_summary(self) -> str:
+        """One-line service health, sourced from the metrics registry.
+
+        Used by ``repro serve --health-every N``.  The p95 round
+        latency comes from the ``repro_phase_seconds{phase="round"}``
+        histogram; with observability disabled it reads 0 and the line
+        still renders the campaign/shed counts from admission state.
+        """
+        shed = int(self._admission.counters.get("shed", 0))
+        p95 = 0.0
+        for row in latency_report(OBS.registry)["phases"]:
+            if row["phase"] == "round":
+                p95 = row["p95"]
+                break
+        return (
+            f"health: active={len(self._active)} "
+            f"queued={len(self._pending)} "
+            f"completed={self._completed} shed={shed} "
+            f"p95_round={p95 * 1000:.1f}ms"
+        )
 
     def close(self) -> None:
         """Tear everything down, returning unfinished deposits.

@@ -32,6 +32,7 @@ from ..core.update import (
     update_with_answer_set,
 )
 from ..core.workers import Crowd
+from ..obs import OBS
 
 
 class SessionStateError(RuntimeError):
@@ -260,9 +261,14 @@ class OnlineCheckingSession:
         if affordable == 0:
             self._finished = True
             return None
-        queries = self._selector.select(
-            self._belief, self._experts, affordable
-        )
+        with OBS.phase("select"):
+            queries = self._selector.select(
+                self._belief, self._experts, affordable
+            )
+        if OBS.enabled:
+            stats = getattr(self._selector, "stats", None)
+            if stats is not None:
+                OBS.publish_deltas("repro_selection", stats)
         if not queries:
             self._finished = True
             return None
@@ -300,11 +306,14 @@ class OnlineCheckingSession:
             raise ValueError(
                 f"answer family is missing experts: {missing}"
             )
-        if self._update_engine is not None:
-            updated = self._update_engine.apply_family(self._belief, family)
-            self._invalidate(updated)
-        else:
-            self._applier._apply_family(self._belief, family)
+        with OBS.phase("update"):
+            if self._update_engine is not None:
+                updated = self._update_engine.apply_family(
+                    self._belief, family
+                )
+                self._invalidate(updated)
+            else:
+                self._applier._apply_family(self._belief, family)
         cost = self._budget.charge_round(len(self._pending), self._experts)
         record = self._record(self._round_index, self._pending, cost)
         self.history.append(record)
@@ -387,10 +396,11 @@ class OnlineCheckingSession:
         events = [
             event.stamped(self._round_index) for event in fault_events
         ]
-        self._apply_partial(
-            family, temper=temper, events=events,
-            accuracy_overrides=accuracy_overrides,
-        )
+        with OBS.phase("update"):
+            self._apply_partial(
+                family, temper=temper, events=events,
+                accuracy_overrides=accuracy_overrides,
+            )
         cost = self._budget.charge_family(family)
         record = self._record(
             self._round_index, self._pending, cost, tuple(events)

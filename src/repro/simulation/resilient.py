@@ -61,6 +61,7 @@ from ..core.serialization import (
 )
 from ..core.trust import TrustPolicy, TrustReport, TrustSupervisor
 from ..core.workers import Crowd
+from ..obs import OBS
 from .faults import AnswerCollectionTimeout
 from .online import OnlineCheckingSession
 
@@ -392,7 +393,10 @@ class ResilientCheckingSession:
                 if self._supervisor is not None
                 else ()
             )
-            family = self._collect_with_retry(answer_source, queries, probes)
+            with OBS.phase("collect"):
+                family = self._collect_with_retry(
+                    answer_source, queries, probes
+                )
             if family is None:
                 # the round never completed; its collection incidents
                 # would otherwise vanish with the abandoned record
@@ -992,6 +996,10 @@ class ResilientCheckingSession:
     def _journal_checkpoint(self, answer_source) -> None:
         if self._journal_path is None:
             return
+        with OBS.phase("journal"):
+            self._write_checkpoint(answer_source)
+
+    def _write_checkpoint(self, answer_source) -> None:
         record: dict = {
             "kind": "checkpoint",
             "session": self._inner.to_checkpoint(),

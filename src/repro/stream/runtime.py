@@ -61,6 +61,7 @@ from ..core.serialization import (
 )
 from ..core.trust import TrustPolicy
 from ..core.workers import Crowd, Worker
+from ..obs import OBS
 from ..simulation.oracle import SimulatedExpertPanel
 from ..simulation.resilient import (
     ResilientCheckingSession,
@@ -73,6 +74,18 @@ from .incremental import StreamingBeliefBuilder, WatermarkTracker
 
 #: Seed salt of the simulated expert panel's answer stream.
 _SOURCE_SALT = 0x50CE
+
+
+class _DictStatsView:
+    """Give a live counters dict the ``as_dict()`` face that
+    :meth:`Observability.publish_deltas` wants, with a stable identity
+    to carry the last-published snapshot between rounds."""
+
+    def __init__(self, mapping: dict):
+        self._mapping = mapping
+
+    def as_dict(self) -> dict:
+        return self._mapping
 
 
 @dataclass(frozen=True)
@@ -293,6 +306,9 @@ class StreamingCampaign:
         #: Wall-clock seconds from event delivery to belief commit,
         #: one entry per delivery slot (bench-only; never journaled).
         self.event_latencies: list[float] = []
+        # Persistent adapter so delta publication into the metrics
+        # registry never double-counts the admit/seal counters above.
+        self._obs_stats = _DictStatsView(self._stats)
 
         if self._journal_path is not None:
             self._init_journal(journal_metadata)
@@ -478,12 +494,20 @@ class StreamingCampaign:
             self._rounds_done = 0
             event = self._delivery[self._cursor]
             self._cursor += 1
-            self._admit(event)
-            self._seal_ready()
+            with OBS.phase("admit"):
+                self._admit(event)
+            with OBS.phase("seal"):
+                self._seal_ready()
             self._drive_rounds()
             self._checkpoint_boundary()
             self.event_latencies.append(_time.perf_counter() - started)
             processed += 1
+            if OBS.enabled:
+                OBS.registry.histogram(
+                    "repro_stream_event_seconds",
+                    "Delivery-slot wall-clock (admit through checkpoint)",
+                ).observe(self.event_latencies[-1])
+                OBS.publish_deltas("repro_stream", self._obs_stats)
         self._drain()
         return self.stats()
 

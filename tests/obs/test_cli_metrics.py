@@ -1,0 +1,116 @@
+"""CLI surface of the observability subsystem.
+
+Pins the issue's acceptance criterion end to end: a real ``serve`` run
+with two tenants, ``--metrics-out``/``--trace-out``, and
+``--health-every`` produces a snapshot that ``repro metrics`` renders
+into a latency breakdown covering select / collect / update / journal.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import OBS
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    OBS.reset()
+    yield
+    OBS.reset()
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    out = tmp_path / "data"
+    assert main([
+        "generate", "--out", str(out), "--groups", "6",
+        "--group-size", "4", "--answers", "5", "--seed", "1",
+    ]) == 0
+    return out
+
+
+class TestServeWithObservability:
+    def test_metrics_render_full_latency_breakdown(
+        self, data_dir, tmp_path, capsys
+    ):
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "serve", "--data", str(data_dir), "--theta", "0.85",
+            "--group-size", "4", "--campaigns", "4", "--tenants", "2",
+            "--budget", "30", "--health-every", "3",
+            "--journal-root", str(tmp_path / "journals"),
+            "--metrics-out", str(metrics),
+            "--trace-out", str(trace),
+        ])
+        serve_out = capsys.readouterr().out
+        assert code == 0
+        assert "health: active=" in serve_out
+        assert "p95_round=" in serve_out
+        assert metrics.exists() and trace.exists()
+        # Trace file holds valid JSONL spans.
+        lines = trace.read_text().splitlines()
+        assert lines and all(
+            "name" in json.loads(line) for line in lines
+        )
+
+        assert main(["metrics", str(metrics)]) == 0
+        report = capsys.readouterr().out
+        for phase in ("select", "collect", "update", "journal", "round"):
+            assert phase in report, f"missing {phase} in:\n{report}"
+        # Both tenants appear in the per-tenant section.
+        assert "tenant-0" in report and "tenant-1" in report
+
+    def test_prometheus_rendering_from_snapshot(
+        self, data_dir, tmp_path, capsys
+    ):
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "serve", "--data", str(data_dir), "--theta", "0.85",
+            "--group-size", "4", "--campaigns", "2", "--tenants", "2",
+            "--budget", "20",
+            "--journal-root", str(tmp_path / "journals"),
+            "--metrics-out", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(metrics), "--prometheus"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_phase_seconds histogram" in text
+        assert "repro_service_rounds_total" in text
+
+
+class TestSessionWithObservability:
+    def test_session_writes_snapshot_and_leaves_output_unchanged(
+        self, data_dir, tmp_path, capsys
+    ):
+        baseline_args = [
+            "session", "--data", str(data_dir), "--group-size", "4",
+            "--theta", "0.85", "--budget", "20", "--seed", "3",
+        ]
+        assert main(baseline_args) == 0
+        baseline = capsys.readouterr().out
+
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            baseline_args + ["--metrics-out", str(metrics)]
+        ) == 0
+        observed = capsys.readouterr().out
+        assert f"metrics snapshot: {metrics}" in observed
+        # Observability adds its own footer but never changes the
+        # session's numbers.
+        assert baseline in observed
+        snapshot = json.loads(metrics.read_text())
+        assert "repro_phase_seconds" in snapshot["metrics"]
+
+
+class TestMetricsCommand:
+    def test_rejects_unreadable_snapshot(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["metrics", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "error" in (captured.out + captured.err).lower()
