@@ -1,0 +1,68 @@
+"""Benchmark: durable-storage soak under combined chaos and SIGKILL.
+
+Runs the long-haul soak harness — multi-tenant campaign waves on a
+chaos-injected filesystem, SIGKILLed on a seeded schedule, recovered
+with ``CampaignService.recover`` — and records the recovery economics
+to ``BENCH_soak.json`` at the repository root (plus a copy under
+``benchmarks/results/``):
+
+* recoveries per minute of wall-clock and kill cycles survived;
+* mean-time-to-recovery (directory sweep + salvage + reattach);
+* records verified, bytes salvaged, and the damage taxonomy observed;
+* the byte-identity verdict — every interrupted wave must converge to
+  exactly the bytes of its uninterrupted chaos-free reference.
+
+The harness raises :class:`~repro.storage.soak.SoakError` on any
+divergence, so a written result file *is* the robustness assertion.
+
+Set ``BENCH_SOAK_SMOKE=1`` for the reduced CI version.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.storage.soak import run_soak
+
+SMOKE = os.environ.get("BENCH_SOAK_SMOKE", "") not in ("", "0")
+MINUTES = 0.05 if SMOKE else 0.5
+KILL_EVERY = 0.4 if SMOKE else 0.8
+MIN_KILLS = 1 if SMOKE else 5
+TENANTS = 1 if SMOKE else 2
+
+from _writer import write_bench
+
+
+def test_bench_soak(results_dir, tmp_path, monkeypatch):
+    for name in ("REPRO_STORAGE_CHAOS", "REPRO_STORAGE_CHAOS_SEED"):
+        monkeypatch.delenv(name, raising=False)
+
+    result = run_soak(
+        minutes=MINUTES,
+        kill_every=KILL_EVERY,
+        seed=7,
+        tenants=TENANTS,
+        out_dir=tmp_path / "artifacts",
+        min_kills=MIN_KILLS,
+    )
+    assert result["byte_identical"] is True
+    assert result["kills"] >= MIN_KILLS
+    assert result["failed_cycles"] == 0
+
+    result["scale"] = {
+        "minutes": MINUTES,
+        "kill_every_s": KILL_EVERY,
+        "tenants": TENANTS,
+        "smoke": SMOKE,
+    }
+    write_bench("soak", result, results_dir)
+    print()
+    mttr = result["mttr_s"]
+    print(
+        f"{result['waves']} waves, {result['kills']} kills survived "
+        f"({result['recoveries_per_min']:.1f} recoveries/min, "
+        f"mean MTTR {mttr['mean'] * 1e3:.0f}ms, "
+        f"max {mttr['max'] * 1e3:.0f}ms), "
+        f"{result['records_verified']} records verified, "
+        f"{result['bytes_salvaged']} bytes salvaged, byte-identical"
+    )

@@ -14,14 +14,18 @@ checkpoint support on these primitives.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import tempfile
+import time
+import zlib
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from ..storage.chaos import active_storage_chaos
 from .facts import Fact, FactSet
 from .hc import RoundRecord, RunResult
 from .incidents import FaultEvent
@@ -46,16 +50,44 @@ from .workers import Crowd, Worker
 #: before the first checking session exists, and a ``"stream"`` field on
 #: session checkpoints carrying the event-log offset, watermark,
 #: dedup state and incremental-initialization state so a streamed
-#: campaign killed at any event boundary resumes exactly-once.
+#: campaign killed at any event boundary resumes exactly-once;
+#: version 8 adds per-record integrity framing to the journal: every
+#: line carries a monotonic ``"_seq"`` sequence number and a
+#: ``"_crc"`` CRC32 of the rest of the line, so interior bit-flips,
+#: dropped lines and duplicated lines are *detectable* (see
+#: :mod:`repro.storage.integrity`), not just torn tails.  v8 journals
+#: stay line-oriented JSONL — ``kind``-dispatching tooling reads them
+#: unchanged — and journals whose header predates v8 keep appending
+#: unframed lines so legacy byte-identity is preserved.
 #: Older payloads are still read transparently.
-FORMAT_VERSION = 7
+FORMAT_VERSION = 8
 
 #: Versions this build can read.
-SUPPORTED_VERSIONS = frozenset({1, 2, 3, 4, 5, 6, 7})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3, 4, 5, 6, 7, 8})
 
 
 class SerializationError(ValueError):
     """Raised on malformed or version-incompatible payloads."""
+
+
+class StorageFailure(RuntimeError):
+    """A durable write could not be completed (fail-stop).
+
+    Raised by :func:`append_journal_record` / :func:`atomic_write_json`
+    after bounded retries on transient ``OSError`` faults, or
+    immediately on non-transient ones (``ENOSPC``, permission errors).
+    The write path never leaves a silent partial state behind: a torn
+    append is rolled back to the pre-append size before this raises,
+    and if even the rollback fails a ``<journal>.failstop.json`` marker
+    is dropped next to the file so recovery tooling knows the tail is
+    suspect.
+    """
+
+    def __init__(self, message: str, *, path: "Path | None" = None,
+                 attempts: int = 0):
+        super().__init__(message)
+        self.path = path
+        self.attempts = attempts
 
 
 def _require(payload: dict, key: str) -> Any:
@@ -175,6 +207,38 @@ def factored_belief_from_dict(payload: dict) -> FactoredBelief:
     )
 
 
+#: Errnos worth retrying a durable write over; anything else (ENOSPC,
+#: EROFS, EACCES, ...) fails the write immediately — retrying cannot
+#: help, and pretending it succeeded would be a silent partial state.
+_TRANSIENT_ERRNOS = frozenset(
+    {errno.EINTR, errno.EAGAIN, errno.EIO, errno.EBUSY, errno.ETIMEDOUT}
+)
+
+#: Bounded retry envelope for one durable write.
+_WRITE_ATTEMPTS = 5
+_RETRY_BACKOFF = 0.001  # seconds; doubles per attempt
+
+
+def _retry_delay(attempt: int) -> None:
+    time.sleep(_RETRY_BACKOFF * (2**attempt))
+
+
+def _write_failstop_marker(path: Path, reason: str) -> None:
+    """Best-effort ``<path>.failstop.json`` sidecar for an append whose
+    rollback failed — the journal tail can no longer be trusted, and
+    the marker is how recovery tooling learns that without relying on
+    the (possibly also failing) journal itself."""
+    marker = path.with_name(path.name + ".failstop.json")
+    try:
+        marker.write_text(
+            json.dumps(
+                {"kind": "failstop", "path": str(path), "reason": reason}
+            )
+        )
+    except OSError:
+        pass  # the disk is gone; the raised StorageFailure must do
+
+
 def atomic_write_json(payload: dict, path: str | Path) -> Path:
     """Durably write ``payload`` as JSON via write-to-temp + rename.
 
@@ -183,17 +247,76 @@ def atomic_write_json(payload: dict, path: str | Path) -> Path:
     (atomic on POSIX), then the directory entry is fsynced too.  A crash
     at any point leaves either the old file or the new file — never a
     torn snapshot.
+
+    Transient storage faults (including injected ones — see
+    :mod:`repro.storage.chaos`) retry the whole temp + rename cycle up
+    to ``_WRITE_ATTEMPTS`` times with exponential backoff; a
+    non-transient fault or exhausted retries raise
+    :class:`StorageFailure`, with the previous file intact.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    chaos = active_storage_chaos()
+    last_error: OSError | None = None
+    for attempt in range(_WRITE_ATTEMPTS):
+        action = key = None
+        index = 0
+        if chaos is not None:
+            action, key, index = chaos.next_action(path)
+        try:
+            _atomic_write_once(payload, path, chaos, action, key, index)
+        except OSError as error:
+            last_error = error
+            if error.errno not in _TRANSIENT_ERRNOS:
+                raise StorageFailure(
+                    f"checkpoint write to {path} failed with a "
+                    f"non-transient fault: {error}",
+                    path=path,
+                    attempts=attempt + 1,
+                ) from error
+            if attempt + 1 < _WRITE_ATTEMPTS:
+                _retry_delay(attempt)
+            continue
+        _fsync_directory(path.parent)
+        return path
+    raise StorageFailure(
+        f"checkpoint write to {path} still failing after "
+        f"{_WRITE_ATTEMPTS} attempts: {last_error}",
+        path=path,
+        attempts=_WRITE_ATTEMPTS,
+    ) from last_error
+
+
+def _atomic_write_once(
+    payload: dict, path: Path, chaos, action, key, index
+) -> None:
+    data = json.dumps(payload).encode("utf-8")
+    if action == "enospc":
+        raise OSError(errno.ENOSPC, "injected ENOSPC (storage chaos)")
+    if action == "bitflip":
+        data = chaos.plan.flip_bit(data, key, index)
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=path.name + ".", suffix=".tmp"
     )
     try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
+        with os.fdopen(fd, "wb") as handle:
+            if action == "short_write":
+                handle.write(data[: max(1, len(data) // 2)])
+                handle.flush()
+                raise OSError(
+                    errno.EIO, "injected short write (storage chaos)"
+                )
+            handle.write(data)
             handle.flush()
+            if action == "fsync_error":
+                raise OSError(
+                    errno.EIO, "injected fsync failure (storage chaos)"
+                )
             os.fsync(handle.fileno())
+        if action == "rename_error":
+            raise OSError(
+                errno.EIO, "injected rename failure (storage chaos)"
+            )
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -201,8 +324,6 @@ def atomic_write_json(payload: dict, path: str | Path) -> Path:
         except OSError:
             pass
         raise
-    _fsync_directory(path.parent)
-    return path
 
 
 def _fsync_directory(directory: Path) -> None:
@@ -365,6 +486,125 @@ def load_run_result(path: str | Path) -> RunResult:
 # most one truncated final line, which :func:`read_journal` discards —
 # the previous checkpoint line is always intact, making resume
 # crash-safe by construction.
+#
+# Since format version 8 every line additionally carries the integrity
+# framing: a ``"_seq"`` field (0 on the header, +1 per record) and a
+# trailing ``"_crc"`` field holding the CRC32 (hex) of the line with
+# the ``"_crc"`` entry removed.  Framing makes interior damage —
+# bit-flips, dropped lines, duplicated lines — *detectable*;
+# :mod:`repro.storage.integrity` turns detection into recovery.
+# Framed journals are still plain JSONL and :func:`read_journal`
+# strips the framing fields, so every ``kind``-dispatching consumer is
+# untouched.  Whether a journal is framed is decided once, by its
+# header: new journals frame iff the header's version is >= 8, and
+# appends to an existing journal follow whatever its last record did —
+# a resumed v7 journal keeps growing unframed, byte-identical to an
+# uninterrupted v7 run.
+
+#: Fields reserved for the v8 integrity framing.
+_FRAME_FIELDS = ("_seq", "_crc")
+
+#: Per-path append cache: ``str(path) -> (file_size, next_seq)`` where
+#: ``next_seq`` is ``None`` for unframed journals.  Validated against
+#: the current file size on every append (an externally modified file
+#: misses and triggers a rescan), so appends stay O(1) without ever
+#: trusting a stale sequence number.
+_SEQ_CACHE: dict[str, tuple[int, int | None]] = {}
+
+
+def invalidate_journal_cache(path: str | Path) -> None:
+    """Drop the append cache for ``path`` (after external surgery —
+    repair, trim, recovery — changed the file behind the cache)."""
+    _SEQ_CACHE.pop(str(Path(path)), None)
+
+
+def frame_journal_line(record: dict, seq: int) -> str:
+    """``record`` as a v8-framed JSONL line (no trailing newline).
+
+    The CRC is computed over the serialized line *without* the
+    ``"_crc"`` entry, then spliced in as the final key — verification
+    re-serializes the parsed line minus ``"_crc"`` and compares, which
+    round-trips exactly for self-produced lines (``json`` preserves key
+    order and emits canonical shortest-round-trip numbers).
+    """
+    body = dict(record)
+    body["_seq"] = int(seq)
+    payload = json.dumps(body, separators=(",", ":"))
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f'{payload[:-1]},"_crc":"{crc:08x}"}}'
+
+
+def verify_framed_record(record: dict) -> str | None:
+    """Check one parsed framed record; ``None`` if intact.
+
+    Returns a damage kind (``"unframed"`` / ``"crc_mismatch"``) when
+    the framing is missing or the CRC does not cover the line's
+    current content — the signature of an interior bit-flip.
+    """
+    crc_text = record.get("_crc")
+    if not isinstance(crc_text, str) or not isinstance(
+        record.get("_seq"), int
+    ):
+        return "unframed"
+    body = {key: value for key, value in record.items() if key != "_crc"}
+    payload = json.dumps(body, separators=(",", ":"))
+    try:
+        expected = int(crc_text, 16)
+    except ValueError:
+        return "crc_mismatch"
+    if (zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF) != expected:
+        return "crc_mismatch"
+    return None
+
+
+def strip_frame(record: dict) -> dict:
+    """``record`` without the v8 framing fields (no-op when unframed)."""
+    if "_seq" not in record and "_crc" not in record:
+        return record
+    return {
+        key: value
+        for key, value in record.items()
+        if key not in _FRAME_FIELDS
+    }
+
+
+def _journal_next_seq(path: Path, record: dict) -> int | None:
+    """The sequence number the next append must carry (``None``:
+    journal is unframed).  New/empty files frame iff the first record
+    is a header of version >= 8; existing files follow the last
+    parseable line."""
+    key = str(path)
+    try:
+        size = path.stat().st_size
+    except OSError:
+        size = 0
+    if size == 0:
+        if record.get("kind") == "header":
+            try:
+                version = int(record.get("version", 1))
+            except (TypeError, ValueError):
+                version = 1
+            if version >= 8:
+                return 0
+        return None
+    cached = _SEQ_CACHE.get(key)
+    if cached is not None and cached[0] == size:
+        return cached[1]
+    next_seq: int | None = None
+    for line in reversed(path.read_bytes().splitlines()):
+        if not line.strip():
+            continue
+        try:
+            parsed = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            continue  # torn/corrupt tail; recovery trims before appends
+        if isinstance(parsed, dict) and isinstance(
+            parsed.get("_seq"), int
+        ):
+            next_seq = parsed["_seq"] + 1
+        break
+    _SEQ_CACHE[key] = (size, next_seq)
+    return next_seq
 
 
 def append_journal_record(path: str | Path, record: dict) -> None:
@@ -373,17 +613,126 @@ def append_journal_record(path: str | Path, record: dict) -> None:
     The record is written as a single line, flushed and fsynced before
     returning, so at most the final in-flight line can be lost to a
     crash — and a completed append survives power loss, not just a
-    process kill.
+    process kill.  On v8 journals the line carries the integrity
+    framing (see :func:`frame_journal_line`).
+
+    Transient storage faults retry with backoff after rolling the file
+    back to its pre-append size; non-transient faults and exhausted
+    retries raise :class:`StorageFailure` — again after rollback, so a
+    failed append never leaves a torn line for the next writer to glue
+    onto.
     """
     if not isinstance(record, dict) or "kind" not in record:
         raise SerializationError("journal records need a 'kind' field")
+    for reserved in _FRAME_FIELDS:
+        if reserved in record:
+            raise SerializationError(
+                f"{reserved!r} is reserved for the journal framing"
+            )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    line = json.dumps(record, separators=(",", ":"))
-    with path.open("a") as handle:
-        handle.write(line + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
+    seq = _journal_next_seq(path, record)
+    line = (
+        frame_journal_line(record, seq)
+        if seq is not None
+        else json.dumps(record, separators=(",", ":"))
+    )
+    size = _durable_append(path, (line + "\n").encode("utf-8"))
+    _SEQ_CACHE[str(path)] = (size, seq + 1 if seq is not None else None)
+
+
+def _durable_append(path: Path, data: bytes) -> int:
+    """Append ``data`` with flush + fsync; returns the new file size.
+
+    The storage-chaos hook lives here: every attempt draws one action
+    for this path's next write index, injected faults roll the file
+    back and (when transient) retry, and a ``bitflip`` goes through
+    "successfully" — silent corruption is exactly what the v8 framing
+    exists to catch later.
+    """
+    try:
+        base_size = path.stat().st_size
+    except OSError:
+        base_size = 0
+    chaos = active_storage_chaos()
+    last_error: OSError | None = None
+    for attempt in range(_WRITE_ATTEMPTS):
+        action = key = None
+        index = 0
+        if chaos is not None:
+            action, key, index = chaos.next_action(path)
+        try:
+            payload = data
+            if action == "enospc":
+                raise OSError(
+                    errno.ENOSPC, "injected ENOSPC (storage chaos)"
+                )
+            if action == "bitflip":
+                payload = chaos.plan.flip_bit(data, key, index)
+            with path.open("ab") as handle:
+                if action == "short_write":
+                    handle.write(payload[: max(1, len(payload) // 2)])
+                    handle.flush()
+                    raise OSError(
+                        errno.EIO, "injected short write (storage chaos)"
+                    )
+                handle.write(payload)
+                handle.flush()
+                if action == "fsync_error":
+                    raise OSError(
+                        errno.EIO,
+                        "injected fsync failure (storage chaos)",
+                    )
+                os.fsync(handle.fileno())
+            return base_size + len(payload)
+        except OSError as error:
+            last_error = error
+            _rollback_partial_append(path, base_size)
+            if error.errno not in _TRANSIENT_ERRNOS:
+                raise StorageFailure(
+                    f"append to {path} failed with a non-transient "
+                    f"fault: {error}",
+                    path=path,
+                    attempts=attempt + 1,
+                ) from error
+            if attempt + 1 < _WRITE_ATTEMPTS:
+                _retry_delay(attempt)
+    raise StorageFailure(
+        f"append to {path} still failing after {_WRITE_ATTEMPTS} "
+        f"attempts: {last_error}",
+        path=path,
+        attempts=_WRITE_ATTEMPTS,
+    ) from last_error
+
+
+def _rollback_partial_append(path: Path, size: int) -> None:
+    """Truncate a failed append back to the pre-append size.
+
+    If even this fails, the journal tail is untrustworthy and nothing
+    in-process can fix it: drop a ``.failstop.json`` marker and
+    fail-stop.
+    """
+    invalidate_journal_cache(path)
+    try:
+        current = path.stat().st_size
+    except OSError:
+        return  # the file never materialized; nothing to roll back
+    if current <= size:
+        return
+    try:
+        with path.open("r+b") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError as error:
+        _write_failstop_marker(
+            path, f"rollback of a torn append to {size} bytes failed: "
+            f"{error}"
+        )
+        raise StorageFailure(
+            f"could not roll back a torn append to {path}: {error}",
+            path=path,
+        ) from error
 
 
 def repair_journal(path: str | Path) -> bool:
@@ -419,6 +768,10 @@ def repair_journal(path: str | Path) -> bool:
         handle.truncate(end)
         handle.flush()
         os.fsync(handle.fileno())
+    # A crash right after the truncate could otherwise resurrect the
+    # torn tail on filesystems that journal directory metadata lazily.
+    _fsync_directory(path.parent)
+    invalidate_journal_cache(path)
     return True
 
 
@@ -452,6 +805,8 @@ def trim_journal_to_last_checkpoint(path: str | Path) -> int:
         handle.truncate(end)
         handle.flush()
         os.fsync(handle.fileno())
+    _fsync_directory(path.parent)
+    invalidate_journal_cache(path)
     return len(raw) - end
 
 
@@ -461,14 +816,37 @@ def read_journal(path: str | Path) -> list[dict]:
     A malformed *final* line (the signature of a crash mid-append) is
     silently dropped; a malformed line anywhere else raises
     :class:`SerializationError`.  The header's version is validated.
+
+    On a framed (v8) journal every record's CRC and sequence number
+    are verified — an interior bit-flip, dropped line or duplicated
+    line raises :class:`SerializationError` instead of feeding
+    corrupted state into a resume (callers that want salvage instead
+    of refusal run :func:`repro.storage.integrity.recover_journal`
+    first).  The framing fields are stripped from the returned
+    records, so consumers see the same shapes as for v1–v7 journals.
     """
     path = Path(path)
     records: list[dict] = []
-    with path.open() as handle:
-        lines = handle.read().splitlines()
+    raw = path.read_bytes()
+    try:
+        lines = raw.decode("utf-8").splitlines()
+    except UnicodeDecodeError as error:
+        # A bit-flip in a high bit leaves invalid UTF-8 — corruption,
+        # not a programming error.
+        raise SerializationError(
+            f"corrupt journal {path}: {error}"
+        ) from error
+    # An unterminated final line is torn even when the cut happened to
+    # land right on the record's closing brace — repair_journal and
+    # verify_journal drop it, so the reader must agree.
+    torn_tail = bool(raw) and not raw.endswith(b"\n")
+    framed = False
+    expected_seq = 0
     for index, line in enumerate(lines):
         if not line.strip():
             continue
+        if torn_tail and index == len(lines) - 1:
+            break
         try:
             record = json.loads(line)
         except json.JSONDecodeError as error:
@@ -481,6 +859,42 @@ def read_journal(path: str | Path) -> list[dict]:
             raise SerializationError(
                 f"journal line {index + 1} is not a record object"
             )
+        if not records:
+            # The header decides: v8+ journals are framed throughout.
+            # Detection is deliberately redundant — a supported v8+
+            # version declaration OR the presence of either frame
+            # field (legacy journals can never carry them; appends
+            # reject the reserved keys).  A single bit-flip can erase
+            # one signal but not both, so header damage reads as
+            # corruption instead of quietly demoting the journal to
+            # unverifiable legacy.  Unsupported versions without frame
+            # fields stay unframed so the post-loop version validation
+            # raises the accurate error.
+            version = record.get("version", 1)
+            framed = (
+                (version in SUPPORTED_VERSIONS and version >= 8)
+                or "_seq" in record
+                or "_crc" in record
+            )
+        if framed:
+            damage = verify_framed_record(record)
+            if damage is not None:
+                raise SerializationError(
+                    f"corrupt journal line {index + 1}: {damage}"
+                )
+            seq = record["_seq"]
+            if seq != expected_seq:
+                kind = (
+                    "duplicate record"
+                    if seq < expected_seq
+                    else "sequence gap"
+                )
+                raise SerializationError(
+                    f"corrupt journal line {index + 1}: {kind} "
+                    f"(expected seq {expected_seq}, found {seq})"
+                )
+            expected_seq += 1
+            record = strip_frame(record)
         records.append(record)
     if not records:
         raise SerializationError(f"journal {path} contains no records")

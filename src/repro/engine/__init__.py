@@ -52,6 +52,7 @@ _EXPORTS = {
     "ChaosTransport": "chaos",
     "BudgetLedger": "ledger",
     "LedgerBudget": "ledger",
+    "LedgerDriftError": "ledger",
     "LedgerError": "ledger",
     "partition_groups": "partition",
     "ParallelCampaignRunner": "runner",
@@ -99,6 +100,7 @@ __all__ = [
     "InlineShard",
     "KeyedExpertPanel",
     "LedgerBudget",
+    "LedgerDriftError",
     "LedgerError",
     "ParallelCampaignRunner",
     "ProcessShard",

@@ -56,6 +56,22 @@ class LedgerError(RuntimeError):
     """An operation would violate the ledger's accounting invariants."""
 
 
+class LedgerDriftError(LedgerError):
+    """A strict audit found the books themselves inconsistent.
+
+    Every mutation path guards its own invariant, so drift can only
+    mean corrupted state — a bug, or accounting replayed from a damaged
+    journal.  ``books`` carries the full offending snapshot (exact
+    amounts rendered as floats, plus every open reservation) so crash
+    recovery and the soak harness can report *what* drifted, not just
+    that something did.
+    """
+
+    def __init__(self, message: str, books: dict):
+        super().__init__(message)
+        self.books = books
+
+
 class BudgetLedger:
     """Reservation/refund accounting over one shared budget.
 
@@ -223,7 +239,7 @@ class BudgetLedger:
             },
         )
 
-    def audit(self) -> list[dict]:
+    def audit(self, strict: bool = False) -> list[dict]:
         """Describe every open reservation (leak hunting).
 
         A campaign that exits cleanly must leave the ledger with
@@ -233,14 +249,56 @@ class BudgetLedger:
         the reserver attached.  Amounts are exact: they are the
         rationals on the books rendered as floats, never re-derived by
         float summation.
+
+        With ``strict=True`` the books themselves are validated —
+        non-negative committed pool and reservations, and
+        ``committed + outstanding <= total`` (within the float-intent
+        slack) — and a violation raises :class:`LedgerDriftError`
+        carrying the offending snapshot.  Open reservations are *not* a
+        strict failure: recovery and the soak harness audit mid-flight,
+        with live campaigns legitimately holding deposits.
         """
         with self._lock:
-            return [
+            entries = [
                 {"ticket": ticket, "amount": float(amount), "label": label}
                 for ticket, (amount, label) in sorted(
                     self._reservations.items()
                 )
             ]
+            if not strict:
+                return entries
+            problems = []
+            if self._committed < 0:
+                problems.append(
+                    f"committed pool is negative ({float(self._committed)})"
+                )
+            for entry in entries:
+                if entry["amount"] < 0:
+                    problems.append(
+                        f"reservation {entry['ticket']} "
+                        f"({entry['label']!r}) holds a negative amount "
+                        f"({entry['amount']})"
+                    )
+            overdraft = (
+                self._committed
+                + self._outstanding_locked()
+                - self._total
+            )
+            if overdraft > _SLACK_EXACT:
+                problems.append(
+                    "committed + outstanding exceeds the total pool "
+                    f"by {float(overdraft)}"
+                )
+            if problems:
+                books = {
+                    "total": float(self._total),
+                    "committed": float(self._committed),
+                    "outstanding": float(self._outstanding_locked()),
+                    "open_reservations": entries,
+                }
+        if strict and problems:
+            raise LedgerDriftError("; ".join(problems), books)
+        return entries
 
     def as_dict(self) -> dict:
         """JSON-compatible snapshot for diagnostics and benchmarks.

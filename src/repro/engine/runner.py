@@ -413,6 +413,11 @@ def resume_parallel_session(
     Returns ``(session, pool)``; call ``session.run(answer_source)`` to
     continue and close the pool afterwards (it is a context manager).
     """
+    # Salvage interior corruption (v8 journals) before reading — the
+    # inner session's own resume re-trims to the last checkpoint.
+    from ..storage.integrity import recover_journal
+
+    recover_journal(journal_path)
     records = read_journal(journal_path)
     engine_records = [
         record for record in records if record.get("kind") == "engine"

@@ -26,6 +26,7 @@ from .errors import (
     ServiceSaturatedError,
     UnknownCampaignError,
 )
+from .recovery import RecoveredCampaign, RecoveryReport
 from .scheduler import WeightedFairScheduler
 from .service import CampaignService, ServicePolicy
 
@@ -38,6 +39,8 @@ __all__ = [
     "CampaignStateError",
     "CampaignStatus",
     "QuotaExceededError",
+    "RecoveredCampaign",
+    "RecoveryReport",
     "ServiceError",
     "ServicePolicy",
     "ServiceSaturatedError",

@@ -318,6 +318,37 @@ class CampaignService:
         self._pending.append(record)
         return CampaignHandle(record)
 
+    def recover(
+        self,
+        journal_root: "str | Path | None" = None,
+        *,
+        specs=None,
+        spec_factory=None,
+        strict: bool = True,
+    ):
+        """Rebuild the service's campaigns from a journal directory.
+
+        Scans every ``*.jsonl`` under ``journal_root`` (defaulting to
+        this service's own root), salvages each journal through
+        :func:`~repro.storage.integrity.recover_journal`, re-attaches
+        every campaign whose verified prefix still holds a checkpoint,
+        resubmits the ones damaged into their bootstrap region (their
+        remains preserved in ``.damaged`` sidecars), and finishes with
+        a strict ledger audit.  Returns a
+        :class:`~repro.service.recovery.RecoveryReport`; see
+        :mod:`~repro.service.recovery` for the full semantics.
+        """
+        self._ensure_open()
+        from .recovery import recover_service
+
+        return recover_service(
+            self,
+            journal_root,
+            specs=specs,
+            spec_factory=spec_factory,
+            strict=strict,
+        )
+
     def _admit_with_hint(self, record: CampaignRecord) -> list[CampaignRecord]:
         """Admit through the controller, stamping a retry hint on
         queue-saturation rejections (ledger exhaustion gets none: only

@@ -56,7 +56,6 @@ from ..core.serialization import (
     fault_event_from_dict,
     fault_event_to_dict,
     read_journal,
-    repair_journal,
     trim_journal_to_last_checkpoint,
 )
 from ..core.trust import TrustPolicy, TrustReport, TrustSupervisor
@@ -1083,11 +1082,15 @@ class ResilientCheckingSession:
         to it, making the resumed continuation byte-identical to an
         uninterrupted run.
         """
-        # Repair first (drop a torn trailing line), then trim records
-        # past the last checkpoint: the replay re-journals the in-flight
-        # round's records byte-for-byte, so resumed appends extend the
-        # journal byte-identically to an uninterrupted run.
-        repair_journal(journal_path)
+        # Recover first (drop a torn trailing line; on v8 journals also
+        # salvage past interior corruption — see
+        # :func:`repro.storage.integrity.recover_journal`), then trim
+        # records past the last checkpoint: the replay re-journals the
+        # in-flight round's records byte-for-byte, so resumed appends
+        # extend the journal byte-identically to an uninterrupted run.
+        from ..storage.integrity import recover_journal
+
+        recover_journal(journal_path)
         trim_journal_to_last_checkpoint(journal_path)
         records = read_journal(journal_path)
         checkpoint_indices = [

@@ -1,0 +1,74 @@
+"""The durable-storage robustness layer.
+
+Three pieces, layered bottom-up:
+
+* :mod:`repro.storage.chaos` — seeded fault injection for the journal
+  and checkpoint write paths (short writes, failed fsyncs, ``ENOSPC``,
+  failed renames, silent bit-flips), installed process-wide or via
+  ``REPRO_STORAGE_CHAOS``.
+* :mod:`repro.storage.integrity` — :func:`verify_journal` /
+  :func:`recover_journal` over the version-8 CRC + sequence framing:
+  damage detection, longest-verified-prefix salvage, ``.damaged``
+  sidecars, and typed :class:`JournalDamageReport` results.
+* :mod:`repro.storage.soak` — the long-haul soak harness
+  (``repro soak``): continuous multi-tenant streamed campaigns under
+  combined storage + transport + delivery chaos with whole-process
+  SIGKILL cycles, recovered and byte-verified against an uninterrupted
+  reference.
+
+The chaos module is import-light (the serialization core consults it
+on every append); integrity and soak are re-exported lazily so
+importing :mod:`repro.core` never recurses back through this package.
+"""
+
+from __future__ import annotations
+
+from .chaos import (
+    STORAGE_CHAOS_ACTIONS,
+    StorageChaos,
+    StorageChaosState,
+    active_storage_chaos,
+    chaos_path_key,
+    install_storage_chaos,
+    storage_chaos,
+    uninstall_storage_chaos,
+)
+
+__all__ = [
+    "STORAGE_CHAOS_ACTIONS",
+    "StorageChaos",
+    "StorageChaosState",
+    "active_storage_chaos",
+    "chaos_path_key",
+    "install_storage_chaos",
+    "storage_chaos",
+    "uninstall_storage_chaos",
+    # lazily re-exported from .integrity / .soak:
+    "JournalDamage",
+    "JournalDamageReport",
+    "verify_journal",
+    "recover_journal",
+    "run_soak",
+    "SoakError",
+]
+
+_LAZY = {
+    "JournalDamage": "integrity",
+    "JournalDamageReport": "integrity",
+    "verify_journal": "integrity",
+    "recover_journal": "integrity",
+    "run_soak": "soak",
+    "SoakError": "soak",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(name)
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

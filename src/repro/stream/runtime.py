@@ -36,6 +36,8 @@ exactly-once.
 
 from __future__ import annotations
 
+import json
+import os
 import time as _time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -52,11 +54,12 @@ from ..core.selection import Selector
 from ..core.serialization import (
     FORMAT_VERSION,
     SerializationError,
+    _fsync_directory,
     append_journal_record,
     crowd_from_dict,
     crowd_to_dict,
+    invalidate_journal_cache,
     read_journal,
-    repair_journal,
     trim_journal_to_last_checkpoint,
 )
 from ..core.trust import TrustPolicy
@@ -74,6 +77,46 @@ from .incremental import StreamingBeliefBuilder, WatermarkTracker
 
 #: Seed salt of the simulated expert panel's answer stream.
 _SOURCE_SALT = 0x50CE
+
+
+def _trim_stream_bootstrap_tail(path: Path) -> int:
+    """Cut complete runtime records left dangling past the last
+    bootstrap boundary, returning the bytes removed.
+
+    A kill (or an interior-damage salvage) can leave the journal ending
+    on fully written records — a ``group_sealed`` event, say — whose
+    covering checkpoint never landed.  Bootstrap replay regenerates
+    them, so keeping them would journal each twice.  The safe prefix
+    ends at the last ``stream_checkpoint`` record, or, when none
+    survived, at the ``stream`` config record that closes the metadata
+    prefix.  Unparseable lines abort the trim: that is legacy interior
+    damage, where cutting is not ours to decide.
+    """
+    raw = path.read_bytes()
+    offset = 0
+    keep_end = None
+    for line in raw.splitlines(keepends=True):
+        offset += len(line)
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return 0
+        kind = record.get("kind") if isinstance(record, dict) else None
+        if kind in ("stream_checkpoint", "checkpoint"):
+            keep_end = offset
+        elif kind == "stream" and keep_end is None:
+            keep_end = offset
+    if keep_end is None or keep_end >= len(raw):
+        return 0
+    with path.open("r+b") as handle:
+        handle.truncate(keep_end)
+        handle.flush()
+        os.fsync(handle.fileno())
+    _fsync_directory(path.parent)
+    invalidate_journal_cache(path)
+    return len(raw) - keep_end
 
 
 class _DictStatsView:
@@ -771,7 +814,11 @@ class StreamingCampaign:
         first record), where nothing was admitted yet.
         """
         journal_path = Path(journal_path)
-        repair_journal(journal_path)
+        # Salvage interior corruption (v8 journals) as well as the torn
+        # tail before reading; replay regrows whatever was dropped.
+        from ..storage.integrity import recover_journal
+
+        recover_journal(journal_path)
         records = read_journal(journal_path)
         config_record = next(
             (
@@ -820,6 +867,15 @@ class StreamingCampaign:
                 budget_tracker=budget_tracker,
             )
         else:
+            # Bootstrap-phase kill: the journal may end on complete
+            # runtime records past the last boundary (e.g. a
+            # ``group_sealed`` event whose session-creating checkpoint
+            # never landed).  Replay regenerates them, so trim back to
+            # the last ``stream_checkpoint`` — the bootstrap analogue
+            # of ``trim_journal_to_last_checkpoint`` — or, with no
+            # boundary on disk yet, to the metadata prefix.
+            if _trim_stream_bootstrap_tail(journal_path):
+                records = read_journal(journal_path)
             session = None
             extras = next(
                 (

@@ -10,12 +10,20 @@ properties fuzzed here (derandomized, so CI failures replay exactly):
 * a mid-record truncation of the tail is survivable: ``read_journal``
   ignores the torn final line, ``repair_journal`` removes it and is
   idempotent;
-* duplicated or reordered *body* lines never crash the reader (each
-  line is still a record) — corruption of an interior line raises
-  ``SerializationError`` rather than silently skipping;
+* on *legacy* (v7, unframed) journals duplicated or reordered body
+  lines never crash the reader (each line is still a record), while on
+  framed (v8) journals the same damage is *detected* — the sequence
+  numbers make reorder/duplication corruption rather than noise — and
+  :func:`~repro.storage.integrity.recover_journal` salvages the
+  verified prefix;
+* corruption of an interior line raises ``SerializationError`` rather
+  than silently skipping;
 * after ``trim_journal_to_last_checkpoint`` the journal ends on a
   checkpoint whenever one exists, the trim is idempotent, and a
   checkpoint-free journal is untouched.
+
+The deeper storage-fault fuzzing (bit-flips, CRC mismatches, sequence
+gaps, sidecar flows) lives in ``tests/storage/test_recover_fuzz.py``.
 """
 
 from __future__ import annotations
@@ -44,8 +52,10 @@ def _record(kind: str, index: int) -> dict:
     return {"kind": kind, "index": index, "payload": {"value": index * 3}}
 
 
-def _write_journal(path: Path, kinds: list[str]) -> list[dict]:
-    records = [{"kind": "header", "version": FORMAT_VERSION}]
+def _write_journal(
+    path: Path, kinds: list[str], version: int = FORMAT_VERSION
+) -> list[dict]:
+    records = [{"kind": "header", "version": version}]
     records += [_record(kind, index) for index, kind in enumerate(kinds)]
     for record in records:
         append_journal_record(path, record)
@@ -91,9 +101,13 @@ def test_truncated_tail_is_ignored_then_repaired(kinds, data):
 @FUZZ
 @given(kinds=journal_kinds, data=st.data())
 def test_duplicated_and_reordered_body_lines_still_read(kinds, data):
+    # Unframed legacy journals carry no sequence numbers, so the reader
+    # deliberately tolerates duplicated / reordered body lines — each
+    # line is still a record.  Pinned to version 7: the framed reader
+    # *rejects* this damage (see the framed counterpart below).
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "fuzz.jsonl"
-        _write_journal(path, kinds)
+        _write_journal(path, kinds, version=7)
         lines = path.read_bytes().splitlines(keepends=True)
         header, body = lines[0], lines[1:]
         duplicated = data.draw(
@@ -112,6 +126,40 @@ def test_duplicated_and_reordered_body_lines_still_read(kinds, data):
             in originals
             for record in records[1:]
         )
+
+
+@FUZZ
+@given(kinds=journal_kinds, data=st.data())
+def test_framed_duplication_and_reorder_detected_and_salvaged(kinds, data):
+    # On a framed journal the same damage is corruption: the reader
+    # raises, and recovery keeps exactly the records before the first
+    # out-of-sequence line.
+    from repro.storage.integrity import recover_journal
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "fuzz.jsonl"
+        records = _write_journal(path, kinds)
+        lines = path.read_bytes().splitlines(keepends=True)
+        header, body = lines[0], lines[1:]
+        duplicated = data.draw(
+            st.integers(0, len(body) - 1), label="duplicated"
+        )
+        body.insert(duplicated, body[duplicated])
+        shuffled = data.draw(st.permutations(body), label="shuffled")
+        path.write_bytes(header + b"".join(shuffled))
+        # a duplicated seq means the numbering can never be contiguous
+        # from 0, so detection is guaranteed somewhere in the body
+        with pytest.raises(SerializationError):
+            read_journal(path)
+        report = recover_journal(path)
+        assert not report.clean
+        assert any(
+            entry.kind in ("seq_gap", "seq_duplicate")
+            for entry in report.damage
+        )
+        survivors = read_journal(path)
+        assert survivors == records[: len(survivors)]
+        assert report.sidecar is not None and report.sidecar.exists()
 
 
 @FUZZ

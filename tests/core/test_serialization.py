@@ -183,15 +183,15 @@ class TestSessionCheckpoint:
 
 
 class TestFormatVersions:
-    """v7 is written; v1–v6 payloads still read."""
+    """v8 is written; v1–v7 payloads still read."""
 
-    def test_payloads_are_tagged_v7(self, belief, factored):
+    def test_payloads_are_tagged_v8(self, belief, factored):
         from repro.core import FORMAT_VERSION
 
-        assert FORMAT_VERSION == 7
-        assert belief_state_to_dict(belief)["version"] == 7
-        assert factored_belief_to_dict(factored)["version"] == 7
-        assert crowd_to_dict(Crowd.from_accuracies([0.9]))["version"] == 7
+        assert FORMAT_VERSION == 8
+        assert belief_state_to_dict(belief)["version"] == 8
+        assert factored_belief_to_dict(factored)["version"] == 8
+        assert crowd_to_dict(Crowd.from_accuracies([0.9]))["version"] == 8
 
     def test_v2_payload_still_loads(self, belief):
         payload = belief_state_to_dict(belief)

@@ -281,3 +281,58 @@ class TestLedgerExactness:
         assert snapshot["outstanding"] == 0.0
         assert snapshot["total"] == 1.0
         assert snapshot["open_reservations"] == 0
+
+
+class TestStrictAudit:
+    """``audit(strict=True)``: the books validate themselves, and a
+    violated invariant surfaces as a typed, snapshot-carrying error."""
+
+    def test_clean_books_pass_with_open_reservations(self):
+        # open reservations are legitimate mid-flight state (recovery
+        # and the soak harness audit while campaigns hold deposits)
+        ledger = BudgetLedger(20.0)
+        ledger.reserve(5.0, label="deposit:acme/job")
+        entries = ledger.audit(strict=True)
+        assert [entry["label"] for entry in entries] == ["deposit:acme/job"]
+
+    def test_negative_committed_raises_with_the_books(self):
+        from fractions import Fraction
+
+        from repro.engine import LedgerDriftError
+
+        ledger = BudgetLedger(10.0)
+        ledger.commit_direct(2.0)
+        ledger._committed = Fraction(-1, 4)  # simulated corruption
+        with pytest.raises(LedgerDriftError, match="negative") as info:
+            ledger.audit(strict=True)
+        assert info.value.books["committed"] == -0.25
+        assert info.value.books["total"] == 10.0
+        # non-strict audit still answers (leak hunting must not throw)
+        assert ledger.audit() == []
+
+    def test_overdraft_raises(self):
+        from fractions import Fraction
+
+        from repro.engine import LedgerDriftError
+
+        ledger = BudgetLedger(10.0)
+        ledger.reserve(6.0, label="round")
+        ledger._committed = Fraction(9)  # books no longer add up
+        with pytest.raises(LedgerDriftError, match="exceeds the total"):
+            ledger.audit(strict=True)
+
+    def test_negative_reservation_raises(self):
+        from fractions import Fraction
+
+        from repro.engine import LedgerDriftError
+
+        ledger = BudgetLedger(10.0)
+        ticket = ledger.reserve(3.0, label="round")
+        ledger._reservations[ticket] = (Fraction(-3), "round")
+        with pytest.raises(LedgerDriftError, match="negative amount"):
+            ledger.audit(strict=True)
+
+    def test_drift_error_is_a_ledger_error(self):
+        from repro.engine import LedgerDriftError
+
+        assert issubclass(LedgerDriftError, LedgerError)

@@ -1,0 +1,25 @@
+"""Shared guards for the storage suites.
+
+Every test here manipulates the process-wide chaos installation, so
+each one starts and ends with a pristine (uninstalled) state — a
+leaked installation would silently inject faults into every other
+suite in the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import uninstall_storage_chaos
+
+
+@pytest.fixture(autouse=True)
+def _pristine_chaos(monkeypatch):
+    # The CI storage-chaos matrix leg sets REPRO_STORAGE_CHAOS for the
+    # byte-identity suites; these tests install their own plans, so the
+    # ambient one must not double-inject underneath them.
+    monkeypatch.delenv("REPRO_STORAGE_CHAOS", raising=False)
+    monkeypatch.delenv("REPRO_STORAGE_CHAOS_SEED", raising=False)
+    uninstall_storage_chaos()
+    yield
+    uninstall_storage_chaos()

@@ -1,0 +1,169 @@
+"""Seeded fuzzing of journal damage detection and salvage.
+
+The deeper counterpart of ``tests/core/test_journal_fuzz.py``: instead
+of crash truncation, these properties plant *storage*-grade damage —
+single bit-flips at arbitrary byte positions, re-framed sequence
+numbers with valid CRCs, redelivered (duplicated) line suffixes — and
+hold :func:`~repro.storage.integrity.recover_journal` to its contract:
+
+* whatever survives salvage is a byte-prefix of what the writer
+  produced, and reads back as a record-prefix of the original log;
+* anything beyond a plain torn tail leaves the damaged original in a
+  ``.damaged`` sidecar before the file is cut;
+* a second recovery pass is clean and changes nothing;
+* legacy (v7, unframed) journals are never cut at interior damage —
+  trim-tail-only, evidence left in place.
+
+Derandomized, so CI failures replay exactly.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.serialization import (
+    SerializationError,
+    append_journal_record,
+    frame_journal_line,
+    read_journal,
+)
+from repro.storage import recover_journal, verify_journal
+
+pytestmark = pytest.mark.chaos
+
+BODY_KINDS = ("metadata", "round", "checkpoint", "incident", "final")
+
+FUZZ = settings(
+    derandomize=True,
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+journal_kinds = st.lists(st.sampled_from(BODY_KINDS), min_size=2, max_size=10)
+
+
+def _write_journal(path: Path, kinds, version: int = 8):
+    records = [{"kind": "header", "version": version}]
+    records += [
+        {"kind": kind, "index": index, "payload": {"value": index * 3}}
+        for index, kind in enumerate(kinds)
+    ]
+    for record in records:
+        append_journal_record(path, record)
+    return records
+
+
+def _check_salvage(path: Path, raw: bytes, records):
+    """The salvage contract, shared by every framed property."""
+    report = recover_journal(path)
+    assert not report.clean
+    salvaged = path.read_bytes()
+    assert raw.startswith(salvaged), "salvage must keep writer bytes only"
+    if report.verified_records:
+        assert read_journal(path) == records[: report.verified_records]
+    if not report.tail_only:
+        assert report.sidecar is not None and report.sidecar.exists()
+    # idempotent: the second pass sees a clean journal
+    again = recover_journal(path)
+    assert again.clean
+    assert path.read_bytes() == salvaged
+    return report
+
+
+@FUZZ
+@given(kinds=journal_kinds, data=st.data())
+def test_any_single_bit_flip_is_detected_and_salvaged(kinds, data):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t" / "fuzz.jsonl"
+        records = _write_journal(path, kinds)
+        raw = path.read_bytes()
+        position = data.draw(
+            st.integers(0, len(raw) - 1), label="position"
+        )
+        bit = data.draw(st.integers(0, 7), label="bit")
+        flipped = bytearray(raw)
+        flipped[position] ^= 1 << bit
+        path.write_bytes(bytes(flipped))
+        report = _check_salvage(path, raw, records)
+        # the verified prefix never includes the flipped byte
+        assert report.prefix_bytes <= position + 1
+
+
+@FUZZ
+@given(kinds=journal_kinds, data=st.data())
+def test_reframed_sequence_numbers_read_as_gap_or_duplicate(kinds, data):
+    # valid JSON, valid CRC — only the sequence number lies: the
+    # signature of a dropped or replayed line rather than a bit-flip
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t" / "fuzz.jsonl"
+        records = _write_journal(path, kinds)
+        raw = path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        victim = data.draw(
+            st.integers(1, len(lines) - 1), label="victim"
+        )
+        delta = data.draw(
+            st.integers(-victim, 5).filter(lambda d: d != 0),
+            label="delta",
+        )
+        lines[victim] = (
+            frame_journal_line(records[victim], victim + delta) + "\n"
+        ).encode("utf-8")
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(SerializationError):
+            read_journal(path)
+        report = _check_salvage(path, raw, records)
+        expected = "seq_gap" if delta > 0 else "seq_duplicate"
+        assert report.damage[0].kind == expected
+        assert report.damage[0].line == victim + 1
+        assert report.verified_records == victim
+
+
+@FUZZ
+@given(kinds=journal_kinds, data=st.data())
+def test_redelivered_suffix_is_trimmed_back_to_the_original(kinds, data):
+    # a resumed writer replaying lines it already wrote: every byte is
+    # individually valid, but the sequence numbers repeat
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t" / "fuzz.jsonl"
+        records = _write_journal(path, kinds)
+        raw = path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        start = data.draw(
+            st.integers(1, len(lines) - 1), label="start"
+        )
+        path.write_bytes(raw + b"".join(lines[start:]))
+        report = _check_salvage(path, raw, records)
+        assert report.damage[0].kind == "seq_duplicate"
+        # nothing the writer meant to keep was lost
+        assert path.read_bytes() == raw
+        assert read_journal(path) == records
+
+
+@FUZZ
+@given(kinds=journal_kinds, data=st.data())
+def test_legacy_journals_are_never_cut_at_interior_damage(kinds, data):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t" / "fuzz.jsonl"
+        _write_journal(path, kinds, version=7)
+        raw = path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        victim = data.draw(
+            st.integers(0, len(lines) - 2), label="victim"
+        )
+        lines[victim] = b'{"kind": torn-open\n'
+        damaged = b"".join(lines)
+        path.write_bytes(damaged)
+        report = recover_journal(path)
+        assert not report.clean and not report.framed
+        # reported, not cut: unframed lines carry no integrity frame,
+        # so truncating at an interior line could discard good records
+        assert path.read_bytes() == damaged
+        assert report.sidecar is None
+        assert report.salvaged_bytes == 0

@@ -1,0 +1,84 @@
+"""The soak harness itself (smoke scale).
+
+The full acceptance runs (`repro soak`, minutes of wall clock, five or
+more SIGKILL cycles) live in CI's dedicated job; here the harness is
+held to its structural contract at the smallest useful scale:
+
+* a zero-rate chaos spec perturbs nothing — no damage, no salvage, no
+  failed cycles, byte-identity trivially intact;
+* a short chaotic run produces a well-formed result payload and writes
+  the ``soak_result.json`` artifact;
+* parameter validation fails fast, before any process is forked.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.storage.soak import run_soak
+
+pytestmark = pytest.mark.chaos
+
+
+def test_zero_rate_chaos_perturbs_nothing(tmp_path):
+    result = run_soak(
+        minutes=0.01,
+        kill_every=30.0,  # never fires within the run
+        seed=11,
+        tenants=1,
+        chaos_spec="",
+        out_dir=tmp_path / "artifacts",
+    )
+    assert result["byte_identical"] is True
+    assert result["waves"] >= 1
+    assert result["kills"] == 0
+    assert result["failed_cycles"] == 0
+    assert result["damage"] == {}
+    assert result["bytes_salvaged"] == 0
+    assert result["records_verified"] > 0
+
+
+def test_chaotic_run_reports_and_persists_metrics(tmp_path):
+    out = tmp_path / "artifacts"
+    result = run_soak(
+        minutes=0.01,
+        kill_every=30.0,
+        seed=3,
+        tenants=1,
+        out_dir=out,
+    )
+    assert result["byte_identical"] is True
+    for key in (
+        "waves",
+        "kills",
+        "recoveries",
+        "failed_cycles",
+        "campaigns_completed",
+        "records_verified",
+        "bytes_salvaged",
+        "recoveries_per_min",
+        "mttr_s",
+        "damage",
+        "injected",
+    ):
+        assert key in result, key
+    # chaos actually ran: the injector reports its work even when every
+    # fault was healed (transient retries leave no damage behind)
+    assert sum(result["injected"].values()) > 0
+    persisted = json.loads((out / "soak_result.json").read_text())
+    assert persisted["waves"] == result["waves"]
+
+
+def test_parameters_validate_before_forking(tmp_path):
+    with pytest.raises(ValueError, match="minutes"):
+        run_soak(minutes=0.0, out_dir=tmp_path)
+    with pytest.raises(ValueError, match="kill_every"):
+        run_soak(minutes=1.0, kill_every=0.0, out_dir=tmp_path)
+    with pytest.raises(ValueError, match="tenants"):
+        run_soak(minutes=1.0, tenants=0, out_dir=tmp_path)
+    with pytest.raises(ValueError, match="unknown"):
+        run_soak(
+            minutes=1.0, chaos_spec="meteor=0.5", out_dir=tmp_path
+        )

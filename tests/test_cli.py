@@ -215,3 +215,33 @@ class TestReproduce:
         assert code == 0
         assert (tmp_path / "results" / "figure7.json").exists()
         assert (tmp_path / "results" / "figure7.txt").exists()
+
+
+@pytest.mark.chaos
+class TestSoak:
+    def test_smoke_survives_a_kill_cycle(self, tmp_path, capsys):
+        import json
+
+        code = main([
+            "soak", "--minutes", "0.02", "--kill-every", "0.4",
+            "--seed", "5", "--tenants", "1", "--min-kills", "1",
+            "--out", str(tmp_path / "artifacts"),
+        ])
+        assert code == 0
+        out, err = capsys.readouterr()
+        result = json.loads(out)
+        assert result["byte_identical"] is True
+        assert result["kills"] >= 1
+        assert result["failed_cycles"] == 0
+        assert "soak ok" in err
+        assert (
+            tmp_path / "artifacts" / "soak_result.json"
+        ).exists()
+
+    def test_bad_chaos_spec_is_rejected_up_front(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown"):
+            main([
+                "soak", "--minutes", "0.01",
+                "--storage-chaos", "meteor=1.0",
+                "--out", str(tmp_path / "artifacts"),
+            ])
